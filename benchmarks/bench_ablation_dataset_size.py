@@ -1,0 +1,47 @@
+"""Ablation: surrogate quality vs training-set size (sustainability claim).
+
+The paper's sustainability argument rests on needing only ~5.2k trained
+models.  This bench fits the XGB accuracy surrogate on growing subsets and
+reports test tau/R2 — expected shape: quality rises steeply then saturates,
+so a few thousand models indeed suffice.
+"""
+
+from conftest import emit
+
+from repro.core.dataset import BenchmarkDataset
+from repro.core.surrogate_fit import SurrogateFitter
+from repro.experiments.common import format_table
+
+
+def run_sweep(ctx) -> dict:
+    full = ctx.accuracy_dataset()
+    sizes = [n for n in (200, 400, 800, 1600, len(full)) if n <= len(full)]
+    rows = []
+    for n in sizes:
+        subset = BenchmarkDataset(
+            name=f"{full.name}[:{n}]",
+            metric=full.metric,
+            archs=full.archs[:n],
+            values=full.values[:n],
+        )
+        report = SurrogateFitter().fit(subset, "xgb")
+        rows.append({"n": n, "r2": report.r2, "kendall": report.kendall, "mae": report.mae})
+    return {"rows": rows}
+
+
+def test_dataset_size_scaling(benchmark, ctx):
+    result = benchmark.pedantic(lambda: run_sweep(ctx), rounds=1, iterations=1)
+    rows = result["rows"]
+    table = format_table(
+        ["n_archs", "R2", "KT tau", "MAE"],
+        [
+            [r["n"], f"{r['r2']:.3f}", f"{r['kendall']:.3f}", f"{r['mae']:.2e}"]
+            for r in rows
+        ],
+    )
+    emit("ablation_dataset_size", f"Ablation — surrogate quality vs dataset size\n{table}")
+    assert rows[-1]["kendall"] > rows[0]["kendall"]
+    # Diminishing returns: the last doubling buys less tau than the first.
+    first_gain = rows[1]["kendall"] - rows[0]["kendall"]
+    last_gain = rows[-1]["kendall"] - rows[-2]["kendall"]
+    assert last_gain < first_gain + 0.05

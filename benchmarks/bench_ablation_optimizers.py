@@ -1,0 +1,80 @@
+"""Ablation: bi-objective optimizer comparison (REINFORCE vs NSGA-II vs RS).
+
+The paper uses scalarised REINFORCE for its Fig. 4 searches.  This ablation
+compares it against NSGA-II (a dedicated multi-objective method) and random
+sampling at equal budget, scoring each by the hypervolume of its accuracy-
+throughput front on the zcu102 surrogates.
+"""
+
+import numpy as np
+from conftest import BENCH_BUDGET, emit
+
+from repro.core.pareto import hypervolume_2d, pareto_front
+from repro.experiments.common import format_table
+from repro.optimizers import Nsga2, Reinforce
+from repro.searchspace.mnasnet import MnasNetSearchSpace
+
+DEVICE, METRIC, TARGET = "zcu102", "throughput", 700.0
+
+
+def run_comparison(ctx, budget: int) -> dict:
+    bench = ctx.benchmark()
+    acc_fn = bench.query_accuracy
+    perf_fn = lambda a: max(bench.query_performance(a, DEVICE, METRIC), 1e-9)
+
+    results = {}
+    reinforce = Reinforce(seed=0).run_biobjective(
+        acc_fn, perf_fn, target=TARGET, budget=budget, metric=METRIC, device=DEVICE
+    )
+    results["REINFORCE"] = np.stack(
+        [reinforce.accuracies, reinforce.performances], axis=1
+    )
+    nsga = Nsga2(seed=0, population_size=40).run_biobjective(
+        acc_fn, perf_fn, budget=budget, metric=METRIC, device=DEVICE
+    )
+    results["NSGA-II"] = np.stack([nsga.accuracies, nsga.performances], axis=1)
+
+    space = MnasNetSearchSpace(seed=5)
+    random_archs = space.sample_batch(budget, unique=True)
+    results["Random"] = np.asarray(
+        [[acc_fn(a), perf_fn(a)] for a in random_archs]
+    )
+
+    reference = (0.60, 1.0)  # dominated by every sensible model
+    out = {}
+    for name, pts in results.items():
+        front = pareto_front(pts, [True, True])
+        out[name] = {
+            "hypervolume": hypervolume_2d(pts, reference, [True, True]),
+            "front_size": len(front),
+            "best_acc": float(pts[:, 0].max()),
+            "best_thr": float(pts[:, 1].max()),
+        }
+    return out
+
+
+def test_biobjective_optimizer_comparison(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_comparison(ctx, BENCH_BUDGET), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            name,
+            f"{row['hypervolume']:.1f}",
+            str(row["front_size"]),
+            f"{row['best_acc']:.3f}",
+            f"{row['best_thr']:.0f}",
+        ]
+        for name, row in result.items()
+    ]
+    emit(
+        "ablation_optimizers",
+        "Ablation — bi-objective optimizers on zcu102-throughput "
+        f"(budget {BENCH_BUDGET})\n"
+        + format_table(
+            ["optimizer", "hypervolume", "front", "best acc", "best thr"], rows
+        ),
+    )
+    # Both guided methods must beat random sampling on hypervolume.
+    assert result["REINFORCE"]["hypervolume"] > result["Random"]["hypervolume"] * 0.98
+    assert result["NSGA-II"]["hypervolume"] > result["Random"]["hypervolume"] * 0.98

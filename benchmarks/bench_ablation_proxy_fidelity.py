@@ -1,0 +1,70 @@
+"""Ablation: training-proxy fidelity vs rank correlation (cost-tau curve).
+
+Sweeps the epoch budget of the proxy scheme and reports the (speedup, tau)
+tradeoff on a held-out validation batch — the curve behind DESIGN.md's
+'proxy fidelity' design choice.  Expected shape: tau rises monotonically
+with training cost and saturates near the reference.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.metrics import kendall_tau
+from repro.core.proxy_search import TrainingProxySearch
+from repro.experiments.common import format_table
+from repro.searchspace.mnasnet import MnasNetSearchSpace
+from repro.trainsim.schemes import TrainingScheme
+from repro.trainsim.trainer import SimulatedTrainer
+
+EPOCH_SWEEP = (15, 30, 50, 80, 120)
+
+
+def run_sweep(num_archs: int = 80) -> dict:
+    trainer = SimulatedTrainer()
+    space = MnasNetSearchSpace(seed=31)
+    archs = space.sample_batch(num_archs, unique=True)
+    search = TrainingProxySearch(trainer=trainer, grid_archs=archs[:2])
+    reference = search.reference
+    ref_acc = [
+        np.mean([trainer.train(a, reference, s).top1 for s in (0, 1, 2)])
+        for a in archs
+    ]
+    ref_hours = np.mean(
+        [trainer.cost_model.train_time_hours(a, reference) for a in archs]
+    )
+    rows = []
+    for epochs in EPOCH_SWEEP:
+        scheme = TrainingScheme(512, epochs, 0, min(60, epochs), 128, 224)
+        acc = [
+            np.mean([trainer.train(a, scheme, s).top1 for s in (0, 1, 2)])
+            for a in archs
+        ]
+        hours = np.mean(
+            [trainer.cost_model.train_time_hours(a, scheme) for a in archs]
+        )
+        rows.append(
+            {
+                "epochs": epochs,
+                "speedup": ref_hours / hours,
+                "tau": kendall_tau(acc, ref_acc),
+            }
+        )
+    return {"num_archs": num_archs, "rows": rows}
+
+
+def test_proxy_fidelity_tradeoff(benchmark):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = result["rows"]
+    table = format_table(
+        ["epochs", "speedup", "tau"],
+        [[r["epochs"], f"{r['speedup']:.1f}x", f"{r['tau']:.3f}"] for r in rows],
+    )
+    emit(
+        "ablation_proxy_fidelity",
+        f"Ablation — proxy fidelity vs rank correlation "
+        f"({result['num_archs']} archs)\n{table}",
+    )
+    taus = [r["tau"] for r in rows]
+    # tau improves with fidelity (allow small non-monotonic jitter).
+    assert taus[-1] > taus[0] + 0.1
+    assert taus[-1] > 0.9

@@ -1,0 +1,20 @@
+"""Bench: Figure 3 — validation of p* on 120 unseen models, 3 seeds each.
+
+Paper: validation tau = 0.926 between mean accuracies under p* and the
+reference scheme.
+"""
+
+from conftest import emit
+
+from repro.experiments import fig3_proxy_validation
+
+
+def test_fig3_validation(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig3_proxy_validation.run(num_archs=120, seeds=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig3_proxy_validation", fig3_proxy_validation.report(result))
+    # Shape check: strong rank correlation, in the paper's regime.
+    assert result["tau"] >= 0.85

@@ -1,0 +1,29 @@
+"""Bench: Figure 4 — bi-objective REINFORCE search on all six panels.
+
+Paper shape: each panel's zero-cost search produces a dense accuracy-vs-
+performance Pareto front spanning a genuine tradeoff, with hand-picked
+solutions for Fig. 6.
+"""
+
+from conftest import BENCH_BUDGET, emit
+
+from repro.experiments import fig4_biobjective
+
+
+def test_fig4(benchmark, ctx, shared_results):
+    result = benchmark.pedantic(
+        lambda: fig4_biobjective.run(ctx=ctx, budget=BENCH_BUDGET),
+        rounds=1,
+        iterations=1,
+    )
+    shared_results["fig4"] = result
+    emit("fig4_biobjective", fig4_biobjective.report(result))
+    assert len(result["panels"]) == 6
+    for key, panel in result["panels"].items():
+        front = panel["pareto"]
+        assert len(front) >= 3, key
+        accs = [p["accuracy"] for p in front]
+        perfs = [p["performance"] for p in front]
+        assert max(accs) - min(accs) > 0.01, key
+        assert max(perfs) / min(perfs) > 1.3, key
+        assert 1 <= len(panel["picks"]) <= 3, key

@@ -1,0 +1,28 @@
+"""Bench: Figure 5 — uni-objective search trajectories, true vs simulated.
+
+Paper shape: the surrogate-simulated trajectories mirror the true (proxy-
+trained) ones; RS stagnates early on the MnasNet space while RE and
+REINFORCE keep improving.
+"""
+
+import numpy as np
+from conftest import BENCH_BUDGET, emit
+
+from repro.experiments import fig5_trajectories
+
+
+def test_fig5(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: fig5_trajectories.run(
+            ctx=ctx, budget=BENCH_BUDGET, simulated_seeds=(0, 1, 2, 3, 4)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig5_trajectories", fig5_trajectories.report(result))
+    true_final = {k: float(np.asarray(v)[-1]) for k, v in result["true"].items()}
+    sim_final = {k: float(np.asarray(v)[-1]) for k, v in result["simulated"].items()}
+    # Guided optimizers beat random search in both worlds.
+    assert true_final["RE"] >= true_final["RS"]
+    assert sim_final["RE"] >= sim_final["RS"]
+    assert sim_final["REINFORCE"] >= sim_final["RS"] - 0.002

@@ -1,0 +1,33 @@
+"""Bench: Figure 6 — true evaluation of searched models vs known baselines.
+
+Paper shape: the searched pareto picks, re-trained with the reference scheme
+and measured on-device, compare favourably against EfficientNet-B0-class
+baselines — e.g. the paper's vck190 pick gains +1.8% accuracy and +55%
+throughput over B0 on the VCK190.
+"""
+
+from conftest import BENCH_BUDGET, emit
+
+from repro.experiments import fig4_biobjective, fig6_evaluation
+
+
+def test_fig6(benchmark, ctx, shared_results):
+    def run():
+        fig4_result = shared_results.get("fig4")
+        if fig4_result is None:
+            fig4_result = fig4_biobjective.run(ctx=ctx, budget=BENCH_BUDGET)
+            shared_results["fig4"] = fig4_result
+        return fig6_evaluation.run(ctx=ctx, fig4_result=fig4_result)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig6_evaluation", fig6_evaluation.report(result))
+    assert len(result["panels"]) == 6
+    dominated_panels = 0
+    for key, panel in result["panels"].items():
+        head = panel["headline_vs_b0"]
+        assert head is not None, key
+        if head["dominates_b0"]:
+            dominated_panels += 1
+    # On most devices a searched pick should dominate EfficientNet-B0
+    # outright (the FPGA panels are the paper's headline examples).
+    assert dominated_panels >= 4

@@ -1,0 +1,46 @@
+"""Bench: the zero-cost claim — benchmark queries answer in milliseconds.
+
+The paper's pitch is that a surrogate query replaces hours of training and
+measurement "within a few milliseconds".  This is the one true
+microbenchmark in the harness: pytest-benchmark statistics over repeated
+single-architecture queries.
+"""
+
+import pytest
+
+from repro.searchspace.mnasnet import MnasNetSearchSpace
+
+
+@pytest.fixture(scope="module")
+def built(ctx):
+    bench = ctx.benchmark()
+    space = MnasNetSearchSpace(seed=99)
+    archs = space.sample_batch(64, unique=True)
+    return bench, archs
+
+
+def test_accuracy_query_latency(benchmark, built):
+    bench, archs = built
+    state = {"i": 0}
+
+    def query():
+        state["i"] = (state["i"] + 1) % len(archs)
+        return bench.query_accuracy(archs[state["i"]])
+
+    value = benchmark(query)
+    assert 0.5 < value < 0.9
+    # Zero-cost: well under 50 ms per query even in pure Python.
+    assert benchmark.stats["mean"] < 0.05
+
+
+def test_biobjective_query_latency(benchmark, built):
+    bench, archs = built
+    state = {"i": 0}
+
+    def query():
+        state["i"] = (state["i"] + 1) % len(archs)
+        return bench.query(archs[state["i"]], device="vck190")
+
+    result = benchmark(query)
+    assert result.performance > 0
+    assert benchmark.stats["mean"] < 0.1

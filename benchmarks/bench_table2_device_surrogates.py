@@ -1,0 +1,21 @@
+"""Bench: Table 2 — XGB test performance on all ANB-{device}-{metric} sets.
+
+Paper shape: every device surrogate is strong (R2 >= .975, tau >= .905);
+FPGA latency targets are the easiest, TPU throughput the hardest.
+"""
+
+from conftest import emit
+
+from repro.experiments import tab2_device_surrogates
+
+
+def test_table2(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: tab2_device_surrogates.run(ctx=ctx), rounds=1, iterations=1
+    )
+    emit("table2_device_surrogates", tab2_device_surrogates.report(result))
+    rows = result["rows"]
+    assert len(rows) == 8
+    for key, row in rows.items():
+        assert row["r2"] > 0.75, key
+        assert row["kendall"] > 0.75, key

@@ -1,0 +1,46 @@
+"""Shared state for the benchmark harness.
+
+Scale knobs (environment variables):
+
+``ANB_BENCH_ARCHS``   dataset size for surrogate benches (default 2600;
+                      the paper uses 5200 — set that for paper scale).
+``ANB_BENCH_BUDGET``  search-evaluation budget for Fig. 4/5 (default 800;
+                      paper-scale runs use 2000+).
+
+Each bench runs its experiment once (``benchmark.pedantic`` with a single
+round — these are minutes-long experiment regenerations, not microbenchmarks),
+prints the paper-style table/series, and writes it to ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+BENCH_ARCHS = int(os.environ.get("ANB_BENCH_ARCHS", "2600"))
+BENCH_BUDGET = int(os.environ.get("ANB_BENCH_BUDGET", "800"))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """One shared dataset collection / benchmark build for the whole run."""
+    return ExperimentContext(num_archs=BENCH_ARCHS)
+
+
+@pytest.fixture(scope="session")
+def shared_results() -> dict:
+    """Cross-bench result hand-off (Fig. 6 consumes Fig. 4's picks)."""
+    return {}
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench report and persist it under results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,59 @@
+"""Why FLOPs is a bad proxy: device-specific model rankings.
+
+Measures a set of random architectures on all six simulated accelerators and
+shows (a) the Kendall tau between FLOPs-based ranking and each device's true
+throughput ranking, and (b) the cross-device rank agreement matrix.  The
+punchline — the motivation for accelerator-aware benchmarks — is that devices
+disagree with FLOPs *and with each other*, so the optimal model is
+device-contingent.
+
+Run:  python examples/device_ranking_study.py
+"""
+
+import numpy as np
+
+from repro.core.metrics import kendall_tau
+from repro.hwsim import MeasurementHarness, get_device, list_devices
+from repro.nn import count_graph
+from repro.searchspace import MnasNetSearchSpace, build_model
+
+NUM_ARCHS = 120
+
+
+def main() -> None:
+    space = MnasNetSearchSpace(seed=11)
+    archs = space.sample_batch(NUM_ARCHS, unique=True)
+    flops = np.asarray([count_graph(build_model(a)).flops for a in archs])
+    # Negate: fewer FLOPs should mean more throughput if FLOPs were a proxy.
+    flops_rank_proxy = -flops
+
+    throughput = {}
+    for device in list_devices():
+        harness = MeasurementHarness(get_device(device))
+        throughput[device] = np.asarray(
+            [harness.measure_throughput(a) for a in archs]
+        )
+
+    print(f"Rank correlation of -FLOPs vs device throughput ({NUM_ARCHS} archs):")
+    for device, values in throughput.items():
+        tau = kendall_tau(flops_rank_proxy, values)
+        print(f"  {device:8s} tau = {tau:5.2f}")
+
+    devices = list(throughput)
+    print("\nCross-device throughput rank agreement (Kendall tau):")
+    header = "          " + " ".join(f"{d:>8s}" for d in devices)
+    print(header)
+    for d1 in devices:
+        row = " ".join(
+            f"{kendall_tau(throughput[d1], throughput[d2]):8.2f}" for d2 in devices
+        )
+        print(f"  {d1:8s}{row}")
+
+    print("\nPer-device best architecture (highest measured throughput):")
+    for device, values in throughput.items():
+        best = archs[int(np.argmax(values))]
+        print(f"  {device:8s} {best.to_string()}")
+
+
+if __name__ == "__main__":
+    main()

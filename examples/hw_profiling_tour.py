@@ -1,0 +1,47 @@
+"""Hardware profiling tour: why the same model behaves differently per device.
+
+Profiles EfficientNet-B0 on a GPU, a TPU and both FPGAs — per-operator-class
+time breakdown and boundedness — then sweeps the serving batch size on each
+device to find its throughput knee.  This is the deployment-engineer's view
+that motivates accelerator-aware search.
+
+Run:  python examples/hw_profiling_tour.py
+"""
+
+from repro.hwsim import get_device
+from repro.hwsim.batch_sweep import sweep_batches
+from repro.hwsim.profile import profile_arch
+from repro.searchspace.baselines import EFFICIENTNET_B0
+
+DEVICES = ("a100", "tpuv3", "zcu102", "vck190")
+
+
+def main() -> None:
+    arch = EFFICIENTNET_B0.arch
+    print(f"Model: EfficientNet-B0 ({arch.to_string()})\n")
+
+    for name in DEVICES:
+        device = get_device(name)
+        print(profile_arch(arch, device).report(k=3))
+        print()
+
+    print("Batch-size knees (smallest batch at 90% of saturated throughput):")
+    for name in DEVICES:
+        sweep = sweep_batches(arch, get_device(name))
+        knee = sweep.knee()
+        print(
+            f"  {name:8s} knee at batch {knee.batch:3d} "
+            f"({knee.throughput_ips:8.1f} img/s, {knee.latency_ms:7.2f} ms/batch; "
+            f"saturated {sweep.saturated_throughput:8.1f} img/s)"
+        )
+
+    print(
+        "\nReading: on the DPUs the squeeze-excite CPU fallback dominates and\n"
+        "the knee arrives almost immediately (the array is already busy); on\n"
+        "the GPU/TPU depthwise stages are bandwidth-bound and large batches\n"
+        "are needed to amortise launch/dispatch overheads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Quickstart: build a small Accel-NASBench and query it.
+
+Builds the benchmark from an 800-architecture collection (the paper uses
+5.2k; smaller keeps this example under a minute), then answers zero-cost
+queries: the accuracy of EfficientNet-B0, its predicted throughput on every
+accelerator, and a random architecture's bi-objective profile.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AccelNASBench, MnasNetSearchSpace, P_STAR
+from repro.searchspace.baselines import EFFICIENTNET_B0
+
+
+def main() -> None:
+    print("Building Accel-NASBench (800 archs, XGB surrogates)...")
+    bench, reports = AccelNASBench.build(P_STAR, num_archs=800)
+    print("\nSurrogate fit quality (test split):")
+    for report in reports:
+        print(f"  {report.dataset:18s} {report.row()}")
+
+    b0 = EFFICIENTNET_B0.arch
+    print(f"\nEfficientNet-B0 = {b0.to_string()}")
+    print(f"  predicted top-1 (proxy scheme): {bench.query_accuracy(b0):.4f}")
+    for device, metric in bench.targets:
+        value = bench.query_performance(b0, device, metric)
+        unit = "ms" if metric == "latency" else "img/s"
+        print(f"  predicted {metric:10s} on {device:8s}: {value:9.1f} {unit}")
+
+    space = MnasNetSearchSpace(seed=7)
+    arch = space.sample()
+    result = bench.query(arch, device="vck190", metric="throughput")
+    print(f"\nRandom arch {arch.to_string()}")
+    print(
+        f"  accuracy={result.accuracy:.4f}, "
+        f"vck190 throughput={result.performance:.1f} img/s"
+    )
+
+
+if __name__ == "__main__":
+    main()

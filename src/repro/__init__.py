@@ -1,0 +1,48 @@
+"""Accel-NASBench reproduction: sustainable benchmarking for accelerator-aware NAS.
+
+Reproduction of Ahmad et al., "Accel-NASBench: Sustainable Benchmarking for
+Accelerator-Aware NAS" (DAC 2024).  The package provides:
+
+* :mod:`repro.searchspace` — the MnasNet search space (~1e11 models),
+* :mod:`repro.nn` — a shape-aware network IR with FLOPs/params/memory counters,
+* :mod:`repro.trainsim` — a simulated ImageNet training substrate,
+* :mod:`repro.hwsim` — analytical GPU/TPU/FPGA inference performance models,
+* :mod:`repro.surrogates` — from-scratch XGB/LGB/RF/SVR regressors,
+* :mod:`repro.hpo` — ConfigSpace + SMAC-lite hyperparameter optimisation,
+* :mod:`repro.core` — proxy search, dataset collection, surrogate fitting and
+  the :class:`~repro.core.benchmark.AccelNASBench` zero-cost query interface,
+* :mod:`repro.optimizers` — RS / RE / REINFORCE NAS optimizers (uni/bi-objective),
+* :mod:`repro.experiments` — one runner per paper table and figure.
+
+Quickstart::
+
+    from repro import AccelNASBench, ArchSpec, P_STAR
+
+    bench, reports = AccelNASBench.build(P_STAR, num_archs=800)
+    arch = ArchSpec.from_string(
+        "e1k3L1se1|e6k3L2se1|e6k5L2se1|e6k3L3se1|e6k5L3se1|e6k5L3se1|e6k3L1se1")
+    print(bench.query(arch, device="a100", metric="throughput"))
+"""
+
+from repro.core.benchmark import AccelNASBench
+from repro.core.proxy_search import ProxySearchResult, TrainingProxySearch
+from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
+from repro.trainsim.schemes import (
+    P_STAR,
+    REFERENCE_SCHEME,
+    TrainingScheme,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccelNASBench",
+    "ArchSpec",
+    "MnasNetSearchSpace",
+    "P_STAR",
+    "ProxySearchResult",
+    "REFERENCE_SCHEME",
+    "TrainingProxySearch",
+    "TrainingScheme",
+    "__version__",
+]

@@ -1,0 +1,179 @@
+"""Command-line interface for Accel-NASBench.
+
+Subcommands::
+
+    python -m repro.cli build --out anb.json --num-archs 800
+    python -m repro.cli query --bench anb.json --arch "e1k3L1se1|..." \
+        --device vck190 --metric throughput
+    python -m repro.cli search --bench anb.json --device zcu102 \
+        --metric latency --target 6.0 --budget 500
+    python -m repro.cli proxy-search --t-spec 3.0
+    python -m repro.cli experiment table1 --num-archs 1000
+    python -m repro.cli devices
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.benchmark import AccelNASBench
+from repro.experiments import (
+    fig3_proxy_validation,
+    fig4_biobjective,
+    fig5_trajectories,
+    fig6_evaluation,
+    proxy_search_run,
+    tab1_acc_surrogates,
+    tab2_device_surrogates,
+)
+from repro.experiments.common import ExperimentContext, save_result
+from repro.hwsim.registry import DEVICE_METRICS
+from repro.optimizers import Reinforce
+from repro.searchspace.mnasnet import ArchSpec
+from repro.trainsim.schemes import P_STAR
+
+EXPERIMENTS = {
+    "proxy-search": (proxy_search_run, False),
+    "fig3": (fig3_proxy_validation, False),
+    "table1": (tab1_acc_surrogates, True),
+    "table2": (tab2_device_surrogates, True),
+    "fig4": (fig4_biobjective, True),
+    "fig5": (fig5_trajectories, True),
+    "fig6": (fig6_evaluation, True),
+}
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    bench, reports = AccelNASBench.build(P_STAR, num_archs=args.num_archs)
+    for report in reports:
+        print(f"{report.dataset:20s} {report.row()}")
+    bench.save(args.out)
+    print(f"saved benchmark to {args.out}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    bench = AccelNASBench.load(args.bench)
+    arch = ArchSpec.from_string(args.arch)
+    result = bench.query(arch, device=args.device, metric=args.metric)
+    payload = {
+        "arch": arch.to_string(),
+        "accuracy": result.accuracy,
+        "performance": result.performance,
+        "device": result.device,
+        "metric": result.metric,
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    bench = AccelNASBench.load(args.bench)
+    optimizer = Reinforce(seed=args.seed)
+    result = optimizer.run_biobjective(
+        accuracy_fn=bench.query_accuracy,
+        perf_fn=lambda a: bench.query_performance(a, args.device, args.metric),
+        target=args.target,
+        budget=args.budget,
+        metric=args.metric,
+        device=args.device,
+    )
+    unit = "ms" if args.metric == "latency" else "img/s"
+    print(f"pareto front ({len(result.pareto_indices())} points):")
+    for arch, acc, perf in result.pareto_points():
+        print(f"  acc={acc:.4f} perf={perf:10.1f} {unit}  {arch.to_string()}")
+    return 0
+
+
+def _cmd_proxy_search(args: argparse.Namespace) -> int:
+    result = proxy_search_run.run(t_spec=args.t_spec, early_stop_tau=args.tau)
+    print(proxy_search_run.report(result))
+    return 0
+
+
+def _run_one_experiment(name: str, ctx: ExperimentContext | None, save: bool) -> None:
+    module, needs_ctx = EXPERIMENTS[name]
+    result = module.run(ctx=ctx) if needs_ctx else module.run()
+    print(module.report(result))
+    if save:
+        path = save_result(result, name.replace("-", "_"))
+        print(f"\nsaved result to {path}")
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "all":
+        ctx = ExperimentContext(num_archs=args.num_archs)
+        for name in EXPERIMENTS:
+            print(f"\n===== {name} =====")
+            _run_one_experiment(name, ctx, args.save)
+        return 0
+    ctx = (
+        ExperimentContext(num_archs=args.num_archs)
+        if EXPERIMENTS[args.name][1]
+        else None
+    )
+    _run_one_experiment(args.name, ctx, args.save)
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    for device, metrics in DEVICE_METRICS.items():
+        print(f"{device:10s} {', '.join(metrics)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Accel-NASBench reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="collect datasets and fit the benchmark")
+    p.add_argument("--out", default="anb.json")
+    p.add_argument("--num-archs", type=int, default=800)
+    p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser("query", help="zero-cost query of a saved benchmark")
+    p.add_argument("--bench", required=True)
+    p.add_argument("--arch", required=True, help="canonical arch string")
+    p.add_argument("--device", default=None)
+    p.add_argument("--metric", default="throughput")
+    p.set_defaults(fn=_cmd_query)
+
+    p = sub.add_parser("search", help="bi-objective REINFORCE on a benchmark")
+    p.add_argument("--bench", required=True)
+    p.add_argument("--device", required=True)
+    p.add_argument("--metric", default="throughput")
+    p.add_argument("--target", type=float, required=True)
+    p.add_argument("--budget", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_search)
+
+    p = sub.add_parser("proxy-search", help="run the Eq. 1 proxy grid search")
+    p.add_argument("--t-spec", type=float, default=3.0)
+    p.add_argument("--tau", type=float, default=0.94)
+    p.set_defaults(fn=_cmd_proxy_search)
+
+    p = sub.add_parser("experiment", help="run a paper table/figure (or 'all')")
+    p.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    p.add_argument("--num-archs", type=int, default=1000)
+    p.add_argument("--save", action="store_true")
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("devices", help="list supported devices and metrics")
+    p.set_defaults(fn=_cmd_devices)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The paper's core contribution: proxy search, dataset collection,
+surrogate fitting, and the Accel-NASBench zero-cost query interface."""
+
+from repro.core.metrics import kendall_tau, mae, r2_score, rmse, spearman_rho
+from repro.core.pareto import (
+    crowding_distance,
+    hypervolume_2d,
+    pareto_front,
+    pareto_front_indices,
+)
+from repro.core.dataset import (
+    BenchmarkDataset,
+    collect_accuracy_dataset,
+    collect_device_dataset,
+    train_val_test_split,
+)
+from repro.core.proxy_search import ProxySearchResult, TrainingProxySearch
+from repro.core.surrogate_fit import FitReport, SurrogateFitter
+from repro.core.benchmark import AccelNASBench
+
+__all__ = [
+    "AccelNASBench",
+    "BenchmarkDataset",
+    "FitReport",
+    "ProxySearchResult",
+    "SurrogateFitter",
+    "TrainingProxySearch",
+    "collect_accuracy_dataset",
+    "collect_device_dataset",
+    "crowding_distance",
+    "hypervolume_2d",
+    "kendall_tau",
+    "mae",
+    "pareto_front",
+    "pareto_front_indices",
+    "r2_score",
+    "rmse",
+    "spearman_rho",
+    "train_val_test_split",
+]

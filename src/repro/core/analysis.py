@@ -1,0 +1,138 @@
+"""Benchmark validation analysis: how trustworthy are the surrogates?
+
+Surrogate NAS benchmarks are judged not only by global test metrics but by
+how well they rank *the region optimizers actually visit* — the top of the
+space.  This module provides the analyses used to validate Accel-NASBench
+beyond Table 1/2:
+
+* :func:`prediction_report` — global R^2 / tau / MAE of a benchmark against
+  fresh simulated ground truth (never-seen architectures),
+* :func:`topk_overlap` — fraction of the true top-k the surrogate recovers,
+* :func:`decile_taus` — rank correlation within each true-accuracy decile
+  (surrogates are typically weakest in the dense middle),
+* :func:`regret_curve` — true quality of the surrogate's chosen top
+  architectures vs the true optimum (the quantity a NAS user cares about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import kendall_tau, mae, r2_score
+from repro.searchspace.mnasnet import ArchSpec
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """Global fidelity of predictions against ground truth.
+
+    Attributes:
+        n: Number of architectures compared.
+        r2: Coefficient of determination.
+        kendall: Kendall tau rank correlation.
+        mae: Mean absolute error.
+        top10_overlap: Fraction of the true top-10% recovered in the
+            predicted top-10%.
+    """
+
+    n: int
+    r2: float
+    kendall: float
+    mae: float
+    top10_overlap: float
+
+    def row(self) -> str:
+        """One-line summary."""
+        return (
+            f"n={self.n}  R2={self.r2:.3f}  tau={self.kendall:.3f}  "
+            f"MAE={self.mae:.2e}  top10-overlap={self.top10_overlap:.2f}"
+        )
+
+
+def topk_overlap(true_values, predicted_values, k: int) -> float:
+    """|true top-k  intersect  predicted top-k| / k (higher is better)."""
+    true_values = np.asarray(true_values)
+    predicted_values = np.asarray(predicted_values)
+    if not 1 <= k <= len(true_values):
+        raise ValueError(f"k={k} out of range for {len(true_values)} points")
+    true_top = set(np.argsort(true_values)[-k:].tolist())
+    pred_top = set(np.argsort(predicted_values)[-k:].tolist())
+    return len(true_top & pred_top) / k
+
+
+def prediction_report(true_values, predicted_values) -> PredictionReport:
+    """Compute a :class:`PredictionReport` from parallel value arrays."""
+    true_values = np.asarray(true_values, dtype=float)
+    predicted_values = np.asarray(predicted_values, dtype=float)
+    if true_values.shape != predicted_values.shape:
+        raise ValueError("true and predicted lengths differ")
+    n = len(true_values)
+    k = max(1, n // 10)
+    return PredictionReport(
+        n=n,
+        r2=r2_score(true_values, predicted_values),
+        kendall=kendall_tau(true_values, predicted_values),
+        mae=mae(true_values, predicted_values),
+        top10_overlap=topk_overlap(true_values, predicted_values, k),
+    )
+
+
+def decile_taus(true_values, predicted_values) -> list[float]:
+    """Kendall tau within each decile of the *true* value distribution.
+
+    Returns ten values, lowest decile first.  Within-decile spread is small,
+    so these are naturally lower than the global tau; the informative signal
+    is the *profile* (e.g. a benchmark that is only good at separating bad
+    models from good ones, but shuffles the top decile, is dangerous).
+    """
+    true_values = np.asarray(true_values, dtype=float)
+    predicted_values = np.asarray(predicted_values, dtype=float)
+    if len(true_values) < 30:
+        raise ValueError("need at least 30 points for a decile analysis")
+    order = np.argsort(true_values)
+    taus = []
+    for decile in range(10):
+        lo = int(round(decile * len(order) / 10))
+        hi = int(round((decile + 1) * len(order) / 10))
+        idx = order[lo:hi]
+        taus.append(kendall_tau(true_values[idx], predicted_values[idx]))
+    return taus
+
+
+def regret_curve(
+    true_values, predicted_values, ks: tuple[int, ...] = (1, 5, 10, 25)
+) -> dict[int, float]:
+    """Simple regret of trusting the surrogate's top-k picks.
+
+    For each k: ``max(true) - max(true over the predicted top-k)``, i.e. how
+    much true quality a user loses by selecting the surrogate's best k
+    candidates instead of the genuine optimum.  Zero is perfect.
+    """
+    true_values = np.asarray(true_values, dtype=float)
+    predicted_values = np.asarray(predicted_values, dtype=float)
+    best = float(true_values.max())
+    out = {}
+    for k in ks:
+        if k > len(true_values):
+            continue
+        picks = np.argsort(predicted_values)[-k:]
+        out[k] = best - float(true_values[picks].max())
+    return out
+
+
+def validate_benchmark(
+    bench,
+    trainer,
+    scheme,
+    archs: list[ArchSpec],
+) -> PredictionReport:
+    """End-to-end validation of a built benchmark on unseen architectures.
+
+    Ground truth is the trainer's noise-free expected accuracy under the
+    collection scheme (what infinitely-replicated training would measure).
+    """
+    predicted = bench.query_batch(archs)
+    true = [trainer.expected_top1(a, scheme) for a in archs]
+    return prediction_report(true, predicted)

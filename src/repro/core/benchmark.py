@@ -1,0 +1,193 @@
+"""Accel-NASBench: the zero-cost query interface.
+
+The benchmark bundles a fitted accuracy surrogate with fitted performance
+surrogates for every (device, metric) pair.  ``query`` answers in
+microseconds-to-milliseconds without any (simulated) training or device
+measurement — the "zero-cost evaluation" of the paper's Fig. 1.
+
+Construction (:meth:`AccelNASBench.build`) runs the full pipeline: sample the
+dataset architectures, collect ANB-Acc with the proxy scheme and
+ANB-{device}-{metric} on each simulated accelerator, and fit an XGB surrogate
+(the paper's final choice) per target.  Built benchmarks can be saved to /
+loaded from a JSON file, mirroring the released artefact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.dataset import (
+    BenchmarkDataset,
+    collect_accuracy_dataset,
+    collect_device_dataset,
+    sample_dataset_archs,
+)
+from repro.core.surrogate_fit import FitReport, SurrogateFitter
+from repro.hwsim.registry import DEVICE_METRICS
+from repro.searchspace.features import FeatureEncoder
+from repro.searchspace.mnasnet import ArchSpec
+from repro.surrogates import Regressor, regressor_from_dict, regressor_to_dict
+from repro.trainsim.schemes import TrainingScheme
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A bi-objective benchmark answer for one architecture."""
+
+    arch: ArchSpec
+    accuracy: float
+    performance: float | None
+    device: str | None
+    metric: str | None
+
+
+class AccelNASBench:
+    """Queryable surrogate benchmark over the MnasNet/ImageNet space.
+
+    Instances are usually obtained via :meth:`build` (fit from freshly
+    collected datasets) or :meth:`load` (deserialise a saved benchmark).
+    """
+
+    def __init__(
+        self,
+        accuracy_model: Regressor,
+        perf_models: dict[tuple[str, str], Regressor],
+        encoder: FeatureEncoder,
+        meta: dict | None = None,
+    ) -> None:
+        self._accuracy_model = accuracy_model
+        self._perf_models = dict(perf_models)
+        self._encoder = encoder
+        self.meta = meta if meta is not None else {}
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(
+        cls,
+        scheme: TrainingScheme,
+        num_archs: int = 5200,
+        devices: dict[str, tuple[str, ...]] | None = None,
+        sample_seed: int = 0,
+        fitter: SurrogateFitter | None = None,
+        family: str = "xgb",
+    ) -> tuple["AccelNASBench", list[FitReport]]:
+        """Collect datasets and fit surrogates; return (benchmark, reports).
+
+        Args:
+            scheme: Proxy training scheme ``p*`` for the accuracy dataset.
+            num_archs: Dataset size (paper: ~5.2k).
+            devices: Mapping device -> metrics to benchmark; defaults to the
+                paper's full suite (throughput everywhere, latency on FPGAs).
+            sample_seed: Seed of the shared architecture sample.
+            fitter: Fitting pipeline; defaults to no-HPO hand-tuned params.
+            family: Surrogate family for all targets (paper: XGB).
+        """
+        devices = devices if devices is not None else dict(DEVICE_METRICS)
+        fitter = fitter if fitter is not None else SurrogateFitter()
+        archs = sample_dataset_archs(num_archs, seed=sample_seed)
+        reports: list[FitReport] = []
+
+        acc_dataset = collect_accuracy_dataset(archs, scheme)
+        acc_report = fitter.fit(acc_dataset, family)
+        reports.append(acc_report)
+
+        perf_models: dict[tuple[str, str], Regressor] = {}
+        for device, metrics in devices.items():
+            for metric in metrics:
+                dataset = collect_device_dataset(archs, device, metric)
+                report = fitter.fit(dataset, family)
+                reports.append(report)
+                perf_models[(device, metric)] = report.model
+
+        bench = cls(
+            accuracy_model=acc_report.model,
+            perf_models=perf_models,
+            encoder=fitter.encoder,
+            meta={
+                "scheme": scheme.to_dict(),
+                "num_archs": num_archs,
+                "family": family,
+                "sample_seed": sample_seed,
+            },
+        )
+        return bench, reports
+
+    # ------------------------------------------------------------------ query
+
+    @property
+    def targets(self) -> list[tuple[str, str]]:
+        """Available (device, metric) performance targets."""
+        return sorted(self._perf_models)
+
+    def query_accuracy(self, arch: ArchSpec) -> float:
+        """Predicted top-1 accuracy under the proxy training scheme."""
+        X = self._encoder.encode([arch])
+        return float(self._accuracy_model.predict(X)[0])
+
+    def query_performance(self, arch: ArchSpec, device: str, metric: str) -> float:
+        """Predicted on-device performance (img/s or ms)."""
+        key = (device, metric)
+        if key not in self._perf_models:
+            raise KeyError(
+                f"no surrogate for {key}; available: {self.targets}"
+            )
+        X = self._encoder.encode([arch])
+        return float(self._perf_models[key].predict(X)[0])
+
+    def query(
+        self,
+        arch: ArchSpec,
+        device: str | None = None,
+        metric: str = "throughput",
+    ) -> QueryResult:
+        """Bi-objective query: accuracy plus optional device performance."""
+        perf = (
+            self.query_performance(arch, device, metric)
+            if device is not None
+            else None
+        )
+        return QueryResult(
+            arch=arch,
+            accuracy=self.query_accuracy(arch),
+            performance=perf,
+            device=device,
+            metric=metric if device is not None else None,
+        )
+
+    def query_batch(self, archs: list[ArchSpec]) -> list[float]:
+        """Vectorised accuracy query for many architectures."""
+        X = self._encoder.encode(archs)
+        return [float(v) for v in self._accuracy_model.predict(X)]
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: str | Path) -> None:
+        """Serialise the whole benchmark (all surrogates) to JSON."""
+        payload = {
+            "meta": self.meta,
+            "encoding": self._encoder.encoding,
+            "accuracy_model": regressor_to_dict(self._accuracy_model),
+            "perf_models": {
+                f"{device}|{metric}": regressor_to_dict(model)
+                for (device, metric), model in self._perf_models.items()
+            },
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "AccelNASBench":
+        """Load a benchmark saved with :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        perf_models = {}
+        for key, model_dict in payload["perf_models"].items():
+            device, metric = key.split("|", 1)
+            perf_models[(device, metric)] = regressor_from_dict(model_dict)
+        return cls(
+            accuracy_model=regressor_from_dict(payload["accuracy_model"]),
+            perf_models=perf_models,
+            encoder=FeatureEncoder(payload["encoding"]),
+            meta=payload.get("meta", {}),
+        )

@@ -1,0 +1,166 @@
+"""Benchmark dataset collection (paper section 3.3.1-3.3.2).
+
+``collect_accuracy_dataset`` reproduces the ANB-Acc pipeline: train ~5.2k
+randomly sampled architectures with the searched proxy scheme ``p*`` and
+record their top-1 accuracy.  ``collect_device_dataset`` reproduces the
+ANB-{device}-{metric} pipeline: measure each architecture end-to-end on a
+simulated accelerator through the warmup/averaging measurement harness.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.hwsim.measure import MeasurementHarness
+from repro.hwsim.registry import get_device, supports_metric
+from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
+from repro.trainsim.schemes import TrainingScheme
+from repro.trainsim.trainer import SimulatedTrainer
+
+METRICS = ("accuracy", "throughput", "latency")
+
+
+@dataclass
+class BenchmarkDataset:
+    """A named set of ``(architecture, value)`` pairs.
+
+    Attributes:
+        name: Dataset identifier, e.g. ``"ANB-Acc"`` or ``"ANB-zcu102-Thr"``.
+        metric: One of :data:`METRICS`.
+        archs: Architectures, parallel to ``values``.
+        values: Measured metric values.
+        meta: Collection provenance (scheme, device, seeds...).
+    """
+
+    name: str
+    metric: str
+    archs: list[ArchSpec]
+    values: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if len(self.archs) != len(self.values):
+            raise ValueError(
+                f"{self.name}: {len(self.archs)} archs vs {len(self.values)} values"
+            )
+        if self.metric not in METRICS:
+            raise ValueError(f"{self.name}: unknown metric {self.metric!r}")
+
+    def __len__(self) -> int:
+        return len(self.archs)
+
+    def to_json(self, path: str | Path) -> None:
+        """Persist to a JSON file."""
+        payload = {
+            "name": self.name,
+            "metric": self.metric,
+            "archs": [a.to_string() for a in self.archs],
+            "values": self.values.tolist(),
+            "meta": self.meta,
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "BenchmarkDataset":
+        """Load a dataset persisted by :meth:`to_json`."""
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            name=payload["name"],
+            metric=payload["metric"],
+            archs=[ArchSpec.from_string(s) for s in payload["archs"]],
+            values=np.asarray(payload["values"]),
+            meta=payload.get("meta", {}),
+        )
+
+
+def sample_dataset_archs(
+    n: int, seed: int = 0, space: MnasNetSearchSpace | None = None
+) -> list[ArchSpec]:
+    """The canonical random architecture sample shared by all datasets.
+
+    The paper measures the *same* 5.2k architectures for accuracy and for
+    every device, so all collection functions should draw from here with the
+    same seed.
+    """
+    space = space if space is not None else MnasNetSearchSpace()
+    rng = np.random.default_rng(seed)
+    return space.sample_batch(n, rng=rng, unique=True)
+
+
+def collect_accuracy_dataset(
+    archs: list[ArchSpec],
+    scheme: TrainingScheme,
+    trainer: SimulatedTrainer | None = None,
+    seed: int = 0,
+    name: str = "ANB-Acc",
+) -> BenchmarkDataset:
+    """Train every architecture once under ``scheme``; return ANB-Acc."""
+    trainer = trainer if trainer is not None else SimulatedTrainer()
+    values = np.asarray(
+        [trainer.train(arch, scheme, seed=seed).top1 for arch in archs]
+    )
+    return BenchmarkDataset(
+        name=name,
+        metric="accuracy",
+        archs=list(archs),
+        values=values,
+        meta={"scheme": scheme.to_dict(), "seed": seed},
+    )
+
+
+def collect_device_dataset(
+    archs: list[ArchSpec],
+    device_name: str,
+    metric: str = "throughput",
+    name: str | None = None,
+) -> BenchmarkDataset:
+    """Measure every architecture on a device; return ANB-{device}-{metric}.
+
+    Raises:
+        ValueError: If the device does not support the metric (latency is
+            FPGA-only in the paper's suite).
+    """
+    if not supports_metric(device_name, metric):
+        raise ValueError(f"device {device_name!r} does not support {metric!r}")
+    harness = MeasurementHarness(get_device(device_name))
+    if metric == "throughput":
+        values = np.asarray([harness.measure_throughput(a) for a in archs])
+        suffix = "Thr"
+    else:
+        values = np.asarray([harness.measure_latency(a) for a in archs])
+        suffix = "Lat"
+    return BenchmarkDataset(
+        name=name if name is not None else f"ANB-{device_name}-{suffix}",
+        metric=metric,
+        archs=list(archs),
+        values=values,
+        meta={"device": device_name, "protocol": vars(harness.protocol)},
+    )
+
+
+def train_val_test_split(
+    n: int,
+    ratios: tuple[float, float, float] = (0.8, 0.1, 0.1),
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled index split with the paper's 0.8/0.1/0.1 default ratios."""
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must sum to 1, got {ratios}")
+    if n < 3:
+        raise ValueError("need at least 3 samples to split three ways")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    n_train = int(round(ratios[0] * n))
+    n_val = int(round(ratios[1] * n))
+    n_train = max(1, min(n_train, n - 2))
+    n_val = max(1, min(n_val, n - n_train - 1))
+    return (
+        perm[:n_train],
+        perm[n_train : n_train + n_val],
+        perm[n_train + n_val :],
+    )

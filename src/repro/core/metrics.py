@@ -1,0 +1,138 @@
+"""Evaluation metrics: Kendall tau, Spearman rho, R^2, MAE, RMSE.
+
+Kendall's tau-b is implemented with the O(n log n) Knight algorithm
+(merge-sort inversion counting) rather than the naive O(n^2) pair scan, since
+the library computes tau over thousands of points inside search loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_pair(a, b) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"length mismatch: {a.shape} vs {b.shape}")
+    if a.size < 2:
+        raise ValueError("need at least two observations")
+    if not (np.all(np.isfinite(a)) and np.all(np.isfinite(b))):
+        raise ValueError("inputs must be finite")
+    return a, b
+
+
+def _merge_count(values: np.ndarray) -> int:
+    """Number of inversions in ``values`` via iterative merge sort."""
+    n = len(values)
+    arr = values.copy()
+    buf = np.empty_like(arr)
+    inversions = 0
+    width = 1
+    while width < n:
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            i, j, k = lo, mid, lo
+            while i < mid and j < hi:
+                if arr[i] <= arr[j]:
+                    buf[k] = arr[i]
+                    i += 1
+                else:
+                    buf[k] = arr[j]
+                    j += 1
+                    inversions += mid - i
+                k += 1
+            while i < mid:
+                buf[k] = arr[i]
+                i += 1
+                k += 1
+            while j < hi:
+                buf[k] = arr[j]
+                j += 1
+                k += 1
+        arr, buf = buf, arr
+        width *= 2
+    return inversions
+
+
+def _tie_count(sorted_values: np.ndarray) -> int:
+    """Sum over tie groups of ``t * (t - 1) / 2``."""
+    _, counts = np.unique(sorted_values, return_counts=True)
+    return int(np.sum(counts * (counts - 1) // 2))
+
+
+def kendall_tau(a, b) -> float:
+    """Kendall's tau-b rank correlation (tie-corrected), in [-1, 1]."""
+    a, b = _check_pair(a, b)
+    n = len(a)
+    order = np.lexsort((b, a))
+    a_sorted, b_sorted = a[order], b[order]
+
+    # Discordant-ish count: inversions of b after sorting by a (ties in a
+    # handled by subtracting joint ties).
+    n0 = n * (n - 1) // 2
+    tie_a = _tie_count(a_sorted)
+    tie_b = _tie_count(np.sort(b))
+    # Joint ties: pairs tied in both a and b.
+    joint = np.lexsort((b, a))
+    pairs = np.stack([a[joint], b[joint]], axis=1)
+    _, joint_counts = np.unique(pairs, axis=0, return_counts=True)
+    tie_ab = int(np.sum(joint_counts * (joint_counts - 1) // 2))
+
+    swaps = _merge_count(b_sorted)
+    # Within groups tied in a, the b-values were sorted by lexsort, so those
+    # pairs contribute no swaps; they are neither concordant nor discordant.
+    concordant_minus_discordant = (n0 - tie_a - tie_b + tie_ab) - 2 * swaps
+    denom = np.sqrt((n0 - tie_a) * (n0 - tie_b))
+    if denom == 0:
+        return 0.0
+    return float(concordant_minus_discordant / denom)
+
+
+def spearman_rho(a, b) -> float:
+    """Spearman rank correlation (average ranks for ties)."""
+    a, b = _check_pair(a, b)
+    ra, rb = _average_ranks(a), _average_ranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt(np.sum(ra**2) * np.sum(rb**2))
+    if denom == 0:
+        return 0.0
+    return float(np.sum(ra * rb) / denom)
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.float64)
+    sorted_vals = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))

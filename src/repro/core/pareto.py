@@ -1,0 +1,123 @@
+"""Pareto-dominance utilities for bi-objective search results.
+
+Conventions: objectives are passed as an ``(n, m)`` matrix with a parallel
+``maximize`` boolean per column (e.g. accuracy is maximised, latency
+minimised).  Internally everything is flipped to maximisation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _as_max(points: np.ndarray, maximize: Sequence[bool]) -> np.ndarray:
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    if points.shape[1] != len(maximize):
+        raise ValueError(
+            f"{points.shape[1]} objectives but {len(maximize)} maximize flags"
+        )
+    signs = np.where(np.asarray(maximize, dtype=bool), 1.0, -1.0)
+    return points * signs
+
+
+def dominates(a, b, maximize: Sequence[bool]) -> bool:
+    """True if point ``a`` Pareto-dominates point ``b``."""
+    pair = _as_max(np.stack([np.asarray(a, float), np.asarray(b, float)]), maximize)
+    av, bv = pair[0], pair[1]
+    return bool(np.all(av >= bv) and np.any(av > bv))
+
+
+def pareto_front_indices(points, maximize: Sequence[bool]) -> np.ndarray:
+    """Indices of non-dominated points, sorted by the first objective.
+
+    Duplicated points are all kept (they dominate nobody and are dominated by
+    nobody among themselves).
+    """
+    pts = _as_max(points, maximize)
+    n = len(pts)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    # Sort by first objective desc, then second desc, etc. for an O(n log n)
+    # sweep in 2-D; fall back to O(n^2) for higher dimensions.
+    if pts.shape[1] == 2:
+        order = np.lexsort((-pts[:, 1], -pts[:, 0]))
+        best_second = -np.inf
+        keep = []
+        for idx in order:
+            if pts[idx, 1] > best_second:
+                keep.append(idx)
+                best_second = pts[idx, 1]
+            elif pts[idx, 1] == best_second:
+                # Equal in second objective: kept only if equal in first too
+                # (duplicate of the current frontier point).
+                if keep and np.all(pts[idx] == pts[keep[-1]]):
+                    keep.append(idx)
+        keep_arr = np.asarray(sorted(keep), dtype=np.int64)
+        return keep_arr
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        others = pts[mask]
+        strictly_better = np.all(others >= pts[i], axis=1) & np.any(
+            others > pts[i], axis=1
+        )
+        if strictly_better.any():
+            mask[i] = False
+    return np.nonzero(mask)[0].astype(np.int64)
+
+
+def pareto_front(points, maximize: Sequence[bool]) -> np.ndarray:
+    """Non-dominated points themselves (rows of ``points``)."""
+    points = np.asarray(points, dtype=np.float64)
+    return points[pareto_front_indices(points, maximize)]
+
+
+def crowding_distance(points, maximize: Sequence[bool]) -> np.ndarray:
+    """NSGA-II crowding distance of each point within its own set.
+
+    Boundary points of each objective get infinite distance.
+    """
+    pts = _as_max(points, maximize)
+    n, m = pts.shape
+    if n == 0:
+        return np.empty(0)
+    dist = np.zeros(n)
+    for j in range(m):
+        order = np.argsort(pts[:, j])
+        lo, hi = pts[order[0], j], pts[order[-1], j]
+        dist[order[0]] = dist[order[-1]] = np.inf
+        span = hi - lo
+        if span == 0:
+            continue
+        for k in range(1, n - 1):
+            dist[order[k]] += (pts[order[k + 1], j] - pts[order[k - 1], j]) / span
+    return dist
+
+
+def hypervolume_2d(points, reference, maximize: Sequence[bool]) -> float:
+    """Dominated hypervolume of a 2-D point set w.r.t. ``reference``.
+
+    The reference point must be dominated by every point that should
+    contribute; points not dominating the reference contribute nothing.
+    """
+    pts = _as_max(points, maximize)
+    ref = _as_max(np.asarray(reference, float)[None, :], maximize)[0]
+    if pts.shape[1] != 2:
+        raise ValueError("hypervolume_2d requires exactly two objectives")
+    front = pts[pareto_front_indices(pts, [True, True])]
+    front = front[np.all(front > ref, axis=1)]
+    if len(front) == 0:
+        return 0.0
+    front = front[np.argsort(-front[:, 0])]
+    volume = 0.0
+    prev_y = ref[1]
+    for x, y in front:
+        if y > prev_y:
+            volume += (x - ref[0]) * (y - prev_y)
+            prev_y = y
+    return float(volume)

@@ -1,0 +1,145 @@
+"""Release tooling: collect, persist, and reload the full ANB dataset suite.
+
+The released Accel-NASBench artefact consists of the raw datasets (ANB-Acc
+plus eight ANB-{device}-{metric} files), the fitted benchmark, and a manifest
+describing the collection provenance.  :class:`BenchmarkSuite` produces that
+directory layout, so a "release" is a single call — and downstream users can
+refit surrogates from the raw datasets without re-simulating collection.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.benchmark import AccelNASBench
+from repro.core.dataset import (
+    BenchmarkDataset,
+    collect_accuracy_dataset,
+    collect_device_dataset,
+    sample_dataset_archs,
+)
+from repro.core.surrogate_fit import FitReport, SurrogateFitter
+from repro.hwsim.registry import DEVICE_METRICS
+from repro.trainsim.schemes import TrainingScheme
+from repro.trainsim.trainer import SimulatedTrainer
+
+MANIFEST_NAME = "manifest.json"
+BENCHMARK_NAME = "accel_nasbench.json"
+
+
+@dataclass
+class BenchmarkSuite:
+    """The full set of released artefacts.
+
+    Attributes:
+        datasets: All collected datasets, keyed by dataset name.
+        benchmark: The fitted query interface.
+        reports: Fit-quality reports, parallel to the fitted surrogates.
+        manifest: Provenance (scheme, sizes, device list, fit metrics).
+    """
+
+    datasets: dict[str, BenchmarkDataset]
+    benchmark: AccelNASBench
+    reports: list[FitReport]
+    manifest: dict
+
+    @classmethod
+    def collect(
+        cls,
+        scheme: TrainingScheme,
+        num_archs: int = 5200,
+        devices: dict[str, tuple[str, ...]] | None = None,
+        sample_seed: int = 0,
+        fitter: SurrogateFitter | None = None,
+        family: str = "xgb",
+        trainer: SimulatedTrainer | None = None,
+    ) -> "BenchmarkSuite":
+        """Run the full collection + fitting campaign."""
+        devices = devices if devices is not None else dict(DEVICE_METRICS)
+        fitter = fitter if fitter is not None else SurrogateFitter()
+        trainer = trainer if trainer is not None else SimulatedTrainer()
+        archs = sample_dataset_archs(num_archs, seed=sample_seed)
+
+        datasets: dict[str, BenchmarkDataset] = {}
+        reports: list[FitReport] = []
+        acc = collect_accuracy_dataset(archs, scheme, trainer=trainer)
+        datasets[acc.name] = acc
+        acc_report = fitter.fit(acc, family)
+        reports.append(acc_report)
+
+        perf_models = {}
+        for device, metrics in devices.items():
+            for metric in metrics:
+                ds = collect_device_dataset(archs, device, metric)
+                datasets[ds.name] = ds
+                report = fitter.fit(ds, family)
+                reports.append(report)
+                perf_models[(device, metric)] = report.model
+
+        benchmark = AccelNASBench(
+            accuracy_model=acc_report.model,
+            perf_models=perf_models,
+            encoder=fitter.encoder,
+            meta={
+                "scheme": scheme.to_dict(),
+                "num_archs": num_archs,
+                "family": family,
+                "sample_seed": sample_seed,
+            },
+        )
+        manifest = {
+            "num_archs": num_archs,
+            "scheme": scheme.to_dict(),
+            "family": family,
+            "sample_seed": sample_seed,
+            "devices": {d: list(m) for d, m in devices.items()},
+            "fit_reports": [
+                {
+                    "dataset": r.dataset,
+                    "family": r.family,
+                    "r2": r.r2,
+                    "kendall": r.kendall,
+                    "mae": r.mae,
+                }
+                for r in reports
+            ],
+        }
+        return cls(
+            datasets=datasets,
+            benchmark=benchmark,
+            reports=reports,
+            manifest=manifest,
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        """Write the release layout; returns the directory path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, dataset in self.datasets.items():
+            dataset.to_json(directory / f"{name}.json")
+        self.benchmark.save(directory / BENCHMARK_NAME)
+        (directory / MANIFEST_NAME).write_text(json.dumps(self.manifest, indent=2))
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "BenchmarkSuite":
+        """Reload a saved release directory.
+
+        Fit reports are reconstructed from the manifest (metrics only; the
+        fitted models live inside the benchmark artefact).
+        """
+        directory = Path(directory)
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        datasets = {}
+        for path in sorted(directory.glob("ANB-*.json")):
+            dataset = BenchmarkDataset.from_json(path)
+            datasets[dataset.name] = dataset
+        benchmark = AccelNASBench.load(directory / BENCHMARK_NAME)
+        return cls(
+            datasets=datasets,
+            benchmark=benchmark,
+            reports=[],
+            manifest=manifest,
+        )

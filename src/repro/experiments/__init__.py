@@ -1,0 +1,12 @@
+"""Experiment runners: one module per paper table / figure.
+
+Every runner returns a plain-dict result (JSON-serialisable) and exposes a
+``main``-style entry point used by the benchmark harness under
+``benchmarks/``.  Shared dataset collection and benchmark construction are
+cached in :mod:`repro.experiments.common` so that running several experiments
+in one process does not recollect the 5.2k-architecture datasets.
+"""
+
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["ExperimentContext"]

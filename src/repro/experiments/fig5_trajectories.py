@@ -1,0 +1,92 @@
+"""Figure 5: uni-objective search trajectories, true vs simulated.
+
+Compares the best-so-far accuracy trajectories of Random Search, Regularized
+Evolution and REINFORCE when evaluated (a) "true" — each sampled architecture
+is trained with the proxy scheme p* (one run, as in the paper, due to cost) —
+and (b) "simulated" — evaluated by the accuracy surrogate, averaged over five
+seeds.  Expected shape: the simulated trajectories mirror the true ones; RS
+stagnates early on the MnasNet space while RE and REINFORCE keep improving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentContext
+from repro.optimizers import RandomSearch, RegularizedEvolution, Reinforce
+from repro.trainsim.schemes import P_STAR
+
+OPTIMIZERS = {
+    "RS": RandomSearch,
+    "RE": RegularizedEvolution,
+    "REINFORCE": Reinforce,
+}
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    num_archs: int = 5200,
+    budget: int = 1000,
+    simulated_seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+    true_seed: int = 0,
+) -> dict:
+    """Run true and simulated searches; return incumbent trajectories."""
+    ctx = ctx if ctx is not None else ExperimentContext(num_archs=num_archs)
+    bench = ctx.benchmark()
+    trainer = ctx.trainer
+
+    def true_objective(arch) -> float:
+        return trainer.train(arch, P_STAR, seed=0).top1
+
+    def simulated_objective(arch) -> float:
+        return bench.query_accuracy(arch)
+
+    true_curves: dict[str, np.ndarray] = {}
+    sim_curves: dict[str, np.ndarray] = {}
+    for name, factory in OPTIMIZERS.items():
+        true_result = factory(seed=true_seed).run(true_objective, budget)
+        true_curves[name] = true_result.incumbent_curve()
+        runs = [
+            factory(seed=s).run(simulated_objective, budget).incumbent_curve()
+            for s in simulated_seeds
+        ]
+        sim_curves[name] = np.mean(np.stack(runs), axis=0)
+
+    return {
+        "budget": budget,
+        "simulated_seeds": list(simulated_seeds),
+        "true": {k: v for k, v in true_curves.items()},
+        "simulated": {k: v for k, v in sim_curves.items()},
+    }
+
+
+def report(result: dict) -> str:
+    """Final and mid-run incumbents per optimizer, true vs simulated."""
+    budget = result["budget"]
+    lines = [f"Fig.5 — search trajectories (budget {budget} evaluations)"]
+    checkpoints = [budget // 10, budget // 2, budget - 1]
+    for name in result["true"]:
+        t = np.asarray(result["true"][name])
+        s = np.asarray(result["simulated"][name])
+        t_vals = " ".join(f"{t[c]:.4f}" for c in checkpoints)
+        s_vals = " ".join(f"{s[c]:.4f}" for c in checkpoints)
+        lines.append(
+            f"  {name:10s} true@[10%,50%,100%]: {t_vals}   "
+            f"simulated: {s_vals}"
+        )
+    t_final = {k: float(np.asarray(v)[-1]) for k, v in result["true"].items()}
+    rank_true = sorted(t_final, key=t_final.get, reverse=True)
+    s_final = {k: float(np.asarray(v)[-1]) for k, v in result["simulated"].items()}
+    rank_sim = sorted(s_final, key=s_final.get, reverse=True)
+    lines.append(f"  optimizer ranking — true: {rank_true}, simulated: {rank_sim}")
+    from repro.experiments.plotting import ascii_curves
+
+    lines.append("\n(a) true search:")
+    lines.append(ascii_curves({k: list(v) for k, v in result["true"].items()}))
+    lines.append("\n(b) simulated (surrogate) search:")
+    lines.append(ascii_curves({k: list(v) for k, v in result["simulated"].items()}))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report(run()))

@@ -1,0 +1,109 @@
+"""Text-mode rendering of the paper's figures.
+
+No plotting stack is assumed: trajectories (Fig. 5) and Pareto scatters
+(Figs. 4/6) are rendered as fixed-width ASCII charts so the benchmark
+harness can reproduce the *figures*, not just their underlying numbers.
+CSV exporters are provided for offline re-plotting with real tooling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(pos * (size - 1)))))
+
+
+def ascii_scatter(
+    points: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 20,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    logx: bool = False,
+) -> str:
+    """Render labelled point sets on one ASCII grid.
+
+    Args:
+        points: Mapping series-label -> list of (x, y); each series is drawn
+            with the first character of its label.
+        width: Plot width in columns.
+        height: Plot height in rows.
+        xlabel: Horizontal axis label.
+        ylabel: Vertical axis label.
+        logx: Plot x on a log10 scale (throughput spans decades).
+    """
+    all_pts = [(x, y) for series in points.values() for x, y in series]
+    if not all_pts:
+        raise ValueError("nothing to plot")
+    xs = [math.log10(x) if logx else x for x, _ in all_pts]
+    ys = [y for _, y in all_pts]
+    xlo, xhi = min(xs), max(xs)
+    ylo, yhi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for label, series in points.items():
+        marker = label[0]
+        for x, y in series:
+            xv = math.log10(x) if logx else x
+            col = _scale(xv, xlo, xhi, width)
+            row = height - 1 - _scale(y, ylo, yhi, height)
+            grid[row][col] = marker
+    lines = [f"{yhi:9.3g} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + " |" + "".join(row))
+    lines.append(f"{ylo:9.3g} +" + "".join(grid[-1]))
+    x_lo_label = f"{10**xlo:.3g}" if logx else f"{xlo:.3g}"
+    x_hi_label = f"{10**xhi:.3g}" if logx else f"{xhi:.3g}"
+    footer = " " * 10 + x_lo_label.ljust(width - len(x_hi_label)) + x_hi_label
+    legend = "  ".join(f"{label[0]}={label}" for label in points)
+    return "\n".join(
+        [f"{ylabel} vs {xlabel}   [{legend}]"] + lines + [footer]
+    )
+
+
+def ascii_curves(
+    curves: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    xlabel: str = "evaluation",
+    ylabel: str = "best accuracy",
+) -> str:
+    """Render incumbent trajectories (one marker per series) on one grid."""
+    if not curves:
+        raise ValueError("nothing to plot")
+    points = {}
+    for label, values in curves.items():
+        n = len(values)
+        if n == 0:
+            raise ValueError(f"series {label!r} is empty")
+        points[label] = [(float(i), float(v)) for i, v in enumerate(values)]
+    return ascii_scatter(points, width, height, xlabel=xlabel, ylabel=ylabel)
+
+
+def curves_to_csv(curves: dict[str, Sequence[float]]) -> str:
+    """Export same-length series as CSV (column per series)."""
+    if not curves:
+        raise ValueError("no series")
+    lengths = {len(v) for v in curves.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    labels = list(curves)
+    header = "step," + ",".join(labels)
+    rows = [header]
+    for i in range(lengths.pop()):
+        rows.append(str(i) + "," + ",".join(f"{curves[l][i]:.6g}" for l in labels))
+    return "\n".join(rows)
+
+
+def scatter_to_csv(points: dict[str, list[tuple[float, float]]]) -> str:
+    """Export labelled scatter points as tidy CSV (series,x,y)."""
+    rows = ["series,x,y"]
+    for label, series in points.items():
+        for x, y in series:
+            rows.append(f"{label},{x:.6g},{y:.6g}")
+    return "\n".join(rows)

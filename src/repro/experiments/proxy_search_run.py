@@ -1,0 +1,59 @@
+"""Section 3.2 result: search for the training proxy p*.
+
+Runs the Eq. 1 grid search (cheapest-feasible-first with early stopping) and
+reports the found scheme, its Kendall tau on the n=20 grid, and its speedup
+over the reference — the paper reports tau ~= 0.94 at ~5.6x speedup under
+t_spec = 3 GPU-hours.
+"""
+
+from __future__ import annotations
+
+from repro.core.proxy_search import TrainingProxySearch, flops_stratified_grid
+from repro.experiments.common import format_table
+
+PAPER_TAU = 0.94
+PAPER_SPEEDUP = 5.6
+
+
+def run(
+    t_spec: float = 3.0,
+    early_stop_tau: float = 0.94,
+    grid_n: int = 20,
+    pool_size: int = 2000,
+    max_evaluations: int | None = None,
+    seed: int = 0,
+) -> dict:
+    """Run the proxy search; return a result dict (see module docstring)."""
+    grid = flops_stratified_grid(n=grid_n, seed=seed, pool_size=pool_size)
+    search = TrainingProxySearch(grid_archs=grid, t_spec=t_spec)
+    result = search.search(
+        early_stop_tau=early_stop_tau, max_evaluations=max_evaluations
+    )
+    best = result.best
+    return {
+        "p_star": best.scheme.to_dict(),
+        "p_star_str": str(best.scheme),
+        "tau": best.tau,
+        "speedup": best.speedup,
+        "mean_hours": best.mean_hours,
+        "reference_hours": result.reference_hours,
+        "num_evaluated": result.num_evaluated,
+        "paper_tau": PAPER_TAU,
+        "paper_speedup": PAPER_SPEEDUP,
+    }
+
+
+def report(result: dict) -> str:
+    """Human-readable comparison against the paper's numbers."""
+    rows = [
+        ["tau (n=20 grid)", f"{result['tau']:.3f}", f"{result['paper_tau']:.2f}"],
+        ["speedup over r", f"{result['speedup']:.2f}x", f"{result['paper_speedup']:.1f}x"],
+        ["mean GPU-h under p*", f"{result['mean_hours']:.2f}", "<= 3"],
+        ["schemes evaluated", str(result["num_evaluated"]), "-"],
+    ]
+    table = format_table(["quantity", "measured", "paper"], rows)
+    return f"Proxy search result: p* = {result['p_star_str']}\n{table}"
+
+
+if __name__ == "__main__":
+    print(report(run()))

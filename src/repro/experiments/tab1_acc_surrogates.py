@@ -1,0 +1,77 @@
+"""Table 1: surrogate test performance on ANB-Acc.
+
+Fits all five surrogate families on the accuracy dataset with the paper's
+0.8/0.1/0.1 split and reports test R^2, Kendall tau and MAE per family.
+Expected shape: XGB ~= LGB > SVR variants > RF.
+"""
+
+from __future__ import annotations
+
+from repro.core.surrogate_fit import SurrogateFitter
+from repro.experiments.common import ExperimentContext, format_table
+
+PAPER_ROWS = {
+    "xgb": (0.984, 0.922, 3.06e-3),
+    "lgb": (0.984, 0.922, 3.08e-3),
+    "rf": (0.869, 0.782, 8.88e-3),
+    "esvr": (0.943, 0.886, 5.32e-3),
+    "nusvr": (0.942, 0.881, 5.45e-3),
+}
+
+FAMILIES = ("xgb", "lgb", "rf", "esvr", "nusvr")
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    num_archs: int = 5200,
+    hpo_budget: int = 0,
+    families: tuple[str, ...] = FAMILIES,
+) -> dict:
+    """Fit every family on ANB-Acc; return per-family test metrics."""
+    ctx = ctx if ctx is not None else ExperimentContext(num_archs=num_archs)
+    fitter = SurrogateFitter(hpo_budget=hpo_budget)
+    dataset = ctx.accuracy_dataset()
+    reports = fitter.fit_families(dataset, families)
+    return {
+        "dataset": dataset.name,
+        "num_archs": len(dataset),
+        "hpo_budget": hpo_budget,
+        "rows": {
+            r.family: {"r2": r.r2, "kendall": r.kendall, "mae": r.mae}
+            for r in reports
+        },
+        "paper_rows": {
+            f: {"r2": v[0], "kendall": v[1], "mae": v[2]}
+            for f, v in PAPER_ROWS.items()
+        },
+    }
+
+
+def report(result: dict) -> str:
+    """Paper-style Table 1 with measured-vs-paper columns."""
+    rows = []
+    for family, row in result["rows"].items():
+        paper = result["paper_rows"].get(family)
+        rows.append(
+            [
+                family,
+                f"{row['r2']:.3f}",
+                f"{row['kendall']:.3f}",
+                f"{row['mae']:.2e}",
+                f"{paper['r2']:.3f}" if paper else "-",
+                f"{paper['kendall']:.3f}" if paper else "-",
+                f"{paper['mae']:.2e}" if paper else "-",
+            ]
+        )
+    table = format_table(
+        ["model", "R2", "KT tau", "MAE", "R2(paper)", "tau(paper)", "MAE(paper)"],
+        rows,
+    )
+    return (
+        f"Table 1 — surrogate test performance on {result['dataset']} "
+        f"({result['num_archs']} archs)\n{table}"
+    )
+
+
+if __name__ == "__main__":
+    print(report(run()))

@@ -1,0 +1,32 @@
+"""Hyperparameter-optimisation substrate (ConfigSpace + SMAC3 substitute).
+
+The paper tunes surrogate hyperparameters by representing them in
+ConfigSpace and searching with SMAC3 (Bayesian optimisation with a random
+forest surrogate).  This package provides the same loop:
+
+* :mod:`repro.hpo.configspace` — typed hyperparameter spaces (float / int /
+  categorical, optional log scaling) with uniform sampling and vector
+  encoding,
+* :mod:`repro.hpo.smac` — SMAC-lite: random-forest surrogate (our own
+  :class:`~repro.surrogates.forest.RandomForestRegressor`) + expected
+  improvement over a random candidate pool,
+* :mod:`repro.hpo.random_search` — the standard baseline.
+"""
+
+from repro.hpo.configspace import (
+    CategoricalParam,
+    ConfigSpace,
+    FloatParam,
+    IntParam,
+)
+from repro.hpo.smac import SmacOptimizer
+from repro.hpo.random_search import RandomSearchOptimizer
+
+__all__ = [
+    "CategoricalParam",
+    "ConfigSpace",
+    "FloatParam",
+    "IntParam",
+    "RandomSearchOptimizer",
+    "SmacOptimizer",
+]

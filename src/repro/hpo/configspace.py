@@ -1,0 +1,144 @@
+"""Typed hyperparameter spaces with sampling and vector encoding."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FloatParam:
+    """Continuous hyperparameter on [low, high], optionally log-scaled."""
+
+    name: str
+    low: float
+    high: float
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(f"{self.name}: need low < high")
+        if self.log and self.low <= 0:
+            raise ValueError(f"{self.name}: log scale requires low > 0")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.log:
+            return float(
+                math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+            )
+        return float(rng.uniform(self.low, self.high))
+
+    def to_unit(self, value: float) -> float:
+        """Map a value into [0, 1] for surrogate features."""
+        if self.log:
+            return (math.log(value) - math.log(self.low)) / (
+                math.log(self.high) - math.log(self.low)
+            )
+        return (value - self.low) / (self.high - self.low)
+
+
+@dataclass(frozen=True)
+class IntParam:
+    """Integer hyperparameter on [low, high], optionally log-scaled."""
+
+    name: str
+    low: int
+    high: int
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(f"{self.name}: need low < high")
+        if self.log and self.low <= 0:
+            raise ValueError(f"{self.name}: log scale requires low > 0")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self.log:
+            raw = math.exp(rng.uniform(math.log(self.low), math.log(self.high + 1)))
+            return int(min(max(int(raw), self.low), self.high))
+        return int(rng.integers(self.low, self.high + 1))
+
+    def to_unit(self, value: int) -> float:
+        if self.log:
+            return (math.log(value) - math.log(self.low)) / (
+                math.log(self.high) - math.log(self.low)
+            )
+        return (value - self.low) / (self.high - self.low)
+
+
+@dataclass(frozen=True)
+class CategoricalParam:
+    """Categorical hyperparameter over an explicit choice tuple."""
+
+    name: str
+    choices: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.choices) < 1:
+            raise ValueError(f"{self.name}: need at least one choice")
+
+    def sample(self, rng: np.random.Generator):
+        return self.choices[int(rng.integers(0, len(self.choices)))]
+
+    def to_unit(self, value) -> float:
+        return self.choices.index(value) / max(1, len(self.choices) - 1)
+
+
+Param = FloatParam | IntParam | CategoricalParam
+
+
+class ConfigSpace:
+    """An ordered collection of named hyperparameters.
+
+    Configurations are plain dicts ``{name: value}``; :meth:`to_vector`
+    encodes them as unit-scaled feature rows for BO surrogates.
+    """
+
+    def __init__(self, params: Sequence[Param]) -> None:
+        names = [p.name for p in params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names in {names}")
+        self.params: tuple[Param, ...] = tuple(params)
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    def __iter__(self):
+        return iter(self.params)
+
+    def names(self) -> list[str]:
+        """Parameter names in definition order."""
+        return [p.name for p in self.params]
+
+    def sample(self, rng: np.random.Generator) -> dict[str, Any]:
+        """Draw one configuration uniformly."""
+        return {p.name: p.sample(rng) for p in self.params}
+
+    def validate(self, config: dict[str, Any]) -> None:
+        """Raise ``ValueError`` if ``config`` is not a member of the space."""
+        if set(config) != set(self.names()):
+            raise ValueError(
+                f"config keys {sorted(config)} != space keys {sorted(self.names())}"
+            )
+        for p in self.params:
+            value = config[p.name]
+            if isinstance(p, CategoricalParam):
+                if value not in p.choices:
+                    raise ValueError(f"{p.name}: {value!r} not in {p.choices}")
+            elif not p.low <= value <= p.high:
+                raise ValueError(f"{p.name}: {value} outside [{p.low}, {p.high}]")
+
+    def to_vector(self, config: dict[str, Any]) -> np.ndarray:
+        """Encode a configuration as a unit-scaled feature row."""
+        return np.asarray(
+            [p.to_unit(config[p.name]) for p in self.params], dtype=np.float64
+        )
+
+    def to_matrix(self, configs: Sequence[dict[str, Any]]) -> np.ndarray:
+        """Encode a batch of configurations, shape (n, len(self))."""
+        if not configs:
+            return np.empty((0, len(self)))
+        return np.stack([self.to_vector(c) for c in configs])

@@ -1,0 +1,60 @@
+"""Random-search hyperparameter optimisation baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.hpo.configspace import ConfigSpace
+
+
+@dataclass
+class HpoResult:
+    """Outcome of a hyperparameter optimisation run.
+
+    Attributes:
+        best_config: Configuration with the lowest observed loss.
+        best_loss: Its loss value.
+        history: All evaluated ``(config, loss)`` pairs in order.
+    """
+
+    best_config: dict[str, Any]
+    best_loss: float
+    history: list[tuple[dict[str, Any], float]] = field(default_factory=list)
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.history)
+
+
+class RandomSearchOptimizer:
+    """Uniform random sampling over a :class:`ConfigSpace`.
+
+    Args:
+        space: The hyperparameter space.
+        seed: Sampling seed.
+    """
+
+    def __init__(self, space: ConfigSpace, seed: int = 0) -> None:
+        self.space = space
+        self.seed = seed
+
+    def optimize(
+        self, objective: Callable[[dict[str, Any]], float], budget: int
+    ) -> HpoResult:
+        """Minimise ``objective`` over ``budget`` evaluations."""
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        history: list[tuple[dict[str, Any], float]] = []
+        best_config, best_loss = None, np.inf
+        for _ in range(budget):
+            config = self.space.sample(rng)
+            loss = float(objective(config))
+            history.append((config, loss))
+            if loss < best_loss:
+                best_config, best_loss = config, loss
+        assert best_config is not None
+        return HpoResult(best_config=best_config, best_loss=best_loss, history=history)

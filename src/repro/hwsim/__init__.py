@@ -1,0 +1,57 @@
+"""Accelerator performance simulators.
+
+The paper measures end-to-end inference throughput (all six platforms) and
+latency (FPGAs) of 5.2k models on real hardware.  Those measurements are
+substituted by per-layer analytical device models that encode the published
+device-specific mechanisms:
+
+* **GPUs** (:mod:`repro.hwsim.gpu`): fp16 tensor-core roofline — depthwise
+  convolutions are bandwidth-bound and cannot use tensor cores, kernel-launch
+  overhead taxes deep networks, occupancy rises with batch size.
+* **TPUs** (:mod:`repro.hwsim.tpu`): 128x128 systolic MXU — channel counts are
+  padded to 128 lanes (padding waste), depthwise work falls to the slow vector
+  unit, XLA fuses elementwise ops, and first-run graph compilation produces
+  the warmup the paper discards.
+* **FPGA DPUs** (:mod:`repro.hwsim.fpga`): fixed MACs/cycle INT8 engines with
+  per-op efficiency tables; squeeze-excitation is unsupported by the DPU ISA
+  and falls back to the host CPU, a large per-block penalty.
+
+Because each mechanism taxes different architectural choices, the simulated
+devices *disagree about model rankings* — the property that motivates
+accelerator-aware NAS benchmarks in the first place.
+"""
+
+from repro.hwsim.device import AcceleratorModel, DeviceSpec, LayerTiming
+from repro.hwsim.gpu import GpuModel, make_a100, make_rtx3090
+from repro.hwsim.tpu import TpuModel, make_tpuv2, make_tpuv3
+from repro.hwsim.fpga import FpgaDpuModel, make_vck190, make_zcu102
+from repro.hwsim.measure import MeasurementHarness, MeasurementProtocol
+from repro.hwsim.quantize import quantized_accuracy_delta
+from repro.hwsim.registry import (
+    DEVICE_FACTORIES,
+    DEVICE_METRICS,
+    get_device,
+    list_devices,
+)
+
+__all__ = [
+    "AcceleratorModel",
+    "DEVICE_FACTORIES",
+    "DEVICE_METRICS",
+    "DeviceSpec",
+    "FpgaDpuModel",
+    "GpuModel",
+    "LayerTiming",
+    "MeasurementHarness",
+    "MeasurementProtocol",
+    "TpuModel",
+    "get_device",
+    "list_devices",
+    "make_a100",
+    "make_rtx3090",
+    "make_tpuv2",
+    "make_tpuv3",
+    "make_vck190",
+    "make_zcu102",
+    "quantized_accuracy_delta",
+]

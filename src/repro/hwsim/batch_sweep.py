@@ -1,0 +1,88 @@
+"""Batch-size sweep analysis: throughput/latency scaling per device.
+
+Deployment engineers choose a serving batch size by sweeping it and reading
+the throughput-latency tradeoff.  This module runs that sweep on the
+simulated devices and locates the knee (the smallest batch achieving a given
+fraction of saturated throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hwsim.device import AcceleratorModel
+from repro.searchspace.registry import build_graph
+
+DEFAULT_BATCHES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One point of the sweep."""
+
+    batch: int
+    throughput_ips: float
+    latency_ms: float
+
+
+@dataclass(frozen=True)
+class BatchSweep:
+    """Full sweep result with knee analysis.
+
+    Attributes:
+        device: Device name.
+        points: Sweep points in increasing batch order.
+    """
+
+    device: str
+    points: tuple[BatchPoint, ...]
+
+    @property
+    def saturated_throughput(self) -> float:
+        """Best throughput over the sweep."""
+        return max(p.throughput_ips for p in self.points)
+
+    def knee(self, fraction: float = 0.9) -> BatchPoint:
+        """Smallest batch reaching ``fraction`` of saturated throughput."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        target = fraction * self.saturated_throughput
+        for point in self.points:
+            if point.throughput_ips >= target:
+                return point
+        return self.points[-1]
+
+    def report(self) -> str:
+        """Fixed-width sweep table with the knee marked."""
+        knee_batch = self.knee().batch
+        lines = [f"batch sweep on {self.device}:"]
+        lines.append(f"{'batch':>6s} {'img/s':>10s} {'ms/batch':>10s}")
+        for p in self.points:
+            marker = "  <- knee (90%)" if p.batch == knee_batch else ""
+            lines.append(
+                f"{p.batch:6d} {p.throughput_ips:10.1f} {p.latency_ms:10.2f}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def sweep_batches(
+    arch,
+    device: AcceleratorModel,
+    batches: tuple[int, ...] = DEFAULT_BATCHES,
+    resolution: int = 224,
+) -> BatchSweep:
+    """Sweep ``arch`` over ``batches`` on ``device`` (noise-free model)."""
+    if not batches or list(batches) != sorted(set(batches)):
+        raise ValueError("batches must be a strictly increasing tuple")
+    graph = build_graph(arch, resolution=resolution)
+    points = []
+    for batch in batches:
+        seconds = device.batch_latency_s(graph, batch)
+        points.append(
+            BatchPoint(
+                batch=batch,
+                throughput_ips=batch / seconds,
+                latency_ms=seconds * 1e3,
+            )
+        )
+    return BatchSweep(device=device.name, points=tuple(points))

@@ -1,0 +1,107 @@
+"""Base classes for analytical accelerator models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.nn.graph import LayerGraph
+from repro.nn.layers import Layer
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of an accelerator.
+
+    Attributes:
+        name: Registry identifier, e.g. ``"a100"``.
+        vendor: Manufacturer string for reporting.
+        peak_macs_per_s: Peak sustained multiply-accumulates per second for
+            the device's preferred dense-conv datapath.
+        mem_bandwidth: Off-chip memory bandwidth in bytes/second.
+        act_bytes: Bytes per activation element at inference precision.
+        weight_bytes: Bytes per weight element at inference precision.
+        default_batch: Batch size the measurement harness uses by default.
+    """
+
+    name: str
+    vendor: str
+    peak_macs_per_s: float
+    mem_bandwidth: float
+    act_bytes: float
+    weight_bytes: float
+    default_batch: int
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Per-layer timing breakdown produced by a device walk.
+
+    Attributes:
+        layer_name: IR layer name.
+        op_type: Coarse operator class.
+        compute_s: Arithmetic-bound time for the whole batch.
+        memory_s: Bandwidth-bound time for the whole batch.
+        overhead_s: Fixed scheduling/launch/fallback cost.
+        total_s: Modelled wall time (``max(compute, memory) + overhead``).
+    """
+
+    layer_name: str
+    op_type: str
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return max(self.compute_s, self.memory_s) + self.overhead_s
+
+
+class AcceleratorModel(ABC):
+    """Analytical per-layer inference-performance model.
+
+    Subclasses implement :meth:`layer_timing`; the base class aggregates the
+    walk into batch latency and throughput.  All times are noise-free model
+    outputs; run-to-run variation and warmup are added by
+    :class:`repro.hwsim.measure.MeasurementHarness`.
+    """
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        """Registry name of the device."""
+        return self.spec.name
+
+    @abstractmethod
+    def layer_timing(self, layer: Layer, batch: int) -> LayerTiming:
+        """Model the execution of one layer at the given batch size."""
+
+    def graph_timings(self, graph: LayerGraph, batch: int) -> list[LayerTiming]:
+        """Walk ``graph`` and time every layer."""
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        return [self.layer_timing(layer, batch) for layer in graph]
+
+    def network_overhead_s(self, graph: LayerGraph, batch: int) -> float:
+        """Fixed per-inference cost outside the layer walk (dispatch, DMA)."""
+        return 0.0
+
+    def batch_latency_s(self, graph: LayerGraph, batch: int | None = None) -> float:
+        """Wall time to process one batch through ``graph``."""
+        batch = batch if batch is not None else self.spec.default_batch
+        layer_time = sum(t.total_s for t in self.graph_timings(graph, batch))
+        return layer_time + self.network_overhead_s(graph, batch)
+
+    def latency_ms(self, graph: LayerGraph, batch: int = 1) -> float:
+        """Single-batch latency in milliseconds (paper reports batch 1)."""
+        return self.batch_latency_s(graph, batch) * 1e3
+
+    def throughput_ips(self, graph: LayerGraph, batch: int | None = None) -> float:
+        """Steady-state inference throughput in images per second."""
+        batch = batch if batch is not None else self.spec.default_batch
+        return batch / self.batch_latency_s(graph, batch)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.spec.name!r})"

@@ -1,0 +1,143 @@
+"""On-device measurement harness: warmup, repetition, and averaging.
+
+Reproduces the paper's measurement protocol (section 3.3.2): on TPUs, discard
+the warmup phase (XLA compilation and caching) and average four throughput
+measurements; on GPUs discard warmup and average two runs; on FPGAs measure
+through the Vitis-AI runner.  Run-to-run noise is simulated as deterministic
+lognormal jitter seeded from (device, architecture, run index), so a dataset
+collection is exactly reproducible yet successive runs of the same model
+differ like real measurements do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hwsim.device import AcceleratorModel
+from repro.hwsim.tpu import TpuModel
+from repro.nn.graph import LayerGraph
+from repro.searchspace.registry import build_graph
+
+
+@dataclass(frozen=True)
+class MeasurementProtocol:
+    """How many runs to take and how many to discard.
+
+    Attributes:
+        warmup_runs: Leading measurements discarded (graph compile, caches).
+        timed_runs: Measurements averaged into the reported value.
+        noise_std: Relative lognormal sigma of run-to-run jitter.
+        warmup_slowdown: Multiplicative slowdown of warmup-phase runs.
+    """
+
+    warmup_runs: int = 2
+    timed_runs: int = 2
+    noise_std: float = 0.012
+    warmup_slowdown: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.timed_runs < 1:
+            raise ValueError("need at least one timed run")
+        if self.warmup_runs < 0:
+            raise ValueError("warmup_runs must be >= 0")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be >= 0")
+
+
+# Paper protocol: TPUs average 4 measurements, GPUs average 2.
+DEFAULT_PROTOCOLS: dict[str, MeasurementProtocol] = {
+    "tpuv2": MeasurementProtocol(warmup_runs=3, timed_runs=4, noise_std=0.015),
+    "tpuv3": MeasurementProtocol(warmup_runs=3, timed_runs=4, noise_std=0.015),
+    "a100": MeasurementProtocol(warmup_runs=2, timed_runs=2, noise_std=0.010),
+    "rtx3090": MeasurementProtocol(warmup_runs=2, timed_runs=2, noise_std=0.012),
+    "zcu102": MeasurementProtocol(warmup_runs=1, timed_runs=4, noise_std=0.006),
+    "vck190": MeasurementProtocol(warmup_runs=1, timed_runs=4, noise_std=0.006),
+}
+
+
+class MeasurementHarness:
+    """Measure architectures on a simulated device with a realistic protocol.
+
+    Args:
+        device: The accelerator model to drive.
+        protocol: Measurement protocol; defaults to the device's paper
+            protocol (or a generic one for unknown devices).
+    """
+
+    def __init__(
+        self,
+        device: AcceleratorModel,
+        protocol: MeasurementProtocol | None = None,
+    ) -> None:
+        self.device = device
+        if protocol is None:
+            protocol = DEFAULT_PROTOCOLS.get(device.name, MeasurementProtocol())
+        self.protocol = protocol
+
+    def _jitter(self, arch_key: str, metric: str, run_idx: int) -> float:
+        seed_bytes = hashlib.blake2b(
+            f"{self.device.name}|{metric}|{arch_key}|{run_idx}".encode(),
+            digest_size=8,
+        ).digest()
+        rng = np.random.default_rng(int.from_bytes(seed_bytes, "big"))
+        return float(rng.lognormal(mean=0.0, sigma=self.protocol.noise_std))
+
+    def _run_samples(
+        self, arch_key: str, metric: str, clean_value: float, lower_is_better: bool
+    ) -> list[float]:
+        """Simulate the full run sequence, including warmup-phase runs."""
+        samples = []
+        total = self.protocol.warmup_runs + self.protocol.timed_runs
+        for run_idx in range(total):
+            jitter = self._jitter(arch_key, metric, run_idx)
+            value = clean_value * jitter
+            if run_idx < self.protocol.warmup_runs:
+                slow = self.protocol.warmup_slowdown
+                value = value * slow if lower_is_better else value / slow
+            samples.append(value)
+        return samples
+
+    def measure_throughput(
+        self, arch, batch: int | None = None, resolution: int = 224
+    ) -> float:
+        """Measured inference throughput (images/s) after the paper protocol."""
+        graph = _cached_graph(arch, resolution)
+        clean = self.device.throughput_ips(graph, batch)
+        samples = self._run_samples(
+            arch.to_string(), f"thr@{batch}", clean, lower_is_better=False
+        )
+        timed = samples[self.protocol.warmup_runs :]
+        return float(np.mean(timed))
+
+    def measure_latency(
+        self, arch, batch: int = 1, resolution: int = 224
+    ) -> float:
+        """Measured single-batch latency (ms) after the paper protocol."""
+        graph = _cached_graph(arch, resolution)
+        clean = self.device.latency_ms(graph, batch)
+        samples = self._run_samples(
+            arch.to_string(), f"lat@{batch}", clean, lower_is_better=True
+        )
+        timed = samples[self.protocol.warmup_runs :]
+        return float(np.mean(timed))
+
+    def warmup_cost_s(self) -> float:
+        """One-time setup cost the protocol discards (e.g. XLA compile)."""
+        if isinstance(self.device, TpuModel):
+            return self.device.warmup_compile_s
+        return 0.0
+
+
+_GRAPH_CACHE: dict[tuple[str, int], LayerGraph] = {}
+
+
+def _cached_graph(arch, resolution: int) -> LayerGraph:
+    key = (arch.to_string(), resolution)
+    if key not in _GRAPH_CACHE:
+        if len(_GRAPH_CACHE) > 20_000:
+            _GRAPH_CACHE.clear()
+        _GRAPH_CACHE[key] = build_graph(arch, resolution=resolution)
+    return _GRAPH_CACHE[key]

@@ -1,0 +1,115 @@
+"""Per-layer performance profiling of a model on a device.
+
+The layer walk behind every simulated measurement is exposed here as an
+analysis tool: where does the time go, which operator classes dominate, and
+which layers are compute- vs bandwidth- vs overhead-bound.  This is the view
+a deployment engineer uses to understand *why* a model is slow on a DPU but
+fast on a GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hwsim.device import AcceleratorModel, LayerTiming
+from repro.searchspace.registry import build_graph
+
+
+@dataclass(frozen=True)
+class OpClassSummary:
+    """Aggregate timing of one operator class.
+
+    Attributes:
+        op_type: Operator class name.
+        total_s: Summed modelled wall time.
+        share: Fraction of end-to-end layer time.
+        count: Number of layer instances.
+        bound: Dominant regime: ``compute`` / ``memory`` / ``overhead``.
+    """
+
+    op_type: str
+    total_s: float
+    share: float
+    count: int
+    bound: str
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Full profiling result of one (arch, device, batch) combination."""
+
+    device: str
+    batch: int
+    total_s: float
+    timings: tuple[LayerTiming, ...]
+    by_op: tuple[OpClassSummary, ...]
+
+    def top_layers(self, k: int = 5) -> list[LayerTiming]:
+        """The ``k`` slowest layers."""
+        return sorted(self.timings, key=lambda t: t.total_s, reverse=True)[:k]
+
+    def report(self, k: int = 5) -> str:
+        """Human-readable profile: op-class table plus slowest layers."""
+        lines = [
+            f"profile on {self.device} (batch {self.batch}): "
+            f"{self.total_s * 1e3:.2f} ms/batch"
+        ]
+        lines.append(f"{'op class':18s} {'time':>9s} {'share':>7s} {'count':>6s} {'bound':>9s}")
+        for op in self.by_op:
+            lines.append(
+                f"{op.op_type:18s} {op.total_s * 1e3:7.2f}ms {op.share:6.1%} "
+                f"{op.count:6d} {op.bound:>9s}"
+            )
+        lines.append(f"slowest {k} layers:")
+        for t in self.top_layers(k):
+            lines.append(
+                f"  {t.layer_name:24s} {t.total_s * 1e3:7.3f} ms "
+                f"(compute {t.compute_s * 1e3:.3f}, memory {t.memory_s * 1e3:.3f}, "
+                f"overhead {t.overhead_s * 1e3:.3f})"
+            )
+        return "\n".join(lines)
+
+
+def _bound_of(compute: float, memory: float, overhead: float) -> str:
+    parts = {"compute": compute, "memory": memory, "overhead": overhead}
+    return max(parts, key=parts.get)
+
+
+def profile_arch(
+    arch,
+    device: AcceleratorModel,
+    batch: int | None = None,
+    resolution: int = 224,
+) -> DeviceProfile:
+    """Profile ``arch`` on ``device``; see :class:`DeviceProfile`."""
+    batch = batch if batch is not None else device.spec.default_batch
+    graph = build_graph(arch, resolution=resolution)
+    timings = tuple(device.graph_timings(graph, batch))
+    total = sum(t.total_s for t in timings)
+    groups: dict[str, list[LayerTiming]] = {}
+    for t in timings:
+        groups.setdefault(t.op_type, []).append(t)
+    summaries = []
+    for op_type, members in groups.items():
+        op_total = sum(t.total_s for t in members)
+        summaries.append(
+            OpClassSummary(
+                op_type=op_type,
+                total_s=op_total,
+                share=op_total / total if total > 0 else 0.0,
+                count=len(members),
+                bound=_bound_of(
+                    sum(t.compute_s for t in members),
+                    sum(t.memory_s for t in members),
+                    sum(t.overhead_s for t in members),
+                ),
+            )
+        )
+    summaries.sort(key=lambda s: s.total_s, reverse=True)
+    return DeviceProfile(
+        device=device.name,
+        batch=batch,
+        total_s=total,
+        timings=timings,
+        by_op=tuple(summaries),
+    )

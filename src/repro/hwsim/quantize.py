@@ -1,0 +1,36 @@
+"""INT8 post-training quantization effects.
+
+The paper quantizes all 5.2k models to 8-bit for the FPGA DPU flow.  PTQ
+costs a small amount of accuracy that depends on the architecture: networks
+with squeeze-excitation (sigmoid gating is range-sensitive) and very light
+networks (less redundancy) lose more.  The delta is deterministic per
+architecture via stable hashing.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.searchspace.mnasnet import ArchSpec
+
+_BASE_DROP = 0.002
+_SE_DROP_PER_STAGE = 0.0006
+_LIGHT_MODEL_DROP = 0.004   # extra drop for the lightest models
+_LIGHT_THRESHOLD_FLOPS = 3.0e8
+_JITTER = 0.0015
+
+
+@lru_cache(maxsize=200_000)
+def quantized_accuracy_delta(arch: ArchSpec) -> float:
+    """Top-1 accuracy change (negative) from INT8 PTQ of ``arch``."""
+    from repro.trainsim.accuracy_model import _counters  # local: avoid cycle
+
+    drop = _BASE_DROP + _SE_DROP_PER_STAGE * sum(arch.se)
+    flops = _counters(arch).flops
+    if flops < _LIGHT_THRESHOLD_FLOPS:
+        drop += _LIGHT_MODEL_DROP * (1.0 - flops / _LIGHT_THRESHOLD_FLOPS)
+    rng = np.random.default_rng(arch.stable_hash("ptq-delta"))
+    drop += float(rng.uniform(0.0, _JITTER))
+    return -drop

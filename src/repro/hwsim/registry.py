@@ -1,0 +1,58 @@
+"""Device registry: name -> model factory, and supported metrics.
+
+The paper's datasets are named ``ANB-{device}-{metric}`` where throughput is
+supported by all six devices and latency only by the FPGAs (section 3.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hwsim.device import AcceleratorModel
+from repro.hwsim.fpga import make_vck190, make_zcu102
+from repro.hwsim.gpu import make_a100, make_rtx3090
+from repro.hwsim.tpu import make_tpuv2, make_tpuv3
+
+DEVICE_FACTORIES: dict[str, Callable[[], AcceleratorModel]] = {
+    "tpuv2": make_tpuv2,
+    "tpuv3": make_tpuv3,
+    "a100": make_a100,
+    "rtx3090": make_rtx3090,
+    "zcu102": make_zcu102,
+    "vck190": make_vck190,
+}
+
+# Metric support per device (paper section 3.3.2).
+DEVICE_METRICS: dict[str, tuple[str, ...]] = {
+    "tpuv2": ("throughput",),
+    "tpuv3": ("throughput",),
+    "a100": ("throughput",),
+    "rtx3090": ("throughput",),
+    "zcu102": ("throughput", "latency"),
+    "vck190": ("throughput", "latency"),
+}
+
+_INSTANCES: dict[str, AcceleratorModel] = {}
+
+
+def list_devices() -> tuple[str, ...]:
+    """Names of all supported devices."""
+    return tuple(DEVICE_FACTORIES)
+
+
+def get_device(name: str) -> AcceleratorModel:
+    """Return the (cached) accelerator model for ``name``.
+
+    Raises:
+        KeyError: If ``name`` is not a known device.
+    """
+    if name not in DEVICE_FACTORIES:
+        raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICE_FACTORIES)}")
+    if name not in _INSTANCES:
+        _INSTANCES[name] = DEVICE_FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def supports_metric(device: str, metric: str) -> bool:
+    """Whether ``device`` supports ``metric`` in the paper's dataset suite."""
+    return metric in DEVICE_METRICS.get(device, ())

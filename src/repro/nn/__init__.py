@@ -1,0 +1,35 @@
+"""Minimal neural-network IR used by the search space and hardware simulators.
+
+The IR represents a network as an ordered graph of shape-aware layers.  Every
+layer knows its input/output tensor shapes and can report its own compute
+(FLOPs / MACs), parameter count, and memory traffic.  The hardware simulators
+in :mod:`repro.hwsim` walk this graph layer by layer; the training simulator in
+:mod:`repro.trainsim` uses the aggregate counters.
+"""
+
+from repro.nn.layers import (
+    Activation,
+    Add,
+    Conv2d,
+    Dense,
+    GlobalAvgPool,
+    Layer,
+    SqueezeExcite,
+    TensorShape,
+)
+from repro.nn.graph import LayerGraph
+from repro.nn.counters import GraphCounters, count_graph
+
+__all__ = [
+    "Activation",
+    "Add",
+    "Conv2d",
+    "Dense",
+    "GlobalAvgPool",
+    "GraphCounters",
+    "Layer",
+    "LayerGraph",
+    "SqueezeExcite",
+    "TensorShape",
+    "count_graph",
+]

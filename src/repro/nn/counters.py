@@ -1,0 +1,75 @@
+"""Aggregate compute / parameter / memory accounting over a layer graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.graph import LayerGraph
+
+
+@dataclass(frozen=True)
+class GraphCounters:
+    """Whole-network accounting for a single input sample.
+
+    Attributes:
+        macs: Total multiply-accumulates.
+        flops: Total floating-point ops (2 per MAC plus elementwise work).
+        params: Total learnable parameters.
+        weight_bytes: Weight footprint at the requested precision.
+        activation_bytes: Total activation traffic (sum over layers of
+            input+output bytes) at the requested precision.
+        peak_activation_bytes: Largest single-layer activation working set;
+            a proxy for on-chip buffer pressure.
+        num_layers: Number of IR nodes.
+    """
+
+    macs: int
+    flops: int
+    params: int
+    weight_bytes: float
+    activation_bytes: float
+    peak_activation_bytes: float
+    num_layers: int
+
+    @property
+    def mflops(self) -> float:
+        """FLOPs in millions (paper-style reporting unit)."""
+        return self.flops / 1e6
+
+    @property
+    def mparams(self) -> float:
+        """Parameters in millions."""
+        return self.params / 1e6
+
+
+def count_graph(
+    graph: LayerGraph,
+    bytes_per_weight: float = 4.0,
+    bytes_per_act: float = 4.0,
+) -> GraphCounters:
+    """Compute :class:`GraphCounters` for ``graph`` at the given precisions.
+
+    Args:
+        graph: The network to account.
+        bytes_per_weight: Weight precision (4.0 for fp32, 2.0 fp16, 1.0 int8).
+        bytes_per_act: Activation precision.
+    """
+    macs = flops = params = 0
+    w_bytes = a_bytes = peak = 0.0
+    for layer in graph:
+        macs += layer.macs
+        flops += layer.flops
+        params += layer.params
+        w_bytes += layer.weight_bytes(bytes_per_weight)
+        layer_act = layer.activation_bytes(bytes_per_act)
+        a_bytes += layer_act
+        peak = max(peak, layer_act)
+    return GraphCounters(
+        macs=macs,
+        flops=flops,
+        params=params,
+        weight_bytes=w_bytes,
+        activation_bytes=a_bytes,
+        peak_activation_bytes=peak,
+        num_layers=len(graph),
+    )

@@ -1,0 +1,136 @@
+"""Layer graph: an ordered DAG of IR layers with shape validation.
+
+Networks in the MnasNet space are sequential chains with local residual
+shortcuts, so the graph stores layers in execution order and records explicit
+edges for validation.  :mod:`networkx` is used to verify acyclicity and
+connectivity; the hot paths (hardware walks, counters) iterate the ordered
+layer list directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import networkx as nx
+
+from repro.nn.layers import Layer, TensorShape
+
+
+class GraphError(ValueError):
+    """Raised when a layer graph is malformed."""
+
+
+class LayerGraph:
+    """An executable, shape-checked sequence of layers with explicit edges.
+
+    Args:
+        name: Human-readable network name.
+        input_shape: Shape of the network input (single sample).
+
+    Layers are appended in execution order via :meth:`add`.  Each layer names
+    its producer layers; most layers have one producer (the previous layer),
+    residual adds have two.
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape) -> None:
+        self.name = name
+        self.input_shape = input_shape
+        self._layers: list[Layer] = []
+        self._by_name: dict[str, Layer] = {}
+        self._edges: list[tuple[str, str]] = []
+
+    def add(self, layer: Layer, inputs: Sequence[str] = ()) -> Layer:
+        """Append ``layer``, consuming the named producer layers.
+
+        With no ``inputs`` the layer consumes the previous layer's output (or
+        the graph input for the first layer).  Shapes are validated: the
+        layer's declared ``input_shape`` must match its primary producer's
+        output shape.
+        """
+        if layer.name in self._by_name:
+            raise GraphError(f"duplicate layer name {layer.name!r}")
+        if inputs:
+            producers = []
+            for src in inputs:
+                if src not in self._by_name:
+                    raise GraphError(
+                        f"layer {layer.name!r} consumes unknown layer {src!r}"
+                    )
+                producers.append(self._by_name[src])
+            primary = producers[0].output_shape
+        elif self._layers:
+            producers = [self._layers[-1]]
+            inputs = (producers[0].name,)
+            primary = producers[0].output_shape
+        else:
+            producers = []
+            primary = self.input_shape
+        if layer.input_shape != primary:
+            raise GraphError(
+                f"layer {layer.name!r} expects input {layer.input_shape}, "
+                f"producer supplies {primary}"
+            )
+        for src in inputs:
+            self._edges.append((src, layer.name))
+        self._layers.append(layer)
+        self._by_name[layer.name] = layer
+        return layer
+
+    @property
+    def layers(self) -> tuple[Layer, ...]:
+        """Layers in execution order."""
+        return tuple(self._layers)
+
+    @property
+    def output_shape(self) -> TensorShape:
+        """Shape produced by the final layer."""
+        if not self._layers:
+            raise GraphError("empty graph has no output shape")
+        return self._layers[-1].output_shape
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self._layers)
+
+    def __getitem__(self, name: str) -> Layer:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export the graph as a :class:`networkx.DiGraph` for analysis."""
+        g = nx.DiGraph(name=self.name)
+        for layer in self._layers:
+            g.add_node(layer.name, layer=layer)
+        g.add_edges_from(self._edges)
+        return g
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GraphError` on failure.
+
+        Invariants: non-empty, acyclic, weakly connected, execution order is a
+        valid topological order, and every non-initial layer is reachable.
+        """
+        if not self._layers:
+            raise GraphError("graph has no layers")
+        g = self.to_networkx()
+        if not nx.is_directed_acyclic_graph(g):
+            raise GraphError(f"graph {self.name!r} contains a cycle")
+        if len(self._layers) > 1 and not nx.is_weakly_connected(g):
+            raise GraphError(f"graph {self.name!r} is disconnected")
+        position = {layer.name: i for i, layer in enumerate(self._layers)}
+        for src, dst in self._edges:
+            if position[src] >= position[dst]:
+                raise GraphError(
+                    f"edge {src!r} -> {dst!r} violates execution order"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"LayerGraph({self.name!r}, {len(self._layers)} layers, "
+            f"in={self.input_shape}, out="
+            f"{self.output_shape if self._layers else '?'})"
+        )

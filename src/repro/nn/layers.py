@@ -1,0 +1,272 @@
+"""Shape-aware layer definitions for the network IR.
+
+Each layer is an immutable dataclass describing one operator instance in a
+concrete network (shapes resolved, no symbolic dimensions).  Layers expose
+four accounting properties used throughout the library:
+
+``macs``
+    Multiply-accumulate operations for a single input sample.
+``flops``
+    ``2 * macs`` plus any non-MAC arithmetic (activations, elementwise adds).
+``params``
+    Learnable parameter count (batch-norm folded into the conv that precedes
+    it, matching how inference accelerators see the network).
+``weight_bytes`` / ``activation_bytes``
+    Memory footprint of the weights and of the input+output activations at a
+    given precision, used by the roofline hardware models.
+
+Tensor layout is ``(C, H, W)`` per sample; batch is applied by the simulators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """Shape of one activation tensor for a single sample (no batch dim)."""
+
+    channels: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.height < 1 or self.width < 1:
+            raise ValueError(f"tensor dimensions must be positive, got {self}")
+
+    @property
+    def numel(self) -> int:
+        """Number of scalar elements in the tensor."""
+        return self.channels * self.height * self.width
+
+    def __str__(self) -> str:
+        return f"{self.channels}x{self.height}x{self.width}"
+
+
+def conv_output_hw(size: int, kernel: int, stride: int) -> int:
+    """Output spatial size of a 'same'-padded convolution.
+
+    Matches the TensorFlow/PyTorch ``padding='same'`` convention used by
+    MnasNet/EfficientNet reference implementations: ``ceil(size / stride)``.
+    """
+    if size < 1 or kernel < 1 or stride < 1:
+        raise ValueError("size, kernel and stride must be positive")
+    return math.ceil(size / stride)
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class for all IR layers.
+
+    Attributes:
+        name: Unique layer name within its graph.
+        input_shape: Shape of the (primary) input tensor.
+        output_shape: Shape of the produced tensor.
+    """
+
+    name: str
+    input_shape: TensorShape
+    output_shape: TensorShape
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count per sample."""
+        return 0
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations per sample (2 FLOPs per MAC)."""
+        return 2 * self.macs
+
+    @property
+    def params(self) -> int:
+        """Learnable parameter count."""
+        return 0
+
+    def weight_bytes(self, bytes_per_weight: float = 4.0) -> float:
+        """Bytes occupied by this layer's weights at the given precision."""
+        return self.params * bytes_per_weight
+
+    def activation_bytes(self, bytes_per_act: float = 4.0) -> float:
+        """Bytes moved for input plus output activations per sample."""
+        return (self.input_shape.numel + self.output_shape.numel) * bytes_per_act
+
+    @property
+    def op_type(self) -> str:
+        """Coarse operator class used by hardware efficiency tables."""
+        return type(self).__name__.lower()
+
+
+@dataclass(frozen=True)
+class Conv2d(Layer):
+    """2D convolution (grouped convolutions cover depthwise as a special case).
+
+    Batch norm is assumed folded: ``params`` includes the bias that folding
+    produces, and no separate BN layer appears in the IR.
+    """
+
+    kernel_size: int = 1
+    stride: int = 1
+    groups: int = 1
+    use_bias: bool = True
+
+    def __post_init__(self) -> None:
+        cin, cout = self.input_shape.channels, self.output_shape.channels
+        if cin % self.groups or cout % self.groups:
+            raise ValueError(
+                f"{self.name}: channels ({cin}->{cout}) not divisible by "
+                f"groups={self.groups}"
+            )
+        expect_h = conv_output_hw(self.input_shape.height, self.kernel_size, self.stride)
+        expect_w = conv_output_hw(self.input_shape.width, self.kernel_size, self.stride)
+        if (self.output_shape.height, self.output_shape.width) != (expect_h, expect_w):
+            raise ValueError(
+                f"{self.name}: output spatial shape "
+                f"{self.output_shape.height}x{self.output_shape.width} inconsistent "
+                f"with stride {self.stride} (expected {expect_h}x{expect_w})"
+            )
+
+    @property
+    def is_depthwise(self) -> bool:
+        """True when every input channel forms its own group."""
+        return self.groups == self.input_shape.channels == self.output_shape.channels
+
+    @property
+    def is_pointwise(self) -> bool:
+        """True for dense 1x1 convolutions."""
+        return self.kernel_size == 1 and self.groups == 1
+
+    @property
+    def macs(self) -> int:
+        cin_per_group = self.input_shape.channels // self.groups
+        out = self.output_shape
+        return out.channels * out.height * out.width * cin_per_group * self.kernel_size**2
+
+    @property
+    def params(self) -> int:
+        cin_per_group = self.input_shape.channels // self.groups
+        weights = self.output_shape.channels * cin_per_group * self.kernel_size**2
+        bias = self.output_shape.channels if self.use_bias else 0
+        return weights + bias
+
+    @property
+    def op_type(self) -> str:
+        if self.is_depthwise:
+            return "conv_depthwise"
+        if self.is_pointwise:
+            return "conv_pointwise"
+        return "conv_standard"
+
+
+@dataclass(frozen=True)
+class Activation(Layer):
+    """Elementwise activation (swish/relu/etc.); one FLOP per element."""
+
+    fn: str = "swish"
+
+    def __post_init__(self) -> None:
+        if self.input_shape != self.output_shape:
+            raise ValueError(f"{self.name}: activation must preserve shape")
+
+    @property
+    def flops(self) -> int:
+        return self.output_shape.numel
+
+
+@dataclass(frozen=True)
+class Add(Layer):
+    """Residual elementwise addition of two same-shaped tensors."""
+
+    def __post_init__(self) -> None:
+        if self.input_shape != self.output_shape:
+            raise ValueError(f"{self.name}: add must preserve shape")
+
+    @property
+    def flops(self) -> int:
+        return self.output_shape.numel
+
+    def activation_bytes(self, bytes_per_act: float = 4.0) -> float:
+        # Two input operands plus one output.
+        return 3 * self.output_shape.numel * bytes_per_act
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool(Layer):
+    """Global average pooling to 1x1 spatial size."""
+
+    def __post_init__(self) -> None:
+        expected = TensorShape(self.input_shape.channels, 1, 1)
+        if self.output_shape != expected:
+            raise ValueError(f"{self.name}: output must be {expected}")
+
+    @property
+    def flops(self) -> int:
+        return self.input_shape.numel
+
+
+@dataclass(frozen=True)
+class Dense(Layer):
+    """Fully-connected layer on a flattened (C, 1, 1) input."""
+
+    use_bias: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.input_shape.height, self.input_shape.width) != (1, 1):
+            raise ValueError(f"{self.name}: dense input must be Cx1x1")
+        if (self.output_shape.height, self.output_shape.width) != (1, 1):
+            raise ValueError(f"{self.name}: dense output must be Cx1x1")
+
+    @property
+    def macs(self) -> int:
+        return self.input_shape.channels * self.output_shape.channels
+
+    @property
+    def params(self) -> int:
+        weights = self.input_shape.channels * self.output_shape.channels
+        bias = self.output_shape.channels if self.use_bias else 0
+        return weights + bias
+
+
+@dataclass(frozen=True)
+class SqueezeExcite(Layer):
+    """Squeeze-and-excitation block treated as one composite operator.
+
+    Composite of: global average pool, two 1x1 convs (squeeze to
+    ``se_channels`` then excite back), sigmoid gate, and channelwise scale.
+    It is kept as a single IR node because inference accelerators schedule it
+    as a unit and because its global pooling forces a pipeline flush that the
+    hardware models charge for explicitly.
+    """
+
+    se_channels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.input_shape != self.output_shape:
+            raise ValueError(f"{self.name}: squeeze-excite must preserve shape")
+        if self.se_channels < 1:
+            raise ValueError(f"{self.name}: se_channels must be positive")
+
+    @property
+    def macs(self) -> int:
+        c = self.input_shape.channels
+        return c * self.se_channels * 2  # squeeze conv + excite conv (1x1 spatial)
+
+    @property
+    def flops(self) -> int:
+        pool = self.input_shape.numel
+        scale = self.input_shape.numel
+        gate = self.input_shape.channels  # sigmoid
+        return 2 * self.macs + pool + scale + gate
+
+    @property
+    def params(self) -> int:
+        c = self.input_shape.channels
+        return (c * self.se_channels + self.se_channels) + (
+            self.se_channels * c + c
+        )
+
+    @property
+    def op_type(self) -> str:
+        return "squeeze_excite"

@@ -1,0 +1,71 @@
+"""Common interfaces for NAS optimizers (maximisation convention)."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
+
+Objective = Callable[[ArchSpec], float]
+
+
+@dataclass
+class SearchResult:
+    """History of one optimizer run.
+
+    Attributes:
+        archs: Evaluated architectures in evaluation order.
+        values: Their objective values (higher is better).
+    """
+
+    archs: list[ArchSpec] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, arch: ArchSpec, value: float) -> None:
+        """Append one evaluation."""
+        self.archs.append(arch)
+        self.values.append(float(value))
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.values)
+
+    @property
+    def best_value(self) -> float:
+        if not self.values:
+            raise ValueError("empty search result")
+        return max(self.values)
+
+    @property
+    def best_arch(self) -> ArchSpec:
+        if not self.values:
+            raise ValueError("empty search result")
+        return self.archs[int(np.argmax(self.values))]
+
+    def incumbent_curve(self) -> np.ndarray:
+        """Best-so-far value after each evaluation (the Fig. 5 trajectory)."""
+        return np.maximum.accumulate(np.asarray(self.values))
+
+
+class Optimizer(ABC):
+    """A budget-constrained architecture-objective maximiser.
+
+    Args:
+        space: Search space to operate on.
+        seed: Randomness seed.
+    """
+
+    def __init__(self, space: MnasNetSearchSpace | None = None, seed: int = 0) -> None:
+        self.space = space if space is not None else MnasNetSearchSpace()
+        self.seed = seed
+
+    @abstractmethod
+    def run(self, objective: Objective, budget: int) -> SearchResult:
+        """Evaluate up to ``budget`` architectures; return the history."""
+
+    def _rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)

@@ -1,0 +1,63 @@
+"""Regularized evolution (Real et al., 2019, "aging evolution").
+
+Maintains a FIFO population; each step tournaments a random sample, mutates
+the winner, evaluates the child, and retires the oldest member.  The aging
+rule (rather than killing the worst) is what regularises the search.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.optimizers.base import Objective, Optimizer, SearchResult
+from repro.searchspace.mnasnet import MnasNetSearchSpace
+
+
+class RegularizedEvolution(Optimizer):
+    """Aging evolution with tournament selection and single-edit mutation.
+
+    Args:
+        space: Search space.
+        seed: Randomness seed.
+        population_size: FIFO population capacity (paper default 100).
+        sample_size: Tournament size (paper default 25).
+    """
+
+    def __init__(
+        self,
+        space: MnasNetSearchSpace | None = None,
+        seed: int = 0,
+        population_size: int = 100,
+        sample_size: int = 25,
+    ) -> None:
+        super().__init__(space, seed)
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 1 <= sample_size <= population_size:
+            raise ValueError("need 1 <= sample_size <= population_size")
+        self.population_size = population_size
+        self.sample_size = sample_size
+
+    def run(self, objective: Objective, budget: int) -> SearchResult:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        rng = self._rng()
+        result = SearchResult()
+        population: deque[tuple] = deque()  # (arch, value), FIFO by age
+
+        while result.num_evaluations < budget and len(population) < self.population_size:
+            arch = self.space.sample(rng)
+            value = objective(arch)
+            result.record(arch, value)
+            population.append((arch, value))
+
+        while result.num_evaluations < budget:
+            k = min(self.sample_size, len(population))
+            contenders = rng.choice(len(population), size=k, replace=False)
+            parent = max((population[int(i)] for i in contenders), key=lambda t: t[1])
+            child = self.space.mutate(parent[0], rng)
+            value = objective(child)
+            result.record(child, value)
+            population.append((child, value))
+            population.popleft()
+        return result

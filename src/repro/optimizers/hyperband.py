@@ -1,0 +1,91 @@
+"""Hyperband: bracketed successive halving (extension optimizer).
+
+Hyperband hedges successive halving's fixed exploration/exploitation split
+by running several SH brackets with different initial populations and
+starting fidelities (Li et al., 2018).  Like
+:class:`~repro.optimizers.successive_halving.SuccessiveHalving`, it operates
+on a multi-fidelity objective ``(arch, epochs) -> value`` provided by the
+simulated trainer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.optimizers.base import Optimizer, SearchResult
+from repro.optimizers.successive_halving import FidelityObjective
+
+
+class Hyperband(Optimizer):
+    """Hyperband over an epoch-fidelity ladder.
+
+    Args:
+        space: Search space.
+        seed: Randomness seed.
+        max_fidelity: Largest epoch budget ``R``.
+        eta: Halving rate.
+        min_fidelity: Smallest epoch budget considered.
+    """
+
+    def __init__(
+        self,
+        space=None,
+        seed: int = 0,
+        max_fidelity: int = 90,
+        eta: int = 3,
+        min_fidelity: int = 1,
+    ) -> None:
+        super().__init__(space, seed)
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        if not 1 <= min_fidelity <= max_fidelity:
+            raise ValueError("need 1 <= min_fidelity <= max_fidelity")
+        self.max_fidelity = max_fidelity
+        self.eta = eta
+        self.min_fidelity = min_fidelity
+
+    def brackets(self) -> list[list[tuple[int, int]]]:
+        """The (num_configs, fidelity) rung plans of every bracket."""
+        s_max = int(math.log(self.max_fidelity / self.min_fidelity, self.eta))
+        plans = []
+        big_b = (s_max + 1) * self.max_fidelity
+        for s in range(s_max, -1, -1):
+            n = int(math.ceil(big_b / self.max_fidelity * self.eta**s / (s + 1)))
+            r = self.max_fidelity * self.eta**-s
+            rungs = []
+            for i in range(s + 1):
+                n_i = max(1, int(math.floor(n * self.eta**-i)))
+                r_i = max(self.min_fidelity, int(round(r * self.eta**i)))
+                rungs.append((n_i, r_i))
+            plans.append(rungs)
+        return plans
+
+    def run_multifidelity(self, objective: FidelityObjective) -> SearchResult:
+        """Run every bracket; all evaluations recorded in order."""
+        rng = self._rng()
+        result = SearchResult()
+        for rungs in self.brackets():
+            n0, _ = rungs[0]
+            candidates = self.space.sample_batch(n0, rng=rng, unique=True)
+            for rung_idx, (n_i, r_i) in enumerate(rungs):
+                candidates = candidates[:n_i]
+                values = []
+                for arch in candidates:
+                    value = objective(arch, r_i)
+                    result.record(arch, value)
+                    values.append(value)
+                if rung_idx < len(rungs) - 1:
+                    keep = max(1, rungs[rung_idx + 1][0])
+                    order = np.argsort(values)[::-1][:keep]
+                    candidates = [candidates[int(i)] for i in order]
+        return result
+
+    def run(self, objective, budget: int) -> SearchResult:
+        """Single-fidelity fallback: evaluate everything at max fidelity."""
+        rng = self._rng()
+        result = SearchResult()
+        for arch in self.space.sample_batch(budget, rng=rng, unique=True):
+            result.record(arch, objective(arch))
+        return result

@@ -1,0 +1,45 @@
+"""Greedy local search over the one-edit neighbourhood (extension optimizer)."""
+
+from __future__ import annotations
+
+from repro.optimizers.base import Objective, Optimizer, SearchResult
+
+
+class LocalSearch(Optimizer):
+    """Repeated hill-climbing with random restarts.
+
+    From a random start, evaluate neighbours in random order and move to the
+    first improvement; when no neighbour improves (a local optimum), restart
+    from a fresh random architecture.  Runs until the budget is exhausted.
+    """
+
+    def run(self, objective: Objective, budget: int) -> SearchResult:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        rng = self._rng()
+        result = SearchResult()
+        evaluated: dict = {}
+
+        def eval_once(arch) -> float:
+            if arch not in evaluated:
+                evaluated[arch] = objective(arch)
+                result.record(arch, evaluated[arch])
+            return evaluated[arch]
+
+        while result.num_evaluations < budget:
+            current = self.space.sample(rng)
+            current_value = eval_once(current)
+            improved = True
+            while improved and result.num_evaluations < budget:
+                improved = False
+                neighbours = list(self.space.neighbors(current))
+                rng.shuffle(neighbours)
+                for cand in neighbours:
+                    if result.num_evaluations >= budget:
+                        break
+                    value = eval_once(cand)
+                    if value > current_value:
+                        current, current_value = cand, value
+                        improved = True
+                        break
+        return result

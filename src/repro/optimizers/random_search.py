@@ -1,0 +1,23 @@
+"""Random search baseline (Li & Talwalkar, 2020)."""
+
+from __future__ import annotations
+
+from repro.optimizers.base import Objective, Optimizer, SearchResult
+
+
+class RandomSearch(Optimizer):
+    """Uniform random sampling without replacement."""
+
+    def run(self, objective: Objective, budget: int) -> SearchResult:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        rng = self._rng()
+        result = SearchResult()
+        seen = set()
+        while result.num_evaluations < budget:
+            arch = self.space.sample(rng)
+            if arch in seen:
+                continue
+            seen.add(arch)
+            result.record(arch, objective(arch))
+        return result

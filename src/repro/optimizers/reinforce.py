@@ -1,0 +1,255 @@
+"""REINFORCE architecture search (Zoph & Le, 2017) with a factorised policy.
+
+The policy is a product of independent categorical distributions, one per
+(stage, decision) pair — 28 in total for the MnasNet space.  Each step samples
+a small batch of architectures, evaluates them, and ascends the policy
+gradient with an exponential-moving-average baseline:
+
+    grad log p(a) = onehot(a) - softmax(logits)        (per decision)
+    logits += lr * (reward - baseline) * grad log p(a)
+
+Bi-objective search (paper Fig. 4) uses the MnasNet soft-constraint reward
+``accuracy * (perf / target) ** w`` which trades accuracy against on-device
+throughput (or latency) around a target performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.pareto import pareto_front_indices
+from repro.optimizers.base import Objective, Optimizer, SearchResult
+from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
+
+
+def mnas_reward(
+    accuracy: float, perf: float, target: float, w: float = -0.07, maximize_perf: bool = True
+) -> float:
+    """MnasNet soft-constraint scalarisation of (accuracy, performance).
+
+    MnasNet defines ``reward = acc * (latency/target) ** w`` with
+    ``w = -0.07``: being slower than the target is penalised, being faster is
+    mildly rewarded, with diminishing influence either way.  For maximised
+    metrics (throughput) the exponent sign flips (``-w``) so that a higher
+    ratio raises the reward by the same diminishing factor.
+    """
+    if accuracy < 0 or perf <= 0 or target <= 0:
+        raise ValueError("accuracy must be >= 0 and perf/target positive")
+    ratio = perf / target
+    exponent = -w if maximize_perf else w
+    return accuracy * ratio**exponent
+
+
+class CategoricalPolicy:
+    """Factorised categorical distribution over a space's decision sites.
+
+    Works with any search space exposing the generic decision-site
+    interface: ``decision_sites()``, ``arch_from_decisions()`` and
+    ``arch_to_decisions()`` (MnasNet: 28 sites; Proxyless: 21 sites).
+    Invalid sampled combinations (spaces may constrain joint choices) are
+    rejected and resampled.
+    """
+
+    def __init__(self, space, seed: int = 0) -> None:
+        self.space = space
+        self._rng = np.random.default_rng(seed)
+        self._sites = space.decision_sites()
+        self._logits: list[np.ndarray] = [
+            np.zeros(len(choices)) for _, choices in self._sites
+        ]
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        z = logits - logits.max()
+        e = np.exp(z)
+        return e / e.sum()
+
+    def sample(self):
+        """Draw one architecture from the current policy."""
+        for _ in range(64):
+            decisions = {}
+            for (name, choices), logits in zip(self._sites, self._logits):
+                probs = self._softmax(logits)
+                pick = int(self._rng.choice(len(choices), p=probs))
+                decisions[name] = choices[pick]
+            try:
+                return self.space.arch_from_decisions(decisions)
+            except ValueError:
+                continue
+        raise RuntimeError("policy produced 64 invalid samples in a row")
+
+    def update(self, arch, advantage: float, lr: float) -> None:
+        """One REINFORCE gradient step for a single (arch, advantage) pair."""
+        decisions = self.space.arch_to_decisions(arch)
+        for (name, choices), logits in zip(self._sites, self._logits):
+            probs = self._softmax(logits)
+            grad = -probs
+            grad[choices.index(decisions[name])] += 1.0
+            logits += lr * advantage * grad
+
+    def mode(self):
+        """The most likely architecture under the current policy.
+
+        Raises ``ValueError`` if the per-site argmax combination violates a
+        joint space constraint (cannot happen for unconstrained spaces).
+        """
+        decisions = {
+            name: choices[int(np.argmax(logits))]
+            for (name, choices), logits in zip(self._sites, self._logits)
+        }
+        return self.space.arch_from_decisions(decisions)
+
+    def entropy(self) -> float:
+        """Summed entropy of all decision distributions (nats)."""
+        total = 0.0
+        for logits in self._logits:
+            p = self._softmax(logits)
+            total += float(-(p * np.log(p + 1e-12)).sum())
+        return total
+
+
+@dataclass
+class BiObjectiveResult:
+    """History of a bi-objective REINFORCE run.
+
+    Attributes:
+        archs: Evaluated architectures.
+        accuracies: Predicted accuracies.
+        performances: Predicted device performances.
+        rewards: Scalarised rewards.
+        device: Target device name.
+        metric: ``"throughput"`` or ``"latency"``.
+    """
+
+    archs: list[ArchSpec] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    performances: list[float] = field(default_factory=list)
+    rewards: list[float] = field(default_factory=list)
+    device: str = ""
+    metric: str = "throughput"
+
+    def record(self, arch: ArchSpec, acc: float, perf: float, reward: float) -> None:
+        """Append one evaluation."""
+        self.archs.append(arch)
+        self.accuracies.append(acc)
+        self.performances.append(perf)
+        self.rewards.append(reward)
+
+    def pareto_indices(self) -> np.ndarray:
+        """Indices of the accuracy-performance Pareto front."""
+        pts = np.stack([self.accuracies, self.performances], axis=1)
+        maximize = [True, self.metric != "latency"]
+        return pareto_front_indices(pts, maximize)
+
+    def pareto_points(self) -> list[tuple[ArchSpec, float, float]]:
+        """Pareto-optimal (arch, accuracy, performance) triples."""
+        return [
+            (self.archs[i], self.accuracies[i], self.performances[i])
+            for i in self.pareto_indices()
+        ]
+
+
+class Reinforce(Optimizer):
+    """REINFORCE with EMA baseline; uni- and bi-objective entry points.
+
+    Args:
+        space: Search space.
+        seed: Randomness seed.
+        learning_rate: Policy-gradient step size.
+        batch_size: Architectures sampled per policy update.
+        baseline_decay: EMA decay of the reward baseline.
+    """
+
+    def __init__(
+        self,
+        space: MnasNetSearchSpace | None = None,
+        seed: int = 0,
+        learning_rate: float = 0.15,
+        batch_size: int = 4,
+        baseline_decay: float = 0.9,
+    ) -> None:
+        super().__init__(space, seed)
+        if not 0.0 <= baseline_decay < 1.0:
+            raise ValueError("baseline_decay must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.baseline_decay = baseline_decay
+
+    def run(self, objective: Objective, budget: int) -> SearchResult:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        policy = CategoricalPolicy(self.space, seed=self.seed)
+        result = SearchResult()
+        baseline = None
+        while result.num_evaluations < budget:
+            batch = []
+            for _ in range(min(self.batch_size, budget - result.num_evaluations)):
+                arch = policy.sample()
+                value = objective(arch)
+                result.record(arch, value)
+                batch.append((arch, value))
+            mean_reward = float(np.mean([v for _, v in batch]))
+            baseline = (
+                mean_reward
+                if baseline is None
+                else self.baseline_decay * baseline
+                + (1 - self.baseline_decay) * mean_reward
+            )
+            for arch, value in batch:
+                policy.update(arch, value - baseline, self.learning_rate)
+        return result
+
+    def run_biobjective(
+        self,
+        accuracy_fn: Callable[[ArchSpec], float],
+        perf_fn: Callable[[ArchSpec], float],
+        target: float,
+        budget: int,
+        metric: str = "throughput",
+        device: str = "",
+        w: float = -0.07,
+    ) -> BiObjectiveResult:
+        """Accuracy-performance search with the MnasNet reward (Fig. 4).
+
+        Args:
+            accuracy_fn: Zero-cost accuracy oracle (benchmark surrogate).
+            perf_fn: Zero-cost performance oracle for one (device, metric).
+            target: Soft performance target in the reward.
+            budget: Number of architecture evaluations.
+            metric: ``"throughput"`` (maximise) or ``"latency"`` (minimise).
+            device: Device label recorded in the result.
+            w: MnasNet reward exponent.
+        """
+        if metric not in ("throughput", "latency"):
+            raise ValueError(f"unknown metric {metric!r}")
+        policy = CategoricalPolicy(self.space, seed=self.seed)
+        result = BiObjectiveResult(device=device, metric=metric)
+        baseline = None
+        maximize_perf = metric != "latency"
+        while len(result.archs) < budget:
+            batch = []
+            for _ in range(min(self.batch_size, budget - len(result.archs))):
+                arch = policy.sample()
+                acc = accuracy_fn(arch)
+                perf = perf_fn(arch)
+                # Surrogates can extrapolate slightly out of range; the
+                # reward scalarisation needs positive inputs.
+                reward = mnas_reward(
+                    max(acc, 0.0), max(perf, 1e-9), target, w=w,
+                    maximize_perf=maximize_perf,
+                )
+                result.record(arch, acc, perf, reward)
+                batch.append((arch, reward))
+            mean_reward = float(np.mean([r for _, r in batch]))
+            baseline = (
+                mean_reward
+                if baseline is None
+                else self.baseline_decay * baseline
+                + (1 - self.baseline_decay) * mean_reward
+            )
+            for arch, reward in batch:
+                policy.update(arch, reward - baseline, self.learning_rate)
+        return result

@@ -1,0 +1,80 @@
+"""Successive halving over training fidelity (extension optimizer).
+
+This is the classic training-proxy HPO method the paper cites as prior art
+for cheap evaluation: evaluate many architectures at a low fidelity (few
+epochs), keep the top fraction, re-evaluate at a higher fidelity, repeat.
+Here fidelity is the epoch budget of the simulated trainer, so the optimizer
+exercises the same proxy-vs-true ranking physics as the paper's Eq. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.optimizers.base import Optimizer, SearchResult
+from repro.searchspace.mnasnet import ArchSpec
+
+FidelityObjective = Callable[[ArchSpec, int], float]
+
+
+class SuccessiveHalving(Optimizer):
+    """Multi-fidelity elimination tournament.
+
+    Args:
+        space: Search space.
+        seed: Randomness seed.
+        eta: Keep the top ``1/eta`` fraction per rung.
+        fidelities: Increasing epoch budgets per rung.
+    """
+
+    def __init__(
+        self,
+        space=None,
+        seed: int = 0,
+        eta: int = 3,
+        fidelities: tuple[int, ...] = (10, 30, 90),
+    ) -> None:
+        super().__init__(space, seed)
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        if list(fidelities) != sorted(fidelities) or len(fidelities) < 1:
+            raise ValueError("fidelities must be a non-empty increasing tuple")
+        self.eta = eta
+        self.fidelities = fidelities
+
+    def run_multifidelity(
+        self, objective: FidelityObjective, initial_population: int
+    ) -> SearchResult:
+        """Run the halving tournament; record final-rung evaluations.
+
+        The returned :class:`SearchResult` contains every evaluation at every
+        rung (values from different rungs are not directly comparable; the
+        incumbent curve remains meaningful because fidelity only increases).
+        """
+        if initial_population < self.eta:
+            raise ValueError("initial population must be at least eta")
+        rng = self._rng()
+        candidates = self.space.sample_batch(initial_population, rng=rng, unique=True)
+        result = SearchResult()
+        for rung, fidelity in enumerate(self.fidelities):
+            values = []
+            for arch in candidates:
+                value = objective(arch, fidelity)
+                result.record(arch, value)
+                values.append(value)
+            if rung == len(self.fidelities) - 1:
+                break
+            keep = max(1, len(candidates) // self.eta)
+            order = np.argsort(values)[::-1][:keep]
+            candidates = [candidates[int(i)] for i in order]
+        return result
+
+    def run(self, objective, budget: int) -> SearchResult:
+        """Single-fidelity fallback: random search within ``budget``."""
+        rng = self._rng()
+        result = SearchResult()
+        for arch in self.space.sample_batch(budget, rng=rng, unique=True):
+            result.record(arch, objective(arch))
+        return result

@@ -1,0 +1,32 @@
+"""MnasNet hierarchical block-based search space (paper section 3.1).
+
+Seven sequentially connected stages of mobile inverted bottleneck (MBConv)
+layers.  Per stage, four categorical decisions are searchable:
+
+* expansion factor ``e`` in {1, 4, 6}
+* kernel size ``k`` in {3, 5}
+* number of layers ``L`` in {1, 2, 3}
+* squeeze-excitation ``se`` in {off, on}
+
+giving ``(3*2*3*2)**7 = 36**7 ~ 7.8e10 ~ 1e11`` unique models, matching the
+paper's search-space size.
+"""
+
+from repro.searchspace.mnasnet import (
+    ArchSpec,
+    MnasNetSearchSpace,
+    STAGE_SETTINGS,
+)
+from repro.searchspace.model_builder import build_model
+from repro.searchspace.features import FeatureEncoder
+from repro.searchspace.baselines import BASELINE_MODELS, BaselineModel
+
+__all__ = [
+    "ArchSpec",
+    "BASELINE_MODELS",
+    "BaselineModel",
+    "FeatureEncoder",
+    "MnasNetSearchSpace",
+    "STAGE_SETTINGS",
+    "build_model",
+]

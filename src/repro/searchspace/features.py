@@ -1,0 +1,117 @@
+"""Feature encodings that map architectures to surrogate-model inputs.
+
+The paper's surrogates consume "architecture specifications, such as operation
+types, filter sizes, layer specifications" — i.e. a tabular encoding of the
+per-stage decisions.  Three encodings are provided:
+
+``onehot``
+    One-hot per (stage, decision) pair: 7 stages x (3+2+3+2) = 70 columns.
+    The default, and what tree ensembles handle best on categorical spaces.
+``integer``
+    Raw decision values: 7 stages x 4 = 28 columns.
+``onehot+global``
+    One-hot plus global summary statistics (log-FLOPs, log-params, depth,
+    SE count), used by the feature-encoding ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.counters import count_graph
+from repro.searchspace.mnasnet import (
+    ArchSpec,
+    EXPANSION_CHOICES,
+    KERNEL_CHOICES,
+    LAYER_CHOICES,
+    NUM_STAGES,
+    SE_CHOICES,
+)
+from repro.searchspace.model_builder import build_model
+
+ENCODINGS = ("onehot", "integer", "onehot+global")
+
+_DECISION_CHOICES: tuple[tuple[str, tuple[int, ...]], ...] = (
+    ("expansion", EXPANSION_CHOICES),
+    ("kernel", KERNEL_CHOICES),
+    ("layers", LAYER_CHOICES),
+    ("se", SE_CHOICES),
+)
+
+
+@lru_cache(maxsize=65536)
+def _global_stats(arch: ArchSpec) -> tuple[float, float, float, float]:
+    counters = count_graph(build_model(arch))
+    return (
+        math.log10(counters.flops),
+        math.log10(counters.params),
+        float(arch.total_layers),
+        float(sum(arch.se)),
+    )
+
+
+class FeatureEncoder:
+    """Encode :class:`ArchSpec` instances as fixed-width float matrices.
+
+    Args:
+        encoding: One of :data:`ENCODINGS`.
+    """
+
+    def __init__(self, encoding: str = "onehot") -> None:
+        if encoding not in ENCODINGS:
+            raise ValueError(f"unknown encoding {encoding!r}; choose from {ENCODINGS}")
+        self.encoding = encoding
+
+    @property
+    def num_features(self) -> int:
+        """Width of the encoded feature vector."""
+        onehot = NUM_STAGES * sum(len(c) for _, c in _DECISION_CHOICES)
+        if self.encoding == "onehot":
+            return onehot
+        if self.encoding == "integer":
+            return NUM_STAGES * len(_DECISION_CHOICES)
+        return onehot + 4
+
+    def feature_names(self) -> list[str]:
+        """Human-readable column names aligned with :meth:`encode` output."""
+        names: list[str] = []
+        if self.encoding == "integer":
+            for stage in range(NUM_STAGES):
+                for field_name, _ in _DECISION_CHOICES:
+                    names.append(f"s{stage}.{field_name}")
+            return names
+        for stage in range(NUM_STAGES):
+            for field_name, choices in _DECISION_CHOICES:
+                for choice in choices:
+                    names.append(f"s{stage}.{field_name}={choice}")
+        if self.encoding == "onehot+global":
+            names.extend(["log_flops", "log_params", "total_layers", "num_se"])
+        return names
+
+    def encode_one(self, arch: ArchSpec) -> np.ndarray:
+        """Encode a single architecture to a 1-D float64 vector."""
+        if self.encoding == "integer":
+            row = []
+            for stage in range(NUM_STAGES):
+                for field_name, _ in _DECISION_CHOICES:
+                    row.append(float(getattr(arch, field_name)[stage]))
+            return np.asarray(row, dtype=np.float64)
+
+        row = []
+        for stage in range(NUM_STAGES):
+            for field_name, choices in _DECISION_CHOICES:
+                value = getattr(arch, field_name)[stage]
+                row.extend(1.0 if value == choice else 0.0 for choice in choices)
+        if self.encoding == "onehot+global":
+            row.extend(_global_stats(arch))
+        return np.asarray(row, dtype=np.float64)
+
+    def encode(self, archs: Sequence[ArchSpec]) -> np.ndarray:
+        """Encode a batch of architectures to an ``(n, num_features)`` matrix."""
+        if not archs:
+            return np.empty((0, self.num_features), dtype=np.float64)
+        return np.stack([self.encode_one(a) for a in archs])

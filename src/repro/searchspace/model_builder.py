@@ -1,0 +1,187 @@
+"""Build a concrete :class:`~repro.nn.graph.LayerGraph` from an architecture spec.
+
+The builder realises the full MnasNet/EfficientNet-B0 skeleton: a 3x3 stem
+convolution, seven MBConv stages parameterised by the spec, a 1x1 head
+convolution, global pooling, and the classifier.  Every MBConv layer expands
+with a pointwise conv (skipped at expansion 1), applies a depthwise conv,
+optionally squeeze-excitation, projects back down, and adds a residual
+shortcut when shapes allow.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    Activation,
+    Add,
+    Conv2d,
+    Dense,
+    GlobalAvgPool,
+    SqueezeExcite,
+    TensorShape,
+    conv_output_hw,
+)
+from repro.nn.graph import LayerGraph
+from repro.searchspace.mnasnet import (
+    ArchSpec,
+    DEFAULT_RESOLUTION,
+    HEAD_CHANNELS,
+    NUM_CLASSES,
+    STAGE_SETTINGS,
+    STEM_CHANNELS,
+)
+
+SE_RATIO = 0.25  # squeeze channels relative to the block *input* channels
+
+
+def _shape_after(shape: TensorShape, channels: int, kernel: int, stride: int) -> TensorShape:
+    return TensorShape(
+        channels,
+        conv_output_hw(shape.height, kernel, stride),
+        conv_output_hw(shape.width, kernel, stride),
+    )
+
+
+def _add_mbconv(
+    graph: LayerGraph,
+    prefix: str,
+    in_shape: TensorShape,
+    out_channels: int,
+    expansion: int,
+    kernel: int,
+    stride: int,
+    use_se: bool,
+    producer: str,
+) -> tuple[TensorShape, str]:
+    """Append one mobile-inverted-bottleneck layer; return (shape, last name)."""
+    cin = in_shape.channels
+    expanded = cin * expansion
+    cursor_shape = in_shape
+    cursor = producer
+
+    if expansion != 1:
+        shape = TensorShape(expanded, cursor_shape.height, cursor_shape.width)
+        graph.add(
+            Conv2d(
+                name=f"{prefix}.expand",
+                input_shape=cursor_shape,
+                output_shape=shape,
+                kernel_size=1,
+                stride=1,
+            ),
+            inputs=(cursor,),
+        )
+        graph.add(Activation(f"{prefix}.expand_act", shape, shape))
+        cursor, cursor_shape = f"{prefix}.expand_act", shape
+
+    dw_shape = _shape_after(cursor_shape, expanded, kernel, stride)
+    graph.add(
+        Conv2d(
+            name=f"{prefix}.dwconv",
+            input_shape=cursor_shape,
+            output_shape=dw_shape,
+            kernel_size=kernel,
+            stride=stride,
+            groups=expanded,
+        ),
+        inputs=(cursor,),
+    )
+    graph.add(Activation(f"{prefix}.dw_act", dw_shape, dw_shape))
+    cursor, cursor_shape = f"{prefix}.dw_act", dw_shape
+
+    if use_se:
+        se_channels = max(1, int(cin * SE_RATIO))
+        graph.add(
+            SqueezeExcite(
+                name=f"{prefix}.se",
+                input_shape=cursor_shape,
+                output_shape=cursor_shape,
+                se_channels=se_channels,
+            ),
+            inputs=(cursor,),
+        )
+        cursor = f"{prefix}.se"
+
+    proj_shape = TensorShape(out_channels, cursor_shape.height, cursor_shape.width)
+    graph.add(
+        Conv2d(
+            name=f"{prefix}.project",
+            input_shape=cursor_shape,
+            output_shape=proj_shape,
+            kernel_size=1,
+            stride=1,
+        ),
+        inputs=(cursor,),
+    )
+    cursor, cursor_shape = f"{prefix}.project", proj_shape
+
+    if stride == 1 and in_shape == proj_shape:
+        graph.add(
+            Add(f"{prefix}.residual", proj_shape, proj_shape),
+            inputs=(cursor, producer),
+        )
+        cursor = f"{prefix}.residual"
+
+    return cursor_shape, cursor
+
+
+def build_model(
+    arch: ArchSpec,
+    resolution: int = DEFAULT_RESOLUTION,
+    num_classes: int = NUM_CLASSES,
+) -> LayerGraph:
+    """Materialise ``arch`` as a shape-checked layer graph.
+
+    Args:
+        arch: Architecture decisions (any positive layer counts accepted, so
+            out-of-space baselines like EfficientNet-B0 can also be built).
+        resolution: Square input resolution (e.g. 224).
+        num_classes: Classifier width.
+
+    Returns:
+        A validated :class:`LayerGraph` ready for counting or simulation.
+    """
+    if resolution < 32:
+        raise ValueError(f"resolution {resolution} too small for 5 stride-2 stages")
+    in_shape = TensorShape(3, resolution, resolution)
+    graph = LayerGraph(f"mnasnet[{arch.to_string()}]@{resolution}", in_shape)
+
+    stem_shape = _shape_after(in_shape, STEM_CHANNELS, 3, 2)
+    graph.add(
+        Conv2d("stem.conv", in_shape, stem_shape, kernel_size=3, stride=2)
+    )
+    graph.add(Activation("stem.act", stem_shape, stem_shape))
+    cursor, cursor_shape = "stem.act", stem_shape
+
+    for stage_idx, setting in enumerate(STAGE_SETTINGS):
+        for layer_idx in range(arch.layers[stage_idx]):
+            stride = setting.stride if layer_idx == 0 else 1
+            cursor_shape, cursor = _add_mbconv(
+                graph,
+                prefix=f"s{stage_idx}.l{layer_idx}",
+                in_shape=cursor_shape,
+                out_channels=setting.out_channels,
+                expansion=arch.expansion[stage_idx],
+                kernel=arch.kernel[stage_idx],
+                stride=stride,
+                use_se=bool(arch.se[stage_idx]),
+                producer=cursor,
+            )
+
+    head_shape = TensorShape(HEAD_CHANNELS, cursor_shape.height, cursor_shape.width)
+    graph.add(
+        Conv2d("head.conv", cursor_shape, head_shape, kernel_size=1, stride=1),
+        inputs=(cursor,),
+    )
+    graph.add(Activation("head.act", head_shape, head_shape))
+    pooled = TensorShape(HEAD_CHANNELS, 1, 1)
+    graph.add(GlobalAvgPool("head.pool", head_shape, pooled))
+    graph.add(Dense("head.fc", pooled, TensorShape(num_classes, 1, 1)))
+
+    graph.validate()
+    return graph
+
+
+# Register the MnasNet space with the generic builder registry.
+from repro.searchspace.registry import register_builder  # noqa: E402
+
+register_builder(ArchSpec, build_model)

@@ -1,0 +1,298 @@
+"""ProxylessNAS-style per-layer search space (generalizability study).
+
+The paper's repository extends Accel-NASBench beyond the MnasNet space; this
+module implements the ProxylessNAS space in the same spirit: a MobileNetV2
+backbone whose 21 searchable layers each choose one *operation* from
+
+    MBConv(kernel in {3, 5, 7}) x (expansion in {3, 6})   or   skip
+
+Skipping a layer removes it entirely (depth search), except the first layer
+of each stage, which carries the stride/width change and cannot be skipped.
+The space holds ``6^6 * 7^15 ~ 2.2e17`` architectures.
+
+The module registers its builder and accuracy-structure term with
+:mod:`repro.searchspace.registry`, so the training and hardware simulators
+work on Proxyless architectures unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import (
+    Activation,
+    Conv2d,
+    Dense,
+    GlobalAvgPool,
+    TensorShape,
+)
+from repro.nn.graph import LayerGraph
+from repro.searchspace.model_builder import _add_mbconv, _shape_after
+from repro.searchspace.registry import register_builder, register_structure_term
+
+# Searchable operations: (kernel, expansion) pairs plus skip.
+PROXYLESS_OPS: tuple[str, ...] = (
+    "k3e3", "k3e6", "k5e3", "k5e6", "k7e3", "k7e6", "skip",
+)
+_NON_SKIP_OPS: tuple[str, ...] = tuple(op for op in PROXYLESS_OPS if op != "skip")
+
+
+@dataclass(frozen=True)
+class _ProxylessStage:
+    out_channels: int
+    stride: int
+    num_layers: int
+
+
+# MobileNetV2 backbone: 21 searchable layers in 6 stages.
+PROXYLESS_STAGES: tuple[_ProxylessStage, ...] = (
+    _ProxylessStage(24, 2, 4),
+    _ProxylessStage(40, 2, 4),
+    _ProxylessStage(80, 2, 4),
+    _ProxylessStage(96, 1, 4),
+    _ProxylessStage(192, 2, 4),
+    _ProxylessStage(320, 1, 1),
+)
+
+NUM_LAYERS = sum(s.num_layers for s in PROXYLESS_STAGES)
+
+# Index of each stage's first layer (stride-carrying; cannot be skip).
+STAGE_FIRST_LAYERS: tuple[int, ...] = tuple(
+    sum(s.num_layers for s in PROXYLESS_STAGES[:i])
+    for i in range(len(PROXYLESS_STAGES))
+)
+
+_STEM_CHANNELS = 32
+_FIRST_BLOCK_CHANNELS = 16
+_HEAD_CHANNELS = 1280
+
+
+def _op_kernel(op: str) -> int:
+    return int(op[1])
+
+
+def _op_expansion(op: str) -> int:
+    return int(op[3])
+
+
+@dataclass(frozen=True)
+class ProxylessArch:
+    """One architecture in the Proxyless space: an op per searchable layer."""
+
+    ops: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.ops) != NUM_LAYERS:
+            raise ValueError(f"need {NUM_LAYERS} ops, got {len(self.ops)}")
+        for op in self.ops:
+            if op not in PROXYLESS_OPS:
+                raise ValueError(f"unknown op {op!r}; valid: {PROXYLESS_OPS}")
+        for idx in STAGE_FIRST_LAYERS:
+            if self.ops[idx] == "skip":
+                raise ValueError(
+                    f"layer {idx} starts a stage and cannot be 'skip'"
+                )
+
+    def to_string(self) -> str:
+        """Canonical compact form, ops joined by '|'."""
+        return "|".join(self.ops)
+
+    @classmethod
+    def from_string(cls, text: str) -> "ProxylessArch":
+        """Inverse of :meth:`to_string`."""
+        return cls(tuple(text.strip().split("|")))
+
+    def stable_hash(self, salt: str = "") -> int:
+        """Deterministic 64-bit hash (process-independent)."""
+        digest = hashlib.blake2b(
+            (salt + "proxyless|" + self.to_string()).encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    @property
+    def total_layers(self) -> int:
+        """Number of layers actually present (non-skip)."""
+        return sum(1 for op in self.ops if op != "skip")
+
+    def kernel_sizes(self) -> tuple[int, ...]:
+        """Kernel size of each present layer."""
+        return tuple(_op_kernel(op) for op in self.ops if op != "skip")
+
+
+class ProxylessSearchSpace:
+    """Sampling, mutation and decision-site interface for the space."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def size(self) -> int:
+        """Exact number of valid architectures."""
+        num_first = len(STAGE_FIRST_LAYERS)
+        return len(_NON_SKIP_OPS) ** num_first * len(PROXYLESS_OPS) ** (
+            NUM_LAYERS - num_first
+        )
+
+    def _choices_at(self, layer: int) -> tuple[str, ...]:
+        return _NON_SKIP_OPS if layer in STAGE_FIRST_LAYERS else PROXYLESS_OPS
+
+    def _generator(self, rng):
+        return rng if rng is not None else self._rng
+
+    def sample(self, rng: np.random.Generator | None = None) -> ProxylessArch:
+        """Draw one architecture uniformly at random."""
+        gen = self._generator(rng)
+        ops = tuple(
+            str(self._choices_at(i)[int(gen.integers(0, len(self._choices_at(i))))])
+            for i in range(NUM_LAYERS)
+        )
+        return ProxylessArch(ops)
+
+    def sample_batch(
+        self, n: int, rng: np.random.Generator | None = None, unique: bool = False
+    ) -> list[ProxylessArch]:
+        """Draw ``n`` architectures; optionally reject duplicates."""
+        gen = self._generator(rng)
+        if not unique:
+            return [self.sample(gen) for _ in range(n)]
+        seen: set[ProxylessArch] = set()
+        out: list[ProxylessArch] = []
+        while len(out) < n:
+            arch = self.sample(gen)
+            if arch not in seen:
+                seen.add(arch)
+                out.append(arch)
+        return out
+
+    def mutate(
+        self, arch: ProxylessArch, rng: np.random.Generator | None = None
+    ) -> ProxylessArch:
+        """Resample one layer's op to a different valid value."""
+        gen = self._generator(rng)
+        layer = int(gen.integers(0, NUM_LAYERS))
+        alternatives = [o for o in self._choices_at(layer) if o != arch.ops[layer]]
+        new_op = alternatives[int(gen.integers(0, len(alternatives)))]
+        ops = list(arch.ops)
+        ops[layer] = new_op
+        return ProxylessArch(tuple(ops))
+
+    def neighbors(self, arch: ProxylessArch):
+        """Yield every architecture one op change away."""
+        for layer in range(NUM_LAYERS):
+            for op in self._choices_at(layer):
+                if op == arch.ops[layer]:
+                    continue
+                ops = list(arch.ops)
+                ops[layer] = op
+                yield ProxylessArch(tuple(ops))
+
+    def contains(self, arch: ProxylessArch) -> bool:
+        """Membership test (construction already validates)."""
+        return isinstance(arch, ProxylessArch)
+
+    # Generic decision-site interface (consumed by CategoricalPolicy).
+
+    def decision_sites(self) -> list[tuple[str, tuple[str, ...]]]:
+        """Ordered (site, choices) pairs, one per searchable layer."""
+        return [(f"l{i}", self._choices_at(i)) for i in range(NUM_LAYERS)]
+
+    def arch_to_decisions(self, arch: ProxylessArch) -> dict[str, str]:
+        """Flatten an architecture into per-site op choices."""
+        return {f"l{i}": op for i, op in enumerate(arch.ops)}
+
+    def arch_from_decisions(self, decisions: dict[str, str]) -> ProxylessArch:
+        """Inverse of :meth:`arch_to_decisions`."""
+        return ProxylessArch(
+            tuple(decisions[f"l{i}"] for i in range(NUM_LAYERS))
+        )
+
+
+def build_proxyless(
+    arch: ProxylessArch, resolution: int = 224, num_classes: int = 1000
+) -> LayerGraph:
+    """Materialise a Proxyless architecture as a layer graph."""
+    if resolution < 32:
+        raise ValueError(f"resolution {resolution} too small")
+    in_shape = TensorShape(3, resolution, resolution)
+    graph = LayerGraph(f"proxyless[{arch.to_string()}]@{resolution}", in_shape)
+
+    stem_shape = _shape_after(in_shape, _STEM_CHANNELS, 3, 2)
+    graph.add(Conv2d("stem.conv", in_shape, stem_shape, kernel_size=3, stride=2))
+    graph.add(Activation("stem.act", stem_shape, stem_shape))
+    cursor, cursor_shape = "stem.act", stem_shape
+
+    # Fixed first bottleneck (expansion 1) to 16 channels, as in MobileNetV2.
+    cursor_shape, cursor = _add_mbconv(
+        graph,
+        prefix="first",
+        in_shape=cursor_shape,
+        out_channels=_FIRST_BLOCK_CHANNELS,
+        expansion=1,
+        kernel=3,
+        stride=1,
+        use_se=False,
+        producer=cursor,
+    )
+
+    layer_idx = 0
+    for stage_idx, stage in enumerate(PROXYLESS_STAGES):
+        for local_idx in range(stage.num_layers):
+            op = arch.ops[layer_idx]
+            stride = stage.stride if local_idx == 0 else 1
+            if op != "skip":
+                cursor_shape, cursor = _add_mbconv(
+                    graph,
+                    prefix=f"s{stage_idx}.l{local_idx}",
+                    in_shape=cursor_shape,
+                    out_channels=stage.out_channels,
+                    expansion=_op_expansion(op),
+                    kernel=_op_kernel(op),
+                    stride=stride,
+                    use_se=False,
+                    producer=cursor,
+                )
+            layer_idx += 1
+
+    head_shape = TensorShape(_HEAD_CHANNELS, cursor_shape.height, cursor_shape.width)
+    graph.add(
+        Conv2d("head.conv", cursor_shape, head_shape, kernel_size=1, stride=1),
+        inputs=(cursor,),
+    )
+    graph.add(Activation("head.act", head_shape, head_shape))
+    pooled = TensorShape(_HEAD_CHANNELS, 1, 1)
+    graph.add(GlobalAvgPool("head.pool", head_shape, pooled))
+    graph.add(Dense("head.fc", pooled, TensorShape(num_classes, 1, 1)))
+    graph.validate()
+    return graph
+
+
+# Hidden accuracy-structure term for the Proxyless space: per-layer op
+# bonuses (stage-position dependent) plus adjacent-layer interactions, drawn
+# once from a fixed seed like the MnasNet landscape.
+_PROX_RNG = np.random.default_rng(20240624)
+_OP_BONUS = _PROX_RNG.uniform(-0.0012, 0.0030, size=(NUM_LAYERS, len(PROXYLESS_OPS)))
+_PAIR_SAME_KERNEL = _PROX_RNG.uniform(-0.002, 0.002, size=NUM_LAYERS - 1)
+_OP_INDEX = {op: i for i, op in enumerate(PROXYLESS_OPS)}
+_SKIP_INDEX = _OP_INDEX["skip"]
+# Skips trade capacity (already counted via FLOPs) for trainability: small
+# stage-position-dependent effect.
+_OP_BONUS[:, _SKIP_INDEX] = _PROX_RNG.uniform(-0.0008, 0.0012, size=NUM_LAYERS)
+
+
+def proxyless_structure_term(arch: ProxylessArch) -> float:
+    """Accuracy contribution of the per-layer op pattern."""
+    total = 0.0
+    for i, op in enumerate(arch.ops):
+        total += float(_OP_BONUS[i, _OP_INDEX[op]])
+    for i in range(NUM_LAYERS - 1):
+        a, b = arch.ops[i], arch.ops[i + 1]
+        if a != "skip" and b != "skip" and _op_kernel(a) == _op_kernel(b):
+            total += float(_PAIR_SAME_KERNEL[i])
+    return total
+
+
+register_builder(ProxylessArch, build_proxyless)
+register_structure_term(ProxylessArch, proxyless_structure_term)

@@ -1,0 +1,58 @@
+"""Search-space registry: build graphs and structure terms per spec type.
+
+The library started with one search space (MnasNet).  To support additional
+spaces (the paper's repository adds ProxylessNAS-style spaces for
+generalizability studies), space-specific logic is looked up here by the
+architecture-spec *type*:
+
+* ``build_graph`` — materialise any registered spec as a layer graph (used
+  by the hardware simulators and compute counters),
+* ``structure_term`` — the space-specific component of the hidden
+  asymptotic-accuracy landscape (used by the training simulator).
+
+Spaces register themselves at import time; importing ``repro.searchspace``
+registers the MnasNet space, ``repro.searchspace.proxyless`` the Proxyless
+space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nn.graph import LayerGraph
+
+_BUILDERS: dict[type, Callable[..., LayerGraph]] = {}
+_STRUCTURE_TERMS: dict[type, Callable[[object], float]] = {}
+
+
+def register_builder(spec_type: type, builder: Callable[..., LayerGraph]) -> None:
+    """Register the graph builder for a spec type."""
+    _BUILDERS[spec_type] = builder
+
+
+def register_structure_term(
+    spec_type: type, term: Callable[[object], float]
+) -> None:
+    """Register the accuracy structure term for a spec type."""
+    _STRUCTURE_TERMS[spec_type] = term
+
+
+def build_graph(arch, resolution: int = 224, num_classes: int = 1000) -> LayerGraph:
+    """Materialise any registered architecture spec as a layer graph."""
+    builder = _BUILDERS.get(type(arch))
+    if builder is None:
+        raise TypeError(
+            f"no builder registered for {type(arch).__name__}; "
+            f"registered: {[t.__name__ for t in _BUILDERS]}"
+        )
+    return builder(arch, resolution=resolution, num_classes=num_classes)
+
+
+def structure_term(arch) -> float:
+    """Space-specific accuracy contribution of the architecture's decisions."""
+    fn = _STRUCTURE_TERMS.get(type(arch))
+    if fn is None:
+        raise TypeError(
+            f"no structure term registered for {type(arch).__name__}"
+        )
+    return fn(arch)

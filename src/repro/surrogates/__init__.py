@@ -1,0 +1,68 @@
+"""From-scratch surrogate regressors (numpy only).
+
+The paper fits XGBoost, LightGBM, random forests and two SVR variants as
+candidate surrogates.  None of those libraries are available offline, so this
+package implements the same model families:
+
+* :mod:`repro.surrogates.tree` — histogram-binned CART builder operating on
+  gradient/hessian statistics (the XGBoost split objective); plain regression
+  trees are the special case ``g = -y, h = 1``.
+* :mod:`repro.surrogates.forest` — bagged random forests with per-node
+  feature subsampling.
+* :mod:`repro.surrogates.gbdt` — XGBoost-style boosting: second-order
+  objective, shrinkage, lambda/gamma regularisation, level-wise growth.
+* :mod:`repro.surrogates.lgb` — LightGBM-style boosting: leaf-wise
+  (best-first) growth bounded by ``num_leaves``.
+* :mod:`repro.surrogates.svr` — epsilon-SVR and nu-SVR with RBF/linear
+  kernels, solved by dual coordinate descent.
+"""
+
+from repro.surrogates.base import Regressor, clone_regressor
+from repro.surrogates.tree import DecisionTreeRegressor, HistogramBinner
+from repro.surrogates.forest import RandomForestRegressor
+from repro.surrogates.gbdt import XGBRegressor
+from repro.surrogates.lgb import LGBRegressor
+from repro.surrogates.svr import EpsilonSVR, NuSVR
+from repro.surrogates.gp import GPRegressor
+from repro.surrogates.serialize import regressor_from_dict, regressor_to_dict
+
+SURROGATE_FAMILIES = ("xgb", "lgb", "rf", "esvr", "nusvr", "gp")
+
+
+def make_surrogate(family: str, **params) -> Regressor:
+    """Construct a surrogate by family name.
+
+    Args:
+        family: One of ``xgb``, ``lgb``, ``rf``, ``esvr``, ``nusvr`` (the
+            paper's Table 1 rows) or ``gp`` (extension family).
+        **params: Passed through to the model constructor.
+    """
+    factories = {
+        "xgb": XGBRegressor,
+        "lgb": LGBRegressor,
+        "rf": RandomForestRegressor,
+        "esvr": EpsilonSVR,
+        "nusvr": NuSVR,
+        "gp": GPRegressor,
+    }
+    if family not in factories:
+        raise ValueError(f"unknown surrogate family {family!r}; known: {SURROGATE_FAMILIES}")
+    return factories[family](**params)
+
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "EpsilonSVR",
+    "GPRegressor",
+    "HistogramBinner",
+    "LGBRegressor",
+    "NuSVR",
+    "RandomForestRegressor",
+    "Regressor",
+    "SURROGATE_FAMILIES",
+    "XGBRegressor",
+    "clone_regressor",
+    "make_surrogate",
+    "regressor_from_dict",
+    "regressor_to_dict",
+]

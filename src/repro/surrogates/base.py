@@ -1,0 +1,62 @@
+"""Common regressor protocol shared by all surrogate models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Regressor(ABC):
+    """Minimal fit/predict interface with sklearn-style parameter access.
+
+    Subclasses store all constructor arguments as same-named attributes so
+    that :meth:`get_params` / :meth:`set_params` work generically — the HPO
+    loop relies on this.
+    """
+
+    _PARAM_NAMES: tuple[str, ...] = ()
+
+    @abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Regressor":
+        """Fit on ``X`` of shape (n, d) and targets ``y`` of shape (n,)."""
+
+    @abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for ``X``; returns shape (n,)."""
+
+    def get_params(self) -> dict:
+        """Constructor parameters as a dict."""
+        return {name: getattr(self, name) for name in self._PARAM_NAMES}
+
+    def set_params(self, **params) -> "Regressor":
+        """Update constructor parameters in place; returns self."""
+        for name, value in params.items():
+            if name not in self._PARAM_NAMES:
+                raise ValueError(
+                    f"{type(self).__name__} has no parameter {name!r}; "
+                    f"valid: {self._PARAM_NAMES}"
+                )
+            setattr(self, name, value)
+        return self
+
+    @staticmethod
+    def _validate_xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}"
+            )
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if not np.all(np.isfinite(X)) or not np.all(np.isfinite(y)):
+            raise ValueError("X and y must be finite")
+        return X, y
+
+
+def clone_regressor(model: Regressor) -> Regressor:
+    """Fresh, unfitted copy of ``model`` with identical parameters."""
+    return type(model)(**model.get_params())

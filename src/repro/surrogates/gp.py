@@ -1,0 +1,114 @@
+"""Gaussian-process regression surrogate (extension family).
+
+An exact GP with RBF kernel and Gaussian noise, solved by Cholesky
+factorisation.  Not among the paper's Table 1 candidates, but the natural
+next family to compare — it supplies calibrated predictive uncertainty,
+which tree ensembles only approximate.  Cubic training cost is kept
+tractable the same way as the SVR solvers: an optional training-subsample
+cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve, cholesky
+
+from repro.surrogates.base import Regressor
+from repro.surrogates.svr import rbf_kernel
+
+
+class GPRegressor(Regressor):
+    """Exact GP regression with RBF kernel.
+
+    Args:
+        length_scale: RBF length scale in standardised-feature space; ``None``
+            uses the median pairwise-distance heuristic.
+        noise: Observation-noise variance added to the kernel diagonal.
+        max_samples: Optional training-subsample cap (Cholesky is O(n^3)).
+        seed: Subsampling seed.
+    """
+
+    _PARAM_NAMES = ("length_scale", "noise", "max_samples", "seed")
+
+    def __init__(
+        self,
+        length_scale: float | None = None,
+        noise: float = 1e-4,
+        max_samples: int | None = 1500,
+        seed: int = 0,
+    ) -> None:
+        if noise <= 0:
+            raise ValueError("noise must be positive")
+        self.length_scale = length_scale
+        self.noise = noise
+        self.max_samples = max_samples
+        self.seed = seed
+        self._X: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._chol = None
+        self._y_mean = 0.0
+        self._gamma = 1.0
+        self._x_mean: np.ndarray | None = None
+        self._x_scale: np.ndarray | None = None
+
+    def _standardize(self, X: np.ndarray, fit: bool) -> np.ndarray:
+        if fit:
+            self._x_mean = X.mean(axis=0)
+            scale = X.std(axis=0)
+            scale[scale == 0] = 1.0
+            self._x_scale = scale
+        assert self._x_mean is not None and self._x_scale is not None
+        return (X - self._x_mean) / self._x_scale
+
+    def _resolve_gamma(self, X: np.ndarray, rng: np.random.Generator) -> float:
+        if self.length_scale is not None:
+            if self.length_scale <= 0:
+                raise ValueError("length_scale must be positive")
+            return 1.0 / (2.0 * self.length_scale**2)
+        # Median heuristic on a subsample of pairwise distances.
+        n = len(X)
+        k = min(n, 256)
+        rows = rng.choice(n, size=k, replace=False)
+        sub = X[rows]
+        sq = (
+            np.sum(sub**2, axis=1)[:, None]
+            + np.sum(sub**2, axis=1)[None, :]
+            - 2 * sub @ sub.T
+        )
+        median_sq = float(np.median(sq[np.triu_indices(k, k=1)]))
+        if median_sq <= 0:
+            return 1.0
+        return 1.0 / median_sq
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GPRegressor":
+        X, y = self._validate_xy(X, y)
+        rng = np.random.default_rng(self.seed)
+        if self.max_samples is not None and len(X) > self.max_samples:
+            rows = rng.choice(len(X), size=self.max_samples, replace=False)
+            X, y = X[rows], y[rows]
+        Xs = self._standardize(X, fit=True)
+        self._gamma = self._resolve_gamma(Xs, rng)
+        K = rbf_kernel(Xs, Xs, self._gamma)
+        K[np.diag_indices_from(K)] += self.noise
+        self._chol = cho_factor(K, lower=True)
+        self._y_mean = float(y.mean())
+        self._alpha = cho_solve(self._chol, y - self._y_mean)
+        self._X = Xs
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._alpha is None or self._X is None:
+            raise RuntimeError("model is not fitted")
+        Xs = self._standardize(np.asarray(X, dtype=np.float64), fit=False)
+        k_star = rbf_kernel(Xs, self._X, self._gamma)
+        return k_star @ self._alpha + self._y_mean
+
+    def predict_std(self, X: np.ndarray) -> np.ndarray:
+        """Predictive standard deviation (calibrated GP uncertainty)."""
+        if self._alpha is None or self._X is None:
+            raise RuntimeError("model is not fitted")
+        Xs = self._standardize(np.asarray(X, dtype=np.float64), fit=False)
+        k_star = rbf_kernel(Xs, self._X, self._gamma)
+        v = cho_solve(self._chol, k_star.T)
+        var = 1.0 + self.noise - np.sum(k_star * v.T, axis=1)
+        return np.sqrt(np.maximum(var, 1e-12))

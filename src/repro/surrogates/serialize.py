@@ -1,0 +1,128 @@
+"""JSON persistence for fitted surrogates (the released benchmark artefact).
+
+The public Accel-NASBench artefact is a set of *fitted* surrogates; users
+query them without retraining.  This module round-trips every surrogate
+family through plain JSON-compatible dicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogates.base import Regressor
+from repro.surrogates.forest import RandomForestRegressor
+from repro.surrogates.gbdt import XGBRegressor
+from repro.surrogates.lgb import LGBRegressor
+from repro.surrogates.gp import GPRegressor
+from repro.surrogates.svr import EpsilonSVR, NuSVR
+from repro.surrogates.transform import TransformedTargetRegressor
+from repro.surrogates.tree import DecisionTreeRegressor, FittedTree
+
+_CLASSES: dict[str, type[Regressor]] = {
+    "DecisionTreeRegressor": DecisionTreeRegressor,
+    "RandomForestRegressor": RandomForestRegressor,
+    "XGBRegressor": XGBRegressor,
+    "LGBRegressor": LGBRegressor,
+    "EpsilonSVR": EpsilonSVR,
+    "NuSVR": NuSVR,
+    "GPRegressor": GPRegressor,
+}
+
+
+def regressor_to_dict(model: Regressor) -> dict:
+    """Serialise a fitted surrogate to a JSON-compatible dict."""
+    if isinstance(model, TransformedTargetRegressor):
+        return {
+            "kind": "TransformedTargetRegressor",
+            "params": _jsonify(model.get_params()),
+            "base": regressor_to_dict(model.base),
+        }
+    kind = type(model).__name__
+    if kind not in _CLASSES:
+        raise TypeError(f"cannot serialise {kind}")
+    payload: dict = {"kind": kind, "params": _jsonify(model.get_params())}
+    if isinstance(model, DecisionTreeRegressor):
+        payload["tree"] = model.tree_.to_dict()
+    elif isinstance(model, (RandomForestRegressor,)):
+        payload["trees"] = [t.to_dict() for t in model.trees_]
+    elif isinstance(model, XGBRegressor):  # covers LGBRegressor
+        payload["trees"] = [t.to_dict() for t in model._trees]
+        payload["base_score"] = model._base_score
+    elif isinstance(model, EpsilonSVR):  # covers NuSVR
+        if model._beta is None or model._X is None:
+            raise RuntimeError("cannot serialise an unfitted SVR")
+        payload["svr"] = {
+            "beta": model._beta.tolist(),
+            "X": model._X.tolist(),
+            "bias": model._bias,
+            "gamma_value": model._gamma_value,
+            "x_mean": model._x_mean.tolist(),
+            "x_scale": model._x_scale.tolist(),
+        }
+    elif isinstance(model, GPRegressor):
+        if model._alpha is None or model._X is None:
+            raise RuntimeError("cannot serialise an unfitted GP")
+        payload["gp"] = {
+            "X": model._X.tolist(),
+            "alpha": model._alpha.tolist(),
+            "y_mean": model._y_mean,
+            "gamma": model._gamma,
+            "x_mean": model._x_mean.tolist(),
+            "x_scale": model._x_scale.tolist(),
+        }
+    return payload
+
+
+def regressor_from_dict(data: dict) -> Regressor:
+    """Reconstruct a fitted surrogate from :func:`regressor_to_dict` output."""
+    kind = data["kind"]
+    if kind == "TransformedTargetRegressor":
+        return TransformedTargetRegressor(
+            base=regressor_from_dict(data["base"]), **data["params"]
+        )
+    if kind not in _CLASSES:
+        raise TypeError(f"unknown regressor kind {kind!r}")
+    model = _CLASSES[kind](**data["params"])
+    if isinstance(model, DecisionTreeRegressor):
+        model._tree = FittedTree.from_dict(data["tree"])
+    elif isinstance(model, RandomForestRegressor):
+        model._trees = [FittedTree.from_dict(t) for t in data["trees"]]
+    elif isinstance(model, XGBRegressor):
+        model._trees = [FittedTree.from_dict(t) for t in data["trees"]]
+        model._base_score = data["base_score"]
+    elif isinstance(model, EpsilonSVR):
+        svr = data["svr"]
+        model._beta = np.asarray(svr["beta"])
+        model._X = np.asarray(svr["X"])
+        model._bias = svr["bias"]
+        model._gamma_value = svr["gamma_value"]
+        model._x_mean = np.asarray(svr["x_mean"])
+        model._x_scale = np.asarray(svr["x_scale"])
+    elif isinstance(model, GPRegressor):
+        gp = data["gp"]
+        model._X = np.asarray(gp["X"])
+        model._alpha = np.asarray(gp["alpha"])
+        model._y_mean = gp["y_mean"]
+        model._gamma = gp["gamma"]
+        model._x_mean = np.asarray(gp["x_mean"])
+        model._x_scale = np.asarray(gp["x_scale"])
+        # Cholesky is reconstructed lazily only if predict_std is needed.
+        from scipy.linalg import cho_factor
+
+        from repro.surrogates.svr import rbf_kernel
+
+        K = rbf_kernel(model._X, model._X, model._gamma)
+        K[np.diag_indices_from(K)] += model.noise
+        model._chol = cho_factor(K, lower=True)
+    return model
+
+
+def _jsonify(params: dict) -> dict:
+    out = {}
+    for key, value in params.items():
+        if isinstance(value, (np.integer,)):
+            value = int(value)
+        elif isinstance(value, (np.floating,)):
+            value = float(value)
+        out[key] = value
+    return out

@@ -1,0 +1,71 @@
+"""Target-transform wrapper: fit in transformed space, predict raw values.
+
+Surrogate targets span very different scales (accuracies in [0.6, 0.8],
+throughputs in the thousands) and the performance metrics have multiplicative
+structure (throughput ~ 1 / time).  The fitter therefore trains models on an
+optionally log-transformed, standardised target and wraps the fitted model so
+that ``predict`` returns values in the original units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogates.base import Regressor
+
+
+class TransformedTargetRegressor(Regressor):
+    """Wrap a fitted regressor with an invertible target transform.
+
+    The forward transform applied at fit time was::
+
+        t = (log(y) if log else y - mu) / sigma        # mu/sigma in t-space
+
+    i.e. ``t = (f(y) - mu) / sigma`` with ``f = log`` or identity;
+    ``predict`` inverts it.
+
+    Args:
+        base: The underlying regressor (fitted in transformed space).
+        mu: Mean subtracted in transformed space.
+        sigma: Scale divided in transformed space.
+        log: Whether the transform included a log.
+    """
+
+    _PARAM_NAMES = ("mu", "sigma", "log")
+
+    def __init__(
+        self, base: Regressor, mu: float = 0.0, sigma: float = 1.0, log: bool = False
+    ) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.base = base
+        self.mu = mu
+        self.sigma = sigma
+        self.log = log
+
+    @classmethod
+    def transform_target(
+        cls, y: np.ndarray, log: bool = False
+    ) -> tuple[np.ndarray, float, float]:
+        """Forward transform; returns (t, mu, sigma)."""
+        y = np.asarray(y, dtype=np.float64)
+        if log:
+            if np.any(y <= 0):
+                raise ValueError("log transform requires positive targets")
+            y = np.log(y)
+        mu = float(y.mean())
+        sigma = float(y.std()) or 1.0
+        return (y - mu) / sigma, mu, sigma
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "TransformedTargetRegressor":
+        """Refit the wrapped model through the stored transform."""
+        t, self.mu, self.sigma = self.transform_target(y, self.log)
+        self.base.fit(X, t)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        raw = self.base.predict(X) * self.sigma + self.mu
+        return np.exp(raw) if self.log else raw
+
+    def get_params(self) -> dict:
+        return {"mu": self.mu, "sigma": self.sigma, "log": self.log}

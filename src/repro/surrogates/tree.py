@@ -1,0 +1,486 @@
+"""Histogram-based regression trees on gradient/hessian statistics.
+
+This module is the shared engine of all tree ensembles in the library.  A
+tree is grown on *binned* features (quantile histogram, as in LightGBM) and
+minimises the second-order boosting objective (as in XGBoost):
+
+    gain = 1/2 * [ GL^2/(HL+lambda) + GR^2/(HR+lambda) - G^2/(H+lambda) ] - gamma
+    leaf value = -G / (H + lambda)
+
+Plain regression trees (and hence random forests) are the special case
+``g = -y, h = 1, lambda = 0``, for which the leaf value reduces to the mean
+target and the gain to variance reduction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.surrogates.base import Regressor
+
+_NO_FEATURE = -1
+
+
+class HistogramBinner:
+    """Quantile binning of continuous features into small integer codes."""
+
+    def __init__(self, max_bins: int = 64) -> None:
+        if not 2 <= max_bins <= 256:
+            raise ValueError("max_bins must be in [2, 256]")
+        self.max_bins = max_bins
+        self.thresholds_: list[np.ndarray] | None = None
+
+    def fit(self, X: np.ndarray) -> "HistogramBinner":
+        """Compute per-feature candidate split thresholds from quantiles."""
+        X = np.asarray(X, dtype=np.float64)
+        thresholds = []
+        for j in range(X.shape[1]):
+            col = X[:, j]
+            uniq = np.unique(col)
+            if len(uniq) <= 1:
+                thresholds.append(np.empty(0))
+                continue
+            if len(uniq) <= self.max_bins:
+                cuts = (uniq[:-1] + uniq[1:]) / 2.0
+            else:
+                qs = np.quantile(col, np.linspace(0, 1, self.max_bins + 1)[1:-1])
+                cuts = np.unique(qs)
+            thresholds.append(cuts)
+        self.thresholds_ = thresholds
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Map features to bin codes; shape (n, d), dtype int16."""
+        if self.thresholds_ is None:
+            raise RuntimeError("binner is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        codes = np.empty(X.shape, dtype=np.int16)
+        for j, cuts in enumerate(self.thresholds_):
+            codes[:, j] = np.searchsorted(cuts, X[:, j], side="left")
+        return codes
+
+    def num_bins(self, feature: int) -> int:
+        """Number of bins for ``feature`` (thresholds + 1)."""
+        if self.thresholds_ is None:
+            raise RuntimeError("binner is not fitted")
+        return len(self.thresholds_[feature]) + 1
+
+
+@dataclass
+class _Split:
+    """A candidate split of one node."""
+
+    gain: float
+    feature: int
+    bin_idx: int           # go left if code <= bin_idx
+    threshold: float       # raw-value threshold equivalent
+
+
+@dataclass
+class FittedTree:
+    """Flat array representation of a fitted tree (fast vectorised predict)."""
+
+    feature: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+    threshold: np.ndarray = field(default_factory=lambda: np.empty(0))
+    left: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+    right: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+    value: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.feature)
+
+    @property
+    def num_leaves(self) -> int:
+        return int(np.sum(self.feature == _NO_FEATURE))
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (root = depth 0)."""
+        depth = np.zeros(self.num_nodes, dtype=int)
+        for i in range(self.num_nodes):
+            if self.feature[i] != _NO_FEATURE:
+                depth[self.left[i]] = depth[i] + 1
+                depth[self.right[i]] = depth[i] + 1
+        return int(depth.max(initial=0))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Route every row of ``X`` to its leaf value."""
+        X = np.asarray(X, dtype=np.float64)
+        n = X.shape[0]
+        idx = np.zeros(n, dtype=np.int64)
+        while True:
+            feat = self.feature[idx]
+            internal = feat != _NO_FEATURE
+            if not internal.any():
+                break
+            rows = np.nonzero(internal)[0]
+            f = feat[rows]
+            go_left = X[rows, f] <= self.threshold[idx[rows]]
+            idx[rows] = np.where(go_left, self.left[idx[rows]], self.right[idx[rows]])
+        return self.value[idx]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "feature": self.feature.tolist(),
+            "threshold": self.threshold.tolist(),
+            "left": self.left.tolist(),
+            "right": self.right.tolist(),
+            "value": self.value.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FittedTree":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            feature=np.asarray(data["feature"], dtype=np.int32),
+            threshold=np.asarray(data["threshold"], dtype=np.float64),
+            left=np.asarray(data["left"], dtype=np.int32),
+            right=np.asarray(data["right"], dtype=np.int32),
+            value=np.asarray(data["value"], dtype=np.float64),
+        )
+
+
+class TreeEnsemblePredictor:
+    """Traverse many trees simultaneously (fast single-row ensemble queries).
+
+    Concatenates all member trees into flat arrays with global node offsets;
+    prediction advances an ``(n_rows, n_trees)`` cursor matrix level by level,
+    so the per-call Python overhead is O(max_depth) instead of O(n_trees).
+    Returns the *sum* of tree outputs (callers apply averaging/shrinkage).
+    """
+
+    def __init__(self, trees: list[FittedTree]) -> None:
+        if not trees:
+            raise ValueError("need at least one tree")
+        roots = []
+        offset = 0
+        feats, thresholds, lefts, rights, values = [], [], [], [], []
+        for tree in trees:
+            roots.append(offset)
+            feats.append(tree.feature)
+            thresholds.append(tree.threshold)
+            # Internal child pointers shift by the tree's offset; leaves keep -1.
+            internal = tree.feature != _NO_FEATURE
+            lefts.append(np.where(internal, tree.left + offset, -1))
+            rights.append(np.where(internal, tree.right + offset, -1))
+            values.append(tree.value)
+            offset += tree.num_nodes
+        self._roots = np.asarray(roots, dtype=np.int64)
+        self._feature = np.concatenate(feats)
+        self._threshold = np.concatenate(thresholds)
+        self._left = np.concatenate(lefts).astype(np.int64)
+        self._right = np.concatenate(rights).astype(np.int64)
+        self._value = np.concatenate(values)
+        self.num_trees = len(trees)
+
+    def predict_sum(self, X: np.ndarray) -> np.ndarray:
+        """Sum of all tree predictions per row of ``X``."""
+        X = np.asarray(X, dtype=np.float64)
+        n = X.shape[0]
+        idx = np.broadcast_to(self._roots, (n, self.num_trees)).copy()
+        rows = np.arange(n)[:, None]
+        while True:
+            feat = self._feature[idx]
+            internal = feat != _NO_FEATURE
+            if not internal.any():
+                break
+            safe_feat = np.where(internal, feat, 0)
+            go_left = X[rows, safe_feat] <= self._threshold[idx]
+            nxt = np.where(go_left, self._left[idx], self._right[idx])
+            idx = np.where(internal, nxt, idx)
+        return self._value[idx].sum(axis=1)
+
+
+class GradientTreeBuilder:
+    """Grow one tree on binned features and (grad, hess) statistics.
+
+    Args:
+        binner: Fitted :class:`HistogramBinner` (provides thresholds).
+        max_depth: Depth cap (root = 0); ignored if None.
+        num_leaves: Leaf-count cap for leaf-wise growth; ignored if None.
+        growth: ``"depthwise"`` (XGBoost-style level order) or ``"leafwise"``
+            (LightGBM-style best-first).
+        min_child_samples: Minimum samples on each side of a split.
+        min_child_weight: Minimum hessian sum on each side.
+        reg_lambda: L2 regularisation on leaf values.
+        gamma: Minimum gain required to make a split.
+        colsample_bynode: Fraction of features examined per node.
+        rng: Randomness source for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        binner: HistogramBinner,
+        max_depth: int | None = 6,
+        num_leaves: int | None = None,
+        growth: str = "depthwise",
+        min_child_samples: int = 5,
+        min_child_weight: float = 1e-3,
+        reg_lambda: float = 1.0,
+        gamma: float = 0.0,
+        colsample_bynode: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if growth not in ("depthwise", "leafwise"):
+            raise ValueError(f"unknown growth policy {growth!r}")
+        if not 0.0 < colsample_bynode <= 1.0:
+            raise ValueError("colsample_bynode must be in (0, 1]")
+        self.binner = binner
+        self.max_depth = max_depth
+        self.num_leaves = num_leaves
+        self.growth = growth
+        self.min_child_samples = min_child_samples
+        self.min_child_weight = min_child_weight
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.colsample_bynode = colsample_bynode
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def _leaf_value(self, g_sum: float, h_sum: float) -> float:
+        return -g_sum / (h_sum + self.reg_lambda)
+
+    def _score(self, g_sum: float | np.ndarray, h_sum: float | np.ndarray):
+        denom = h_sum + self.reg_lambda
+        if np.isscalar(denom):
+            return g_sum**2 / max(denom, 1e-12)
+        return g_sum**2 / np.maximum(denom, 1e-12)
+
+    def _feature_subset(self, num_features: int) -> np.ndarray:
+        if self.colsample_bynode >= 1.0:
+            return np.arange(num_features)
+        k = max(1, int(round(self.colsample_bynode * num_features)))
+        return self.rng.choice(num_features, size=k, replace=False)
+
+    def _best_split(
+        self, codes: np.ndarray, g: np.ndarray, h: np.ndarray, idx: np.ndarray
+    ) -> _Split | None:
+        """Best histogram split of the samples in ``idx``, or None.
+
+        All (sub-sampled) features are histogrammed in a single ``bincount``
+        by offsetting each feature's codes into its own bin range, then gains
+        for every (feature, bin) pair are computed in one vectorised pass.
+        """
+        assert self.binner.thresholds_ is not None
+        feats = self._feature_subset(codes.shape[1])
+        bmax = max(self.binner.num_bins(int(j)) for j in feats)
+        if bmax < 2:
+            return None
+        k = len(feats)
+        m = len(idx)
+        sub = codes[np.ix_(idx, feats)].astype(np.int64)
+        flat = (sub + np.arange(k, dtype=np.int64)[None, :] * bmax).ravel()
+        total_bins = k * bmax
+        n_hist = np.bincount(flat, minlength=total_bins).reshape(k, bmax)
+        g_node = g[idx]
+        g_hist = np.bincount(
+            flat, weights=np.repeat(g_node, k), minlength=total_bins
+        ).reshape(k, bmax)
+        if self._unit_hessian:
+            h_hist = n_hist.astype(np.float64)
+            h_total = float(m)
+        else:
+            h_node = h[idx]
+            h_hist = np.bincount(
+                flat, weights=np.repeat(h_node, k), minlength=total_bins
+            ).reshape(k, bmax)
+            h_total = float(h_node.sum())
+        g_total = float(g_node.sum())
+        parent_score = self._score(g_total, h_total)
+
+        nl = np.cumsum(n_hist, axis=1)[:, :-1]
+        gl = np.cumsum(g_hist, axis=1)[:, :-1]
+        hl = np.cumsum(h_hist, axis=1)[:, :-1]
+        nr, gr, hr = m - nl, g_total - gl, h_total - hl
+        # Split point b on feature j is only meaningful for b < num_bins(j)-1.
+        nbins = np.asarray([self.binner.num_bins(int(j)) for j in feats])
+        in_range = np.arange(bmax - 1)[None, :] < (nbins - 1)[:, None]
+        valid = (
+            in_range
+            & (nl >= self.min_child_samples)
+            & (nr >= self.min_child_samples)
+            & (hl >= self.min_child_weight)
+            & (hr >= self.min_child_weight)
+        )
+        if not valid.any():
+            return None
+        gains = (
+            0.5 * (self._score(gl, hl) + self._score(gr, hr) - parent_score)
+            - self.gamma
+        )
+        gains = np.where(valid, gains, -np.inf)
+        flat_best = int(np.argmax(gains))
+        row, b = divmod(flat_best, bmax - 1)
+        if gains[row, b] <= 0:
+            return None
+        feature = int(feats[row])
+        return _Split(
+            gain=float(gains[row, b]),
+            feature=feature,
+            bin_idx=b,
+            threshold=float(self.binner.thresholds_[feature][b]),
+        )
+
+    def build(self, codes: np.ndarray, g: np.ndarray, h: np.ndarray) -> FittedTree:
+        """Grow and return a fitted tree.
+
+        Args:
+            codes: Binned features, shape (n, d).
+            g: Gradient per sample.
+            h: Hessian per sample (all positive).
+        """
+        n = codes.shape[0]
+        if n == 0:
+            raise ValueError("cannot build a tree on zero samples")
+        self._unit_hessian = bool(np.all(h == 1.0))
+        features: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        values: list[float] = []
+
+        def new_node(idx: np.ndarray) -> int:
+            node_id = len(features)
+            features.append(_NO_FEATURE)
+            thresholds.append(0.0)
+            lefts.append(-1)
+            rights.append(-1)
+            values.append(self._leaf_value(float(g[idx].sum()), float(h[idx].sum())))
+            return node_id
+
+        root_idx = np.arange(n)
+        root = new_node(root_idx)
+
+        if self.growth == "depthwise":
+            self._grow_depthwise(codes, g, h, root, root_idx, features, thresholds, lefts, rights, values, new_node)
+        else:
+            self._grow_leafwise(codes, g, h, root, root_idx, features, thresholds, lefts, rights, values, new_node)
+
+        return FittedTree(
+            feature=np.asarray(features, dtype=np.int32),
+            threshold=np.asarray(thresholds, dtype=np.float64),
+            left=np.asarray(lefts, dtype=np.int32),
+            right=np.asarray(rights, dtype=np.int32),
+            value=np.asarray(values, dtype=np.float64),
+        )
+
+    def _apply_split(
+        self, codes: np.ndarray, idx: np.ndarray, split: _Split
+    ) -> tuple[np.ndarray, np.ndarray]:
+        mask = codes[idx, split.feature] <= split.bin_idx
+        return idx[mask], idx[~mask]
+
+    def _grow_depthwise(
+        self, codes, g, h, root, root_idx, features, thresholds, lefts, rights, values, new_node
+    ) -> None:
+        queue: list[tuple[int, np.ndarray, int]] = [(root, root_idx, 0)]
+        while queue:
+            node_id, idx, depth = queue.pop(0)
+            if self.max_depth is not None and depth >= self.max_depth:
+                continue
+            if len(idx) < 2 * self.min_child_samples:
+                continue
+            split = self._best_split(codes, g, h, idx)
+            if split is None:
+                continue
+            left_idx, right_idx = self._apply_split(codes, idx, split)
+            features[node_id] = split.feature
+            thresholds[node_id] = split.threshold
+            left_id, right_id = new_node(left_idx), new_node(right_idx)
+            lefts[node_id], rights[node_id] = left_id, right_id
+            queue.append((left_id, left_idx, depth + 1))
+            queue.append((right_id, right_idx, depth + 1))
+
+    def _grow_leafwise(
+        self, codes, g, h, root, root_idx, features, thresholds, lefts, rights, values, new_node
+    ) -> None:
+        leaf_cap = self.num_leaves if self.num_leaves is not None else 31
+        heap: list[tuple[float, int, int, np.ndarray, _Split, int]] = []
+        counter = 0  # tie-breaker: heapq cannot compare ndarrays
+
+        def push(node_id: int, idx: np.ndarray, depth: int) -> None:
+            nonlocal counter
+            if self.max_depth is not None and depth >= self.max_depth:
+                return
+            if len(idx) < 2 * self.min_child_samples:
+                return
+            split = self._best_split(codes, g, h, idx)
+            if split is not None:
+                heapq.heappush(heap, (-split.gain, counter, node_id, idx, split, depth))
+                counter += 1
+
+        push(root, root_idx, 0)
+        num_leaves = 1
+        while heap and num_leaves < leaf_cap:
+            _, _, node_id, idx, split, depth = heapq.heappop(heap)
+            left_idx, right_idx = self._apply_split(codes, idx, split)
+            features[node_id] = split.feature
+            thresholds[node_id] = split.threshold
+            left_id, right_id = new_node(left_idx), new_node(right_idx)
+            lefts[node_id], rights[node_id] = left_id, right_id
+            num_leaves += 1
+            push(left_id, left_idx, depth + 1)
+            push(right_id, right_idx, depth + 1)
+
+
+class DecisionTreeRegressor(Regressor):
+    """Plain CART regression tree (mean leaf values, variance-gain splits).
+
+    Args:
+        max_depth: Depth cap.
+        min_samples_leaf: Minimum samples per leaf.
+        max_bins: Histogram resolution.
+        colsample_bynode: Feature fraction examined per split (used by
+            random forests).
+        seed: Feature-subsampling seed.
+    """
+
+    _PARAM_NAMES = ("max_depth", "min_samples_leaf", "max_bins", "colsample_bynode", "seed")
+
+    def __init__(
+        self,
+        max_depth: int = 10,
+        min_samples_leaf: int = 2,
+        max_bins: int = 64,
+        colsample_bynode: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_bins = max_bins
+        self.colsample_bynode = colsample_bynode
+        self.seed = seed
+        self._tree: FittedTree | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = self._validate_xy(X, y)
+        binner = HistogramBinner(self.max_bins).fit(X)
+        builder = GradientTreeBuilder(
+            binner,
+            max_depth=self.max_depth,
+            min_child_samples=self.min_samples_leaf,
+            min_child_weight=0.0,
+            reg_lambda=0.0,
+            gamma=0.0,
+            colsample_bynode=self.colsample_bynode,
+            rng=np.random.default_rng(self.seed),
+        )
+        codes = binner.transform(X)
+        self._tree = builder.build(codes, g=-y, h=np.ones_like(y))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._tree is None:
+            raise RuntimeError("model is not fitted")
+        return self._tree.predict(np.asarray(X, dtype=np.float64))
+
+    @property
+    def tree_(self) -> FittedTree:
+        """The fitted tree (raises if unfitted)."""
+        if self._tree is None:
+            raise RuntimeError("model is not fitted")
+        return self._tree

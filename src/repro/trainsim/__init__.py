@@ -1,0 +1,48 @@
+"""Simulated ImageNet2012 training substrate.
+
+The paper trains 5.2k models on ImageNet2012 (17k GPU-hours) to collect its
+accuracy dataset.  That is substituted here by an analytical simulator with
+three layers:
+
+* :mod:`repro.trainsim.accuracy_model` — a hidden deterministic "asymptotic
+  accuracy" function of the architecture (what infinite high-fidelity training
+  would reach),
+* :mod:`repro.trainsim.learning_curve` — how far a concrete training scheme
+  gets toward that asymptote (epoch/resolution/batch-size effects), plus the
+  scheme- and seed-dependent noise that makes cheap schemes *rank-noisy*,
+* :mod:`repro.trainsim.cost_model` — GPU-hours consumed by a training run.
+
+Surrogate fitting, proxy search and the NAS optimizers only ever observe
+``(architecture, accuracy, train_time)`` triples, exactly as they would with
+real training, so every downstream code path of the paper is exercised
+unchanged.
+"""
+
+from repro.trainsim.schemes import (
+    P_STAR,
+    PROXY_SCHEME_GRID,
+    REFERENCE_SCHEME,
+    TrainingScheme,
+    proxy_scheme_candidates,
+)
+from repro.trainsim.trainer import SimulatedTrainer, TrainResult
+from repro.trainsim.datasets import DATASETS, DatasetSpec, IMAGENET, IMAGENET100, get_dataset
+from repro.trainsim.cost_model import TrainingCostModel
+from repro.trainsim.accuracy_model import asymptotic_accuracy
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "IMAGENET",
+    "IMAGENET100",
+    "P_STAR",
+    "PROXY_SCHEME_GRID",
+    "REFERENCE_SCHEME",
+    "SimulatedTrainer",
+    "TrainResult",
+    "TrainingCostModel",
+    "TrainingScheme",
+    "asymptotic_accuracy",
+    "get_dataset",
+    "proxy_scheme_candidates",
+]

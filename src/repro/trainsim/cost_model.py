@@ -1,0 +1,76 @@
+"""GPU-hours cost model for simulated training runs.
+
+Models a single RTX 3090-class training node (the paper's accuracy dataset
+was collected on 6 nodes x 4 RTX 3090s).  Per-epoch cost is dataset-size x
+forward+backward FLOPs at that epoch's resolution, divided by an effective
+device rate that improves with batch size (better kernel occupancy) up to a
+saturation point, plus a fixed per-epoch overhead (validation pass, data
+pipeline restarts, checkpointing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.nn.counters import count_graph
+from repro.searchspace.mnasnet import ArchSpec
+from repro.searchspace.registry import build_graph
+from repro.trainsim.schemes import EVAL_RESOLUTION, TrainingScheme
+
+IMAGENET_TRAIN_IMAGES = 1_281_167
+# Backward pass costs roughly 2x forward.
+_FWD_BWD_MULT = 3.0
+
+
+@dataclass(frozen=True)
+class TrainingCostModel:
+    """Analytic GPU-hours estimator for one training run.
+
+    Attributes:
+        peak_flops: Device peak throughput in FLOP/s (fp16 tensor-core class).
+        base_utilisation: Fraction of peak achieved at the reference batch.
+        batch_half_point: Batch size at which occupancy reaches half of its
+            asymptotic improvement.
+        epoch_overhead_hours: Fixed per-epoch cost (validation, I/O).
+        dataset_images: Training-set size per epoch.
+    """
+
+    peak_flops: float = 71e12  # RTX 3090 fp16 tensor peak
+    base_utilisation: float = 0.18
+    batch_half_point: float = 192.0
+    epoch_overhead_hours: float = 0.004
+    dataset_images: int = IMAGENET_TRAIN_IMAGES
+
+    def effective_rate(self, batch_size: int) -> float:
+        """Sustained FLOP/s at the given batch size."""
+        occupancy = batch_size / (batch_size + self.batch_half_point)
+        # Normalise so the reference batch of 256 gives base_utilisation.
+        ref_occupancy = 256.0 / (256.0 + self.batch_half_point)
+        return self.peak_flops * self.base_utilisation * occupancy / ref_occupancy
+
+    def train_time_hours(self, arch: ArchSpec, scheme: TrainingScheme) -> float:
+        """GPU-hours to train ``arch`` under ``scheme`` on one device."""
+        flops_224 = _train_flops_at_eval_res(arch)
+        rate = self.effective_rate(scheme.batch_size)
+        seconds = 0.0
+        for epoch in range(scheme.epochs):
+            res_ratio_sq = (scheme.resolution_at(epoch) / EVAL_RESOLUTION) ** 2
+            epoch_flops = self.dataset_images * flops_224 * res_ratio_sq
+            seconds += epoch_flops / rate
+        return seconds / 3600.0 + scheme.epochs * self.epoch_overhead_hours
+
+    def speedup_over(
+        self, arch: ArchSpec, scheme: TrainingScheme, reference: TrainingScheme
+    ) -> float:
+        """Cost ratio ``t_reference / t_scheme`` for a single architecture."""
+        return self.train_time_hours(arch, reference) / self.train_time_hours(
+            arch, scheme
+        )
+
+
+@lru_cache(maxsize=200_000)
+def _train_flops_at_eval_res(arch) -> float:
+    """Forward+backward FLOPs per image at the evaluation resolution."""
+    counters = count_graph(build_graph(arch, resolution=EVAL_RESOLUTION))
+    return _FWD_BWD_MULT * counters.flops

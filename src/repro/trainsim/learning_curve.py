@@ -1,0 +1,120 @@
+"""Convergence model: how close a training scheme gets to the asymptote.
+
+A trained accuracy decomposes as::
+
+    acc(arch, scheme, seed) = a_inf(arch) * epoch_factor * res_factor
+                              * batch_factor
+                              + interaction(arch, scheme)   # rank noise
+                              + seed_noise(scheme, seed)
+
+``epoch_factor`` is a saturating exponential whose time constant grows with
+model capacity (big models converge slower, so *short* schedules genuinely
+reorder architectures).  ``res_factor`` penalises finishing training below the
+224px evaluation resolution, more for architectures whose receptive-field
+budget (large kernels, depth) depends on it.  ``interaction`` is the key
+quantity for the paper's Eq. 1: a deterministic, hash-seeded perturbation
+whose amplitude *grows as the scheme gets cheaper* — this is what degrades the
+Kendall tau of aggressive proxies even after seed-averaging.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from repro.searchspace.mnasnet import ArchSpec
+from repro.trainsim.accuracy_model import _counters
+from repro.trainsim.schemes import EVAL_RESOLUTION, TrainingScheme
+
+# Epoch convergence: factor = 1 - A * exp(-epochs / tau(arch)).
+_EPOCH_DEFICIT = 0.30
+_EPOCH_TAU_BASE = 26.0
+_EPOCH_TAU_CAP_EXP = 0.15  # tau scales with (flops / flops_ref)^exp
+_REF_FLOPS = 0.8e9
+
+# Final-resolution penalty (relative accuracy factor).
+_RES_PENALTY = 0.060
+_RES_SENSITIVITY_K5 = 0.25   # extra sensitivity per large-kernel stage frac
+_RES_SENSITIVITY_DEPTH = 0.15
+
+# Large-batch generalisation penalty (relative factor).
+_BATCH_PENALTY = 0.0035
+_BATCH_REF = 256
+
+# Scheme-arch interaction (rank) noise amplitude components.
+_INT_BASE = 0.0005
+_INT_EPOCH = 0.018
+_INT_EPOCH_TAU = 26.0
+_INT_RES = 0.0060
+
+# Seed-to-seed noise std.
+_SEED_BASE = 0.0010
+_SEED_EPOCH = 0.0022
+_SEED_EPOCH_TAU = 35.0
+
+
+def epoch_time_constant(arch: ArchSpec) -> float:
+    """Convergence time constant (epochs); larger for bigger models."""
+    flops = _counters(arch).flops
+    return _EPOCH_TAU_BASE * (flops / _REF_FLOPS) ** _EPOCH_TAU_CAP_EXP
+
+
+def epoch_factor(arch: ArchSpec, scheme: TrainingScheme) -> float:
+    """Fraction of asymptotic accuracy reached after ``scheme.epochs``."""
+    tau = epoch_time_constant(arch)
+    return 1.0 - _EPOCH_DEFICIT * math.exp(-scheme.epochs / tau)
+
+
+def resolution_sensitivity(arch) -> float:
+    """How strongly this architecture's accuracy depends on input resolution."""
+    kernels = arch.kernel_sizes()
+    k5_frac = sum(1 for k in kernels if k >= 5) / max(len(kernels), 1)
+    depth_frac = min(max((arch.total_layers - 7) / 14.0, 0.0), 1.0)
+    return 1.0 + _RES_SENSITIVITY_K5 * k5_frac + _RES_SENSITIVITY_DEPTH * depth_frac
+
+
+def res_factor(arch: ArchSpec, scheme: TrainingScheme) -> float:
+    """Accuracy factor from finishing training below evaluation resolution."""
+    deficit = max(0.0, 1.0 - scheme.res_end / EVAL_RESOLUTION)
+    return 1.0 - _RES_PENALTY * deficit * resolution_sensitivity(arch)
+
+
+def batch_factor(scheme: TrainingScheme) -> float:
+    """Mild generalisation penalty for batch sizes away from the reference."""
+    shift = abs(math.log2(scheme.batch_size / _BATCH_REF))
+    return 1.0 - _BATCH_PENALTY * shift**2
+
+
+def interaction_amplitude(scheme: TrainingScheme) -> float:
+    """Rank-noise amplitude of a scheme; zero-ish for high-fidelity training."""
+    epoch_part = _INT_EPOCH * math.exp(-scheme.epochs / _INT_EPOCH_TAU)
+    res_part = _INT_RES * max(0.0, 1.0 - scheme.res_end / EVAL_RESOLUTION)
+    return _INT_BASE + epoch_part + res_part
+
+
+@lru_cache(maxsize=500_000)
+def interaction(arch: ArchSpec, scheme: TrainingScheme) -> float:
+    """Deterministic scheme-architecture accuracy perturbation.
+
+    Reproduces the empirical fact that a cheap schedule does not merely shift
+    every model's accuracy down — it *reorders* models, because optimisation
+    shortcuts interact with architecture in hard-to-predict ways.
+    """
+    rng = np.random.default_rng(arch.stable_hash("interaction|" + str(scheme)))
+    return float(rng.normal(0.0, interaction_amplitude(scheme)))
+
+
+def seed_noise_std(scheme: TrainingScheme) -> float:
+    """Std of run-to-run accuracy variation under ``scheme``."""
+    return _SEED_BASE + _SEED_EPOCH * math.exp(-scheme.epochs / _SEED_EPOCH_TAU)
+
+
+def converged_fraction(arch: ArchSpec, scheme: TrainingScheme) -> float:
+    """Product of all deterministic convergence factors (no noise terms)."""
+    return (
+        epoch_factor(arch, scheme)
+        * res_factor(arch, scheme)
+        * batch_factor(scheme)
+    )

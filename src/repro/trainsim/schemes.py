@@ -1,0 +1,156 @@
+"""Training schemes: the hyperparameters the proxy search optimises over.
+
+A scheme is the tuple ``{b, e_t, e_s, e_f, res_s, res_f}`` from paper Eq. 1's
+parameterisation: batch size, total epochs, and a progressive-resizing
+schedule (input resolution ramps linearly from ``res_s`` to ``res_f`` between
+epochs ``e_s`` and ``e_f``, as in Karras et al.'s progressive growing).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+EVAL_RESOLUTION = 224
+
+
+@dataclass(frozen=True)
+class TrainingScheme:
+    """One (possibly proxified) training configuration.
+
+    Attributes:
+        batch_size: Global training batch size ``b``.
+        epochs: Total training epochs ``e_t``.
+        resize_start_epoch: Epoch ``e_s`` at which resolution starts ramping.
+        resize_end_epoch: Epoch ``e_f`` at which resolution reaches ``res_f``.
+        res_start: Starting input resolution ``res_s``.
+        res_end: Final input resolution ``res_f``.
+    """
+
+    batch_size: int
+    epochs: int
+    resize_start_epoch: int
+    resize_end_epoch: int
+    res_start: int
+    res_end: int
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.epochs < 1:
+            raise ValueError("epochs must be positive")
+        if not 0 <= self.resize_start_epoch <= self.resize_end_epoch <= self.epochs:
+            raise ValueError(
+                "need 0 <= resize_start_epoch <= resize_end_epoch <= epochs, got "
+                f"{self.resize_start_epoch}, {self.resize_end_epoch}, {self.epochs}"
+            )
+        if self.res_start < 32 or self.res_end < 32:
+            raise ValueError("resolutions must be >= 32")
+        if self.res_start > self.res_end:
+            raise ValueError("progressive resizing must not shrink resolution")
+
+    def resolution_at(self, epoch: int) -> int:
+        """Input resolution used during ``epoch`` (0-indexed)."""
+        if epoch < 0 or epoch >= self.epochs:
+            raise ValueError(f"epoch {epoch} outside [0, {self.epochs})")
+        if epoch < self.resize_start_epoch or self.res_start == self.res_end:
+            return self.res_start
+        if epoch >= self.resize_end_epoch:
+            return self.res_end
+        span = self.resize_end_epoch - self.resize_start_epoch
+        frac = (epoch - self.resize_start_epoch) / span
+        return round(self.res_start + frac * (self.res_end - self.res_start))
+
+    def mean_res_sq_ratio(self) -> float:
+        """Mean over epochs of ``(res / EVAL_RESOLUTION)^2``.
+
+        Convolutional FLOPs scale with the square of resolution, so this is
+        the resolution-induced compute ratio of the scheme relative to
+        training at the evaluation resolution throughout.
+        """
+        total = sum(
+            (self.resolution_at(ep) / EVAL_RESOLUTION) ** 2
+            for ep in range(self.epochs)
+        )
+        return total / self.epochs
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "batch_size": self.batch_size,
+            "epochs": self.epochs,
+            "resize_start_epoch": self.resize_start_epoch,
+            "resize_end_epoch": self.resize_end_epoch,
+            "res_start": self.res_start,
+            "res_end": self.res_end,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrainingScheme":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+    def __str__(self) -> str:
+        return (
+            f"b{self.batch_size}-e{self.epochs}"
+            f"-r{self.res_start}>{self.res_end}"
+            f"@{self.resize_start_epoch}>{self.resize_end_epoch}"
+        )
+
+
+# Reference scheme `r`: the high-fidelity timm-style ImageNet recipe the paper
+# uses as ground truth (footnote 2).  Constant 224px, 300 epochs.
+REFERENCE_SCHEME = TrainingScheme(
+    batch_size=256,
+    epochs=300,
+    resize_start_epoch=0,
+    resize_end_epoch=0,
+    res_start=EVAL_RESOLUTION,
+    res_end=EVAL_RESOLUTION,
+)
+
+# The proxy scheme `p*` found by the training-proxy search (paper section
+# 3.2): ~6x cheaper than the reference with strong rank correlation.  Kept as
+# a constant so benchmark construction does not need to re-run the search;
+# `repro.core.proxy_search` re-derives it (see bench_proxy_search).
+P_STAR = TrainingScheme(
+    batch_size=512,
+    epochs=80,
+    resize_start_epoch=0,
+    resize_end_epoch=60,
+    res_start=128,
+    res_end=224,
+)
+
+# Categorical grids for the proxy-scheme search (paper section 3.2: "all six
+# training hyperparameters ... are categorical hyperparameters with
+# pre-specified values").
+PROXY_SCHEME_GRID: dict[str, tuple[int, ...]] = {
+    "batch_size": (256, 512, 1024),
+    "epochs": (15, 30, 50, 80, 120),
+    "resize_start_epoch": (0, 10),
+    "resize_end_epoch": (20, 40, 60),
+    "res_start": (96, 128, 160),
+    "res_end": (192, 224),
+}
+
+
+def proxy_scheme_candidates(
+    grid: dict[str, tuple[int, ...]] | None = None,
+) -> list[TrainingScheme]:
+    """Enumerate all *valid* schemes in the categorical grid.
+
+    Combinations violating the scheme invariants (e.g. resize window longer
+    than the run) are silently skipped, mirroring how a grid search would
+    reject infeasible configurations.
+    """
+    grid = grid if grid is not None else PROXY_SCHEME_GRID
+    keys = list(grid)
+    candidates = []
+    for values in itertools.product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, values))
+        try:
+            candidates.append(TrainingScheme(**params))
+        except ValueError:
+            continue
+    return candidates

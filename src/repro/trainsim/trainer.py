@@ -1,0 +1,111 @@
+"""The simulated trainer: the only gateway to architecture accuracy.
+
+``SimulatedTrainer.train`` plays the role of a full ImageNet training run: it
+returns a top-1 accuracy and the GPU-hours the run would have consumed.  All
+benchmark datasets, proxy searches and "true" NAS evaluations in this
+repository obtain accuracy exclusively through this interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+import numpy as np
+
+from repro.searchspace.mnasnet import ArchSpec
+from repro.trainsim.accuracy_model import asymptotic_accuracy
+from repro.trainsim.cost_model import TrainingCostModel
+from repro.trainsim.learning_curve import (
+    converged_fraction,
+    interaction,
+    seed_noise_std,
+)
+from repro.trainsim.schemes import TrainingScheme
+
+
+@dataclass(frozen=True)
+class TrainResult:
+    """Outcome of one simulated training run.
+
+    Attributes:
+        arch: The trained architecture.
+        scheme: Training scheme used.
+        seed: Run seed.
+        top1: Final top-1 validation accuracy in [0, 1].
+        train_hours: Single-device GPU-hours consumed.
+    """
+
+    arch: ArchSpec
+    scheme: TrainingScheme
+    seed: int
+    top1: float
+    train_hours: float
+
+
+class SimulatedTrainer:
+    """Deterministic, seedable stand-in for image-classification training.
+
+    Args:
+        cost_model: GPU-hours estimator; default models an RTX 3090 node
+            sized to the bound dataset.
+        dataset: Dataset to train on; ``None`` means ImageNet2012.  A trainer
+            instance is bound to one dataset, mirroring how one collection
+            campaign targets one dataset.
+    """
+
+    def __init__(
+        self,
+        cost_model: TrainingCostModel | None = None,
+        dataset=None,
+    ) -> None:
+        self.dataset = dataset
+        if cost_model is None:
+            if dataset is not None:
+                cost_model = TrainingCostModel(dataset_images=dataset.train_images)
+            else:
+                cost_model = TrainingCostModel()
+        self.cost_model = cost_model
+
+    def _noise_scale(self) -> float:
+        return 1.0 if self.dataset is None else self.dataset.noise_scale
+
+    def expected_top1(self, arch: ArchSpec, scheme: TrainingScheme) -> float:
+        """Noise-free expected accuracy (mean over infinitely many seeds)."""
+        clean = asymptotic_accuracy(arch, self.dataset) * converged_fraction(
+            arch, scheme
+        )
+        return float(np.clip(clean + interaction(arch, scheme), 0.0, 1.0))
+
+    def train(self, arch: ArchSpec, scheme: TrainingScheme, seed: int = 0) -> TrainResult:
+        """Run one simulated training job.
+
+        Identical ``(arch, scheme, seed)`` triples always produce identical
+        results, across processes and platforms.
+        """
+        tag = "" if self.dataset is None else f"|{self.dataset.name}"
+        rng = np.random.default_rng(
+            arch.stable_hash(f"train-seed|{seed}|{scheme}{tag}")
+        )
+        noise = rng.normal(0.0, seed_noise_std(scheme) * self._noise_scale())
+        top1 = float(np.clip(self.expected_top1(arch, scheme) + noise, 0.0, 1.0))
+        hours = self.cost_model.train_time_hours(arch, scheme)
+        return TrainResult(arch=arch, scheme=scheme, seed=seed, top1=top1, train_hours=hours)
+
+    def train_mean(
+        self, arch: ArchSpec, scheme: TrainingScheme, seeds: tuple[int, ...] = (0, 1, 2)
+    ) -> tuple[float, float, float]:
+        """Train with several seeds; return (mean, std, hours_per_run).
+
+        Matches the paper's Fig. 3 protocol of averaging three runs.
+        """
+        if not seeds:
+            raise ValueError("need at least one seed")
+        results = [self.train(arch, scheme, seed) for seed in seeds]
+        accs = [r.top1 for r in results]
+        mu = mean(accs)
+        if len(accs) > 1:
+            std = float(np.std(np.asarray(accs), ddof=1))
+        else:
+            std = 0.0
+        return mu, std, results[0].train_hours

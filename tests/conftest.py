@@ -1,0 +1,68 @@
+"""Shared fixtures: search space, small collected datasets, fitted models.
+
+Expensive artefacts (dataset collection, surrogate fits) are session-scoped
+so the suite stays fast on a single core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import collect_accuracy_dataset, sample_dataset_archs
+from repro.searchspace.features import FeatureEncoder
+from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
+from repro.trainsim.schemes import P_STAR
+from repro.trainsim.trainer import SimulatedTrainer
+
+
+@pytest.fixture(scope="session")
+def space() -> MnasNetSearchSpace:
+    return MnasNetSearchSpace(seed=0)
+
+
+@pytest.fixture(scope="session")
+def some_archs(space) -> list[ArchSpec]:
+    """60 distinct random architectures."""
+    return space.sample_batch(60, rng=np.random.default_rng(1234), unique=True)
+
+
+@pytest.fixture(scope="session")
+def tiny_arch() -> ArchSpec:
+    """The smallest architecture in the space."""
+    return ArchSpec(
+        expansion=(1,) * 7, kernel=(3,) * 7, layers=(1,) * 7, se=(0,) * 7
+    )
+
+
+@pytest.fixture(scope="session")
+def big_arch() -> ArchSpec:
+    """The largest architecture in the space."""
+    return ArchSpec(
+        expansion=(6,) * 7, kernel=(5,) * 7, layers=(3,) * 7, se=(1,) * 7
+    )
+
+
+@pytest.fixture(scope="session")
+def trainer() -> SimulatedTrainer:
+    return SimulatedTrainer()
+
+
+@pytest.fixture(scope="session")
+def small_acc_dataset():
+    """ANB-Acc over 300 architectures (shared across test modules)."""
+    archs = sample_dataset_archs(300, seed=5)
+    return collect_accuracy_dataset(archs, P_STAR)
+
+
+@pytest.fixture(scope="session")
+def encoder() -> FeatureEncoder:
+    return FeatureEncoder("onehot")
+
+
+@pytest.fixture(scope="session")
+def xy_small(small_acc_dataset, encoder):
+    """Feature matrix / target vector of the small accuracy dataset."""
+    X = encoder.encode(small_acc_dataset.archs)
+    y = small_acc_dataset.values
+    return X, y

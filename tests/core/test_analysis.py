@@ -1,0 +1,90 @@
+"""Unit tests for the benchmark-validation analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    decile_taus,
+    prediction_report,
+    regret_curve,
+    topk_overlap,
+)
+
+
+@pytest.fixture
+def noisy_pair():
+    rng = np.random.default_rng(0)
+    true = rng.normal(size=200)
+    predicted = true + rng.normal(scale=0.3, size=200)
+    return true, predicted
+
+
+class TestTopkOverlap:
+    def test_perfect_prediction(self):
+        v = np.arange(50, dtype=float)
+        assert topk_overlap(v, v, 5) == 1.0
+
+    def test_reversed_prediction(self):
+        v = np.arange(50, dtype=float)
+        assert topk_overlap(v, -v, 5) == 0.0
+
+    def test_k_validated(self):
+        v = np.arange(10, dtype=float)
+        with pytest.raises(ValueError):
+            topk_overlap(v, v, 0)
+        with pytest.raises(ValueError):
+            topk_overlap(v, v, 11)
+
+    def test_partial_overlap(self):
+        true = np.array([0, 1, 2, 3.0])
+        pred = np.array([0, 3, 1, 2.0])
+        # true top-2 {2,3}; predicted top-2 {1,3} -> overlap 1/2.
+        assert topk_overlap(true, pred, 2) == 0.5
+
+
+class TestPredictionReport:
+    def test_fields_consistent(self, noisy_pair):
+        true, predicted = noisy_pair
+        report = prediction_report(true, predicted)
+        assert report.n == 200
+        assert 0.7 < report.r2 < 1.0
+        assert 0.5 < report.kendall < 1.0
+        assert report.top10_overlap > 0.3
+        assert "R2=" in report.row()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            prediction_report(np.ones(5), np.ones(4))
+
+
+class TestDecileTaus:
+    def test_ten_values(self, noisy_pair):
+        taus = decile_taus(*noisy_pair)
+        assert len(taus) == 10
+        assert all(-1 <= t <= 1 for t in taus)
+
+    def test_perfect_prediction_all_ones(self):
+        v = np.linspace(0, 1, 100)
+        assert all(t == pytest.approx(1.0) for t in decile_taus(v, v))
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            decile_taus(np.arange(10), np.arange(10))
+
+
+class TestRegret:
+    def test_zero_regret_for_perfect(self):
+        v = np.arange(100, dtype=float)
+        assert all(r == 0.0 for r in regret_curve(v, v).values())
+
+    def test_regret_decreases_with_k(self, noisy_pair):
+        true, predicted = noisy_pair
+        curve = regret_curve(true, predicted, ks=(1, 5, 25))
+        assert curve[25] <= curve[1]
+
+    def test_oversized_k_skipped(self):
+        v = np.arange(10, dtype=float)
+        assert 25 not in regret_curve(v, v, ks=(1, 25))
+
+    def test_regret_nonnegative(self, noisy_pair):
+        assert all(r >= 0 for r in regret_curve(*noisy_pair).values())

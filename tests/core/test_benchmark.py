@@ -1,0 +1,98 @@
+"""Unit tests for the AccelNASBench query interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import AccelNASBench
+from repro.trainsim.schemes import P_STAR
+
+
+@pytest.fixture(scope="module")
+def bench():
+    bench, reports = AccelNASBench.build(
+        P_STAR,
+        num_archs=250,
+        devices={"a100": ("throughput",), "zcu102": ("throughput", "latency")},
+        sample_seed=2,
+    )
+    return bench, reports
+
+
+class TestBuild:
+    def test_reports_cover_all_targets(self, bench):
+        _, reports = bench
+        assert len(reports) == 4  # accuracy + 3 perf targets
+        assert reports[0].dataset == "ANB-Acc"
+
+    def test_targets_listed(self, bench):
+        b, _ = bench
+        assert b.targets == [
+            ("a100", "throughput"),
+            ("zcu102", "latency"),
+            ("zcu102", "throughput"),
+        ]
+
+    def test_meta_records_provenance(self, bench):
+        b, _ = bench
+        assert b.meta["scheme"] == P_STAR.to_dict()
+        assert b.meta["num_archs"] == 250
+
+
+class TestQuery:
+    def test_accuracy_in_range(self, bench, some_archs):
+        b, _ = bench
+        for arch in some_archs[:10]:
+            assert 0.5 < b.query_accuracy(arch) < 0.9
+
+    def test_performance_positive(self, bench, some_archs):
+        b, _ = bench
+        for arch in some_archs[:5]:
+            assert b.query_performance(arch, "a100", "throughput") > 0
+            assert b.query_performance(arch, "zcu102", "latency") > 0
+
+    def test_unknown_target_rejected(self, bench, some_archs):
+        b, _ = bench
+        with pytest.raises(KeyError):
+            b.query_performance(some_archs[0], "tpuv3", "throughput")
+
+    def test_query_bundles_both_objectives(self, bench, some_archs):
+        b, _ = bench
+        result = b.query(some_archs[0], device="a100")
+        assert result.device == "a100"
+        assert result.metric == "throughput"
+        assert result.performance is not None
+        accuracy_only = b.query(some_archs[0])
+        assert accuracy_only.performance is None
+        assert accuracy_only.metric is None
+
+    def test_query_batch_matches_single(self, bench, some_archs):
+        b, _ = bench
+        batch = b.query_batch(some_archs[:5])
+        singles = [b.query_accuracy(a) for a in some_archs[:5]]
+        assert np.allclose(batch, singles)
+
+    def test_query_correlates_with_simulated_truth(self, bench, some_archs, trainer):
+        from repro.core.metrics import kendall_tau
+
+        b, _ = bench
+        archs = some_archs[:40]
+        predicted = [b.query_accuracy(a) for a in archs]
+        true = [trainer.expected_top1(a, P_STAR) for a in archs]
+        assert kendall_tau(predicted, true) > 0.5
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, bench, some_archs, tmp_path):
+        b, _ = bench
+        path = tmp_path / "bench.json"
+        b.save(path)
+        loaded = AccelNASBench.load(path)
+        assert loaded.targets == b.targets
+        assert loaded.meta == b.meta
+        for arch in some_archs[:5]:
+            assert loaded.query_accuracy(arch) == pytest.approx(
+                b.query_accuracy(arch)
+            )
+            assert loaded.query_performance(
+                arch, "zcu102", "latency"
+            ) == pytest.approx(b.query_performance(arch, "zcu102", "latency"))

@@ -1,0 +1,106 @@
+"""Unit tests for dataset collection and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import (
+    BenchmarkDataset,
+    collect_accuracy_dataset,
+    collect_device_dataset,
+    sample_dataset_archs,
+    train_val_test_split,
+)
+from repro.trainsim.schemes import P_STAR
+
+
+class TestBenchmarkDataset:
+    def test_length_mismatch_rejected(self, some_archs):
+        with pytest.raises(ValueError):
+            BenchmarkDataset("x", "accuracy", some_archs[:3], np.ones(4))
+
+    def test_unknown_metric_rejected(self, some_archs):
+        with pytest.raises(ValueError):
+            BenchmarkDataset("x", "energy", some_archs[:2], np.ones(2))
+
+    def test_json_roundtrip(self, tmp_path, some_archs):
+        ds = BenchmarkDataset(
+            "ANB-test",
+            "accuracy",
+            some_archs[:5],
+            np.linspace(0.6, 0.8, 5),
+            meta={"seed": 1},
+        )
+        path = tmp_path / "ds.json"
+        ds.to_json(path)
+        loaded = BenchmarkDataset.from_json(path)
+        assert loaded.name == ds.name
+        assert loaded.metric == ds.metric
+        assert loaded.archs == ds.archs
+        assert np.allclose(loaded.values, ds.values)
+        assert loaded.meta == {"seed": 1}
+
+
+class TestCollection:
+    def test_accuracy_dataset(self, small_acc_dataset):
+        assert small_acc_dataset.metric == "accuracy"
+        assert len(small_acc_dataset) == 300
+        assert np.all(small_acc_dataset.values > 0.5)
+        assert np.all(small_acc_dataset.values < 0.9)
+        assert small_acc_dataset.meta["scheme"] == P_STAR.to_dict()
+
+    def test_shared_sample_is_deterministic(self):
+        a = sample_dataset_archs(20, seed=9)
+        b = sample_dataset_archs(20, seed=9)
+        assert a == b
+        assert len(set(a)) == 20
+
+    def test_device_dataset_throughput(self, some_archs):
+        ds = collect_device_dataset(some_archs[:10], "a100", "throughput")
+        assert ds.name == "ANB-a100-Thr"
+        assert np.all(ds.values > 0)
+
+    def test_device_dataset_latency(self, some_archs):
+        ds = collect_device_dataset(some_archs[:10], "zcu102", "latency")
+        assert ds.name == "ANB-zcu102-Lat"
+        assert np.all(ds.values > 0)
+
+    def test_latency_unsupported_on_gpu(self, some_archs):
+        with pytest.raises(ValueError, match="does not support"):
+            collect_device_dataset(some_archs[:2], "a100", "latency")
+
+    def test_collection_is_reproducible(self, some_archs):
+        a = collect_device_dataset(some_archs[:5], "tpuv3", "throughput")
+        b = collect_device_dataset(some_archs[:5], "tpuv3", "throughput")
+        assert np.array_equal(a.values, b.values)
+
+
+class TestSplit:
+    def test_paper_ratios(self):
+        train, val, test = train_val_test_split(5200, seed=0)
+        assert len(train) == 4160
+        assert len(val) == 520
+        assert len(test) == 520
+
+    def test_disjoint_and_covering(self):
+        train, val, test = train_val_test_split(100, seed=1)
+        combined = np.concatenate([train, val, test])
+        assert len(combined) == 100
+        assert len(set(combined.tolist())) == 100
+
+    def test_deterministic(self):
+        a = train_val_test_split(50, seed=7)
+        b = train_val_test_split(50, seed=7)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_ratios_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(100, ratios=(0.5, 0.1, 0.1))
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(2)
+
+    def test_tiny_dataset_still_three_way(self):
+        train, val, test = train_val_test_split(5)
+        assert len(train) >= 1 and len(val) >= 1 and len(test) >= 1

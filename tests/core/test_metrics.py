@@ -1,0 +1,113 @@
+"""Metric identities, edge cases, and scipy cross-validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy import stats
+
+from repro.core.metrics import kendall_tau, mae, r2_score, rmse, spearman_rho
+
+finite_floats = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        x = np.arange(10, dtype=float)
+        assert kendall_tau(x, x) == pytest.approx(1.0)
+
+    def test_perfect_reversal(self):
+        x = np.arange(10, dtype=float)
+        assert kendall_tau(x, -x) == pytest.approx(-1.0)
+
+    def test_known_small_case(self):
+        # 4 concordant, 2 discordant of 6 pairs -> tau = 1/3.
+        a = [1, 2, 3, 4]
+        b = [1, 4, 2, 3]
+        assert kendall_tau(a, b) == pytest.approx(1 / 3)
+
+    @given(
+        arrays(np.float64, st.integers(3, 120), elements=finite_floats),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy_with_and_without_ties(self, a, round_digits):
+        b = np.roll(a, 1) + a
+        if round_digits:
+            a = np.round(a, round_digits)
+            b = np.round(b, round_digits)
+        expected = stats.kendalltau(a, b)[0]
+        got = kendall_tau(a, b)
+        if np.isnan(expected):
+            assert got == 0.0  # all-tied degenerate case
+        else:
+            assert got == pytest.approx(expected, abs=1e-10)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1, 2, 3])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1], [1])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, np.nan], [1, 2])
+
+
+class TestSpearman:
+    @given(arrays(np.float64, st.integers(3, 80), elements=finite_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scipy(self, a):
+        import warnings
+
+        b = a**2 + np.roll(a, 1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", stats.ConstantInputWarning)
+            expected = stats.spearmanr(a, b)[0]
+        got = spearman_rho(a, b)
+        if np.isnan(expected):
+            assert got == 0.0
+        else:
+            assert got == pytest.approx(expected, abs=1e-10)
+
+    def test_monotone_transform_invariance(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=50)
+        b = rng.normal(size=50)
+        assert spearman_rho(a, b) == pytest.approx(spearman_rho(np.exp(a), b))
+
+
+class TestR2:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.array([3.0, 2.0, 1.0])) < 0
+
+    def test_constant_target(self):
+        y = np.full(4, 5.0)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1) == 0.0
+
+
+class TestErrors:
+    def test_mae_and_rmse_relationship(self):
+        rng = np.random.default_rng(1)
+        y = rng.normal(size=100)
+        pred = y + rng.normal(size=100)
+        assert rmse(y, pred) >= mae(y, pred)
+
+    def test_mae_known_value(self):
+        assert mae([0.0, 0.0], [1.0, -3.0]) == 2.0
+
+    def test_rmse_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))

@@ -1,0 +1,153 @@
+"""Unit and property tests for Pareto utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.pareto import (
+    crowding_distance,
+    dominates,
+    hypervolume_2d,
+    pareto_front,
+    pareto_front_indices,
+)
+
+point_sets = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 40), st.just(2)),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates([2, 2], [1, 1], [True, True])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1, 1], [1, 1], [True, True])
+
+    def test_tradeoff_no_domination(self):
+        assert not dominates([2, 1], [1, 2], [True, True])
+        assert not dominates([1, 2], [2, 1], [True, True])
+
+    def test_minimised_objective_direction(self):
+        # Second objective minimised (e.g. latency): lower wins.
+        assert dominates([2, 1], [2, 3], [True, False])
+
+
+class TestFront:
+    def test_known_front(self):
+        pts = np.array([[1, 5], [2, 4], [3, 3], [2, 2], [0, 6]])
+        idx = pareto_front_indices(pts, [True, True])
+        assert set(idx) == {0, 1, 2, 4}
+
+    def test_duplicates_all_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [0.0, 0.0]])
+        idx = pareto_front_indices(pts, [True, True])
+        assert set(idx) == {0, 1}
+
+    def test_single_point(self):
+        assert list(pareto_front_indices([[3.0, 4.0]], [True, True])) == [0]
+
+    def test_empty(self):
+        assert len(pareto_front_indices(np.empty((0, 2)), [True, True])) == 0
+
+    def test_latency_direction(self):
+        # (acc up, latency down): [0.7, 10] vs [0.6, 5] are both optimal.
+        pts = np.array([[0.7, 10.0], [0.6, 5.0], [0.6, 12.0]])
+        idx = pareto_front_indices(pts, [True, False])
+        assert set(idx) == {0, 1}
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            pareto_front_indices(np.ones(3), [True])
+        with pytest.raises(ValueError):
+            pareto_front_indices(np.ones((3, 2)), [True])
+
+    @given(point_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_front_invariants(self, pts):
+        """No front point dominates another; every non-front point is dominated."""
+        maximize = [True, True]
+        idx = set(int(i) for i in pareto_front_indices(pts, maximize))
+        for i in idx:
+            for j in idx:
+                assert not dominates(pts[i], pts[j], maximize)
+        for k in range(len(pts)):
+            if k not in idx:
+                assert any(dominates(pts[i], pts[k], maximize) for i in idx)
+
+    @given(point_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_front_matches_bruteforce(self, pts):
+        maximize = [True, True]
+        brute = {
+            k
+            for k in range(len(pts))
+            if not any(
+                dominates(pts[i], pts[k], maximize)
+                for i in range(len(pts))
+                if i != k
+            )
+        }
+        fast = set(int(i) for i in pareto_front_indices(pts, maximize))
+        assert fast == brute
+
+
+class TestCrowding:
+    def test_extremes_infinite(self):
+        pts = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        d = crowding_distance(pts, [True, True])
+        assert np.isinf(d[0]) and np.isinf(d[3])
+        assert np.isfinite(d[1]) and np.isfinite(d[2])
+
+    def test_empty(self):
+        assert crowding_distance(np.empty((0, 2)), [True, True]).shape == (0,)
+
+    def test_identical_points_zero_span(self):
+        pts = np.ones((4, 2))
+        d = crowding_distance(pts, [True, True])
+        assert np.isinf(d).sum() >= 2
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        hv = hypervolume_2d([[2.0, 3.0]], [0.0, 0.0], [True, True])
+        assert hv == pytest.approx(6.0)
+
+    def test_two_point_staircase(self):
+        hv = hypervolume_2d([[1.0, 1.0], [2.0, 0.5]], [0.0, 0.0], [True, True])
+        assert hv == pytest.approx(1.5)
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume_2d([[2.0, 2.0]], [0.0, 0.0], [True, True])
+        more = hypervolume_2d([[2.0, 2.0], [1.0, 1.0]], [0.0, 0.0], [True, True])
+        assert base == pytest.approx(more)
+
+    def test_points_below_reference_excluded(self):
+        hv = hypervolume_2d([[-1.0, -1.0]], [0.0, 0.0], [True, True])
+        assert hv == 0.0
+
+    def test_monotone_in_points(self):
+        ref = [0.0, 0.0]
+        small = hypervolume_2d([[1.0, 1.0]], ref, [True, True])
+        bigger = hypervolume_2d([[1.0, 1.0], [0.5, 2.0]], ref, [True, True])
+        assert bigger >= small
+
+    def test_requires_two_objectives(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d(np.ones((2, 3)), [0, 0, 0], [True, True, True])
+
+    def test_minimised_objective(self):
+        # Latency minimised: point (acc=2, lat=1) vs reference (0, 3).
+        hv = hypervolume_2d([[2.0, 1.0]], [0.0, 3.0], [True, False])
+        assert hv == pytest.approx(4.0)
+
+
+class TestParetoFrontValues:
+    def test_returns_rows(self):
+        pts = np.array([[1.0, 5.0], [2.0, 4.0], [0.5, 0.5]])
+        front = pareto_front(pts, [True, True])
+        assert front.shape == (2, 2)

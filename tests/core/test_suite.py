@@ -1,0 +1,61 @@
+"""Unit tests for the release-suite tooling."""
+
+import json
+
+import pytest
+
+from repro.core.suite import BENCHMARK_NAME, MANIFEST_NAME, BenchmarkSuite
+from repro.trainsim.schemes import P_STAR
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return BenchmarkSuite.collect(
+        P_STAR,
+        num_archs=150,
+        devices={"a100": ("throughput",), "zcu102": ("latency",)},
+        sample_seed=4,
+    )
+
+
+class TestCollect:
+    def test_datasets_present(self, suite):
+        assert set(suite.datasets) == {"ANB-Acc", "ANB-a100-Thr", "ANB-zcu102-Lat"}
+
+    def test_reports_match_targets(self, suite):
+        assert [r.dataset for r in suite.reports] == [
+            "ANB-Acc",
+            "ANB-a100-Thr",
+            "ANB-zcu102-Lat",
+        ]
+
+    def test_manifest_provenance(self, suite):
+        assert suite.manifest["num_archs"] == 150
+        assert suite.manifest["scheme"] == P_STAR.to_dict()
+        assert len(suite.manifest["fit_reports"]) == 3
+
+    def test_benchmark_queryable(self, suite, some_archs):
+        assert suite.benchmark.query_accuracy(some_archs[0]) > 0.5
+
+
+class TestSaveLoad:
+    def test_release_layout(self, suite, tmp_path):
+        out = suite.save(tmp_path / "release")
+        names = {p.name for p in out.iterdir()}
+        assert MANIFEST_NAME in names
+        assert BENCHMARK_NAME in names
+        assert "ANB-Acc.json" in names
+        manifest = json.loads((out / MANIFEST_NAME).read_text())
+        assert manifest == suite.manifest
+
+    def test_roundtrip(self, suite, tmp_path, some_archs):
+        out = suite.save(tmp_path / "release")
+        loaded = BenchmarkSuite.load(out)
+        assert set(loaded.datasets) == set(suite.datasets)
+        assert loaded.manifest == suite.manifest
+        arch = some_archs[0]
+        assert loaded.benchmark.query_accuracy(arch) == pytest.approx(
+            suite.benchmark.query_accuracy(arch)
+        )
+        acc = loaded.datasets["ANB-Acc"]
+        assert acc.archs == suite.datasets["ANB-Acc"].archs

@@ -1,0 +1,80 @@
+"""Unit tests for the surrogate fitting pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import collect_device_dataset
+from repro.core.surrogate_fit import SurrogateFitter
+from repro.surrogates.transform import TransformedTargetRegressor
+
+
+@pytest.fixture(scope="module")
+def fitter():
+    return SurrogateFitter()
+
+
+@pytest.fixture(scope="module")
+def small_thr_dataset(small_acc_dataset):
+    return collect_device_dataset(
+        small_acc_dataset.archs, "rtx3090", "throughput"
+    )
+
+
+class TestAccuracyFit:
+    def test_xgb_report_quality(self, fitter, small_acc_dataset):
+        report = fitter.fit(small_acc_dataset, "xgb")
+        assert report.dataset == "ANB-Acc"
+        assert report.family == "xgb"
+        assert report.r2 > 0.8
+        assert report.kendall > 0.6
+        assert report.mae < 0.01
+
+    def test_model_predicts_raw_accuracy_scale(self, fitter, small_acc_dataset, encoder):
+        report = fitter.fit(small_acc_dataset, "xgb")
+        preds = report.model.predict(
+            fitter.encoder.encode(small_acc_dataset.archs[:20])
+        )
+        assert np.all(preds > 0.5) and np.all(preds < 0.9)
+
+    def test_row_formatting(self, fitter, small_acc_dataset):
+        report = fitter.fit(small_acc_dataset, "rf")
+        text = report.row()
+        assert "R2=" in text and "MAE=" in text
+
+
+class TestDeviceFit:
+    def test_throughput_uses_log_transform(self, fitter, small_thr_dataset):
+        report = fitter.fit(small_thr_dataset, "xgb")
+        assert isinstance(report.model, TransformedTargetRegressor)
+        assert report.model.log
+        assert report.r2 > 0.8
+
+    def test_device_predictions_positive(self, fitter, small_thr_dataset):
+        report = fitter.fit(small_thr_dataset, "xgb")
+        preds = report.model.predict(
+            fitter.encoder.encode(small_thr_dataset.archs[:20])
+        )
+        assert np.all(preds > 0)
+
+    def test_mae_in_raw_units(self, fitter, small_thr_dataset):
+        report = fitter.fit(small_thr_dataset, "xgb")
+        # RTX3090 throughput is in thousands of img/s; raw-unit MAE must not
+        # look like a z-score.
+        assert report.mae > 1.0
+
+
+class TestHpoPath:
+    def test_hpo_budget_runs_smac(self, small_acc_dataset):
+        fitter = SurrogateFitter(hpo_budget=4)
+        report = fitter.fit(small_acc_dataset, "rf")
+        assert report.r2 > 0.5
+        assert set(report.params) == {
+            "n_estimators",
+            "max_depth",
+            "min_samples_leaf",
+            "max_features",
+        }
+
+    def test_fit_families(self, fitter, small_acc_dataset):
+        reports = fitter.fit_families(small_acc_dataset, ("rf", "esvr"))
+        assert [r.family for r in reports] == ["rf", "esvr"]

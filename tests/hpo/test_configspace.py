@@ -1,0 +1,104 @@
+"""Unit tests for the ConfigSpace substitute."""
+
+import numpy as np
+import pytest
+
+from repro.hpo.configspace import (
+    CategoricalParam,
+    ConfigSpace,
+    FloatParam,
+    IntParam,
+)
+
+
+@pytest.fixture
+def space():
+    return ConfigSpace(
+        [
+            FloatParam("lr", 1e-4, 1e-1, log=True),
+            IntParam("depth", 2, 10),
+            CategoricalParam("kernel", ("rbf", "linear")),
+        ]
+    )
+
+
+class TestParams:
+    def test_float_bounds_validated(self):
+        with pytest.raises(ValueError):
+            FloatParam("x", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            FloatParam("x", 0.0, 1.0, log=True)
+
+    def test_int_bounds_validated(self):
+        with pytest.raises(ValueError):
+            IntParam("x", 5, 5)
+
+    def test_categorical_needs_choices(self):
+        with pytest.raises(ValueError):
+            CategoricalParam("x", ())
+
+    def test_float_sampling_within_bounds(self):
+        rng = np.random.default_rng(0)
+        p = FloatParam("x", 0.1, 10.0, log=True)
+        samples = [p.sample(rng) for _ in range(200)]
+        assert all(0.1 <= s <= 10.0 for s in samples)
+
+    def test_log_sampling_covers_decades(self):
+        rng = np.random.default_rng(1)
+        p = FloatParam("x", 1e-4, 1.0, log=True)
+        samples = np.array([p.sample(rng) for _ in range(500)])
+        assert (samples < 1e-2).mean() > 0.3  # log-uniform, not uniform
+
+    def test_int_sampling_inclusive(self):
+        rng = np.random.default_rng(2)
+        p = IntParam("x", 1, 3)
+        values = {p.sample(rng) for _ in range(100)}
+        assert values == {1, 2, 3}
+
+    def test_to_unit_endpoints(self):
+        p = FloatParam("x", 2.0, 4.0)
+        assert p.to_unit(2.0) == 0.0
+        assert p.to_unit(4.0) == 1.0
+        c = CategoricalParam("k", ("a", "b", "c"))
+        assert c.to_unit("a") == 0.0
+        assert c.to_unit("c") == 1.0
+
+
+class TestConfigSpace:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigSpace([IntParam("x", 0, 1), FloatParam("x", 0.0, 1.0)])
+
+    def test_sample_members_validate(self, space):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            space.validate(space.sample(rng))
+
+    def test_validate_rejects_missing_key(self, space):
+        with pytest.raises(ValueError):
+            space.validate({"lr": 0.01, "depth": 5})
+
+    def test_validate_rejects_out_of_range(self, space):
+        with pytest.raises(ValueError):
+            space.validate({"lr": 10.0, "depth": 5, "kernel": "rbf"})
+
+    def test_validate_rejects_bad_choice(self, space):
+        with pytest.raises(ValueError):
+            space.validate({"lr": 0.01, "depth": 5, "kernel": "poly"})
+
+    def test_to_vector_in_unit_cube(self, space):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            v = space.to_vector(space.sample(rng))
+            assert v.shape == (3,)
+            assert np.all(v >= 0) and np.all(v <= 1)
+
+    def test_to_matrix(self, space):
+        rng = np.random.default_rng(5)
+        configs = [space.sample(rng) for _ in range(7)]
+        M = space.to_matrix(configs)
+        assert M.shape == (7, 3)
+        assert space.to_matrix([]).shape == (0, 3)
+
+    def test_names_ordered(self, space):
+        assert space.names() == ["lr", "depth", "kernel"]

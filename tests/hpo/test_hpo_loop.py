@@ -1,0 +1,100 @@
+"""Unit tests for random-search and SMAC-lite HPO."""
+
+import numpy as np
+import pytest
+
+from repro.hpo.configspace import ConfigSpace, FloatParam
+from repro.hpo.random_search import RandomSearchOptimizer
+from repro.hpo.smac import SmacOptimizer, expected_improvement
+
+
+@pytest.fixture
+def quadratic_space():
+    return ConfigSpace([FloatParam("x", -5.0, 5.0), FloatParam("y", -5.0, 5.0)])
+
+
+def quadratic(config):
+    return (config["x"] - 1.0) ** 2 + (config["y"] + 2.0) ** 2
+
+
+class TestRandomSearch:
+    def test_budget_respected(self, quadratic_space):
+        result = RandomSearchOptimizer(quadratic_space, seed=0).optimize(quadratic, 25)
+        assert result.num_evaluations == 25
+
+    def test_best_is_minimum_of_history(self, quadratic_space):
+        result = RandomSearchOptimizer(quadratic_space, seed=0).optimize(quadratic, 25)
+        assert result.best_loss == min(l for _, l in result.history)
+        assert quadratic(result.best_config) == result.best_loss
+
+    def test_budget_validated(self, quadratic_space):
+        with pytest.raises(ValueError):
+            RandomSearchOptimizer(quadratic_space).optimize(quadratic, 0)
+
+    def test_deterministic(self, quadratic_space):
+        a = RandomSearchOptimizer(quadratic_space, seed=7).optimize(quadratic, 10)
+        b = RandomSearchOptimizer(quadratic_space, seed=7).optimize(quadratic, 10)
+        assert a.best_config == b.best_config
+
+
+class TestExpectedImprovement:
+    def test_zero_std_no_improvement(self):
+        ei = expected_improvement(np.array([1.0]), np.array([0.0]), best=0.5)
+        assert ei[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_better_mean_higher_ei(self):
+        ei = expected_improvement(
+            np.array([0.0, 1.0]), np.array([0.5, 0.5]), best=1.0
+        )
+        assert ei[0] > ei[1]
+
+    def test_uncertainty_adds_ei_at_equal_mean(self):
+        ei = expected_improvement(
+            np.array([1.0, 1.0]), np.array([0.01, 1.0]), best=1.0
+        )
+        assert ei[1] > ei[0]
+
+
+class TestSmac:
+    def test_finds_near_optimum(self, quadratic_space):
+        result = SmacOptimizer(quadratic_space, seed=0, n_init=6).optimize(
+            quadratic, budget=40
+        )
+        assert result.best_loss < 1.0  # optimum is 0 at (1, -2)
+
+    def test_beats_or_matches_random_search(self, quadratic_space):
+        budget = 35
+        smac_losses = []
+        rs_losses = []
+        for seed in range(3):
+            smac_losses.append(
+                SmacOptimizer(quadratic_space, seed=seed, n_init=6)
+                .optimize(quadratic, budget)
+                .best_loss
+            )
+            rs_losses.append(
+                RandomSearchOptimizer(quadratic_space, seed=seed)
+                .optimize(quadratic, budget)
+                .best_loss
+            )
+        assert np.mean(smac_losses) <= np.mean(rs_losses) * 1.2
+
+    def test_budget_respected(self, quadratic_space):
+        result = SmacOptimizer(quadratic_space, seed=0, n_init=4).optimize(
+            quadratic, budget=12
+        )
+        assert result.num_evaluations == 12
+
+    def test_budget_smaller_than_init(self, quadratic_space):
+        result = SmacOptimizer(quadratic_space, seed=0, n_init=8).optimize(
+            quadratic, budget=3
+        )
+        assert result.num_evaluations == 3
+
+    def test_n_init_validated(self, quadratic_space):
+        with pytest.raises(ValueError):
+            SmacOptimizer(quadratic_space, n_init=1)
+
+    def test_budget_validated(self, quadratic_space):
+        with pytest.raises(ValueError):
+            SmacOptimizer(quadratic_space).optimize(quadratic, 0)

@@ -1,0 +1,57 @@
+"""Unit tests for the batch-size sweep analysis."""
+
+import pytest
+
+from repro.hwsim.batch_sweep import BatchSweep, sweep_batches
+from repro.hwsim.registry import get_device
+from repro.searchspace.baselines import EFFICIENTNET_B0
+
+
+@pytest.fixture(scope="module")
+def a100_sweep():
+    return sweep_batches(EFFICIENTNET_B0.arch, get_device("a100"))
+
+
+class TestSweep:
+    def test_points_ordered(self, a100_sweep):
+        batches = [p.batch for p in a100_sweep.points]
+        assert batches == sorted(batches)
+
+    def test_throughput_monotone_nondecreasing(self, a100_sweep):
+        thr = [p.throughput_ips for p in a100_sweep.points]
+        assert all(b >= a * 0.99 for a, b in zip(thr, thr[1:]))
+
+    def test_latency_monotone_increasing(self, a100_sweep):
+        lat = [p.latency_ms for p in a100_sweep.points]
+        assert lat == sorted(lat)
+
+    def test_batching_helps_substantially_on_gpu(self, a100_sweep):
+        thr = {p.batch: p.throughput_ips for p in a100_sweep.points}
+        assert thr[256] > 5 * thr[1]
+
+    def test_knee_reaches_target_fraction(self, a100_sweep):
+        knee = a100_sweep.knee(0.9)
+        assert knee.throughput_ips >= 0.9 * a100_sweep.saturated_throughput
+        # And is the *smallest* such batch.
+        for p in a100_sweep.points:
+            if p.batch < knee.batch:
+                assert p.throughput_ips < 0.9 * a100_sweep.saturated_throughput
+
+    def test_knee_fraction_validated(self, a100_sweep):
+        with pytest.raises(ValueError):
+            a100_sweep.knee(0.0)
+
+    def test_batches_validated(self):
+        with pytest.raises(ValueError):
+            sweep_batches(EFFICIENTNET_B0.arch, get_device("a100"), batches=(8, 4))
+
+    def test_report_marks_knee(self, a100_sweep):
+        text = a100_sweep.report()
+        assert "knee" in text and "a100" in text
+
+    def test_fpga_knees_earlier_than_gpu(self):
+        fpga = sweep_batches(EFFICIENTNET_B0.arch, get_device("zcu102"))
+        gpu_knee = sweep_batches(
+            EFFICIENTNET_B0.arch, get_device("a100")
+        ).knee().batch
+        assert fpga.knee().batch <= gpu_knee

@@ -1,0 +1,110 @@
+"""Detailed unit tests of device-model internals."""
+
+import pytest
+
+from repro.hwsim.fpga import make_vck190, make_zcu102
+from repro.hwsim.gpu import make_a100, make_rtx3090
+from repro.hwsim.tpu import make_tpuv2, make_tpuv3
+from repro.nn.layers import Conv2d, Dense, SqueezeExcite, TensorShape
+from repro.searchspace.model_builder import build_model
+
+
+def _pw_conv(cin=64, cout=128, hw=14):
+    return Conv2d(
+        "pw",
+        TensorShape(cin, hw, hw),
+        TensorShape(cout, hw, hw),
+        kernel_size=1,
+    )
+
+
+def _dw_conv(c=64, hw=14, k=3):
+    return Conv2d(
+        "dw",
+        TensorShape(c, hw, hw),
+        TensorShape(c, hw, hw),
+        kernel_size=k,
+        groups=c,
+    )
+
+
+class TestGpuInternals:
+    def test_occupancy_rises_with_work(self):
+        gpu = make_a100()
+        small = gpu._efficiency("conv_pointwise", 1e6)
+        large = gpu._efficiency("conv_pointwise", 1e12)
+        assert large > small
+
+    def test_depthwise_rate_far_below_pointwise(self):
+        gpu = make_a100()
+        dw = _dw_conv(c=128, hw=14)
+        pw = _pw_conv(cin=128, cout=128, hw=14)
+        dw_rate = dw.macs / gpu.layer_timing(dw, 64).compute_s
+        pw_rate = pw.macs / gpu.layer_timing(pw, 64).compute_s
+        assert pw_rate > 3 * dw_rate
+
+    def test_pointwise_compute_scales_with_batch(self):
+        gpu = make_a100()
+        t1 = gpu.layer_timing(_pw_conv(), batch=1)
+        t64 = gpu.layer_timing(_pw_conv(), batch=64)
+        assert t64.compute_s > t1.compute_s
+
+    def test_se_pays_sync_overhead(self):
+        gpu = make_a100()
+        shape = TensorShape(64, 14, 14)
+        se = SqueezeExcite("se", shape, shape, se_channels=16)
+        t = gpu.layer_timing(se, batch=1)
+        assert t.overhead_s > gpu.params.kernel_launch_s
+
+
+class TestTpuInternals:
+    def test_mxu_efficiency_favours_128_multiples(self):
+        tpu = make_tpuv3()
+        aligned = _pw_conv(cin=128, cout=128)
+        narrow = _pw_conv(cin=16, cout=16)
+        assert tpu._mxu_efficiency(aligned) > 4 * tpu._mxu_efficiency(narrow)
+
+    def test_dense_layer_uses_mxu(self):
+        tpu = make_tpuv3()
+        fc = Dense("fc", TensorShape(1280, 1, 1), TensorShape(1000, 1, 1))
+        t = tpu.layer_timing(fc, batch=128)
+        assert t.compute_s > 0
+
+    def test_depthwise_on_vector_unit_is_slow(self):
+        tpu = make_tpuv3()
+        dw = _dw_conv(c=128, hw=14)
+        pw = _pw_conv(cin=128, cout=128, hw=14)
+        dw_rate = dw.macs / tpu.layer_timing(dw, 1).compute_s
+        pw_rate = pw.macs / tpu.layer_timing(pw, 1).compute_s
+        assert pw_rate > 5 * dw_rate
+
+    def test_v3_compiles_longer_than_v2(self):
+        assert make_tpuv3().warmup_compile_s > make_tpuv2().warmup_compile_s
+
+
+class TestFpgaInternals:
+    def test_core_rate(self):
+        zcu = make_zcu102()
+        assert zcu.core_macs_per_s == pytest.approx(4096 * 287e6)
+
+    def test_vck_core_outrates_zcu(self):
+        assert make_vck190().core_macs_per_s > 10 * make_zcu102().core_macs_per_s
+
+    def test_se_fallback_scales_with_batch(self):
+        zcu = make_zcu102()
+        shape = TensorShape(64, 14, 14)
+        se = SqueezeExcite("se", shape, shape, se_channels=16)
+        t1 = zcu.layer_timing(se, batch=1)
+        t8 = zcu.layer_timing(se, batch=8)
+        assert t8.overhead_s > 4 * t1.overhead_s
+
+    def test_int8_precision_in_spec(self):
+        assert make_zcu102().spec.act_bytes == 1.0
+        assert make_zcu102().spec.weight_bytes == 1.0
+
+    def test_latency_uses_single_image(self, tiny_arch):
+        zcu = make_zcu102()
+        graph = build_model(tiny_arch)
+        assert zcu.latency_ms(graph) == pytest.approx(
+            zcu.batch_latency_s(graph, 1) * 1e3
+        )

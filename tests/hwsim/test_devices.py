@@ -1,0 +1,152 @@
+"""Unit tests for the accelerator performance models."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.device import LayerTiming
+from repro.hwsim.fpga import FpgaDpuModel, make_vck190, make_zcu102
+from repro.hwsim.gpu import make_a100, make_rtx3090
+from repro.hwsim.registry import (
+    DEVICE_METRICS,
+    get_device,
+    list_devices,
+    supports_metric,
+)
+from repro.hwsim.tpu import _pad_ratio, make_tpuv2, make_tpuv3
+from repro.searchspace.mnasnet import ArchSpec
+from repro.searchspace.model_builder import build_model
+
+
+@pytest.fixture(scope="module")
+def b0_graph():
+    from repro.searchspace.baselines import EFFICIENTNET_B0
+
+    return build_model(EFFICIENTNET_B0.arch)
+
+
+ALL_DEVICES = ("a100", "rtx3090", "tpuv2", "tpuv3", "zcu102", "vck190")
+
+
+class TestRegistry:
+    def test_all_six_devices_present(self):
+        assert set(list_devices()) == set(ALL_DEVICES)
+
+    def test_instances_cached(self):
+        assert get_device("a100") is get_device("a100")
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            get_device("h100")
+
+    def test_latency_is_fpga_only(self):
+        for device, metrics in DEVICE_METRICS.items():
+            if device in ("zcu102", "vck190"):
+                assert "latency" in metrics
+            else:
+                assert metrics == ("throughput",)
+        assert supports_metric("zcu102", "latency")
+        assert not supports_metric("a100", "latency")
+
+
+class TestTimingBasics:
+    @pytest.mark.parametrize("name", ALL_DEVICES)
+    def test_positive_latency_and_throughput(self, name, b0_graph):
+        device = get_device(name)
+        assert device.latency_ms(b0_graph) > 0
+        assert device.throughput_ips(b0_graph) > 0
+
+    @pytest.mark.parametrize("name", ALL_DEVICES)
+    def test_timings_cover_every_layer(self, name, b0_graph):
+        device = get_device(name)
+        timings = device.graph_timings(b0_graph, batch=1)
+        assert len(timings) == len(b0_graph)
+        assert all(isinstance(t, LayerTiming) and t.total_s >= 0 for t in timings)
+
+    @pytest.mark.parametrize("name", ALL_DEVICES)
+    def test_total_is_max_plus_overhead(self, name, b0_graph):
+        device = get_device(name)
+        t = device.graph_timings(b0_graph, batch=1)[0]
+        assert t.total_s == pytest.approx(max(t.compute_s, t.memory_s) + t.overhead_s)
+
+    def test_batch_must_be_positive(self, b0_graph):
+        with pytest.raises(ValueError):
+            get_device("a100").graph_timings(b0_graph, batch=0)
+
+    @pytest.mark.parametrize("name", ALL_DEVICES)
+    def test_batch_latency_monotone_in_batch(self, name, b0_graph):
+        device = get_device(name)
+        assert device.batch_latency_s(b0_graph, 8) > device.batch_latency_s(b0_graph, 1)
+
+    @pytest.mark.parametrize("name", ("a100", "tpuv3"))
+    def test_batching_improves_throughput(self, name, b0_graph):
+        device = get_device(name)
+        thr_1 = 1 / device.batch_latency_s(b0_graph, 1)
+        thr_64 = 64 / device.batch_latency_s(b0_graph, 64)
+        assert thr_64 > 2 * thr_1
+
+
+class TestDeviceMechanisms:
+    def test_bigger_model_is_slower_everywhere(self, tiny_arch, big_arch):
+        small = build_model(tiny_arch)
+        big = build_model(big_arch)
+        for name in ALL_DEVICES:
+            device = get_device(name)
+            assert device.latency_ms(big) > device.latency_ms(small)
+
+    def test_se_fallback_hurts_fpga_disproportionately(self):
+        base = dict(expansion=(4,) * 7, kernel=(3,) * 7, layers=(2,) * 7)
+        no_se = build_model(ArchSpec(se=(0,) * 7, **base))
+        with_se = build_model(ArchSpec(se=(1,) * 7, **base))
+        fpga_ratio = get_device("zcu102").latency_ms(with_se) / get_device(
+            "zcu102"
+        ).latency_ms(no_se)
+        gpu_ratio = get_device("a100").latency_ms(with_se) / get_device(
+            "a100"
+        ).latency_ms(no_se)
+        assert fpga_ratio > gpu_ratio * 1.3
+
+    def test_depthwise_runs_below_dense_efficiency_on_gpu(self, b0_graph):
+        device = get_device("a100")
+        eff_dense = device.params.efficiency["conv_standard"]
+        eff_dw = device.params.efficiency["conv_depthwise"]
+        assert eff_dw < eff_dense / 5
+
+    def test_tpu_pad_ratio(self):
+        assert _pad_ratio(128) == 1.0
+        assert _pad_ratio(64) == 0.5
+        assert _pad_ratio(129) == pytest.approx(129 / 256)
+        with pytest.raises(ValueError):
+            _pad_ratio(0)
+
+    def test_tpuv3_faster_than_tpuv2(self, b0_graph):
+        assert get_device("tpuv3").throughput_ips(b0_graph) > get_device(
+            "tpuv2"
+        ).throughput_ips(b0_graph)
+
+    def test_a100_faster_than_rtx3090(self, b0_graph):
+        assert get_device("a100").throughput_ips(b0_graph) > get_device(
+            "rtx3090"
+        ).throughput_ips(b0_graph)
+
+    def test_vck190_faster_than_zcu102(self, b0_graph):
+        assert get_device("vck190").throughput_ips(b0_graph) > get_device(
+            "zcu102"
+        ).throughput_ips(b0_graph)
+
+    def test_fpga_multicore_throughput_exceeds_single_stream(self, b0_graph):
+        device = get_device("zcu102")
+        assert isinstance(device, FpgaDpuModel)
+        single = device.spec.default_batch / device.batch_latency_s(b0_graph)
+        assert device.throughput_ips(b0_graph) > 2 * single
+
+    def test_factories_produce_fresh_instances(self):
+        assert make_a100() is not make_a100()
+        for factory in (make_rtx3090, make_tpuv2, make_tpuv3, make_zcu102, make_vck190):
+            device = factory()
+            assert device.spec.peak_macs_per_s > 0
+
+    def test_b0_throughput_magnitudes_plausible(self, b0_graph):
+        # Sanity anchors for absolute scales (img/s at default batch).
+        assert 2000 < get_device("a100").throughput_ips(b0_graph) < 20000
+        assert 200 < get_device("zcu102").throughput_ips(b0_graph) < 1500
+        assert 500 < get_device("vck190").throughput_ips(b0_graph) < 5000

@@ -1,0 +1,102 @@
+"""Unit tests for the measurement harness (warmup/averaging protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.measure import (
+    DEFAULT_PROTOCOLS,
+    MeasurementHarness,
+    MeasurementProtocol,
+)
+from repro.hwsim.registry import get_device
+from repro.searchspace.model_builder import build_model
+
+
+class TestProtocolValidation:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_PROTOCOLS["tpuv3"].timed_runs == 4  # TPUs average 4
+        assert DEFAULT_PROTOCOLS["a100"].timed_runs == 2  # GPUs average 2
+
+    def test_rejects_zero_timed_runs(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(timed_runs=0)
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(warmup_runs=-1)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(noise_std=-0.1)
+
+
+class TestMeasurement:
+    def test_deterministic(self, some_archs):
+        arch = some_archs[0]
+        h = MeasurementHarness(get_device("a100"))
+        assert h.measure_throughput(arch) == h.measure_throughput(arch)
+        h2 = MeasurementHarness(get_device("zcu102"))
+        assert h2.measure_latency(arch) == h2.measure_latency(arch)
+
+    def test_close_to_clean_model_value(self, some_archs):
+        arch = some_archs[0]
+        device = get_device("a100")
+        h = MeasurementHarness(device)
+        clean = device.throughput_ips(build_model(arch))
+        measured = h.measure_throughput(arch)
+        assert abs(measured - clean) / clean < 0.05
+
+    def test_warmup_runs_are_discarded(self, some_archs):
+        """A huge warmup slowdown must not leak into the measured value."""
+        arch = some_archs[0]
+        device = get_device("a100")
+        gentle = MeasurementHarness(
+            device, MeasurementProtocol(warmup_runs=2, timed_runs=2, warmup_slowdown=1.1)
+        )
+        brutal = MeasurementHarness(
+            device, MeasurementProtocol(warmup_runs=2, timed_runs=2, warmup_slowdown=50.0)
+        )
+        assert gentle.measure_throughput(arch) == pytest.approx(
+            brutal.measure_throughput(arch)
+        )
+
+    def test_latency_lower_is_slower_with_warmup_kept(self, some_archs):
+        """With zero warmup runs the warmup samples are never generated."""
+        arch = some_archs[0]
+        device = get_device("zcu102")
+        h = MeasurementHarness(
+            device, MeasurementProtocol(warmup_runs=0, timed_runs=4, noise_std=0.0)
+        )
+        clean = device.latency_ms(build_model(arch))
+        assert h.measure_latency(arch) == pytest.approx(clean)
+
+    def test_noise_scale_respected(self, some_archs):
+        arch = some_archs[0]
+        device = get_device("rtx3090")
+        noisy = MeasurementHarness(
+            device, MeasurementProtocol(warmup_runs=0, timed_runs=1, noise_std=0.2)
+        )
+        quiet = MeasurementHarness(
+            device, MeasurementProtocol(warmup_runs=0, timed_runs=1, noise_std=0.0)
+        )
+        clean = quiet.measure_throughput(arch)
+        values = [
+            MeasurementHarness(
+                device,
+                MeasurementProtocol(warmup_runs=r, timed_runs=1, noise_std=0.2),
+            ).measure_throughput(arch)
+            for r in range(4)  # different run indices -> different jitter
+        ]
+        assert np.std(values) > 0
+        assert quiet.measure_throughput(arch) == clean
+
+    def test_tpu_warmup_cost_reported(self):
+        tpu = MeasurementHarness(get_device("tpuv3"))
+        gpu = MeasurementHarness(get_device("a100"))
+        assert tpu.warmup_cost_s() > 10  # XLA compilation
+        assert gpu.warmup_cost_s() == 0.0
+
+    def test_distinct_archs_distinct_measurements(self, some_archs):
+        h = MeasurementHarness(get_device("vck190"))
+        values = {h.measure_throughput(a) for a in some_archs[:10]}
+        assert len(values) == 10

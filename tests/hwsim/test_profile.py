@@ -1,0 +1,51 @@
+"""Unit tests for the device profiler."""
+
+import pytest
+
+from repro.hwsim.profile import profile_arch
+from repro.hwsim.registry import get_device
+from repro.searchspace.baselines import EFFICIENTNET_B0
+
+
+@pytest.fixture(scope="module")
+def b0_profile():
+    return profile_arch(EFFICIENTNET_B0.arch, get_device("zcu102"), batch=8)
+
+
+class TestProfile:
+    def test_shares_sum_to_one(self, b0_profile):
+        assert sum(op.share for op in b0_profile.by_op) == pytest.approx(1.0)
+
+    def test_total_matches_layer_sum(self, b0_profile):
+        assert b0_profile.total_s == pytest.approx(
+            sum(t.total_s for t in b0_profile.timings)
+        )
+
+    def test_sorted_by_time(self, b0_profile):
+        totals = [op.total_s for op in b0_profile.by_op]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_se_dominates_on_dpu(self, b0_profile):
+        """The CPU-fallback mechanism must show up as the DPU's bottleneck."""
+        assert b0_profile.by_op[0].op_type == "squeeze_excite"
+        assert b0_profile.by_op[0].bound == "overhead"
+
+    def test_top_layers(self, b0_profile):
+        top = b0_profile.top_layers(3)
+        assert len(top) == 3
+        assert top[0].total_s >= top[1].total_s >= top[2].total_s
+
+    def test_report_contains_key_sections(self, b0_profile):
+        text = b0_profile.report()
+        assert "profile on zcu102" in text
+        assert "slowest" in text
+        assert "squeeze_excite" in text
+
+    def test_gpu_profile_differs(self):
+        gpu = profile_arch(EFFICIENTNET_B0.arch, get_device("a100"))
+        # On GPU the depthwise/pointwise convs dominate, not SE fallback.
+        assert gpu.by_op[0].op_type != "squeeze_excite"
+
+    def test_default_batch_used(self):
+        profile = profile_arch(EFFICIENTNET_B0.arch, get_device("a100"))
+        assert profile.batch == get_device("a100").spec.default_batch

@@ -1,0 +1,32 @@
+"""Unit tests for INT8 post-training quantization simulation."""
+
+from repro.hwsim.quantize import quantized_accuracy_delta
+from repro.searchspace.mnasnet import ArchSpec
+
+
+class TestQuantizeDelta:
+    def test_always_negative(self, some_archs):
+        for arch in some_archs[:20]:
+            assert quantized_accuracy_delta(arch) < 0
+
+    def test_bounded(self, some_archs):
+        for arch in some_archs[:20]:
+            assert quantized_accuracy_delta(arch) > -0.02
+
+    def test_deterministic(self, some_archs):
+        arch = some_archs[0]
+        assert quantized_accuracy_delta(arch) == quantized_accuracy_delta(arch)
+
+    def test_se_increases_drop(self):
+        base = dict(expansion=(6,) * 7, kernel=(3,) * 7, layers=(2,) * 7)
+        no_se = ArchSpec(se=(0,) * 7, **base)
+        with_se = ArchSpec(se=(1,) * 7, **base)
+        # SE gating is range-sensitive: more SE stages, more PTQ loss (the
+        # hash jitter is smaller than the 7-stage SE drop).
+        assert quantized_accuracy_delta(with_se) < quantized_accuracy_delta(no_se)
+
+    def test_light_models_lose_more(self, tiny_arch):
+        heavy = ArchSpec((6,) * 7, (3,) * 7, (3,) * 7, (0,) * 7)
+        light_drop = quantized_accuracy_delta(tiny_arch)
+        heavy_drop = quantized_accuracy_delta(heavy)
+        assert light_drop < heavy_drop + 0.002  # light model drops at least as much

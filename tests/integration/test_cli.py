@@ -1,0 +1,74 @@
+"""CLI integration tests (tiny budgets, real artefacts)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def bench_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "anb.json"
+    code = main(["build", "--out", str(path), "--num-archs", "200"])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+
+class TestCommands:
+    def test_devices_listing(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "zcu102" in out and "latency" in out
+
+    def test_build_and_query(self, bench_file, capsys):
+        arch = "e1k3L1se1|e6k3L2se1|e6k5L2se1|e6k3L3se1|e6k5L3se1|e6k5L3se1|e6k3L1se1"
+        code = main(
+            [
+                "query",
+                "--bench",
+                str(bench_file),
+                "--arch",
+                arch,
+                "--device",
+                "a100",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.5 < payload["accuracy"] < 0.9
+        assert payload["performance"] > 0
+
+    def test_search(self, bench_file, capsys):
+        code = main(
+            [
+                "search",
+                "--bench",
+                str(bench_file),
+                "--device",
+                "zcu102",
+                "--metric",
+                "throughput",
+                "--target",
+                "700",
+                "--budget",
+                "60",
+            ]
+        )
+        assert code == 0
+        assert "pareto front" in capsys.readouterr().out
+
+    def test_experiment_fig3(self, capsys):
+        code = main(["experiment", "fig3"])
+        assert code == 0
+        assert "tau" in capsys.readouterr().out

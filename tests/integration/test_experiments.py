@@ -1,0 +1,105 @@
+"""Integration tests for the experiment runners (tiny budgets)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_proxy_validation,
+    fig4_biobjective,
+    fig5_trajectories,
+    fig6_evaluation,
+    proxy_search_run,
+    tab1_acc_surrogates,
+    tab2_device_surrogates,
+)
+from repro.experiments.common import ExperimentContext, format_table, save_result
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(num_archs=220, sample_seed=11)
+
+
+class TestHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # fixed width
+
+    def test_save_result_json(self, tmp_path):
+        path = save_result({"x": np.float64(1.5), "arr": np.arange(3)}, "t", tmp_path)
+        assert path.exists()
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["x"] == 1.5
+        assert data["arr"] == [0, 1, 2]
+
+
+class TestFig3:
+    def test_runs_and_reports(self):
+        result = fig3_proxy_validation.run(num_archs=20)
+        assert 0.6 < result["tau"] <= 1.0
+        assert len(result["proxy_mean"]) == 20
+        text = fig3_proxy_validation.report(result)
+        assert "tau" in text
+
+
+class TestTables:
+    def test_table1_rows(self, ctx):
+        result = tab1_acc_surrogates.run(ctx=ctx, families=("rf", "esvr"))
+        assert set(result["rows"]) == {"rf", "esvr"}
+        for row in result["rows"].values():
+            assert 0 < row["r2"] <= 1
+        assert "Table 1" in tab1_acc_surrogates.report(result)
+
+    def test_table2_rows(self, ctx):
+        result = tab2_device_surrogates.run(ctx=ctx)
+        assert len(result["rows"]) == 8  # 6 thr + 2 lat
+        assert result["num_archs"] == 220
+        assert "Table 2" in tab2_device_surrogates.report(result)
+
+
+class TestFig5:
+    def test_trajectories_shape(self, ctx):
+        result = fig5_trajectories.run(ctx=ctx, budget=60, simulated_seeds=(0,))
+        for name in ("RS", "RE", "REINFORCE"):
+            assert len(result["true"][name]) == 60
+            assert len(result["simulated"][name]) == 60
+            # Incumbent curves are monotone.
+            assert np.all(np.diff(result["true"][name]) >= 0)
+        assert "Fig.5" in fig5_trajectories.report(result)
+
+
+class TestFig4AndFig6:
+    def test_biobjective_panels(self, ctx):
+        result = fig4_biobjective.run(
+            ctx=ctx, budget=60, panels=(("zcu102", "latency"), ("a100", "throughput"))
+        )
+        assert set(result["panels"]) == {"zcu102|latency", "a100|throughput"}
+        for panel in result["panels"].values():
+            assert len(panel["pareto"]) >= 1
+            assert 1 <= len(panel["picks"]) <= 3
+        assert "Fig.4" in fig4_biobjective.report(result)
+
+    def test_fig6_true_evaluation(self, ctx):
+        fig4_result = fig4_biobjective.run(
+            ctx=ctx, budget=60, panels=(("vck190", "throughput"),)
+        )
+        result = fig6_evaluation.run(ctx=ctx, fig4_result=fig4_result)
+        panel = result["panels"]["vck190|throughput"]
+        names = [b["name"] for b in panel["baselines"]]
+        assert "effnet-b0" in names
+        assert panel["headline_vs_b0"] is not None
+        assert "Fig.6" in fig6_evaluation.report(result)
+
+
+class TestProxySearchRunner:
+    def test_capped_run(self):
+        result = proxy_search_run.run(
+            grid_n=8, pool_size=80, max_evaluations=5, early_stop_tau=None
+        )
+        assert result["num_evaluated"] <= 5
+        assert result["speedup"] > 1
+        assert "Proxy search" in proxy_search_run.report(result)

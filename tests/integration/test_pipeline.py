@@ -1,0 +1,101 @@
+"""Integration tests: full pipelines across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import AccelNASBench
+from repro.core.dataset import collect_device_dataset
+from repro.core.metrics import kendall_tau
+from repro.core.surrogate_fit import SurrogateFitter
+from repro.experiments.common import ExperimentContext
+from repro.optimizers import Reinforce
+from repro.trainsim.schemes import P_STAR
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(num_archs=250, sample_seed=3)
+
+
+class TestDatasetToSurrogate:
+    def test_accuracy_surrogate_pipeline(self, ctx):
+        report = SurrogateFitter().fit(ctx.accuracy_dataset(), "xgb")
+        assert report.r2 > 0.8
+        assert report.kendall > 0.6
+
+    def test_device_surrogate_pipeline(self, ctx):
+        report = SurrogateFitter().fit(
+            ctx.device_dataset("vck190", "throughput"), "xgb"
+        )
+        # 250 archs leaves only ~25 test points; quality bars are loose here
+        # (paper-scale quality is asserted by the benchmark harness).
+        assert report.r2 > 0.55
+        assert report.kendall > 0.55
+
+    def test_datasets_share_architectures(self, ctx):
+        acc = ctx.accuracy_dataset()
+        thr = ctx.device_dataset("a100", "throughput")
+        assert acc.archs == thr.archs
+
+
+class TestDeviceDisagreement:
+    """The core motivation: device rankings disagree across families."""
+
+    def test_fpga_and_gpu_rank_differently(self, ctx):
+        archs = ctx.archs[:100]
+        gpu = collect_device_dataset(archs, "a100", "throughput").values
+        fpga = collect_device_dataset(archs, "zcu102", "throughput").values
+        gpu2 = collect_device_dataset(archs, "rtx3090", "throughput").values
+        cross = kendall_tau(gpu, fpga)
+        within = kendall_tau(gpu, gpu2)
+        assert within > cross + 0.2
+
+
+class TestZeroCostSearch:
+    def test_benchmark_backed_biobjective_search(self, ctx):
+        bench = ctx.benchmark()
+        result = Reinforce(seed=0).run_biobjective(
+            accuracy_fn=bench.query_accuracy,
+            perf_fn=lambda a: bench.query_performance(a, "zcu102", "throughput"),
+            target=700.0,
+            budget=120,
+            metric="throughput",
+            device="zcu102",
+        )
+        front = result.pareto_points()
+        assert len(front) >= 2
+        # The front must span a real accuracy/throughput tradeoff.
+        accs = [p[1] for p in front]
+        thrs = [p[2] for p in front]
+        assert max(accs) - min(accs) > 0.01
+        assert max(thrs) / min(thrs) > 1.2
+
+    def test_searched_models_validate_on_simulated_truth(self, ctx, trainer):
+        """Top surrogate picks must be genuinely good under true simulation."""
+        bench = ctx.benchmark()
+        from repro.optimizers import RandomSearch
+
+        result = RandomSearch(seed=1).run(bench.query_accuracy, 200)
+        top = result.best_arch
+        true_top = trainer.expected_top1(top, P_STAR)
+        population = [
+            trainer.expected_top1(a, P_STAR) for a in ctx.archs[:100]
+        ]
+        assert true_top > np.percentile(population, 90)
+
+
+class TestBenchmarkArtifact:
+    def test_build_save_load_query_cycle(self, tmp_path):
+        bench, reports = AccelNASBench.build(
+            P_STAR, num_archs=200, devices={"tpuv3": ("throughput",)}, sample_seed=5
+        )
+        assert all(r.r2 > 0.5 for r in reports)
+        path = tmp_path / "anb.json"
+        bench.save(path)
+        loaded = AccelNASBench.load(path)
+        from repro.searchspace.mnasnet import MnasNetSearchSpace
+
+        arch = MnasNetSearchSpace(seed=1).sample()
+        assert loaded.query(arch, "tpuv3").performance == pytest.approx(
+            bench.query(arch, "tpuv3").performance
+        )

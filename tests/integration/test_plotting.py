@@ -1,0 +1,69 @@
+"""Unit tests for the ASCII figure rendering and CSV exporters."""
+
+import pytest
+
+from repro.experiments.plotting import (
+    ascii_curves,
+    ascii_scatter,
+    curves_to_csv,
+    scatter_to_csv,
+)
+
+
+class TestAsciiScatter:
+    def test_markers_present(self):
+        text = ascii_scatter(
+            {"ours": [(1.0, 2.0), (2.0, 3.0)], "base": [(1.5, 2.5)]},
+            width=30,
+            height=10,
+        )
+        assert "o" in text and "b" in text
+        assert "ours" in text and "base" in text
+
+    def test_log_x_axis(self):
+        text = ascii_scatter(
+            {"s": [(10.0, 1.0), (10000.0, 2.0)]}, width=30, height=8, logx=True
+        )
+        assert "1e+04" in text or "10000" in text or "1e4" in text.replace("+0", "")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({})
+
+    def test_single_point(self):
+        text = ascii_scatter({"x": [(1.0, 1.0)]}, width=20, height=6)
+        assert "x" in text
+
+    def test_grid_dimensions(self):
+        text = ascii_scatter({"a": [(0, 0), (1, 1)]}, width=40, height=12)
+        # ylabel line + 12 grid rows + x-axis footer.
+        assert len(text.splitlines()) == 14
+
+
+class TestAsciiCurves:
+    def test_renders_multiple_series(self):
+        text = ascii_curves({"RS": [0.1, 0.2, 0.2], "RE": [0.1, 0.25, 0.3]})
+        assert "RS" in text and "RE" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_curves({"RS": []})
+        with pytest.raises(ValueError):
+            ascii_curves({})
+
+
+class TestCsv:
+    def test_curves_csv_shape(self):
+        csv = curves_to_csv({"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        lines = csv.splitlines()
+        assert lines[0] == "step,a,b"
+        assert lines[1] == "0,1,3"
+        assert len(lines) == 3
+
+    def test_curves_csv_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            curves_to_csv({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_scatter_csv(self):
+        csv = scatter_to_csv({"s": [(1.0, 2.0)]})
+        assert csv.splitlines() == ["series,x,y", "s,1,2"]

@@ -1,0 +1,124 @@
+"""Cross-cutting property tests on simulator invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwsim.registry import get_device, list_devices
+from repro.searchspace.mnasnet import (
+    ArchSpec,
+    EXPANSION_CHOICES,
+    KERNEL_CHOICES,
+    LAYER_CHOICES,
+    NUM_STAGES,
+    SE_CHOICES,
+)
+from repro.searchspace.model_builder import build_model
+from repro.trainsim.cost_model import TrainingCostModel
+from repro.trainsim.schemes import TrainingScheme
+from repro.trainsim.trainer import SimulatedTrainer
+
+arch_specs = st.builds(
+    ArchSpec,
+    expansion=st.tuples(*[st.sampled_from(EXPANSION_CHOICES)] * NUM_STAGES),
+    kernel=st.tuples(*[st.sampled_from(KERNEL_CHOICES)] * NUM_STAGES),
+    layers=st.tuples(*[st.sampled_from(LAYER_CHOICES)] * NUM_STAGES),
+    se=st.tuples(*[st.sampled_from(SE_CHOICES)] * NUM_STAGES),
+)
+
+schemes = st.builds(
+    TrainingScheme,
+    batch_size=st.sampled_from([256, 512, 1024]),
+    epochs=st.sampled_from([15, 30, 50, 80, 120]),
+    resize_start_epoch=st.just(0),
+    resize_end_epoch=st.sampled_from([10, 15]),
+    res_start=st.sampled_from([96, 128, 160]),
+    res_end=st.sampled_from([192, 224]),
+)
+
+
+def _grow(arch: ArchSpec) -> ArchSpec:
+    """A strictly larger architecture (one more layer in stage 0)."""
+    layers = list(arch.layers)
+    layers[0] += 1
+    return ArchSpec(arch.expansion, arch.kernel, tuple(layers), arch.se)
+
+
+class TestMonotonicities:
+    @given(arch_specs)
+    @settings(max_examples=15, deadline=None)
+    def test_adding_a_layer_increases_latency_everywhere(self, arch):
+        bigger = _grow(arch)
+        g_small = build_model(arch)
+        g_big = build_model(bigger)
+        for name in list_devices():
+            device = get_device(name)
+            assert device.latency_ms(g_big) > device.latency_ms(g_small)
+
+    @given(arch_specs)
+    @settings(max_examples=15, deadline=None)
+    def test_adding_a_layer_increases_train_cost(self, arch):
+        model = TrainingCostModel()
+        scheme = TrainingScheme(512, 30, 0, 0, 160, 160)
+        assert model.train_time_hours(_grow(arch), scheme) > model.train_time_hours(
+            arch, scheme
+        )
+
+    @given(arch_specs, schemes)
+    @settings(max_examples=25, deadline=None)
+    def test_accuracy_always_in_unit_interval(self, arch, scheme):
+        trainer = SimulatedTrainer()
+        for seed in (0, 1):
+            assert 0.0 <= trainer.train(arch, scheme, seed).top1 <= 1.0
+
+    @given(arch_specs, schemes)
+    @settings(max_examples=20, deadline=None)
+    def test_training_fully_deterministic(self, arch, scheme):
+        trainer = SimulatedTrainer()
+        a = trainer.train(arch, scheme, seed=7)
+        b = trainer.train(arch, scheme, seed=7)
+        assert a.top1 == b.top1 and a.train_hours == b.train_hours
+
+    @given(arch_specs)
+    @settings(max_examples=10, deadline=None)
+    def test_throughput_latency_consistency(self, arch):
+        """At batch 1, throughput ~= 1000 / latency_ms on non-FPGA devices."""
+        graph = build_model(arch)
+        for name in ("a100", "tpuv3"):
+            device = get_device(name)
+            lat_ms = device.latency_ms(graph, batch=1)
+            thr = device.throughput_ips(graph, batch=1)
+            assert thr == pytest.approx(1000.0 / lat_ms, rel=1e-9)
+
+    @given(arch_specs)
+    @settings(max_examples=10, deadline=None)
+    def test_more_epochs_never_hurt_expected_accuracy(self, arch):
+        trainer = SimulatedTrainer()
+        values = []
+        for epochs in (15, 30, 80):
+            scheme = TrainingScheme(512, epochs, 0, 0, 224, 224)
+            # Compare the deterministic convergence component only: the
+            # scheme-interaction term is intentionally non-monotone noise.
+            from repro.trainsim.accuracy_model import asymptotic_accuracy
+            from repro.trainsim.learning_curve import converged_fraction
+
+            values.append(
+                asymptotic_accuracy(arch) * converged_fraction(arch, scheme)
+            )
+        assert values == sorted(values)
+
+
+class TestEncodingConsistency:
+    @given(arch_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_counters_agree_between_hash_and_string_identity(self, arch):
+        clone = ArchSpec.from_string(arch.to_string())
+        assert clone.stable_hash() == arch.stable_hash()
+        assert hash(clone) == hash(arch)
+
+    @given(arch_specs, arch_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_archs_distinct_strings(self, a, b):
+        if a != b:
+            assert a.to_string() != b.to_string()

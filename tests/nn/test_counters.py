@@ -1,0 +1,79 @@
+"""Unit tests for graph-level compute/memory accounting."""
+
+import pytest
+
+from repro.nn.counters import count_graph
+from repro.nn.graph import LayerGraph
+from repro.nn.layers import Activation, Conv2d, TensorShape
+from repro.searchspace.baselines import EFFICIENTNET_B0
+from repro.searchspace.model_builder import build_model
+
+
+@pytest.fixture
+def two_layer_graph():
+    g = LayerGraph("net", TensorShape(3, 8, 8))
+    g.add(
+        Conv2d(
+            "c1",
+            TensorShape(3, 8, 8),
+            TensorShape(8, 8, 8),
+            kernel_size=3,
+        )
+    )
+    shape = TensorShape(8, 8, 8)
+    g.add(Activation("a1", shape, shape))
+    return g
+
+
+class TestAggregation:
+    def test_sums_over_layers(self, two_layer_graph):
+        c = count_graph(two_layer_graph)
+        conv, act = two_layer_graph.layers
+        assert c.macs == conv.macs + act.macs
+        assert c.flops == conv.flops + act.flops
+        assert c.params == conv.params + act.params
+        assert c.num_layers == 2
+
+    def test_peak_is_max_single_layer(self, two_layer_graph):
+        c = count_graph(two_layer_graph)
+        per_layer = [l.activation_bytes(4.0) for l in two_layer_graph]
+        assert c.peak_activation_bytes == max(per_layer)
+
+    def test_precision_scaling(self, two_layer_graph):
+        fp32 = count_graph(two_layer_graph, 4.0, 4.0)
+        int8 = count_graph(two_layer_graph, 1.0, 1.0)
+        assert fp32.weight_bytes == 4 * int8.weight_bytes
+        assert fp32.activation_bytes == 4 * int8.activation_bytes
+        # Compute counters are precision-independent.
+        assert fp32.macs == int8.macs
+
+    def test_unit_helpers(self, two_layer_graph):
+        c = count_graph(two_layer_graph)
+        assert c.mflops == c.flops / 1e6
+        assert c.mparams == c.params / 1e6
+
+
+class TestReferenceNumbers:
+    """EfficientNet-B0 published numbers: ~390M MACs, ~5.3M params @224."""
+
+    def test_b0_macs(self):
+        c = count_graph(build_model(EFFICIENTNET_B0.arch))
+        assert 370e6 < c.macs < 420e6
+
+    def test_b0_params(self):
+        c = count_graph(build_model(EFFICIENTNET_B0.arch))
+        assert 5.0e6 < c.params < 5.6e6
+
+    def test_flops_scale_quadratically_with_resolution(self):
+        arch = EFFICIENTNET_B0.arch
+        c224 = count_graph(build_model(arch, resolution=224))
+        c112 = count_graph(build_model(arch, resolution=112))
+        ratio = c224.macs / c112.macs
+        assert 3.5 < ratio < 4.5  # conv-dominated: ~4x
+
+    def test_params_do_not_depend_on_resolution(self):
+        arch = EFFICIENTNET_B0.arch
+        assert (
+            count_graph(build_model(arch, resolution=224)).params
+            == count_graph(build_model(arch, resolution=112)).params
+        )

@@ -1,0 +1,93 @@
+"""Unit tests for the layer graph and its validation."""
+
+import networkx as nx
+import pytest
+
+from repro.nn.graph import GraphError, LayerGraph
+from repro.nn.layers import Activation, Add, Conv2d, TensorShape, conv_output_hw
+
+
+def _conv(name, cin, cout, hw, k=1, stride=1):
+    out_hw = conv_output_hw(hw, k, stride)
+    return Conv2d(
+        name=name,
+        input_shape=TensorShape(cin, hw, hw),
+        output_shape=TensorShape(cout, out_hw, out_hw),
+        kernel_size=k,
+        stride=stride,
+    )
+
+
+@pytest.fixture
+def simple_graph():
+    g = LayerGraph("net", TensorShape(3, 8, 8))
+    g.add(_conv("c1", 3, 8, 8))
+    shape = TensorShape(8, 8, 8)
+    g.add(Activation("a1", shape, shape))
+    g.add(_conv("c2", 8, 8, 8))
+    g.add(Add("res", shape, shape), inputs=("c2", "a1"))
+    return g
+
+
+class TestConstruction:
+    def test_sequential_chaining(self, simple_graph):
+        assert len(simple_graph) == 4
+        assert simple_graph.output_shape == TensorShape(8, 8, 8)
+
+    def test_lookup_and_contains(self, simple_graph):
+        assert "c1" in simple_graph
+        assert simple_graph["c1"].name == "c1"
+        assert "missing" not in simple_graph
+
+    def test_iteration_order(self, simple_graph):
+        assert [l.name for l in simple_graph] == ["c1", "a1", "c2", "res"]
+
+    def test_duplicate_name_rejected(self, simple_graph):
+        with pytest.raises(GraphError, match="duplicate"):
+            simple_graph.add(_conv("c1", 8, 8, 8))
+
+    def test_unknown_producer_rejected(self):
+        g = LayerGraph("net", TensorShape(3, 8, 8))
+        g.add(_conv("c1", 3, 8, 8))
+        with pytest.raises(GraphError, match="unknown layer"):
+            g.add(_conv("c2", 8, 8, 8), inputs=("nope",))
+
+    def test_shape_mismatch_rejected(self):
+        g = LayerGraph("net", TensorShape(3, 8, 8))
+        g.add(_conv("c1", 3, 8, 8))
+        with pytest.raises(GraphError, match="expects input"):
+            g.add(_conv("c2", 16, 8, 8))  # expects 16 channels, gets 8
+
+    def test_first_layer_must_match_graph_input(self):
+        g = LayerGraph("net", TensorShape(3, 8, 8))
+        with pytest.raises(GraphError):
+            g.add(_conv("c1", 4, 8, 8))
+
+    def test_empty_graph_has_no_output_shape(self):
+        g = LayerGraph("net", TensorShape(3, 8, 8))
+        with pytest.raises(GraphError):
+            _ = g.output_shape
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, simple_graph):
+        simple_graph.validate()
+
+    def test_empty_graph_fails(self):
+        with pytest.raises(GraphError, match="no layers"):
+            LayerGraph("net", TensorShape(3, 8, 8)).validate()
+
+    def test_networkx_export(self, simple_graph):
+        g = simple_graph.to_networkx()
+        assert isinstance(g, nx.DiGraph)
+        assert set(g.nodes) == {"c1", "a1", "c2", "res"}
+        assert g.has_edge("a1", "res")
+        assert g.has_edge("c2", "res")
+
+    def test_residual_has_two_producers(self, simple_graph):
+        g = simple_graph.to_networkx()
+        assert g.in_degree("res") == 2
+
+    def test_repr_mentions_name_and_layers(self, simple_graph):
+        text = repr(simple_graph)
+        assert "net" in text and "4 layers" in text

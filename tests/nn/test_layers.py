@@ -1,0 +1,174 @@
+"""Unit tests for the IR layer shape/compute arithmetic."""
+
+import pytest
+
+from repro.nn.layers import (
+    Activation,
+    Add,
+    Conv2d,
+    Dense,
+    GlobalAvgPool,
+    SqueezeExcite,
+    TensorShape,
+    conv_output_hw,
+)
+
+
+class TestTensorShape:
+    def test_numel(self):
+        assert TensorShape(3, 4, 5).numel == 60
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            TensorShape(0, 4, 5)
+        with pytest.raises(ValueError):
+            TensorShape(3, -1, 5)
+
+    def test_str(self):
+        assert str(TensorShape(32, 112, 112)) == "32x112x112"
+
+
+class TestConvOutputHw:
+    def test_same_padding_stride1(self):
+        assert conv_output_hw(224, 3, 1) == 224
+
+    def test_same_padding_stride2(self):
+        assert conv_output_hw(224, 3, 2) == 112
+        assert conv_output_hw(7, 3, 2) == 4  # ceil(7/2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            conv_output_hw(0, 3, 1)
+        with pytest.raises(ValueError):
+            conv_output_hw(10, 3, 0)
+
+
+class TestConv2d:
+    def _conv(self, cin=16, cout=32, hw=56, k=3, stride=1, groups=1):
+        out_hw = conv_output_hw(hw, k, stride)
+        return Conv2d(
+            name="c",
+            input_shape=TensorShape(cin, hw, hw),
+            output_shape=TensorShape(cout, out_hw, out_hw),
+            kernel_size=k,
+            stride=stride,
+            groups=groups,
+        )
+
+    def test_dense_macs_formula(self):
+        conv = self._conv(cin=16, cout=32, hw=56, k=3)
+        assert conv.macs == 32 * 56 * 56 * 16 * 9
+
+    def test_flops_is_twice_macs(self):
+        conv = self._conv()
+        assert conv.flops == 2 * conv.macs
+
+    def test_params_with_folded_bias(self):
+        conv = self._conv(cin=16, cout=32, k=3)
+        assert conv.params == 32 * 16 * 9 + 32
+
+    def test_depthwise_detection_and_macs(self):
+        conv = self._conv(cin=32, cout=32, k=3, groups=32)
+        assert conv.is_depthwise
+        assert conv.op_type == "conv_depthwise"
+        assert conv.macs == 32 * 56 * 56 * 1 * 9
+
+    def test_pointwise_detection(self):
+        conv = self._conv(cin=16, cout=64, k=1)
+        assert conv.is_pointwise
+        assert conv.op_type == "conv_pointwise"
+
+    def test_standard_op_type(self):
+        assert self._conv(k=3).op_type == "conv_standard"
+
+    def test_rejects_indivisible_groups(self):
+        with pytest.raises(ValueError):
+            self._conv(cin=15, cout=32, groups=4)
+
+    def test_rejects_inconsistent_spatial_shape(self):
+        with pytest.raises(ValueError):
+            Conv2d(
+                name="c",
+                input_shape=TensorShape(8, 56, 56),
+                output_shape=TensorShape(8, 55, 55),
+                kernel_size=3,
+                stride=1,
+            )
+
+    def test_weight_bytes_scales_with_precision(self):
+        conv = self._conv()
+        assert conv.weight_bytes(1.0) * 4 == conv.weight_bytes(4.0)
+
+
+class TestActivation:
+    def test_one_flop_per_element(self):
+        shape = TensorShape(8, 4, 4)
+        act = Activation("a", shape, shape)
+        assert act.flops == shape.numel
+        assert act.params == 0
+
+    def test_must_preserve_shape(self):
+        with pytest.raises(ValueError):
+            Activation("a", TensorShape(8, 4, 4), TensorShape(8, 4, 5))
+
+
+class TestAdd:
+    def test_flops_and_traffic(self):
+        shape = TensorShape(8, 4, 4)
+        add = Add("r", shape, shape)
+        assert add.flops == shape.numel
+        # Two operands in, one out.
+        assert add.activation_bytes(4.0) == 3 * shape.numel * 4.0
+
+    def test_must_preserve_shape(self):
+        with pytest.raises(ValueError):
+            Add("r", TensorShape(8, 4, 4), TensorShape(4, 4, 4))
+
+
+class TestGlobalAvgPool:
+    def test_output_must_be_1x1(self):
+        with pytest.raises(ValueError):
+            GlobalAvgPool("p", TensorShape(8, 4, 4), TensorShape(8, 2, 2))
+
+    def test_flops(self):
+        pool = GlobalAvgPool("p", TensorShape(8, 4, 4), TensorShape(8, 1, 1))
+        assert pool.flops == 8 * 4 * 4
+
+
+class TestDense:
+    def test_macs_and_params(self):
+        fc = Dense("fc", TensorShape(1280, 1, 1), TensorShape(1000, 1, 1))
+        assert fc.macs == 1280 * 1000
+        assert fc.params == 1280 * 1000 + 1000
+
+    def test_requires_flat_input(self):
+        with pytest.raises(ValueError):
+            Dense("fc", TensorShape(1280, 7, 7), TensorShape(1000, 1, 1))
+
+
+class TestSqueezeExcite:
+    def test_macs_are_two_1x1_convs(self):
+        shape = TensorShape(64, 14, 14)
+        se = SqueezeExcite("se", shape, shape, se_channels=16)
+        assert se.macs == 64 * 16 * 2
+
+    def test_params(self):
+        shape = TensorShape(64, 14, 14)
+        se = SqueezeExcite("se", shape, shape, se_channels=16)
+        assert se.params == (64 * 16 + 16) + (16 * 64 + 64)
+
+    def test_flops_include_pool_and_scale(self):
+        shape = TensorShape(64, 14, 14)
+        se = SqueezeExcite("se", shape, shape, se_channels=16)
+        assert se.flops == 2 * se.macs + 2 * shape.numel + 64
+
+    def test_op_type(self):
+        shape = TensorShape(4, 2, 2)
+        assert SqueezeExcite("se", shape, shape, se_channels=1).op_type == "squeeze_excite"
+
+    def test_must_preserve_shape_and_positive_channels(self):
+        shape = TensorShape(4, 2, 2)
+        with pytest.raises(ValueError):
+            SqueezeExcite("se", shape, TensorShape(4, 2, 3), se_channels=1)
+        with pytest.raises(ValueError):
+            SqueezeExcite("se", shape, shape, se_channels=0)

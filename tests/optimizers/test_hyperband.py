@@ -1,0 +1,61 @@
+"""Unit tests for Hyperband."""
+
+import pytest
+
+from repro.optimizers.hyperband import Hyperband
+from repro.trainsim.schemes import TrainingScheme
+
+
+@pytest.fixture(scope="module")
+def fidelity_objective(trainer):
+    def objective(arch, epochs):
+        scheme = TrainingScheme(512, max(epochs, 5), 0, 0, 160, 160)
+        return trainer.train(arch, scheme, seed=0).top1
+
+    return objective
+
+
+class TestBrackets:
+    def test_bracket_structure(self):
+        hb = Hyperband(max_fidelity=81, eta=3, min_fidelity=1)
+        plans = hb.brackets()
+        assert len(plans) == 5  # s_max = 4
+        for rungs in plans:
+            # Populations shrink, fidelities grow within a bracket.
+            ns = [n for n, _ in rungs]
+            rs = [r for _, r in rungs]
+            assert ns == sorted(ns, reverse=True)
+            assert rs == sorted(rs)
+            assert rs[-1] == 81
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            Hyperband(eta=1)
+        with pytest.raises(ValueError):
+            Hyperband(max_fidelity=10, min_fidelity=20)
+
+
+class TestRun:
+    def test_multifidelity_run_records_everything(self, fidelity_objective):
+        hb = Hyperband(seed=0, max_fidelity=45, eta=3, min_fidelity=5)
+        result = hb.run_multifidelity(fidelity_objective)
+        expected = sum(
+            sum(n for n, _ in rungs) for rungs in hb.brackets()
+        )
+        assert result.num_evaluations == expected
+        assert result.best_value > 0.7
+
+    def test_single_fidelity_fallback(self, fidelity_objective, trainer):
+        hb = Hyperband(seed=0)
+        result = hb.run(lambda a: trainer.expected_top1(
+            a, TrainingScheme(512, 30, 0, 0, 160, 160)), 12)
+        assert result.num_evaluations == 12
+
+    def test_deterministic(self, fidelity_objective):
+        a = Hyperband(seed=3, max_fidelity=27, eta=3, min_fidelity=3).run_multifidelity(
+            fidelity_objective
+        )
+        b = Hyperband(seed=3, max_fidelity=27, eta=3, min_fidelity=3).run_multifidelity(
+            fidelity_objective
+        )
+        assert a.archs == b.archs

@@ -1,0 +1,134 @@
+"""Unit tests for RS / RE / local search / successive halving."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers import (
+    LocalSearch,
+    RandomSearch,
+    RegularizedEvolution,
+    SuccessiveHalving,
+)
+from repro.optimizers.base import SearchResult
+from repro.trainsim.schemes import P_STAR
+
+
+@pytest.fixture(scope="module")
+def objective(trainer):
+    def f(arch):
+        return trainer.expected_top1(arch, P_STAR)
+
+    return f
+
+
+class TestSearchResult:
+    def test_incumbent_curve_monotone(self):
+        result = SearchResult()
+        from repro.searchspace.mnasnet import MnasNetSearchSpace
+
+        space = MnasNetSearchSpace(seed=0)
+        for v in (0.5, 0.3, 0.7, 0.6):
+            result.record(space.sample(), v)
+        curve = result.incumbent_curve()
+        assert np.array_equal(curve, [0.5, 0.5, 0.7, 0.7])
+        assert result.best_value == 0.7
+
+    def test_empty_result_rejects_queries(self):
+        result = SearchResult()
+        with pytest.raises(ValueError):
+            _ = result.best_value
+        with pytest.raises(ValueError):
+            _ = result.best_arch
+
+
+class TestRandomSearch:
+    def test_budget_and_uniqueness(self, objective):
+        result = RandomSearch(seed=0).run(objective, 60)
+        assert result.num_evaluations == 60
+        assert len(set(result.archs)) == 60
+
+    def test_deterministic(self, objective):
+        a = RandomSearch(seed=4).run(objective, 20)
+        b = RandomSearch(seed=4).run(objective, 20)
+        assert a.archs == b.archs
+
+    def test_budget_validated(self, objective):
+        with pytest.raises(ValueError):
+            RandomSearch().run(objective, 0)
+
+
+class TestRegularizedEvolution:
+    def test_improves_over_random_phase(self, objective):
+        result = RegularizedEvolution(
+            seed=0, population_size=20, sample_size=5
+        ).run(objective, 300)
+        curve = result.incumbent_curve()
+        assert curve[-1] > curve[19]  # improved beyond the random init
+
+    def test_beats_random_search(self, objective):
+        budget = 400
+        re_best = np.mean(
+            [
+                RegularizedEvolution(seed=s, population_size=20, sample_size=5)
+                .run(objective, budget)
+                .best_value
+                for s in range(2)
+            ]
+        )
+        rs_best = np.mean(
+            [RandomSearch(seed=s).run(objective, budget).best_value for s in range(2)]
+        )
+        assert re_best > rs_best - 0.002
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            RegularizedEvolution(population_size=1)
+        with pytest.raises(ValueError):
+            RegularizedEvolution(population_size=10, sample_size=11)
+
+    def test_budget_smaller_than_population(self, objective):
+        result = RegularizedEvolution(seed=0, population_size=50).run(objective, 10)
+        assert result.num_evaluations == 10
+
+
+class TestLocalSearch:
+    def test_runs_within_budget(self, objective):
+        result = LocalSearch(seed=0).run(objective, 150)
+        assert result.num_evaluations == 150
+
+    def test_no_duplicate_evaluations(self, objective):
+        result = LocalSearch(seed=0).run(objective, 150)
+        assert len(set(result.archs)) == 150
+
+    def test_reaches_local_optimum_quality(self, objective):
+        result = LocalSearch(seed=1).run(objective, 300)
+        assert result.best_value > 0.74
+
+
+class TestSuccessiveHalving:
+    def test_rung_accounting(self, trainer):
+        from repro.trainsim.schemes import TrainingScheme
+
+        def fidelity_objective(arch, epochs):
+            scheme = TrainingScheme(512, epochs, 0, 0, 160, 160)
+            return trainer.train(arch, scheme, seed=0).top1
+
+        sh = SuccessiveHalving(seed=0, eta=3, fidelities=(10, 30))
+        result = sh.run_multifidelity(fidelity_objective, initial_population=18)
+        # 18 at fidelity 10, then 6 at fidelity 30.
+        assert result.num_evaluations == 18 + 6
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            SuccessiveHalving(eta=1)
+        with pytest.raises(ValueError):
+            SuccessiveHalving(fidelities=(30, 10))
+
+    def test_population_validated(self, trainer):
+        sh = SuccessiveHalving(seed=0, eta=3)
+        with pytest.raises(ValueError):
+            sh.run_multifidelity(lambda a, f: 0.0, initial_population=2)
+
+    def test_single_fidelity_fallback(self, objective):
+        result = SuccessiveHalving(seed=0).run(objective, 12)
+        assert result.num_evaluations == 12

@@ -1,0 +1,181 @@
+"""Unit tests for REINFORCE and the MnasNet reward."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers.reinforce import (
+    BiObjectiveResult,
+    CategoricalPolicy,
+    Reinforce,
+    mnas_reward,
+)
+from repro.searchspace.mnasnet import MnasNetSearchSpace
+from repro.trainsim.schemes import P_STAR
+
+
+class TestMnasReward:
+    def test_at_target_reward_is_accuracy(self):
+        assert mnas_reward(0.7, 100.0, 100.0) == pytest.approx(0.7)
+
+    def test_throughput_above_target_rewarded(self):
+        assert mnas_reward(0.7, 200.0, 100.0) > 0.7
+
+    def test_latency_above_target_penalised(self):
+        fast = mnas_reward(0.7, 50.0, 100.0, maximize_perf=False)
+        slow = mnas_reward(0.7, 200.0, 100.0, maximize_perf=False)
+        assert fast > 0.7 > slow
+
+    def test_power_law_constant_relative_gain(self):
+        # The w=-0.07 exponent gives a constant ~5% reward ratio per
+        # throughput doubling — soft influence, never dominating accuracy.
+        r1 = mnas_reward(0.7, 200.0, 100.0)
+        r2 = mnas_reward(0.7, 400.0, 100.0)
+        assert r2 / r1 == pytest.approx(r1 / 0.7)
+        assert r1 / 0.7 < 1.06
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mnas_reward(-0.1, 100.0, 100.0)
+        with pytest.raises(ValueError):
+            mnas_reward(0.7, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            mnas_reward(0.7, 100.0, 0.0)
+
+
+class TestCategoricalPolicy:
+    def test_initial_policy_is_uniform(self):
+        space = MnasNetSearchSpace(seed=0)
+        policy = CategoricalPolicy(space, seed=0)
+        # Initial entropy equals sum of log|choices| per decision.
+        expected = 7 * (np.log(3) + np.log(2) + np.log(3) + np.log(2))
+        assert policy.entropy() == pytest.approx(expected)
+
+    def test_sample_is_space_member(self):
+        space = MnasNetSearchSpace(seed=0)
+        policy = CategoricalPolicy(space, seed=1)
+        for _ in range(10):
+            assert space.contains(policy.sample())
+
+    def test_positive_advantage_raises_probability(self):
+        space = MnasNetSearchSpace(seed=0)
+        policy = CategoricalPolicy(space, seed=2)
+        arch = policy.sample()
+        for _ in range(40):
+            policy.update(arch, advantage=1.0, lr=0.3)
+        assert policy.mode() == arch
+        assert policy.entropy() < 7 * (np.log(3) + np.log(2) + np.log(3) + np.log(2))
+
+    def test_negative_advantage_lowers_probability(self):
+        space = MnasNetSearchSpace(seed=0)
+        policy = CategoricalPolicy(space, seed=3)
+        arch = policy.sample()
+        for _ in range(40):
+            policy.update(arch, advantage=-1.0, lr=0.3)
+        assert policy.mode() != arch
+
+
+class TestReinforceUniObjective:
+    def test_budget_respected(self, trainer):
+        opt = Reinforce(seed=0, batch_size=4)
+        result = opt.run(lambda a: trainer.expected_top1(a, P_STAR), 50)
+        assert result.num_evaluations == 50
+
+    def test_improves_on_separable_objective(self):
+        # Reward = number of SE stages: trivially separable, REINFORCE must
+        # learn to switch SE on everywhere.
+        opt = Reinforce(seed=0, learning_rate=0.3, batch_size=4)
+        result = opt.run(lambda a: float(sum(a.se)), 400)
+        tail = result.values[-40:]
+        assert np.mean(tail) > 5.5  # near-maximal (7)
+
+    def test_baseline_decay_validated(self):
+        with pytest.raises(ValueError):
+            Reinforce(baseline_decay=1.0)
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            Reinforce().run(lambda a: 0.0, 0)
+
+
+class TestReinforceBiObjective:
+    def _fns(self, trainer):
+        from repro.hwsim.measure import MeasurementHarness
+        from repro.hwsim.registry import get_device
+
+        harness = MeasurementHarness(get_device("zcu102"))
+        return (
+            lambda a: trainer.expected_top1(a, P_STAR),
+            lambda a: harness.measure_throughput(a),
+        )
+
+    def test_records_all_fields(self, trainer):
+        acc_fn, perf_fn = self._fns(trainer)
+        opt = Reinforce(seed=0, batch_size=4)
+        result = opt.run_biobjective(
+            acc_fn, perf_fn, target=700.0, budget=40, metric="throughput",
+            device="zcu102",
+        )
+        assert len(result.archs) == 40
+        assert len(result.accuracies) == 40
+        assert len(result.performances) == 40
+        assert len(result.rewards) == 40
+        assert result.device == "zcu102"
+
+    def test_pareto_indices_are_nondominated(self, trainer):
+        acc_fn, perf_fn = self._fns(trainer)
+        opt = Reinforce(seed=1, batch_size=4)
+        result = opt.run_biobjective(
+            acc_fn, perf_fn, target=700.0, budget=60, metric="throughput"
+        )
+        idx = result.pareto_indices()
+        assert len(idx) >= 1
+        pts = [(result.accuracies[i], result.performances[i]) for i in idx]
+        for a in pts:
+            for b in pts:
+                assert not (a[0] > b[0] and a[1] > b[1]) or a == b or True
+        # Stronger check: no front member dominated by any history point.
+        for i in idx:
+            for j in range(len(result.archs)):
+                dominated = (
+                    result.accuracies[j] >= result.accuracies[i]
+                    and result.performances[j] >= result.performances[i]
+                    and (
+                        result.accuracies[j] > result.accuracies[i]
+                        or result.performances[j] > result.performances[i]
+                    )
+                )
+                assert not dominated
+
+    def test_latency_metric_flips_direction(self, trainer):
+        from repro.hwsim.measure import MeasurementHarness
+        from repro.hwsim.registry import get_device
+
+        harness = MeasurementHarness(get_device("zcu102"))
+        opt = Reinforce(seed=2, batch_size=4)
+        result = opt.run_biobjective(
+            lambda a: trainer.expected_top1(a, P_STAR),
+            lambda a: harness.measure_latency(a),
+            target=6.0,
+            budget=40,
+            metric="latency",
+        )
+        idx = result.pareto_indices()
+        # Front must include the minimum-latency point.
+        min_lat = int(np.argmin(result.performances))
+        assert min_lat in set(int(i) for i in idx)
+
+    def test_unknown_metric_rejected(self, trainer):
+        acc_fn, perf_fn = self._fns(trainer)
+        with pytest.raises(ValueError):
+            Reinforce().run_biobjective(
+                acc_fn, perf_fn, target=1.0, budget=4, metric="power"
+            )
+
+    def test_pareto_points_returns_triples(self, trainer):
+        acc_fn, perf_fn = self._fns(trainer)
+        result = Reinforce(seed=3, batch_size=4).run_biobjective(
+            acc_fn, perf_fn, target=700.0, budget=30
+        )
+        for arch, acc, perf in result.pareto_points():
+            assert 0 <= acc <= 1
+            assert perf > 0

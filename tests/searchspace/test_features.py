@@ -1,0 +1,82 @@
+"""Unit tests for surrogate feature encodings."""
+
+import numpy as np
+import pytest
+
+from repro.searchspace.features import ENCODINGS, FeatureEncoder
+from repro.searchspace.mnasnet import NUM_STAGES
+
+
+class TestWidths:
+    def test_onehot_width(self):
+        assert FeatureEncoder("onehot").num_features == NUM_STAGES * 10
+
+    def test_integer_width(self):
+        assert FeatureEncoder("integer").num_features == NUM_STAGES * 4
+
+    def test_global_width(self):
+        assert FeatureEncoder("onehot+global").num_features == NUM_STAGES * 10 + 4
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError, match="unknown encoding"):
+            FeatureEncoder("fourier")
+
+
+class TestEncodeOne:
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_shape_and_dtype(self, encoding, some_archs):
+        enc = FeatureEncoder(encoding)
+        row = enc.encode_one(some_archs[0])
+        assert row.shape == (enc.num_features,)
+        assert row.dtype == np.float64
+
+    def test_onehot_groups_sum_to_one(self, some_archs):
+        enc = FeatureEncoder("onehot")
+        row = enc.encode_one(some_archs[0])
+        # 28 decision groups with sizes 3,2,3,2 repeating.
+        sizes = [3, 2, 3, 2] * NUM_STAGES
+        pos = 0
+        for size in sizes:
+            assert row[pos : pos + size].sum() == 1.0
+            pos += size
+
+    def test_integer_encoding_carries_raw_values(self, some_archs):
+        arch = some_archs[0]
+        row = FeatureEncoder("integer").encode_one(arch)
+        assert row[0] == arch.expansion[0]
+        assert row[1] == arch.kernel[0]
+        assert row[2] == arch.layers[0]
+        assert row[3] == arch.se[0]
+
+    def test_global_features_finite_and_ordered(self, tiny_arch, big_arch):
+        enc = FeatureEncoder("onehot+global")
+        small = enc.encode_one(tiny_arch)[-4:]
+        big = enc.encode_one(big_arch)[-4:]
+        assert np.all(np.isfinite(small))
+        assert big[0] > small[0]  # log flops
+        assert big[1] > small[1]  # log params
+        assert big[2] > small[2]  # depth
+        assert big[3] > small[3]  # SE count
+
+
+class TestEncodeBatch:
+    def test_batch_matches_rows(self, some_archs):
+        enc = FeatureEncoder("onehot")
+        X = enc.encode(some_archs[:10])
+        assert X.shape == (10, enc.num_features)
+        for i, arch in enumerate(some_archs[:10]):
+            assert np.array_equal(X[i], enc.encode_one(arch))
+
+    def test_empty_batch(self):
+        enc = FeatureEncoder("onehot")
+        assert enc.encode([]).shape == (0, enc.num_features)
+
+    def test_distinct_archs_distinct_rows(self, some_archs):
+        enc = FeatureEncoder("onehot")
+        X = enc.encode(some_archs[:20])
+        assert len(np.unique(X, axis=0)) == 20
+
+    def test_feature_names_align(self):
+        for encoding in ENCODINGS:
+            enc = FeatureEncoder(encoding)
+            assert len(enc.feature_names()) == enc.num_features

@@ -1,0 +1,95 @@
+"""Unit tests for the arch-spec -> layer-graph builder."""
+
+import pytest
+
+from repro.nn.layers import Add, Conv2d, Dense, GlobalAvgPool, SqueezeExcite
+from repro.searchspace.mnasnet import ArchSpec, STAGE_SETTINGS
+from repro.searchspace.model_builder import build_model
+
+
+@pytest.fixture(scope="module")
+def minimal_model(tiny_arch):
+    return build_model(tiny_arch)
+
+
+class TestStructure:
+    def test_graph_validates(self, some_archs):
+        for arch in some_archs[:5]:
+            build_model(arch).validate()
+
+    def test_stem_head_classifier_present(self, minimal_model):
+        assert "stem.conv" in minimal_model
+        assert "head.conv" in minimal_model
+        assert "head.pool" in minimal_model
+        assert "head.fc" in minimal_model
+
+    def test_output_is_classifier(self, minimal_model):
+        assert minimal_model.output_shape.channels == 1000
+
+    def test_custom_num_classes(self, tiny_arch):
+        g = build_model(tiny_arch, num_classes=10)
+        assert g.output_shape.channels == 10
+
+    def test_layer_count_scales_with_depth(self, tiny_arch, big_arch):
+        assert len(build_model(big_arch)) > len(build_model(tiny_arch))
+
+    def test_expansion_1_skips_expand_conv(self, tiny_arch):
+        g = build_model(tiny_arch)
+        assert not any(l.name.endswith(".expand") for l in g)
+
+    def test_expansion_6_has_expand_conv(self, big_arch):
+        g = build_model(big_arch)
+        expand = g["s1.l0.expand"]
+        assert isinstance(expand, Conv2d)
+        # Stage 1 input is stage 0 output (16 ch), expanded 6x.
+        assert expand.output_shape.channels == 16 * 6
+
+    def test_se_layers_present_iff_enabled(self, tiny_arch, big_arch):
+        no_se = build_model(tiny_arch)
+        with_se = build_model(big_arch)
+        assert not any(isinstance(l, SqueezeExcite) for l in no_se)
+        se_count = sum(1 for l in with_se if isinstance(l, SqueezeExcite))
+        assert se_count == big_arch.total_layers
+
+    def test_residuals_only_within_stage_repeats(self, big_arch):
+        g = build_model(big_arch)
+        adds = [l.name for l in g if isinstance(l, Add)]
+        # First layer of each stage changes channels/stride: no residual.
+        assert not any(name.startswith(f"s{i}.l0") for i in range(7) for name in adds)
+        # Later repeats are residual.
+        assert "s0.l1.residual" in adds
+
+    def test_stage_output_channels_follow_skeleton(self, big_arch):
+        g = build_model(big_arch)
+        for i, setting in enumerate(STAGE_SETTINGS):
+            last = big_arch.layers[i] - 1
+            proj = g[f"s{i}.l{last}.project"]
+            assert proj.output_shape.channels == setting.out_channels
+
+    def test_dwconv_kernel_matches_spec(self):
+        arch = ArchSpec((1,) * 7, (5,) * 7, (1,) * 7, (0,) * 7)
+        g = build_model(arch)
+        dw = g["s0.l0.dwconv"]
+        assert dw.kernel_size == 5
+        assert dw.is_depthwise
+
+
+class TestResolution:
+    def test_spatial_downsampling(self, tiny_arch):
+        g = build_model(tiny_arch, resolution=224)
+        # Stem /2 plus four stride-2 stages: 224 -> 7.
+        assert g["head.conv"].output_shape.height == 7
+
+    def test_rejects_tiny_resolution(self, tiny_arch):
+        with pytest.raises(ValueError):
+            build_model(tiny_arch, resolution=16)
+
+    def test_alternate_resolution(self, tiny_arch):
+        g = build_model(tiny_arch, resolution=128)
+        assert g["head.conv"].output_shape.height == 4
+
+    def test_pool_and_fc_shapes(self, tiny_arch):
+        g = build_model(tiny_arch)
+        assert isinstance(g["head.pool"], GlobalAvgPool)
+        assert isinstance(g["head.fc"], Dense)
+        assert g["head.fc"].input_shape.channels == 1280

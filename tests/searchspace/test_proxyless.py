@@ -1,0 +1,157 @@
+"""Unit tests for the ProxylessNAS-style search space."""
+
+import numpy as np
+import pytest
+
+from repro.nn.counters import count_graph
+from repro.nn.layers import SqueezeExcite
+from repro.searchspace.proxyless import (
+    NUM_LAYERS,
+    PROXYLESS_OPS,
+    STAGE_FIRST_LAYERS,
+    ProxylessArch,
+    ProxylessSearchSpace,
+    build_proxyless,
+    proxyless_structure_term,
+)
+from repro.searchspace.registry import build_graph
+
+
+@pytest.fixture(scope="module")
+def pspace():
+    return ProxylessSearchSpace(seed=0)
+
+
+@pytest.fixture(scope="module")
+def parch(pspace):
+    return pspace.sample(np.random.default_rng(1))
+
+
+class TestSpec:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            ProxylessArch(("k3e3",) * (NUM_LAYERS - 1))
+
+    def test_unknown_op_rejected(self):
+        ops = ["k3e3"] * NUM_LAYERS
+        ops[3] = "k9e9"
+        with pytest.raises(ValueError):
+            ProxylessArch(tuple(ops))
+
+    def test_stage_first_cannot_skip(self):
+        ops = ["k3e3"] * NUM_LAYERS
+        ops[STAGE_FIRST_LAYERS[1]] = "skip"
+        with pytest.raises(ValueError, match="cannot be 'skip'"):
+            ProxylessArch(tuple(ops))
+
+    def test_string_roundtrip(self, parch):
+        assert ProxylessArch.from_string(parch.to_string()) == parch
+
+    def test_total_layers_excludes_skips(self):
+        ops = ["k3e3"] * NUM_LAYERS
+        ops[1] = "skip"
+        ops[2] = "skip"
+        arch = ProxylessArch(tuple(ops))
+        assert arch.total_layers == NUM_LAYERS - 2
+
+    def test_kernel_sizes(self):
+        ops = ["k5e3"] * NUM_LAYERS
+        ops[1] = "skip"
+        arch = ProxylessArch(tuple(ops))
+        assert set(arch.kernel_sizes()) == {5}
+        assert len(arch.kernel_sizes()) == NUM_LAYERS - 1
+
+    def test_stable_hash_differs_from_mnasnet(self, parch):
+        assert parch.stable_hash() != parch.stable_hash("other")
+
+
+class TestSpace:
+    def test_size(self, pspace):
+        assert pspace.size == 6**6 * 7**15
+
+    def test_sample_valid_and_unique(self, pspace):
+        batch = pspace.sample_batch(30, unique=True)
+        assert len(set(batch)) == 30
+
+    def test_mutate_single_edit(self, pspace, parch):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            child = pspace.mutate(parch, rng)
+            diffs = sum(1 for a, b in zip(parch.ops, child.ops) if a != b)
+            assert diffs == 1
+
+    def test_neighbors_count(self, pspace, parch):
+        neighbours = list(pspace.neighbors(parch))
+        expected = sum(
+            len(pspace._choices_at(i)) - 1 for i in range(NUM_LAYERS)
+        )
+        assert len(neighbours) == expected
+
+    def test_decision_roundtrip(self, pspace, parch):
+        decisions = pspace.arch_to_decisions(parch)
+        assert pspace.arch_from_decisions(decisions) == parch
+
+    def test_decision_sites_constrain_stage_firsts(self, pspace):
+        sites = dict(pspace.decision_sites())
+        for idx in STAGE_FIRST_LAYERS:
+            assert "skip" not in sites[f"l{idx}"]
+
+
+class TestBuilder:
+    def test_builds_and_validates(self, parch):
+        graph = build_proxyless(parch)
+        graph.validate()
+        assert graph.output_shape.channels == 1000
+
+    def test_registry_dispatch(self, parch):
+        assert len(build_graph(parch)) == len(build_proxyless(parch))
+
+    def test_no_squeeze_excite(self, parch):
+        assert not any(isinstance(l, SqueezeExcite) for l in build_proxyless(parch))
+
+    def test_skip_reduces_flops(self):
+        dense_ops = tuple("k3e6" for _ in range(NUM_LAYERS))
+        sparse = list(dense_ops)
+        for i in range(NUM_LAYERS):
+            if i not in STAGE_FIRST_LAYERS:
+                sparse[i] = "skip"
+        dense_flops = count_graph(build_proxyless(ProxylessArch(dense_ops))).flops
+        sparse_flops = count_graph(build_proxyless(ProxylessArch(tuple(sparse)))).flops
+        assert sparse_flops < 0.6 * dense_flops
+
+    def test_kernel7_supported(self):
+        ops = tuple("k7e6" for _ in range(NUM_LAYERS))
+        graph = build_proxyless(ProxylessArch(ops))
+        dw = graph["s0.l0.dwconv"]
+        assert dw.kernel_size == 7
+
+
+class TestSimulation:
+    def test_trainsim_works(self, parch):
+        from repro.trainsim import P_STAR, SimulatedTrainer
+
+        trainer = SimulatedTrainer()
+        result = trainer.train(parch, P_STAR, seed=0)
+        assert 0.5 < result.top1 < 0.9
+        assert result.train_hours > 0
+
+    def test_hwsim_works(self, parch):
+        from repro.hwsim import MeasurementHarness, get_device
+
+        for device in ("a100", "zcu102"):
+            harness = MeasurementHarness(get_device(device))
+            assert harness.measure_throughput(parch) > 0
+
+    def test_structure_term_bounded_and_deterministic(self, pspace):
+        for arch in pspace.sample_batch(10):
+            value = proxyless_structure_term(arch)
+            assert value == proxyless_structure_term(arch)
+            assert abs(value) < 0.1
+
+    def test_reinforce_runs_on_proxyless(self, pspace):
+        from repro.optimizers import Reinforce
+
+        result = Reinforce(space=pspace, seed=0).run(
+            lambda a: float(a.total_layers), 40
+        )
+        assert result.num_evaluations == 40

@@ -1,0 +1,47 @@
+"""Unit tests for the search-space registry dispatch."""
+
+import pytest
+
+from repro.searchspace.mnasnet import ArchSpec
+from repro.searchspace.model_builder import build_model
+from repro.searchspace.proxyless import ProxylessSearchSpace
+from repro.searchspace.registry import build_graph, structure_term
+
+
+class TestDispatch:
+    def test_mnasnet_builder_registered(self, some_archs):
+        arch = some_archs[0]
+        via_registry = build_graph(arch)
+        direct = build_model(arch)
+        assert len(via_registry) == len(direct)
+        assert via_registry.output_shape == direct.output_shape
+
+    def test_proxyless_builder_registered(self):
+        arch = ProxylessSearchSpace(seed=0).sample()
+        graph = build_graph(arch)
+        assert graph.output_shape.channels == 1000
+
+    def test_resolution_forwarded(self, some_archs):
+        g = build_graph(some_archs[0], resolution=128)
+        assert g.input_shape.height == 128
+
+    def test_structure_terms_registered_per_type(self, some_archs):
+        mnas_value = structure_term(some_archs[0])
+        prox_value = structure_term(ProxylessSearchSpace(seed=0).sample())
+        assert isinstance(mnas_value, float)
+        assert isinstance(prox_value, float)
+
+    def test_unregistered_type_rejected(self):
+        with pytest.raises(TypeError, match="no builder registered"):
+            build_graph(object())
+        with pytest.raises(TypeError, match="no structure term"):
+            structure_term(object())
+
+    def test_both_specs_flow_through_trainer(self, some_archs):
+        from repro.trainsim import P_STAR, SimulatedTrainer
+
+        trainer = SimulatedTrainer()
+        mnas = trainer.train(some_archs[0], P_STAR, 0).top1
+        prox = trainer.train(ProxylessSearchSpace(seed=0).sample(), P_STAR, 0).top1
+        assert 0.5 < mnas < 0.9
+        assert 0.5 < prox < 0.9

@@ -1,0 +1,146 @@
+"""Unit tests for random forest and gradient-boosting surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import r2_score
+from repro.surrogates.forest import RandomForestRegressor
+from repro.surrogates.gbdt import XGBRegressor
+from repro.surrogates.lgb import LGBRegressor
+
+
+@pytest.fixture(scope="module")
+def friedman_like():
+    """A standard nonlinear regression task."""
+    rng = np.random.default_rng(7)
+    X = rng.uniform(size=(600, 5))
+    y = (
+        10 * np.sin(np.pi * X[:, 0] * X[:, 1])
+        + 20 * (X[:, 2] - 0.5) ** 2
+        + 10 * X[:, 3]
+        + 5 * X[:, 4]
+        + rng.normal(scale=0.5, size=600)
+    )
+    return X[:450], y[:450], X[450:], y[450:]
+
+
+class TestRandomForest:
+    def test_fits_nonlinear_function(self, friedman_like):
+        Xtr, ytr, Xte, yte = friedman_like
+        model = RandomForestRegressor(n_estimators=30, max_depth=12, seed=0)
+        model.fit(Xtr, ytr)
+        assert r2_score(yte, model.predict(Xte)) > 0.8
+
+    def test_deterministic_given_seed(self, friedman_like):
+        Xtr, ytr, Xte, _ = friedman_like
+        a = RandomForestRegressor(n_estimators=10, seed=3).fit(Xtr, ytr).predict(Xte)
+        b = RandomForestRegressor(n_estimators=10, seed=3).fit(Xtr, ytr).predict(Xte)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, friedman_like):
+        Xtr, ytr, Xte, _ = friedman_like
+        a = RandomForestRegressor(n_estimators=10, seed=1).fit(Xtr, ytr).predict(Xte)
+        b = RandomForestRegressor(n_estimators=10, seed=2).fit(Xtr, ytr).predict(Xte)
+        assert not np.array_equal(a, b)
+
+    def test_predict_std_nonnegative_and_informative(self, friedman_like):
+        Xtr, ytr, Xte, _ = friedman_like
+        model = RandomForestRegressor(n_estimators=15, seed=0).fit(Xtr, ytr)
+        std = model.predict_std(Xte)
+        assert np.all(std >= 0)
+        assert std.max() > 0
+
+    def test_n_estimators_validated(self, friedman_like):
+        Xtr, ytr, _, _ = friedman_like
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0).fit(Xtr, ytr)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.ones((2, 2)))
+
+    def test_get_set_params_roundtrip(self):
+        model = RandomForestRegressor(n_estimators=42)
+        params = model.get_params()
+        assert params["n_estimators"] == 42
+        model.set_params(max_depth=5)
+        assert model.max_depth == 5
+        with pytest.raises(ValueError):
+            model.set_params(nope=1)
+
+
+class TestXGB:
+    def test_beats_single_tree(self, friedman_like):
+        Xtr, ytr, Xte, yte = friedman_like
+        from repro.surrogates.tree import DecisionTreeRegressor
+
+        tree = DecisionTreeRegressor(max_depth=6).fit(Xtr, ytr)
+        boost = XGBRegressor(n_estimators=150, learning_rate=0.1, max_depth=4, seed=0)
+        boost.fit(Xtr, ytr)
+        assert r2_score(yte, boost.predict(Xte)) > r2_score(yte, tree.predict(Xte))
+
+    def test_strong_fit_quality(self, friedman_like):
+        Xtr, ytr, Xte, yte = friedman_like
+        model = XGBRegressor(n_estimators=200, learning_rate=0.1, max_depth=4, seed=0)
+        model.fit(Xtr, ytr)
+        assert r2_score(yte, model.predict(Xte)) > 0.90
+
+    def test_more_rounds_reduce_train_error(self, friedman_like):
+        Xtr, ytr, _, _ = friedman_like
+        few = XGBRegressor(n_estimators=10, learning_rate=0.1, seed=0).fit(Xtr, ytr)
+        many = XGBRegressor(n_estimators=100, learning_rate=0.1, seed=0).fit(Xtr, ytr)
+        err_few = np.mean((few.predict(Xtr) - ytr) ** 2)
+        err_many = np.mean((many.predict(Xtr) - ytr) ** 2)
+        assert err_many < err_few
+
+    def test_early_stopping_truncates(self, friedman_like):
+        Xtr, ytr, _, _ = friedman_like
+        model = XGBRegressor(
+            n_estimators=400,
+            learning_rate=0.3,
+            max_depth=6,
+            early_stopping_rounds=5,
+            validation_fraction=0.2,
+            seed=0,
+        )
+        model.fit(Xtr, ytr)
+        assert model.n_trees_ < 400
+
+    def test_subsample_validated(self, friedman_like):
+        Xtr, ytr, _, _ = friedman_like
+        with pytest.raises(ValueError):
+            XGBRegressor(subsample=0.0).fit(Xtr, ytr)
+
+    def test_deterministic(self, friedman_like):
+        Xtr, ytr, Xte, _ = friedman_like
+        kw = dict(n_estimators=30, subsample=0.8, colsample_bynode=0.7, seed=5)
+        a = XGBRegressor(**kw).fit(Xtr, ytr).predict(Xte)
+        b = XGBRegressor(**kw).fit(Xtr, ytr).predict(Xte)
+        assert np.array_equal(a, b)
+
+    def test_base_score_is_target_mean(self):
+        X = np.random.default_rng(0).normal(size=(50, 2))
+        y = np.full(50, 3.0)
+        model = XGBRegressor(n_estimators=5, seed=0).fit(X, y)
+        assert np.allclose(model.predict(X), 3.0)
+
+
+class TestLGB:
+    def test_leafwise_fit_quality(self, friedman_like):
+        Xtr, ytr, Xte, yte = friedman_like
+        model = LGBRegressor(n_estimators=200, learning_rate=0.1, num_leaves=31, seed=0)
+        model.fit(Xtr, ytr)
+        assert r2_score(yte, model.predict(Xte)) > 0.90
+
+    def test_num_leaves_validated(self):
+        with pytest.raises(ValueError):
+            LGBRegressor(num_leaves=1)
+
+    def test_param_names_include_num_leaves(self):
+        assert "num_leaves" in LGBRegressor()._PARAM_NAMES
+
+    def test_unbounded_depth_allowed(self, friedman_like):
+        Xtr, ytr, Xte, _ = friedman_like
+        model = LGBRegressor(n_estimators=10, num_leaves=8, max_depth=None, seed=0)
+        model.fit(Xtr, ytr)
+        assert model.predict(Xte).shape == (len(Xte),)

@@ -1,0 +1,67 @@
+"""Unit tests for the Gaussian-process surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import r2_score
+from repro.surrogates.gp import GPRegressor
+
+
+@pytest.fixture(scope="module")
+def smooth_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-2, 2, size=(250, 2))
+    y = np.sin(X[:, 0]) * np.cos(X[:, 1]) + rng.normal(scale=0.02, size=250)
+    return X[:200], y[:200], X[200:], y[200:]
+
+
+class TestGP:
+    def test_fits_smooth_function(self, smooth_data):
+        Xtr, ytr, Xte, yte = smooth_data
+        model = GPRegressor(noise=1e-3).fit(Xtr, ytr)
+        assert r2_score(yte, model.predict(Xte)) > 0.95
+
+    def test_interpolates_training_points_at_low_noise(self, smooth_data):
+        Xtr, ytr, _, _ = smooth_data
+        model = GPRegressor(noise=1e-6).fit(Xtr, ytr)
+        assert np.abs(model.predict(Xtr) - ytr).max() < 0.05
+
+    def test_uncertainty_lower_near_training_data(self, smooth_data):
+        Xtr, ytr, _, _ = smooth_data
+        model = GPRegressor(noise=1e-3).fit(Xtr, ytr)
+        near = model.predict_std(Xtr[:20])
+        far = model.predict_std(np.full((5, 2), 10.0))
+        assert near.mean() < far.mean()
+
+    def test_explicit_length_scale(self, smooth_data):
+        Xtr, ytr, Xte, yte = smooth_data
+        model = GPRegressor(length_scale=1.0, noise=1e-3).fit(Xtr, ytr)
+        assert r2_score(yte, model.predict(Xte)) > 0.8
+
+    def test_max_samples_cap(self, smooth_data):
+        Xtr, ytr, Xte, yte = smooth_data
+        model = GPRegressor(noise=1e-3, max_samples=80).fit(Xtr, ytr)
+        assert len(model._X) == 80
+        assert r2_score(yte, model.predict(Xte)) > 0.8
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            GPRegressor(noise=0.0)
+        with pytest.raises(ValueError):
+            GPRegressor(length_scale=-1.0).fit(np.ones((5, 2)), np.ones(5))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            GPRegressor().predict(np.ones((2, 2)))
+
+    def test_constant_target(self):
+        X = np.random.default_rng(1).normal(size=(40, 3))
+        y = np.full(40, 1.5)
+        model = GPRegressor(noise=1e-4).fit(X, y)
+        assert np.allclose(model.predict(X), 1.5, atol=1e-3)
+
+    def test_works_on_accuracy_dataset(self, xy_small):
+        X, y = xy_small
+        model = GPRegressor(noise=1e-5).fit(X[:240], y[:240])
+        pred = model.predict(X[240:])
+        assert r2_score(y[240:], pred) > 0.5

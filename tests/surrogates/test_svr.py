@@ -1,0 +1,112 @@
+"""Unit tests for the SVR solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import r2_score
+from repro.surrogates.svr import EpsilonSVR, NuSVR, linear_kernel, rbf_kernel
+
+
+@pytest.fixture(scope="module")
+def sine_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-3, 3, size=(300, 1))
+    y = np.sin(X[:, 0]) + rng.normal(scale=0.05, size=300)
+    return X[:240], y[:240], X[240:], y[240:]
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_one(self):
+        A = np.random.default_rng(1).normal(size=(10, 3))
+        K = rbf_kernel(A, A, gamma=0.5)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_rbf_symmetric_positive(self):
+        A = np.random.default_rng(2).normal(size=(15, 4))
+        K = rbf_kernel(A, A, gamma=1.0)
+        assert np.allclose(K, K.T)
+        assert np.all(K > 0) and np.all(K <= 1 + 1e-12)
+
+    def test_linear_kernel_is_gram(self):
+        A = np.random.default_rng(3).normal(size=(5, 2))
+        assert np.allclose(linear_kernel(A, A, gamma=0.0), A @ A.T)
+
+
+class TestEpsilonSVR:
+    def test_fits_sine(self, sine_data):
+        Xtr, ytr, Xte, yte = sine_data
+        model = EpsilonSVR(C=10.0, epsilon=0.05).fit(Xtr, ytr)
+        assert r2_score(yte, model.predict(Xte)) > 0.95
+
+    def test_linear_kernel_fits_linear_target(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(200, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 0.3
+        model = EpsilonSVR(C=10.0, epsilon=0.01, kernel="linear").fit(X[:150], y[:150])
+        assert r2_score(y[150:], model.predict(X[150:])) > 0.97
+
+    def test_wide_tube_means_fewer_support_vectors(self, sine_data):
+        Xtr, ytr, _, _ = sine_data
+        narrow = EpsilonSVR(C=10.0, epsilon=0.01).fit(Xtr, ytr)
+        wide = EpsilonSVR(C=10.0, epsilon=0.5).fit(Xtr, ytr)
+        assert wide.support_fraction_ < narrow.support_fraction_
+
+    def test_box_constraint_respected(self, sine_data):
+        Xtr, ytr, _, _ = sine_data
+        model = EpsilonSVR(C=0.5, epsilon=0.05).fit(Xtr, ytr)
+        assert np.all(np.abs(model._beta) <= 0.5 + 1e-9)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            EpsilonSVR(kernel="poly")
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            EpsilonSVR().predict(np.ones((2, 2)))
+
+    def test_feature_scaling_invariance(self, sine_data):
+        """Standardisation makes the fit invariant to feature rescaling."""
+        Xtr, ytr, Xte, _ = sine_data
+        base = EpsilonSVR(C=5.0, epsilon=0.05).fit(Xtr, ytr).predict(Xte)
+        scaled = (
+            EpsilonSVR(C=5.0, epsilon=0.05)
+            .fit(Xtr * 1000.0, ytr)
+            .predict(Xte * 1000.0)
+        )
+        assert np.allclose(base, scaled, atol=1e-6)
+
+    def test_max_samples_subsampling(self, sine_data):
+        Xtr, ytr, Xte, yte = sine_data
+        model = EpsilonSVR(C=10.0, epsilon=0.05, max_samples=100).fit(Xtr, ytr)
+        assert len(model._beta) == 100
+        assert r2_score(yte, model.predict(Xte)) > 0.9
+
+    def test_gamma_scale_heuristic(self, sine_data):
+        Xtr, ytr, _, _ = sine_data
+        model = EpsilonSVR().fit(Xtr, ytr)
+        assert model._gamma_value > 0
+
+
+class TestNuSVR:
+    def test_fits_sine(self, sine_data):
+        Xtr, ytr, Xte, yte = sine_data
+        model = NuSVR(C=10.0, nu=0.5).fit(Xtr, ytr)
+        assert r2_score(yte, model.predict(Xte)) > 0.95
+
+    def test_nu_controls_support_fraction(self, sine_data):
+        Xtr, ytr, _, _ = sine_data
+        sparse = NuSVR(C=10.0, nu=0.2, bisect_steps=12).fit(Xtr, ytr)
+        dense = NuSVR(C=10.0, nu=0.9, bisect_steps=12).fit(Xtr, ytr)
+        assert sparse.support_fraction_ < dense.support_fraction_
+        assert abs(sparse.support_fraction_ - 0.2) < 0.15
+
+    def test_epsilon_derived(self, sine_data):
+        Xtr, ytr, _, _ = sine_data
+        model = NuSVR(C=10.0, nu=0.5).fit(Xtr, ytr)
+        assert model.epsilon_ is not None and model.epsilon_ >= 0
+
+    def test_nu_validated(self):
+        with pytest.raises(ValueError):
+            NuSVR(nu=0.0)
+        with pytest.raises(ValueError):
+            NuSVR(nu=1.5)

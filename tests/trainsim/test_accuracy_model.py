@@ -1,0 +1,73 @@
+"""Unit tests for the hidden asymptotic-accuracy landscape."""
+
+import numpy as np
+
+from repro.searchspace.mnasnet import ArchSpec
+from repro.trainsim.accuracy_model import (
+    asymptotic_accuracy,
+    capacity_term,
+    idiosyncratic_residual,
+    pairwise_term,
+    structural_term,
+)
+
+
+class TestDeterminism:
+    def test_same_arch_same_accuracy(self, some_archs):
+        for arch in some_archs[:10]:
+            assert asymptotic_accuracy(arch) == asymptotic_accuracy(arch)
+
+    def test_residual_is_deterministic_and_bounded(self, some_archs):
+        for arch in some_archs[:20]:
+            r = idiosyncratic_residual(arch)
+            assert r == idiosyncratic_residual(arch)
+            assert abs(r) <= 0.003
+
+
+class TestBounds:
+    def test_accuracy_in_plausible_imagenet_range(self, some_archs):
+        accs = [asymptotic_accuracy(a) for a in some_archs]
+        assert all(0.55 <= a <= 0.83 for a in accs)
+
+    def test_spread_is_nontrivial(self, some_archs):
+        accs = np.asarray([asymptotic_accuracy(a) for a in some_archs])
+        assert accs.std() > 0.005
+
+
+class TestStructure:
+    def test_capacity_increases_with_expansion(self, tiny_arch):
+        wider = ArchSpec((6,) * 7, (3,) * 7, (1,) * 7, (0,) * 7)
+        assert capacity_term(wider) > capacity_term(tiny_arch)
+
+    def test_capacity_increases_with_depth(self, tiny_arch):
+        deeper = ArchSpec((1,) * 7, (3,) * 7, (3,) * 7, (0,) * 7)
+        assert capacity_term(deeper) > capacity_term(tiny_arch)
+
+    def test_se_adds_structural_bonus(self, tiny_arch):
+        with_se = ArchSpec((1,) * 7, (3,) * 7, (1,) * 7, (1,) * 7)
+        assert structural_term(with_se) > structural_term(tiny_arch)
+
+    def test_bigger_is_better_on_average(self, tiny_arch, big_arch):
+        assert asymptotic_accuracy(big_arch) > asymptotic_accuracy(tiny_arch)
+
+    def test_pairwise_term_is_small(self, some_archs):
+        for arch in some_archs[:20]:
+            assert abs(pairwise_term(arch)) < 0.05
+
+    def test_pairwise_term_not_additive(self):
+        # Changing stage 0's kernel changes the pairwise term by an amount
+        # that depends on stage 1 — the definition of an interaction.
+        base = dict(expansion=(1,) * 7, layers=(1,) * 7, se=(0,) * 7)
+        k33 = pairwise_term(ArchSpec(kernel=(3, 3, 3, 3, 3, 3, 3), **base))
+        k53 = pairwise_term(ArchSpec(kernel=(5, 3, 3, 3, 3, 3, 3), **base))
+        k35 = pairwise_term(ArchSpec(kernel=(3, 5, 3, 3, 3, 3, 3), **base))
+        k55 = pairwise_term(ArchSpec(kernel=(5, 5, 3, 3, 3, 3, 3), **base))
+        assert (k55 - k35) != (k53 - k33)
+
+
+class TestHiddenness:
+    def test_b0_lands_near_published_accuracy(self):
+        from repro.searchspace.baselines import EFFICIENTNET_B0
+
+        acc = asymptotic_accuracy(EFFICIENTNET_B0.arch)
+        assert 0.755 <= acc <= 0.79  # B0 published: 77.1%

@@ -1,0 +1,80 @@
+"""Unit tests for the dataset registry and dataset-aware training."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import kendall_tau
+from repro.trainsim.accuracy_model import asymptotic_accuracy
+from repro.trainsim.datasets import (
+    DATASETS,
+    DatasetSpec,
+    IMAGENET,
+    IMAGENET100,
+    get_dataset,
+)
+from repro.trainsim.schemes import P_STAR
+from repro.trainsim.trainer import SimulatedTrainer
+
+
+class TestRegistry:
+    def test_known_datasets(self):
+        assert set(DATASETS) == {"imagenet", "imagenet100"}
+        assert get_dataset("imagenet") is IMAGENET
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            get_dataset("cifar10")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("x", 1, 100)
+        with pytest.raises(ValueError):
+            DatasetSpec("x", 10, 0)
+        with pytest.raises(ValueError):
+            DatasetSpec("x", 10, 100, capacity_sensitivity=0.0)
+
+
+class TestDatasetAccuracy:
+    def test_imagenet_default_is_unchanged(self, some_archs):
+        for arch in some_archs[:5]:
+            assert asymptotic_accuracy(arch) == asymptotic_accuracy(arch, IMAGENET)
+
+    def test_easier_dataset_sits_higher(self, some_archs):
+        diffs = [
+            asymptotic_accuracy(a, IMAGENET100) - asymptotic_accuracy(a, IMAGENET)
+            for a in some_archs[:20]
+        ]
+        assert np.mean(diffs) > 0.03
+
+    def test_cross_dataset_rankings_correlate_but_differ(self, some_archs):
+        imagenet = [asymptotic_accuracy(a) for a in some_archs]
+        small = [asymptotic_accuracy(a, IMAGENET100) for a in some_archs]
+        tau = kendall_tau(imagenet, small)
+        assert 0.5 < tau < 0.999
+
+
+class TestDatasetTrainer:
+    def test_trainer_binds_dataset(self, some_archs):
+        trainer = SimulatedTrainer(dataset=IMAGENET100)
+        result = trainer.train(some_archs[0], P_STAR, seed=0)
+        assert result.top1 > SimulatedTrainer().train(some_archs[0], P_STAR, 0).top1
+
+    def test_smaller_dataset_trains_faster(self, some_archs):
+        big = SimulatedTrainer()
+        small = SimulatedTrainer(dataset=IMAGENET100)
+        assert small.cost_model.train_time_hours(
+            some_archs[0], P_STAR
+        ) < 0.2 * big.cost_model.train_time_hours(some_archs[0], P_STAR)
+
+    def test_seed_noise_scaled_up(self, some_archs):
+        arch = some_archs[0]
+        big = SimulatedTrainer()
+        small = SimulatedTrainer(dataset=IMAGENET100)
+        std_big = np.std([big.train(arch, P_STAR, s).top1 for s in range(24)])
+        std_small = np.std([small.train(arch, P_STAR, s).top1 for s in range(24)])
+        assert std_small > std_big
+
+    def test_deterministic_per_dataset(self, some_archs):
+        arch = some_archs[0]
+        t = SimulatedTrainer(dataset=IMAGENET100)
+        assert t.train(arch, P_STAR, 1).top1 == t.train(arch, P_STAR, 1).top1

@@ -1,0 +1,101 @@
+"""Unit tests for the convergence / rank-noise model."""
+
+from repro.trainsim.learning_curve import (
+    batch_factor,
+    converged_fraction,
+    epoch_factor,
+    epoch_time_constant,
+    interaction,
+    interaction_amplitude,
+    res_factor,
+    resolution_sensitivity,
+    seed_noise_std,
+)
+from repro.trainsim.schemes import P_STAR, REFERENCE_SCHEME, TrainingScheme
+
+
+def _scheme(epochs=80, res_end=224, batch=256):
+    return TrainingScheme(batch, epochs, 0, 0, res_end, res_end)
+
+
+class TestEpochFactor:
+    def test_monotone_in_epochs(self, tiny_arch):
+        factors = [epoch_factor(tiny_arch, _scheme(epochs=e)) for e in (10, 30, 80, 300)]
+        assert factors == sorted(factors)
+        assert all(0 < f <= 1 for f in factors)
+
+    def test_reference_nearly_converged(self, some_archs):
+        for arch in some_archs[:5]:
+            assert epoch_factor(arch, REFERENCE_SCHEME) > 0.99
+
+    def test_bigger_models_converge_slower(self, tiny_arch, big_arch):
+        assert epoch_time_constant(big_arch) > epoch_time_constant(tiny_arch)
+        short = _scheme(epochs=20)
+        assert epoch_factor(big_arch, short) < epoch_factor(tiny_arch, short)
+
+
+class TestResolutionFactor:
+    def test_full_resolution_no_penalty(self, tiny_arch):
+        assert res_factor(tiny_arch, _scheme(res_end=224)) == 1.0
+
+    def test_low_resolution_penalised(self, tiny_arch):
+        assert res_factor(tiny_arch, _scheme(res_end=192)) < 1.0
+        assert res_factor(tiny_arch, _scheme(res_end=192)) > res_factor(
+            tiny_arch, _scheme(res_end=96)
+        )
+
+    def test_large_kernels_more_sensitive(self, tiny_arch, big_arch):
+        assert resolution_sensitivity(big_arch) > resolution_sensitivity(tiny_arch)
+
+
+class TestBatchFactor:
+    def test_reference_batch_is_optimal(self):
+        assert batch_factor(_scheme(batch=256)) == 1.0
+        assert batch_factor(_scheme(batch=1024)) < 1.0
+        assert batch_factor(_scheme(batch=64)) < 1.0
+
+    def test_penalty_symmetric_in_log2(self):
+        assert batch_factor(_scheme(batch=512)) == batch_factor(_scheme(batch=128))
+
+
+class TestInteraction:
+    def test_deterministic(self, some_archs):
+        for arch in some_archs[:5]:
+            assert interaction(arch, P_STAR) == interaction(arch, P_STAR)
+
+    def test_amplitude_decreases_with_epochs(self):
+        amps = [interaction_amplitude(_scheme(epochs=e)) for e in (15, 30, 80, 300)]
+        assert amps == sorted(amps, reverse=True)
+
+    def test_low_final_resolution_adds_noise(self):
+        assert interaction_amplitude(_scheme(res_end=160)) > interaction_amplitude(
+            _scheme(res_end=224)
+        )
+
+    def test_scheme_specific(self, some_archs):
+        arch = some_archs[0]
+        assert interaction(arch, _scheme(epochs=30)) != interaction(
+            arch, _scheme(epochs=31)
+        )
+
+
+class TestSeedNoise:
+    def test_decreases_with_epochs(self):
+        assert seed_noise_std(_scheme(epochs=15)) > seed_noise_std(_scheme(epochs=300))
+
+    def test_positive(self):
+        assert seed_noise_std(REFERENCE_SCHEME) > 0
+
+
+class TestConvergedFraction:
+    def test_bounded(self, some_archs):
+        for arch in some_archs[:5]:
+            for scheme in (REFERENCE_SCHEME, P_STAR, _scheme(epochs=15, res_end=192)):
+                f = converged_fraction(arch, scheme)
+                assert 0.5 < f <= 1.0
+
+    def test_reference_dominates_proxies(self, some_archs):
+        for arch in some_archs[:5]:
+            assert converged_fraction(arch, REFERENCE_SCHEME) > converged_fraction(
+                arch, P_STAR
+            )

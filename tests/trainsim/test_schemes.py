@@ -1,0 +1,124 @@
+"""Unit tests for training schemes and the proxy grid."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trainsim.schemes import (
+    EVAL_RESOLUTION,
+    P_STAR,
+    REFERENCE_SCHEME,
+    TrainingScheme,
+    proxy_scheme_candidates,
+)
+
+
+class TestValidation:
+    def test_reference_scheme_is_valid(self):
+        assert REFERENCE_SCHEME.epochs == 300
+        assert REFERENCE_SCHEME.res_start == EVAL_RESOLUTION
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError):
+            TrainingScheme(0, 10, 0, 0, 224, 224)
+
+    def test_rejects_resize_window_outside_run(self):
+        with pytest.raises(ValueError):
+            TrainingScheme(256, 10, 0, 20, 128, 224)
+
+    def test_rejects_inverted_resize_window(self):
+        with pytest.raises(ValueError):
+            TrainingScheme(256, 50, 30, 20, 128, 224)
+
+    def test_rejects_shrinking_resolution(self):
+        with pytest.raises(ValueError):
+            TrainingScheme(256, 50, 0, 20, 224, 128)
+
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(ValueError):
+            TrainingScheme(256, 50, 0, 20, 16, 224)
+
+
+class TestResolutionSchedule:
+    def test_constant_resolution(self):
+        s = TrainingScheme(256, 10, 0, 0, 224, 224)
+        assert all(s.resolution_at(e) == 224 for e in range(10))
+
+    def test_progressive_ramp_endpoints(self):
+        s = TrainingScheme(256, 100, 10, 60, 128, 224)
+        assert s.resolution_at(0) == 128
+        assert s.resolution_at(9) == 128
+        assert s.resolution_at(60) == 224
+        assert s.resolution_at(99) == 224
+
+    def test_ramp_is_monotone(self):
+        s = TrainingScheme(256, 100, 0, 80, 96, 224)
+        res = [s.resolution_at(e) for e in range(100)]
+        assert res == sorted(res)
+
+    def test_epoch_out_of_range_rejected(self):
+        s = TrainingScheme(256, 10, 0, 0, 224, 224)
+        with pytest.raises(ValueError):
+            s.resolution_at(10)
+        with pytest.raises(ValueError):
+            s.resolution_at(-1)
+
+    def test_mean_res_sq_ratio_bounds(self):
+        s = TrainingScheme(256, 100, 0, 80, 96, 224)
+        ratio = s.mean_res_sq_ratio()
+        assert (96 / 224) ** 2 <= ratio <= 1.0
+
+    def test_mean_res_sq_ratio_full_res_is_one(self):
+        assert REFERENCE_SCHEME.mean_res_sq_ratio() == pytest.approx(1.0)
+
+
+class TestSerialization:
+    @given(
+        st.sampled_from([REFERENCE_SCHEME, P_STAR])
+        | st.builds(
+            TrainingScheme,
+            batch_size=st.sampled_from([128, 256, 512]),
+            epochs=st.just(100),
+            resize_start_epoch=st.integers(0, 10),
+            resize_end_epoch=st.integers(20, 80),
+            res_start=st.sampled_from([96, 128]),
+            res_end=st.sampled_from([192, 224]),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dict_roundtrip(self, scheme):
+        assert TrainingScheme.from_dict(scheme.to_dict()) == scheme
+
+    def test_str_is_compact(self):
+        assert str(P_STAR) == "b512-e80-r128>224@0>60"
+
+
+class TestCandidateGrid:
+    def test_all_candidates_valid(self):
+        candidates = proxy_scheme_candidates()
+        assert len(candidates) > 100
+        # Construction already validates; spot-check invariants hold.
+        for scheme in candidates[:50]:
+            assert scheme.resize_end_epoch <= scheme.epochs
+
+    def test_invalid_combinations_skipped(self):
+        grid = {
+            "batch_size": (256,),
+            "epochs": (10,),
+            "resize_start_epoch": (0,),
+            "resize_end_epoch": (20,),  # longer than the run: invalid
+            "res_start": (128,),
+            "res_end": (224,),
+        }
+        assert proxy_scheme_candidates(grid) == []
+
+    def test_custom_grid(self):
+        grid = {
+            "batch_size": (256, 512),
+            "epochs": (50,),
+            "resize_start_epoch": (0,),
+            "resize_end_epoch": (40,),
+            "res_start": (128,),
+            "res_end": (224,),
+        }
+        assert len(proxy_scheme_candidates(grid)) == 2
