@@ -10,6 +10,11 @@ Subcommands::
     python -m repro.cli proxy-search --t-spec 3.0
     python -m repro.cli experiment table1 --num-archs 1000
     python -m repro.cli devices
+    python -m repro.cli lint src/repro --format json
+
+``lint`` runs the AST determinism & correctness linter
+(:mod:`repro.devtools.lint`, rules ANB001-ANB006) and exits non-zero on
+findings; the same pass gates CI and the tier-1 test suite.
 """
 
 from __future__ import annotations
@@ -124,6 +129,19 @@ def _cmd_devices(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import main as lint_main
+
+    argv = list(args.paths) + ["--format", args.format]
+    for rule in args.select:
+        argv += ["--select", rule]
+    for rule in args.ignore:
+        argv += ["--ignore", rule]
+    if args.config is not None:
+        argv += ["--config", args.config]
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -165,6 +183,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("devices", help="list supported devices and metrics")
     p.set_defaults(fn=_cmd_devices)
+
+    p = sub.add_parser(
+        "lint", help="run the determinism & correctness linter (ANB rules)"
+    )
+    p.add_argument("paths", nargs="*", default=["src/repro"])
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--select", action="append", default=[], metavar="RULE")
+    p.add_argument("--ignore", action="append", default=[], metavar="RULE")
+    p.add_argument("--config", default=None, metavar="PYPROJECT")
+    p.set_defaults(fn=_cmd_lint)
 
     return parser
 

@@ -1,0 +1,12 @@
+"""Developer tooling for the Accel-NASBench reproduction.
+
+Currently ships one tool, :mod:`repro.devtools.lint`: an AST-based
+determinism & correctness linter whose rules encode the repository's
+reproducibility invariants (seeded RNG discipline, no import-time random
+state, export integrity, ...).  The linter gates itself: a tier-1 test runs
+it over ``src/repro`` and asserts zero findings.
+"""
+
+from repro.devtools.lint import Finding, LintConfig, LintResult, lint_paths
+
+__all__ = ["Finding", "LintConfig", "LintResult", "lint_paths"]

@@ -1,0 +1,58 @@
+"""``repro.devtools.lint`` — AST determinism & correctness linter.
+
+Rule set (see :mod:`repro.devtools.lint.rules` for rationale):
+
+========  ====================  ========  ==============================================
+id        name                  severity  invariant
+========  ====================  ========  ==============================================
+ANB001    import-time-rng       error     no RNG construction/consumption at import time
+ANB002    unseeded-rng          error     every random draw flows from an explicit seed
+ANB003    float-equality        warning   no ==/!= against float literals
+ANB004    mutable-default       error     no mutable default arguments
+ANB005    export-integrity      error     __all__ and __init__ re-exports must resolve
+ANB006    silent-except         warning   no bare/pass-only except blocks
+========  ====================  ========  ==============================================
+
+Suppress a finding inline with ``# anb: noqa[ANB001]`` (comma-separated ids,
+or bare ``# anb: noqa`` for all rules on the line).  Configure via the
+``[tool.repro.lint]`` table in pyproject.toml.  Run with
+``python -m repro.cli lint`` or ``python -m repro.devtools.lint``.
+"""
+
+from repro.devtools.lint.config import ConfigError, LintConfig, load_config
+from repro.devtools.lint.core import (
+    Finding,
+    LintRule,
+    RULE_REGISTRY,
+    register_rule,
+)
+from repro.devtools.lint.reporters import render_json, render_text
+from repro.devtools.lint.runner import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    LintResult,
+    lint_paths,
+    main,
+)
+
+# Importing the module registers the built-in rule set.
+from repro.devtools.lint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "ConfigError",
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "LintRule",
+    "RULE_REGISTRY",
+    "lint_paths",
+    "load_config",
+    "main",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

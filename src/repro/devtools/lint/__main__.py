@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.devtools.lint [paths...]``."""
+
+import sys
+
+from repro.devtools.lint.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Linter configuration, loaded from ``[tool.repro.lint]`` in pyproject.toml.
+
+Recognised keys (dashes and underscores are interchangeable)::
+
+    [tool.repro.lint]
+    select = ["ANB001", "ANB002"]        # run only these rules (default: all)
+    ignore = ["ANB003"]                  # drop these rules
+    exclude = ["*_pb2.py"]               # extra filename/glob excludes
+    tolerance-helpers = ["close_enough"] # functions where float == is allowed
+
+Python 3.11+ parses the file with :mod:`tomllib`; on 3.10 (no tomllib, and
+this repo installs no third-party TOML reader) a minimal fallback parser
+handles the flat string/list-of-strings table above — which is all this
+configuration ever is.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+try:
+    import tomllib
+except ImportError:  # Python 3.10: stdlib tomllib appeared in 3.11
+    tomllib = None
+
+_DEFAULT_EXCLUDES = (
+    "__pycache__",
+    "*.egg-info",
+    ".git",
+    ".pytest_cache",
+    ".hypothesis",
+    "build",
+    "dist",
+)
+
+# Functions whose body may legitimately compare floats exactly (ANB003):
+# tolerance predicates themselves, and golden-value equality helpers.
+_DEFAULT_TOLERANCE_HELPERS = (
+    "isclose",
+    "allclose",
+    "close_enough",
+    "approx_equal",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Effective linter configuration after merging file + CLI settings."""
+
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = _DEFAULT_EXCLUDES
+    tolerance_helpers: tuple[str, ...] = _DEFAULT_TOLERANCE_HELPERS
+
+    def with_overrides(
+        self,
+        select: tuple[str, ...] | None = None,
+        ignore: tuple[str, ...] | None = None,
+    ) -> "LintConfig":
+        updated = self
+        if select:
+            updated = replace(updated, select=tuple(select))
+        if ignore:
+            updated = replace(updated, ignore=tuple(ignore))
+        return updated
+
+
+class ConfigError(ValueError):
+    """Raised when the [tool.repro.lint] table cannot be interpreted."""
+
+
+def _fallback_parse(text: str) -> dict:
+    """Parse just the ``[tool.repro.lint]`` table: strings and string lists."""
+    table: dict = {}
+    in_section = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("["):
+            in_section = line == "[tool.repro.lint]"
+            continue
+        if not in_section or "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key, value = key.strip(), value.strip()
+        if value.startswith("[") and value.endswith("]"):
+            pairs = re.findall(r'"([^"]*)"|\'([^\']*)\'', value)
+            table[key] = [a or b for a, b in pairs]
+        elif value[:1] in "\"'" and value[:1] == value[-1:]:
+            table[key] = value[1:-1]
+        else:
+            # Keep the raw token so unknown keys still surface as errors.
+            table[key] = value
+    return {"tool": {"repro": {"lint": table}}}
+
+
+def _as_str_tuple(key: str, value: object) -> tuple[str, ...]:
+    if isinstance(value, str):
+        return (value,)
+    if isinstance(value, (list, tuple)) and all(
+        isinstance(item, str) for item in value
+    ):
+        return tuple(value)
+    raise ConfigError(f"[tool.repro.lint] {key}: expected string or list of strings")
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Walk up from ``start`` to the filesystem root looking for pyproject."""
+    probe = start if start.is_dir() else start.parent
+    for directory in (probe, *probe.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(pyproject: Path | None) -> LintConfig:
+    """Build a :class:`LintConfig` from a pyproject file (or defaults)."""
+    if pyproject is None or not pyproject.is_file():
+        return LintConfig()
+    text = pyproject.read_text(encoding="utf-8")
+    if tomllib is not None:
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"{pyproject}: invalid TOML: {exc}") from exc
+    else:
+        data = _fallback_parse(text)
+    section = data.get("tool", {}).get("repro", {}).get("lint", {})
+    if not isinstance(section, dict):
+        raise ConfigError("[tool.repro.lint] must be a table")
+
+    config = LintConfig()
+    known = {
+        "select": "select",
+        "ignore": "ignore",
+        "exclude": "exclude",
+        "tolerance_helpers": "tolerance_helpers",
+    }
+    updates: dict[str, tuple[str, ...]] = {}
+    for raw_key, value in section.items():
+        key = raw_key.replace("-", "_")
+        if key not in known:
+            raise ConfigError(f"[tool.repro.lint] unknown key {raw_key!r}")
+        values = _as_str_tuple(raw_key, value)
+        if key in ("select", "ignore"):
+            values = tuple(v.upper() for v in values)
+        if key == "exclude":
+            values = config.exclude + values
+        if key == "tolerance_helpers":
+            values = config.tolerance_helpers + values
+        updates[key] = values
+    return replace(config, **updates) if updates else config

@@ -1,0 +1,285 @@
+"""Core linter machinery: findings, contexts, rule registry, suppression.
+
+A *rule* is a class with a stable id (``ANB###``), a severity, and a
+docstring stating the invariant it enforces; its :meth:`LintRule.check`
+receives one parsed module at a time together with project-wide context
+(so cross-module rules like export integrity can resolve re-exports).
+
+Findings on a line carrying ``# anb: noqa[RULE-ID]`` (or a blanket
+``# anb: noqa``) are suppressed at collection time, before reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import Path
+from typing import ClassVar, Iterable, Iterator
+
+from repro.devtools.lint.config import ConfigError, LintConfig
+
+SEVERITIES = ("error", "warning")
+
+# ``# anb: noqa`` suppresses every rule on the line; ``# anb: noqa[ANB001]``
+# (comma-separated ids allowed) suppresses only the named rules.
+_NOQA_RE = re.compile(
+    r"#\s*anb:\s*noqa(?:\[(?P<codes>[^\]]*)\])?", re.IGNORECASE
+)
+
+_RULE_ID_RE = re.compile(r"^ANB\d{3}$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One linter hit, addressable to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line numbers to suppressed rule ids (``None`` = all)."""
+    table: dict[int, frozenset[str] | None] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            table[lineno] = None
+        else:
+            ids = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+            # ``# anb: noqa[]`` names no rule: treat as blanket rather than
+            # silently suppressing nothing.
+            table[lineno] = ids or None
+    return table
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file plus everything a rule may need to know."""
+
+    path: Path
+    display_path: str
+    module_name: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    project: "ProjectContext"
+    suppressions: dict[int, frozenset[str] | None] = field(default_factory=dict)
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.path.name == "__init__.py"
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        entry = self.suppressions.get(line, ...)
+        if entry is ...:
+            return False
+        return entry is None or rule_id in entry
+
+    def finding(
+        self, rule: "LintRule", node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule.id,
+            severity=rule.severity,
+            message=message,
+        )
+
+    @cached_property
+    def module_bindings(self) -> frozenset[str]:
+        """Names bound at module level (imports, defs, assignments)."""
+        return frozenset(collect_module_bindings(self.tree).names)
+
+    @cached_property
+    def has_star_import(self) -> bool:
+        return collect_module_bindings(self.tree).has_star
+
+
+@dataclass
+class ProjectContext:
+    """All modules of one lint invocation, addressable by dotted name."""
+
+    modules: dict[str, ModuleContext] = field(default_factory=dict)
+
+    def get(self, dotted: str) -> ModuleContext | None:
+        return self.modules.get(dotted)
+
+    def has_module(self, dotted: str) -> bool:
+        """True if ``dotted`` names a module in the run or on disk."""
+        if dotted in self.modules:
+            return True
+        parent, _, leaf = dotted.rpartition(".")
+        parent_ctx = self.modules.get(parent)
+        if parent_ctx is None or not parent_ctx.is_package_init:
+            return False
+        base = parent_ctx.path.parent
+        return (base / f"{leaf}.py").is_file() or (
+            base / leaf / "__init__.py"
+        ).is_file()
+
+
+@dataclass
+class _Bindings:
+    names: set[str] = field(default_factory=set)
+    has_star: bool = False
+
+
+def _bind_target(target: ast.expr, out: _Bindings) -> None:
+    if isinstance(target, ast.Name):
+        out.names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _bind_target(element, out)
+    elif isinstance(target, ast.Starred):
+        _bind_target(target.value, out)
+
+
+def collect_module_bindings(tree: ast.Module) -> _Bindings:
+    """Names a module binds at import time.
+
+    Walks module-level statements including the bodies of module-level
+    ``if``/``try``/``for``/``with`` blocks (they run at import), but does
+    not descend into function or class bodies (those bind attributes, not
+    module globals).
+    """
+    out = _Bindings()
+
+    def visit(statements: Iterable[ast.stmt]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                out.names.add(stmt.name)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    out.names.add(
+                        alias.asname
+                        if alias.asname
+                        else alias.name.partition(".")[0]
+                    )
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        out.has_star = True
+                    else:
+                        out.names.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    _bind_target(target, out)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                _bind_target(stmt.target, out)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                _bind_target(stmt.target, out)
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, ast.If):
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        _bind_target(item.optional_vars, out)
+                visit(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body)
+                for handler in stmt.handlers:
+                    if handler.name:
+                        out.names.add(handler.name)
+                    visit(handler.body)
+                visit(stmt.orelse)
+                visit(stmt.finalbody)
+    visit(tree.body)
+    return out
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render an attribute/name chain (``np.random.default_rng``) or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id` (``ANB###``), :attr:`name` (kebab-case slug),
+    :attr:`severity`, and write a docstring explaining the invariant — the
+    docstring doubles as the rule's documentation in ``--format json``
+    output and in ``docs/api.md``.
+    """
+
+    id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    severity: ClassVar[str] = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def doc(cls) -> str:
+        return (cls.__doc__ or "").strip().splitlines()[0]
+
+
+RULE_REGISTRY: dict[str, type[LintRule]] = {}
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not _RULE_ID_RE.match(cls.id):
+        raise ValueError(f"rule id {cls.id!r} does not match ANB###")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"rule {cls.id}: unknown severity {cls.severity!r}")
+    if cls.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    if not cls.name:
+        raise ValueError(f"rule {cls.id} needs a name slug")
+    RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+def active_rules(config: LintConfig) -> list[LintRule]:
+    """Instantiate the registry filtered through select/ignore config.
+
+    Unknown rule ids are an error, not a no-op: a typo'd ``--select``
+    must not silently disable the linter.
+    """
+    unknown = [
+        rule_id
+        for rule_id in (*config.select, *config.ignore)
+        if rule_id not in RULE_REGISTRY
+    ]
+    if unknown:
+        raise ConfigError(
+            f"unknown rule id(s): {', '.join(sorted(set(unknown)))}; "
+            f"known: {', '.join(sorted(RULE_REGISTRY))}"
+        )
+    chosen: list[LintRule] = []
+    for rule_id in sorted(RULE_REGISTRY):
+        if config.select and rule_id not in config.select:
+            continue
+        if rule_id in config.ignore:
+            continue
+        chosen.append(RULE_REGISTRY[rule_id]())
+    return chosen

@@ -1,0 +1,61 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.devtools.lint.core import RULE_REGISTRY, Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    """Flake8-style ``path:line:col: ID [severity] message`` listing."""
+    lines = [
+        f"{f.location()}: {f.rule} [{f.severity}] {f.message}"
+        for f in sorted(findings)
+    ]
+    noun = "file" if files_checked == 1 else "files"
+    if not findings:
+        lines.append(f"ok: no findings in {files_checked} {noun}")
+    else:
+        counts = Counter(f.rule for f in findings)
+        summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+        lines.append(
+            f"{len(findings)} finding(s) in {files_checked} {noun} ({summary})"
+        )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """Stable JSON document (findings, per-rule counts, rule docs)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "severity": f.severity,
+                "message": f.message,
+            }
+            for f in sorted(findings)
+        ],
+        "counts": dict(sorted(Counter(f.rule for f in findings).items())),
+        "rules": {
+            rule_id: {
+                "name": cls.name,
+                "severity": cls.severity,
+                "doc": cls.doc(),
+            }
+            for rule_id, cls in sorted(RULE_REGISTRY.items())
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+RENDERERS = {"text": render_text, "json": render_json}

@@ -1,0 +1,503 @@
+"""The Accel-NASBench rule set (ANB001-ANB006).
+
+Every rule encodes a hazard this repository has actually hit or must never
+hit: the benchmark's contract is that every number is a deterministic
+function of ``(arch, scheme, seed)``, so RNG discipline and silent-failure
+hygiene are correctness properties here, not style.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.core import (
+    Finding,
+    LintRule,
+    ModuleContext,
+    dotted_name,
+    register_rule,
+)
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _iter_import_time_nodes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Yield nodes whose code runs when the module is imported.
+
+    Descends through module- and class-level statements (class bodies
+    execute at import) and through decorator lists and default-argument
+    expressions of function definitions, but never into function bodies.
+    """
+    stack: list[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FUNCTION_NODES):
+            args = node.args
+            stack.extend(args.defaults)
+            stack.extend(d for d in args.kw_defaults if d is not None)
+            if not isinstance(node, ast.Lambda):
+                stack.extend(node.decorator_list)
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _call_name(call: ast.Call) -> str | None:
+    return dotted_name(call.func)
+
+
+# RNG constructors / global seeding whose *module-level* use freezes random
+# state into import order (ANB001).
+_RNG_CONSTRUCTOR_SUFFIXES = (
+    "random.default_rng",
+    "random.RandomState",
+    "random.Random",
+    "random.SeedSequence",
+)
+_RNG_CONSTRUCTOR_BARE = {"default_rng", "RandomState", "SeedSequence"}
+_RNG_SEED_SUFFIXES = ("random.seed",)
+
+# The stdlib module-level API all shares the hidden global Mersenne Twister
+# (ANB002): calls are unseeded by construction.
+_STDLIB_GLOBAL_RNG = {
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gauss",
+    "getrandbits",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "seed",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+    "weibullvariate",
+}
+
+# Legacy numpy global-state API (ANB002).  ``default_rng`` / ``Generator`` /
+# ``RandomState`` / ``SeedSequence`` are explicit-state constructors and are
+# judged separately.
+_NUMPY_GLOBAL_RNG = {
+    "beta",
+    "binomial",
+    "choice",
+    "exponential",
+    "gamma",
+    "get_state",
+    "normal",
+    "permutation",
+    "poisson",
+    "rand",
+    "randint",
+    "randn",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "seed",
+    "set_state",
+    "shuffle",
+    "standard_normal",
+    "uniform",
+    "vonmises",
+}
+
+
+def _is_rng_constructor(name: str) -> bool:
+    return name in _RNG_CONSTRUCTOR_BARE or name.endswith(
+        _RNG_CONSTRUCTOR_SUFFIXES
+    )
+
+
+def _is_global_rng_call(name: str) -> bool:
+    """Stdlib ``random.*`` or legacy ``np.random.*`` global-state call."""
+    head, _, leaf = name.rpartition(".")
+    if head == "random" and leaf in _STDLIB_GLOBAL_RNG:
+        return True
+    if head in ("np.random", "numpy.random") and leaf in _NUMPY_GLOBAL_RNG:
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# ANB001 — no import-time RNG state
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class ImportTimeRNGRule(LintRule):
+    """RNG state must not be created or consumed at import time.
+
+    Module-level generators (``_RNG = np.random.default_rng(seed)``) bake
+    random draws into import order: adding one draw, reordering imports, or
+    importing a module twice under different names silently shifts every
+    downstream constant, which breaks benchmark replayability.  Construct
+    generators lazily inside functions (cache with ``functools.lru_cache``
+    if the derived values must be computed once).
+    """
+
+    id = "ANB001"
+    name = "import-time-rng"
+    severity = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in _iter_import_time_nodes(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name is None:
+                continue
+            if _is_rng_constructor(name):
+                yield module.finding(
+                    self,
+                    node,
+                    f"RNG constructed at import time ({name}); build it "
+                    "lazily inside a function and cache the derived values",
+                )
+            elif name.endswith(_RNG_SEED_SUFFIXES) or _is_global_rng_call(name):
+                yield module.finding(
+                    self,
+                    node,
+                    f"global RNG state touched at import time ({name})",
+                )
+
+
+# ---------------------------------------------------------------------------
+# ANB002 — no unseeded RNG
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class UnseededRNGRule(LintRule):
+    """Every random draw must flow from an explicit seed.
+
+    ``default_rng()`` / ``RandomState()`` / ``Random()`` without arguments
+    pull entropy from the OS, and the stdlib ``random.*`` / legacy
+    ``np.random.*`` module-level APIs share hidden global state — both make
+    results irreproducible.  Pass a seed (or a seeded ``Generator``) instead.
+    """
+
+    id = "ANB002"
+    name = "unseeded-rng"
+    severity = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name is None:
+                continue
+            if _is_rng_constructor(name) and not node.args and not node.keywords:
+                yield module.finding(
+                    self,
+                    node,
+                    f"{name}() without a seed draws OS entropy; pass an "
+                    "explicit seed or seeded generator",
+                )
+            elif _is_global_rng_call(name):
+                yield module.finding(
+                    self,
+                    node,
+                    f"{name}() uses hidden global RNG state; use a seeded "
+                    "np.random.Generator instead",
+                )
+
+
+# ---------------------------------------------------------------------------
+# ANB003 — no float equality comparison
+# ---------------------------------------------------------------------------
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register_rule
+class FloatEqualityRule(LintRule):
+    """No ``==`` / ``!=`` against float literals outside tolerance helpers.
+
+    Exact float comparison is representation-dependent: a value that prints
+    as ``0.1`` rarely equals the literal ``0.1`` after arithmetic.  Use
+    ``math.isclose`` / ``np.isclose`` with an explicit tolerance.  Functions
+    named in ``tolerance-helpers`` (pyproject ``[tool.repro.lint]``) are
+    exempt — they are where the tolerance lives.
+    """
+
+    id = "ANB003"
+    name = "float-equality"
+    severity = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        allowed = set(module.config.tolerance_helpers)
+
+        def walk(node: ast.AST, exempt: bool) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                child_exempt = exempt
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    child_exempt = exempt or child.name in allowed
+                if (
+                    not child_exempt
+                    and isinstance(child, ast.Compare)
+                    and any(
+                        isinstance(op, (ast.Eq, ast.NotEq)) for op in child.ops
+                    )
+                    and any(
+                        _is_float_literal(operand)
+                        for operand in (child.left, *child.comparators)
+                    )
+                ):
+                    yield module.finding(
+                        self,
+                        child,
+                        "exact ==/!= against a float literal; use "
+                        "math.isclose/np.isclose with an explicit tolerance",
+                    )
+                yield from walk(child, child_exempt)
+
+        yield from walk(module.tree, False)
+
+
+# ---------------------------------------------------------------------------
+# ANB004 — no mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "deque",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+}
+_MUTABLE_NODES = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    """No mutable default arguments.
+
+    Defaults are evaluated once at function definition; a list/dict/set
+    default is shared across every call, so state leaks between callers.
+    Default to ``None`` and construct inside the body.
+    """
+
+    id = "ANB004"
+    name = "mutable-default"
+    severity = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, _FUNCTION_NODES):
+                continue
+            args = node.args
+            defaults = [*args.defaults, *args.kw_defaults]
+            for default in defaults:
+                if default is None:
+                    continue
+                mutable = isinstance(default, _MUTABLE_NODES)
+                if isinstance(default, ast.Call):
+                    name = dotted_name(default.func) or ""
+                    mutable = name.rpartition(".")[2] in _MUTABLE_CALLS
+                if mutable:
+                    label = (
+                        "<lambda>"
+                        if isinstance(node, ast.Lambda)
+                        else node.name
+                    )
+                    yield module.finding(
+                        self,
+                        default,
+                        f"mutable default argument in {label}(); default to "
+                        "None and construct inside the function",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# ANB005 — export integrity
+# ---------------------------------------------------------------------------
+
+
+def _static_all_entries(
+    tree: ast.Module,
+) -> tuple[list[tuple[str, ast.AST]], bool]:
+    """(entries, is_static): ``__all__`` strings with their defining nodes."""
+    entries: list[tuple[str, ast.AST]] = []
+    static = True
+    for stmt in tree.body:
+        value = None
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+        ):
+            value = stmt.value
+        elif (
+            isinstance(stmt, (ast.AugAssign, ast.AnnAssign))
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__all__"
+        ):
+            value = stmt.value
+        if value is None:
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            entries.extend((e.value, e) for e in value.elts)
+        else:
+            static = False
+    return entries, static
+
+
+@register_rule
+class ExportIntegrityRule(LintRule):
+    """``__all__`` must list defined names; ``__init__`` re-exports must resolve.
+
+    A stale ``__all__`` entry turns ``from repro.x import *`` and
+    introspection-driven tooling into runtime errors; a re-export of a name
+    its source module no longer defines breaks ``import repro`` itself.
+    Checked statically: each ``__all__`` string must be bound at module
+    level or name a submodule, and every ``from <module> import name`` in an
+    ``__init__.py`` whose source module is part of the lint run must name a
+    binding of that module.
+    """
+
+    id = "ANB005"
+    name = "export-integrity"
+    severity = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        entries, static = _static_all_entries(module.tree)
+        if static:
+            bound = module.module_bindings
+            for name, node in entries:
+                if name in bound or name == "__version__":
+                    pass
+                elif module.is_package_init and module.project.has_module(
+                    f"{module.module_name}.{name}"
+                ):
+                    pass
+                elif module.has_star_import:
+                    continue  # cannot decide statically
+                else:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"__all__ entry {name!r} is not defined in the module",
+                    )
+        if module.is_package_init:
+            yield from self._check_reexports(module)
+
+    def _resolve_import_module(
+        self, module: ModuleContext, stmt: ast.ImportFrom
+    ) -> str | None:
+        if stmt.level == 0:
+            return stmt.module
+        # Relative import: ``module_name`` is the package (``__init__.py``),
+        # so one leading dot targets the package itself.
+        base_parts = module.module_name.split(".")
+        hops = stmt.level - 1
+        if hops > len(base_parts):
+            return None
+        base = base_parts[: len(base_parts) - hops]
+        if stmt.module:
+            base.append(stmt.module)
+        return ".".join(base) if base else None
+
+    def _check_reexports(self, module: ModuleContext) -> Iterator[Finding]:
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.ImportFrom):
+                continue
+            source_name = self._resolve_import_module(module, stmt)
+            if source_name is None:
+                continue
+            source = module.project.get(source_name)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                if module.project.has_module(f"{source_name}.{alias.name}"):
+                    continue
+                if source is None or source.has_star_import:
+                    continue
+                if alias.name not in source.module_bindings:
+                    yield module.finding(
+                        self,
+                        stmt,
+                        f"re-export {alias.name!r} is not defined in "
+                        f"{source_name}; the import would fail",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# ANB006 — no silently swallowed exceptions
+# ---------------------------------------------------------------------------
+
+
+def _swallows_silently(handler: ast.ExceptHandler) -> bool:
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in handler.body
+    )
+
+
+@register_rule
+class SilentExceptRule(LintRule):
+    """No bare ``except:`` and no handler whose body is only ``pass``.
+
+    A bare except catches ``KeyboardInterrupt``/``SystemExit`` and hides
+    real bugs; a pass-only handler makes data-collection failures invisible,
+    which in a benchmark means silently wrong tables.  Catch the narrowest
+    exception and at least record it.
+    """
+
+    id = "ANB006"
+    name = "silent-except"
+    severity = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield module.finding(
+                    self,
+                    node,
+                    "bare except: catches SystemExit/KeyboardInterrupt; "
+                    "name the exception type",
+                )
+            elif _swallows_silently(node):
+                yield module.finding(
+                    self,
+                    node,
+                    "exception silently swallowed (handler body is only "
+                    "pass); record or re-raise it",
+                )

@@ -1,0 +1,218 @@
+"""Lint driver: file discovery, module parsing, rule execution, CLI.
+
+Exit codes follow the usual linter convention:
+
+* ``0`` — clean (no findings),
+* ``1`` — findings reported,
+* ``2`` — usage or environment error (missing path, broken config).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import fnmatch
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.lint.config import (
+    ConfigError,
+    LintConfig,
+    find_pyproject,
+    load_config,
+)
+from repro.devtools.lint.core import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    active_rules,
+    parse_suppressions,
+)
+from repro.devtools.lint.reporters import RENDERERS
+
+# Files that fail to parse get this pseudo-rule id (always an error, not
+# suppressible: a file the linter cannot read is a file it cannot vouch for).
+PARSE_ERROR_RULE = "ANB000"
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+
+
+def _excluded(path: Path, patterns: Sequence[str]) -> bool:
+    return any(
+        fnmatch.fnmatch(part, pattern)
+        for part in path.parts
+        for pattern in patterns
+    )
+
+
+def collect_files(paths: Iterable[Path], config: LintConfig) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_dir():
+            candidates: Iterable[Path] = path.rglob("*.py")
+        else:
+            candidates = (path,)
+        for candidate in candidates:
+            if not _excluded(candidate, config.exclude):
+                seen.add(candidate.resolve())
+    return sorted(seen)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, walking up while ``__init__.py`` files continue."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    directory = path.parent
+    while (directory / "__init__.py").is_file():
+        parts.append(directory.name)
+        directory = directory.parent
+    return ".".join(reversed(parts))
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Lint files/directories and return all unsuppressed findings.
+
+    When ``config`` is None, the nearest ``pyproject.toml`` above the first
+    path supplies the ``[tool.repro.lint]`` configuration.
+    """
+    resolved = [Path(p) for p in paths]
+    if config is None:
+        anchor = resolved[0] if resolved else Path.cwd()
+        config = load_config(find_pyproject(anchor.resolve()))
+
+    result = LintResult()
+    project = ProjectContext()
+    modules: list[ModuleContext] = []
+    for path in collect_files(resolved, config):
+        source = path.read_text(encoding="utf-8")
+        result.files_checked += 1
+        display = _display_path(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            result.findings.append(
+                Finding(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule=PARSE_ERROR_RULE,
+                    severity="error",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        context = ModuleContext(
+            path=path,
+            display_path=display,
+            module_name=module_name_for(path),
+            source=source,
+            tree=tree,
+            config=config,
+            project=project,
+            suppressions=parse_suppressions(source),
+        )
+        modules.append(context)
+        if context.module_name:
+            project.modules[context.module_name] = context
+
+    rules = active_rules(config)
+    for context in modules:
+        for rule in rules:
+            for finding in rule.check(context):
+                if not context.is_suppressed(finding.line, finding.rule):
+                    result.findings.append(finding)
+    result.findings.sort()
+    return result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.devtools.lint",
+        description=(
+            "AST-based determinism & correctness linter for the "
+            "Accel-NASBench reproduction (rules ANB001-ANB006)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(RENDERERS),
+        default="text",
+        dest="fmt",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="skip these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml to read [tool.repro.lint] from",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point shared by ``repro.cli lint`` and ``python -m``."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.config is not None:
+            config = load_config(Path(args.config))
+        else:
+            anchor = Path(args.paths[0]).resolve() if args.paths else Path.cwd()
+            config = load_config(find_pyproject(anchor))
+        config = config.with_overrides(
+            select=tuple(r.upper() for r in args.select),
+            ignore=tuple(r.upper() for r in args.ignore),
+        )
+        result = lint_paths(args.paths, config)
+    except (ConfigError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    print(RENDERERS[args.fmt](result.findings, result.files_checked))
+    return result.exit_code

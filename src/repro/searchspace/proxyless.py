@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -272,25 +273,38 @@ def build_proxyless(
 # Hidden accuracy-structure term for the Proxyless space: per-layer op
 # bonuses (stage-position dependent) plus adjacent-layer interactions, drawn
 # once from a fixed seed like the MnasNet landscape.
-_PROX_RNG = np.random.default_rng(20240624)
-_OP_BONUS = _PROX_RNG.uniform(-0.0012, 0.0030, size=(NUM_LAYERS, len(PROXYLESS_OPS)))
-_PAIR_SAME_KERNEL = _PROX_RNG.uniform(-0.002, 0.002, size=NUM_LAYERS - 1)
+_PROX_SEED = 20240624
 _OP_INDEX = {op: i for i, op in enumerate(PROXYLESS_OPS)}
 _SKIP_INDEX = _OP_INDEX["skip"]
-# Skips trade capacity (already counted via FLOPs) for trainability: small
-# stage-position-dependent effect.
-_OP_BONUS[:, _SKIP_INDEX] = _PROX_RNG.uniform(-0.0008, 0.0012, size=NUM_LAYERS)
+
+
+@lru_cache(maxsize=1)
+def _structure_tables() -> tuple[np.ndarray, np.ndarray]:
+    """(op_bonus, pair_same_kernel) draw tables for the hidden landscape.
+
+    Draw order (op bonuses, pair interactions, then the skip-column
+    overwrite) is part of the landscape definition; a golden-value test
+    pins the arrays byte-for-byte.
+    """
+    rng = np.random.default_rng(_PROX_SEED)
+    op_bonus = rng.uniform(-0.0012, 0.0030, size=(NUM_LAYERS, len(PROXYLESS_OPS)))
+    pair_same_kernel = rng.uniform(-0.002, 0.002, size=NUM_LAYERS - 1)
+    # Skips trade capacity (already counted via FLOPs) for trainability:
+    # small stage-position-dependent effect.
+    op_bonus[:, _SKIP_INDEX] = rng.uniform(-0.0008, 0.0012, size=NUM_LAYERS)
+    return op_bonus, pair_same_kernel
 
 
 def proxyless_structure_term(arch: ProxylessArch) -> float:
     """Accuracy contribution of the per-layer op pattern."""
+    op_bonus, pair_same_kernel = _structure_tables()
     total = 0.0
     for i, op in enumerate(arch.ops):
-        total += float(_OP_BONUS[i, _OP_INDEX[op]])
+        total += float(op_bonus[i, _OP_INDEX[op]])
     for i in range(NUM_LAYERS - 1):
         a, b = arch.ops[i], arch.ops[i + 1]
         if a != "skip" and b != "skip" and _op_kernel(a) == _op_kernel(b):
-            total += float(_PAIR_SAME_KERNEL[i])
+            total += float(pair_same_kernel[i])
     return total
 
 

@@ -239,7 +239,9 @@ class GradientTreeBuilder:
         self.reg_lambda = reg_lambda
         self.gamma = gamma
         self.colsample_bynode = colsample_bynode
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Seeded fallback: feature subsampling must replay identically when
+        # no generator is injected (all in-repo callers pass one).
+        self.rng = rng if rng is not None else np.random.default_rng(0)
 
     def _leaf_value(self, g_sum: float, h_sum: float) -> float:
         return -g_sum / (h_sum + self.reg_lambda)
@@ -336,7 +338,10 @@ class GradientTreeBuilder:
         n = codes.shape[0]
         if n == 0:
             raise ValueError("cannot build a tree on zero samples")
-        self._unit_hessian = bool(np.all(h == 1.0))
+        # Exact compare is intentional: squared-loss hessians are the float
+        # constant 1.0 by construction, and the fast path must not trigger
+        # for merely-near-unit hessians.
+        self._unit_hessian = bool(np.all(h == 1.0))  # anb: noqa[ANB003]
         features: list[int] = []
         thresholds: list[float] = []
         lefts: list[int] = []

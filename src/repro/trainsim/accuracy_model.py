@@ -58,33 +58,46 @@ _ACC_FLOOR, _ACC_CEIL = 0.55, 0.83
 # landscapes contain such conditional effects (a decision helps only in the
 # context of its neighbours); they are drawn once from a fixed-seed generator
 # so the landscape is reproducible but not expressible as an additive model.
-_PAIR_RNG = np.random.default_rng(20240623)
-_PAIR_K5 = _PAIR_RNG.uniform(-0.0045, 0.0045, size=NUM_STAGES - 1)
-_PAIR_SE_MISMATCH = _PAIR_RNG.uniform(-0.0035, 0.0035, size=NUM_STAGES - 1)
-_PAIR_WIDE_DEEP = _PAIR_RNG.uniform(-0.0040, 0.0040, size=NUM_STAGES - 1)
-# Per-stage (expansion, kernel) combination effects: how well a stage's width
-# multiplier composes with its receptive field is stage-specific and not
-# additive in the individual decisions.
-_COMBO_EK = _PAIR_RNG.uniform(-0.0028, 0.0028, size=(NUM_STAGES, 3, 2))
+_PAIR_SEED = 20240623
 _E_INDEX = {1: 0, 4: 1, 6: 2}
 _K_INDEX = {3: 0, 5: 1}
 
 
+@lru_cache(maxsize=1)
+def _pairwise_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(pair_k5, pair_se_mismatch, pair_wide_deep, combo_ek) draw tables.
+
+    The draw order is part of the landscape definition: changing it (or
+    interleaving another draw) would move every pairwise constant.  A
+    golden-value test pins the resulting arrays byte-for-byte.
+    """
+    rng = np.random.default_rng(_PAIR_SEED)
+    pair_k5 = rng.uniform(-0.0045, 0.0045, size=NUM_STAGES - 1)
+    pair_se_mismatch = rng.uniform(-0.0035, 0.0035, size=NUM_STAGES - 1)
+    pair_wide_deep = rng.uniform(-0.0040, 0.0040, size=NUM_STAGES - 1)
+    # Per-stage (expansion, kernel) combination effects: how well a stage's
+    # width multiplier composes with its receptive field is stage-specific
+    # and not additive in the individual decisions.
+    combo_ek = rng.uniform(-0.0028, 0.0028, size=(NUM_STAGES, 3, 2))
+    return pair_k5, pair_se_mismatch, pair_wide_deep, combo_ek
+
+
 def pairwise_term(arch: ArchSpec) -> float:
     """Conditional (non-additive) accuracy effects of adjacent-stage combos."""
+    pair_k5, pair_se_mismatch, pair_wide_deep, combo_ek = _pairwise_tables()
     total = 0.0
     for i in range(NUM_STAGES - 1):
         if arch.kernel[i] >= 5 and arch.kernel[i + 1] >= 5:
-            total += _PAIR_K5[i]
+            total += pair_k5[i]
         if arch.se[i] != arch.se[i + 1]:
-            total += _PAIR_SE_MISMATCH[i]
+            total += pair_se_mismatch[i]
         if arch.expansion[i] >= 6 and arch.layers[i + 1] == 3:
-            total += _PAIR_WIDE_DEEP[i]
+            total += pair_wide_deep[i]
     for i in range(NUM_STAGES):
         e_idx = _E_INDEX.get(arch.expansion[i])
         k_idx = _K_INDEX.get(arch.kernel[i])
         if e_idx is not None and k_idx is not None:
-            total += _COMBO_EK[i, e_idx, k_idx]
+            total += combo_ek[i, e_idx, k_idx]
     return total
 
 

@@ -1,0 +1,111 @@
+"""CLI coverage for ``python -m repro.cli lint`` and the lint runner."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.devtools.lint import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS
+from repro.devtools.lint.runner import main as lint_main
+
+
+@pytest.fixture
+def violation_file(tmp_path):
+    path = tmp_path / "planted.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            _RNG = np.random.default_rng(99)
+
+            def f(acc=[]):
+                return acc
+            """
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(
+        "def double(x):\n    return 2 * x\n", encoding="utf-8"
+    )
+    return path
+
+
+class TestCliLint:
+    def test_clean_file_exits_zero_text(self, clean_file, capsys):
+        code = cli_main(["lint", str(clean_file)])
+        assert code == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "ok: no findings" in out
+
+    def test_violations_exit_nonzero_text(self, violation_file, capsys):
+        code = cli_main(["lint", str(violation_file)])
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "ANB001" in out and "ANB004" in out
+        assert "planted.py" in out
+
+    def test_json_format(self, violation_file, capsys):
+        code = cli_main(["lint", str(violation_file), "--format", "json"])
+        assert code == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        rules = {f["rule"] for f in payload["findings"]}
+        assert {"ANB001", "ANB004"} <= rules
+        assert payload["counts"]["ANB001"] == 1
+        # Rule metadata rides along so consumers can render docs.
+        assert payload["rules"]["ANB002"]["name"] == "unseeded-rng"
+
+    def test_select_restricts_rules(self, violation_file, capsys):
+        code = cli_main(["lint", str(violation_file), "--select", "anb004"])
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "ANB004" in out and "ANB001" not in out
+
+    def test_unknown_rule_id_exits_two(self, violation_file, capsys):
+        """A typo'd --select must not silently disable the linter."""
+        code = cli_main(["lint", str(violation_file), "--select", "ANB999"])
+        assert code == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "ANB999" in err and "known:" in err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code = cli_main(["lint", str(tmp_path / "nope")])
+        assert code == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_src_repro_is_clean_via_cli(self, capsys):
+        assert cli_main(["lint", "src/repro"]) == EXIT_CLEAN
+
+
+class TestModuleEntryPoint:
+    def test_runner_main_matches_cli(self, violation_file, capsys):
+        assert lint_main([str(violation_file)]) == EXIT_FINDINGS
+
+    def test_pyproject_config_respected(self, tmp_path, violation_file, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            '[tool.repro.lint]\nignore = ["ANB001", "ANB004"]\n',
+            encoding="utf-8",
+        )
+        code = lint_main([str(violation_file), "--config", str(pyproject)])
+        assert code == EXIT_CLEAN
+
+    def test_broken_config_exits_two(self, tmp_path, violation_file, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro.lint]\nunknown-key = 3\n", encoding="utf-8"
+        )
+        code = lint_main([str(violation_file), "--config", str(pyproject)])
+        assert code == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err

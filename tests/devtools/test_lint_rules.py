@@ -1,0 +1,450 @@
+"""Per-rule unit tests: positive hit, clean pass, and noqa suppression.
+
+Each case lints a small fixture snippet written to a temp directory, so
+rules are exercised through the real runner (file discovery, parsing,
+suppression handling) rather than on hand-built ASTs.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.devtools.lint import RULE_REGISTRY, LintConfig, lint_paths
+from repro.devtools.lint.core import parse_suppressions
+
+
+def lint_snippet(tmp_path, source, filename="snippet.py", config=None):
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([tmp_path], config or LintConfig())
+
+
+def rules_hit(result):
+    return sorted({f.rule for f in result.findings})
+
+
+class TestRegistry:
+    def test_six_rules_registered(self):
+        assert sorted(RULE_REGISTRY) == [
+            "ANB001",
+            "ANB002",
+            "ANB003",
+            "ANB004",
+            "ANB005",
+            "ANB006",
+        ]
+
+    def test_rules_have_docs_and_severities(self):
+        for cls in RULE_REGISTRY.values():
+            assert cls.doc()
+            assert cls.name
+            assert cls.severity in ("error", "warning")
+
+
+class TestSuppressionParsing:
+    def test_blanket_and_scoped(self):
+        table = parse_suppressions(
+            "x = 1  # anb: noqa\n"
+            "y = 2  # anb: noqa[ANB001]\n"
+            "z = 3  # anb: noqa[ANB001, anb002]\n"
+            "w = 4\n"
+        )
+        assert table[1] is None
+        assert table[2] == frozenset({"ANB001"})
+        assert table[3] == frozenset({"ANB001", "ANB002"})
+        assert 4 not in table
+
+
+class TestANB001ImportTimeRNG:
+    def test_module_level_default_rng_hit(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            _RNG = np.random.default_rng(1234)
+            """,
+        )
+        assert rules_hit(result) == ["ANB001"]
+
+    def test_module_level_seed_call_hit(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import random
+            random.seed(7)
+            """,
+        )
+        assert "ANB001" in rules_hit(result)
+
+    def test_class_body_is_import_time(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            class Landscape:
+                TABLE = np.random.default_rng(3).uniform(size=4)
+            """,
+        )
+        assert "ANB001" in rules_hit(result)
+
+    def test_inside_function_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def tables(seed: int):
+                return np.random.default_rng(seed).uniform(size=4)
+            """,
+        )
+        assert result.findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            _RNG = np.random.default_rng(1)  # anb: noqa[ANB001]
+            """,
+        )
+        assert result.findings == []
+
+
+class TestANB002UnseededRNG:
+    def test_unseeded_default_rng_hit(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.default_rng().uniform()
+            """,
+        )
+        assert rules_hit(result) == ["ANB002"]
+
+    def test_stdlib_global_api_hit(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        assert rules_hit(result) == ["ANB002"]
+
+    def test_legacy_numpy_global_api_hit(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.randn(n)
+            """,
+        )
+        assert rules_hit(result) == ["ANB002"]
+
+    def test_seeded_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def sample(seed):
+                gen = np.random.default_rng(seed)
+                return gen.uniform()
+            """,
+        )
+        assert result.findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def jitter():
+                return random.random()  # anb: noqa[ANB002]
+            """,
+        )
+        assert result.findings == []
+
+
+class TestANB003FloatEquality:
+    def test_eq_against_float_literal_hit(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def check(x):
+                return x == 0.1
+            """,
+        )
+        assert rules_hit(result) == ["ANB003"]
+
+    def test_noteq_and_negative_literal_hit(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def check(x):
+                return x != -2.5
+            """,
+        )
+        assert rules_hit(result) == ["ANB003"]
+
+    def test_int_and_ordering_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def check(x):
+                return x == 1 or x >= 0.5
+            """,
+        )
+        assert result.findings == []
+
+    def test_tolerance_helper_exempt(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def close_enough(x):
+                return x == 0.0 or abs(x) < 1e-9
+            """,
+        )
+        assert result.findings == []
+
+    def test_configured_helper_exempt(self, tmp_path):
+        config = LintConfig(tolerance_helpers=("my_exact_probe",))
+        result = lint_snippet(
+            tmp_path,
+            """
+            def my_exact_probe(x):
+                return x == 0.25
+            """,
+            config=config,
+        )
+        assert result.findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def check(x):
+                return x == 1.0  # anb: noqa[ANB003]
+            """,
+        )
+        assert result.findings == []
+
+
+class TestANB004MutableDefault:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "set()", "dict()", "list()", "{1: 2}"]
+    )
+    def test_mutable_defaults_hit(self, tmp_path, default):
+        result = lint_snippet(
+            tmp_path,
+            f"""
+            def f(x, acc={default}):
+                return acc
+            """,
+        )
+        assert rules_hit(result) == ["ANB004"]
+
+    def test_kwonly_default_hit(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f(*, acc=[]):
+                return acc
+            """,
+        )
+        assert rules_hit(result) == ["ANB004"]
+
+    def test_none_and_tuple_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f(x=None, y=(), z="s", w=frozenset()):
+                return x, y, z, w
+            """,
+        )
+        assert result.findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f(acc=[]):  # anb: noqa[ANB004]
+                return acc
+            """,
+        )
+        assert result.findings == []
+
+
+class TestANB005ExportIntegrity:
+    def test_undefined_all_entry_hit(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            __all__ = ["present", "missing"]
+
+            def present():
+                return 1
+            """,
+        )
+        assert rules_hit(result) == ["ANB005"]
+        assert "missing" in result.findings[0].message
+
+    def test_resolving_all_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            from os import path
+
+            CONST = 3
+
+            __all__ = ["CONST", "path", "helper", "Klass"]
+
+            def helper():
+                return CONST
+
+            class Klass:
+                pass
+            """,
+        )
+        assert result.findings == []
+
+    def test_broken_reexport_hit(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "impl.py").write_text(
+            "def real():\n    return 1\n", encoding="utf-8"
+        )
+        (tmp_path / "pkg" / "__init__.py").write_text(
+            "from pkg.impl import real, ghost\n", encoding="utf-8"
+        )
+        result = lint_paths([tmp_path], LintConfig())
+        assert rules_hit(result) == ["ANB005"]
+        assert "ghost" in result.findings[0].message
+
+    def test_relative_reexport_and_submodule_clean(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "impl.py").write_text(
+            "def real():\n    return 1\n", encoding="utf-8"
+        )
+        (tmp_path / "pkg" / "__init__.py").write_text(
+            "from . import impl\nfrom .impl import real\n"
+            '__all__ = ["impl", "real"]\n',
+            encoding="utf-8",
+        )
+        result = lint_paths([tmp_path], LintConfig())
+        assert result.findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            __all__ = ["missing"]  # anb: noqa[ANB005]
+            """,
+        )
+        assert result.findings == []
+
+
+class TestANB006SilentExcept:
+    def test_bare_except_hit(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                try:
+                    return 1
+                except:
+                    return 0
+            """,
+        )
+        assert rules_hit(result) == ["ANB006"]
+
+    def test_pass_only_handler_hit(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                try:
+                    return 1
+                except ValueError:
+                    pass
+            """,
+        )
+        assert rules_hit(result) == ["ANB006"]
+
+    def test_handled_exception_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f(log):
+                try:
+                    return 1
+                except ValueError as exc:
+                    log.append(exc)
+                    raise
+            """,
+        )
+        assert result.findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                try:
+                    return 1
+                except ValueError:  # anb: noqa[ANB006]
+                    pass
+            """,
+        )
+        assert result.findings == []
+
+
+class TestConfigFiltering:
+    def test_select_limits_rules(self, tmp_path):
+        source = """
+        import numpy as np
+        _RNG = np.random.default_rng(1)
+
+        def f(acc=[]):
+            return acc
+        """
+        config = LintConfig(select=("ANB004",))
+        result = lint_snippet(tmp_path, source, config=config)
+        assert rules_hit(result) == ["ANB004"]
+
+    def test_ignore_drops_rules(self, tmp_path):
+        source = """
+        import numpy as np
+        _RNG = np.random.default_rng(1)
+
+        def f(acc=[]):
+            return acc
+        """
+        config = LintConfig(ignore=("ANB001",))
+        result = lint_snippet(tmp_path, source, config=config)
+        assert rules_hit(result) == ["ANB004"]
+
+    def test_exclude_skips_files(self, tmp_path):
+        config = LintConfig(exclude=("generated",))
+        (tmp_path / "generated").mkdir()
+        (tmp_path / "generated" / "bad.py").write_text(
+            "def f(acc=[]):\n    return acc\n", encoding="utf-8"
+        )
+        result = lint_paths([tmp_path], config)
+        assert result.files_checked == 0
+        assert result.findings == []
+
+    def test_syntax_error_reported_as_anb000(self, tmp_path):
+        result = lint_snippet(tmp_path, "def broken(:\n")
+        assert [f.rule for f in result.findings] == ["ANB000"]
+        assert result.findings[0].severity == "error"

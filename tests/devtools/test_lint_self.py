@@ -1,0 +1,47 @@
+"""Self-gate: the repository's own source must satisfy its own linter.
+
+This is the enforcement point for the determinism invariants: if anyone
+reintroduces module-level RNG state (ANB001), unseeded draws (ANB002), or
+any other rule violation under ``src/repro``, tier-1 fails.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.devtools.lint import lint_paths
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_package_tree_is_lint_clean():
+    result = lint_paths([SRC_ROOT])
+    formatted = "\n".join(
+        f"{f.location()}: {f.rule} {f.message}" for f in result.findings
+    )
+    assert result.findings == [], f"lint violations in src/repro:\n{formatted}"
+    # Sanity: the run actually covered the package, not an empty directory.
+    assert result.files_checked >= 80
+
+
+def test_gate_catches_reintroduced_module_level_rng(tmp_path):
+    """The self-gate would fail if import-time RNG came back anywhere."""
+    shadow = tmp_path / "shadow"
+    shadow.mkdir()
+    (shadow / "regression.py").write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            _TABLE = np.random.default_rng(20240623).uniform(size=6)
+            """
+        ),
+        encoding="utf-8",
+    )
+    result = lint_paths([SRC_ROOT, shadow])
+    assert any(
+        f.rule == "ANB001" and f.path.endswith("regression.py")
+        for f in result.findings
+    )

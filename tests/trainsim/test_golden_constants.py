@@ -1,0 +1,76 @@
+"""Golden-value pins for the hidden-landscape draw tables.
+
+The import-time RNG constants in ``trainsim.accuracy_model`` and
+``searchspace.proxyless`` were refactored into lazily-computed cached
+tables (lint rule ANB001).  The SHA-256 digests below were captured from
+the *pre-refactor* module-level arrays: if any digest changes, the hidden
+accuracy landscape moved and every benchmark table silently shifts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.searchspace.proxyless import _structure_tables
+from repro.trainsim.accuracy_model import _pairwise_tables
+
+
+def _sha256(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+GOLDEN_PAIRWISE = {
+    "pair_k5": "fc31ba51071f4bdd12bb39d5364a4b4ece2e1d6d4601b5d20969eda203da9830",
+    "pair_se_mismatch": (
+        "5655a1f25112332a44a30255493cc131c70de65e4446a7bd63dd29e33552b635"
+    ),
+    "pair_wide_deep": (
+        "b489a04a8a94a7f4f484371426ca07b09d7d333377aefbe5cc3c5cc4116fa58e"
+    ),
+    "combo_ek": "3b7950055a274125417d489d8d27884a72319931d73596f900425c156c81ca12",
+}
+
+GOLDEN_PROXYLESS = {
+    "op_bonus": "4f667c5aaba4f4f32daf4e834a025945d1595e2ffac3f6934870e1767475e9c3",
+    "pair_same_kernel": (
+        "ac591f373bb8a3d60666f9d8707a15528aff66695c9a32081a1bd1d62691fc6a"
+    ),
+}
+
+
+class TestPairwiseTables:
+    def test_byte_identical_to_pre_refactor(self):
+        pair_k5, pair_se_mismatch, pair_wide_deep, combo_ek = _pairwise_tables()
+        assert _sha256(pair_k5) == GOLDEN_PAIRWISE["pair_k5"]
+        assert _sha256(pair_se_mismatch) == GOLDEN_PAIRWISE["pair_se_mismatch"]
+        assert _sha256(pair_wide_deep) == GOLDEN_PAIRWISE["pair_wide_deep"]
+        assert _sha256(combo_ek) == GOLDEN_PAIRWISE["combo_ek"]
+
+    def test_shapes_and_spot_values(self):
+        pair_k5, pair_se_mismatch, pair_wide_deep, combo_ek = _pairwise_tables()
+        assert pair_k5.shape == pair_se_mismatch.shape == pair_wide_deep.shape == (6,)
+        assert combo_ek.shape == (7, 3, 2)
+        assert pair_k5[0] == 0.0031394401203129847  # anb: noqa[ANB003]
+        assert combo_ek[-1, -1, -1] == -0.0008708098834783232  # anb: noqa[ANB003]
+
+    def test_cached_single_instance(self):
+        assert _pairwise_tables()[0] is _pairwise_tables()[0]
+
+
+class TestProxylessTables:
+    def test_byte_identical_to_pre_refactor(self):
+        op_bonus, pair_same_kernel = _structure_tables()
+        assert _sha256(op_bonus) == GOLDEN_PROXYLESS["op_bonus"]
+        assert _sha256(pair_same_kernel) == GOLDEN_PROXYLESS["pair_same_kernel"]
+
+    def test_shapes_and_spot_values(self):
+        op_bonus, pair_same_kernel = _structure_tables()
+        assert op_bonus.shape == (21, 7)
+        assert pair_same_kernel.shape == (20,)
+        assert op_bonus[0, 0] == -6.113280584857644e-05  # anb: noqa[ANB003]
+        assert pair_same_kernel[-1] == 0.0017331949899826588  # anb: noqa[ANB003]
+
+    def test_cached_single_instance(self):
+        assert _structure_tables()[0] is _structure_tables()[0]
