@@ -1,0 +1,73 @@
+"""Bench: serial vs parallel benchmark build (dataset collection + fitting).
+
+``AccelNASBench.build`` fans per-(device, metric) collection and surrogate
+fitting over a deterministic thread pool.  This bench times a full build
+serially and with ``n_jobs`` workers, asserts the two produce byte-identical
+saved artefacts (the determinism contract), and records the wall-times to
+``results/BENCH_build.json``.  Speedup is hardware-dependent (a 1-core CI
+runner shows none), so only equivalence is asserted.
+"""
+
+import os
+import time
+
+from repro.core.benchmark import AccelNASBench
+from repro.trainsim.schemes import P_STAR
+
+from conftest import BENCH_ARCHS, emit, record_trajectory
+
+BUILD_ARCHS = min(300, BENCH_ARCHS)
+DEVICES = {"a100": ("throughput",), "zcu102": ("throughput", "latency")}
+
+
+def _build(n_jobs, collect_n_jobs):
+    t0 = time.perf_counter()
+    bench, _ = AccelNASBench.build(
+        P_STAR,
+        num_archs=BUILD_ARCHS,
+        devices=DEVICES,
+        sample_seed=13,
+        family="rf",
+        n_jobs=n_jobs,
+        collect_n_jobs=collect_n_jobs,
+    )
+    return bench, time.perf_counter() - t0
+
+
+def test_parallel_build_equivalent_and_timed(tmp_path):
+    workers = max(2, os.cpu_count() or 1)
+    serial, serial_s = _build(1, 1)
+    parallel, parallel_s = _build(workers, workers)
+
+    p1, p2 = tmp_path / "serial.json", tmp_path / "parallel.json"
+    serial.save(p1)
+    parallel.save(p2)
+    assert p1.read_bytes() == p2.read_bytes()
+
+    lines = [
+        f"Benchmark build: serial vs n_jobs={workers} "
+        f"({BUILD_ARCHS} archs, {sum(len(m) for m in DEVICES.values())} "
+        "device targets + accuracy)",
+        f"  serial   : {serial_s:7.2f} s",
+        f"  parallel : {parallel_s:7.2f} s",
+        "  artefacts: byte-identical",
+    ]
+    emit("bench_build_parallel", "\n".join(lines))
+    record_trajectory(
+        "build",
+        {
+            "num_archs": BUILD_ARCHS,
+            "n_jobs": workers,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+        },
+    )
+
+
+def test_parallel_collection_matches_serial_values():
+    from repro.core.dataset import collect_device_dataset, sample_dataset_archs
+
+    archs = sample_dataset_archs(64, seed=21)
+    serial = collect_device_dataset(archs, "a100", "throughput")
+    parallel = collect_device_dataset(archs, "a100", "throughput", n_jobs=4)
+    assert (serial.values == parallel.values).all()

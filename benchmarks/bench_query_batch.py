@@ -1,0 +1,82 @@
+"""Bench: batched population queries vs the scalar query loop.
+
+``query_accuracy_batch`` / ``query_batch`` serve a whole population through a
+single encode + ensemble predict.  This bench measures both paths on the same
+archs, checks they agree bitwise, and asserts the batched path actually pays
+for itself (queries/sec speedup).  Timings use ``perf_counter`` directly so
+the speedup check also runs under ``--benchmark-disable`` smoke mode.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.searchspace.mnasnet import MnasNetSearchSpace
+
+from conftest import emit, record_trajectory
+
+POPULATION = 512
+
+
+@pytest.fixture(scope="module")
+def built(ctx):
+    bench = ctx.benchmark()
+    space = MnasNetSearchSpace(seed=77)
+    archs = space.sample_batch(POPULATION, unique=True)
+    return bench, archs
+
+
+def _time(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_batch_throughput_and_equivalence(benchmark, built):
+    bench, archs = built
+
+    # Warm both paths (fills the encoder cache so the comparison isolates
+    # the predict layer, which is where batching matters).
+    scalar_values = np.asarray([bench.query_accuracy(a) for a in archs])
+    batched_values = benchmark(lambda: bench.query_accuracy_batch(archs))
+    assert (batched_values == scalar_values).all()
+
+    scalar_s = _time(lambda: [bench.query_accuracy(a) for a in archs])
+    batch_s = _time(lambda: bench.query_accuracy_batch(archs))
+    speedup = scalar_s / batch_s
+    scalar_qps = POPULATION / scalar_s
+    batch_qps = POPULATION / batch_s
+
+    lines = [
+        "Batched accuracy queries vs scalar loop "
+        f"(population={POPULATION}, cache-hot)",
+        f"  scalar loop : {scalar_s * 1e3:8.1f} ms  ({scalar_qps:10.0f} q/s)",
+        f"  batched     : {batch_s * 1e3:8.1f} ms  ({batch_qps:10.0f} q/s)",
+        f"  speedup     : {speedup:8.1f}x",
+    ]
+    emit("bench_query_batch", "\n".join(lines))
+    record_trajectory(
+        "query",
+        {
+            "population": POPULATION,
+            "scalar_queries_per_s": scalar_qps,
+            "batch_queries_per_s": batch_qps,
+            "batch_speedup": speedup,
+        },
+    )
+    # The scalar loop already rides this PR's cache + single-row fast path,
+    # so the honest ratio is ~2x on one core; guard against regressing to
+    # parity rather than asserting a machine-dependent multiple.
+    assert speedup >= 1.3
+
+
+def test_query_batch_biobjective_matches_scalar(built):
+    bench, archs = built
+    sample = archs[:64]
+    batched = bench.query_batch(sample, device="vck190")
+    singles = [bench.query(a, device="vck190") for a in sample]
+    assert batched == singles

@@ -23,7 +23,7 @@ def run_validation(ctx, num_archs: int = 600) -> dict:
     collected = set(ctx.archs)
     fresh = [a for a in fresh if a not in collected]
     report = validate_benchmark(bench, ctx.trainer, P_STAR, fresh)
-    predicted = bench.query_batch(fresh)
+    predicted = bench.query_accuracy_batch(fresh)
     true = [ctx.trainer.expected_top1(a, P_STAR) for a in fresh]
     return {
         "report": report,

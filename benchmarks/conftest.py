@@ -14,6 +14,8 @@ prints the paper-style table/series, and writes it to ``results/``.
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
 from pathlib import Path
 
@@ -44,3 +46,23 @@ def emit(name: str, text: str) -> None:
     print(f"\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def record_trajectory(name: str, point: dict) -> Path:
+    """Append one dated point to the ``results/BENCH_{name}.json`` trajectory.
+
+    Perf benches call this every run, building a machine-readable history of
+    how the hot paths evolve across PRs (complementing the human-readable
+    ``results/*.txt`` reports).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    if path.exists():
+        payload = json.loads(path.read_text())
+    else:
+        payload = {"bench": name, "points": []}
+    payload["points"].append(
+        {"date": datetime.date.today().isoformat(), **point}
+    )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -14,6 +14,7 @@ from repro.core.dataset import (
     collect_device_dataset,
     train_val_test_split,
 )
+from repro.core.parallel import chunked_map, deterministic_map, resolve_n_jobs
 from repro.core.proxy_search import ProxySearchResult, TrainingProxySearch
 from repro.core.surrogate_fit import FitReport, SurrogateFitter
 from repro.core.benchmark import AccelNASBench
@@ -25,9 +26,12 @@ __all__ = [
     "ProxySearchResult",
     "SurrogateFitter",
     "TrainingProxySearch",
+    "chunked_map",
     "collect_accuracy_dataset",
     "collect_device_dataset",
     "crowding_distance",
+    "deterministic_map",
+    "resolve_n_jobs",
     "hypervolume_2d",
     "kendall_tau",
     "mae",

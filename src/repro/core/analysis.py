@@ -133,6 +133,6 @@ def validate_benchmark(
     Ground truth is the trainer's noise-free expected accuracy under the
     collection scheme (what infinitely-replicated training would measure).
     """
-    predicted = bench.query_batch(archs)
+    predicted = bench.query_accuracy_batch(archs)
     true = [trainer.expected_top1(a, scheme) for a in archs]
     return prediction_report(true, predicted)

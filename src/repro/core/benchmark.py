@@ -5,11 +5,22 @@ surrogates for every (device, metric) pair.  ``query`` answers in
 microseconds-to-milliseconds without any (simulated) training or device
 measurement — the "zero-cost evaluation" of the paper's Fig. 1.
 
+The query path is built for traffic: every architecture is encoded exactly
+once per call (and the encoder's LRU cache makes repeat queries skip encoding
+entirely), ``query_batch`` answers whole populations through one vectorised
+ensemble predict, and :meth:`accuracy_objective` /
+:meth:`performance_objective` expose the surrogates as
+:class:`~repro.optimizers.base.BatchedObjective` adapters that optimizers
+prefetch populations through.
+
 Construction (:meth:`AccelNASBench.build`) runs the full pipeline: sample the
 dataset architectures, collect ANB-Acc with the proxy scheme and
 ANB-{device}-{metric} on each simulated accelerator, and fit an XGB surrogate
-(the paper's final choice) per target.  Built benchmarks can be saved to /
-loaded from a JSON file, mirroring the released artefact.
+(the paper's final choice) per target.  The architecture sample is encoded
+once and the matrix shared by every fit; the per-target collection+fit tasks
+fan out over ``n_jobs`` workers with results bit-identical to the serial
+build.  Built benchmarks can be saved to / loaded from a JSON file (sorted
+keys, byte-stable across runs), mirroring the released artefact.
 """
 
 from __future__ import annotations
@@ -17,6 +28,9 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
+
+import numpy as np
 
 from repro.core.dataset import (
     BenchmarkDataset,
@@ -24,6 +38,7 @@ from repro.core.dataset import (
     collect_device_dataset,
     sample_dataset_archs,
 )
+from repro.core.parallel import deterministic_map
 from repro.core.surrogate_fit import FitReport, SurrogateFitter
 from repro.hwsim.registry import DEVICE_METRICS
 from repro.searchspace.features import FeatureEncoder
@@ -73,8 +88,17 @@ class AccelNASBench:
         sample_seed: int = 0,
         fitter: SurrogateFitter | None = None,
         family: str = "xgb",
+        n_jobs: int = 1,
+        collect_n_jobs: int = 1,
     ) -> tuple["AccelNASBench", list[FitReport]]:
         """Collect datasets and fit surrogates; return (benchmark, reports).
+
+        The shared architecture sample is encoded once up front and the
+        feature matrix reused by every surrogate fit.  Each (target)
+        collection+fit task is independent and internally seeded, so with
+        ``n_jobs > 1`` the tasks fan out over a thread pool and the resulting
+        benchmark is bit-identical to a serial build (saved artefacts match
+        byte for byte).
 
         Args:
             scheme: Proxy training scheme ``p*`` for the accuracy dataset.
@@ -84,26 +108,42 @@ class AccelNASBench:
             sample_seed: Seed of the shared architecture sample.
             fitter: Fitting pipeline; defaults to no-HPO hand-tuned params.
             family: Surrogate family for all targets (paper: XGB).
+            n_jobs: Workers for the per-target collection+fit fan-out
+                (``-1`` = all CPUs).
+            collect_n_jobs: Workers for each collection's inner per-arch loop.
         """
         devices = devices if devices is not None else dict(DEVICE_METRICS)
         fitter = fitter if fitter is not None else SurrogateFitter()
         archs = sample_dataset_archs(num_archs, seed=sample_seed)
-        reports: list[FitReport] = []
+        # Encode the shared sample once; all fits reuse this matrix.
+        features = fitter.encoder.encode(archs)
 
-        acc_dataset = collect_accuracy_dataset(archs, scheme)
-        acc_report = fitter.fit(acc_dataset, family)
-        reports.append(acc_report)
+        targets: list[tuple[str, str] | None] = [None]  # None = accuracy
+        targets.extend(
+            (device, metric)
+            for device, metrics in devices.items()
+            for metric in metrics
+        )
 
-        perf_models: dict[tuple[str, str], Regressor] = {}
-        for device, metrics in devices.items():
-            for metric in metrics:
-                dataset = collect_device_dataset(archs, device, metric)
-                report = fitter.fit(dataset, family)
-                reports.append(report)
-                perf_models[(device, metric)] = report.model
+        def collect_and_fit(target: tuple[str, str] | None) -> FitReport:
+            if target is None:
+                dataset = collect_accuracy_dataset(
+                    archs, scheme, n_jobs=collect_n_jobs
+                )
+            else:
+                dataset = collect_device_dataset(
+                    archs, target[0], target[1], n_jobs=collect_n_jobs
+                )
+            return fitter.fit(dataset, family, features=features)
 
+        reports = deterministic_map(collect_and_fit, targets, n_jobs=n_jobs)
+
+        perf_models: dict[tuple[str, str], Regressor] = {
+            target: report.model
+            for target, report in zip(targets[1:], reports[1:])
+        }
         bench = cls(
-            accuracy_model=acc_report.model,
+            accuracy_model=reports[0].model,
             perf_models=perf_models,
             encoder=fitter.encoder,
             meta={
@@ -122,6 +162,17 @@ class AccelNASBench:
         """Available (device, metric) performance targets."""
         return sorted(self._perf_models)
 
+    @property
+    def encoder(self) -> FeatureEncoder:
+        """The feature encoder (exposes the arch-row cache knobs)."""
+        return self._encoder
+
+    def _perf_model(self, device: str, metric: str) -> Regressor:
+        key = (device, metric)
+        if key not in self._perf_models:
+            raise KeyError(f"no surrogate for {key}; available: {self.targets}")
+        return self._perf_models[key]
+
     def query_accuracy(self, arch: ArchSpec) -> float:
         """Predicted top-1 accuracy under the proxy training scheme."""
         X = self._encoder.encode([arch])
@@ -129,13 +180,9 @@ class AccelNASBench:
 
     def query_performance(self, arch: ArchSpec, device: str, metric: str) -> float:
         """Predicted on-device performance (img/s or ms)."""
-        key = (device, metric)
-        if key not in self._perf_models:
-            raise KeyError(
-                f"no surrogate for {key}; available: {self.targets}"
-            )
+        model = self._perf_model(device, metric)
         X = self._encoder.encode([arch])
-        return float(self._perf_models[key].predict(X)[0])
+        return float(model.predict(X)[0])
 
     def query(
         self,
@@ -143,29 +190,93 @@ class AccelNASBench:
         device: str | None = None,
         metric: str = "throughput",
     ) -> QueryResult:
-        """Bi-objective query: accuracy plus optional device performance."""
+        """Bi-objective query: accuracy plus optional device performance.
+
+        The architecture is encoded exactly once; both surrogates predict
+        from the same feature row.
+        """
+        perf_model = (
+            self._perf_model(device, metric) if device is not None else None
+        )
+        X = self._encoder.encode([arch])
         perf = (
-            self.query_performance(arch, device, metric)
-            if device is not None
-            else None
+            float(perf_model.predict(X)[0]) if perf_model is not None else None
         )
         return QueryResult(
             arch=arch,
-            accuracy=self.query_accuracy(arch),
+            accuracy=float(self._accuracy_model.predict(X)[0]),
             performance=perf,
             device=device,
             metric=metric if device is not None else None,
         )
 
-    def query_batch(self, archs: list[ArchSpec]) -> list[float]:
-        """Vectorised accuracy query for many architectures."""
+    def query_accuracy_batch(self, archs: Sequence[ArchSpec]) -> np.ndarray:
+        """Vectorised accuracy query: one encode, one ensemble predict."""
         X = self._encoder.encode(archs)
-        return [float(v) for v in self._accuracy_model.predict(X)]
+        return np.asarray(self._accuracy_model.predict(X), dtype=np.float64)
+
+    def query_performance_batch(
+        self, archs: Sequence[ArchSpec], device: str, metric: str = "throughput"
+    ) -> np.ndarray:
+        """Vectorised performance query for one (device, metric) target."""
+        model = self._perf_model(device, metric)
+        X = self._encoder.encode(archs)
+        return np.asarray(model.predict(X), dtype=np.float64)
+
+    def query_batch(
+        self,
+        archs: Sequence[ArchSpec],
+        device: str | None = None,
+        metric: str = "throughput",
+    ) -> list[QueryResult]:
+        """Batched bi-objective query: one encode + predict per surrogate.
+
+        Returns one :class:`QueryResult` per architecture, identical to
+        calling :meth:`query` in a loop but with a single vectorised pass.
+        """
+        archs = list(archs)
+        perf_model = (
+            self._perf_model(device, metric) if device is not None else None
+        )
+        X = self._encoder.encode(archs)
+        accuracies = self._accuracy_model.predict(X)
+        perfs = perf_model.predict(X) if perf_model is not None else None
+        return [
+            QueryResult(
+                arch=arch,
+                accuracy=float(accuracies[i]),
+                performance=float(perfs[i]) if perfs is not None else None,
+                device=device,
+                metric=metric if device is not None else None,
+            )
+            for i, arch in enumerate(archs)
+        ]
+
+    # ------------------------------------------------------------- objectives
+
+    def accuracy_objective(self):
+        """Accuracy surrogate as a population-batched optimizer objective."""
+        from repro.optimizers.base import BatchedObjective
+
+        return BatchedObjective(self.query_accuracy_batch)
+
+    def performance_objective(self, device: str, metric: str = "throughput"):
+        """Performance surrogate as a population-batched optimizer objective."""
+        from repro.optimizers.base import BatchedObjective
+
+        self._perf_model(device, metric)  # fail fast on unknown targets
+        return BatchedObjective(
+            lambda archs: self.query_performance_batch(archs, device, metric)
+        )
 
     # ------------------------------------------------------------ persistence
 
     def save(self, path: str | Path) -> None:
-        """Serialise the whole benchmark (all surrogates) to JSON."""
+        """Serialise the whole benchmark (all surrogates) to JSON.
+
+        Keys are sorted so identically-built benchmarks serialise to
+        byte-identical artefacts across runs and platforms.
+        """
         payload = {
             "meta": self.meta,
             "encoding": self._encoder.encoding,
@@ -175,7 +286,7 @@ class AccelNASBench:
                 for (device, metric), model in self._perf_models.items()
             },
         }
-        Path(path).write_text(json.dumps(payload))
+        Path(path).write_text(json.dumps(payload, sort_keys=True))
 
     @classmethod
     def load(cls, path: str | Path) -> "AccelNASBench":

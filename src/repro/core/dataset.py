@@ -5,6 +5,11 @@ randomly sampled architectures with the searched proxy scheme ``p*`` and
 record their top-1 accuracy.  ``collect_device_dataset`` reproduces the
 ANB-{device}-{metric} pipeline: measure each architecture end-to-end on a
 simulated accelerator through the warmup/averaging measurement harness.
+
+Both collectors accept ``n_jobs``: every per-architecture value depends only
+on ``(arch, scheme, seed)`` / ``(device, arch)`` — never on evaluation order
+— so the inner loop fans out over a thread pool with bit-identical results
+(see :mod:`repro.core.parallel`).
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.parallel import chunked_map
 from repro.hwsim.measure import MeasurementHarness
 from repro.hwsim.registry import get_device, supports_metric
 from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
@@ -98,12 +104,20 @@ def collect_accuracy_dataset(
     trainer: SimulatedTrainer | None = None,
     seed: int = 0,
     name: str = "ANB-Acc",
+    n_jobs: int = 1,
 ) -> BenchmarkDataset:
-    """Train every architecture once under ``scheme``; return ANB-Acc."""
+    """Train every architecture once under ``scheme``; return ANB-Acc.
+
+    Every training run is seeded from ``(arch, scheme, seed)`` alone, so the
+    collection can fan out over ``n_jobs`` workers without changing a single
+    value (``-1`` = all CPUs).
+    """
     trainer = trainer if trainer is not None else SimulatedTrainer()
-    values = np.asarray(
-        [trainer.train(arch, scheme, seed=seed).top1 for arch in archs]
-    )
+
+    def train_one(arch: ArchSpec) -> float:
+        return trainer.train(arch, scheme, seed=seed).top1
+
+    values = np.asarray(chunked_map(train_one, archs, n_jobs=n_jobs))
     return BenchmarkDataset(
         name=name,
         metric="accuracy",
@@ -118,8 +132,13 @@ def collect_device_dataset(
     device_name: str,
     metric: str = "throughput",
     name: str | None = None,
+    n_jobs: int = 1,
 ) -> BenchmarkDataset:
     """Measure every architecture on a device; return ANB-{device}-{metric}.
+
+    Measurement jitter is hash-seeded from ``(device, metric, arch, run)``,
+    so the loop can fan out over ``n_jobs`` workers (``-1`` = all CPUs) with
+    values bit-identical to the serial collection.
 
     Raises:
         ValueError: If the device does not support the metric (latency is
@@ -129,10 +148,14 @@ def collect_device_dataset(
         raise ValueError(f"device {device_name!r} does not support {metric!r}")
     harness = MeasurementHarness(get_device(device_name))
     if metric == "throughput":
-        values = np.asarray([harness.measure_throughput(a) for a in archs])
+        values = np.asarray(
+            chunked_map(harness.measure_throughput, archs, n_jobs=n_jobs)
+        )
         suffix = "Thr"
     else:
-        values = np.asarray([harness.measure_latency(a) for a in archs])
+        values = np.asarray(
+            chunked_map(harness.measure_latency, archs, n_jobs=n_jobs)
+        )
         suffix = "Lat"
     return BenchmarkDataset(
         name=name if name is not None else f"ANB-{device_name}-{suffix}",

@@ -223,9 +223,30 @@ class SurrogateFitter:
         result = smac.optimize(objective, budget=self.hpo_budget)
         return result.best_config
 
-    def fit(self, dataset: BenchmarkDataset, family: str) -> FitReport:
-        """Run the full split/tune/fit/evaluate pipeline for one family."""
-        X = self.encoder.encode(dataset.archs)
+    def fit(
+        self,
+        dataset: BenchmarkDataset,
+        family: str,
+        features: np.ndarray | None = None,
+    ) -> FitReport:
+        """Run the full split/tune/fit/evaluate pipeline for one family.
+
+        Args:
+            dataset: The collected dataset to fit on.
+            family: Surrogate family key (``xgb``, ``lgb``, ``rf``...).
+            features: Optional precomputed ``encoder.encode(dataset.archs)``
+                matrix.  The paper's build fits many surrogates on the *same*
+                architecture sample, so callers encode once and share the
+                matrix across every fit instead of re-encoding per target.
+        """
+        if features is not None:
+            if len(features) != len(dataset):
+                raise ValueError(
+                    f"features has {len(features)} rows for {len(dataset)} archs"
+                )
+            X = np.asarray(features, dtype=np.float64)
+        else:
+            X = self.encoder.encode(dataset.archs)
         y_raw = dataset.values.copy()
         use_log = dataset.metric in ("throughput", "latency")
         y, mu, sigma = TransformedTargetRegressor.transform_target(y_raw, log=use_log)
@@ -264,5 +285,10 @@ class SurrogateFitter:
     def fit_families(
         self, dataset: BenchmarkDataset, families: tuple[str, ...]
     ) -> list[FitReport]:
-        """Fit several families on the same dataset (Table 1 protocol)."""
-        return [self.fit(dataset, family) for family in families]
+        """Fit several families on the same dataset (Table 1 protocol).
+
+        The dataset is encoded once and the feature matrix shared by every
+        family's fit.
+        """
+        X = self.encoder.encode(dataset.archs)
+        return [self.fit(dataset, family, features=X) for family in families]

@@ -82,11 +82,15 @@ class ExperimentContext:
         """The fully built Accel-NASBench (cached)."""
         if self._benchmark is None:
             fitter = fitter if fitter is not None else SurrogateFitter()
-            acc_report = fitter.fit(self.accuracy_dataset(), "xgb")
+            # One shared sample -> one encode, reused by all nine fits.
+            features = fitter.encoder.encode(self.archs)
+            acc_report = fitter.fit(self.accuracy_dataset(), "xgb", features=features)
             perf_models = {}
             reports = [acc_report]
             for device, metric in self.device_targets():
-                report = fitter.fit(self.device_dataset(device, metric), "xgb")
+                report = fitter.fit(
+                    self.device_dataset(device, metric), "xgb", features=features
+                )
                 reports.append(report)
                 perf_models[(device, metric)] = report.model
             self._benchmark = AccelNASBench(

@@ -7,7 +7,7 @@ accuracy-performance reward used in Fig. 4, and two extensions (greedy local
 search and successive halving) for ablations.
 """
 
-from repro.optimizers.base import Optimizer, SearchResult
+from repro.optimizers.base import BatchedObjective, Optimizer, SearchResult, prefetch
 from repro.optimizers.random_search import RandomSearch
 from repro.optimizers.evolution import RegularizedEvolution
 from repro.optimizers.reinforce import (
@@ -23,6 +23,7 @@ from repro.optimizers.hyperband import Hyperband
 from repro.optimizers.successive_halving import SuccessiveHalving
 
 __all__ = [
+    "BatchedObjective",
     "BiObjectiveResult",
     "BoNas",
     "Nsga2",
@@ -37,4 +38,5 @@ __all__ = [
     "SuccessiveHalving",
     "non_dominated_sort",
     "mnas_reward",
+    "prefetch",
 ]

@@ -4,13 +4,81 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
 
 Objective = Callable[[ArchSpec], float]
+
+
+class BatchedObjective:
+    """Per-arch callable backed by a vectorised batch evaluator.
+
+    Optimizers evaluate architectures one at a time through the
+    :data:`Objective` protocol, but surrogate benchmarks answer whole
+    populations in a single ensemble predict.  This adapter bridges the two:
+    optimizers that know their next population call :meth:`prefetch`, which
+    evaluates all missing architectures in one ``batch_fn`` call and memoises
+    the results; the per-arch ``__call__`` then hits the memo.  Because the
+    memoised values *are* the batch values, a batched run is bit-identical to
+    the same run with plain scalar evaluation.
+
+    ``batch_fn`` must be deterministic (e.g. a fitted surrogate's
+    ``query_accuracy_batch``): results are memoised per architecture for the
+    lifetime of the adapter.
+
+    Args:
+        batch_fn: Maps a list of :class:`ArchSpec` to a sequence of floats.
+    """
+
+    def __init__(
+        self, batch_fn: Callable[[list[ArchSpec]], Sequence[float]]
+    ) -> None:
+        self._batch_fn = batch_fn
+        self._memo: dict[ArchSpec, float] = {}
+        self.num_batch_calls = 0
+        self.num_scalar_fallbacks = 0
+
+    def prefetch(self, archs: Iterable[ArchSpec]) -> None:
+        """Evaluate all not-yet-memoised architectures in one batch call."""
+        missing: list[ArchSpec] = []
+        seen: set[ArchSpec] = set()
+        for arch in archs:
+            if arch not in self._memo and arch not in seen:
+                seen.add(arch)
+                missing.append(arch)
+        if not missing:
+            return
+        values = self._batch_fn(missing)
+        self.num_batch_calls += 1
+        for arch, value in zip(missing, values):
+            self._memo[arch] = float(value)
+
+    def evaluate_batch(self, archs: Sequence[ArchSpec]) -> list[float]:
+        """Batched evaluation; returns one value per input architecture."""
+        self.prefetch(archs)
+        return [self._memo[arch] for arch in archs]
+
+    def __call__(self, arch: ArchSpec) -> float:
+        value = self._memo.get(arch)
+        if value is None:
+            value = float(self._batch_fn([arch])[0])
+            self._memo[arch] = value
+            self.num_scalar_fallbacks += 1
+        return value
+
+
+def prefetch(objective: Objective, archs: Sequence[ArchSpec]) -> None:
+    """Population fast path: batch-evaluate upcoming archs when supported.
+
+    No-op for plain scalar objectives, so optimizers can call this
+    unconditionally before evaluating a population.
+    """
+    fetch = getattr(objective, "prefetch", None)
+    if fetch is not None and len(archs) > 0:
+        fetch(archs)
 
 
 @dataclass

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.optimizers.base import Objective, Optimizer, SearchResult
+from repro.optimizers.base import Objective, Optimizer, SearchResult, prefetch
 from repro.searchspace.mnasnet import MnasNetSearchSpace
 
 
@@ -45,8 +45,14 @@ class RegularizedEvolution(Optimizer):
         result = SearchResult()
         population: deque[tuple] = deque()  # (arch, value), FIFO by age
 
-        while result.num_evaluations < budget and len(population) < self.population_size:
-            arch = self.space.sample(rng)
+        # Initial population: sampling is value-independent, so draw all
+        # founders first and evaluate them through the population fast path.
+        founders = [
+            self.space.sample(rng)
+            for _ in range(min(budget, self.population_size))
+        ]
+        prefetch(objective, founders)
+        for arch in founders:
             value = objective(arch)
             result.record(arch, value)
             population.append((arch, value))

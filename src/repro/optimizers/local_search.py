@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.optimizers.base import Objective, Optimizer, SearchResult
+from repro.optimizers.base import Objective, Optimizer, SearchResult, prefetch
 
 
 class LocalSearch(Optimizer):
@@ -11,6 +11,11 @@ class LocalSearch(Optimizer):
     From a random start, evaluate neighbours in random order and move to the
     first improvement; when no neighbour improves (a local optimum), restart
     from a fresh random architecture.  Runs until the budget is exhausted.
+
+    With a :class:`~repro.optimizers.base.BatchedObjective` the whole
+    neighbourhood is prefetched in one ensemble predict; the first-improvement
+    walk then reads memoised values, recording exactly the same history (same
+    order, same early stop) as the scalar path.
     """
 
     def run(self, objective: Objective, budget: int) -> SearchResult:
@@ -34,6 +39,7 @@ class LocalSearch(Optimizer):
                 improved = False
                 neighbours = list(self.space.neighbors(current))
                 rng.shuffle(neighbours)
+                prefetch(objective, [c for c in neighbours if c not in evaluated])
                 for cand in neighbours:
                     if result.num_evaluations >= budget:
                         break

@@ -13,7 +13,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.pareto import crowding_distance, dominates
-from repro.optimizers.base import Optimizer
+from repro.optimizers.base import Optimizer, prefetch
 from repro.optimizers.reinforce import BiObjectiveResult
 from repro.searchspace.mnasnet import ArchSpec
 
@@ -111,6 +111,8 @@ class Nsga2(Optimizer):
             return evaluated[arch]
 
         population = self.space.sample_batch(self.population_size, rng=rng, unique=True)
+        prefetch(accuracy_fn, population)
+        prefetch(perf_fn, population)
         for arch in population:
             evaluate(arch)
 
@@ -139,6 +141,8 @@ class Nsga2(Optimizer):
                 if child == pa or rng.random() < self.mutation_rate:
                     child = self.space.mutate(child, rng)
                 offspring.append(child)
+            prefetch(accuracy_fn, offspring)
+            prefetch(perf_fn, offspring)
             for arch in offspring:
                 evaluate(arch)
 

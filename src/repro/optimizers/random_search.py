@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
-from repro.optimizers.base import Objective, Optimizer, SearchResult
+from repro.optimizers.base import Objective, Optimizer, SearchResult, prefetch
 
 
 class RandomSearch(Optimizer):
-    """Uniform random sampling without replacement."""
+    """Uniform random sampling without replacement.
+
+    Sampling never depends on objective values, so the whole candidate list
+    is drawn up front and evaluated through the population fast path (one
+    batched predict for :class:`~repro.optimizers.base.BatchedObjective`);
+    the recorded history is identical to sample-then-evaluate interleaving.
+    """
 
     def run(self, objective: Objective, budget: int) -> SearchResult:
         if budget < 1:
@@ -14,10 +20,14 @@ class RandomSearch(Optimizer):
         rng = self._rng()
         result = SearchResult()
         seen = set()
-        while result.num_evaluations < budget:
+        archs = []
+        while len(archs) < budget:
             arch = self.space.sample(rng)
             if arch in seen:
                 continue
             seen.add(arch)
+            archs.append(arch)
+        prefetch(objective, archs)
+        for arch in archs:
             result.record(arch, objective(arch))
         return result

@@ -21,7 +21,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.pareto import pareto_front_indices
-from repro.optimizers.base import Objective, Optimizer, SearchResult
+from repro.optimizers.base import Objective, Optimizer, SearchResult, prefetch
 from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
 
 
@@ -231,8 +231,15 @@ class Reinforce(Optimizer):
         maximize_perf = metric != "latency"
         while len(result.archs) < budget:
             batch = []
-            for _ in range(min(self.batch_size, budget - len(result.archs))):
-                arch = policy.sample()
+            # Sampling only consumes the policy's own rng, so the whole batch
+            # can be drawn first and prefetched through batched objectives.
+            sampled = [
+                policy.sample()
+                for _ in range(min(self.batch_size, budget - len(result.archs)))
+            ]
+            prefetch(accuracy_fn, sampled)
+            prefetch(perf_fn, sampled)
+            for arch in sampled:
                 acc = accuracy_fn(arch)
                 perf = perf_fn(arch)
                 # Surrogates can extrapolate slightly out of range; the

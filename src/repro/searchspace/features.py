@@ -12,11 +12,21 @@ per-stage decisions.  Three encodings are provided:
 ``onehot+global``
     One-hot plus global summary statistics (log-FLOPs, log-params, depth,
     SE count), used by the feature-encoding ablation.
+
+Encoding is the per-query hot path of a built benchmark, so
+:meth:`FeatureEncoder.encode` is vectorised over the batch and backed by an
+arch-keyed LRU cache: only rows for architectures never seen before are
+computed, and repeat queries (optimizer populations, repeated single-arch
+queries) are served straight from the cache.  Cached rows are immutable
+(``writeable=False``) and bit-identical to what :meth:`encode_one`, the
+scalar reference implementation, produces.
 """
 
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from functools import lru_cache
 from typing import Sequence
 
@@ -34,6 +44,8 @@ from repro.searchspace.mnasnet import (
 from repro.searchspace.model_builder import build_model
 
 ENCODINGS = ("onehot", "integer", "onehot+global")
+
+DEFAULT_CACHE_SIZE = 16384
 
 _DECISION_CHOICES: tuple[tuple[str, tuple[int, ...]], ...] = (
     ("expansion", EXPANSION_CHOICES),
@@ -59,12 +71,24 @@ class FeatureEncoder:
 
     Args:
         encoding: One of :data:`ENCODINGS`.
+        cache_size: Capacity of the arch-keyed LRU row cache; ``0`` disables
+            caching (every call re-encodes).  The cache is thread-safe so one
+            encoder can be shared by a parallel benchmark build.
     """
 
-    def __init__(self, encoding: str = "onehot") -> None:
+    def __init__(
+        self, encoding: str = "onehot", cache_size: int = DEFAULT_CACHE_SIZE
+    ) -> None:
         if encoding not in ENCODINGS:
             raise ValueError(f"unknown encoding {encoding!r}; choose from {ENCODINGS}")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
         self.encoding = encoding
+        self.cache_size = int(cache_size)
+        self._cache: OrderedDict[ArchSpec, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
 
     @property
     def num_features(self) -> int:
@@ -92,8 +116,33 @@ class FeatureEncoder:
             names.extend(["log_flops", "log_params", "total_layers", "num_se"])
         return names
 
+    # ------------------------------------------------------------------ cache
+
+    def cache_info(self) -> dict:
+        """Cache statistics: hits, misses, current size and capacity."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._cache),
+                "capacity": self.cache_size,
+            }
+
+    def cache_clear(self) -> None:
+        """Drop all cached rows and reset the hit/miss counters."""
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+
+    # ----------------------------------------------------------------- encode
+
     def encode_one(self, arch: ArchSpec) -> np.ndarray:
-        """Encode a single architecture to a 1-D float64 vector."""
+        """Encode a single architecture to a 1-D float64 vector.
+
+        This is the scalar reference implementation; :meth:`encode` is the
+        vectorised, cached batch path and is asserted bit-identical to it.
+        """
         if self.encoding == "integer":
             row = []
             for stage in range(NUM_STAGES):
@@ -110,8 +159,69 @@ class FeatureEncoder:
             row.extend(_global_stats(arch))
         return np.asarray(row, dtype=np.float64)
 
+    def _encode_rows(self, archs: Sequence[ArchSpec]) -> np.ndarray:
+        """Vectorised batch encode (no cache); returns an (n, d) matrix."""
+        n = len(archs)
+        # Decisions as an (n, num_fields, NUM_STAGES) integer tensor.
+        dec = np.asarray(
+            [[getattr(a, name) for name, _ in _DECISION_CHOICES] for a in archs],
+            dtype=np.int64,
+        )
+        if self.encoding == "integer":
+            # Column order is stage-major: (s0.e, s0.k, s0.L, s0.se, s1.e, ...).
+            return np.ascontiguousarray(
+                dec.transpose(0, 2, 1).reshape(n, -1).astype(np.float64)
+            )
+        blocks = []
+        for f, (_, choices) in enumerate(_DECISION_CHOICES):
+            c = np.asarray(choices, dtype=np.int64)
+            blocks.append(dec[:, f, :, None] == c[None, None, :])
+        onehot = np.concatenate(blocks, axis=2).astype(np.float64).reshape(n, -1)
+        if self.encoding != "onehot+global":
+            return np.ascontiguousarray(onehot)
+        stats = np.asarray([_global_stats(a) for a in archs], dtype=np.float64)
+        return np.ascontiguousarray(np.concatenate([onehot, stats], axis=1))
+
     def encode(self, archs: Sequence[ArchSpec]) -> np.ndarray:
-        """Encode a batch of architectures to an ``(n, num_features)`` matrix."""
+        """Encode a batch of architectures to an ``(n, num_features)`` matrix.
+
+        Rows for architectures already in the LRU cache are reused; only
+        missing rows are computed (in one vectorised pass).
+        """
+        archs = list(archs)
         if not archs:
             return np.empty((0, self.num_features), dtype=np.float64)
-        return np.stack([self.encode_one(a) for a in archs])
+        if self.cache_size == 0:
+            return self._encode_rows(archs)
+
+        rows: dict[ArchSpec, np.ndarray] = {}
+        missing: list[ArchSpec] = []
+        with self._lock:
+            for arch in archs:
+                if arch in rows:
+                    continue
+                cached = self._cache.get(arch)
+                if cached is not None:
+                    self._cache.move_to_end(arch)
+                    self._hits += 1
+                    rows[arch] = cached
+                else:
+                    self._misses += 1
+                    missing.append(arch)
+                    rows[arch] = np.empty(0)  # placeholder, filled below
+
+        if missing:
+            fresh = self._encode_rows(missing)
+            fresh.flags.writeable = False
+            with self._lock:
+                for arch, row in zip(missing, fresh):
+                    rows[arch] = row
+                    self._cache[arch] = row
+                    self._cache.move_to_end(arch)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+
+        out = np.empty((len(archs), self.num_features), dtype=np.float64)
+        for i, arch in enumerate(archs):
+            out[i] = rows[arch]
+        return out

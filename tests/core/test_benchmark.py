@@ -67,9 +67,37 @@ class TestQuery:
 
     def test_query_batch_matches_single(self, bench, some_archs):
         b, _ = bench
-        batch = b.query_batch(some_archs[:5])
+        batch = b.query_accuracy_batch(some_archs[:5])
         singles = [b.query_accuracy(a) for a in some_archs[:5]]
         assert np.allclose(batch, singles)
+
+    def test_query_batch_returns_query_results(self, bench, some_archs):
+        b, _ = bench
+        results = b.query_batch(some_archs[:5], device="a100")
+        assert len(results) == 5
+        for arch, res in zip(some_archs[:5], results):
+            assert res.arch == arch
+            assert res.device == "a100"
+            assert res.metric == "throughput"
+            assert res.performance > 0
+        acc_only = b.query_batch(some_archs[:3])
+        assert all(r.performance is None and r.metric is None for r in acc_only)
+
+    def test_query_encodes_arch_exactly_once(self, bench, some_archs, monkeypatch):
+        """Regression: the bi-objective query used to encode twice."""
+        b, _ = bench
+        calls = {"n": 0}
+        original = type(b.encoder).encode
+
+        def counting_encode(self, archs):
+            calls["n"] += 1
+            return original(self, archs)
+
+        monkeypatch.setattr(type(b.encoder), "encode", counting_encode)
+        b.query(some_archs[0], device="a100")
+        assert calls["n"] == 1
+        b.query(some_archs[1])
+        assert calls["n"] == 2
 
     def test_query_correlates_with_simulated_truth(self, bench, some_archs, trainer):
         from repro.core.metrics import kendall_tau
@@ -96,3 +124,19 @@ class TestPersistence:
             assert loaded.query_performance(
                 arch, "zcu102", "latency"
             ) == pytest.approx(b.query_performance(arch, "zcu102", "latency"))
+
+    def test_save_is_byte_stable(self, bench, tmp_path):
+        """Saving the same benchmark twice produces identical bytes."""
+        b, _ = bench
+        first, second = tmp_path / "one.json", tmp_path / "two.json"
+        b.save(first)
+        b.save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_save_load_save_roundtrip_is_byte_stable(self, bench, tmp_path):
+        """load(save(bench)) serialises back to the exact same bytes."""
+        b, _ = bench
+        first, second = tmp_path / "one.json", tmp_path / "two.json"
+        b.save(first)
+        AccelNASBench.load(first).save(second)
+        assert first.read_bytes() == second.read_bytes()

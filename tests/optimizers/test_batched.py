@@ -1,0 +1,133 @@
+"""Batched-objective equivalence: population fast paths change nothing.
+
+Every optimizer that prefetches populations through a
+:class:`~repro.optimizers.base.BatchedObjective` must record exactly the
+same history (same archs, same values, same order) as the same run with the
+scalar per-arch objective.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import AccelNASBench
+from repro.optimizers import (
+    BatchedObjective,
+    LocalSearch,
+    Nsga2,
+    RandomSearch,
+    RegularizedEvolution,
+    Reinforce,
+)
+from repro.optimizers.base import prefetch
+from repro.trainsim.schemes import P_STAR
+
+
+@pytest.fixture(scope="module")
+def bench():
+    built, _ = AccelNASBench.build(
+        P_STAR,
+        num_archs=120,
+        devices={"zcu102": ("throughput",)},
+        sample_seed=11,
+        family="rf",
+    )
+    return built
+
+
+def assert_same_history(scalar_result, batched_result):
+    assert scalar_result.archs == batched_result.archs
+    assert scalar_result.values == batched_result.values
+
+
+class TestBatchedObjective:
+    def test_scalar_call_matches_batch(self, bench, some_archs):
+        objective = bench.accuracy_objective()
+        batched = objective.evaluate_batch(some_archs[:8])
+        assert batched == [bench.query_accuracy(a) for a in some_archs[:8]]
+        # Second pass is served from the memo: no new batch calls.
+        calls_before = objective.num_batch_calls
+        assert objective(some_archs[3]) == batched[3]
+        assert objective.num_batch_calls == calls_before
+
+    def test_prefetch_deduplicates(self, bench, some_archs):
+        objective = bench.accuracy_objective()
+        objective.prefetch([some_archs[0], some_archs[0], some_archs[1]])
+        assert objective.num_batch_calls == 1
+        objective.prefetch(some_archs[:2])
+        assert objective.num_batch_calls == 1  # fully memoised
+
+    def test_prefetch_helper_ignores_plain_callables(self, some_archs):
+        prefetch(lambda a: 0.0, some_archs[:3])  # must not raise
+
+    def test_scalar_fallback_counted(self, bench, some_archs):
+        objective = BatchedObjective(bench.query_accuracy_batch)
+        objective(some_archs[0])
+        assert objective.num_scalar_fallbacks == 1
+
+
+class TestOptimizerEquivalence:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: RandomSearch(seed=3),
+            lambda: RegularizedEvolution(seed=3, population_size=12, sample_size=4),
+            lambda: LocalSearch(seed=3),
+        ],
+        ids=["random-search", "evolution", "local-search"],
+    )
+    def test_uniobjective_history_identical(self, bench, factory):
+        scalar = factory().run(bench.query_accuracy, budget=40)
+        batched = factory().run(bench.accuracy_objective(), budget=40)
+        assert_same_history(scalar, batched)
+
+    def test_nsga2_history_identical(self, bench):
+        def run(acc_fn, perf_fn):
+            return Nsga2(seed=5, population_size=8).run_biobjective(
+                accuracy_fn=acc_fn,
+                perf_fn=perf_fn,
+                budget=32,
+                metric="throughput",
+                device="zcu102",
+            )
+
+        scalar = run(
+            bench.query_accuracy,
+            lambda a: bench.query_performance(a, "zcu102", "throughput"),
+        )
+        batched = run(
+            bench.accuracy_objective(),
+            bench.performance_objective("zcu102", "throughput"),
+        )
+        assert scalar.archs == batched.archs
+        assert scalar.accuracies == batched.accuracies
+        assert scalar.performances == batched.performances
+
+    def test_reinforce_history_identical(self, bench):
+        def run(acc_fn, perf_fn):
+            return Reinforce(seed=5, batch_size=4).run_biobjective(
+                accuracy_fn=acc_fn,
+                perf_fn=perf_fn,
+                target=700.0,
+                budget=32,
+                metric="throughput",
+                device="zcu102",
+            )
+
+        scalar = run(
+            bench.query_accuracy,
+            lambda a: bench.query_performance(a, "zcu102", "throughput"),
+        )
+        batched = run(
+            bench.accuracy_objective(),
+            bench.performance_objective("zcu102", "throughput"),
+        )
+        assert scalar.archs == batched.archs
+        assert scalar.accuracies == batched.accuracies
+        assert scalar.performances == batched.performances
+        assert scalar.rewards == batched.rewards
+
+    def test_batched_run_uses_population_batches(self, bench):
+        objective = bench.accuracy_objective()
+        RandomSearch(seed=9).run(objective, budget=30)
+        assert objective.num_batch_calls == 1
+        assert objective.num_scalar_fallbacks == 0

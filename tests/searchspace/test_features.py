@@ -80,3 +80,83 @@ class TestEncodeBatch:
         for encoding in ENCODINGS:
             enc = FeatureEncoder(encoding)
             assert len(enc.feature_names()) == enc.num_features
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_vectorised_batch_matches_scalar_reference(self, encoding, some_archs):
+        """The cached/vectorised batch path is bit-identical to encode_one."""
+        enc = FeatureEncoder(encoding)
+        X = enc.encode(some_archs[:30])
+        ref = np.stack([enc.encode_one(a) for a in some_archs[:30]])
+        assert (X == ref).all()
+
+    def test_duplicate_archs_share_rows(self, some_archs):
+        enc = FeatureEncoder("onehot")
+        X = enc.encode([some_archs[0], some_archs[1], some_archs[0]])
+        assert np.array_equal(X[0], X[2])
+
+
+class TestEncoderCache:
+    def test_repeat_encode_hits_cache(self, some_archs):
+        enc = FeatureEncoder("onehot")
+        first = enc.encode(some_archs[:10])
+        info = enc.cache_info()
+        assert info["misses"] == 10 and info["hits"] == 0
+        second = enc.encode(some_archs[:10])
+        info = enc.cache_info()
+        assert info["hits"] == 10 and info["misses"] == 10
+        assert (first == second).all()
+
+    def test_partial_overlap_encodes_only_missing(self, some_archs):
+        enc = FeatureEncoder("onehot")
+        enc.encode(some_archs[:5])
+        enc.encode(some_archs[:8])
+        info = enc.cache_info()
+        assert info["misses"] == 8
+        assert info["hits"] == 5
+
+    def test_lru_eviction_bounds_size(self, some_archs):
+        enc = FeatureEncoder("onehot", cache_size=4)
+        enc.encode(some_archs[:12])
+        info = enc.cache_info()
+        assert info["size"] == 4
+        # Most recent survive; evicted archs re-encode with identical rows.
+        again = enc.encode(some_archs[:12])
+        assert (again == enc.encode(some_archs[:12])).all()
+
+    def test_cache_disabled(self, some_archs):
+        enc = FeatureEncoder("onehot", cache_size=0)
+        X = enc.encode(some_archs[:6])
+        assert enc.cache_info()["size"] == 0
+        ref = np.stack([enc.encode_one(a) for a in some_archs[:6]])
+        assert (X == ref).all()
+
+    def test_cache_clear_resets_counters(self, some_archs):
+        enc = FeatureEncoder("onehot")
+        enc.encode(some_archs[:3])
+        enc.cache_clear()
+        info = enc.cache_info()
+        assert info == {"hits": 0, "misses": 0, "size": 0, "capacity": enc.cache_size}
+
+    def test_cached_rows_are_immutable(self, some_archs):
+        enc = FeatureEncoder("onehot")
+        enc.encode(some_archs[:1])
+        row = enc._cache[some_archs[0]]
+        assert not row.flags.writeable
+
+    def test_negative_cache_size_rejected(self):
+        with pytest.raises(ValueError, match="cache_size"):
+            FeatureEncoder("onehot", cache_size=-1)
+
+    def test_thread_safety_under_concurrent_encodes(self, some_archs):
+        import concurrent.futures
+
+        enc = FeatureEncoder("onehot", cache_size=32)
+        ref = np.stack([enc.encode_one(a) for a in some_archs])
+
+        def worker(offset: int) -> bool:
+            sub = some_archs[offset : offset + 20]
+            X = enc.encode(sub)
+            return bool((X == ref[offset : offset + 20]).all())
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+            assert all(pool.map(worker, [0, 10, 20, 30]))

@@ -206,3 +206,23 @@ class TestEnsemblePredictor:
         single = stacked.predict_sum(X[:1])
         assert single.shape == (1,)
         assert single[0] == pytest.approx(2 * tree.predict(X[:1])[0])
+
+    def test_fast_path_matches_batched_rows(self, xy_small):
+        """predict_one_sum is bit-identical to the (n, n_trees) cursor path."""
+        X, y = xy_small
+        trees = [
+            DecisionTreeRegressor(max_depth=d, seed=d).fit(X, y).tree_
+            for d in (2, 3, 5)
+        ]
+        stacked = TreeEnsemblePredictor(trees)
+        batched = stacked.predict_sum(X)  # n > 1: takes the 2-D cursor path
+        ones = np.asarray([stacked.predict_one_sum(X[i]) for i in range(len(X))])
+        assert (batched == ones).all()
+
+    def test_fast_path_leaves_roots_untouched(self, xy_small):
+        X, y = xy_small
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y).tree_
+        stacked = TreeEnsemblePredictor([tree, tree, tree])
+        roots_before = stacked._roots.copy()
+        stacked.predict_one_sum(X[0])
+        assert (stacked._roots == roots_before).all()
