@@ -26,6 +26,11 @@ Quickstart::
 
 from repro.core.benchmark import AccelNASBench
 from repro.core.proxy_search import ProxySearchResult, TrainingProxySearch
+from repro.core.reliability import (
+    ArtifactIntegrityError,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
 from repro.trainsim.schemes import (
     P_STAR,
@@ -38,7 +43,10 @@ __version__ = "1.0.0"
 __all__ = [
     "AccelNASBench",
     "ArchSpec",
+    "ArtifactIntegrityError",
+    "FaultPlan",
     "MnasNetSearchSpace",
+    "RetryPolicy",
     "P_STAR",
     "ProxySearchResult",
     "REFERENCE_SCHEME",

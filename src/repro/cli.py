@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m repro.cli build --out anb.json --num-archs 800
+    python -m repro.cli collect --out-dir datasets --num-archs 800 --resume
     python -m repro.cli query --bench anb.json --arch "e1k3L1se1|..." \
         --device vck190 --metric throughput
     python -m repro.cli search --bench anb.json --device zcu102 \
@@ -15,6 +16,11 @@ Subcommands::
 ``lint`` runs the AST determinism & correctness linter
 (:mod:`repro.devtools.lint`, rules ANB001-ANB006) and exits non-zero on
 findings; the same pass gates CI and the tier-1 test suite.
+
+``collect`` and ``build`` are fault-tolerant: completed per-architecture
+records are journaled (``--journal-dir``), a killed run is picked up with
+``--resume``, transient failures retry (``--retries``), and deterministic
+faults can be injected for robustness drills (``--faults "nan:0.05,..."``).
 """
 
 from __future__ import annotations
@@ -22,8 +28,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.core.benchmark import AccelNASBench
+from repro.core.dataset import (
+    collect_accuracy_dataset,
+    collect_device_dataset,
+    dataset_name_for,
+    sample_dataset_archs,
+)
+from repro.core.reliability import (
+    ArtifactIntegrityError,
+    CollectionError,
+    FaultPlan,
+    InjectedCrash,
+    RetryPolicy,
+)
 from repro.experiments import (
     fig3_proxy_validation,
     fig4_biobjective,
@@ -50,8 +70,75 @@ EXPERIMENTS = {
 }
 
 
+def _reliability_kwargs(args: argparse.Namespace) -> dict:
+    """Translate the shared fault-tolerance flags into collection kwargs."""
+    retry_policy = (
+        RetryPolicy(max_attempts=args.retries, seed=args.fault_seed)
+        if args.retries > 1
+        else None
+    )
+    fault_plan = (
+        FaultPlan.from_string(args.faults, seed=args.fault_seed)
+        if args.faults
+        else None
+    )
+    return {
+        "retry_policy": retry_policy,
+        "fault_plan": fault_plan,
+        "resume": args.resume,
+        "min_success_fraction": args.min_success_fraction,
+    }
+
+
+def _add_reliability_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--journal-dir",
+        default=None,
+        help="directory for per-dataset JSONL write-ahead journals",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay existing journals and compute only missing work",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="attempts per architecture before quarantining (1 = no retry)",
+    )
+    p.add_argument(
+        "--min-success-fraction",
+        type=float,
+        default=1.0,
+        help="fail the run if fewer than this fraction of archs succeed",
+    )
+    p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help='inject seeded faults, e.g. "nan:0.05,timeout:0.1@2,crash:0.01"',
+    )
+    p.add_argument("--fault-seed", type=int, default=0)
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
-    bench, reports = AccelNASBench.build(P_STAR, num_archs=args.num_archs)
+    try:
+        bench, reports = AccelNASBench.build(
+            P_STAR,
+            num_archs=args.num_archs,
+            n_jobs=args.n_jobs,
+            collect_n_jobs=args.collect_n_jobs,
+            journal_dir=args.journal_dir,
+            **_reliability_kwargs(args),
+        )
+    except InjectedCrash as exc:
+        print(f"build aborted: {exc}")
+        print("completed work is journaled; rerun with --resume to pick up")
+        return 1
+    except CollectionError as exc:
+        print(f"build failed: {exc}")
+        return 1
     for report in reports:
         print(f"{report.dataset:20s} {report.row()}")
     bench.save(args.out)
@@ -59,8 +146,74 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_collect(args: argparse.Namespace) -> int:
+    """Collect raw datasets (no fitting) with journaled resume support."""
+    archs = sample_dataset_archs(args.num_archs, seed=args.sample_seed)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    journal_dir = Path(args.journal_dir) if args.journal_dir else out_dir / "journal"
+    kwargs = _reliability_kwargs(args)
+
+    if args.device is not None:
+        targets = [(args.device, args.metric)]
+    else:
+        targets = [None]
+        targets.extend(
+            (device, metric)
+            for device, metrics in DEVICE_METRICS.items()
+            for metric in metrics
+        )
+
+    for target in targets:
+        name = (
+            dataset_name_for(None, "accuracy")
+            if target is None
+            else dataset_name_for(*target)
+        )
+        journal = journal_dir / f"{name}.jsonl"
+        try:
+            if target is None:
+                dataset = collect_accuracy_dataset(
+                    archs, P_STAR, n_jobs=args.n_jobs, journal=journal, **kwargs
+                )
+            else:
+                dataset = collect_device_dataset(
+                    archs,
+                    target[0],
+                    target[1],
+                    n_jobs=args.n_jobs,
+                    journal=journal,
+                    **kwargs,
+                )
+        except InjectedCrash as exc:
+            print(f"collection aborted: {exc}")
+            print(
+                f"completed work is journaled in {journal_dir}; "
+                "rerun with --resume to pick up"
+            )
+            return 1
+        except CollectionError as exc:
+            print(f"collection failed: {exc}")
+            return 1
+        path = out_dir / f"{name}.json"
+        dataset.to_json(path)
+        quarantined = len(dataset.meta.get("quarantine", ()))
+        status = f"{len(dataset)} archs"
+        if quarantined:
+            status += f", {quarantined} quarantined"
+        print(f"{name:20s} {status:28s} -> {path}")
+    return 0
+
+
+def _load_bench(path: str) -> AccelNASBench:
+    try:
+        return AccelNASBench.load(path)
+    except ArtifactIntegrityError as exc:
+        raise SystemExit(f"cannot load benchmark: {exc}") from exc
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    bench = AccelNASBench.load(args.bench)
+    bench = _load_bench(args.bench)
     arch = ArchSpec.from_string(args.arch)
     result = bench.query(arch, device=args.device, metric=args.metric)
     payload = {
@@ -75,7 +228,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    bench = AccelNASBench.load(args.bench)
+    bench = _load_bench(args.bench)
     optimizer = Reinforce(seed=args.seed)
     result = optimizer.run_biobjective(
         accuracy_fn=bench.query_accuracy,
@@ -152,7 +305,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("build", help="collect datasets and fit the benchmark")
     p.add_argument("--out", default="anb.json")
     p.add_argument("--num-archs", type=int, default=800)
+    p.add_argument("--n-jobs", type=int, default=1)
+    p.add_argument("--collect-n-jobs", type=int, default=1)
+    _add_reliability_flags(p)
     p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser(
+        "collect", help="collect raw datasets with journaled resume"
+    )
+    p.add_argument("--out-dir", default="datasets")
+    p.add_argument("--num-archs", type=int, default=800)
+    p.add_argument("--sample-seed", type=int, default=0)
+    p.add_argument("--device", default=None, help="collect one device only")
+    p.add_argument("--metric", default="throughput")
+    p.add_argument("--n-jobs", type=int, default=1)
+    _add_reliability_flags(p)
+    p.set_defaults(fn=_cmd_collect)
 
     p = sub.add_parser("query", help="zero-cost query of a saved benchmark")
     p.add_argument("--bench", required=True)

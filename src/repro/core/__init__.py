@@ -16,16 +16,48 @@ from repro.core.dataset import (
 )
 from repro.core.parallel import chunked_map, deterministic_map, resolve_n_jobs
 from repro.core.proxy_search import ProxySearchResult, TrainingProxySearch
+from repro.core.reliability import (
+    ArtifactIntegrityError,
+    CollectionError,
+    CollectionOutcome,
+    FailureRecord,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    Journal,
+    MeasurementTimeout,
+    NonFiniteResult,
+    RetryPolicy,
+    atomic_write,
+    read_artifact,
+    run_tasks,
+    write_artifact,
+)
 from repro.core.surrogate_fit import FitReport, SurrogateFitter
 from repro.core.benchmark import AccelNASBench
 
 __all__ = [
     "AccelNASBench",
+    "ArtifactIntegrityError",
     "BenchmarkDataset",
+    "CollectionError",
+    "CollectionOutcome",
+    "FailureRecord",
+    "FaultPlan",
+    "FaultSpec",
     "FitReport",
+    "InjectedCrash",
+    "Journal",
+    "MeasurementTimeout",
+    "NonFiniteResult",
     "ProxySearchResult",
+    "RetryPolicy",
     "SurrogateFitter",
     "TrainingProxySearch",
+    "atomic_write",
+    "read_artifact",
+    "run_tasks",
+    "write_artifact",
     "chunked_map",
     "collect_accuracy_dataset",
     "collect_device_dataset",

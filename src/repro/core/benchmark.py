@@ -25,7 +25,6 @@ keys, byte-stable across runs), mirroring the released artefact.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -33,18 +32,28 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.dataset import (
-    BenchmarkDataset,
     collect_accuracy_dataset,
     collect_device_dataset,
+    dataset_name_for,
     sample_dataset_archs,
 )
 from repro.core.parallel import deterministic_map
+from repro.core.reliability import (
+    ArtifactIntegrityError,
+    FaultPlan,
+    RetryPolicy,
+    read_artifact,
+    write_artifact,
+)
 from repro.core.surrogate_fit import FitReport, SurrogateFitter
 from repro.hwsim.registry import DEVICE_METRICS
 from repro.searchspace.features import FeatureEncoder
 from repro.searchspace.mnasnet import ArchSpec
 from repro.surrogates import Regressor, regressor_from_dict, regressor_to_dict
 from repro.trainsim.schemes import TrainingScheme
+
+BENCHMARK_SCHEMA = "accel-nasbench"
+BENCHMARK_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -90,6 +99,11 @@ class AccelNASBench:
         family: str = "xgb",
         n_jobs: int = 1,
         collect_n_jobs: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        journal_dir: str | Path | None = None,
+        resume: bool = False,
+        min_success_fraction: float = 1.0,
     ) -> tuple["AccelNASBench", list[FitReport]]:
         """Collect datasets and fit surrogates; return (benchmark, reports).
 
@@ -99,6 +113,12 @@ class AccelNASBench:
         ``n_jobs > 1`` the tasks fan out over a thread pool and the resulting
         benchmark is bit-identical to a serial build (saved artefacts match
         byte for byte).
+
+        With ``journal_dir`` set, every collection appends completed records
+        to a per-dataset JSONL write-ahead journal; a build killed
+        mid-collection is picked up with ``resume=True`` and computes only
+        the missing work, producing artefacts byte-identical to an
+        uninterrupted build.
 
         Args:
             scheme: Proxy training scheme ``p*`` for the accuracy dataset.
@@ -111,12 +131,19 @@ class AccelNASBench:
             n_jobs: Workers for the per-target collection+fit fan-out
                 (``-1`` = all CPUs).
             collect_n_jobs: Workers for each collection's inner per-arch loop.
+            retry_policy: Per-arch retries for transient collection failures.
+            fault_plan: Deterministic fault injection (robustness testing).
+            journal_dir: Directory for per-dataset write-ahead journals.
+            resume: Replay existing journals instead of starting clean.
+            min_success_fraction: Per-dataset graceful-degradation gate (see
+                :func:`~repro.core.dataset.collect_accuracy_dataset`).
         """
         devices = devices if devices is not None else dict(DEVICE_METRICS)
         fitter = fitter if fitter is not None else SurrogateFitter()
         archs = sample_dataset_archs(num_archs, seed=sample_seed)
         # Encode the shared sample once; all fits reuse this matrix.
         features = fitter.encoder.encode(archs)
+        row_of = {arch.to_string(): i for i, arch in enumerate(archs)}
 
         targets: list[tuple[str, str] | None] = [None]  # None = accuracy
         targets.extend(
@@ -125,16 +152,40 @@ class AccelNASBench:
             for metric in metrics
         )
 
+        def journal_path(name: str) -> Path | None:
+            if journal_dir is None:
+                return None
+            return Path(journal_dir) / f"{name}.jsonl"
+
         def collect_and_fit(target: tuple[str, str] | None) -> FitReport:
+            reliability_kwargs = dict(
+                n_jobs=collect_n_jobs,
+                retry_policy=retry_policy,
+                fault_plan=fault_plan,
+                resume=resume,
+                min_success_fraction=min_success_fraction,
+            )
             if target is None:
                 dataset = collect_accuracy_dataset(
-                    archs, scheme, n_jobs=collect_n_jobs
+                    archs,
+                    scheme,
+                    journal=journal_path(dataset_name_for(None, "accuracy")),
+                    **reliability_kwargs,
                 )
             else:
                 dataset = collect_device_dataset(
-                    archs, target[0], target[1], n_jobs=collect_n_jobs
+                    archs,
+                    target[0],
+                    target[1],
+                    journal=journal_path(dataset_name_for(*target)),
+                    **reliability_kwargs,
                 )
-            return fitter.fit(dataset, family, features=features)
+            if len(dataset) == len(archs):
+                rows = features
+            else:  # quarantined archs: fit on the surviving feature rows
+                idx = [row_of[a.to_string()] for a in dataset.archs]
+                rows = features[np.asarray(idx, dtype=np.intp)]
+            return fitter.fit(dataset, family, features=rows)
 
         reports = deterministic_map(collect_and_fit, targets, n_jobs=n_jobs)
 
@@ -275,7 +326,11 @@ class AccelNASBench:
         """Serialise the whole benchmark (all surrogates) to JSON.
 
         Keys are sorted so identically-built benchmarks serialise to
-        byte-identical artefacts across runs and platforms.
+        byte-identical artefacts across runs and platforms.  The write is
+        atomic (temp file + fsync + rename) and the payload carries a
+        sha256 checksum and schema version validated by :meth:`load`, so a
+        crash mid-save can never leave a torn artifact and corruption is
+        detected instead of silently mis-deserialised.
         """
         payload = {
             "meta": self.meta,
@@ -286,19 +341,30 @@ class AccelNASBench:
                 for (device, metric), model in self._perf_models.items()
             },
         }
-        Path(path).write_text(json.dumps(payload, sort_keys=True))
+        write_artifact(path, payload, BENCHMARK_SCHEMA, BENCHMARK_SCHEMA_VERSION)
 
     @classmethod
     def load(cls, path: str | Path) -> "AccelNASBench":
-        """Load a benchmark saved with :meth:`save`."""
-        payload = json.loads(Path(path).read_text())
-        perf_models = {}
-        for key, model_dict in payload["perf_models"].items():
-            device, metric = key.split("|", 1)
-            perf_models[(device, metric)] = regressor_from_dict(model_dict)
-        return cls(
-            accuracy_model=regressor_from_dict(payload["accuracy_model"]),
-            perf_models=perf_models,
-            encoder=FeatureEncoder(payload["encoding"]),
-            meta=payload.get("meta", {}),
-        )
+        """Load a benchmark saved with :meth:`save`.
+
+        Raises:
+            ArtifactIntegrityError: The file is corrupt, truncated, fails
+                its sha256 checksum, or has a mismatched schema name or
+                version — the error names the path and the exact reason.
+        """
+        payload = read_artifact(path, BENCHMARK_SCHEMA, BENCHMARK_SCHEMA_VERSION)
+        try:
+            perf_models = {}
+            for key, model_dict in payload["perf_models"].items():
+                device, metric = key.split("|", 1)
+                perf_models[(device, metric)] = regressor_from_dict(model_dict)
+            return cls(
+                accuracy_model=regressor_from_dict(payload["accuracy_model"]),
+                perf_models=perf_models,
+                encoder=FeatureEncoder(payload["encoding"]),
+                meta=payload.get("meta", {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactIntegrityError(
+                path, f"malformed benchmark payload: {exc!r}"
+            ) from exc

@@ -10,17 +10,33 @@ Both collectors accept ``n_jobs``: every per-architecture value depends only
 on ``(arch, scheme, seed)`` / ``(device, arch)`` — never on evaluation order
 — so the inner loop fans out over a thread pool with bit-identical results
 (see :mod:`repro.core.parallel`).
+
+Both collectors are also fault-tolerant (see :mod:`repro.core.reliability`):
+per-architecture tasks retry under a :class:`~repro.core.reliability.
+RetryPolicy`, architectures that exhaust retries land in a quarantine list in
+``meta["quarantine"]`` instead of killing the run, completed work is
+journaled to a JSONL write-ahead log so a killed run resumes byte-identically
+(``journal=`` / ``resume=True``), and NaN/inf values can never escape the
+simulators into a dataset.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.parallel import chunked_map
+from repro.core.reliability import (
+    ArtifactIntegrityError,
+    FailureRecord,
+    FaultPlan,
+    Journal,
+    RetryPolicy,
+    read_artifact,
+    run_tasks,
+    write_artifact,
+)
 from repro.hwsim.measure import MeasurementHarness
 from repro.hwsim.registry import get_device, supports_metric
 from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
@@ -28,6 +44,9 @@ from repro.trainsim.schemes import TrainingScheme
 from repro.trainsim.trainer import SimulatedTrainer
 
 METRICS = ("accuracy", "throughput", "latency")
+
+DATASET_SCHEMA = "anb-dataset"
+DATASET_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -60,8 +79,21 @@ class BenchmarkDataset:
     def __len__(self) -> int:
         return len(self.archs)
 
+    @property
+    def quarantine(self) -> list[FailureRecord]:
+        """Architectures quarantined during collection (may be empty)."""
+        return [
+            FailureRecord.from_dict(d) for d in self.meta.get("quarantine", ())
+        ]
+
     def to_json(self, path: str | Path) -> None:
-        """Persist to a JSON file."""
+        """Persist to a JSON file.
+
+        The write is atomic (temp file + fsync + rename) and the payload is
+        wrapped in a checksummed, schema-versioned envelope, so a crash
+        mid-write can never leave a torn artifact and corruption is caught
+        on load.
+        """
         payload = {
             "name": self.name,
             "metric": self.metric,
@@ -69,19 +101,30 @@ class BenchmarkDataset:
             "values": self.values.tolist(),
             "meta": self.meta,
         }
-        Path(path).write_text(json.dumps(payload))
+        write_artifact(path, payload, DATASET_SCHEMA, DATASET_SCHEMA_VERSION)
 
     @classmethod
     def from_json(cls, path: str | Path) -> "BenchmarkDataset":
-        """Load a dataset persisted by :meth:`to_json`."""
-        payload = json.loads(Path(path).read_text())
-        return cls(
-            name=payload["name"],
-            metric=payload["metric"],
-            archs=[ArchSpec.from_string(s) for s in payload["archs"]],
-            values=np.asarray(payload["values"]),
-            meta=payload.get("meta", {}),
-        )
+        """Load a dataset persisted by :meth:`to_json`.
+
+        Raises:
+            ArtifactIntegrityError: The file is corrupt, truncated, fails
+                its sha256 checksum, or has a mismatched schema version —
+                the error names the path and the exact reason.
+        """
+        payload = read_artifact(path, DATASET_SCHEMA, DATASET_SCHEMA_VERSION)
+        try:
+            return cls(
+                name=payload["name"],
+                metric=payload["metric"],
+                archs=[ArchSpec.from_string(s) for s in payload["archs"]],
+                values=np.asarray(payload["values"]),
+                meta=payload.get("meta", {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactIntegrityError(
+                path, f"malformed dataset payload: {exc!r}"
+            ) from exc
 
 
 def sample_dataset_archs(
@@ -98,6 +141,58 @@ def sample_dataset_archs(
     return space.sample_batch(n, rng=rng, unique=True)
 
 
+def dataset_name_for(device_name: str | None, metric: str) -> str:
+    """Canonical dataset name: ``ANB-Acc`` or ``ANB-{device}-{Thr|Lat}``."""
+    if device_name is None:
+        return "ANB-Acc"
+    suffix = "Thr" if metric == "throughput" else "Lat"
+    return f"ANB-{device_name}-{suffix}"
+
+
+def _collect(
+    archs: list[ArchSpec],
+    task,
+    name: str,
+    metric: str,
+    meta: dict,
+    n_jobs: int,
+    retry_policy: RetryPolicy | None,
+    journal: Journal | str | Path | None,
+    resume: bool,
+    min_success_fraction: float,
+) -> BenchmarkDataset:
+    """Shared fault-tolerant collection loop behind both collectors.
+
+    ``task(arch, attempt) -> float``.  Keys are canonical arch strings; the
+    journal is validated against (or created for) ``name``.
+    """
+    by_key = {a.to_string(): a for a in archs}
+    keys = [a.to_string() for a in archs]
+    own_journal = journal is not None and not isinstance(journal, Journal)
+    if own_journal:
+        journal = Journal(journal, dataset=name)
+    try:
+        outcome = run_tasks(
+            keys,
+            lambda key, attempt: task(by_key[key], attempt),
+            n_jobs=n_jobs,
+            retry_policy=retry_policy,
+            journal=journal,
+            resume=resume,
+            min_success_fraction=min_success_fraction,
+        )
+    finally:
+        if own_journal:
+            journal.close()
+    kept = [a for a in archs if a.to_string() in outcome.values]
+    values = np.asarray([outcome.values[a.to_string()] for a in kept])
+    if outcome.failures:
+        meta = dict(meta, quarantine=[f.to_dict() for f in outcome.failures])
+    return BenchmarkDataset(
+        name=name, metric=metric, archs=kept, values=values, meta=meta
+    )
+
+
 def collect_accuracy_dataset(
     archs: list[ArchSpec],
     scheme: TrainingScheme,
@@ -105,25 +200,56 @@ def collect_accuracy_dataset(
     seed: int = 0,
     name: str = "ANB-Acc",
     n_jobs: int = 1,
+    retry_policy: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    journal: Journal | str | Path | None = None,
+    resume: bool = False,
+    min_success_fraction: float = 1.0,
 ) -> BenchmarkDataset:
     """Train every architecture once under ``scheme``; return ANB-Acc.
 
     Every training run is seeded from ``(arch, scheme, seed)`` alone, so the
     collection can fan out over ``n_jobs`` workers without changing a single
-    value (``-1`` = all CPUs).
+    value (``-1`` = all CPUs) — and, for the same reason, a journaled run
+    killed partway and resumed produces a byte-identical dataset.
+
+    Args:
+        archs: Architectures to train.
+        scheme: Training scheme (the paper's proxy ``p*``).
+        trainer: Trainer to use; defaults to a fresh :class:`SimulatedTrainer`.
+        seed: Training seed.
+        name: Dataset name.
+        n_jobs: Fan-out width for the per-arch loop.
+        retry_policy: Retries for transient failures (timeouts, NaN/inf);
+            ``None`` = single attempt.
+        fault_plan: Deterministic fault injection, threaded into the trainer.
+        journal: Write-ahead journal (path or :class:`Journal`) of completed
+            records.
+        resume: Replay an existing journal, computing only missing archs.
+        min_success_fraction: Graceful-degradation gate — quarantined archs
+            are dropped from the dataset as long as at least this fraction
+            succeeded; below it, :class:`~repro.core.reliability.
+            CollectionError` is raised.
     """
-    trainer = trainer if trainer is not None else SimulatedTrainer()
+    if trainer is None:
+        trainer = SimulatedTrainer(fault_plan=fault_plan)
+    elif fault_plan is not None:
+        trainer.fault_plan = fault_plan
 
-    def train_one(arch: ArchSpec) -> float:
-        return trainer.train(arch, scheme, seed=seed).top1
+    def train_one(arch: ArchSpec, attempt: int) -> float:
+        return trainer.train(arch, scheme, seed=seed, attempt=attempt).top1
 
-    values = np.asarray(chunked_map(train_one, archs, n_jobs=n_jobs))
-    return BenchmarkDataset(
+    return _collect(
+        archs,
+        train_one,
         name=name,
         metric="accuracy",
-        archs=list(archs),
-        values=values,
         meta={"scheme": scheme.to_dict(), "seed": seed},
+        n_jobs=n_jobs,
+        retry_policy=retry_policy,
+        journal=journal,
+        resume=resume,
+        min_success_fraction=min_success_fraction,
     )
 
 
@@ -133,12 +259,19 @@ def collect_device_dataset(
     metric: str = "throughput",
     name: str | None = None,
     n_jobs: int = 1,
+    retry_policy: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    journal: Journal | str | Path | None = None,
+    resume: bool = False,
+    min_success_fraction: float = 1.0,
 ) -> BenchmarkDataset:
     """Measure every architecture on a device; return ANB-{device}-{metric}.
 
     Measurement jitter is hash-seeded from ``(device, metric, arch, run)``,
     so the loop can fan out over ``n_jobs`` workers (``-1`` = all CPUs) with
-    values bit-identical to the serial collection.
+    values bit-identical to the serial collection, and a journaled run
+    killed partway resumes byte-identically.  The fault-tolerance knobs
+    mirror :func:`collect_accuracy_dataset`.
 
     Raises:
         ValueError: If the device does not support the metric (latency is
@@ -146,23 +279,25 @@ def collect_device_dataset(
     """
     if not supports_metric(device_name, metric):
         raise ValueError(f"device {device_name!r} does not support {metric!r}")
-    harness = MeasurementHarness(get_device(device_name))
+    harness = MeasurementHarness(get_device(device_name), fault_plan=fault_plan)
     if metric == "throughput":
-        values = np.asarray(
-            chunked_map(harness.measure_throughput, archs, n_jobs=n_jobs)
-        )
-        suffix = "Thr"
+        def measure_one(arch: ArchSpec, attempt: int) -> float:
+            return harness.measure_throughput(arch, attempt=attempt)
     else:
-        values = np.asarray(
-            chunked_map(harness.measure_latency, archs, n_jobs=n_jobs)
-        )
-        suffix = "Lat"
-    return BenchmarkDataset(
-        name=name if name is not None else f"ANB-{device_name}-{suffix}",
+        def measure_one(arch: ArchSpec, attempt: int) -> float:
+            return harness.measure_latency(arch, attempt=attempt)
+
+    return _collect(
+        archs,
+        measure_one,
+        name=name if name is not None else dataset_name_for(device_name, metric),
         metric=metric,
-        archs=list(archs),
-        values=values,
         meta={"device": device_name, "protocol": vars(harness.protocol)},
+        n_jobs=n_jobs,
+        retry_policy=retry_policy,
+        journal=journal,
+        resume=resume,
+        min_success_fraction=min_success_fraction,
     )
 
 

@@ -22,11 +22,33 @@ feature matrix) that would otherwise be pickled per process.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _collect_in_order(futures: list[Future], labels: list[str]) -> list:
+    """Gather future results in submission order, failing fast.
+
+    On the first worker exception the remaining queued futures are
+    cancelled (no point burning CPU on a doomed run) and the *original*
+    exception propagates — its type is preserved so callers like the
+    reliability layer can distinguish an injected crash from a plain bug.
+    On Python >= 3.11 a note naming the failing work item is attached.
+    """
+    results = []
+    for idx, future in enumerate(futures):
+        try:
+            results.append(future.result())
+        except BaseException as exc:
+            for queued in futures[idx + 1 :]:
+                queued.cancel()
+            if hasattr(exc, "add_note"):
+                exc.add_note(f"pool worker failed on {labels[idx]}")
+            raise
+    return results
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -56,7 +78,9 @@ def deterministic_map(
     if workers == 1 or len(work) <= 1:
         return [fn(item) for item in work]
     with ThreadPoolExecutor(max_workers=min(workers, len(work))) as pool:
-        return list(pool.map(fn, work))
+        futures = [pool.submit(fn, item) for item in work]
+        labels = [f"item {i}/{len(work)}" for i in range(len(work))]
+        return _collect_in_order(futures, labels)
 
 
 def chunked_map(
@@ -81,7 +105,9 @@ def chunked_map(
         return [fn(item) for item in work[lo:hi]]
 
     with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(run_chunk, bound) for bound in bounds]
+        labels = [f"chunk covering items {lo}:{hi}" for lo, hi in bounds]
         out: list[R] = []
-        for chunk in pool.map(run_chunk, bounds):
+        for chunk in _collect_in_order(futures, labels):
             out.extend(chunk)
         return out

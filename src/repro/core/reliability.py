@@ -1,0 +1,756 @@
+"""Fault-tolerant collection: fault injection, retries, journaling, integrity.
+
+The paper's dataset campaign — 5.2k ImageNet trainings plus measurements on
+six accelerators — is a long-running, preemptible, partially flaky workload.
+This module is the reliability layer that lets a collection run survive it:
+
+- :class:`FaultPlan` — *deterministic, seeded* fault injection (crash, NaN,
+  inf, measurement timeout, outlier spike) that :class:`~repro.trainsim.trainer.
+  SimulatedTrainer` and :class:`~repro.hwsim.measure.MeasurementHarness`
+  consult, so every robustness behaviour is testable and reproducible.
+- :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  hash-seeded jitter; the sleep function is injectable so tests run
+  deterministically and sleep-free.
+- :class:`Journal` — a JSONL write-ahead journal of completed
+  ``(key, value)`` records.  A run killed mid-collection resumes by
+  replaying the journal and computing only the missing work; because every
+  task is seeded by its key alone, the resumed artefacts are byte-identical
+  to an uninterrupted run.
+- :func:`run_tasks` — the collection runner combining all of the above with
+  a quarantine list of structured :class:`FailureRecord` s and a
+  minimum-success-fraction gate for graceful degradation.
+- :func:`atomic_write` / :func:`write_artifact` / :func:`read_artifact` —
+  torn-write-proof persistence (temp file + fsync + rename) with a sha256
+  checksum and schema version validated on load, surfacing corruption as a
+  clear :class:`ArtifactIntegrityError` instead of a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+import threading
+import time
+from contextlib import suppress
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.parallel import chunked_map
+
+FAULT_KINDS = ("crash", "nan", "inf", "timeout", "spike")
+
+ARTIFACT_ENVELOPE_KEYS = ("payload", "schema", "schema_version", "sha256")
+
+
+# ---------------------------------------------------------------------------
+# Exceptions
+# ---------------------------------------------------------------------------
+
+
+class ReliabilityError(Exception):
+    """Base class for all reliability-layer errors."""
+
+
+class InjectedFault(ReliabilityError):
+    """Base class for exceptions raised by an injected fault.
+
+    Attributes:
+        key: Task key the fault fired on.
+        attempt: Zero-based attempt index the fault fired on.
+    """
+
+    def __init__(self, key: str, attempt: int, kind: str) -> None:
+        super().__init__(f"injected {kind} fault on {key!r} (attempt {attempt})")
+        self.key = key
+        self.attempt = attempt
+        self.kind = kind
+
+
+class InjectedCrash(InjectedFault):
+    """Simulated process death mid-task.
+
+    Deliberately *not* retryable: it models the whole worker dying, so it
+    aborts the run.  Completed work survives in the journal and the run is
+    picked up again with ``resume=True``.
+    """
+
+    def __init__(self, key: str, attempt: int) -> None:
+        super().__init__(key, attempt, "crash")
+
+
+class MeasurementTimeout(InjectedFault):
+    """Simulated device measurement timeout; transient and retryable."""
+
+    def __init__(self, key: str, attempt: int) -> None:
+        super().__init__(key, attempt, "timeout")
+
+
+class NonFiniteResult(ReliabilityError):
+    """A task produced NaN/inf; the record is rejected before it can poison
+    a dataset.  Retryable — transient numeric faults may clear on retry."""
+
+    def __init__(self, key: str, value: float) -> None:
+        super().__init__(f"non-finite result {value!r} for {key!r}")
+        self.key = key
+        self.value = value
+
+
+class ArtifactIntegrityError(ReliabilityError):
+    """A persisted artifact failed validation on load.
+
+    Attributes:
+        path: The offending file.
+        reason: Human-readable description of what failed (invalid JSON,
+            missing envelope, schema mismatch, checksum mismatch...).
+    """
+
+    def __init__(self, path: str | Path, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
+
+class CollectionError(ReliabilityError):
+    """Too many tasks failed: the success fraction fell below the gate.
+
+    Attributes:
+        failures: Quarantined :class:`FailureRecord` s.
+        success_fraction: Achieved fraction of successful tasks.
+        min_success_fraction: The configured gate that was violated.
+    """
+
+    def __init__(
+        self,
+        failures: list["FailureRecord"],
+        success_fraction: float,
+        min_success_fraction: float,
+    ) -> None:
+        preview = ", ".join(f.key for f in failures[:3])
+        if len(failures) > 3:
+            preview += ", ..."
+        super().__init__(
+            f"{len(failures)} task(s) exhausted retries ({preview}); "
+            f"success fraction {success_fraction:.3f} < required "
+            f"{min_success_fraction:.3f}"
+        )
+        self.failures = failures
+        self.success_fraction = success_fraction
+        self.min_success_fraction = min_success_fraction
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+def _unit_uniform(*parts: object) -> float:
+    """Deterministic uniform draw in [0, 1) hashed from ``parts``.
+
+    Uses blake2b rather than RNG state so concurrent callers never race and
+    the decision for a given (seed, kind, key, attempt) is a pure function.
+    """
+    digest = hashlib.blake2b(
+        "|".join(str(p) for p in parts).encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One kind of fault and when it fires.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        rate: Per-attempt firing probability in [0, 1]; the draw is a hash
+            of ``(plan seed, kind, key, attempt)``, so it is reproducible
+            and independent across tasks and attempts.
+        keys: If given, the fault only ever fires on these task keys.
+        max_attempt: If given, the fault only fires on attempts strictly
+            below this bound — a *transient* fault that retries determinably
+            cure.  ``None`` means every attempt is eligible.
+        spike_factor: Multiplier applied by ``spike`` faults.
+    """
+
+    kind: str
+    rate: float = 1.0
+    keys: frozenset[str] | None = None
+    max_attempt: int | None = None
+    spike_factor: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.keys is not None:
+            object.__setattr__(self, "keys", frozenset(self.keys))
+
+    def eligible(self, key: str, attempt: int) -> bool:
+        """Whether this spec may fire at all for (key, attempt)."""
+        if self.keys is not None and key not in self.keys:
+            return False
+        if self.max_attempt is not None and attempt >= self.max_attempt:
+            return False
+        return True
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of injected faults.
+
+    The plan is consulted by the simulators at the end of each task attempt
+    with ``apply(key, value, attempt)``: the first eligible spec whose
+    hash-seeded coin lands under its rate fires.  ``crash`` and ``timeout``
+    raise (:class:`InjectedCrash` / :class:`MeasurementTimeout`); ``nan``,
+    ``inf`` and ``spike`` corrupt the returned value instead.
+
+    Identical plans make identical decisions across processes, platforms and
+    thread schedules — every robustness behaviour in this repo is testable.
+
+    Args:
+        specs: Fault specs, evaluated in order (first firing wins).
+        seed: Plan seed mixed into every firing decision.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0) -> None:
+        self.specs = tuple(specs)
+        self.seed = seed
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{s.kind}:{s.rate:g}" for s in self.specs
+        )
+        return f"FaultPlan([{inner}], seed={self.seed})"
+
+    def fault_for(self, key: str, attempt: int = 0) -> FaultSpec | None:
+        """The spec that fires for (key, attempt), or ``None``."""
+        for spec in self.specs:
+            if not spec.eligible(key, attempt):
+                continue
+            if _unit_uniform(self.seed, spec.kind, key, attempt) < spec.rate:
+                return spec
+        return None
+
+    def apply(self, key: str, value: float, attempt: int = 0) -> float:
+        """Pass ``value`` through the plan: raise or corrupt if a fault fires."""
+        spec = self.fault_for(key, attempt)
+        if spec is None:
+            return value
+        if spec.kind == "crash":
+            raise InjectedCrash(key, attempt)
+        if spec.kind == "timeout":
+            raise MeasurementTimeout(key, attempt)
+        if spec.kind == "nan":
+            return float("nan")
+        if spec.kind == "inf":
+            return float("inf")
+        return value * spec.spike_factor  # spike
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def crash_on(cls, keys: Sequence[str], seed: int = 0) -> "FaultPlan":
+        """A plan that deterministically crashes on exactly these task keys."""
+        return cls([FaultSpec("crash", rate=1.0, keys=frozenset(keys))], seed=seed)
+
+    @classmethod
+    def from_string(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse ``"kind:rate,kind:rate"`` (e.g. ``"nan:0.05,timeout:0.1"``).
+
+        An optional ``@N`` suffix bounds the fault to attempts below N
+        (``"timeout:1.0@2"`` = time out the first two attempts, then heal).
+        """
+        specs = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _, rest = part.partition(":")
+            rate_text, _, window = rest.partition("@")
+            try:
+                rate = float(rate_text) if rate_text else 1.0
+                max_attempt = int(window) if window else None
+            except ValueError as exc:
+                raise ValueError(f"bad fault spec {part!r}: {exc}") from exc
+            specs.append(FaultSpec(kind.strip(), rate=rate, max_attempt=max_attempt))
+        return cls(specs, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Retry + quarantine
+# ---------------------------------------------------------------------------
+
+RETRYABLE_ERRORS: tuple[type[BaseException], ...] = (
+    MeasurementTimeout,
+    NonFiniteResult,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    The backoff for attempt ``a`` (zero-based) is
+    ``min(base_delay * backoff**a, max_delay)`` plus a jitter drawn
+    uniformly from ``[0, jitter * delay)``, hash-seeded from
+    ``(seed, key, attempt)`` — deterministic per task, decorrelated across
+    tasks, and safe under any thread schedule.
+
+    Attributes:
+        max_attempts: Total attempts per task (1 = no retries).
+        base_delay: First backoff in seconds.
+        backoff: Multiplicative growth per attempt.
+        max_delay: Backoff cap in seconds (pre-jitter).
+        jitter: Jitter fraction of the capped delay.
+        seed: Jitter seed.
+        sleep: Injectable sleep; tests pass a recorder so the suite never
+            actually sleeps.
+        retryable: Exception types worth retrying.  :class:`InjectedCrash`
+            is deliberately excluded — a dead process cannot retry itself.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    seed: int = 0
+    sleep: Callable[[float], None] = time.sleep
+    retryable: tuple[type[BaseException], ...] = RETRYABLE_ERRORS
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be >= 0")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before retrying ``key`` after failed attempt ``attempt``."""
+        base = min(self.base_delay * self.backoff**attempt, self.max_delay)
+        return base * (1.0 + self.jitter * _unit_uniform(self.seed, key, attempt))
+
+    def run(self, fn: Callable[[int], float], key: str) -> float:
+        """Call ``fn(attempt)`` until success or attempts are exhausted.
+
+        Raises the last retryable error once attempts run out; non-retryable
+        errors (notably :class:`InjectedCrash`) propagate immediately.
+        """
+        last: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(attempt)
+            except self.retryable as exc:
+                last = exc
+                if attempt + 1 < self.max_attempts:
+                    self.sleep(self.delay(key, attempt))
+        assert last is not None
+        raise last
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """A task that exhausted its retries and landed in quarantine.
+
+    Attributes:
+        key: Task key (canonical architecture string).
+        error: Exception class name of the final failure.
+        message: Final failure message.
+        attempts: Attempts consumed before quarantining.
+    """
+
+    key: str
+    error: str
+    message: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (stored in dataset ``meta``)."""
+        return {
+            "key": self.key,
+            "error": self.error,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FailureRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            key=payload["key"],
+            error=payload["error"],
+            message=payload["message"],
+            attempts=payload["attempts"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Write-ahead journal
+# ---------------------------------------------------------------------------
+
+JOURNAL_SCHEMA = "anb-journal"
+JOURNAL_VERSION = 1
+
+
+class Journal:
+    """An append-only JSONL write-ahead journal of completed task records.
+
+    The first line is a header naming the dataset and journal schema; every
+    subsequent line is one completed ``{"key": ..., "value": ...}`` record,
+    flushed on append so a killed run loses at most the record being
+    written.  :meth:`replay` tolerates a torn final line (the signature of a
+    mid-write kill) but treats corruption anywhere else as an integrity
+    error.
+
+    Args:
+        path: Journal file location (created on first append).
+        dataset: Dataset name pinned in the header; replaying a journal
+            under a different dataset name raises
+            :class:`ArtifactIntegrityError` instead of silently poisoning
+            the run with another dataset's values.
+        fsync: fsync after every append (safest, slowest).  Flushing alone
+            already survives process kills; fsync also survives OS crashes.
+    """
+
+    def __init__(
+        self, path: str | Path, dataset: str, fsync: bool = False
+    ) -> None:
+        self.path = Path(path)
+        self.dataset = dataset
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._handle = None
+
+    # ------------------------------------------------------------ appending
+
+    def _open_for_append(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            if not fresh:
+                self.replay()  # validates the header before we append
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                header = {
+                    "schema": JOURNAL_SCHEMA,
+                    "schema_version": JOURNAL_VERSION,
+                    "dataset": self.dataset,
+                }
+                self._write_line(header)
+        return self._handle
+
+    def _write_line(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def append(self, key: str, value: float) -> None:
+        """Durably record one completed task; safe to call from workers."""
+        with self._lock:
+            self._open_for_append()
+            self._write_line({"key": key, "value": float(value)})
+
+    def discard(self) -> None:
+        """Delete the journal file (fresh, non-resumed runs start clean)."""
+        with self._lock:
+            self._close_locked()
+            with suppress(FileNotFoundError):
+                self.path.unlink()
+
+    # ------------------------------------------------------------- replaying
+
+    def replay(self) -> dict[str, float]:
+        """Completed ``key -> value`` records, validating the header.
+
+        Raises:
+            ArtifactIntegrityError: On a missing/mismatched header, a
+                corrupt line anywhere but the tail, or a record with the
+                wrong shape.  A torn *final* line is dropped silently —
+                that is exactly what a mid-write kill leaves behind.
+        """
+        if not self.path.exists():
+            return {}
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise ArtifactIntegrityError(
+                self.path, f"journal header is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(header, dict) or header.get("schema") != JOURNAL_SCHEMA:
+            raise ArtifactIntegrityError(
+                self.path,
+                f"not a collection journal (header schema "
+                f"{header.get('schema') if isinstance(header, dict) else header!r}"
+                f", expected {JOURNAL_SCHEMA!r})",
+            )
+        if header.get("schema_version") != JOURNAL_VERSION:
+            raise ArtifactIntegrityError(
+                self.path,
+                f"journal schema version {header.get('schema_version')!r} "
+                f"found, expected {JOURNAL_VERSION}",
+            )
+        if header.get("dataset") != self.dataset:
+            raise ArtifactIntegrityError(
+                self.path,
+                f"journal belongs to dataset {header.get('dataset')!r}, "
+                f"not {self.dataset!r}",
+            )
+        done: dict[str, float] = {}
+        for lineno, line in enumerate(lines[1:], start=2):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    break  # torn final line: the mid-write kill signature
+                raise ArtifactIntegrityError(
+                    self.path, f"corrupt journal record at line {lineno}: {exc}"
+                ) from exc
+            if (
+                not isinstance(record, dict)
+                or "key" not in record
+                or "value" not in record
+            ):
+                raise ArtifactIntegrityError(
+                    self.path,
+                    f"malformed journal record at line {lineno}: {record!r}",
+                )
+            done[record["key"]] = float(record["value"])
+        return done
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _close_locked(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def close(self) -> None:
+        """Close the append handle (records already on disk stay valid)."""
+        with self._lock:
+            self._close_locked()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# The collection runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CollectionOutcome:
+    """What a fault-tolerant collection run produced.
+
+    Attributes:
+        values: Completed ``key -> value`` results (journal replay plus
+            fresh computation).
+        failures: Quarantined tasks, in input order.
+        replayed: How many records came from the journal instead of work.
+    """
+
+    values: dict[str, float]
+    failures: list[FailureRecord] = field(default_factory=list)
+    replayed: int = 0
+
+
+def run_tasks(
+    keys: Sequence[str],
+    task: Callable[[str, int], float],
+    n_jobs: int | None = 1,
+    retry_policy: RetryPolicy | None = None,
+    journal: Journal | None = None,
+    resume: bool = False,
+    min_success_fraction: float = 1.0,
+) -> CollectionOutcome:
+    """Run ``task(key, attempt)`` for every key with retries + journaling.
+
+    Each key's value must depend only on the key (and attempt-independent
+    seeding), never on evaluation order — the same contract the thread-pool
+    fan-out already relies on.  That is what makes a journal replay plus a
+    partial recomputation byte-identical to an uninterrupted run.
+
+    Results that are NaN/inf are rejected (``NonFiniteResult``) before they
+    can reach a dataset; the rejection is retryable because injected or real
+    numeric faults can be transient.
+
+    Args:
+        keys: Unique task keys, order-defining.
+        task: ``(key, attempt) -> value``; may raise.
+        n_jobs: Fan-out width (``-1`` = all CPUs, 1 = serial).
+        retry_policy: Per-task retries; ``None`` = single attempt.
+        journal: Write-ahead journal for completed records.
+        resume: Replay an existing journal and compute only missing keys.
+            With ``resume=False`` a pre-existing journal is discarded.
+        min_success_fraction: Gate in [0, 1]; if the fraction of successful
+            keys falls below it, :class:`CollectionError` is raised.
+            ``1.0`` (default) means any quarantined task fails the run.
+
+    Raises:
+        CollectionError: Success fraction below ``min_success_fraction``.
+        InjectedCrash: A crash fault fired (simulated process death); the
+            journal retains all completed work.
+    """
+    if not 0.0 <= min_success_fraction <= 1.0:
+        raise ValueError("min_success_fraction must be in [0, 1]")
+    policy = retry_policy if retry_policy is not None else RetryPolicy(max_attempts=1)
+
+    done: dict[str, float] = {}
+    if journal is not None:
+        if resume:
+            done = journal.replay()
+        else:
+            journal.discard()
+
+    pending = [key for key in keys if key not in done]
+    replayed = len(keys) - len(pending)
+
+    def attempt_once(key: str, attempt: int) -> float:
+        value = task(key, attempt)
+        if not math.isfinite(value):
+            raise NonFiniteResult(key, value)
+        return value
+
+    def run_one(key: str) -> tuple[str, float] | FailureRecord:
+        try:
+            value = policy.run(lambda attempt: attempt_once(key, attempt), key)
+        except policy.retryable as exc:
+            return FailureRecord(
+                key=key,
+                error=type(exc).__name__,
+                message=str(exc),
+                attempts=policy.max_attempts,
+            )
+        if journal is not None:
+            journal.append(key, value)
+        return key, value
+
+    results = chunked_map(run_one, pending, n_jobs=n_jobs)
+
+    values = dict(done)
+    failures: list[FailureRecord] = []
+    for result in results:
+        if isinstance(result, FailureRecord):
+            failures.append(result)
+        else:
+            key, value = result
+            values[key] = value
+
+    success_fraction = len(values) / len(keys) if keys else 1.0
+    if failures and success_fraction < min_success_fraction:
+        raise CollectionError(failures, success_fraction, min_success_fraction)
+    return CollectionOutcome(values=values, failures=failures, replayed=replayed)
+
+
+# ---------------------------------------------------------------------------
+# Artifact integrity
+# ---------------------------------------------------------------------------
+
+
+def atomic_write(path: str | Path, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically: temp file + fsync + rename.
+
+    A crash at any point leaves either the complete old file or the
+    complete new file — never a torn or truncated artifact.  The temp file
+    lives in the destination directory so the final ``os.replace`` is a
+    same-filesystem atomic rename.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent if str(path.parent) else ".",
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    finally:
+        with suppress(FileNotFoundError):
+            os.unlink(tmp_name)
+
+
+def payload_checksum(payload: dict) -> str:
+    """Canonical sha256 of a JSON payload (sorted keys, default separators)."""
+    body = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def write_artifact(
+    path: str | Path, payload: dict, schema: str, version: int
+) -> None:
+    """Persist ``payload`` atomically inside a checksummed schema envelope.
+
+    The on-disk form is ``{"payload": ..., "schema": ..., "schema_version":
+    ..., "sha256": ...}`` serialised with sorted keys, so identically-built
+    artefacts stay byte-identical across runs and platforms.
+    """
+    envelope = {
+        "schema": schema,
+        "schema_version": version,
+        "sha256": payload_checksum(payload),
+        "payload": payload,
+    }
+    atomic_write(path, json.dumps(envelope, sort_keys=True))
+
+
+def read_artifact(path: str | Path, schema: str, version: int) -> dict:
+    """Load and validate an artifact written by :func:`write_artifact`.
+
+    Raises:
+        ArtifactIntegrityError: Naming the path and the exact failure —
+            unreadable/invalid JSON, a missing envelope (legacy or foreign
+            file), a schema name or version mismatch (found vs. expected),
+            or a sha256 checksum mismatch (stored vs. recomputed).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ArtifactIntegrityError(path, f"unreadable: {exc}") from exc
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArtifactIntegrityError(
+            path, f"not valid JSON (truncated or corrupt): {exc}"
+        ) from exc
+    if not isinstance(envelope, dict) or not all(
+        key in envelope for key in ARTIFACT_ENVELOPE_KEYS
+    ):
+        raise ArtifactIntegrityError(
+            path,
+            "missing integrity envelope (legacy or foreign artifact); "
+            f"expected keys {list(ARTIFACT_ENVELOPE_KEYS)}",
+        )
+    if envelope["schema"] != schema:
+        raise ArtifactIntegrityError(
+            path,
+            f"schema {envelope['schema']!r} found, expected {schema!r}",
+        )
+    if envelope["schema_version"] != version:
+        raise ArtifactIntegrityError(
+            path,
+            f"schema version {envelope['schema_version']!r} found, "
+            f"expected {version}",
+        )
+    actual = payload_checksum(envelope["payload"])
+    if actual != envelope["sha256"]:
+        raise ArtifactIntegrityError(
+            path,
+            f"sha256 mismatch: stored {envelope['sha256']}, recomputed "
+            f"{actual} — the payload was modified or corrupted",
+        )
+    return envelope["payload"]

@@ -123,11 +123,17 @@ def format_table(headers: list[str], rows: list[list[str]]) -> str:
 
 
 def save_result(result: dict, name: str, out_dir: str | Path = "results") -> Path:
-    """Persist an experiment result dict as JSON; returns the path."""
+    """Persist an experiment result dict as JSON; returns the path.
+
+    The write is atomic, so an interrupted experiment never leaves a torn
+    result file behind (a stale-but-complete previous result survives).
+    """
+    from repro.core.reliability import atomic_write
+
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     path = out / f"{name}.json"
-    path.write_text(json.dumps(result, indent=2, default=_json_default))
+    atomic_write(path, json.dumps(result, indent=2, default=_json_default))
     return path
 
 

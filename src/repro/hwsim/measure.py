@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -20,6 +21,9 @@ from repro.hwsim.device import AcceleratorModel
 from repro.hwsim.tpu import TpuModel
 from repro.nn.graph import LayerGraph
 from repro.searchspace.registry import build_graph
+
+if TYPE_CHECKING:  # imported lazily to avoid a hwsim <-> core cycle
+    from repro.core.reliability import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -65,17 +69,23 @@ class MeasurementHarness:
         device: The accelerator model to drive.
         protocol: Measurement protocol; defaults to the device's paper
             protocol (or a generic one for unknown devices).
+        fault_plan: Optional seeded :class:`~repro.core.reliability.FaultPlan`
+            consulted after each measurement — the hook through which
+            timeout/NaN/spike behaviour is injected deterministically for
+            robustness testing.
     """
 
     def __init__(
         self,
         device: AcceleratorModel,
         protocol: MeasurementProtocol | None = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         self.device = device
         if protocol is None:
             protocol = DEFAULT_PROTOCOLS.get(device.name, MeasurementProtocol())
         self.protocol = protocol
+        self.fault_plan = fault_plan
 
     def _jitter(self, arch_key: str, metric: str, run_idx: int) -> float:
         seed_bytes = hashlib.blake2b(
@@ -100,29 +110,46 @@ class MeasurementHarness:
             samples.append(value)
         return samples
 
+    def _maybe_fault(self, arch_key: str, value: float, attempt: int) -> float:
+        if self.fault_plan is None:
+            return value
+        return self.fault_plan.apply(arch_key, value, attempt)
+
     def measure_throughput(
-        self, arch, batch: int | None = None, resolution: int = 224
+        self,
+        arch,
+        batch: int | None = None,
+        resolution: int = 224,
+        attempt: int = 0,
     ) -> float:
-        """Measured inference throughput (images/s) after the paper protocol."""
+        """Measured inference throughput (images/s) after the paper protocol.
+
+        ``attempt`` only feeds the fault plan (retry attempt index); it
+        never changes the measurement itself, so retried measurements are
+        bit-identical to first-try ones.
+        """
         graph = _cached_graph(arch, resolution)
         clean = self.device.throughput_ips(graph, batch)
         samples = self._run_samples(
             arch.to_string(), f"thr@{batch}", clean, lower_is_better=False
         )
         timed = samples[self.protocol.warmup_runs :]
-        return float(np.mean(timed))
+        return self._maybe_fault(arch.to_string(), float(np.mean(timed)), attempt)
 
     def measure_latency(
-        self, arch, batch: int = 1, resolution: int = 224
+        self, arch, batch: int = 1, resolution: int = 224, attempt: int = 0
     ) -> float:
-        """Measured single-batch latency (ms) after the paper protocol."""
+        """Measured single-batch latency (ms) after the paper protocol.
+
+        ``attempt`` only feeds the fault plan; see :meth:`measure_throughput`.
+        """
         graph = _cached_graph(arch, resolution)
         clean = self.device.latency_ms(graph, batch)
         samples = self._run_samples(
             arch.to_string(), f"lat@{batch}", clean, lower_is_better=True
         )
         timed = samples[self.protocol.warmup_runs :]
-        return float(np.mean(timed))
+        return self._maybe_fault(arch.to_string(), float(np.mean(timed)), attempt)
 
     def warmup_cost_s(self) -> float:
         """One-time setup cost the protocol discards (e.g. XLA compile)."""

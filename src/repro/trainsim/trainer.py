@@ -13,6 +13,8 @@ from statistics import mean
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.searchspace.mnasnet import ArchSpec
 from repro.trainsim.accuracy_model import asymptotic_accuracy
 from repro.trainsim.cost_model import TrainingCostModel
@@ -22,6 +24,9 @@ from repro.trainsim.learning_curve import (
     seed_noise_std,
 )
 from repro.trainsim.schemes import TrainingScheme
+
+if TYPE_CHECKING:  # imported lazily to avoid a trainsim <-> core cycle
+    from repro.core.reliability import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -52,14 +57,20 @@ class SimulatedTrainer:
         dataset: Dataset to train on; ``None`` means ImageNet2012.  A trainer
             instance is bound to one dataset, mirroring how one collection
             campaign targets one dataset.
+        fault_plan: Optional seeded :class:`~repro.core.reliability.FaultPlan`
+            consulted at the end of every run — the hook through which
+            crash/NaN/timeout behaviour is injected deterministically for
+            robustness testing.
     """
 
     def __init__(
         self,
         cost_model: TrainingCostModel | None = None,
         dataset=None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.dataset = dataset
+        self.fault_plan = fault_plan
         if cost_model is None:
             if dataset is not None:
                 cost_model = TrainingCostModel(dataset_images=dataset.train_images)
@@ -77,11 +88,24 @@ class SimulatedTrainer:
         )
         return float(np.clip(clean + interaction(arch, scheme), 0.0, 1.0))
 
-    def train(self, arch: ArchSpec, scheme: TrainingScheme, seed: int = 0) -> TrainResult:
+    def train(
+        self,
+        arch: ArchSpec,
+        scheme: TrainingScheme,
+        seed: int = 0,
+        attempt: int = 0,
+    ) -> TrainResult:
         """Run one simulated training job.
 
         Identical ``(arch, scheme, seed)`` triples always produce identical
-        results, across processes and platforms.
+        results, across processes and platforms.  ``attempt`` only feeds the
+        fault plan (retry attempt index) — it never changes the clean value,
+        so a retried run converges to the same accuracy.
+
+        Raises:
+            InjectedCrash: A configured crash fault fired (simulated
+                process death mid-training).
+            MeasurementTimeout: A configured timeout fault fired.
         """
         tag = "" if self.dataset is None else f"|{self.dataset.name}"
         rng = np.random.default_rng(
@@ -89,6 +113,8 @@ class SimulatedTrainer:
         )
         noise = rng.normal(0.0, seed_noise_std(scheme) * self._noise_scale())
         top1 = float(np.clip(self.expected_top1(arch, scheme) + noise, 0.0, 1.0))
+        if self.fault_plan is not None:
+            top1 = self.fault_plan.apply(arch.to_string(), top1, attempt)
         hours = self.cost_model.train_time_hours(arch, scheme)
         return TrainResult(arch=arch, scheme=scheme, seed=seed, top1=top1, train_hours=hours)
 

@@ -1,9 +1,12 @@
 """Unit tests for the AccelNASBench query interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core.benchmark import AccelNASBench
+from repro.core.reliability import ArtifactIntegrityError
 from repro.trainsim.schemes import P_STAR
 
 
@@ -140,3 +143,73 @@ class TestPersistence:
         b.save(first)
         AccelNASBench.load(first).save(second)
         assert first.read_bytes() == second.read_bytes()
+
+
+class TestArtifactIntegrity:
+    def test_truncated_file_raises_clear_error(self, bench, tmp_path):
+        b, _ = bench
+        path = tmp_path / "bench.json"
+        b.save(path)
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        with pytest.raises(ArtifactIntegrityError, match="not valid JSON") as info:
+            AccelNASBench.load(path)
+        assert str(path) in str(info.value)
+
+    def test_tampered_file_fails_checksum(self, bench, tmp_path):
+        b, _ = bench
+        path = tmp_path / "bench.json"
+        b.save(path)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["meta"]["num_archs"] = 999999
+        path.write_text(json.dumps(envelope, sort_keys=True))
+        with pytest.raises(ArtifactIntegrityError, match="sha256 mismatch"):
+            AccelNASBench.load(path)
+
+    def test_wrong_schema_version_named_in_error(self, bench, tmp_path):
+        b, _ = bench
+        path = tmp_path / "bench.json"
+        b.save(path)
+        envelope = json.loads(path.read_text())
+        envelope["schema_version"] = 99
+        path.write_text(json.dumps(envelope, sort_keys=True))
+        with pytest.raises(
+            ArtifactIntegrityError, match="version 99 found, expected 1"
+        ):
+            AccelNASBench.load(path)
+
+    def test_legacy_raw_payload_rejected(self, tmp_path):
+        """Pre-envelope saves fail loudly instead of with a bare KeyError."""
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({"meta": {}, "perf_models": {}}))
+        with pytest.raises(ArtifactIntegrityError, match="envelope"):
+            AccelNASBench.load(path)
+
+    def test_valid_envelope_malformed_payload(self, tmp_path):
+        from repro.core.benchmark import (
+            BENCHMARK_SCHEMA,
+            BENCHMARK_SCHEMA_VERSION,
+        )
+        from repro.core.reliability import write_artifact
+
+        path = tmp_path / "bad.json"
+        write_artifact(
+            path, {"nonsense": 1}, BENCHMARK_SCHEMA, BENCHMARK_SCHEMA_VERSION
+        )
+        with pytest.raises(ArtifactIntegrityError, match="malformed benchmark"):
+            AccelNASBench.load(path)
+
+    def test_interrupted_save_preserves_previous_artifact(
+        self, bench, tmp_path, monkeypatch
+    ):
+        import os
+
+        b, _ = bench
+        path = tmp_path / "bench.json"
+        b.save(path)
+        before = path.read_bytes()
+        monkeypatch.setattr(
+            os, "replace", lambda src, dst: (_ for _ in ()).throw(OSError("kill"))
+        )
+        with pytest.raises(OSError):
+            b.save(path)
+        assert path.read_bytes() == before

@@ -1,0 +1,152 @@
+"""Fault-tolerant collection: retries, quarantine, NaN guard, degradation gate."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import (
+    collect_accuracy_dataset,
+    collect_device_dataset,
+    sample_dataset_archs,
+)
+from repro.core.reliability import (
+    CollectionError,
+    FailureRecord,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.trainsim.schemes import P_STAR
+
+
+@pytest.fixture(scope="module")
+def archs():
+    return sample_dataset_archs(16, seed=21)
+
+
+def _no_sleep_policy(attempts: int = 3) -> RetryPolicy:
+    return RetryPolicy(max_attempts=attempts, sleep=lambda s: None)
+
+
+class TestNaNGuard:
+    def test_persistent_nan_is_gated_by_default(self, archs):
+        """Satellite: NaN from the simulator must never reach a dataset."""
+        victim = archs[4].to_string()
+        plan = FaultPlan([FaultSpec("nan", keys=[victim])])
+        with pytest.raises(CollectionError) as info:
+            collect_accuracy_dataset(archs, P_STAR, fault_plan=plan)
+        (failure,) = info.value.failures
+        assert failure.key == victim
+        assert failure.error == "NonFiniteResult"
+
+    def test_nan_quarantined_with_graceful_degradation(self, archs):
+        victim = archs[4].to_string()
+        plan = FaultPlan([FaultSpec("nan", keys=[victim])])
+        ds = collect_accuracy_dataset(
+            archs, P_STAR, fault_plan=plan, min_success_fraction=0.9
+        )
+        assert len(ds) == len(archs) - 1
+        assert victim not in {a.to_string() for a in ds.archs}
+        assert np.all(np.isfinite(ds.values))
+        assert [f.key for f in ds.quarantine] == [victim]
+        assert isinstance(ds.quarantine[0], FailureRecord)
+
+    def test_inf_guarded_on_device_collection(self, archs):
+        victim = archs[0].to_string()
+        plan = FaultPlan([FaultSpec("inf", keys=[victim])])
+        ds = collect_device_dataset(
+            archs,
+            "a100",
+            "throughput",
+            fault_plan=plan,
+            min_success_fraction=0.5,
+        )
+        assert victim not in {a.to_string() for a in ds.archs}
+        assert np.all(np.isfinite(ds.values))
+
+
+class TestRetryQuarantine:
+    def test_transient_timeout_healed_by_retry(self, archs):
+        """A fault limited to attempt 0 must leave values bit-identical."""
+        clean = collect_accuracy_dataset(archs, P_STAR)
+        plan = FaultPlan([FaultSpec("timeout", rate=1.0, max_attempt=1)])
+        ds = collect_accuracy_dataset(
+            archs,
+            P_STAR,
+            fault_plan=plan,
+            retry_policy=_no_sleep_policy(attempts=2),
+        )
+        assert len(ds) == len(clean)
+        assert np.array_equal(ds.values, clean.values)
+        assert "quarantine" not in ds.meta
+
+    def test_exhausted_retries_quarantine(self, archs):
+        victim = archs[7].to_string()
+        plan = FaultPlan([FaultSpec("timeout", keys=[victim])])
+        ds = collect_accuracy_dataset(
+            archs,
+            P_STAR,
+            fault_plan=plan,
+            retry_policy=_no_sleep_policy(attempts=3),
+            min_success_fraction=0.5,
+        )
+        assert [f.key for f in ds.quarantine] == [victim]
+        assert ds.quarantine[0].attempts == 3
+        assert ds.quarantine[0].error == "MeasurementTimeout"
+
+    def test_backoff_sequence_is_recorded_not_slept(self, archs):
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=3,
+            base_delay=0.1,
+            backoff=2.0,
+            jitter=0.0,
+            sleep=sleeps.append,
+        )
+        victim = archs[2].to_string()
+        plan = FaultPlan([FaultSpec("timeout", keys=[victim])])
+        collect_accuracy_dataset(
+            archs,
+            P_STAR,
+            fault_plan=plan,
+            retry_policy=policy,
+            min_success_fraction=0.5,
+        )
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_min_success_fraction_gate(self, archs):
+        bad = frozenset(a.to_string() for a in archs[:8])  # half the sample
+        plan = FaultPlan([FaultSpec("timeout", keys=bad)])
+        with pytest.raises(CollectionError, match="success fraction"):
+            collect_accuracy_dataset(
+                archs, P_STAR, fault_plan=plan, min_success_fraction=0.75
+            )
+        ds = collect_accuracy_dataset(
+            archs, P_STAR, fault_plan=plan, min_success_fraction=0.5
+        )
+        assert len(ds) == 8
+
+    def test_quarantine_identical_serial_and_parallel(self, archs):
+        victim = archs[3].to_string()
+        plan = FaultPlan([FaultSpec("nan", keys=[victim])])
+        serial = collect_accuracy_dataset(
+            archs, P_STAR, fault_plan=plan, min_success_fraction=0.5, n_jobs=1
+        )
+        parallel = collect_accuracy_dataset(
+            archs, P_STAR, fault_plan=plan, min_success_fraction=0.5, n_jobs=4
+        )
+        assert serial.archs == parallel.archs
+        assert np.array_equal(serial.values, parallel.values)
+        assert serial.meta == parallel.meta
+
+    def test_faultless_reliability_path_matches_plain(self, archs):
+        """Retry/journal plumbing must not perturb a healthy collection."""
+        plain = collect_device_dataset(archs, "tpuv3", "throughput")
+        tolerant = collect_device_dataset(
+            archs,
+            "tpuv3",
+            "throughput",
+            retry_policy=_no_sleep_policy(),
+            min_success_fraction=0.5,
+        )
+        assert np.array_equal(plain.values, tolerant.values)
+        assert plain.meta == tolerant.meta

@@ -1,5 +1,7 @@
 """Unit tests for dataset collection and splitting."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,7 @@ from repro.core.dataset import (
     sample_dataset_archs,
     train_val_test_split,
 )
+from repro.core.reliability import ArtifactIntegrityError
 from repro.trainsim.schemes import P_STAR
 
 
@@ -38,6 +41,54 @@ class TestBenchmarkDataset:
         assert loaded.archs == ds.archs
         assert np.allclose(loaded.values, ds.values)
         assert loaded.meta == {"seed": 1}
+
+    def _sample(self, some_archs) -> BenchmarkDataset:
+        return BenchmarkDataset(
+            "ANB-test", "accuracy", some_archs[:4], np.linspace(0.6, 0.8, 4)
+        )
+
+    def test_truncated_file_raises_integrity_error(self, tmp_path, some_archs):
+        path = tmp_path / "ds.json"
+        self._sample(some_archs).to_json(path)
+        path.write_text(path.read_text()[:-20])
+        with pytest.raises(ArtifactIntegrityError, match="not valid JSON"):
+            BenchmarkDataset.from_json(path)
+
+    def test_tampered_file_fails_checksum(self, tmp_path, some_archs):
+        path = tmp_path / "ds.json"
+        self._sample(some_archs).to_json(path)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["values"][0] = 999.0
+        path.write_text(json.dumps(envelope, sort_keys=True))
+        with pytest.raises(ArtifactIntegrityError, match="sha256 mismatch"):
+            BenchmarkDataset.from_json(path)
+
+    def test_legacy_unversioned_file_rejected_clearly(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({"name": "x", "metric": "accuracy"}))
+        with pytest.raises(ArtifactIntegrityError, match="envelope"):
+            BenchmarkDataset.from_json(path)
+
+    def test_interrupted_write_preserves_previous_artifact(
+        self, tmp_path, some_archs, monkeypatch
+    ):
+        """Satellite: a crash mid-write must leave the old file intact."""
+        import os
+
+        path = tmp_path / "ds.json"
+        ds = self._sample(some_archs)
+        ds.to_json(path)
+        before = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("killed mid-write")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            ds.to_json(path)
+        assert path.read_bytes() == before
+        loaded = BenchmarkDataset.from_json(path)  # still a valid artifact
+        assert loaded.name == ds.name
 
 
 class TestCollection:

@@ -100,3 +100,35 @@ class TestMeasurement:
         h = MeasurementHarness(get_device("vck190"))
         values = {h.measure_throughput(a) for a in some_archs[:10]}
         assert len(values) == 10
+
+
+class TestFaultInjection:
+    def test_timeout_fault_raises(self, some_archs):
+        from repro.core.reliability import FaultPlan, FaultSpec, MeasurementTimeout
+
+        arch = some_archs[0]
+        h = MeasurementHarness(
+            get_device("a100"),
+            fault_plan=FaultPlan([FaultSpec("timeout", keys=[arch.to_string()])]),
+        )
+        with pytest.raises(MeasurementTimeout):
+            h.measure_throughput(arch)
+        assert h.measure_throughput(some_archs[1]) > 0
+
+    def test_spike_fault_scales_measurement(self, some_archs):
+        from repro.core.reliability import FaultPlan, FaultSpec
+
+        arch = some_archs[0]
+        clean = MeasurementHarness(get_device("a100")).measure_throughput(arch)
+        spiky = MeasurementHarness(
+            get_device("a100"),
+            fault_plan=FaultPlan([FaultSpec("spike", spike_factor=25.0)]),
+        )
+        assert spiky.measure_throughput(arch) == pytest.approx(clean * 25.0)
+
+    def test_attempt_does_not_change_clean_value(self, some_archs):
+        arch = some_archs[0]
+        h = MeasurementHarness(get_device("zcu102"))
+        assert h.measure_latency(arch, attempt=0) == h.measure_latency(
+            arch, attempt=5
+        )

@@ -49,6 +49,18 @@ class TestCommands:
         assert 0.5 < payload["accuracy"] < 0.9
         assert payload["performance"] > 0
 
+    def test_query_corrupt_bench_exits_with_clean_message(
+        self, bench_file, tmp_path
+    ):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text(bench_file.read_text().replace("0.7", "0.8", 1))
+        arch = "e1k3L1se1|e6k3L2se1|e6k5L2se1|e6k3L3se1|e6k5L3se1|e6k5L3se1|e6k3L1se1"
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", "--bench", str(corrupt), "--arch", arch])
+        message = str(excinfo.value)
+        assert "cannot load benchmark" in message
+        assert "sha256 mismatch" in message
+
     def test_search(self, bench_file, capsys):
         code = main(
             [
@@ -72,3 +84,78 @@ class TestCommands:
         code = main(["experiment", "fig3"])
         assert code == 0
         assert "tau" in capsys.readouterr().out
+
+
+class TestCollect:
+    def test_collect_single_device(self, tmp_path, capsys):
+        out_dir = tmp_path / "ds"
+        code = main(
+            [
+                "collect",
+                "--out-dir",
+                str(out_dir),
+                "--num-archs",
+                "20",
+                "--device",
+                "a100",
+            ]
+        )
+        assert code == 0
+        assert (out_dir / "ANB-a100-Thr.json").exists()
+        assert (out_dir / "journal" / "ANB-a100-Thr.jsonl").exists()
+        assert "ANB-a100-Thr" in capsys.readouterr().out
+
+    def test_collect_crash_then_resume_byte_identical(self, tmp_path, capsys):
+        clean_dir, crash_dir = tmp_path / "clean", tmp_path / "crashy"
+        base = ["collect", "--num-archs", "20", "--device", "zcu102",
+                "--metric", "latency"]
+        assert main(base + ["--out-dir", str(clean_dir)]) == 0
+
+        code = main(
+            base
+            + ["--out-dir", str(crash_dir), "--faults", "crash:0.3",
+               "--fault-seed", "7"]
+        )
+        assert code == 1
+        assert "rerun with --resume" in capsys.readouterr().out
+
+        assert main(base + ["--out-dir", str(crash_dir), "--resume"]) == 0
+        clean = (clean_dir / "ANB-zcu102-Lat.json").read_bytes()
+        resumed = (crash_dir / "ANB-zcu102-Lat.json").read_bytes()
+        assert clean == resumed
+
+    def test_collect_with_retries_and_transient_faults(self, tmp_path):
+        out_dir = tmp_path / "ds"
+        code = main(
+            [
+                "collect",
+                "--out-dir",
+                str(out_dir),
+                "--num-archs",
+                "12",
+                "--device",
+                "a100",
+                "--faults",
+                "timeout:1.0@1",  # every first attempt times out, then heals
+                "--retries",
+                "2",
+            ]
+        )
+        assert code == 0
+
+    def test_build_loud_failure_below_success_gate(self, tmp_path, capsys):
+        code = main(
+            [
+                "collect",
+                "--out-dir",
+                str(tmp_path / "ds"),
+                "--num-archs",
+                "12",
+                "--device",
+                "a100",
+                "--faults",
+                "nan:1.0",
+            ]
+        )
+        assert code == 1
+        assert "failed" in capsys.readouterr().out

@@ -1,0 +1,130 @@
+"""Kill-and-resume integration: journaled builds resume byte-identically.
+
+The acceptance bar for the reliability layer: a collection/build killed
+mid-run by an injected crash fault and resumed from its write-ahead journal
+must produce artifacts byte-identical to an uninterrupted run, under both
+serial and parallel (``n_jobs > 1``) collection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import AccelNASBench
+from repro.core.dataset import (
+    collect_accuracy_dataset,
+    collect_device_dataset,
+    sample_dataset_archs,
+)
+from repro.core.reliability import FaultPlan, InjectedCrash, Journal
+from repro.trainsim.schemes import P_STAR
+
+
+@pytest.fixture(scope="module")
+def archs():
+    return sample_dataset_archs(24, seed=13)
+
+
+class TestDatasetResume:
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_accuracy_kill_and_resume_byte_identical(
+        self, archs, tmp_path, n_jobs
+    ):
+        clean = collect_accuracy_dataset(archs, P_STAR, n_jobs=n_jobs)
+        journal = tmp_path / f"acc-{n_jobs}.jsonl"
+        crash = FaultPlan.crash_on([archs[len(archs) // 2].to_string()])
+        with pytest.raises(InjectedCrash):
+            collect_accuracy_dataset(
+                archs, P_STAR, n_jobs=n_jobs, fault_plan=crash, journal=journal
+            )
+        # The journal retained completed work but not the whole sample.
+        done = Journal(journal, dataset="ANB-Acc").replay()
+        assert 0 < len(done) < len(archs)
+
+        resumed = collect_accuracy_dataset(
+            archs, P_STAR, n_jobs=n_jobs, journal=journal, resume=True
+        )
+        assert resumed.archs == clean.archs
+        assert np.array_equal(resumed.values, clean.values)
+        clean_path, resumed_path = tmp_path / "clean.json", tmp_path / "res.json"
+        clean.to_json(clean_path)
+        resumed.to_json(resumed_path)
+        assert clean_path.read_bytes() == resumed_path.read_bytes()
+
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_device_kill_and_resume_byte_identical(self, archs, tmp_path, n_jobs):
+        clean = collect_device_dataset(archs, "zcu102", "latency", n_jobs=n_jobs)
+        journal = tmp_path / f"dev-{n_jobs}.jsonl"
+        crash = FaultPlan.crash_on([archs[7].to_string()])
+        with pytest.raises(InjectedCrash):
+            collect_device_dataset(
+                archs,
+                "zcu102",
+                "latency",
+                n_jobs=n_jobs,
+                fault_plan=crash,
+                journal=journal,
+            )
+        resumed = collect_device_dataset(
+            archs, "zcu102", "latency", n_jobs=n_jobs, journal=journal, resume=True
+        )
+        clean_path, resumed_path = tmp_path / "clean.json", tmp_path / "res.json"
+        clean.to_json(clean_path)
+        resumed.to_json(resumed_path)
+        assert clean_path.read_bytes() == resumed_path.read_bytes()
+
+    def test_double_kill_then_resume(self, archs, tmp_path):
+        """Two successive crashes at different points still resume cleanly."""
+        clean = collect_accuracy_dataset(archs, P_STAR)
+        journal = tmp_path / "acc.jsonl"
+        for victim in (archs[2], archs[20]):
+            with pytest.raises(InjectedCrash):
+                collect_accuracy_dataset(
+                    archs,
+                    P_STAR,
+                    fault_plan=FaultPlan.crash_on([victim.to_string()]),
+                    journal=journal,
+                    resume=True,
+                )
+        resumed = collect_accuracy_dataset(
+            archs, P_STAR, journal=journal, resume=True
+        )
+        assert np.array_equal(resumed.values, clean.values)
+
+    def test_resume_with_no_journal_computes_everything(self, archs, tmp_path):
+        ds = collect_accuracy_dataset(
+            archs, P_STAR, journal=tmp_path / "fresh.jsonl", resume=True
+        )
+        assert len(ds) == len(archs)
+
+
+class TestBuildResume:
+    @pytest.mark.parametrize("collect_n_jobs", [1, 2])
+    def test_build_kill_and_resume_byte_identical(self, tmp_path, collect_n_jobs):
+        devices = {"a100": ("throughput",)}
+        kwargs = dict(
+            num_archs=80,
+            devices=devices,
+            sample_seed=4,
+            collect_n_jobs=collect_n_jobs,
+        )
+        clean, _ = AccelNASBench.build(P_STAR, **kwargs)
+        clean_path = tmp_path / "clean.json"
+        clean.save(clean_path)
+
+        victim = sample_dataset_archs(80, seed=4)[40].to_string()
+        journal_dir = tmp_path / f"journal-{collect_n_jobs}"
+        with pytest.raises(InjectedCrash):
+            AccelNASBench.build(
+                P_STAR,
+                journal_dir=journal_dir,
+                fault_plan=FaultPlan.crash_on([victim]),
+                **kwargs,
+            )
+        assert (journal_dir / "ANB-Acc.jsonl").exists()
+
+        resumed, _ = AccelNASBench.build(
+            P_STAR, journal_dir=journal_dir, resume=True, **kwargs
+        )
+        resumed_path = tmp_path / "resumed.json"
+        resumed.save(resumed_path)
+        assert clean_path.read_bytes() == resumed_path.read_bytes()

@@ -97,3 +97,46 @@ class TestCostModel:
         assert model.train_time_hours(big_arch, P_STAR) > model.train_time_hours(
             tiny_arch, P_STAR
         )
+
+
+class TestFaultInjection:
+    def test_crash_fault_raises(self, some_archs):
+        from repro.core.reliability import FaultPlan, InjectedCrash
+
+        arch = some_archs[0]
+        trainer = SimulatedTrainer(
+            fault_plan=FaultPlan.crash_on([arch.to_string()])
+        )
+        with pytest.raises(InjectedCrash):
+            trainer.train(arch, P_STAR)
+        # Other architectures train normally under the same plan.
+        assert 0.0 <= trainer.train(some_archs[1], P_STAR).top1 <= 1.0
+
+    def test_nan_fault_corrupts_value(self, some_archs):
+        from repro.core.reliability import FaultPlan, FaultSpec
+
+        arch = some_archs[0]
+        trainer = SimulatedTrainer(
+            fault_plan=FaultPlan([FaultSpec("nan", keys=[arch.to_string()])])
+        )
+        assert np.isnan(trainer.train(arch, P_STAR).top1)
+
+    def test_attempt_does_not_change_clean_value(self, trainer, some_archs):
+        """The retry attempt index must never perturb a healthy result."""
+        arch = some_archs[0]
+        assert (
+            trainer.train(arch, P_STAR, attempt=0).top1
+            == trainer.train(arch, P_STAR, attempt=3).top1
+        )
+
+    def test_transient_fault_window(self, some_archs):
+        from repro.core.reliability import FaultPlan, FaultSpec, MeasurementTimeout
+
+        arch = some_archs[0]
+        trainer = SimulatedTrainer(
+            fault_plan=FaultPlan([FaultSpec("timeout", max_attempt=1)])
+        )
+        with pytest.raises(MeasurementTimeout):
+            trainer.train(arch, P_STAR, attempt=0)
+        clean = SimulatedTrainer().train(arch, P_STAR).top1
+        assert trainer.train(arch, P_STAR, attempt=1).top1 == clean
