@@ -1,0 +1,97 @@
+"""Bench: scalar per-arch collection vs the vectorised batch kernels.
+
+Times accuracy and device collection over the same sample with the batch
+kernels off and on (serial and with a thread pool), asserts the values are
+bit-identical across all four paths (the determinism contract), and records
+archs/s to ``results/BENCH_collect.json``.  The batch path must deliver at
+least a 3x archs/s improvement over the scalar path on the same core count.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.dataset import (
+    collect_accuracy_dataset,
+    collect_device_dataset,
+    sample_dataset_archs,
+)
+from repro.trainsim.schemes import P_STAR
+
+from conftest import BENCH_ARCHS, emit, record_trajectory
+
+COLLECT_ARCHS = min(600, BENCH_ARCHS)
+
+
+def _time_accuracy(archs, batch, n_jobs):
+    t0 = time.perf_counter()
+    ds = collect_accuracy_dataset(archs, P_STAR, batch=batch, n_jobs=n_jobs)
+    return ds, time.perf_counter() - t0
+
+
+def _time_device(archs, batch, n_jobs):
+    t0 = time.perf_counter()
+    ds = collect_device_dataset(
+        archs, "zcu102", "latency", batch=batch, n_jobs=n_jobs
+    )
+    return ds, time.perf_counter() - t0
+
+
+def test_batch_collection_speed_and_equivalence():
+    workers = max(2, os.cpu_count() or 1)
+    archs = sample_dataset_archs(COLLECT_ARCHS, seed=13)
+
+    # Warm shared caches (stage/timing tables, graph cache) so the scalar
+    # and batch paths compete on steady-state throughput, not first-touch.
+    collect_accuracy_dataset(archs[:4], P_STAR, batch=True)
+    collect_device_dataset(archs[:4], "zcu102", "latency", batch=True)
+
+    acc_scalar, acc_scalar_s = _time_accuracy(archs, False, 1)
+    acc_batch, acc_batch_s = _time_accuracy(archs, True, 1)
+    acc_batch_par, acc_batch_par_s = _time_accuracy(archs, True, workers)
+    dev_scalar, dev_scalar_s = _time_device(archs, False, 1)
+    dev_batch, dev_batch_s = _time_device(archs, True, 1)
+    dev_batch_par, dev_batch_par_s = _time_device(archs, True, workers)
+
+    assert np.array_equal(acc_scalar.values, acc_batch.values)
+    assert np.array_equal(acc_scalar.values, acc_batch_par.values)
+    assert np.array_equal(dev_scalar.values, dev_batch.values)
+    assert np.array_equal(dev_scalar.values, dev_batch_par.values)
+
+    n = len(archs)
+    acc_speedup = acc_scalar_s / acc_batch_s
+    dev_speedup = dev_scalar_s / dev_batch_s
+    lines = [
+        f"Collection: scalar loop vs batch kernels ({n} archs)",
+        f"  accuracy  scalar       : {acc_scalar_s:7.2f} s "
+        f"({n / acc_scalar_s:8.1f} archs/s)",
+        f"  accuracy  batch        : {acc_batch_s:7.2f} s "
+        f"({n / acc_batch_s:8.1f} archs/s, {acc_speedup:.1f}x)",
+        f"  accuracy  batch x{workers:<2}    : {acc_batch_par_s:7.2f} s "
+        f"({n / acc_batch_par_s:8.1f} archs/s)",
+        f"  device    scalar       : {dev_scalar_s:7.2f} s "
+        f"({n / dev_scalar_s:8.1f} archs/s)",
+        f"  device    batch        : {dev_batch_s:7.2f} s "
+        f"({n / dev_batch_s:8.1f} archs/s, {dev_speedup:.1f}x)",
+        f"  device    batch x{workers:<2}    : {dev_batch_par_s:7.2f} s "
+        f"({n / dev_batch_par_s:8.1f} archs/s)",
+        "  values: bit-identical across all paths",
+    ]
+    emit("bench_collect_batch", "\n".join(lines))
+    record_trajectory(
+        "collect",
+        {
+            "num_archs": n,
+            "n_jobs": workers,
+            "acc_scalar_archs_per_s": n / acc_scalar_s,
+            "acc_batch_archs_per_s": n / acc_batch_s,
+            "acc_batch_parallel_archs_per_s": n / acc_batch_par_s,
+            "dev_scalar_archs_per_s": n / dev_scalar_s,
+            "dev_batch_archs_per_s": n / dev_batch_s,
+            "dev_batch_parallel_archs_per_s": n / dev_batch_par_s,
+        },
+    )
+    # Acceptance floor: the batch kernel must beat the scalar loop by >= 3x
+    # on the accuracy hot path at equal core count.
+    assert acc_speedup >= 3.0, f"batch speedup {acc_speedup:.2f}x < 3x"

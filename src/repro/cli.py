@@ -87,6 +87,7 @@ def _reliability_kwargs(args: argparse.Namespace) -> dict:
         "fault_plan": fault_plan,
         "resume": args.resume,
         "min_success_fraction": args.min_success_fraction,
+        "batch": not args.no_batch,
     }
 
 
@@ -120,6 +121,11 @@ def _add_reliability_flags(p: argparse.ArgumentParser) -> None:
         help='inject seeded faults, e.g. "nan:0.05,timeout:0.1@2,crash:0.01"',
     )
     p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable the vectorised batch kernels (bit-identical, slower)",
+    )
 
 
 def _cmd_build(args: argparse.Namespace) -> int:

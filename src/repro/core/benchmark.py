@@ -104,6 +104,7 @@ class AccelNASBench:
         journal_dir: str | Path | None = None,
         resume: bool = False,
         min_success_fraction: float = 1.0,
+        batch: bool = True,
     ) -> tuple["AccelNASBench", list[FitReport]]:
         """Collect datasets and fit surrogates; return (benchmark, reports).
 
@@ -137,6 +138,10 @@ class AccelNASBench:
             resume: Replay existing journals instead of starting clean.
             min_success_fraction: Per-dataset graceful-degradation gate (see
                 :func:`~repro.core.dataset.collect_accuracy_dataset`).
+            batch: Use the vectorised batch kernels inside each collection
+                (bit-identical values; see :mod:`repro.trainsim.batch` and
+                :mod:`repro.hwsim.batch`).  ``False`` forces the scalar
+                per-architecture loops.
         """
         devices = devices if devices is not None else dict(DEVICE_METRICS)
         fitter = fitter if fitter is not None else SurrogateFitter()
@@ -164,6 +169,7 @@ class AccelNASBench:
                 fault_plan=fault_plan,
                 resume=resume,
                 min_success_fraction=min_success_fraction,
+                batch=batch,
             )
             if target is None:
                 dataset = collect_accuracy_dataset(

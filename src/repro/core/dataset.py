@@ -37,6 +37,7 @@ from repro.core.reliability import (
     run_tasks,
     write_artifact,
 )
+from repro.core.parallel import chunked_array_map
 from repro.hwsim.measure import MeasurementHarness
 from repro.hwsim.registry import get_device, supports_metric
 from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
@@ -160,14 +161,24 @@ def _collect(
     journal: Journal | str | Path | None,
     resume: bool,
     min_success_fraction: float,
+    prepare_tasks=None,
 ) -> BenchmarkDataset:
     """Shared fault-tolerant collection loop behind both collectors.
 
     ``task(arch, attempt) -> float``.  Keys are canonical arch strings; the
     journal is validated against (or created for) ``name``.
+
+    ``prepare_tasks(pending_archs, n_jobs)`` — optional batch-kernel hook —
+    receives the architectures still missing after journal replay and
+    returns the per-key ``(key, attempt) -> float`` task to run instead of
+    ``task`` (typically: vectorised clean values + per-key fault replay).
     """
     by_key = {a.to_string(): a for a in archs}
     keys = [a.to_string() for a in archs]
+    prepare = None
+    if prepare_tasks is not None:
+        def prepare(pending_keys: list[str]):
+            return prepare_tasks([by_key[key] for key in pending_keys], n_jobs)
     own_journal = journal is not None and not isinstance(journal, Journal)
     if own_journal:
         journal = Journal(journal, dataset=name)
@@ -180,6 +191,7 @@ def _collect(
             journal=journal,
             resume=resume,
             min_success_fraction=min_success_fraction,
+            prepare=prepare,
         )
     finally:
         if own_journal:
@@ -205,6 +217,7 @@ def collect_accuracy_dataset(
     journal: Journal | str | Path | None = None,
     resume: bool = False,
     min_success_fraction: float = 1.0,
+    batch: bool = True,
 ) -> BenchmarkDataset:
     """Train every architecture once under ``scheme``; return ANB-Acc.
 
@@ -212,6 +225,13 @@ def collect_accuracy_dataset(
     collection can fan out over ``n_jobs`` workers without changing a single
     value (``-1`` = all CPUs) — and, for the same reason, a journaled run
     killed partway and resumed produces a byte-identical dataset.
+
+    With ``batch=True`` (the default) the clean accuracies of all
+    still-pending architectures are computed through the vectorised batch
+    kernel (:meth:`SimulatedTrainer.train_batch`, itself chunked over
+    ``n_jobs``), and the per-architecture tasks only replay fault injection —
+    values, journal contents and quarantine behaviour are bit-identical to
+    the scalar loop, just faster.
 
     Args:
         archs: Architectures to train.
@@ -239,6 +259,29 @@ def collect_accuracy_dataset(
     def train_one(arch: ArchSpec, attempt: int) -> float:
         return trainer.train(arch, scheme, seed=seed, attempt=attempt).top1
 
+    prepare_tasks = None
+    if batch:
+        def prepare_tasks(pending_archs: list[ArchSpec], prepare_n_jobs: int):
+            clean = chunked_array_map(
+                lambda chunk: trainer.train_batch(
+                    chunk, scheme, seeds=seed, apply_faults=False
+                ).top1,
+                pending_archs,
+                n_jobs=prepare_n_jobs,
+            )
+            clean_by_key = {
+                arch.to_string(): float(value)
+                for arch, value in zip(pending_archs, clean)
+            }
+
+            def batch_task(key: str, attempt: int) -> float:
+                value = clean_by_key[key]
+                if trainer.fault_plan is not None:
+                    value = trainer.fault_plan.apply(key, value, attempt)
+                return value
+
+            return batch_task
+
     return _collect(
         archs,
         train_one,
@@ -250,6 +293,7 @@ def collect_accuracy_dataset(
         journal=journal,
         resume=resume,
         min_success_fraction=min_success_fraction,
+        prepare_tasks=prepare_tasks,
     )
 
 
@@ -264,6 +308,7 @@ def collect_device_dataset(
     journal: Journal | str | Path | None = None,
     resume: bool = False,
     min_success_fraction: float = 1.0,
+    batch: bool = True,
 ) -> BenchmarkDataset:
     """Measure every architecture on a device; return ANB-{device}-{metric}.
 
@@ -271,7 +316,11 @@ def collect_device_dataset(
     so the loop can fan out over ``n_jobs`` workers (``-1`` = all CPUs) with
     values bit-identical to the serial collection, and a journaled run
     killed partway resumes byte-identically.  The fault-tolerance knobs
-    mirror :func:`collect_accuracy_dataset`.
+    mirror :func:`collect_accuracy_dataset`, as does ``batch``: by default
+    the clean measurements of all pending architectures come from the
+    vectorised device kernel (:meth:`MeasurementHarness.measure_batch`) with
+    per-architecture tasks only replaying fault injection, bit-identical to
+    the scalar loop.
 
     Raises:
         ValueError: If the device does not support the metric (latency is
@@ -287,6 +336,29 @@ def collect_device_dataset(
         def measure_one(arch: ArchSpec, attempt: int) -> float:
             return harness.measure_latency(arch, attempt=attempt)
 
+    prepare_tasks = None
+    if batch:
+        def prepare_tasks(pending_archs: list[ArchSpec], prepare_n_jobs: int):
+            clean = chunked_array_map(
+                lambda chunk: harness.measure_batch(
+                    chunk, metric, apply_faults=False
+                ),
+                pending_archs,
+                n_jobs=prepare_n_jobs,
+            )
+            clean_by_key = {
+                arch.to_string(): float(value)
+                for arch, value in zip(pending_archs, clean)
+            }
+
+            def batch_task(key: str, attempt: int) -> float:
+                value = clean_by_key[key]
+                if harness.fault_plan is not None:
+                    value = harness.fault_plan.apply(key, value, attempt)
+                return value
+
+            return batch_task
+
     return _collect(
         archs,
         measure_one,
@@ -298,6 +370,7 @@ def collect_device_dataset(
         journal=journal,
         resume=resume,
         min_success_fraction=min_success_fraction,
+        prepare_tasks=prepare_tasks,
     )
 
 

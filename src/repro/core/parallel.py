@@ -25,6 +25,8 @@ import os
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+import numpy as np
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -111,3 +113,39 @@ def chunked_map(
         for chunk in _collect_in_order(futures, labels):
             out.extend(chunk)
         return out
+
+
+def chunked_array_map(
+    fn: Callable[[list[T]], np.ndarray],
+    items: Sequence[T],
+    n_jobs: int | None = 1,
+) -> np.ndarray:
+    """Apply an array-producing chunk function over contiguous chunks.
+
+    The batch-kernel analogue of :func:`chunked_map`: ``fn`` receives a
+    contiguous sub-list of ``items`` and returns one value per element as a
+    1-D array; chunk results are concatenated back in input order.  Because
+    every in-repo batch kernel computes each element independently of its
+    chunk-mates, the output is bit-identical for any worker count.
+
+    Args:
+        fn: ``chunk -> (len(chunk),) float array``; must be order-independent
+            across chunks (seeded per element, thread-safe caches only).
+        items: Work items; chunk boundaries follow :func:`chunked_map`.
+        n_jobs: Worker count (``None``/``-1`` = all CPUs; 1 = serial).
+    """
+    work = list(items)
+    if not work:
+        return np.empty(0, dtype=np.float64)
+    workers = min(resolve_n_jobs(n_jobs), len(work))
+    if workers == 1:
+        return np.asarray(fn(work), dtype=np.float64)
+    bounds = [
+        (len(work) * w // workers, len(work) * (w + 1) // workers)
+        for w in range(workers)
+    ]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(lambda b: fn(work[b[0] : b[1]]), bound) for bound in bounds]
+        labels = [f"chunk covering items {lo}:{hi}" for lo, hi in bounds]
+        chunks = _collect_in_order(futures, labels)
+    return np.concatenate([np.asarray(c, dtype=np.float64) for c in chunks])

@@ -573,6 +573,7 @@ def run_tasks(
     journal: Journal | None = None,
     resume: bool = False,
     min_success_fraction: float = 1.0,
+    prepare: Callable[[list[str]], Callable[[str, int], float]] | None = None,
 ) -> CollectionOutcome:
     """Run ``task(key, attempt)`` for every key with retries + journaling.
 
@@ -596,6 +597,13 @@ def run_tasks(
         min_success_fraction: Gate in [0, 1]; if the fraction of successful
             keys falls below it, :class:`CollectionError` is raised.
             ``1.0`` (default) means any quarantined task fails the run.
+        prepare: Optional batch-precompute hook: called with the *pending*
+            key list (after journal replay) and returns the task callable to
+            actually run.  Batch kernels use this to compute all clean values
+            in one vectorised pass and hand back a cheap per-key task that
+            only applies fault injection — per-key retry, journaling, resume
+            and quarantine semantics are untouched because the returned task
+            still runs through the normal per-key machinery.
 
     Raises:
         CollectionError: Success fraction below ``min_success_fraction``.
@@ -615,6 +623,8 @@ def run_tasks(
 
     pending = [key for key in keys if key not in done]
     replayed = len(keys) - len(pending)
+    if prepare is not None and pending:
+        task = prepare(list(pending))
 
     def attempt_once(key: str, attempt: int) -> float:
         value = task(key, attempt)

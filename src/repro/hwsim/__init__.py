@@ -21,11 +21,17 @@ devices *disagree about model rankings* — the property that motivates
 accelerator-aware NAS benchmarks in the first place.
 """
 
+from repro.hwsim.batch import DeviceBatchKernel, supports_device
 from repro.hwsim.device import AcceleratorModel, DeviceSpec, LayerTiming
 from repro.hwsim.gpu import GpuModel, make_a100, make_rtx3090
 from repro.hwsim.tpu import TpuModel, make_tpuv2, make_tpuv3
 from repro.hwsim.fpga import FpgaDpuModel, make_vck190, make_zcu102
-from repro.hwsim.measure import MeasurementHarness, MeasurementProtocol
+from repro.hwsim.measure import (
+    MeasurementHarness,
+    MeasurementProtocol,
+    graph_cache_clear,
+    graph_cache_info,
+)
 from repro.hwsim.quantize import quantized_accuracy_delta
 from repro.hwsim.registry import (
     DEVICE_FACTORIES,
@@ -38,6 +44,7 @@ __all__ = [
     "AcceleratorModel",
     "DEVICE_FACTORIES",
     "DEVICE_METRICS",
+    "DeviceBatchKernel",
     "DeviceSpec",
     "FpgaDpuModel",
     "GpuModel",
@@ -46,7 +53,10 @@ __all__ = [
     "MeasurementProtocol",
     "TpuModel",
     "get_device",
+    "graph_cache_clear",
+    "graph_cache_info",
     "list_devices",
+    "supports_device",
     "make_a100",
     "make_rtx3090",
     "make_tpuv2",

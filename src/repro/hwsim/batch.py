@@ -1,0 +1,204 @@
+"""Vectorised population kernels for the measurement harness.
+
+The scalar measurement path builds (and shape-validates) one layer graph per
+architecture and re-times every layer on every call.  This module exploits
+two structural facts to evaluate whole populations without building any
+per-architecture graphs:
+
+* every in-repo device's ``layer_timing`` is a pure function of
+  ``(layer, batch)`` — no cross-layer state — and ``network_overhead_s`` is a
+  per-device constant that ignores the graph, so
+* a model's clean latency is a left-to-right sum of *per-stage-row* layer
+  timings, where the rows come from the probe-built
+  :class:`~repro.searchspace.stage_table.StageTable` (at most 36 distinct
+  rows per stage).
+
+:class:`DeviceBatchKernel` caches the per-layer ``total_s`` sequences per
+``(batch, resolution)`` and replays the exact scalar reduction per
+architecture: the running sum starts at ``0.0`` and adds each layer's total
+in graph insertion order, so the result is bitwise equal to
+``device.batch_latency_s(build_graph(arch), batch)``.  The measurement-noise
+protocol (warmup slowdown, lognormal jitter, timed-run mean) is then applied
+over the whole population in array form by
+:meth:`~repro.hwsim.measure.MeasurementHarness.measure_batch`.
+
+Unsupported device subclasses — anything overriding the base graph walk or
+the latency/throughput reductions (other than the known FPGA model) — are
+reported by :func:`supports_device` and fall back to the scalar path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from repro.hwsim.device import AcceleratorModel
+from repro.hwsim.fpga import FpgaDpuModel
+from repro.nn.layers import Layer
+from repro.searchspace.mnasnet import ArchSpec, NUM_STAGES
+from repro.searchspace.stage_table import get_stage_table
+
+
+def supports_device(device: AcceleratorModel) -> bool:
+    """Whether the batch kernel reproduces ``device`` bit-for-bit.
+
+    True for any model that keeps the base class's graph walk and
+    latency/throughput reductions, plus the FPGA DPU model (whose overridden
+    throughput reduction the kernel replicates explicitly).
+    """
+    cls = type(device)
+    base_walk = (
+        cls.graph_timings is AcceleratorModel.graph_timings
+        and cls.batch_latency_s is AcceleratorModel.batch_latency_s
+    )
+    if not base_walk:
+        return False
+    if isinstance(device, FpgaDpuModel):
+        return True
+    return (
+        cls.throughput_ips is AcceleratorModel.throughput_ips
+        and cls.latency_ms is AcceleratorModel.latency_ms
+    )
+
+
+def supports_batch(archs: Sequence[object]) -> bool:
+    """Whether the stage-table decomposition covers every member of ``archs``."""
+    return all(type(arch) is ArchSpec for arch in archs)
+
+
+class _TotalsTable:
+    """Per-layer ``total_s`` sequences for one ``(batch, resolution)``."""
+
+    __slots__ = ("stem", "head", "rows", "overhead_s")
+
+    def __init__(
+        self, stem: tuple[float, ...], head: tuple[float, ...], overhead_s: float
+    ) -> None:
+        self.stem = stem
+        self.head = head
+        self.rows: dict[tuple[int, int, int, int, int], tuple[float, ...]] = {}
+        self.overhead_s = overhead_s
+
+
+class DeviceBatchKernel:
+    """Clean-metric evaluator for populations of architectures on one device.
+
+    Thread-safe; one kernel per device instance.  Timing tables are built
+    lazily per ``(batch, resolution)`` from stage-table probe rows.
+
+    Args:
+        device: The accelerator model to evaluate on.
+    """
+
+    def __init__(self, device: AcceleratorModel) -> None:
+        if not supports_device(device):
+            raise ValueError(
+                f"device {device!r} overrides the base graph walk; "
+                "use the scalar measurement path"
+            )
+        self.device = device
+        self._lock = threading.Lock()
+        self._tables: dict[tuple[int, int], _TotalsTable] = {}
+
+    def _time_layers(self, layers: Sequence[Layer], batch: int) -> tuple[float, ...]:
+        return tuple(
+            self.device.layer_timing(layer, batch).total_s for layer in layers
+        )
+
+    def _table(self, batch: int, resolution: int) -> _TotalsTable:
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        key = (batch, resolution)
+        with self._lock:
+            table = self._tables.get(key)
+            if table is None:
+                stage_table = get_stage_table(resolution)
+                # network_overhead_s ignores the graph for every supported
+                # device; an empty probe graph stands in for the real one.
+                from repro.nn.graph import LayerGraph
+                from repro.nn.layers import TensorShape
+
+                probe = LayerGraph(
+                    "batch-kernel-probe", TensorShape(3, resolution, resolution)
+                )
+                table = _TotalsTable(
+                    stem=self._time_layers(stage_table.stem_layers(), batch),
+                    head=self._time_layers(stage_table.head_layers(), batch),
+                    overhead_s=self.device.network_overhead_s(probe, batch),
+                )
+                self._tables[key] = table
+            return table
+
+    def _row(
+        self,
+        table: _TotalsTable,
+        resolution: int,
+        stage: int,
+        e: int,
+        k: int,
+        layers: int,
+        se: int,
+        batch: int,
+    ) -> tuple[float, ...]:
+        key = (stage, e, k, layers, se)
+        row = table.rows.get(key)
+        if row is None:
+            stage_layers = get_stage_table(resolution).stage_layers(
+                stage, e, k, layers, se
+            )
+            row = self._time_layers(stage_layers, batch)
+            with self._lock:
+                table.rows.setdefault(key, row)
+        return row
+
+    def batch_latency_s(
+        self, archs: Sequence[ArchSpec], batch: int | None = None, resolution: int = 224
+    ) -> np.ndarray:
+        """Clean per-arch batch latency (s); bitwise equal to the graph walk."""
+        batch = batch if batch is not None else self.device.spec.default_batch
+        table = self._table(batch, resolution)
+        out = np.empty(len(archs), dtype=np.float64)
+        for i, arch in enumerate(archs):
+            rows = [table.stem]
+            for stage in range(NUM_STAGES):
+                rows.append(
+                    self._row(
+                        table,
+                        resolution,
+                        stage,
+                        arch.expansion[stage],
+                        arch.kernel[stage],
+                        arch.layers[stage],
+                        arch.se[stage],
+                        batch,
+                    )
+                )
+            rows.append(table.head)
+            # Replicate sum(generator): start at 0 and add left-to-right in
+            # graph insertion order — FP addition order is part of the
+            # bit-identity contract.
+            total = 0
+            for row in rows:
+                for value in row:
+                    total = total + value
+            out[i] = total + table.overhead_s
+        return out
+
+    def latency_ms(
+        self, archs: Sequence[ArchSpec], batch: int = 1, resolution: int = 224
+    ) -> np.ndarray:
+        """Clean per-arch latency (ms); matches ``device.latency_ms``."""
+        return self.batch_latency_s(archs, batch, resolution) * 1e3
+
+    def throughput_ips(
+        self, archs: Sequence[ArchSpec], batch: int | None = None, resolution: int = 224
+    ) -> np.ndarray:
+        """Clean per-arch throughput (images/s); matches ``device.throughput_ips``."""
+        batch = batch if batch is not None else self.device.spec.default_batch
+        single = batch / self.batch_latency_s(archs, batch, resolution)
+        if isinstance(self.device, FpgaDpuModel):
+            params = self.device.params
+            return single * params.num_cores * params.pipeline_efficiency
+        return single

@@ -12,6 +12,8 @@ differ like real measurements do.
 from __future__ import annotations
 
 import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -86,6 +88,7 @@ class MeasurementHarness:
             protocol = DEFAULT_PROTOCOLS.get(device.name, MeasurementProtocol())
         self.protocol = protocol
         self.fault_plan = fault_plan
+        self._batch_kernel = None
 
     def _jitter(self, arch_key: str, metric: str, run_idx: int) -> float:
         seed_bytes = hashlib.blake2b(
@@ -157,14 +160,161 @@ class MeasurementHarness:
             return self.device.warmup_compile_s
         return 0.0
 
+    def measure_batch(
+        self,
+        archs,
+        metric: str = "throughput",
+        batch: int | None = None,
+        resolution: int = 224,
+        attempt: int = 0,
+        apply_faults: bool = True,
+    ) -> np.ndarray:
+        """Measure a whole population through the vectorised batch kernel.
 
-_GRAPH_CACHE: dict[tuple[str, int], LayerGraph] = {}
+        Bit-identical to looping :meth:`measure_throughput` /
+        :meth:`measure_latency` over ``archs``: clean device metrics come
+        from per-stage timing tables (no per-architecture graph builds, see
+        :mod:`repro.hwsim.batch`) and the warmup/jitter/averaging protocol is
+        applied across the population in one array pass.  Foreign spec types
+        and device models that override the base graph walk fall back to the
+        scalar loop transparently.
+
+        Faults are applied per key *after* the clean batch kernel, in
+        population order — a timeout fault raises at the same index it would
+        in the scalar loop.  Pass ``apply_faults=False`` to obtain the clean
+        measurements (used by the collection layer, which replays faults
+        per-task so journaling/retry semantics are unchanged).
+
+        Args:
+            archs: Population to measure.
+            metric: ``"throughput"`` (images/s) or ``"latency"`` (ms).
+            batch: Inference batch size; ``None`` means the device default
+                for throughput and 1 for latency (the scalar defaults).
+            resolution: Input resolution.
+            attempt: Retry attempt index, forwarded to the fault plan only.
+            apply_faults: Whether to consult the attached fault plan.
+        """
+        from repro.hwsim import batch as _batch
+
+        archs = list(archs)
+        if metric == "throughput":
+            lower_is_better = False
+            metric_key = f"thr@{batch}"
+        elif metric == "latency":
+            batch = 1 if batch is None else batch
+            lower_is_better = True
+            metric_key = f"lat@{batch}"
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+
+        if _batch.supports_device(self.device) and _batch.supports_batch(archs):
+            if self._batch_kernel is None:
+                self._batch_kernel = _batch.DeviceBatchKernel(self.device)
+            if metric == "throughput":
+                clean = self._batch_kernel.throughput_ips(archs, batch, resolution)
+            else:
+                clean = self._batch_kernel.latency_ms(archs, batch, resolution)
+        else:
+            clean = np.empty(len(archs), dtype=np.float64)
+            for i, arch in enumerate(archs):
+                graph = _cached_graph(arch, resolution)
+                if metric == "throughput":
+                    clean[i] = self.device.throughput_ips(graph, batch)
+                else:
+                    clean[i] = self.device.latency_ms(graph, batch)
+
+        warmup = self.protocol.warmup_runs
+        total = warmup + self.protocol.timed_runs
+        jitter = np.empty((len(archs), total), dtype=np.float64)
+        for i, arch in enumerate(archs):
+            key = arch.to_string()
+            for run_idx in range(total):
+                jitter[i, run_idx] = self._jitter(key, metric_key, run_idx)
+        values = clean[:, None] * jitter
+        if warmup:
+            slow = self.protocol.warmup_slowdown
+            if lower_is_better:
+                values[:, :warmup] = values[:, :warmup] * slow
+            else:
+                values[:, :warmup] = values[:, :warmup] / slow
+        measured = values[:, warmup:].mean(axis=1)
+        if apply_faults and self.fault_plan is not None:
+            for i, arch in enumerate(archs):
+                measured[i] = self.fault_plan.apply(
+                    arch.to_string(), float(measured[i]), attempt
+                )
+        return measured
+
+
+class _GraphCache:
+    """Thread-safe LRU of built layer graphs keyed by (arch string, resolution).
+
+    Mirrors the FeatureEncoder cache: bounded capacity with least-recently-used
+    eviction (no wholesale flushes), a lock around every structural mutation,
+    and hit/miss accounting via :meth:`cache_info`.  Graph construction runs
+    outside the lock; a concurrent builder of the same key wins the race
+    harmlessly (both graphs are identical and immutable in practice).
+    """
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._data: OrderedDict[tuple[str, int], LayerGraph] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_build(self, arch, resolution: int) -> LayerGraph:
+        key = (arch.to_string(), resolution)
+        with self._lock:
+            graph = self._data.get(key)
+            if graph is not None:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return graph
+            self._misses += 1
+        graph = build_graph(arch, resolution=resolution)
+        with self._lock:
+            existing = self._data.get(key)
+            if existing is not None:
+                self._data.move_to_end(key)
+                return existing
+            self._data[key] = graph
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+        return graph
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss counters and occupancy, matching FeatureEncoder.cache_info."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._data),
+                "capacity": self.capacity,
+            }
+
+    def cache_clear(self) -> None:
+        """Drop all cached graphs and reset the counters."""
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+_GRAPH_CACHE = _GraphCache()
 
 
 def _cached_graph(arch, resolution: int) -> LayerGraph:
-    key = (arch.to_string(), resolution)
-    if key not in _GRAPH_CACHE:
-        if len(_GRAPH_CACHE) > 20_000:
-            _GRAPH_CACHE.clear()
-        _GRAPH_CACHE[key] = build_graph(arch, resolution=resolution)
-    return _GRAPH_CACHE[key]
+    return _GRAPH_CACHE.get_or_build(arch, resolution)
+
+
+def graph_cache_info() -> dict[str, int]:
+    """Hit/miss/occupancy statistics of the shared built-graph cache."""
+    return _GRAPH_CACHE.cache_info()
+
+
+def graph_cache_clear() -> None:
+    """Clear the shared built-graph cache (mainly for tests)."""
+    _GRAPH_CACHE.cache_clear()

@@ -1,0 +1,193 @@
+"""Per-stage layer tables: reconstruct any MnasNet model without a build.
+
+The skeleton of the MnasNet space fixes every stage's input channels and
+input resolution regardless of the decisions taken in *other* stages (stage
+widths and strides are not searchable).  Consequently the IR layers of stage
+``i`` depend only on ``(i, expansion, kernel, layers, se, resolution)`` — a
+36-way table per stage — and a whole model's layer sequence is exactly
+
+    stem layers + stage_0 layers + ... + stage_6 layers + head layers
+
+in :func:`~repro.searchspace.model_builder.build_model` insertion order.
+
+:class:`StageTable` materialises that table lazily from *probe* builds (one
+real ``build_model`` call per distinct stage configuration, shared by all
+seven stages) and serves per-architecture layer sequences and exact FLOP
+counts from dictionary lookups.  This is the foundation of the batch kernels
+in :mod:`repro.trainsim.batch` and :mod:`repro.hwsim.batch`: evaluating a
+population of architectures no longer builds (or shape-validates) any graphs
+beyond the first few dozen probes.
+
+Exactness: FLOP/MAC/parameter counts are integers, so table sums equal
+``count_graph(build_model(arch))`` exactly in any order.  Per-layer float
+quantities (e.g. device timings) are kept as per-layer sequences so callers
+can reduce them in the same left-to-right order as a real graph walk.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.searchspace.mnasnet import (
+    ArchSpec,
+    DEFAULT_RESOLUTION,
+    NUM_STAGES,
+)
+
+# One probe stage config: (expansion, kernel, layers, se).
+_StageKey = tuple[int, int, int, int]
+
+
+class StageTable:
+    """Lazily-built per-stage layer lookup for the MnasNet skeleton.
+
+    Thread-safe: probe builds happen under a lock, lookups after the first
+    build are lock-free dictionary reads of immutable tuples.
+
+    Args:
+        resolution: Input resolution the table is built for (one table per
+            resolution; 224 covers every in-repo consumer).
+    """
+
+    def __init__(self, resolution: int = DEFAULT_RESOLUTION) -> None:
+        self.resolution = resolution
+        self._lock = threading.Lock()
+        # (stage, e, k, L, se) -> tuple[Layer, ...]
+        self._stages: dict[tuple[int, int, int, int, int], tuple[Layer, ...]] = {}
+        self._stage_flops: dict[tuple[int, int, int, int, int], int] = {}
+        self._stem: tuple[Layer, ...] | None = None
+        self._head: tuple[Layer, ...] | None = None
+        self._fixed_flops = 0
+
+    # ----------------------------------------------------------------- probes
+
+    def _probe(self, config: _StageKey) -> None:
+        """Build one model with ``config`` in every stage and slice it up.
+
+        A single probe populates the table rows of all seven stages (their
+        fixed input channels/resolutions make the slices reusable verbatim)
+        plus the config-independent stem and head rows.
+        """
+        from repro.searchspace.model_builder import build_model
+
+        e, k, layers, se = config
+        arch = ArchSpec(
+            expansion=(e,) * NUM_STAGES,
+            kernel=(k,) * NUM_STAGES,
+            layers=(layers,) * NUM_STAGES,
+            se=(se,) * NUM_STAGES,
+        )
+        graph = build_model(arch, resolution=self.resolution)
+        groups: dict[str, list[Layer]] = {}
+        for layer in graph:
+            prefix = layer.name.split(".", 1)[0]
+            groups.setdefault(prefix, []).append(layer)
+        if self._stem is None:
+            self._stem = tuple(groups["stem"])
+            self._head = tuple(groups["head"])
+            self._fixed_flops = sum(
+                layer.flops for layer in self._stem + self._head
+            )
+        for stage in range(NUM_STAGES):
+            row = tuple(groups[f"s{stage}"])
+            key = (stage, e, k, layers, se)
+            self._stages[key] = row
+            self._stage_flops[key] = sum(layer.flops for layer in row)
+
+    def _stage_layers_locked(
+        self, stage: int, e: int, k: int, layers: int, se: int
+    ) -> tuple[Layer, ...]:
+        key = (stage, e, k, layers, se)
+        row = self._stages.get(key)
+        if row is None:
+            self._probe((e, k, layers, se))
+            row = self._stages[key]
+        return row
+
+    # ---------------------------------------------------------------- lookups
+
+    def stem_layers(self) -> tuple[Layer, ...]:
+        """The config-independent stem layer sequence."""
+        with self._lock:
+            if self._stem is None:
+                self._probe((1, 3, 1, 0))
+            return self._stem  # type: ignore[return-value]
+
+    def head_layers(self) -> tuple[Layer, ...]:
+        """The config-independent head layer sequence."""
+        with self._lock:
+            if self._stem is None:
+                self._probe((1, 3, 1, 0))
+            return self._head  # type: ignore[return-value]
+
+    def stage_layers(
+        self, stage: int, e: int, k: int, layers: int, se: int
+    ) -> tuple[Layer, ...]:
+        """The layer sequence of one stage under one decision tuple."""
+        with self._lock:
+            return self._stage_layers_locked(stage, e, k, layers, se)
+
+    def layers_for(self, arch: ArchSpec) -> list[Layer]:
+        """The exact layer sequence ``build_model(arch)`` would produce."""
+        with self._lock:
+            if self._stem is None:
+                self._probe((1, 3, 1, 0))
+            out: list[Layer] = list(self._stem)  # type: ignore[arg-type]
+            for stage in range(NUM_STAGES):
+                out.extend(
+                    self._stage_layers_locked(
+                        stage,
+                        arch.expansion[stage],
+                        arch.kernel[stage],
+                        arch.layers[stage],
+                        arch.se[stage],
+                    )
+                )
+            out.extend(self._head)  # type: ignore[arg-type]
+        return out
+
+    def flops_for(self, archs: Sequence[ArchSpec]) -> np.ndarray:
+        """Exact per-arch FLOP counts as a float64 array.
+
+        Integer layer FLOPs make the per-stage partial sums order-independent,
+        so the result equals ``count_graph(build_model(a)).flops`` exactly.
+        """
+        with self._lock:
+            if self._stem is None:
+                self._probe((1, 3, 1, 0))
+            totals = np.empty(len(archs), dtype=np.float64)
+            for i, arch in enumerate(archs):
+                total = self._fixed_flops
+                for stage in range(NUM_STAGES):
+                    key = (
+                        stage,
+                        arch.expansion[stage],
+                        arch.kernel[stage],
+                        arch.layers[stage],
+                        arch.se[stage],
+                    )
+                    flops = self._stage_flops.get(key)
+                    if flops is None:
+                        self._stage_layers_locked(stage, *key[1:])
+                        flops = self._stage_flops[key]
+                    total += flops
+                totals[i] = float(total)
+        return totals
+
+
+_TABLES: dict[int, StageTable] = {}
+_TABLES_LOCK = threading.Lock()
+
+
+def get_stage_table(resolution: int = DEFAULT_RESOLUTION) -> StageTable:
+    """Shared per-resolution :class:`StageTable` instance."""
+    with _TABLES_LOCK:
+        table = _TABLES.get(resolution)
+        if table is None:
+            table = StageTable(resolution)
+            _TABLES[resolution] = table
+        return table

@@ -98,12 +98,17 @@ class RandomForestRegressor(Regressor):
         """Across-tree standard deviation of predictions.
 
         Used as the uncertainty estimate by the SMAC-lite Bayesian optimiser.
+        One shared ensemble traversal (:meth:`TreeEnsemblePredictor.
+        predict_per_tree`) replaces the former per-tree Python loop;
+        the tree-major result reduces over ``axis=0`` in the same order, so
+        the stds are bit-identical to the old loop.
         """
         if not self._trees:
             raise RuntimeError("model is not fitted")
+        if self._predictor is None or self._predictor.num_trees != len(self._trees):
+            self._predictor = TreeEnsemblePredictor(self._trees)
         X = np.asarray(X, dtype=np.float64)
-        preds = np.stack([tree.predict(X) for tree in self._trees])
-        return preds.std(axis=0)
+        return self._predictor.predict_per_tree(X).std(axis=0)
 
     @property
     def trees_(self) -> list[FittedTree]:

@@ -15,6 +15,7 @@ target and the gain to variance reduction.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -218,6 +219,30 @@ class TreeEnsemblePredictor:
             idx = np.where(internal, nxt, idx)
         return self._value[idx].sum(axis=1)
 
+    def predict_per_tree(self, X: np.ndarray) -> np.ndarray:
+        """Every tree's prediction per row, shape ``(num_trees, n)``.
+
+        One level-synchronous traversal instead of ``num_trees`` separate
+        ones.  The result is C-contiguous and tree-major, so reductions over
+        ``axis=0`` (e.g. the forest's across-tree std) accumulate in exactly
+        the same order as ``np.stack([t.predict(X) for t in trees])`` —
+        bit-identical, not merely close.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        n = X.shape[0]
+        idx = np.broadcast_to(self._roots, (n, self.num_trees)).copy()
+        rows = np.arange(n)[:, None]
+        while True:
+            feat = self._feature[idx]
+            internal = feat != _NO_FEATURE
+            if not internal.any():
+                break
+            safe_feat = np.where(internal, feat, 0)
+            go_left = X[rows, safe_feat] <= self._threshold[idx]
+            nxt = np.where(go_left, self._left[idx], self._right[idx])
+            idx = np.where(internal, nxt, idx)
+        return np.ascontiguousarray(self._value[idx].T)
+
 
 class GradientTreeBuilder:
     """Grow one tree on binned features and (grad, hess) statistics.
@@ -234,6 +259,17 @@ class GradientTreeBuilder:
         gamma: Minimum gain required to make a split.
         colsample_bynode: Fraction of features examined per node.
         rng: Randomness source for feature subsampling.
+        hist_subtraction: Derive one child's *count* histogram per split as
+            parent − sibling instead of re-binning it (LightGBM's trick).
+            Only integer count histograms are subtracted — they are exact in
+            int64, and for the unit-hessian trees every in-repo ensemble
+            fits they double as the hessian histograms.  Gradient histograms
+            are always recomputed directly: float subtraction changes ulps,
+            and with one-hot features that is enough to flip tied-gain
+            ``argmax`` winners, so it would not be bit-safe.  The engine
+            self-gates on ``colsample_bynode == 1.0`` (feature subsampling
+            consumes the rng per node, which precomputed tables must not
+            perturb); trees are bit-identical with the engine on or off.
     """
 
     def __init__(
@@ -248,6 +284,7 @@ class GradientTreeBuilder:
         gamma: float = 0.0,
         colsample_bynode: float = 1.0,
         rng: np.random.Generator | None = None,
+        hist_subtraction: bool = True,
     ) -> None:
         if growth not in ("depthwise", "leafwise"):
             raise ValueError(f"unknown growth policy {growth!r}")
@@ -262,6 +299,7 @@ class GradientTreeBuilder:
         self.reg_lambda = reg_lambda
         self.gamma = gamma
         self.colsample_bynode = colsample_bynode
+        self.hist_subtraction = hist_subtraction
         # Seeded fallback: feature subsampling must replay identically when
         # no generator is injected (all in-repo callers pass one).
         self.rng = rng if rng is not None else np.random.default_rng(0)
@@ -281,26 +319,63 @@ class GradientTreeBuilder:
         k = max(1, int(round(self.colsample_bynode * num_features)))
         return self.rng.choice(num_features, size=k, replace=False)
 
+    def _count_hist(self, idx: np.ndarray) -> np.ndarray:
+        """Integer count histogram of ``idx`` over the offset-code table."""
+        return np.bincount(
+            self._flat[idx].ravel(), minlength=self._total_bins
+        ).reshape(self._flat.shape[1], self._bmax)
+
+    def _eligible(self, idx: np.ndarray, depth: int) -> bool:
+        """Whether a node at ``depth`` with samples ``idx`` can be split."""
+        if self.max_depth is not None and depth >= self.max_depth:
+            return False
+        return len(idx) >= 2 * self.min_child_samples
+
     def _best_split(
-        self, codes: np.ndarray, g: np.ndarray, h: np.ndarray, idx: np.ndarray
-    ) -> _Split | None:
-        """Best histogram split of the samples in ``idx``, or None.
+        self,
+        codes: np.ndarray,
+        g: np.ndarray,
+        h: np.ndarray,
+        idx: np.ndarray,
+        n_hist: np.ndarray | None = None,
+    ) -> tuple[_Split | None, np.ndarray | None]:
+        """Best histogram split of the samples in ``idx``.
 
         All (sub-sampled) features are histogrammed in a single ``bincount``
         by offsetting each feature's codes into its own bin range, then gains
         for every (feature, bin) pair are computed in one vectorised pass.
+        With the subtraction engine active, ``n_hist`` may carry this node's
+        count histogram derived from its parent (parent − sibling), skipping
+        the count ``bincount``; the histogram actually used is returned so
+        the growers can derive the children's.
+
+        Returns:
+            ``(split_or_none, count_hist_or_none)``; the histogram is only
+            returned when the subtraction engine is active.
         """
         assert self.binner.thresholds_ is not None
-        feats = self._feature_subset(codes.shape[1])
-        bmax = max(self.binner.num_bins(int(j)) for j in feats)
-        if bmax < 2:
-            return None
-        k = len(feats)
         m = len(idx)
-        sub = codes[np.ix_(idx, feats)].astype(np.int64)
-        flat = (sub + np.arange(k, dtype=np.int64)[None, :] * bmax).ravel()
-        total_bins = k * bmax
-        n_hist = np.bincount(flat, minlength=total_bins).reshape(k, bmax)
+        if self._subtract:
+            # Engine path: all features, shared precomputed offset codes.
+            feats = np.arange(codes.shape[1])
+            bmax = self._bmax
+            if bmax < 2:
+                return None, None
+            k = len(feats)
+            flat = self._flat[idx].ravel()
+            total_bins = self._total_bins
+            if n_hist is None:
+                n_hist = np.bincount(flat, minlength=total_bins).reshape(k, bmax)
+        else:
+            feats = self._feature_subset(codes.shape[1])
+            bmax = int(self._num_bins[feats].max())
+            if bmax < 2:
+                return None, None
+            k = len(feats)
+            sub = codes[np.ix_(idx, feats)].astype(np.int64)
+            flat = (sub + np.arange(k, dtype=np.int64)[None, :] * bmax).ravel()
+            total_bins = k * bmax
+            n_hist = np.bincount(flat, minlength=total_bins).reshape(k, bmax)
         g_node = g[idx]
         g_hist = np.bincount(
             flat, weights=np.repeat(g_node, k), minlength=total_bins
@@ -322,7 +397,7 @@ class GradientTreeBuilder:
         hl = np.cumsum(h_hist, axis=1)[:, :-1]
         nr, gr, hr = m - nl, g_total - gl, h_total - hl
         # Split point b on feature j is only meaningful for b < num_bins(j)-1.
-        nbins = np.asarray([self.binner.num_bins(int(j)) for j in feats])
+        nbins = self._num_bins[feats]
         in_range = np.arange(bmax - 1)[None, :] < (nbins - 1)[:, None]
         valid = (
             in_range
@@ -332,7 +407,7 @@ class GradientTreeBuilder:
             & (hr >= self.min_child_weight)
         )
         if not valid.any():
-            return None
+            return None, None
         gains = (
             0.5 * (self._score(gl, hl) + self._score(gr, hr) - parent_score)
             - self.gamma
@@ -341,14 +416,15 @@ class GradientTreeBuilder:
         flat_best = int(np.argmax(gains))
         row, b = divmod(flat_best, bmax - 1)
         if gains[row, b] <= 0:
-            return None
+            return None, None
         feature = int(feats[row])
-        return _Split(
+        split = _Split(
             gain=float(gains[row, b]),
             feature=feature,
             bin_idx=b,
             threshold=float(self.binner.thresholds_[feature][b]),
         )
+        return split, (n_hist if self._subtract else None)
 
     def build(self, codes: np.ndarray, g: np.ndarray, h: np.ndarray) -> FittedTree:
         """Grow and return a fitted tree.
@@ -365,6 +441,28 @@ class GradientTreeBuilder:
         # constant 1.0 by construction, and the fast path must not trigger
         # for merely-near-unit hessians.
         self._unit_hessian = bool(np.all(h == 1.0))  # anb: noqa[ANB003]
+        # Exact compare is intentional here too: any feature subsampling at
+        # all consumes the rng per node, which the subtraction engine's
+        # reuse of histograms must not perturb.
+        self._subtract = (
+            self.hist_subtraction
+            and self.colsample_bynode == 1.0  # anb: noqa[ANB003]
+        )
+        # Per-feature bin counts, looked up once per build instead of once
+        # per node (the values never change while growing one tree).
+        self._num_bins = np.asarray(
+            [self.binner.num_bins(j) for j in range(codes.shape[1])],
+            dtype=np.int64,
+        )
+        if self._subtract:
+            d = codes.shape[1]
+            self._bmax = int(self._num_bins.max())
+            self._total_bins = d * self._bmax
+            # Offset-code table shared by every node's bincount: feature j's
+            # codes live in bin range [j*bmax, (j+1)*bmax).
+            self._flat = codes.astype(np.int64) + (
+                np.arange(d, dtype=np.int64)[None, :] * self._bmax
+            )
         features: list[int] = []
         thresholds: list[float] = []
         lefts: list[int] = []
@@ -402,17 +500,48 @@ class GradientTreeBuilder:
         mask = codes[idx, split.feature] <= split.bin_idx
         return idx[mask], idx[~mask]
 
+    def _child_hists(
+        self,
+        n_hist: np.ndarray | None,
+        left_idx: np.ndarray,
+        right_idx: np.ndarray,
+        child_depth: int,
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Count histograms for the children of a just-split node.
+
+        The smaller child is histogrammed directly; the larger child's
+        histogram is the exact int64 difference parent − smaller.  Children
+        that can never be split (depth cap, sample floor) get ``None`` —
+        their histogram would go unused.
+        """
+        if n_hist is None:
+            return None, None
+        left_ok = self._eligible(left_idx, child_depth)
+        right_ok = self._eligible(right_idx, child_depth)
+        if not (left_ok or right_ok):
+            return None, None
+        if len(left_idx) <= len(right_idx):
+            small_idx, small_is_left = left_idx, True
+        else:
+            small_idx, small_is_left = right_idx, False
+        small = self._count_hist(small_idx)
+        large = n_hist - small
+        left_hist, right_hist = (
+            (small, large) if small_is_left else (large, small)
+        )
+        return (left_hist if left_ok else None, right_hist if right_ok else None)
+
     def _grow_depthwise(
         self, codes, g, h, root, root_idx, features, thresholds, lefts, rights, values, new_node
     ) -> None:
-        queue: list[tuple[int, np.ndarray, int]] = [(root, root_idx, 0)]
+        queue: deque[tuple[int, np.ndarray, int, np.ndarray | None]] = deque(
+            [(root, root_idx, 0, None)]
+        )
         while queue:
-            node_id, idx, depth = queue.pop(0)
-            if self.max_depth is not None and depth >= self.max_depth:
+            node_id, idx, depth, n_hist = queue.popleft()
+            if not self._eligible(idx, depth):
                 continue
-            if len(idx) < 2 * self.min_child_samples:
-                continue
-            split = self._best_split(codes, g, h, idx)
+            split, n_hist = self._best_split(codes, g, h, idx, n_hist)
             if split is None:
                 continue
             left_idx, right_idx = self._apply_split(codes, idx, split)
@@ -420,39 +549,47 @@ class GradientTreeBuilder:
             thresholds[node_id] = split.threshold
             left_id, right_id = new_node(left_idx), new_node(right_idx)
             lefts[node_id], rights[node_id] = left_id, right_id
-            queue.append((left_id, left_idx, depth + 1))
-            queue.append((right_id, right_idx, depth + 1))
+            left_hist, right_hist = self._child_hists(
+                n_hist, left_idx, right_idx, depth + 1
+            )
+            queue.append((left_id, left_idx, depth + 1, left_hist))
+            queue.append((right_id, right_idx, depth + 1, right_hist))
 
     def _grow_leafwise(
         self, codes, g, h, root, root_idx, features, thresholds, lefts, rights, values, new_node
     ) -> None:
         leaf_cap = self.num_leaves if self.num_leaves is not None else 31
-        heap: list[tuple[float, int, int, np.ndarray, _Split, int]] = []
+        heap: list[tuple[float, int, int, np.ndarray, _Split, int, np.ndarray | None]] = []
         counter = 0  # tie-breaker: heapq cannot compare ndarrays
 
-        def push(node_id: int, idx: np.ndarray, depth: int) -> None:
+        def push(
+            node_id: int, idx: np.ndarray, depth: int, n_hist: np.ndarray | None
+        ) -> None:
             nonlocal counter
-            if self.max_depth is not None and depth >= self.max_depth:
+            if not self._eligible(idx, depth):
                 return
-            if len(idx) < 2 * self.min_child_samples:
-                return
-            split = self._best_split(codes, g, h, idx)
+            split, n_hist = self._best_split(codes, g, h, idx, n_hist)
             if split is not None:
-                heapq.heappush(heap, (-split.gain, counter, node_id, idx, split, depth))
+                heapq.heappush(
+                    heap, (-split.gain, counter, node_id, idx, split, depth, n_hist)
+                )
                 counter += 1
 
-        push(root, root_idx, 0)
+        push(root, root_idx, 0, None)
         num_leaves = 1
         while heap and num_leaves < leaf_cap:
-            _, _, node_id, idx, split, depth = heapq.heappop(heap)
+            _, _, node_id, idx, split, depth, n_hist = heapq.heappop(heap)
             left_idx, right_idx = self._apply_split(codes, idx, split)
             features[node_id] = split.feature
             thresholds[node_id] = split.threshold
             left_id, right_id = new_node(left_idx), new_node(right_idx)
             lefts[node_id], rights[node_id] = left_id, right_id
             num_leaves += 1
-            push(left_id, left_idx, depth + 1)
-            push(right_id, right_idx, depth + 1)
+            left_hist, right_hist = self._child_hists(
+                n_hist, left_idx, right_idx, depth + 1
+            )
+            push(left_id, left_idx, depth + 1, left_hist)
+            push(right_id, right_idx, depth + 1, right_hist)
 
 
 class DecisionTreeRegressor(Regressor):

@@ -25,24 +25,39 @@ from repro.trainsim.schemes import (
     TrainingScheme,
     proxy_scheme_candidates,
 )
-from repro.trainsim.trainer import SimulatedTrainer, TrainResult
+from repro.trainsim.trainer import BatchTrainResult, SimulatedTrainer, TrainResult
 from repro.trainsim.datasets import DATASETS, DatasetSpec, IMAGENET, IMAGENET100, get_dataset
 from repro.trainsim.cost_model import TrainingCostModel
 from repro.trainsim.accuracy_model import asymptotic_accuracy
+from repro.trainsim.batch import (
+    PopulationEncoding,
+    clean_top1_batch,
+    encode_population,
+    expected_top1_batch,
+    supports_batch,
+    train_hours_batch,
+)
 
 __all__ = [
+    "BatchTrainResult",
     "DATASETS",
     "DatasetSpec",
     "IMAGENET",
     "IMAGENET100",
     "P_STAR",
     "PROXY_SCHEME_GRID",
+    "PopulationEncoding",
     "REFERENCE_SCHEME",
     "SimulatedTrainer",
     "TrainResult",
     "TrainingCostModel",
     "TrainingScheme",
     "asymptotic_accuracy",
+    "clean_top1_batch",
+    "encode_population",
+    "expected_top1_batch",
     "get_dataset",
     "proxy_scheme_candidates",
+    "supports_batch",
+    "train_hours_batch",
 ]

@@ -48,6 +48,42 @@ class TrainResult:
     train_hours: float
 
 
+@dataclass(frozen=True)
+class BatchTrainResult:
+    """Outcome of one simulated training run per population member.
+
+    Attributes:
+        archs: The trained architectures (order-defining).
+        scheme: Training scheme used.
+        seeds: Per-architecture run seeds.
+        top1: ``(n,)`` float64 top-1 accuracies, bitwise equal to the
+            scalar :meth:`SimulatedTrainer.train` loop.
+        train_hours: ``(n,)`` float64 GPU-hours, same guarantee.
+    """
+
+    archs: tuple[ArchSpec, ...]
+    scheme: TrainingScheme
+    seeds: tuple[int, ...]
+    top1: np.ndarray
+    train_hours: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.archs)
+
+    def results(self) -> list[TrainResult]:
+        """Scalar :class:`TrainResult` views of the batch."""
+        return [
+            TrainResult(
+                arch=arch,
+                scheme=self.scheme,
+                seed=seed,
+                top1=float(self.top1[i]),
+                train_hours=float(self.train_hours[i]),
+            )
+            for i, (arch, seed) in enumerate(zip(self.archs, self.seeds))
+        ]
+
+
 class SimulatedTrainer:
     """Deterministic, seedable stand-in for image-classification training.
 
@@ -117,6 +153,77 @@ class SimulatedTrainer:
             top1 = self.fault_plan.apply(arch.to_string(), top1, attempt)
         hours = self.cost_model.train_time_hours(arch, scheme)
         return TrainResult(arch=arch, scheme=scheme, seed=seed, top1=top1, train_hours=hours)
+
+    def train_batch(
+        self,
+        archs,
+        scheme: TrainingScheme,
+        seeds: int | tuple[int, ...] = 0,
+        attempt: int = 0,
+        apply_faults: bool = True,
+    ) -> BatchTrainResult:
+        """Train a whole population through the vectorised batch kernels.
+
+        Bit-identical to looping :meth:`train` over ``archs``: the
+        deterministic landscape terms are computed across the population in
+        single NumPy passes (see :mod:`repro.trainsim.batch`) while the
+        per-architecture hash-seeded draws stay per-architecture, so every
+        returned value is bitwise equal to its scalar counterpart.  Foreign
+        spec types fall back to the scalar loop transparently.
+
+        Faults are applied per key *after* the clean batch kernel, in
+        population order — a crash/timeout fault raises at the same index it
+        would in the scalar loop.  Pass ``apply_faults=False`` to obtain the
+        clean values (used by the collection layer, which replays faults
+        per-task so journaling/retry semantics are unchanged).
+        """
+        from repro.trainsim import batch as _batch
+
+        archs = tuple(archs)
+        if isinstance(seeds, (int, np.integer)):
+            seed_list = (int(seeds),) * len(archs)
+        else:
+            seed_list = tuple(int(s) for s in seeds)
+            if len(seed_list) != len(archs):
+                raise ValueError(
+                    f"{len(seed_list)} seeds for {len(archs)} architectures"
+                )
+        if _batch.supports_batch(archs):
+            pop = _batch.encode_population(archs)
+            top1 = _batch.clean_top1_batch(
+                archs,
+                scheme,
+                seeds=seed_list,
+                dataset=self.dataset,
+                noise_scale=self._noise_scale(),
+                pop=pop,
+            )
+            hours = _batch.train_hours_batch(
+                self.cost_model, archs, scheme, pop=pop
+            )
+        else:
+            clean_trainer = SimulatedTrainer(
+                cost_model=self.cost_model, dataset=self.dataset
+            )
+            top1 = np.empty(len(archs), dtype=np.float64)
+            hours = np.empty(len(archs), dtype=np.float64)
+            for i, (arch, seed) in enumerate(zip(archs, seed_list)):
+                result = clean_trainer.train(arch, scheme, seed=seed)
+                top1[i] = result.top1
+                hours[i] = result.train_hours
+        if apply_faults and self.fault_plan is not None:
+            top1 = top1.copy()
+            for i, arch in enumerate(archs):
+                top1[i] = self.fault_plan.apply(
+                    arch.to_string(), float(top1[i]), attempt
+                )
+        return BatchTrainResult(
+            archs=archs,
+            scheme=scheme,
+            seeds=seed_list,
+            top1=top1,
+            train_hours=hours,
+        )
 
     def train_mean(
         self, arch: ArchSpec, scheme: TrainingScheme, seeds: tuple[int, ...] = (0, 1, 2)

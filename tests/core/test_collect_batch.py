@@ -1,0 +1,173 @@
+"""Collection-layer equivalence: batch kernels on vs off, faults, resume.
+
+The batch path precomputes clean values for all journal-pending keys in one
+vectorised pass (``prepare`` hook of ``run_tasks``) and replays faults
+per-task, so every reliability feature — retries, quarantine, journaling,
+graceful degradation — must behave exactly as on the scalar path, down to
+byte-identical artifacts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import AccelNASBench
+from repro.core.dataset import (
+    collect_accuracy_dataset,
+    collect_device_dataset,
+    sample_dataset_archs,
+)
+from repro.core.reliability import (
+    FaultPlan,
+    InjectedCrash,
+    Journal,
+    RetryPolicy,
+)
+from repro.trainsim.schemes import P_STAR
+
+
+@pytest.fixture(scope="module")
+def archs():
+    return sample_dataset_archs(32, seed=41)
+
+
+def _no_sleep_policy(attempts: int = 3) -> RetryPolicy:
+    return RetryPolicy(max_attempts=attempts, sleep=lambda s: None)
+
+
+class TestPlainEquivalence:
+    @pytest.mark.parametrize("n_jobs", [1, 3])
+    def test_accuracy_batch_matches_scalar(self, archs, n_jobs):
+        scalar = collect_accuracy_dataset(archs, P_STAR, batch=False)
+        batched = collect_accuracy_dataset(
+            archs, P_STAR, batch=True, n_jobs=n_jobs
+        )
+        assert batched.archs == scalar.archs
+        assert np.array_equal(batched.values, scalar.values)
+
+    @pytest.mark.parametrize(
+        "device,metric",
+        [("a100", "throughput"), ("zcu102", "latency"), ("tpuv3", "throughput")],
+    )
+    def test_device_batch_matches_scalar(self, archs, device, metric):
+        scalar = collect_device_dataset(archs, device, metric, batch=False)
+        batched = collect_device_dataset(
+            archs, device, metric, batch=True, n_jobs=2
+        )
+        assert np.array_equal(batched.values, scalar.values)
+
+    def test_artifacts_byte_identical(self, archs, tmp_path):
+        off, on = tmp_path / "off.json", tmp_path / "on.json"
+        collect_accuracy_dataset(archs, P_STAR, batch=False).to_json(off)
+        collect_accuracy_dataset(archs, P_STAR, batch=True).to_json(on)
+        assert off.read_bytes() == on.read_bytes()
+
+
+class TestFaultEquivalence:
+    def test_retry_and_quarantine_match_scalar(self, archs):
+        def run(batch):
+            return collect_accuracy_dataset(
+                archs,
+                P_STAR,
+                fault_plan=FaultPlan.from_string("nan:0.3,timeout:0.2", seed=6),
+                retry_policy=_no_sleep_policy(),
+                min_success_fraction=0.5,
+                batch=batch,
+            )
+
+        scalar, batched = run(False), run(True)
+        assert batched.archs == scalar.archs
+        assert np.array_equal(batched.values, scalar.values)
+        scalar_q = [f.key for f in scalar.quarantine] if "quarantine" in scalar.meta else []
+        batched_q = [f.key for f in batched.quarantine] if "quarantine" in batched.meta else []
+        assert batched_q == scalar_q
+
+    def test_device_spike_faults_match_scalar(self, archs):
+        def run(batch):
+            return collect_device_dataset(
+                archs,
+                "vck190",
+                "latency",
+                fault_plan=FaultPlan.from_string("spike:0.4", seed=3),
+                retry_policy=_no_sleep_policy(),
+                min_success_fraction=0.5,
+                batch=batch,
+            )
+
+        scalar, batched = run(False), run(True)
+        assert np.array_equal(batched.values, scalar.values)
+
+
+class TestJournalResumeEquivalence:
+    @pytest.mark.parametrize("batch", [False, True], ids=["scalar", "batch"])
+    def test_kill_and_resume_byte_identical(self, archs, tmp_path, batch):
+        clean = collect_accuracy_dataset(archs, P_STAR, batch=batch)
+        journal = tmp_path / f"acc-{batch}.jsonl"
+        crash = FaultPlan.crash_on([archs[len(archs) // 2].to_string()])
+        with pytest.raises(InjectedCrash):
+            collect_accuracy_dataset(
+                archs,
+                P_STAR,
+                fault_plan=crash,
+                retry_policy=_no_sleep_policy(attempts=1),
+                journal=journal,
+                batch=batch,
+            )
+        done = Journal(journal, dataset="ANB-Acc").replay()
+        assert 0 < len(done) < len(archs)
+
+        resumed = collect_accuracy_dataset(
+            archs, P_STAR, journal=journal, resume=True, batch=batch
+        )
+        assert np.array_equal(resumed.values, clean.values)
+        clean_path = tmp_path / f"clean-{batch}.json"
+        resumed_path = tmp_path / f"resumed-{batch}.json"
+        clean.to_json(clean_path)
+        resumed.to_json(resumed_path)
+        assert clean_path.read_bytes() == resumed_path.read_bytes()
+
+    def test_journals_identical_across_paths(self, archs, tmp_path):
+        """The write-ahead journal records the same values batch on or off."""
+        journals = {}
+        for batch in (False, True):
+            journal = tmp_path / f"j-{batch}.jsonl"
+            collect_accuracy_dataset(archs, P_STAR, journal=journal, batch=batch)
+            # Strip the header line (it embeds a wall-clock timestamp).
+            journals[batch] = journal.read_bytes().splitlines()[1:]
+        assert journals[False] == journals[True]
+
+    def test_scalar_journal_resumes_under_batch(self, archs, tmp_path):
+        """A journal written by the scalar path is resumable by the batch
+        path (and vice versa) because both record identical values."""
+        journal = tmp_path / "cross.jsonl"
+        crash = FaultPlan.crash_on([archs[20].to_string()])
+        with pytest.raises(InjectedCrash):
+            collect_accuracy_dataset(
+                archs,
+                P_STAR,
+                fault_plan=crash,
+                retry_policy=_no_sleep_policy(attempts=1),
+                journal=journal,
+                batch=False,
+            )
+        resumed = collect_accuracy_dataset(
+            archs, P_STAR, journal=journal, resume=True, batch=True
+        )
+        clean = collect_accuracy_dataset(archs, P_STAR, batch=False)
+        assert np.array_equal(resumed.values, clean.values)
+
+
+class TestBuildEquivalence:
+    def test_build_artifacts_byte_identical(self, tmp_path):
+        outputs = {}
+        for batch in (False, True):
+            bench, _ = AccelNASBench.build(
+                P_STAR,
+                num_archs=60,
+                devices={"zcu102": ("latency",)},
+                sample_seed=4,
+                batch=batch,
+            )
+            out = tmp_path / f"bench-{batch}.json"
+            bench.save(out)
+            outputs[batch] = out.read_bytes()
+        assert outputs[False] == outputs[True]

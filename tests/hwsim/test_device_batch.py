@@ -1,0 +1,213 @@
+"""Bit-identity of the hwsim device batch kernel and the LRU graph cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.reliability import FaultPlan, FaultSpec, MeasurementTimeout
+from repro.hwsim import (
+    DeviceBatchKernel,
+    MeasurementHarness,
+    graph_cache_clear,
+    graph_cache_info,
+    supports_device,
+)
+from repro.hwsim.device import AcceleratorModel
+from repro.hwsim.measure import _GraphCache
+from repro.hwsim.registry import get_device
+from repro.searchspace.mnasnet import MnasNetSearchSpace
+
+ALL_DEVICES = ("a100", "rtx3090", "tpuv2", "tpuv3", "zcu102", "vck190")
+
+
+@pytest.fixture(scope="module")
+def archs():
+    space = MnasNetSearchSpace()
+    return space.sample_batch(24, rng=np.random.default_rng(29))
+
+
+class TestDeviceBatchKernel:
+    @pytest.mark.parametrize("name", ALL_DEVICES)
+    def test_throughput_matches_scalar(self, archs, name):
+        harness = MeasurementHarness(get_device(name))
+        batched = harness.measure_batch(archs, "throughput")
+        scalar = [harness.measure_throughput(a) for a in archs]
+        assert batched.tolist() == scalar
+
+    @pytest.mark.parametrize("name", ALL_DEVICES)
+    def test_latency_matches_scalar(self, archs, name):
+        harness = MeasurementHarness(get_device(name))
+        batched = harness.measure_batch(archs, "latency")
+        scalar = [harness.measure_latency(a) for a in archs]
+        assert batched.tolist() == scalar
+
+    @pytest.mark.parametrize("name", ("a100", "tpuv2", "vck190"))
+    def test_explicit_batch_size_matches_scalar(self, archs, name):
+        harness = MeasurementHarness(get_device(name))
+        batched = harness.measure_batch(archs, "throughput", batch=8)
+        scalar = [harness.measure_throughput(a, batch=8) for a in archs]
+        assert batched.tolist() == scalar
+
+    def test_kernel_clean_values_match_device(self, archs):
+        device = get_device("zcu102")
+        kernel = DeviceBatchKernel(device)
+        from repro.hwsim.measure import _cached_graph
+
+        thr = kernel.throughput_ips(archs, None, 224)
+        lat = kernel.latency_ms(archs, 1, 224)
+        for i, arch in enumerate(archs):
+            graph = _cached_graph(arch, 224)
+            assert thr[i] == device.throughput_ips(graph, None)
+            assert lat[i] == device.latency_ms(graph, 1)
+
+    def test_unknown_metric_rejected(self, archs):
+        harness = MeasurementHarness(get_device("a100"))
+        with pytest.raises(ValueError, match="metric"):
+            harness.measure_batch(archs, "power")
+
+    def test_supported_devices(self):
+        for name in ALL_DEVICES:
+            assert supports_device(get_device(name))
+
+
+def _make_custom_walk_device():
+    from repro.hwsim.device import DeviceSpec, LayerTiming
+
+    class _CustomWalk(AcceleratorModel):
+        """Minimal device overriding the base graph walk."""
+
+        def layer_timing(self, layer, batch):
+            return LayerTiming(compute_s=1e-6, memory_s=1e-6)
+
+        def batch_latency_s(self, graph, batch=None):
+            return 1e-3 * sum(1 for _ in graph)
+
+    spec = DeviceSpec(
+        name="custom-walk",
+        vendor="test",
+        peak_macs_per_s=1e12,
+        mem_bandwidth=1e11,
+        act_bytes=2.0,
+        weight_bytes=2.0,
+        default_batch=8,
+    )
+    return _CustomWalk(spec)
+
+
+class TestScalarFallback:
+    def test_unsupported_device_rejected_by_kernel(self):
+        device = _make_custom_walk_device()
+        assert not supports_device(device)
+        with pytest.raises(ValueError, match="scalar measurement path"):
+            DeviceBatchKernel(device)
+
+    def test_harness_falls_back_to_scalar_loop(self, archs):
+        device = _make_custom_walk_device()
+        harness = MeasurementHarness(device)
+        batched = harness.measure_batch(archs[:6], "latency")
+        scalar = [harness.measure_latency(a) for a in archs[:6]]
+        assert batched.tolist() == scalar
+
+
+class TestBatchFaults:
+    def test_timeout_raises_at_scalar_index(self, archs):
+        victim = archs[10]
+        plan = FaultPlan([FaultSpec("timeout", keys=[victim.to_string()])])
+        harness = MeasurementHarness(get_device("a100"), fault_plan=plan)
+        with pytest.raises(MeasurementTimeout):
+            harness.measure_batch(archs, "throughput")
+
+    def test_value_faults_match_scalar(self, archs):
+        def make_harness():
+            return MeasurementHarness(
+                get_device("tpuv3"),
+                fault_plan=FaultPlan.from_string("nan:0.2,spike:0.3", seed=7),
+            )
+
+        batched = make_harness().measure_batch(archs, "latency")
+        scalar_h = make_harness()
+        scalar = np.array([scalar_h.measure_latency(a) for a in archs])
+        assert np.array_equal(batched, scalar, equal_nan=True)
+
+    def test_apply_faults_false_skips_plan(self, archs):
+        plan = FaultPlan([FaultSpec("nan", keys=[archs[0].to_string()])])
+        harness = MeasurementHarness(get_device("a100"), fault_plan=plan)
+        clean = harness.measure_batch(archs, "throughput", apply_faults=False)
+        ref = MeasurementHarness(get_device("a100")).measure_batch(
+            archs, "throughput"
+        )
+        assert np.array_equal(clean, ref)
+
+
+class TestGraphCacheLRU:
+    def test_eviction_keeps_capacity(self, archs):
+        cache = _GraphCache(capacity=4)
+        for arch in archs[:10]:
+            cache.get_or_build(arch, 224)
+        info = cache.cache_info()
+        assert info["size"] == 4
+        assert info["capacity"] == 4
+        assert info["misses"] == 10
+        assert info["hits"] == 0
+
+    def test_lru_order_recently_used_survives(self, archs):
+        cache = _GraphCache(capacity=2)
+        a, b, c = archs[:3]
+        ga = cache.get_or_build(a, 224)
+        cache.get_or_build(b, 224)
+        # Touch `a` so `b` is the eviction victim when `c` arrives.
+        assert cache.get_or_build(a, 224) is ga
+        cache.get_or_build(c, 224)
+        assert cache.cache_info()["hits"] == 1
+        # `a` survived the eviction because it was recently used ...
+        assert cache.get_or_build(a, 224) is ga
+        # ... while `b` was evicted: fetching it again is a miss (rebuild).
+        cache.get_or_build(b, 224)
+        assert cache.cache_info()["misses"] == 4
+        assert cache.cache_info()["hits"] == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            _GraphCache(capacity=0)
+
+    def test_module_cache_info_counts(self, archs):
+        graph_cache_clear()
+        assert graph_cache_info()["size"] == 0
+        harness = MeasurementHarness(get_device("rtx3090"))
+        harness.measure_throughput(archs[0])
+        harness.measure_throughput(archs[0])
+        info = graph_cache_info()
+        assert info["misses"] >= 1
+        assert info["hits"] >= 1
+        graph_cache_clear()
+        cleared = graph_cache_info()
+        assert cleared == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "capacity": cleared["capacity"],
+        }
+
+    def test_concurrent_access_is_consistent(self, archs):
+        cache = _GraphCache(capacity=8)
+        errors = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(60):
+                arch = archs[int(rng.integers(0, 12))]
+                graph = cache.get_or_build(arch, 224)
+                expect = f"mnasnet[{arch.to_string()}]@224"
+                if graph.name != expect:
+                    errors.append((graph.name, expect))
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        info = cache.cache_info()
+        assert info["size"] <= 8
+        assert info["hits"] + info["misses"] == 8 * 60

@@ -1,0 +1,144 @@
+"""Golden pins for the histogram-subtraction engine and shared-traversal
+predictors: every fast path must produce bit-identical trees/predictions."""
+
+import numpy as np
+import pytest
+
+from repro.surrogates.forest import RandomForestRegressor
+from repro.surrogates.gbdt import XGBRegressor
+from repro.surrogates.tree import (
+    GradientTreeBuilder,
+    HistogramBinner,
+    TreeEnsemblePredictor,
+)
+
+
+@pytest.fixture(scope="module")
+def binned(xy_small):
+    X, y = xy_small
+    binner = HistogramBinner(max_bins=64).fit(X)
+    return binner, binner.transform(X), y
+
+
+def _build(binned, subtract, h=None, **kwargs):
+    binner, codes, y = binned
+    g = -np.asarray(y, dtype=np.float64)
+    if h is None:
+        h = np.ones_like(g)
+    builder = GradientTreeBuilder(
+        binner,
+        rng=np.random.default_rng(123),
+        hist_subtraction=subtract,
+        **kwargs,
+    )
+    return builder.build(codes, g=g, h=h)
+
+
+GROWTH_CONFIGS = [
+    {"growth": "depthwise", "max_depth": 6},
+    {"growth": "depthwise", "max_depth": 12},
+    {"growth": "depthwise", "max_depth": None},
+    {"growth": "leafwise", "max_depth": None, "num_leaves": 31},
+    {"growth": "leafwise", "max_depth": 8, "num_leaves": 63},
+]
+
+
+class TestHistogramSubtractionGolden:
+    @pytest.mark.parametrize(
+        "config", GROWTH_CONFIGS, ids=[str(c) for c in GROWTH_CONFIGS]
+    )
+    def test_trees_identical_engine_on_and_off(self, binned, config):
+        """The engine must change *nothing*: same splits, thresholds, values."""
+        on = _build(binned, True, **config)
+        off = _build(binned, False, **config)
+        assert on.to_dict() == off.to_dict()
+
+    def test_non_unit_hessians_identical(self, binned):
+        _, codes, y = binned
+        h = np.linspace(0.5, 2.0, len(y))
+        on = _build(binned, True, h=h, max_depth=8)
+        off = _build(binned, False, h=h, max_depth=8)
+        assert on.to_dict() == off.to_dict()
+
+    def test_engine_self_gates_on_feature_subsampling(self, binned):
+        """colsample < 1 consumes rng per node; the engine must stand down
+        and leave results identical to the legacy path."""
+        on = _build(binned, True, colsample_bynode=0.5, max_depth=8)
+        off = _build(binned, False, colsample_bynode=0.5, max_depth=8)
+        assert on.to_dict() == off.to_dict()
+
+    def test_wide_unbounded_tree_identical(self, binned):
+        """Deque-based BFS (O(n) frontier pops) grows the same tree the old
+        list-based queue did, even with no depth cap and tiny leaves."""
+        on = _build(binned, True, max_depth=None, min_child_samples=2)
+        off = _build(binned, False, max_depth=None, min_child_samples=2)
+        assert on.to_dict() == off.to_dict()
+
+    @pytest.mark.parametrize("module", ["gbdt", "forest"])
+    def test_ensemble_fits_identical_engine_on_and_off(
+        self, xy_small, monkeypatch, module
+    ):
+        """Whole-ensemble fits pin the engine: forcing hist_subtraction=False
+        through the builder must leave every fitted tree byte-identical."""
+        X, y = xy_small
+
+        class _LegacyBuilder(GradientTreeBuilder):
+            def __init__(self, *args, **kwargs):
+                kwargs["hist_subtraction"] = False
+                super().__init__(*args, **kwargs)
+
+        def fit_model():
+            if module == "gbdt":
+                return XGBRegressor(n_estimators=15, max_depth=6, seed=7).fit(
+                    X, y
+                )
+            return RandomForestRegressor(n_estimators=10, seed=3).fit(X, y)
+
+        fast = fit_model()
+        monkeypatch.setattr(
+            f"repro.surrogates.{module}.GradientTreeBuilder", _LegacyBuilder
+        )
+        legacy = fit_model()
+        fast_trees = fast.trees_ if module == "forest" else fast._trees
+        legacy_trees = legacy.trees_ if module == "forest" else legacy._trees
+        assert len(fast_trees) == len(legacy_trees)
+        for ta, tb in zip(fast_trees, legacy_trees):
+            assert ta.to_dict() == tb.to_dict()
+        assert np.array_equal(fast.predict(X), legacy.predict(X))
+
+
+class TestPerTreePrediction:
+    @pytest.fixture(scope="class")
+    def forest(self, xy_small):
+        X, y = xy_small
+        return RandomForestRegressor(n_estimators=25, seed=1).fit(X, y), X
+
+    def test_predict_per_tree_matches_tree_loop(self, forest):
+        model, X = forest
+        predictor = TreeEnsemblePredictor(model.trees_)
+        fast = predictor.predict_per_tree(X)
+        slow = np.stack([t.predict(X) for t in model.trees_])
+        assert fast.shape == slow.shape == (25, X.shape[0])
+        assert np.array_equal(fast, slow)
+
+    def test_per_tree_is_contiguous_tree_major(self, forest):
+        model, X = forest
+        fast = TreeEnsemblePredictor(model.trees_).predict_per_tree(X)
+        assert fast.flags["C_CONTIGUOUS"]
+
+    def test_predict_std_matches_legacy_loop(self, forest):
+        """Satellite pin: predict_std must stay bit-identical to the old
+        per-tree Python loop it replaced."""
+        model, X = forest
+        fast = model.predict_std(X)
+        legacy = np.stack([t.predict(X) for t in model.trees_]).std(axis=0)
+        assert np.array_equal(fast, legacy)
+
+    def test_predict_std_requires_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RandomForestRegressor().predict_std(np.zeros((1, 3)))
+
+    def test_predict_consistent_with_per_tree_mean(self, forest):
+        model, X = forest
+        per_tree = TreeEnsemblePredictor(model.trees_).predict_per_tree(X)
+        assert np.allclose(model.predict(X), per_tree.mean(axis=0))
