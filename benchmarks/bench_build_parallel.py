@@ -9,8 +9,8 @@ runner shows none), so only equivalence is asserted.
 """
 
 import os
-import time
 
+import repro.obs as obs
 from repro.core.benchmark import AccelNASBench
 from repro.trainsim.schemes import P_STAR
 
@@ -21,17 +21,17 @@ DEVICES = {"a100": ("throughput",), "zcu102": ("throughput", "latency")}
 
 
 def _build(n_jobs, collect_n_jobs):
-    t0 = time.perf_counter()
-    bench, _ = AccelNASBench.build(
-        P_STAR,
-        num_archs=BUILD_ARCHS,
-        devices=DEVICES,
-        sample_seed=13,
-        family="rf",
-        n_jobs=n_jobs,
-        collect_n_jobs=collect_n_jobs,
-    )
-    return bench, time.perf_counter() - t0
+    with obs.timer() as t:
+        bench, _ = AccelNASBench.build(
+            P_STAR,
+            num_archs=BUILD_ARCHS,
+            devices=DEVICES,
+            sample_seed=13,
+            family="rf",
+            n_jobs=n_jobs,
+            collect_n_jobs=collect_n_jobs,
+        )
+    return bench, t.seconds
 
 
 def test_parallel_build_equivalent_and_timed(tmp_path):

@@ -8,10 +8,10 @@ least a 3x archs/s improvement over the scalar path on the same core count.
 """
 
 import os
-import time
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.dataset import (
     collect_accuracy_dataset,
     collect_device_dataset,
@@ -25,17 +25,17 @@ COLLECT_ARCHS = min(600, BENCH_ARCHS)
 
 
 def _time_accuracy(archs, batch, n_jobs):
-    t0 = time.perf_counter()
-    ds = collect_accuracy_dataset(archs, P_STAR, batch=batch, n_jobs=n_jobs)
-    return ds, time.perf_counter() - t0
+    with obs.timer() as t:
+        ds = collect_accuracy_dataset(archs, P_STAR, batch=batch, n_jobs=n_jobs)
+    return ds, t.seconds
 
 
 def _time_device(archs, batch, n_jobs):
-    t0 = time.perf_counter()
-    ds = collect_device_dataset(
-        archs, "zcu102", "latency", batch=batch, n_jobs=n_jobs
-    )
-    return ds, time.perf_counter() - t0
+    with obs.timer() as t:
+        ds = collect_device_dataset(
+            archs, "zcu102", "latency", batch=batch, n_jobs=n_jobs
+        )
+    return ds, t.seconds
 
 
 def test_batch_collection_speed_and_equivalence():

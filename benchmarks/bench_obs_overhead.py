@@ -1,0 +1,141 @@
+"""Bench: the telemetry overhead contract — disabled obs costs <2%.
+
+``repro.obs`` is gated once per run (``telemetry_active()``): with telemetry
+off, the instrumented hot paths execute only a handful of cheap gate checks
+and null spans, never per-item work.  This bench quantifies that contract on
+the two hot paths the repo already tracks (batched collection, batched
+queries):
+
+* micro-times the disabled primitives (``telemetry_active()``, a null
+  ``span`` enter/exit),
+* multiplies by a deliberately generous bound on how many such operations
+  each path executes, and asserts the implied overhead stays below 2% of
+  the measured path time,
+* cross-checks the out-of-band invariant: enabling telemetry leaves the
+  computed values bit-identical.
+
+Records everything to ``results/BENCH_obs.json``.
+"""
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.dataset import collect_accuracy_dataset, sample_dataset_archs
+from repro.trainsim.schemes import P_STAR
+
+from conftest import emit, record_trajectory
+
+COLLECT_ARCHS = 400
+QUERY_POPULATION = 512
+MICRO_REPS = 20_000
+# Generous ceilings on gated obs operations per hot-path invocation.  The
+# gate-once design means the true counts are O(1) per run (plus one null
+# span per batch-kernel chunk), far below these bounds.
+COLLECT_OPS_BOUND = 64
+QUERY_OPS_BOUND = 16
+OVERHEAD_LIMIT = 0.02
+
+
+def _micro_seconds_per_op(fn, reps=MICRO_REPS):
+    with obs.timer() as t:
+        for _ in range(reps):
+            fn()
+    return t.seconds / reps
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        with obs.timer() as t:
+            out = fn()
+        best = min(best, t.seconds)
+    return out, best
+
+
+def _null_span():
+    with obs.span("bench.null"):
+        pass
+
+
+def test_disabled_overhead_under_two_percent(ctx):
+    obs.reset()
+    assert not obs.telemetry_active()
+
+    archs = sample_dataset_archs(COLLECT_ARCHS, seed=31)
+    bench = ctx.benchmark()
+    space_archs = archs[:QUERY_POPULATION]
+
+    # Warm shared caches so both telemetry states compete at steady state.
+    collect_accuracy_dataset(archs[:4], P_STAR)
+    bench.query_accuracy_batch(space_archs[:4])
+
+    # Disabled-path timings.
+    collect_off, collect_off_s = _best_of(
+        lambda: collect_accuracy_dataset(archs, P_STAR)
+    )
+    query_off, query_off_s = _best_of(
+        lambda: bench.query_accuracy_batch(space_archs)
+    )
+
+    # Disabled-primitive costs.
+    gate_s = _micro_seconds_per_op(obs.telemetry_active)
+    span_s = _micro_seconds_per_op(_null_span)
+    op_s = max(gate_s, span_s)
+
+    collect_bound = COLLECT_OPS_BOUND * op_s / collect_off_s
+    query_bound = QUERY_OPS_BOUND * op_s / query_off_s
+
+    # Out-of-band invariant: flip telemetry on (metrics + spans, logging
+    # silenced) and re-run — values must be bit-identical, and the wall
+    # time is recorded for the trajectory.
+    obs.configure(level="off", trace=True)
+    try:
+        assert obs.telemetry_active()
+        collect_on, collect_on_s = _best_of(
+            lambda: collect_accuracy_dataset(archs, P_STAR)
+        )
+        query_on, query_on_s = _best_of(
+            lambda: bench.query_accuracy_batch(space_archs)
+        )
+    finally:
+        obs.reset()
+
+    assert np.array_equal(collect_off.values, collect_on.values)
+    assert np.array_equal(query_off, query_on)
+
+    lines = [
+        "Telemetry overhead: gated primitives vs hot-path time",
+        f"  telemetry_active()     : {gate_s * 1e9:8.1f} ns/op",
+        f"  null span enter/exit   : {span_s * 1e9:8.1f} ns/op",
+        f"  collect ({COLLECT_ARCHS} archs)   : {collect_off_s * 1e3:8.1f} ms off, "
+        f"{collect_on_s * 1e3:8.1f} ms on",
+        f"  query batch ({QUERY_POPULATION})     : {query_off_s * 1e3:8.1f} ms off, "
+        f"{query_on_s * 1e3:8.1f} ms on",
+        f"  collect overhead bound : {collect_bound * 100:8.4f} % "
+        f"(limit {OVERHEAD_LIMIT * 100:.0f} %)",
+        f"  query overhead bound   : {query_bound * 100:8.4f} % "
+        f"(limit {OVERHEAD_LIMIT * 100:.0f} %)",
+        "  values: bit-identical with telemetry on and off",
+    ]
+    emit("bench_obs_overhead", "\n".join(lines))
+    record_trajectory(
+        "obs",
+        {
+            "collect_archs": COLLECT_ARCHS,
+            "query_population": QUERY_POPULATION,
+            "telemetry_active_ns": gate_s * 1e9,
+            "null_span_ns": span_s * 1e9,
+            "collect_disabled_s": collect_off_s,
+            "collect_enabled_s": collect_on_s,
+            "query_disabled_s": query_off_s,
+            "query_enabled_s": query_on_s,
+            "collect_overhead_bound": collect_bound,
+            "query_overhead_bound": query_bound,
+        },
+    )
+    assert collect_bound < OVERHEAD_LIMIT, (
+        f"collect overhead bound {collect_bound:.4%} >= 2%"
+    )
+    assert query_bound < OVERHEAD_LIMIT, (
+        f"query overhead bound {query_bound:.4%} >= 2%"
+    )

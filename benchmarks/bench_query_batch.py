@@ -3,15 +3,14 @@
 ``query_accuracy_batch`` / ``query_batch`` serve a whole population through a
 single encode + ensemble predict.  This bench measures both paths on the same
 archs, checks they agree bitwise, and asserts the batched path actually pays
-for itself (queries/sec speedup).  Timings use ``perf_counter`` directly so
-the speedup check also runs under ``--benchmark-disable`` smoke mode.
+for itself (queries/sec speedup).  Timings use ``repro.obs.timer`` directly
+so the speedup check also runs under ``--benchmark-disable`` smoke mode.
 """
-
-import time
 
 import numpy as np
 import pytest
 
+import repro.obs as obs
 from repro.searchspace.mnasnet import MnasNetSearchSpace
 
 from conftest import emit, record_trajectory
@@ -30,9 +29,9 @@ def built(ctx):
 def _time(fn, repeats=3):
     best = float("inf")
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
+        with obs.timer() as t:
+            fn()
+        best = min(best, t.seconds)
     return best
 
 

@@ -6,13 +6,13 @@ microbenchmark in the harness: pytest-benchmark statistics over repeated
 single-architecture queries.
 
 ``test_record_query_trajectory`` additionally appends a dated point to
-``results/BENCH_query.json`` (via its own ``perf_counter`` timing so it also
-works under ``--benchmark-disable``), tracking query latency across PRs.
+``results/BENCH_query.json`` (via its own ``repro.obs.timer`` timing so it
+also works under ``--benchmark-disable``), tracking query latency across PRs.
 """
 
-import time
-
 import pytest
+
+import repro.obs as obs
 
 from repro.searchspace.mnasnet import MnasNetSearchSpace
 
@@ -75,17 +75,17 @@ def test_record_query_trajectory(built):
     rounds = 50
 
     bench.encoder.cache_clear()
-    t0 = time.perf_counter()
-    for _ in range(rounds):
-        for arch in archs:
-            bench.query_accuracy(arch)
-    warm_mean = (time.perf_counter() - t0) / (rounds * len(archs))
+    with obs.timer() as warm_t:
+        for _ in range(rounds):
+            for arch in archs:
+                bench.query_accuracy(arch)
+    warm_mean = warm_t.seconds / (rounds * len(archs))
 
     bench.encoder.cache_clear()
-    t0 = time.perf_counter()
-    for arch in archs:
-        bench.query(arch, device="vck190")
-    cold_bi_mean = (time.perf_counter() - t0) / len(archs)
+    with obs.timer() as cold_t:
+        for arch in archs:
+            bench.query(arch, device="vck190")
+    cold_bi_mean = cold_t.seconds / len(archs)
 
     info = bench.encoder.cache_info()
     record_trajectory(

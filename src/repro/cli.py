@@ -14,13 +14,20 @@ Subcommands::
     python -m repro.cli lint src/repro --format json
 
 ``lint`` runs the AST determinism & correctness linter
-(:mod:`repro.devtools.lint`, rules ANB001-ANB006) and exits non-zero on
+(:mod:`repro.devtools.lint`, rules ANB001-ANB007) and exits non-zero on
 findings; the same pass gates CI and the tier-1 test suite.
 
 ``collect`` and ``build`` are fault-tolerant: completed per-architecture
 records are journaled (``--journal-dir``), a killed run is picked up with
 ``--resume``, transient failures retry (``--retries``), and deterministic
 faults can be injected for robustness drills (``--faults "nan:0.05,..."``).
+
+Every subcommand accepts the shared telemetry flags (see
+:mod:`repro.obs` and ``docs/observability.md``): ``--log-level`` /
+``--log-json`` control structured logging on stderr, ``--trace-out``
+records nested spans to a JSONL trace, and ``--metrics-out`` exports the
+metrics registry as JSONL.  Telemetry is out-of-band: artifacts are
+byte-identical with it on or off.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ import json
 import sys
 from pathlib import Path
 
+import repro.obs as obs
 from repro.core.benchmark import AccelNASBench
 from repro.core.dataset import (
     collect_accuracy_dataset,
@@ -128,6 +136,51 @@ def _add_reliability_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--log-level",
+        choices=sorted(obs.LEVELS),
+        default="info",
+        help="structured-log level on stderr ('off' silences logging)",
+    )
+    p.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSON lines instead of key=value text",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record nested tracing spans and export them as JSONL",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="export the metrics registry as JSONL on exit",
+    )
+
+
+def _configure_obs(args: argparse.Namespace) -> None:
+    """Switch telemetry on per the shared CLI flags (before the command)."""
+    obs.configure(
+        level=args.log_level,
+        json=args.log_json,
+        trace=args.trace_out is not None,
+    )
+
+
+def _export_obs(args: argparse.Namespace) -> None:
+    """Export metrics/trace JSONL per the shared CLI flags (after the command)."""
+    if args.metrics_out is not None:
+        obs.metrics().export_jsonl(args.metrics_out)
+    if args.trace_out is not None:
+        tracer = obs.current_tracer()
+        if tracer is not None:
+            tracer.export_jsonl(args.trace_out)
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     try:
         bench, reports = AccelNASBench.build(
@@ -170,6 +223,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             for metric in metrics
         )
 
+    summaries = []
     for target in targets:
         name = (
             dataset_name_for(None, "accuracy")
@@ -203,11 +257,27 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             return 1
         path = out_dir / f"{name}.json"
         dataset.to_json(path)
-        quarantined = len(dataset.meta.get("quarantine", ()))
+        quarantine = dataset.quarantine
         status = f"{len(dataset)} archs"
-        if quarantined:
-            status += f", {quarantined} quarantined"
+        if quarantine:
+            status += f", {len(quarantine)} quarantined"
         print(f"{name:20s} {status:28s} -> {path}")
+        by_error: dict[str, int] = {}
+        for record in quarantine:
+            by_error[record.error] = by_error.get(record.error, 0) + 1
+        summaries.append(
+            {
+                "dataset": name,
+                "archs": len(dataset),
+                "quarantined": len(quarantine),
+                "failures_by_error": by_error,
+                "quarantined_keys": [record.key for record in quarantine],
+                "path": str(path),
+            }
+        )
+    # Structured end-of-run summary: quarantined work and per-fault counts
+    # are part of the command's output, not just buried in the logs.
+    print(json.dumps({"collect_summary": summaries}, sort_keys=True))
     return 0
 
 
@@ -230,6 +300,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         "metric": result.metric,
     }
     print(json.dumps(payload, indent=2))
+    if obs.telemetry_active():
+        bench.record_cache_metrics()
     return 0
 
 
@@ -248,6 +320,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     print(f"pareto front ({len(result.pareto_indices())} points):")
     for arch, acc, perf in result.pareto_points():
         print(f"  acc={acc:.4f} perf={perf:10.1f} {unit}  {arch.to_string()}")
+    if obs.telemetry_active():
+        bench.record_cache_metrics()
     return 0
 
 
@@ -314,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-jobs", type=int, default=1)
     p.add_argument("--collect-n-jobs", type=int, default=1)
     _add_reliability_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_build)
 
     p = sub.add_parser(
@@ -326,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metric", default="throughput")
     p.add_argument("--n-jobs", type=int, default=1)
     _add_reliability_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_collect)
 
     p = sub.add_parser("query", help="zero-cost query of a saved benchmark")
@@ -333,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", required=True, help="canonical arch string")
     p.add_argument("--device", default=None)
     p.add_argument("--metric", default="throughput")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser("search", help="bi-objective REINFORCE on a benchmark")
@@ -342,20 +419,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target", type=float, required=True)
     p.add_argument("--budget", type=int, default=500)
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_search)
 
     p = sub.add_parser("proxy-search", help="run the Eq. 1 proxy grid search")
     p.add_argument("--t-spec", type=float, default=3.0)
     p.add_argument("--tau", type=float, default=0.94)
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_proxy_search)
 
     p = sub.add_parser("experiment", help="run a paper table/figure (or 'all')")
     p.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
     p.add_argument("--num-archs", type=int, default=1000)
     p.add_argument("--save", action="store_true")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_experiment)
 
     p = sub.add_parser("devices", help="list supported devices and metrics")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_devices)
 
     p = sub.add_parser(
@@ -366,15 +447,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--select", action="append", default=[], metavar="RULE")
     p.add_argument("--ignore", action="append", default=[], metavar="RULE")
     p.add_argument("--config", default=None, metavar="PYPROJECT")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_lint)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Telemetry lifecycle: configure from the shared flags, run the command,
+    export any requested metrics/trace JSONL (even when the command fails —
+    a crashed collect still leaves its trace behind), then reset obs state
+    so embedding callers (and the test suite) see import-time defaults.
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    _configure_obs(args)
+    try:
+        return args.fn(args)
+    finally:
+        _export_obs(args)
+        obs.reset()
 
 
 if __name__ == "__main__":

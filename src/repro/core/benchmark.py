@@ -31,6 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.dataset import (
     collect_accuracy_dataset,
     collect_device_dataset,
@@ -193,7 +194,31 @@ class AccelNASBench:
                 rows = features[np.asarray(idx, dtype=np.intp)]
             return fitter.fit(dataset, family, features=rows)
 
-        reports = deterministic_map(collect_and_fit, targets, n_jobs=n_jobs)
+        active = obs.telemetry_active()
+        if active:
+            log = obs.get_logger("repro.core.benchmark")
+            log.info(
+                "build.start",
+                num_archs=num_archs,
+                targets=len(targets),
+                family=family,
+                n_jobs=n_jobs,
+                resume=resume,
+            )
+
+            plain_collect_and_fit = collect_and_fit
+
+            def collect_and_fit(target: tuple[str, str] | None) -> FitReport:
+                name = "accuracy" if target is None else f"{target[0]}/{target[1]}"
+                with obs.span("build.target", target=name):
+                    report = plain_collect_and_fit(target)
+                log.info("build.target_done", target=name)
+                return report
+
+        with obs.span("build", num_archs=num_archs, targets=len(targets)):
+            reports = deterministic_map(collect_and_fit, targets, n_jobs=n_jobs)
+        if active:
+            log.info("build.done", targets=len(targets))
 
         perf_models: dict[tuple[str, str], Regressor] = {
             target: report.model
@@ -232,11 +257,15 @@ class AccelNASBench:
 
     def query_accuracy(self, arch: ArchSpec) -> float:
         """Predicted top-1 accuracy under the proxy training scheme."""
+        if obs.telemetry_active():
+            obs.metrics().inc("query.single")
         X = self._encoder.encode([arch])
         return float(self._accuracy_model.predict(X)[0])
 
     def query_performance(self, arch: ArchSpec, device: str, metric: str) -> float:
         """Predicted on-device performance (img/s or ms)."""
+        if obs.telemetry_active():
+            obs.metrics().inc("query.single")
         model = self._perf_model(device, metric)
         X = self._encoder.encode([arch])
         return float(model.predict(X)[0])
@@ -252,6 +281,8 @@ class AccelNASBench:
         The architecture is encoded exactly once; both surrogates predict
         from the same feature row.
         """
+        if obs.telemetry_active():
+            obs.metrics().inc("query.single")
         perf_model = (
             self._perf_model(device, metric) if device is not None else None
         )
@@ -269,6 +300,8 @@ class AccelNASBench:
 
     def query_accuracy_batch(self, archs: Sequence[ArchSpec]) -> np.ndarray:
         """Vectorised accuracy query: one encode, one ensemble predict."""
+        if obs.telemetry_active():
+            self._count_batch(len(archs))
         X = self._encoder.encode(archs)
         return np.asarray(self._accuracy_model.predict(X), dtype=np.float64)
 
@@ -276,6 +309,8 @@ class AccelNASBench:
         self, archs: Sequence[ArchSpec], device: str, metric: str = "throughput"
     ) -> np.ndarray:
         """Vectorised performance query for one (device, metric) target."""
+        if obs.telemetry_active():
+            self._count_batch(len(archs))
         model = self._perf_model(device, metric)
         X = self._encoder.encode(archs)
         return np.asarray(model.predict(X), dtype=np.float64)
@@ -292,6 +327,8 @@ class AccelNASBench:
         calling :meth:`query` in a loop but with a single vectorised pass.
         """
         archs = list(archs)
+        if obs.telemetry_active():
+            self._count_batch(len(archs))
         perf_model = (
             self._perf_model(device, metric) if device is not None else None
         )
@@ -308,6 +345,34 @@ class AccelNASBench:
             )
             for i, arch in enumerate(archs)
         ]
+
+    # -------------------------------------------------------------- telemetry
+
+    @staticmethod
+    def _count_batch(n: int) -> None:
+        registry = obs.metrics()
+        registry.inc("query.batch")
+        registry.inc("query.batch_archs", n)
+
+    def record_cache_metrics(self) -> None:
+        """Re-export the encoder/graph cache statistics as gauges.
+
+        Called at metrics-export time (not per query) so the hot query path
+        never pays for it.  Gauges: ``query.cache_hits`` /
+        ``query.cache_misses`` / ``query.cache_size`` from the feature-row
+        LRU, and ``hwsim.graph_cache_hits`` / ``hwsim.graph_cache_misses``
+        from the shared built-graph cache.
+        """
+        from repro.hwsim.measure import graph_cache_info
+
+        registry = obs.metrics()
+        info = self._encoder.cache_info()
+        registry.set_gauge("query.cache_hits", info["hits"])
+        registry.set_gauge("query.cache_misses", info["misses"])
+        registry.set_gauge("query.cache_size", info["size"])
+        graph_info = graph_cache_info()
+        registry.set_gauge("hwsim.graph_cache_hits", graph_info["hits"])
+        registry.set_gauge("hwsim.graph_cache_misses", graph_info["misses"])
 
     # ------------------------------------------------------------- objectives
 

@@ -27,6 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.reliability import (
     ArtifactIntegrityError,
     FailureRecord,
@@ -183,16 +184,18 @@ def _collect(
     if own_journal:
         journal = Journal(journal, dataset=name)
     try:
-        outcome = run_tasks(
-            keys,
-            lambda key, attempt: task(by_key[key], attempt),
-            n_jobs=n_jobs,
-            retry_policy=retry_policy,
-            journal=journal,
-            resume=resume,
-            min_success_fraction=min_success_fraction,
-            prepare=prepare,
-        )
+        with obs.span("dataset.collect", dataset=name, metric=metric, archs=len(archs)):
+            outcome = run_tasks(
+                keys,
+                lambda key, attempt: task(by_key[key], attempt),
+                n_jobs=n_jobs,
+                retry_policy=retry_policy,
+                journal=journal,
+                resume=resume,
+                min_success_fraction=min_success_fraction,
+                prepare=prepare,
+                label=name,
+            )
     finally:
         if own_journal:
             journal.close()

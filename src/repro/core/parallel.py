@@ -27,8 +27,20 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
+import repro.obs as obs
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _record_dispatch(kind: str, items: int, workers: int) -> None:
+    """Gated telemetry for one pool fan-out (only called when active)."""
+    registry = obs.metrics()
+    registry.inc("parallel.dispatches")
+    registry.inc("parallel.dispatched_items", items)
+    obs.get_logger("repro.core.parallel").debug(
+        "parallel.dispatch", kind=kind, items=items, workers=workers
+    )
 
 
 def _collect_in_order(futures: list[Future], labels: list[str]) -> list:
@@ -79,10 +91,13 @@ def deterministic_map(
     workers = resolve_n_jobs(n_jobs)
     if workers == 1 or len(work) <= 1:
         return [fn(item) for item in work]
-    with ThreadPoolExecutor(max_workers=min(workers, len(work))) as pool:
-        futures = [pool.submit(fn, item) for item in work]
-        labels = [f"item {i}/{len(work)}" for i in range(len(work))]
-        return _collect_in_order(futures, labels)
+    if obs.telemetry_active():
+        _record_dispatch("deterministic_map", len(work), workers)
+    with obs.span("parallel.deterministic_map", items=len(work), workers=workers):
+        with ThreadPoolExecutor(max_workers=min(workers, len(work))) as pool:
+            futures = [pool.submit(fn, item) for item in work]
+            labels = [f"item {i}/{len(work)}" for i in range(len(work))]
+            return _collect_in_order(futures, labels)
 
 
 def chunked_map(
@@ -106,13 +121,16 @@ def chunked_map(
         lo, hi = bound
         return [fn(item) for item in work[lo:hi]]
 
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(run_chunk, bound) for bound in bounds]
-        labels = [f"chunk covering items {lo}:{hi}" for lo, hi in bounds]
-        out: list[R] = []
-        for chunk in _collect_in_order(futures, labels):
-            out.extend(chunk)
-        return out
+    if obs.telemetry_active():
+        _record_dispatch("chunked_map", len(work), workers)
+    with obs.span("parallel.chunked_map", items=len(work), workers=workers):
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run_chunk, bound) for bound in bounds]
+            labels = [f"chunk covering items {lo}:{hi}" for lo, hi in bounds]
+            out: list[R] = []
+            for chunk in _collect_in_order(futures, labels):
+                out.extend(chunk)
+            return out
 
 
 def chunked_array_map(
@@ -144,8 +162,14 @@ def chunked_array_map(
         (len(work) * w // workers, len(work) * (w + 1) // workers)
         for w in range(workers)
     ]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(lambda b: fn(work[b[0] : b[1]]), bound) for bound in bounds]
-        labels = [f"chunk covering items {lo}:{hi}" for lo, hi in bounds]
-        chunks = _collect_in_order(futures, labels)
+    if obs.telemetry_active():
+        _record_dispatch("chunked_array_map", len(work), workers)
+    with obs.span("parallel.chunked_array_map", items=len(work), workers=workers):
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(lambda b: fn(work[b[0] : b[1]]), bound)
+                for bound in bounds
+            ]
+            labels = [f"chunk covering items {lo}:{hi}" for lo, hi in bounds]
+            chunks = _collect_in_order(futures, labels)
     return np.concatenate([np.asarray(c, dtype=np.float64) for c in chunks])

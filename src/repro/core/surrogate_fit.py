@@ -13,6 +13,7 @@ from typing import Any
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.dataset import BenchmarkDataset, train_val_test_split
 from repro.core.metrics import kendall_tau, mae, r2_score
 from repro.hpo.configspace import (
@@ -239,6 +240,8 @@ class SurrogateFitter:
                 architecture sample, so callers encode once and share the
                 matrix across every fit instead of re-encoding per target.
         """
+        active = obs.telemetry_active()
+        fit_start = obs.monotonic() if active else 0.0
         if features is not None:
             if len(features) != len(dataset):
                 raise ValueError(
@@ -266,12 +269,23 @@ class SurrogateFitter:
 
         inner = self._build(family, params)
         # Final fit on train+val (standard practice after tuning).
-        inner.fit(
-            np.concatenate([X_train, X_val]), np.concatenate([y_train, y_val])
-        )
+        with obs.span("surrogate.fit", dataset=dataset.name, family=family):
+            inner.fit(
+                np.concatenate([X_train, X_val]), np.concatenate([y_train, y_val])
+            )
         model = TransformedTargetRegressor(inner, mu=mu, sigma=sigma, log=use_log)
         y_test_raw = y_raw[idx_test]
         pred_raw = model.predict(X_test)
+        if active:
+            elapsed = obs.monotonic() - fit_start
+            obs.metrics().observe("surrogate.fit_seconds", elapsed)
+            obs.get_logger("repro.core.surrogate_fit").info(
+                "surrogate.fit_done",
+                dataset=dataset.name,
+                family=family,
+                seconds=round(elapsed, 4),
+                n=len(dataset),
+            )
         return FitReport(
             dataset=dataset.name,
             family=family,

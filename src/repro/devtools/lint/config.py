@@ -7,6 +7,7 @@ Recognised keys (dashes and underscores are interchangeable)::
     ignore = ["ANB003"]                  # drop these rules
     exclude = ["*_pb2.py"]               # extra filename/glob excludes
     tolerance-helpers = ["close_enough"] # functions where float == is allowed
+    print-allowed = ["repro.cli"]        # module globs exempt from ANB007
 
 Python 3.11+ parses the file with :mod:`tomllib`; on 3.10 (no tomllib, and
 this repo installs no third-party TOML reader) a minimal fallback parser
@@ -44,6 +45,15 @@ _DEFAULT_TOLERANCE_HELPERS = (
     "approx_equal",
 )
 
+# Module-name globs where bare print() is the intended output channel
+# (ANB007): CLI entrypoints and reporters.  Library modules route
+# diagnostics through repro.obs structured logging instead.
+_DEFAULT_PRINT_ALLOWED = (
+    "repro.cli",
+    "repro.devtools.lint.runner",
+    "repro.obs.validate",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -53,6 +63,7 @@ class LintConfig:
     ignore: tuple[str, ...] = ()
     exclude: tuple[str, ...] = _DEFAULT_EXCLUDES
     tolerance_helpers: tuple[str, ...] = _DEFAULT_TOLERANCE_HELPERS
+    print_allowed: tuple[str, ...] = _DEFAULT_PRINT_ALLOWED
 
     def with_overrides(
         self,
@@ -139,6 +150,7 @@ def load_config(pyproject: Path | None) -> LintConfig:
         "ignore": "ignore",
         "exclude": "exclude",
         "tolerance_helpers": "tolerance_helpers",
+        "print_allowed": "print_allowed",
     }
     updates: dict[str, tuple[str, ...]] = {}
     for raw_key, value in section.items():
@@ -152,5 +164,7 @@ def load_config(pyproject: Path | None) -> LintConfig:
             values = config.exclude + values
         if key == "tolerance_helpers":
             values = config.tolerance_helpers + values
+        if key == "print_allowed":
+            values = config.print_allowed + values
         updates[key] = values
     return replace(config, **updates) if updates else config

@@ -1,4 +1,4 @@
-"""The Accel-NASBench rule set (ANB001-ANB006).
+"""The Accel-NASBench rule set (ANB001-ANB007).
 
 Every rule encodes a hazard this repository has actually hit or must never
 hit: the benchmark's contract is that every number is a deterministic
@@ -9,6 +9,7 @@ hygiene are correctness properties here, not style.
 from __future__ import annotations
 
 import ast
+from fnmatch import fnmatch
 from typing import Iterator
 
 from repro.devtools.lint.core import (
@@ -500,4 +501,68 @@ class SilentExceptRule(LintRule):
                     node,
                     "exception silently swallowed (handler body is only "
                     "pass); record or re-raise it",
+                )
+
+
+# ---------------------------------------------------------------------------
+# ANB007 — no bare print() in library modules
+# ---------------------------------------------------------------------------
+
+
+def _is_main_guard(stmt: ast.stmt) -> bool:
+    """``if __name__ == "__main__":`` (either comparison order)."""
+    if not isinstance(stmt, ast.If) or not isinstance(stmt.test, ast.Compare):
+        return False
+    test = stmt.test
+    if len(test.ops) != 1 or not isinstance(test.ops[0], ast.Eq):
+        return False
+    operands = [test.left, *test.comparators]
+    names = [n.id for n in operands if isinstance(n, ast.Name)]
+    values = [n.value for n in operands if isinstance(n, ast.Constant)]
+    return names == ["__name__"] and values == ["__main__"]
+
+
+def _module_matches(module_name: str, patterns: tuple[str, ...]) -> bool:
+    return any(
+        module_name == pattern
+        or module_name.startswith(pattern + ".")
+        or fnmatch(module_name, pattern)
+        for pattern in patterns
+    )
+
+
+@register_rule
+class BarePrintRule(LintRule):
+    """No bare ``print()`` in library modules.
+
+    Library diagnostics must flow through :mod:`repro.obs` structured
+    logging so they carry levels and fields, land on stderr, and can be
+    switched off — a stray print corrupts machine-read stdout (the ``query``
+    subcommand emits JSON) and is invisible to log shipping.  CLI
+    entrypoints and reporters, where stdout *is* the product, are exempt via
+    the ``print-allowed`` config list; so is anything under an
+    ``if __name__ == "__main__":`` demo block.
+    """
+
+    id = "ANB007"
+    name = "bare-print"
+    severity = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _module_matches(module.module_name, module.config.print_allowed):
+            return
+        demo_nodes: set[int] = set()
+        for stmt in module.tree.body:
+            if _is_main_guard(stmt):
+                for node in ast.walk(stmt):
+                    demo_nodes.add(id(node))
+        for node in ast.walk(module.tree):
+            if id(node) in demo_nodes or not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                yield module.finding(
+                    self,
+                    node,
+                    "bare print() in a library module; use repro.obs "
+                    "structured logging (or add the module to print-allowed)",
                 )

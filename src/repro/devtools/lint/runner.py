@@ -158,7 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.devtools.lint",
         description=(
             "AST-based determinism & correctness linter for the "
-            "Accel-NASBench reproduction (rules ANB001-ANB006)"
+            "Accel-NASBench reproduction (rules ANB001-ANB007)"
         ),
     )
     parser.add_argument(

@@ -6,6 +6,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import repro.obs as obs
 from repro.core.benchmark import AccelNASBench
 from repro.core.dataset import (
     BenchmarkDataset,
@@ -58,16 +59,22 @@ class ExperimentContext:
     def accuracy_dataset(self) -> BenchmarkDataset:
         """ANB-Acc collected with the proxy scheme (cached)."""
         if "acc" not in self._datasets:
-            self._datasets["acc"] = collect_accuracy_dataset(
-                self.archs, self.scheme, trainer=self.trainer
-            )
+            with obs.span("experiment.accuracy_dataset", archs=self.num_archs):
+                self._datasets["acc"] = collect_accuracy_dataset(
+                    self.archs, self.scheme, trainer=self.trainer
+                )
         return self._datasets["acc"]
 
     def device_dataset(self, device: str, metric: str) -> BenchmarkDataset:
         """ANB-{device}-{metric} (cached)."""
         key = f"{device}|{metric}"
         if key not in self._datasets:
-            self._datasets[key] = collect_device_dataset(self.archs, device, metric)
+            with obs.span(
+                "experiment.device_dataset", device=device, metric=metric
+            ):
+                self._datasets[key] = collect_device_dataset(
+                    self.archs, device, metric
+                )
         return self._datasets[key]
 
     def device_targets(self) -> list[tuple[str, str]]:
@@ -81,25 +88,31 @@ class ExperimentContext:
     def benchmark(self, fitter: SurrogateFitter | None = None) -> AccelNASBench:
         """The fully built Accel-NASBench (cached)."""
         if self._benchmark is None:
-            fitter = fitter if fitter is not None else SurrogateFitter()
-            # One shared sample -> one encode, reused by all nine fits.
-            features = fitter.encoder.encode(self.archs)
-            acc_report = fitter.fit(self.accuracy_dataset(), "xgb", features=features)
-            perf_models = {}
-            reports = [acc_report]
-            for device, metric in self.device_targets():
-                report = fitter.fit(
-                    self.device_dataset(device, metric), "xgb", features=features
+            with obs.span("experiment.benchmark", archs=self.num_archs):
+                fitter = fitter if fitter is not None else SurrogateFitter()
+                # One shared sample -> one encode, reused by all nine fits.
+                features = fitter.encoder.encode(self.archs)
+                acc_report = fitter.fit(
+                    self.accuracy_dataset(), "xgb", features=features
                 )
-                reports.append(report)
-                perf_models[(device, metric)] = report.model
-            self._benchmark = AccelNASBench(
-                accuracy_model=acc_report.model,
-                perf_models=perf_models,
-                encoder=fitter.encoder,
-                meta={"num_archs": self.num_archs, "scheme": self.scheme.to_dict()},
-            )
-            self._reports = reports
+                perf_models = {}
+                reports = [acc_report]
+                for device, metric in self.device_targets():
+                    report = fitter.fit(
+                        self.device_dataset(device, metric), "xgb", features=features
+                    )
+                    reports.append(report)
+                    perf_models[(device, metric)] = report.model
+                self._benchmark = AccelNASBench(
+                    accuracy_model=acc_report.model,
+                    perf_models=perf_models,
+                    encoder=fitter.encoder,
+                    meta={
+                        "num_archs": self.num_archs,
+                        "scheme": self.scheme.to_dict(),
+                    },
+                )
+                self._reports = reports
         return self._benchmark
 
     def benchmark_reports(self) -> list[FitReport]:

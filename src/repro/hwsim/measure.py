@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+import repro.obs as obs
 from repro.hwsim.device import AcceleratorModel
 from repro.hwsim.tpu import TpuModel
 from repro.nn.graph import LayerGraph
@@ -131,6 +132,8 @@ class MeasurementHarness:
         never changes the measurement itself, so retried measurements are
         bit-identical to first-try ones.
         """
+        if obs.telemetry_active():
+            obs.metrics().inc("hwsim.measurements")
         graph = _cached_graph(arch, resolution)
         clean = self.device.throughput_ips(graph, batch)
         samples = self._run_samples(
@@ -146,6 +149,8 @@ class MeasurementHarness:
 
         ``attempt`` only feeds the fault plan; see :meth:`measure_throughput`.
         """
+        if obs.telemetry_active():
+            obs.metrics().inc("hwsim.measurements")
         graph = _cached_graph(arch, resolution)
         clean = self.device.latency_ms(graph, batch)
         samples = self._run_samples(
@@ -197,6 +202,10 @@ class MeasurementHarness:
         from repro.hwsim import batch as _batch
 
         archs = list(archs)
+        if obs.telemetry_active():
+            registry = obs.metrics()
+            registry.inc("hwsim.batch_calls")
+            registry.inc("hwsim.batch_archs", len(archs))
         if metric == "throughput":
             lower_is_better = False
             metric_key = f"thr@{batch}"
@@ -208,12 +217,17 @@ class MeasurementHarness:
             raise ValueError(f"unknown metric {metric!r}")
 
         if _batch.supports_device(self.device) and _batch.supports_batch(archs):
-            if self._batch_kernel is None:
-                self._batch_kernel = _batch.DeviceBatchKernel(self.device)
-            if metric == "throughput":
-                clean = self._batch_kernel.throughput_ips(archs, batch, resolution)
-            else:
-                clean = self._batch_kernel.latency_ms(archs, batch, resolution)
+            with obs.span(
+                "hwsim.measure_batch", device=self.device.name, archs=len(archs)
+            ):
+                if self._batch_kernel is None:
+                    self._batch_kernel = _batch.DeviceBatchKernel(self.device)
+                if metric == "throughput":
+                    clean = self._batch_kernel.throughput_ips(
+                        archs, batch, resolution
+                    )
+                else:
+                    clean = self._batch_kernel.latency_ms(archs, batch, resolution)
         else:
             clean = np.empty(len(archs), dtype=np.float64)
             for i, arch in enumerate(archs):

@@ -1,0 +1,63 @@
+"""Shared observability state: the global on/off switch and the clock.
+
+Everything in :mod:`repro.obs` funnels through two pieces of process-wide
+state defined here so the rest of the package (and the instrumented hot
+paths) stays cycle-free:
+
+- the **telemetry switch** — :func:`telemetry_active` is the single cheap
+  check every instrumentation site gates on.  Telemetry is *off* by default:
+  a library user who never calls :func:`repro.obs.configure` pays one
+  boolean read per instrumented code path (the hot loops gate once per run,
+  not once per task), and no logging handler, tracer or metric is ever
+  touched.
+- the **monotonic clock** — all spans, timers and progress heartbeats read
+  time through :func:`monotonic`, which tests replace with a fake via
+  :func:`set_clock` so every telemetry test is deterministic and sleep-free
+  (the same injectability contract as ``RetryPolicy.sleep``).
+
+Telemetry is strictly out-of-band: nothing in this package may influence a
+computed value, an artifact byte, or an iteration order.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+_active: bool = False
+_clock: Callable[[], float] = time.monotonic
+
+
+def telemetry_active() -> bool:
+    """Whether any telemetry (logging/tracing/metrics) is switched on.
+
+    Instrumented hot paths check this once per run and skip *all*
+    observability work when it is false, which is what keeps the disabled
+    overhead under the benchmarked 2% bound.
+    """
+    return _active
+
+
+def set_active(flag: bool) -> None:
+    """Flip the global telemetry switch (used by configure/disable)."""
+    global _active
+    _active = bool(flag)
+
+
+def monotonic() -> float:
+    """Current time from the injectable monotonic clock."""
+    return _clock()
+
+
+def set_clock(clock: Callable[[], float]) -> None:
+    """Install a replacement monotonic clock (tests use a fake ticker)."""
+    global _clock
+    if not callable(clock):
+        raise TypeError("clock must be a zero-argument callable")
+    _clock = clock
+
+
+def reset_clock() -> None:
+    """Restore the real monotonic clock."""
+    global _clock
+    _clock = time.monotonic

@@ -1,0 +1,173 @@
+"""Structured logging façade over the stdlib ``logging`` module.
+
+Library modules obtain a logger with :func:`get_logger` and emit *events
+with fields* rather than interpolated strings::
+
+    _LOG = obs.get_logger("repro.core.reliability")
+    _LOG.warning("quarantine", key=key, error="MeasurementTimeout", attempts=3)
+
+Nothing is printed until :func:`configure` installs a handler (the CLI does
+this from ``--log-level`` / ``--log-json``); an unconfigured process stays
+silent and pays only an ``isEnabledFor`` check per suppressed call.  Two
+formatters are provided:
+
+- key=value text (default): ``warning repro.core.reliability quarantine
+  key=... error=MeasurementTimeout attempts=3``
+- JSON lines (``--log-json``): one object per line with ``level``,
+  ``logger``, ``event``, ``ts`` (from the injectable obs clock) and the
+  event fields — machine-parseable for log shipping.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+from repro.obs import _state
+
+ROOT_LOGGER_NAME = "repro"
+
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "off": logging.CRITICAL + 10,
+}
+
+# Marker attribute distinguishing the obs-installed handler from any
+# handlers the embedding application may have attached itself.
+_OBS_HANDLER_FLAG = "_anb_obs_handler"
+
+
+def _render_value(value: object) -> str:
+    """Render one field value for the key=value format."""
+    if isinstance(value, str):
+        # Quote only when needed so common tokens stay grep-friendly.
+        if not value or any(c.isspace() or c in '"=' for c in value):
+            return json.dumps(value)
+        return value
+    if isinstance(value, float):
+        return format(value, ".6g")
+    if isinstance(value, (dict, list, tuple)):
+        return json.dumps(value, sort_keys=True, default=str)
+    return str(value)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``level logger event key=value ...`` single-line text format."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        event = getattr(record, "anb_event", None) or record.getMessage()
+        fields: dict = getattr(record, "anb_fields", {})
+        parts = [record.levelname.lower(), record.name, event]
+        parts.extend(f"{key}={_render_value(value)}" for key, value in fields.items())
+        return " ".join(parts)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; ``ts`` comes from the injectable clock."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        event = getattr(record, "anb_event", None) or record.getMessage()
+        fields: dict = getattr(record, "anb_fields", {})
+        payload = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": event,
+            "ts": _state.monotonic(),
+        }
+        for key, value in fields.items():
+            if key not in payload:
+                payload[key] = value
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class ObsLogger:
+    """Thin event-plus-fields wrapper around one stdlib logger.
+
+    The wrapper keeps call sites structured (``log.info(event, **fields)``)
+    and cheap: when the level is suppressed the only work done is the
+    stdlib ``isEnabledFor`` check.
+    """
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def is_enabled_for(self, level: int) -> bool:
+        return self._logger.isEnabledFor(level)
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(
+                level, event, extra={"anb_event": event, "anb_fields": fields}
+            )
+
+    def debug(self, event: str, **fields) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str = ROOT_LOGGER_NAME) -> ObsLogger:
+    """Structured logger for ``name`` (conventionally the module path)."""
+    return ObsLogger(logging.getLogger(name))
+
+
+def _root() -> logging.Logger:
+    return logging.getLogger(ROOT_LOGGER_NAME)
+
+
+def _remove_obs_handlers(logger: logging.Logger) -> None:
+    for handler in list(logger.handlers):
+        if getattr(handler, _OBS_HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+            handler.close()
+
+
+def configure_logging(
+    level: str = "info",
+    json_lines: bool = False,
+    stream: IO[str] | None = None,
+) -> None:
+    """Install (or replace) the obs handler on the ``repro`` logger tree.
+
+    Args:
+        level: One of ``debug``/``info``/``warning``/``error``/``off``.
+        json_lines: Emit JSON lines instead of key=value text.
+        stream: Destination stream; defaults to ``sys.stderr`` so stdout
+            stays reserved for command output (tables, JSON results).
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected one of {sorted(LEVELS)}")
+    root = _root()
+    _remove_obs_handlers(root)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_lines else KeyValueFormatter())
+    setattr(handler, _OBS_HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.setLevel(LEVELS[level])
+    root.propagate = False
+
+
+def reset_logging() -> None:
+    """Remove the obs handler and restore stdlib defaults on ``repro``."""
+    root = _root()
+    _remove_obs_handlers(root)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True

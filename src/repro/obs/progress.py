@@ -1,0 +1,101 @@
+"""Run-progress heartbeat for long collection runs.
+
+:class:`ProgressReporter` is wired into ``run_tasks`` so a multi-hour
+journaled collection emits a periodic one-line pulse instead of running
+silent::
+
+    info repro.core.reliability progress label=accuracy done=400 total=5200
+         rate=12.3 eta_s=390.2 retries=7 quarantined=1
+
+A heartbeat fires when *either* ``every_n`` completions have accumulated
+since the last beat or ``every_s`` seconds (on the injectable obs clock)
+have elapsed — whichever comes first.  ``finish()`` always emits a final
+beat so short runs produce at least one progress line.  The reporter is
+thread-safe: ``update`` is called from worker threads under ``chunked_map``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import _state
+from repro.obs.log import ObsLogger, get_logger
+
+
+class ProgressReporter:
+    """Periodic rate/ETA heartbeat over a known-size task run."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "run",
+        every_n: int = 25,
+        every_s: float = 10.0,
+        logger: ObsLogger | None = None,
+    ) -> None:
+        if every_n < 1:
+            raise ValueError("every_n must be >= 1")
+        self.total = int(total)
+        self.label = label
+        self.every_n = every_n
+        self.every_s = float(every_s)
+        self._log = logger if logger is not None else get_logger("repro.obs.progress")
+        self._lock = threading.Lock()
+        self._start = _state.monotonic()
+        self._last_beat_t = self._start
+        self._done = 0
+        self._since_beat = 0
+        self._retries = 0
+        self._quarantined = 0
+
+    # -- counters ---------------------------------------------------------
+
+    def task_done(self) -> None:
+        """One task finished (successfully or quarantined); maybe heartbeat."""
+        with self._lock:
+            self._done += 1
+            self._since_beat += 1
+            now = _state.monotonic()
+            due = (
+                self._since_beat >= self.every_n
+                or (now - self._last_beat_t) >= self.every_s
+            )
+            if due:
+                self._beat_locked(now)
+
+    def retry(self) -> None:
+        with self._lock:
+            self._retries += 1
+
+    def quarantine(self) -> None:
+        with self._lock:
+            self._quarantined += 1
+
+    def finish(self) -> dict:
+        """Emit the final beat and return the closing stats dict."""
+        with self._lock:
+            self._beat_locked(_state.monotonic())
+            return self._stats_locked(_state.monotonic())
+
+    # -- internals --------------------------------------------------------
+
+    def _stats_locked(self, now: float) -> dict:
+        elapsed = now - self._start
+        rate = self._done / elapsed if elapsed > 0 else 0.0
+        remaining = max(0, self.total - self._done)
+        eta = remaining / rate if rate > 0 else 0.0
+        return {
+            "label": self.label,
+            "done": self._done,
+            "total": self.total,
+            "elapsed_s": round(elapsed, 3),
+            "rate": round(rate, 3),
+            "eta_s": round(eta, 3),
+            "retries": self._retries,
+            "quarantined": self._quarantined,
+        }
+
+    def _beat_locked(self, now: float) -> None:
+        self._since_beat = 0
+        self._last_beat_t = now
+        self._log.info("progress", **self._stats_locked(now))

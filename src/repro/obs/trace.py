@@ -1,0 +1,205 @@
+"""Tracing spans and timers over the injectable monotonic clock.
+
+:func:`span` is the one instrumentation primitive hot paths use::
+
+    with obs.span("collect.run_tasks", label="accuracy", total=128):
+        ...
+
+When no tracer is installed (`--trace-out` absent) and telemetry is off,
+``span`` returns a shared null singleton whose ``__enter__``/``__exit__``
+do nothing — the disabled cost is one function call and one attribute
+check, which is what the obs overhead benchmark budgets for.  When a
+:class:`Tracer` is installed, spans record start/end times from the
+injectable clock (:mod:`repro.obs._state`), nest via a thread-local stack
+(parent ids are tracked per worker thread), and capture exceptions as
+``status="error"``.
+
+The trace exports as JSONL with a header record, one object per finished
+span::
+
+    {"schema": "anb-trace", "schema_version": 1}
+    {"name": "collect.task", "span_id": 3, "parent_id": 1,
+     "start": 0.25, "end": 0.5, "duration": 0.25,
+     "thread": "w-0", "status": "ok", "attrs": {"key": "..."}}
+
+:func:`timer` is the benchmark-facing wall-clock helper replacing the
+ad-hoc ``time.perf_counter()`` pairs: it always measures (independent of
+the telemetry switch) and exposes ``.seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Iterable
+
+from repro.obs import _state
+
+TRACE_SCHEMA = "anb-trace"
+TRACE_SCHEMA_VERSION = 1
+
+
+class _NullSpan:
+    """Shared do-nothing span used whenever no tracer is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set_attr(self, key: str, value) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; finished by ``__exit__`` into its tracer's record list."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.start = 0.0
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self.tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.tracer._exit(self, exc_type)
+        return None
+
+
+class Tracer:
+    """Collects finished spans; thread-safe, nesting via thread-local stacks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[dict] = []
+        self._next_id = 1
+        self._stacks = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def _enter(self, span: Span) -> None:
+        stack = self._stack()
+        span.parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        span.start = _state.monotonic()
+        stack.append(span)
+
+    def _exit(self, span: Span, exc_type) -> None:
+        end = _state.monotonic()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        record = {
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "start": span.start,
+            "end": end,
+            "duration": end - span.start,
+            "thread": threading.current_thread().name,
+            "status": "error" if exc_type is not None else "ok",
+            "attrs": span.attrs,
+        }
+        with self._lock:
+            self._records.append(record)
+
+    def records(self) -> list[dict]:
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._next_id = 1
+
+    def export_lines(self) -> Iterable[str]:
+        yield json.dumps(
+            {"schema": TRACE_SCHEMA, "schema_version": TRACE_SCHEMA_VERSION},
+            sort_keys=True,
+        )
+        for record in self.records():
+            yield json.dumps(record, sort_keys=True, default=str)
+
+    def export_jsonl(self, path) -> None:
+        from repro.core.reliability import atomic_write
+
+        payload = "\n".join(self.export_lines()) + "\n"
+        atomic_write(path, payload)
+
+
+_tracer: Tracer | None = None
+
+
+def install_tracer(tracer: Tracer | None = None) -> Tracer:
+    """Install (and return) the process tracer; spans start recording."""
+    global _tracer
+    _tracer = tracer if tracer is not None else Tracer()
+    return _tracer
+
+
+def uninstall_tracer() -> None:
+    global _tracer
+    _tracer = None
+
+
+def current_tracer() -> Tracer | None:
+    return _tracer
+
+
+def span(name: str, **attrs):
+    """A context manager span — recording if a tracer is installed, else null."""
+    tracer = _tracer
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+class timer:
+    """Always-on wall-clock context manager: ``with obs.timer() as t: ...``.
+
+    Reads the injectable clock so timing tests can be deterministic;
+    ``.seconds`` holds the elapsed time after exit (and a live reading
+    inside the block).
+    """
+
+    __slots__ = ("_start", "_end")
+
+    def __enter__(self) -> "timer":
+        self._end = None
+        self._start = _state.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._end = _state.monotonic()
+        return None
+
+    @property
+    def seconds(self) -> float:
+        end = self._end if self._end is not None else _state.monotonic()
+        return end - self._start

@@ -1,0 +1,159 @@
+"""Schema validation for exported metrics/trace JSONL files.
+
+CI's telemetry smoke job runs ``python -m repro.obs.validate metrics.jsonl
+trace.jsonl`` against the files a fault-injected collect exported and fails
+the build if any record deviates from the documented schema
+(``docs/observability.md``).  The checks are structural — header record
+first with the right ``schema``/``schema_version``, then per-record
+required keys with the right types — and dependency-free, like the rest of
+the package.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.metrics import METRICS_SCHEMA, METRICS_SCHEMA_VERSION
+from repro.obs.trace import TRACE_SCHEMA, TRACE_SCHEMA_VERSION
+
+_NUMBER = (int, float)
+
+
+class SchemaError(ValueError):
+    """An exported telemetry file does not match its documented schema."""
+
+
+def _load_records(path: Path) -> list[dict]:
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise SchemaError(f"{path}:{lineno}: record is not an object")
+            records.append(record)
+    if not records:
+        raise SchemaError(f"{path}: empty file (expected a schema header)")
+    return records
+
+
+def _check_header(path: Path, header: dict, schema: str, version: int) -> None:
+    if header.get("schema") != schema:
+        raise SchemaError(
+            f"{path}: header schema {header.get('schema')!r} != {schema!r}"
+        )
+    if header.get("schema_version") != version:
+        raise SchemaError(
+            f"{path}: header schema_version {header.get('schema_version')!r}"
+            f" != {version}"
+        )
+
+
+def _require(path: Path, idx: int, record: dict, key: str, types) -> None:
+    if key not in record:
+        raise SchemaError(f"{path}: record {idx} missing key {key!r}: {record}")
+    if not isinstance(record[key], types):
+        raise SchemaError(
+            f"{path}: record {idx} key {key!r} has type"
+            f" {type(record[key]).__name__}: {record}"
+        )
+
+
+def validate_metrics_file(path) -> int:
+    """Validate an ``anb-metrics`` JSONL export; return record count."""
+    path = Path(path)
+    records = _load_records(path)
+    _check_header(path, records[0], METRICS_SCHEMA, METRICS_SCHEMA_VERSION)
+    for idx, record in enumerate(records[1:], start=1):
+        _require(path, idx, record, "kind", str)
+        _require(path, idx, record, "name", str)
+        kind = record["kind"]
+        if kind in ("counter", "gauge"):
+            _require(path, idx, record, "value", _NUMBER)
+        elif kind == "histogram":
+            _require(path, idx, record, "bounds", list)
+            _require(path, idx, record, "bucket_counts", list)
+            _require(path, idx, record, "count", int)
+            _require(path, idx, record, "sum", _NUMBER)
+            if len(record["bucket_counts"]) != len(record["bounds"]) + 1:
+                raise SchemaError(
+                    f"{path}: record {idx} histogram bucket_counts must have"
+                    f" len(bounds)+1 entries: {record}"
+                )
+        else:
+            raise SchemaError(f"{path}: record {idx} unknown kind {kind!r}")
+    return len(records) - 1
+
+
+def validate_trace_file(path) -> int:
+    """Validate an ``anb-trace`` JSONL export; return span count."""
+    path = Path(path)
+    records = _load_records(path)
+    _check_header(path, records[0], TRACE_SCHEMA, TRACE_SCHEMA_VERSION)
+    seen_ids = set()
+    for idx, record in enumerate(records[1:], start=1):
+        _require(path, idx, record, "name", str)
+        _require(path, idx, record, "span_id", int)
+        _require(path, idx, record, "start", _NUMBER)
+        _require(path, idx, record, "end", _NUMBER)
+        _require(path, idx, record, "duration", _NUMBER)
+        _require(path, idx, record, "thread", str)
+        _require(path, idx, record, "status", str)
+        _require(path, idx, record, "attrs", dict)
+        if record["status"] not in ("ok", "error"):
+            raise SchemaError(
+                f"{path}: record {idx} status must be ok/error: {record}"
+            )
+        if record["end"] < record["start"]:
+            raise SchemaError(f"{path}: record {idx} end < start: {record}")
+        parent = record.get("parent_id")
+        if parent is not None and not isinstance(parent, int):
+            raise SchemaError(
+                f"{path}: record {idx} parent_id must be int or null: {record}"
+            )
+        if record["span_id"] in seen_ids:
+            raise SchemaError(
+                f"{path}: record {idx} duplicate span_id {record['span_id']}"
+            )
+        seen_ids.add(record["span_id"])
+    return len(records) - 1
+
+
+def validate_file(path) -> tuple[str, int]:
+    """Validate ``path`` by sniffing its header; return (schema, count)."""
+    path = Path(path)
+    records = _load_records(path)
+    schema = records[0].get("schema")
+    if schema == METRICS_SCHEMA:
+        return schema, validate_metrics_file(path)
+    if schema == TRACE_SCHEMA:
+        return schema, validate_trace_file(path)
+    raise SchemaError(f"{path}: unknown schema {schema!r}")
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.obs.validate FILE [FILE ...]")
+        return 2
+    status = 0
+    for raw in argv:
+        try:
+            schema, count = validate_file(raw)
+        except (OSError, SchemaError) as exc:
+            print(f"FAIL {raw}: {exc}")
+            status = 1
+        else:
+            print(f"ok   {raw}: {schema} ({count} records)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
 
 Objective = Callable[[ArchSpec], float]
@@ -51,6 +52,8 @@ class BatchedObjective:
                 missing.append(arch)
         if not missing:
             return
+        if obs.telemetry_active():
+            obs.metrics().inc("search.prefetched_archs", len(missing))
         values = self._batch_fn(missing)
         self.num_batch_calls += 1
         for arch, value in zip(missing, values):
@@ -137,3 +140,22 @@ class Optimizer(ABC):
 
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(self.seed)
+
+    def _run_span(self, budget: int):
+        """Span covering one ``run()`` (null when no tracer is installed)."""
+        return obs.span("search.run", optimizer=type(self).__name__, budget=budget)
+
+    def _record_search(self, result: SearchResult, budget: int) -> None:
+        """Gated end-of-run search telemetry shared by every optimizer."""
+        if not obs.telemetry_active():
+            return
+        registry = obs.metrics()
+        registry.inc("search.runs")
+        registry.inc("search.evaluations", result.num_evaluations)
+        obs.get_logger("repro.optimizers").info(
+            "search.done",
+            optimizer=type(self).__name__,
+            budget=budget,
+            evaluations=result.num_evaluations,
+            best=round(result.best_value, 6) if result.values else None,
+        )

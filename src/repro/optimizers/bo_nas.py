@@ -61,34 +61,38 @@ class BoNas(Optimizer):
             seen.add(arch)
             result.record(arch, objective(arch))
 
-        for arch in self.space.sample_batch(min(self.n_init, budget), rng=rng, unique=True):
-            evaluate(arch)
+        with self._run_span(budget):
+            for arch in self.space.sample_batch(
+                min(self.n_init, budget), rng=rng, unique=True
+            ):
+                evaluate(arch)
 
-        forest: RandomForestRegressor | None = None
-        since_fit = 0
-        while result.num_evaluations < budget:
-            if forest is None or since_fit >= self.refit_every:
-                X = self.encoder.encode(result.archs)
-                # Forest minimises: fit on negated objective values.
-                y = -np.asarray(result.values)
-                forest = RandomForestRegressor(
-                    n_estimators=24, max_depth=12, max_features=0.7, seed=self.seed
+            forest: RandomForestRegressor | None = None
+            since_fit = 0
+            while result.num_evaluations < budget:
+                if forest is None or since_fit >= self.refit_every:
+                    X = self.encoder.encode(result.archs)
+                    # Forest minimises: fit on negated objective values.
+                    y = -np.asarray(result.values)
+                    forest = RandomForestRegressor(
+                        n_estimators=24, max_depth=12, max_features=0.7, seed=self.seed
+                    )
+                    forest.fit(X, y)
+                    since_fit = 0
+                candidates = [
+                    a
+                    for a in self.space.sample_batch(self.candidate_pool, rng=rng)
+                    if a not in seen
+                ]
+                if not candidates:
+                    candidates = self.space.sample_batch(8, rng=rng)
+                C = self.encoder.encode(candidates)
+                ei = expected_improvement(
+                    forest.predict(C),
+                    forest.predict_std(C),
+                    best=float(-max(result.values)),
                 )
-                forest.fit(X, y)
-                since_fit = 0
-            candidates = [
-                a
-                for a in self.space.sample_batch(self.candidate_pool, rng=rng)
-                if a not in seen
-            ]
-            if not candidates:
-                candidates = self.space.sample_batch(8, rng=rng)
-            C = self.encoder.encode(candidates)
-            ei = expected_improvement(
-                forest.predict(C),
-                forest.predict_std(C),
-                best=float(-max(result.values)),
-            )
-            evaluate(candidates[int(np.argmax(ei))])
-            since_fit += 1
+                evaluate(candidates[int(np.argmax(ei))])
+                since_fit += 1
+        self._record_search(result, budget)
         return result

@@ -45,25 +45,29 @@ class RegularizedEvolution(Optimizer):
         result = SearchResult()
         population: deque[tuple] = deque()  # (arch, value), FIFO by age
 
-        # Initial population: sampling is value-independent, so draw all
-        # founders first and evaluate them through the population fast path.
-        founders = [
-            self.space.sample(rng)
-            for _ in range(min(budget, self.population_size))
-        ]
-        prefetch(objective, founders)
-        for arch in founders:
-            value = objective(arch)
-            result.record(arch, value)
-            population.append((arch, value))
+        with self._run_span(budget):
+            # Initial population: sampling is value-independent, so draw all
+            # founders first and evaluate them through the population fast path.
+            founders = [
+                self.space.sample(rng)
+                for _ in range(min(budget, self.population_size))
+            ]
+            prefetch(objective, founders)
+            for arch in founders:
+                value = objective(arch)
+                result.record(arch, value)
+                population.append((arch, value))
 
-        while result.num_evaluations < budget:
-            k = min(self.sample_size, len(population))
-            contenders = rng.choice(len(population), size=k, replace=False)
-            parent = max((population[int(i)] for i in contenders), key=lambda t: t[1])
-            child = self.space.mutate(parent[0], rng)
-            value = objective(child)
-            result.record(child, value)
-            population.append((child, value))
-            population.popleft()
+            while result.num_evaluations < budget:
+                k = min(self.sample_size, len(population))
+                contenders = rng.choice(len(population), size=k, replace=False)
+                parent = max(
+                    (population[int(i)] for i in contenders), key=lambda t: t[1]
+                )
+                child = self.space.mutate(parent[0], rng)
+                value = objective(child)
+                result.record(child, value)
+                population.append((child, value))
+                population.popleft()
+        self._record_search(result, budget)
         return result

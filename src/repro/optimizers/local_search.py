@@ -31,21 +31,25 @@ class LocalSearch(Optimizer):
                 result.record(arch, evaluated[arch])
             return evaluated[arch]
 
-        while result.num_evaluations < budget:
-            current = self.space.sample(rng)
-            current_value = eval_once(current)
-            improved = True
-            while improved and result.num_evaluations < budget:
-                improved = False
-                neighbours = list(self.space.neighbors(current))
-                rng.shuffle(neighbours)
-                prefetch(objective, [c for c in neighbours if c not in evaluated])
-                for cand in neighbours:
-                    if result.num_evaluations >= budget:
-                        break
-                    value = eval_once(cand)
-                    if value > current_value:
-                        current, current_value = cand, value
-                        improved = True
-                        break
+        with self._run_span(budget):
+            while result.num_evaluations < budget:
+                current = self.space.sample(rng)
+                current_value = eval_once(current)
+                improved = True
+                while improved and result.num_evaluations < budget:
+                    improved = False
+                    neighbours = list(self.space.neighbors(current))
+                    rng.shuffle(neighbours)
+                    prefetch(
+                        objective, [c for c in neighbours if c not in evaluated]
+                    )
+                    for cand in neighbours:
+                        if result.num_evaluations >= budget:
+                            break
+                        value = eval_once(cand)
+                        if value > current_value:
+                            current, current_value = cand, value
+                            improved = True
+                            break
+        self._record_search(result, budget)
         return result

@@ -21,13 +21,15 @@ class RandomSearch(Optimizer):
         result = SearchResult()
         seen = set()
         archs = []
-        while len(archs) < budget:
-            arch = self.space.sample(rng)
-            if arch in seen:
-                continue
-            seen.add(arch)
-            archs.append(arch)
-        prefetch(objective, archs)
-        for arch in archs:
-            result.record(arch, objective(arch))
+        with self._run_span(budget):
+            while len(archs) < budget:
+                arch = self.space.sample(rng)
+                if arch in seen:
+                    continue
+                seen.add(arch)
+                archs.append(arch)
+            prefetch(objective, archs)
+            for arch in archs:
+                result.record(arch, objective(arch))
+        self._record_search(result, budget)
         return result

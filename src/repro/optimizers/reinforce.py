@@ -20,6 +20,7 @@ from typing import Callable
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.pareto import pareto_front_indices
 from repro.optimizers.base import Objective, Optimizer, SearchResult, prefetch
 from repro.searchspace.mnasnet import ArchSpec, MnasNetSearchSpace
@@ -184,22 +185,26 @@ class Reinforce(Optimizer):
         policy = CategoricalPolicy(self.space, seed=self.seed)
         result = SearchResult()
         baseline = None
-        while result.num_evaluations < budget:
-            batch = []
-            for _ in range(min(self.batch_size, budget - result.num_evaluations)):
-                arch = policy.sample()
-                value = objective(arch)
-                result.record(arch, value)
-                batch.append((arch, value))
-            mean_reward = float(np.mean([v for _, v in batch]))
-            baseline = (
-                mean_reward
-                if baseline is None
-                else self.baseline_decay * baseline
-                + (1 - self.baseline_decay) * mean_reward
-            )
-            for arch, value in batch:
-                policy.update(arch, value - baseline, self.learning_rate)
+        with self._run_span(budget):
+            while result.num_evaluations < budget:
+                batch = []
+                for _ in range(
+                    min(self.batch_size, budget - result.num_evaluations)
+                ):
+                    arch = policy.sample()
+                    value = objective(arch)
+                    result.record(arch, value)
+                    batch.append((arch, value))
+                mean_reward = float(np.mean([v for _, v in batch]))
+                baseline = (
+                    mean_reward
+                    if baseline is None
+                    else self.baseline_decay * baseline
+                    + (1 - self.baseline_decay) * mean_reward
+                )
+                for arch, value in batch:
+                    policy.update(arch, value - baseline, self.learning_rate)
+        self._record_search(result, budget)
         return result
 
     def run_biobjective(
@@ -229,34 +234,49 @@ class Reinforce(Optimizer):
         result = BiObjectiveResult(device=device, metric=metric)
         baseline = None
         maximize_perf = metric != "latency"
-        while len(result.archs) < budget:
-            batch = []
-            # Sampling only consumes the policy's own rng, so the whole batch
-            # can be drawn first and prefetched through batched objectives.
-            sampled = [
-                policy.sample()
-                for _ in range(min(self.batch_size, budget - len(result.archs)))
-            ]
-            prefetch(accuracy_fn, sampled)
-            prefetch(perf_fn, sampled)
-            for arch in sampled:
-                acc = accuracy_fn(arch)
-                perf = perf_fn(arch)
-                # Surrogates can extrapolate slightly out of range; the
-                # reward scalarisation needs positive inputs.
-                reward = mnas_reward(
-                    max(acc, 0.0), max(perf, 1e-9), target, w=w,
-                    maximize_perf=maximize_perf,
+        with self._run_span(budget):
+            while len(result.archs) < budget:
+                batch = []
+                # Sampling only consumes the policy's own rng, so the whole
+                # batch can be drawn first and prefetched through batched
+                # objectives.
+                sampled = [
+                    policy.sample()
+                    for _ in range(
+                        min(self.batch_size, budget - len(result.archs))
+                    )
+                ]
+                prefetch(accuracy_fn, sampled)
+                prefetch(perf_fn, sampled)
+                for arch in sampled:
+                    acc = accuracy_fn(arch)
+                    perf = perf_fn(arch)
+                    # Surrogates can extrapolate slightly out of range; the
+                    # reward scalarisation needs positive inputs.
+                    reward = mnas_reward(
+                        max(acc, 0.0), max(perf, 1e-9), target, w=w,
+                        maximize_perf=maximize_perf,
+                    )
+                    result.record(arch, acc, perf, reward)
+                    batch.append((arch, reward))
+                mean_reward = float(np.mean([r for _, r in batch]))
+                baseline = (
+                    mean_reward
+                    if baseline is None
+                    else self.baseline_decay * baseline
+                    + (1 - self.baseline_decay) * mean_reward
                 )
-                result.record(arch, acc, perf, reward)
-                batch.append((arch, reward))
-            mean_reward = float(np.mean([r for _, r in batch]))
-            baseline = (
-                mean_reward
-                if baseline is None
-                else self.baseline_decay * baseline
-                + (1 - self.baseline_decay) * mean_reward
+                for arch, reward in batch:
+                    policy.update(arch, reward - baseline, self.learning_rate)
+        if obs.telemetry_active():
+            registry = obs.metrics()
+            registry.inc("search.runs")
+            registry.inc("search.evaluations", len(result.archs))
+            obs.get_logger("repro.optimizers").info(
+                "search.done",
+                optimizer=type(self).__name__,
+                budget=budget,
+                evaluations=len(result.archs),
+                best=round(max(result.rewards), 6) if result.rewards else None,
             )
-            for arch, reward in batch:
-                policy.update(arch, reward - baseline, self.learning_rate)
         return result

@@ -15,6 +15,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
+import repro.obs as obs
 from repro.searchspace.mnasnet import ArchSpec
 from repro.trainsim.accuracy_model import asymptotic_accuracy
 from repro.trainsim.cost_model import TrainingCostModel
@@ -143,6 +144,8 @@ class SimulatedTrainer:
                 process death mid-training).
             MeasurementTimeout: A configured timeout fault fired.
         """
+        if obs.telemetry_active():
+            obs.metrics().inc("trainsim.trainings")
         tag = "" if self.dataset is None else f"|{self.dataset.name}"
         rng = np.random.default_rng(
             arch.stable_hash(f"train-seed|{seed}|{scheme}{tag}")
@@ -180,6 +183,10 @@ class SimulatedTrainer:
         from repro.trainsim import batch as _batch
 
         archs = tuple(archs)
+        if obs.telemetry_active():
+            registry = obs.metrics()
+            registry.inc("trainsim.batch_calls")
+            registry.inc("trainsim.batch_archs", len(archs))
         if isinstance(seeds, (int, np.integer)):
             seed_list = (int(seeds),) * len(archs)
         else:
@@ -189,18 +196,19 @@ class SimulatedTrainer:
                     f"{len(seed_list)} seeds for {len(archs)} architectures"
                 )
         if _batch.supports_batch(archs):
-            pop = _batch.encode_population(archs)
-            top1 = _batch.clean_top1_batch(
-                archs,
-                scheme,
-                seeds=seed_list,
-                dataset=self.dataset,
-                noise_scale=self._noise_scale(),
-                pop=pop,
-            )
-            hours = _batch.train_hours_batch(
-                self.cost_model, archs, scheme, pop=pop
-            )
+            with obs.span("trainsim.train_batch", archs=len(archs)):
+                pop = _batch.encode_population(archs)
+                top1 = _batch.clean_top1_batch(
+                    archs,
+                    scheme,
+                    seeds=seed_list,
+                    dataset=self.dataset,
+                    noise_scale=self._noise_scale(),
+                    pop=pop,
+                )
+                hours = _batch.train_hours_batch(
+                    self.cost_model, archs, scheme, pop=pop
+                )
         else:
             clean_trainer = SimulatedTrainer(
                 cost_model=self.cost_model, dataset=self.dataset

@@ -27,7 +27,7 @@ def rules_hit(result):
 
 
 class TestRegistry:
-    def test_six_rules_registered(self):
+    def test_seven_rules_registered(self):
         assert sorted(RULE_REGISTRY) == [
             "ANB001",
             "ANB002",
@@ -35,6 +35,7 @@ class TestRegistry:
             "ANB004",
             "ANB005",
             "ANB006",
+            "ANB007",
         ]
 
     def test_rules_have_docs_and_severities(self):
@@ -404,6 +405,93 @@ class TestANB006SilentExcept:
                     return 1
                 except ValueError:  # anb: noqa[ANB006]
                     pass
+            """,
+        )
+        assert result.findings == []
+
+
+class TestANB007BarePrint:
+    def test_bare_print_hit(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f(x):
+                print("debug:", x)
+                return x
+            """,
+        )
+        assert rules_hit(result) == ["ANB007"]
+        assert result.findings[0].severity == "warning"
+
+    def test_main_guard_demo_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f(x):
+                return x
+
+            if __name__ == "__main__":
+                print(f(1))
+            """,
+        )
+        assert result.findings == []
+
+    def test_print_allowed_module_exempt(self, tmp_path):
+        config = LintConfig(print_allowed=("snippet",))
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f(x):
+                print(x)
+            """,
+            config=config,
+        )
+        assert result.findings == []
+
+    def test_print_allowed_glob(self, tmp_path):
+        config = LintConfig(print_allowed=("snip*",))
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f(x):
+                print(x)
+            """,
+            config=config,
+        )
+        assert result.findings == []
+
+    def test_print_allowed_package_prefix_covers_submodules(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "__init__.py").write_text("", encoding="utf-8")
+        config = LintConfig(print_allowed=("pkg",))
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f(x):
+                print(x)
+            """,
+            filename="pkg/tool.py",
+            config=config,
+        )
+        assert result.findings == []
+
+    def test_method_named_print_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f(report):
+                report.print()
+                return report
+            """,
+        )
+        assert result.findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f(x):
+                print(x)  # anb: noqa[ANB007]
             """,
         )
         assert result.findings == []

@@ -1,0 +1,219 @@
+"""CLI telemetry: flag parsing, exit codes, exported JSONL, resume logging."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.cli import build_parser, main
+from repro.obs.validate import validate_metrics_file, validate_trace_file
+
+ARCH = "e1k3L1se1|e6k3L2se1|e6k5L2se1|e6k3L3se1|e6k5L3se1|e6k5L3se1|e6k3L1se1"
+
+
+@pytest.fixture(autouse=True)
+def obs_defaults():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestFlagParsing:
+    @pytest.mark.parametrize(
+        "command",
+        [
+            ["build"],
+            ["collect"],
+            ["query", "--bench", "anb.json", "--arch", ARCH],
+        ],
+        ids=["build", "collect", "query"],
+    )
+    def test_telemetry_flags_on_subcommands(self, command):
+        args = build_parser().parse_args(
+            command
+            + [
+                "--log-level",
+                "debug",
+                "--log-json",
+                "--trace-out",
+                "trace.jsonl",
+                "--metrics-out",
+                "metrics.jsonl",
+            ]
+        )
+        assert args.log_level == "debug"
+        assert args.log_json
+        assert args.trace_out == "trace.jsonl"
+        assert args.metrics_out == "metrics.jsonl"
+
+    def test_log_level_defaults_to_info(self):
+        assert build_parser().parse_args(["devices"]).log_level == "info"
+
+    def test_unknown_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build", "--log-level", "loud"])
+
+
+class TestCollectTelemetry:
+    def test_fault_injected_collect_exports_valid_jsonl(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.jsonl"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "collect",
+                "--out-dir",
+                str(tmp_path / "ds"),
+                "--num-archs",
+                "16",
+                "--device",
+                "a100",
+                "--faults",
+                "nan:0.3",
+                "--retries",
+                "2",
+                "--min-success-fraction",
+                "0.5",
+                "--log-json",
+                "--trace-out",
+                str(trace_path),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        assert validate_metrics_file(metrics_path) > 0
+        assert validate_trace_file(trace_path) > 0
+
+        counters = {
+            r["name"]: r["value"]
+            for r in map(json.loads, metrics_path.read_text().splitlines()[1:])
+            if r["kind"] == "counter"
+        }
+        assert counters["collect.tasks_completed"] > 0
+        assert counters["collect.retries"] > 0
+        assert counters["collect.quarantined"] > 0
+
+        spans = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()[1:]
+        ]
+        names = {s["name"] for s in spans}
+        assert "collect.task" in names
+        assert "collect.run_tasks" in names
+        assert "dataset.collect" in names
+
+        captured = capsys.readouterr()
+        events = [json.loads(line)["event"] for line in captured.err.splitlines()]
+        assert "collect.quarantine" in events
+        assert "collect.summary" in events
+
+        # The quarantine summary also reaches stdout as machine-readable JSON.
+        summary_line = next(
+            line
+            for line in captured.out.splitlines()
+            if line.startswith('{"collect_summary"')
+        )
+        (summary,) = json.loads(summary_line)["collect_summary"]
+        assert summary["quarantined"] > 0
+        assert "NonFiniteResult" in summary["failures_by_error"]
+
+        # main() tears telemetry back down on exit.
+        assert not obs.telemetry_active()
+        assert obs.current_tracer() is None
+
+    def test_gate_failure_exit_code_with_telemetry_on(self, tmp_path, capsys):
+        code = main(
+            [
+                "collect",
+                "--out-dir",
+                str(tmp_path / "ds"),
+                "--num-archs",
+                "8",
+                "--device",
+                "a100",
+                "--faults",
+                "nan:1.0",
+                "--log-json",
+            ]
+        )
+        assert code == 1
+        events = [
+            json.loads(line)["event"]
+            for line in capsys.readouterr().err.splitlines()
+        ]
+        assert "collect.gate_failed" in events
+
+    def test_crash_resume_logs_replayed_journal_count(self, tmp_path, capsys):
+        base = [
+            "collect",
+            "--out-dir",
+            str(tmp_path / "ds"),
+            "--num-archs",
+            "20",
+            "--device",
+            "zcu102",
+            "--metric",
+            "latency",
+        ]
+        # Seed 2 crashes mid-run, so the journal holds completed records
+        # for the resumed run to replay.
+        assert main(base + ["--faults", "crash:0.3", "--fault-seed", "2"]) == 1
+        capsys.readouterr()
+
+        assert main(base + ["--resume", "--log-json"]) == 0
+        replays = [
+            json.loads(line)
+            for line in capsys.readouterr().err.splitlines()
+            if json.loads(line)["event"] == "collect.journal_replayed"
+        ]
+        assert len(replays) == 1
+        assert replays[0]["replayed"] > 0
+
+
+class TestQueryTelemetry:
+    def test_query_stdout_stays_pure_json(self, tmp_path, capsys):
+        bench_path = tmp_path / "anb.json"
+        assert main(["build", "--out", str(bench_path), "--num-archs", "60"]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "query",
+                "--bench",
+                str(bench_path),
+                "--arch",
+                ARCH,
+                "--device",
+                "a100",
+                "--log-level",
+                "debug",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.5 < payload["accuracy"] < 0.9
+
+    def test_query_metrics_include_cache_gauges(self, tmp_path, capsys):
+        bench_path = tmp_path / "anb.json"
+        metrics_path = tmp_path / "metrics.jsonl"
+        assert main(["build", "--out", str(bench_path), "--num-archs", "60"]) == 0
+        code = main(
+            [
+                "query",
+                "--bench",
+                str(bench_path),
+                "--arch",
+                ARCH,
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()[1:]
+        ]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["query.single"]["kind"] == "counter"
+        assert by_name["query.cache_hits"]["kind"] == "gauge"
+        assert by_name["query.cache_misses"]["kind"] == "gauge"

@@ -1,0 +1,73 @@
+"""The out-of-band invariant, end to end: artifact bytes ignore telemetry.
+
+Runs the journaled collect and build CLI paths once with telemetry fully
+off and once with everything on (debug logs, tracer, metrics export) and
+asserts the produced dataset/benchmark artifacts are byte-identical.
+"""
+
+import pytest
+
+import repro.obs as obs
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def obs_defaults():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _telemetry_flags(tmp_path, tag):
+    return [
+        "--log-level",
+        "debug",
+        "--log-json",
+        "--trace-out",
+        str(tmp_path / f"{tag}-trace.jsonl"),
+        "--metrics-out",
+        str(tmp_path / f"{tag}-metrics.jsonl"),
+    ]
+
+
+def test_collect_artifacts_byte_identical(tmp_path, capsys):
+    base = [
+        "collect",
+        "--num-archs",
+        "20",
+        "--device",
+        "a100",
+        "--faults",
+        "nan:0.3",
+        "--retries",
+        "2",
+        "--min-success-fraction",
+        "0.5",
+    ]
+    off_dir, on_dir = tmp_path / "off", tmp_path / "on"
+    assert main(base + ["--out-dir", str(off_dir), "--log-level", "off"]) == 0
+    assert (
+        main(base + ["--out-dir", str(on_dir)] + _telemetry_flags(tmp_path, "c"))
+        == 0
+    )
+    capsys.readouterr()
+
+    off_bytes = (off_dir / "ANB-a100-Thr.json").read_bytes()
+    on_bytes = (on_dir / "ANB-a100-Thr.json").read_bytes()
+    assert off_bytes == on_bytes
+    # The journals (replay inputs for --resume) must match too.
+    assert (off_dir / "journal" / "ANB-a100-Thr.jsonl").read_bytes() == (
+        on_dir / "journal" / "ANB-a100-Thr.jsonl"
+    ).read_bytes()
+
+
+def test_build_artifact_byte_identical(tmp_path, capsys):
+    off_path, on_path = tmp_path / "off.json", tmp_path / "on.json"
+    base = ["build", "--num-archs", "60"]
+    assert main(base + ["--out", str(off_path), "--log-level", "off"]) == 0
+    assert (
+        main(base + ["--out", str(on_path)] + _telemetry_flags(tmp_path, "b"))
+        == 0
+    )
+    capsys.readouterr()
+    assert off_path.read_bytes() == on_path.read_bytes()

@@ -1,0 +1,12 @@
+"""Obs test fixtures: every test starts and ends with telemetry at defaults."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def obs_defaults():
+    obs.reset()
+    yield
+    obs.reset()

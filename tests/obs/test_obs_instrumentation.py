@@ -1,0 +1,129 @@
+"""Pipeline instrumentation: run_tasks telemetry and the out-of-band invariant."""
+
+import io
+
+import pytest
+
+import repro.obs as obs
+from repro.core.reliability import (
+    Journal,
+    RetryPolicy,
+    run_tasks,
+)
+
+
+def _activate():
+    """Metrics + spans on, logging captured on a private stream."""
+    stream = io.StringIO()
+    obs.configure(level="debug", stream=stream, trace=True)
+    return stream
+
+
+class Flaky:
+    """Fails each key ``fail_times`` times before succeeding."""
+
+    def __init__(self, fail_times=0, hard_fail=()):
+        self.fail_times = fail_times
+        self.hard_fail = set(hard_fail)
+
+    def __call__(self, key, attempt):
+        if key in self.hard_fail or attempt < self.fail_times:
+            return float("nan")
+        return float(len(key))
+
+
+def test_run_tasks_counts_completed_retries_quarantined():
+    stream = _activate()
+    policy = RetryPolicy(max_attempts=3, sleep=lambda s: None)
+    outcome = run_tasks(
+        ["aa", "b", "ccc"],
+        Flaky(fail_times=1, hard_fail={"b"}),
+        retry_policy=policy,
+        min_success_fraction=0.5,
+        label="unit",
+    )
+    registry = obs.metrics()
+    assert registry.counter("collect.tasks_completed") == 2
+    assert registry.counter("collect.quarantined") == 1
+    # Each key retries once past attempt 0; "b" burns all three attempts.
+    assert registry.counter("collect.retries") == 4
+    assert outcome.values == {"aa": 2.0, "ccc": 3.0}
+
+    logged = stream.getvalue()
+    assert "collect.start" in logged
+    assert "collect.retry" in logged
+    assert "collect.quarantine" in logged
+    assert "collect.summary" in logged
+    assert "progress" in logged
+
+    spans = obs.current_tracer().records()
+    task_spans = [r for r in spans if r["name"] == "collect.task"]
+    assert len(task_spans) == 3
+    run_span = next(r for r in spans if r["name"] == "collect.run_tasks")
+    assert all(s["parent_id"] == run_span["span_id"] for s in task_spans)
+
+
+def test_run_tasks_outcome_summary_shape():
+    outcome = run_tasks(
+        ["a", "bb"],
+        Flaky(hard_fail={"a"}),
+        min_success_fraction=0.5,
+    )
+    summary = outcome.summary("acc")
+    assert summary == {
+        "label": "acc",
+        "total": 2,
+        "completed": 1,
+        "quarantined": 1,
+        "replayed": 0,
+        "success_fraction": 0.5,
+        "failures_by_error": {"NonFiniteResult": 1},
+        "quarantined_keys": ["a"],
+    }
+
+
+def test_resumed_run_logs_replayed_count(tmp_path):
+    journal = Journal(tmp_path / "run.jsonl", dataset="unit")
+    run_tasks(["a", "bb", "ccc"][:2], Flaky(), journal=journal)
+
+    stream = _activate()
+    outcome = run_tasks(
+        ["a", "bb", "ccc"],
+        Flaky(),
+        journal=Journal(tmp_path / "run.jsonl", dataset="unit"),
+        resume=True,
+    )
+    assert outcome.replayed == 2
+    assert obs.metrics().counter("collect.replayed") == 2
+    logged = stream.getvalue()
+    assert "collect.journal_replayed" in logged
+    assert "replayed=2" in logged
+
+
+def test_gate_failure_logs_structured_error():
+    stream = _activate()
+    with pytest.raises(Exception, match="success fraction"):
+        run_tasks(["a", "b"], Flaky(hard_fail={"a", "b"}))
+    assert "collect.gate_failed" in stream.getvalue()
+
+
+def test_telemetry_is_out_of_band():
+    """Identical values and iteration order with telemetry on and off."""
+    keys = ["a", "bb", "ccc", "dddd"]
+    policy = RetryPolicy(max_attempts=2, sleep=lambda s: None)
+
+    off = run_tasks(keys, Flaky(fail_times=1), retry_policy=policy)
+
+    _activate()
+    on = run_tasks(keys, Flaky(fail_times=1), retry_policy=policy)
+
+    assert off.values == on.values
+    assert list(off.values) == list(on.values)
+    assert off.failures == on.failures
+
+
+def test_disabled_run_records_nothing():
+    assert not obs.telemetry_active()
+    run_tasks(["a"], Flaky())
+    assert obs.metrics().snapshot()["counters"] == {}
+    assert obs.current_tracer() is None

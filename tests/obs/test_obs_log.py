@@ -1,0 +1,94 @@
+"""Structured logging: formatters, levels, configure/reset lifecycle."""
+
+import io
+import json
+import logging
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.log import ROOT_LOGGER_NAME
+
+
+def _configured(level="info", json_lines=False):
+    stream = io.StringIO()
+    obs.configure_logging(level=level, json_lines=json_lines, stream=stream)
+    return stream
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError, match="unknown log level"):
+        obs.configure_logging(level="verbose")
+
+
+def test_key_value_format():
+    stream = _configured()
+    log = obs.get_logger("repro.core.reliability")
+    log.warning("quarantine", key="e1k3", error="MeasurementTimeout", attempts=3)
+    line = stream.getvalue().strip()
+    assert line == (
+        "warning repro.core.reliability quarantine "
+        "key=e1k3 error=MeasurementTimeout attempts=3"
+    )
+
+
+def test_key_value_quotes_awkward_strings():
+    stream = _configured()
+    obs.get_logger("repro.x").info("e", msg="two words", expr="a=b")
+    line = stream.getvalue().strip()
+    assert 'msg="two words"' in line
+    assert 'expr="a=b"' in line
+
+
+def test_json_format_parseable_with_clock_ts():
+    obs.set_clock(lambda: 42.5)
+    stream = _configured(json_lines=True)
+    obs.get_logger("repro.x").info("fit_done", dataset="acc", seconds=1.25)
+    payload = json.loads(stream.getvalue())
+    assert payload["level"] == "info"
+    assert payload["logger"] == "repro.x"
+    assert payload["event"] == "fit_done"
+    assert payload["ts"] == 42.5
+    assert payload["dataset"] == "acc"
+    assert payload["seconds"] == 1.25
+
+
+def test_level_filtering_and_off():
+    stream = _configured(level="warning")
+    log = obs.get_logger("repro.x")
+    log.info("quiet")
+    log.warning("loud")
+    assert "quiet" not in stream.getvalue()
+    assert "loud" in stream.getvalue()
+
+    stream = _configured(level="off")
+    log.error("still_quiet")
+    assert stream.getvalue() == ""
+
+
+def test_reconfigure_replaces_handler_not_stacks():
+    _configured()
+    stream = _configured()
+    obs.get_logger("repro.x").info("once")
+    assert stream.getvalue().count("once") == 1
+
+
+def test_reset_logging_restores_defaults():
+    _configured()
+    obs.reset_logging()
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    assert root.level == logging.NOTSET
+    assert root.propagate
+    assert not any(
+        getattr(h, "_anb_obs_handler", False) for h in root.handlers
+    )
+
+
+def test_configure_sets_active_flag():
+    assert not obs.telemetry_active()
+    obs.configure(level="info", stream=io.StringIO())
+    assert obs.telemetry_active()
+    obs.configure(level="off", stream=io.StringIO())
+    assert not obs.telemetry_active()
+    obs.configure(level="off", stream=io.StringIO(), trace=True)
+    assert obs.telemetry_active()

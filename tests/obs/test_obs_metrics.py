@@ -1,0 +1,118 @@
+"""Metrics registry: counters, gauges, histograms, snapshot and export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.validate import SchemaError, validate_metrics_file
+
+
+def test_counter_accumulates():
+    reg = MetricsRegistry()
+    reg.inc("collect.retries")
+    reg.inc("collect.retries", 2.5)
+    assert reg.counter("collect.retries") == 3.5
+    assert reg.counter("missing") == 0.0
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError, match=">= 0"):
+        MetricsRegistry().inc("x", -1)
+
+
+def test_gauge_last_write_wins():
+    reg = MetricsRegistry()
+    assert reg.gauge("query.cache_hits") is None
+    reg.set_gauge("query.cache_hits", 10)
+    reg.set_gauge("query.cache_hits", 4)
+    assert reg.gauge("query.cache_hits") == 4.0
+
+
+def test_histogram_buckets():
+    hist = Histogram((0.1, 1.0))
+    for value in (0.05, 0.5, 0.7, 5.0):
+        hist.observe(value)
+    d = hist.as_dict()
+    assert d["bucket_counts"] == [1, 2, 1]
+    assert d["count"] == 4
+    assert d["sum"] == pytest.approx(6.25)
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram(())
+    with pytest.raises(ValueError, match="sorted"):
+        Histogram((1.0, 0.5))
+
+
+def test_observe_creates_histogram_with_default_buckets():
+    reg = MetricsRegistry()
+    reg.observe("surrogate.fit_seconds", 0.42)
+    hist = reg.snapshot()["histograms"]["surrogate.fit_seconds"]
+    assert hist["bounds"] == list(DEFAULT_SECONDS_BUCKETS)
+    assert hist["count"] == 1
+
+
+def test_snapshot_is_sorted_and_detached():
+    reg = MetricsRegistry()
+    reg.inc("b")
+    reg.inc("a")
+    snap = reg.snapshot()
+    assert list(snap["counters"]) == ["a", "b"]
+    reg.inc("a")
+    assert snap["counters"]["a"] == 1.0
+
+
+def test_clear():
+    reg = MetricsRegistry()
+    reg.inc("a")
+    reg.set_gauge("g", 1)
+    reg.observe("h", 0.1)
+    reg.clear()
+    snap = reg.snapshot()
+    assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_threaded_increments_do_not_lose_updates():
+    reg = MetricsRegistry()
+
+    def bump():
+        for _ in range(1000):
+            reg.inc("hits")
+
+    threads = [threading.Thread(target=bump) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reg.counter("hits") == 8000.0
+
+
+def test_export_jsonl_round_trips_schema(tmp_path):
+    reg = MetricsRegistry()
+    reg.inc("collect.tasks_completed", 20)
+    reg.set_gauge("query.cache_hits", 7)
+    reg.observe("surrogate.fit_seconds", 0.3)
+    path = tmp_path / "metrics.jsonl"
+    reg.export_jsonl(path)
+
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header == {"schema": "anb-metrics", "schema_version": 1}
+    assert validate_metrics_file(path) == 3
+
+
+def test_validate_rejects_corrupt_export(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    path.write_text(
+        '{"schema": "anb-metrics", "schema_version": 1}\n'
+        '{"kind": "counter", "name": "x"}\n'
+    )
+    with pytest.raises(SchemaError, match="value"):
+        validate_metrics_file(path)

@@ -1,0 +1,95 @@
+"""Progress heartbeat: beat cadence, stats math, thread safety."""
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.progress import ProgressReporter
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class CaptureLogger:
+    def __init__(self):
+        self.events = []
+
+    def info(self, event, **fields):
+        self.events.append((event, fields))
+
+
+@pytest.fixture()
+def clock():
+    c = FakeClock()
+    obs.set_clock(c)
+    return c
+
+
+def test_beats_every_n_completions(clock):
+    log = CaptureLogger()
+    rep = ProgressReporter(total=10, every_n=4, every_s=1e9, logger=log)
+    for _ in range(9):
+        rep.task_done()
+    assert len(log.events) == 2  # after 4 and 8
+    assert log.events[0][1]["done"] == 4
+
+
+def test_beats_on_elapsed_time(clock):
+    log = CaptureLogger()
+    rep = ProgressReporter(total=100, every_n=1000, every_s=10.0, logger=log)
+    clock.now = 5.0
+    rep.task_done()
+    assert log.events == []
+    clock.now = 11.0
+    rep.task_done()
+    assert len(log.events) == 1
+
+
+def test_finish_stats_rate_and_eta(clock):
+    log = CaptureLogger()
+    rep = ProgressReporter(total=8, label="acc", every_n=1000, logger=log)
+    for _ in range(4):
+        rep.task_done()
+    rep.retry()
+    rep.retry()
+    rep.quarantine()
+    clock.now = 2.0
+    stats = rep.finish()
+    assert stats == {
+        "label": "acc",
+        "done": 4,
+        "total": 8,
+        "elapsed_s": 2.0,
+        "rate": 2.0,
+        "eta_s": 2.0,
+        "retries": 2,
+        "quarantined": 1,
+    }
+    assert log.events[-1][0] == "progress"
+
+
+def test_rejects_bad_every_n():
+    with pytest.raises(ValueError):
+        ProgressReporter(total=1, every_n=0)
+
+
+def test_thread_safe_counting(clock):
+    log = CaptureLogger()
+    rep = ProgressReporter(total=800, every_n=10**9, every_s=1e9, logger=log)
+
+    def work():
+        for _ in range(100):
+            rep.task_done()
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert rep.finish()["done"] == 800

@@ -1,0 +1,108 @@
+"""Tracing: null spans, nesting, error status, export, and the timer."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.trace import _NULL_SPAN
+from repro.obs.validate import validate_trace_file
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_span_without_tracer_is_shared_null_singleton():
+    assert obs.current_tracer() is None
+    s = obs.span("anything", key="v")
+    assert s is _NULL_SPAN
+    with s:
+        s.set_attr("ignored", 1)
+
+
+def test_spans_nest_with_parent_ids():
+    tracer = obs.install_tracer()
+    with obs.span("outer", label="acc"):
+        with obs.span("inner"):
+            pass
+        with obs.span("inner2"):
+            pass
+    records = {r["name"]: r for r in tracer.records()}
+    assert records["outer"]["parent_id"] is None
+    assert records["inner"]["parent_id"] == records["outer"]["span_id"]
+    assert records["inner2"]["parent_id"] == records["outer"]["span_id"]
+    assert records["outer"]["attrs"] == {"label": "acc"}
+    ids = [r["span_id"] for r in tracer.records()]
+    assert len(ids) == len(set(ids))
+
+
+def test_span_durations_use_injected_clock():
+    clock = FakeClock()
+    obs.set_clock(clock)
+    tracer = obs.install_tracer()
+    with obs.span("work"):
+        clock.now = 2.5
+    (record,) = tracer.records()
+    assert record["start"] == 0.0
+    assert record["end"] == 2.5
+    assert record["duration"] == 2.5
+    assert record["status"] == "ok"
+
+
+def test_span_records_error_status():
+    tracer = obs.install_tracer()
+    with pytest.raises(RuntimeError):
+        with obs.span("boom"):
+            raise RuntimeError("x")
+    (record,) = tracer.records()
+    assert record["status"] == "error"
+
+
+def test_set_attr_inside_span():
+    tracer = obs.install_tracer()
+    with obs.span("s") as s:
+        s.set_attr("rows", 12)
+    assert tracer.records()[0]["attrs"] == {"rows": 12}
+
+
+def test_export_jsonl_validates(tmp_path):
+    tracer = obs.install_tracer()
+    with obs.span("a"):
+        with obs.span("b"):
+            pass
+    path = tmp_path / "trace.jsonl"
+    tracer.export_jsonl(path)
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header == {"schema": "anb-trace", "schema_version": 1}
+    assert validate_trace_file(path) == 2
+
+
+def test_tracer_clear_resets_ids():
+    tracer = obs.install_tracer()
+    with obs.span("a"):
+        pass
+    tracer.clear()
+    with obs.span("b"):
+        pass
+    assert tracer.records()[0]["span_id"] == 1
+
+
+def test_timer_is_always_on_and_deterministic():
+    clock = FakeClock()
+    obs.set_clock(clock)
+    with obs.timer() as t:
+        clock.now = 1.5
+        assert t.seconds == 1.5  # live reading inside the block
+        clock.now = 3.0
+    clock.now = 99.0
+    assert t.seconds == 3.0  # frozen at exit
+
+
+def test_set_clock_rejects_non_callable():
+    with pytest.raises(TypeError):
+        obs.set_clock(42)

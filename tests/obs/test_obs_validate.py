@@ -1,0 +1,98 @@
+"""JSONL schema validation: headers, record shapes, CLI exit codes."""
+
+import pytest
+
+from repro.obs.validate import (
+    SchemaError,
+    main,
+    validate_file,
+    validate_metrics_file,
+    validate_trace_file,
+)
+
+METRICS_HEADER = '{"schema": "anb-metrics", "schema_version": 1}\n'
+TRACE_HEADER = '{"schema": "anb-trace", "schema_version": 1}\n'
+SPAN = (
+    '{"name": "t", "span_id": %d, "parent_id": null, "start": 0.0,'
+    ' "end": 1.0, "duration": 1.0, "thread": "MainThread",'
+    ' "status": "ok", "attrs": {}}\n'
+)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "m.jsonl"
+    path.write_text("")
+    with pytest.raises(SchemaError, match="empty"):
+        validate_metrics_file(path)
+
+
+def test_wrong_header_rejected(tmp_path):
+    path = tmp_path / "m.jsonl"
+    path.write_text('{"schema": "anb-journal", "schema_version": 1}\n')
+    with pytest.raises(SchemaError, match="header schema"):
+        validate_metrics_file(path)
+    with pytest.raises(SchemaError, match="unknown schema"):
+        validate_file(path)
+
+
+def test_unknown_metric_kind_rejected(tmp_path):
+    path = tmp_path / "m.jsonl"
+    path.write_text(METRICS_HEADER + '{"kind": "meter", "name": "x"}\n')
+    with pytest.raises(SchemaError, match="unknown kind"):
+        validate_metrics_file(path)
+
+
+def test_histogram_length_invariant(tmp_path):
+    path = tmp_path / "m.jsonl"
+    path.write_text(
+        METRICS_HEADER
+        + '{"kind": "histogram", "name": "h", "bounds": [1.0],'
+        ' "bucket_counts": [1], "count": 1, "sum": 0.5}\n'
+    )
+    with pytest.raises(SchemaError, match="len\\(bounds\\)\\+1"):
+        validate_metrics_file(path)
+
+
+def test_trace_end_before_start_rejected(tmp_path):
+    path = tmp_path / "t.jsonl"
+    bad = SPAN % 1
+    bad = bad.replace('"end": 1.0', '"end": -1.0')
+    path.write_text(TRACE_HEADER + bad)
+    with pytest.raises(SchemaError, match="end < start"):
+        validate_trace_file(path)
+
+
+def test_trace_duplicate_span_id_rejected(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text(TRACE_HEADER + SPAN % 1 + SPAN % 1)
+    with pytest.raises(SchemaError, match="duplicate span_id"):
+        validate_trace_file(path)
+
+
+def test_trace_bad_status_rejected(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text(TRACE_HEADER + (SPAN % 1).replace('"ok"', '"meh"'))
+    with pytest.raises(SchemaError, match="ok/error"):
+        validate_trace_file(path)
+
+
+def test_invalid_json_line_rejected(tmp_path):
+    path = tmp_path / "m.jsonl"
+    path.write_text(METRICS_HEADER + "{not json\n")
+    with pytest.raises(SchemaError, match="invalid JSON"):
+        validate_metrics_file(path)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    good = tmp_path / "good.jsonl"
+    good.write_text(TRACE_HEADER + SPAN % 1)
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(TRACE_HEADER + (SPAN % 1).replace('"name": "t", ', ""))
+
+    assert main([str(good)]) == 0
+    assert main([str(good), str(bad)]) == 1
+    assert main([str(tmp_path / "missing.jsonl")]) == 1
+    assert main([]) == 2
+    out = capsys.readouterr().out
+    assert "ok   " in out
+    assert "FAIL " in out
