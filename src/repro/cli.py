@@ -365,6 +365,23 @@ def _cmd_devices(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint import main as lint_main
 
+    argv = list(args.paths) + ["--format", args.format, "--jobs", str(args.jobs)]
+    for rule in args.select:
+        argv += ["--select", rule]
+    for rule in args.ignore:
+        argv += ["--ignore", rule]
+    if args.config is not None:
+        argv += ["--config", args.config]
+    if args.no_cache:
+        argv += ["--no-cache"]
+    elif args.cache is not None:
+        argv += ["--cache", args.cache]
+    return lint_main(argv)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.devtools.analyze import main as analyze_main
+
     argv = list(args.paths) + ["--format", args.format]
     for rule in args.select:
         argv += ["--select", rule]
@@ -372,7 +389,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--ignore", rule]
     if args.config is not None:
         argv += ["--config", args.config]
-    return lint_main(argv)
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv += ["--no-baseline"]
+    if args.update_baseline:
+        argv += ["--update-baseline"]
+    return analyze_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -447,8 +470,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--select", action="append", default=[], metavar="RULE")
     p.add_argument("--ignore", action="append", default=[], metavar="RULE")
     p.add_argument("--config", default=None, metavar="PYPROJECT")
+    p.add_argument("--jobs", type=int, default=1, metavar="N")
+    p.add_argument("--cache", default=None, metavar="PATH")
+    p.add_argument("--no-cache", action="store_true")
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="whole-program static analysis (races, seed flow, telemetry)",
+    )
+    p.add_argument("paths", nargs="*", default=["src/repro"])
+    p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    p.add_argument("--select", action="append", default=[], metavar="RULE")
+    p.add_argument("--ignore", action="append", default=[], metavar="RULE")
+    p.add_argument("--config", default=None, metavar="PYPROJECT")
+    p.add_argument("--baseline", default=None, metavar="PATH")
+    p.add_argument("--no-baseline", action="store_true")
+    p.add_argument("--update-baseline", action="store_true")
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_analyze)
 
     return parser
 

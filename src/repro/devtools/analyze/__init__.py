@@ -1,0 +1,91 @@
+"""Whole-program static analysis for the Accel-NASBench reproduction.
+
+Layered on the per-file linter (:mod:`repro.devtools.lint`), this package
+analyses ``src/repro`` as one program: it loads every module into a
+:class:`~repro.devtools.analyze.project.Project` with resolved imports and
+a symbol table, builds a cross-module call graph, and runs three
+whole-program passes over a shared intraprocedural data-flow framework:
+
+- **ANB101** — race detector: shared mutable state written from functions
+  reachable from the ``core/parallel`` dispatch points without a lock.
+- **ANB102** — seed-flow taint: RNG constructions on artifact-producing
+  paths must derive from explicit seed material.
+- **ANB103** — telemetry purity: ``repro.obs`` values never flow into
+  artifacts or query results, and hot-path obs calls are gated by
+  ``telemetry_active()``.
+
+Run it as ``python -m repro.devtools.analyze`` or ``repro.cli analyze``;
+known findings live in the committed baseline (``analyze-baseline.json``)
+with per-entry reasons and optional expiry dates.
+"""
+
+from repro.devtools.analyze.baseline import (
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.analyze.callgraph import CallGraph, CallSite, build_call_graph
+from repro.devtools.analyze.config import AnalyzeConfig, load_analyze_config
+from repro.devtools.analyze.core import (
+    ANALYSIS_REGISTRY,
+    AnalysisContext,
+    AnalysisFinding,
+    AnalysisRule,
+    active_analyses,
+    register_analysis,
+)
+from repro.devtools.analyze.dataflow import (
+    TaintEngine,
+    TaintPolicy,
+    TaintResult,
+    reaching_parameters,
+    run_taint,
+)
+from repro.devtools.analyze.project import (
+    FunctionInfo,
+    Project,
+    ProjectError,
+    ProjectModule,
+    Symbol,
+)
+from repro.devtools.analyze.runner import (
+    AnalyzeResult,
+    analyze_paths,
+    main,
+    self_test,
+)
+
+__all__ = [
+    "ANALYSIS_REGISTRY",
+    "AnalysisContext",
+    "AnalysisFinding",
+    "AnalysisRule",
+    "AnalyzeConfig",
+    "AnalyzeResult",
+    "BaselineEntry",
+    "BaselineError",
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "Project",
+    "ProjectError",
+    "ProjectModule",
+    "Symbol",
+    "TaintEngine",
+    "TaintPolicy",
+    "TaintResult",
+    "active_analyses",
+    "analyze_paths",
+    "apply_baseline",
+    "build_call_graph",
+    "load_analyze_config",
+    "load_baseline",
+    "main",
+    "reaching_parameters",
+    "register_analysis",
+    "run_taint",
+    "self_test",
+    "write_baseline",
+]

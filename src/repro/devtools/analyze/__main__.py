@@ -1,0 +1,8 @@
+"""``python -m repro.devtools.analyze`` entry point."""
+
+import sys
+
+from repro.devtools.analyze.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""Committed baseline suppressions for the whole-program analyzer.
+
+A baseline entry acknowledges one known finding so the gate can stay
+red-free while the debt is tracked.  Entries match on
+``(rule, path, symbol)`` — not line numbers — so unrelated edits to a file
+do not invalidate them, and each entry may carry an ``expires`` date
+(ISO ``YYYY-MM-DD``) after which the finding resurfaces.
+
+The baseline is deliberately strict in the other direction too: an entry
+that no longer matches any finding is *stale* and fails the run — fixed
+debt must leave the ledger, otherwise the file rots into a list of
+mystery exemptions nobody dares delete.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.analyze.core import AnalysisFinding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file cannot be read or is malformed."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    reason: str = ""
+    expires: str | None = None  # ISO date, inclusive
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def expired(self, today: _dt.date) -> bool:
+        if self.expires is None:
+            return False
+        try:
+            limit = _dt.date.fromisoformat(self.expires)
+        except ValueError as exc:
+            raise BaselineError(
+                f"baseline entry {self.rule} {self.path} {self.symbol}: "
+                f"bad expires date {self.expires!r}"
+            ) from exc
+        return today > limit
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of matching findings against the baseline."""
+
+    findings: list[AnalysisFinding]  # not suppressed: must be fixed
+    suppressed: list[AnalysisFinding] = field(default_factory=list)
+    expired: list[BaselineEntry] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Read baseline entries; a missing file is an empty baseline."""
+    if not path.is_file():
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: expected a baseline object with version "
+            f"{BASELINE_VERSION}"
+        )
+    entries = []
+    for raw in data.get("entries", []):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"{path}: baseline entries must be objects")
+        missing = {"rule", "path", "symbol"} - raw.keys()
+        if missing:
+            raise BaselineError(
+                f"{path}: baseline entry missing {sorted(missing)}"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                symbol=str(raw["symbol"]),
+                reason=str(raw.get("reason", "")),
+                expires=(
+                    str(raw["expires"]) if raw.get("expires") is not None else None
+                ),
+            )
+        )
+    return entries
+
+
+def apply_baseline(
+    findings: list[AnalysisFinding],
+    entries: list[BaselineEntry],
+    today: _dt.date | None = None,
+) -> BaselineResult:
+    """Split findings into suppressed / live and audit the entries."""
+    today = today or _dt.date.today()
+    live: dict[tuple[str, str, str], BaselineEntry] = {}
+    expired: list[BaselineEntry] = []
+    for entry in entries:
+        if entry.expired(today):
+            expired.append(entry)
+        else:
+            live[entry.key()] = entry
+    result = BaselineResult(findings=[], expired=expired)
+    used: set[tuple[str, str, str]] = set()
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.symbol)
+        if key in live:
+            used.add(key)
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    result.stale = [
+        entry for key, entry in sorted(live.items()) if key not in used
+    ]
+    return result
+
+
+def write_baseline(
+    path: Path,
+    findings: list[AnalysisFinding],
+    previous: list[BaselineEntry] = (),
+    reason: str = "baselined pending fix",
+) -> list[BaselineEntry]:
+    """Write a baseline covering ``findings``, keeping prior reasons/expiry.
+
+    Entries for findings that no longer occur are dropped — updating the
+    baseline is the supported way to retire stale entries.
+    """
+    prior = {entry.key(): entry for entry in previous}
+    entries: list[BaselineEntry] = []
+    seen: set[tuple[str, str, str]] = set()
+    for finding in sorted(findings):
+        key = (finding.rule, finding.path, finding.symbol)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept = prior.get(key)
+        entries.append(
+            kept
+            if kept is not None
+            else BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                symbol=finding.symbol,
+                reason=reason,
+            )
+        )
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "symbol": entry.symbol,
+                "reason": entry.reason,
+                **({"expires": entry.expires} if entry.expires else {}),
+            }
+            for entry in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return entries

@@ -1,0 +1,471 @@
+"""Cross-module call graph over a loaded :class:`~.project.Project`.
+
+Nodes are fully-qualified function names (:class:`FunctionInfo` qualnames);
+edges are *resolved* call sites.  Resolution handles the forms this
+codebase actually uses:
+
+- plain names through the module symbol table (``deterministic_map(...)``),
+- dotted module access (``par.chunked_map(...)``),
+- ``self.method(...)`` inside a class,
+- ``ClassName.method(...)`` and ``ClassName(...)`` (constructor ->
+  ``__init__``),
+- locals bound to functions, lambdas, ``functools.partial(f, ...)``, and
+- attribute calls on parameters whose *annotation* names a project class
+  (``journal: Journal`` -> ``Journal.append``).
+
+Anything else (opaque instance attributes, dynamic dispatch) resolves to
+``None``: the graph under-approximates, which for gating analyses means
+missed findings rather than false ones.  Callable *arguments* at call
+sites are resolved the same way so the race pass can find the worker
+functions handed to ``deterministic_map``-style dispatch points.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.devtools.analyze.project import (
+    FunctionInfo,
+    Project,
+    ProjectModule,
+    Symbol,
+    dotted_name,
+)
+
+_PARTIAL_NAMES = {"functools.partial", "partial"}
+
+
+@dataclass
+class CallSite:
+    """One call expression, attributed to its enclosing function scope."""
+
+    caller: str  # qualname of enclosing function ("" = module top level)
+    module: str
+    node: ast.Call
+    callee: str | None  # canonical qualname when resolved to a project function
+    callee_symbol: Symbol | None  # raw resolution (incl. external dotted names)
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class CallGraph:
+    """Resolved call edges plus the per-function call-site index."""
+
+    project: Project
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    sites: dict[str, list[CallSite]] = field(default_factory=dict)
+    callers: dict[str, set[str]] = field(default_factory=dict)
+
+    def add(self, site: CallSite) -> None:
+        self.sites.setdefault(site.caller, []).append(site)
+        if site.callee is not None:
+            self.edges.setdefault(site.caller, set()).add(site.callee)
+            self.callers.setdefault(site.callee, set()).add(site.caller)
+
+    def callees(self, qualname: str) -> set[str]:
+        return self.edges.get(qualname, set())
+
+    def sites_in(self, qualname: str) -> list[CallSite]:
+        return self.sites.get(qualname, [])
+
+    def iter_sites(self) -> Iterator[CallSite]:
+        for sites in self.sites.values():
+            yield from sites
+
+    def reachable(self, roots: Iterable[str]) -> set[str]:
+        """Forward closure over call edges (roots included when known)."""
+        known = self.project.functions
+        frontier = deque(root for root in roots if root in known)
+        seen: set[str] = set(frontier)
+        while frontier:
+            current = frontier.popleft()
+            for callee in self.edges.get(current, ()):
+                if callee not in seen and callee in known:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return seen
+
+    def reaches(self, roots: Iterable[str], targets: set[str]) -> set[str]:
+        """Subset of all functions from which any target is reachable.
+
+        Computed backwards from ``targets`` so one sweep serves every
+        query; ``roots`` restricts the answer set.
+        """
+        frontier = deque(targets)
+        seen: set[str] = set(targets)
+        while frontier:
+            current = frontier.popleft()
+            for caller in self.callers.get(current, ()):
+                if caller not in seen:
+                    seen.add(caller)
+                    frontier.append(caller)
+        roots = set(roots)
+        return seen & roots if roots else seen
+
+
+# ---------------------------------------------------------------------------
+# Local environments: what names mean inside one function
+# ---------------------------------------------------------------------------
+
+
+def _annotation_class(
+    project: Project, module: ProjectModule, annotation: ast.expr
+) -> str | None:
+    """Project class qualname named by a parameter annotation, if any.
+
+    Handles ``X``, ``"X"``, ``X | None``, ``Optional[X]``.
+    """
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        for side in (annotation.left, annotation.right):
+            found = _annotation_class(project, module, side)
+            if found is not None:
+                return found
+        return None
+    if isinstance(annotation, ast.Subscript):
+        name = dotted_name(annotation.value) or ""
+        if name.rpartition(".")[2] == "Optional":
+            return _annotation_class(project, module, annotation.slice)
+        return None
+    dotted = dotted_name(annotation)
+    if dotted is None:
+        return None
+    symbol = project.resolve(module, dotted)
+    if symbol is not None and symbol.kind == "object":
+        if project.class_at(symbol.target) is not None:
+            return project.canonical(symbol.target)
+    return None
+
+
+@dataclass
+class LocalEnv:
+    """Name environment of one function scope for call resolution."""
+
+    func: FunctionInfo
+    assigned: set[str] = field(default_factory=set)
+    func_refs: dict[str, str] = field(default_factory=dict)  # name -> qualname
+    instance_of: dict[str, str] = field(default_factory=dict)  # name -> class
+
+    def shadows(self, name: str) -> bool:
+        return name in self.assigned
+
+
+def _local_defs(project: Project, func: FunctionInfo) -> dict[str, str]:
+    """Nested defs bound to names in this scope: name -> registered qualname.
+
+    Walks the whole scope (defs under ``if``/``try`` count) and lets the
+    last definition win, matching runtime rebinding; the qualname comes
+    from the project's node index so ``@line``-disambiguated redefinitions
+    resolve to the right entry.
+    """
+    out: dict[str, str] = {}
+    for node in _walk_scope(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = project.by_node.get(id(node))
+            if qual is not None:
+                out[node.name] = qual
+    return out
+
+
+def _assigned_names(func: FunctionInfo) -> set[str]:
+    """Every name the function scope binds (params, assigns, fors, withs)."""
+    names = set(func.param_names())
+
+    def bind(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind(element)
+        elif isinstance(target, ast.Starred):
+            bind(target.value)
+
+    for node in _walk_scope(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                bind(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            bind(node.target)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bind(node.target)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bind(item.optional_vars)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            names.difference_update(node.names)
+    return names
+
+
+def _walk_scope(func: FunctionInfo) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested function scopes.
+
+    Nested defs/lambdas are yielded (so callers can see the definition) but
+    their bodies are not — those belong to their own :class:`FunctionInfo`.
+    Comprehension bodies *are* walked: they execute inline.
+    """
+    stack: list[ast.AST] = list(func.body_stmts())[::-1]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(node.decorator_list)
+            stack.extend(d for d in node.args.defaults if d is not None)
+            continue
+        if isinstance(node, ast.Lambda):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def build_local_env(
+    project: Project, module: ProjectModule, func: FunctionInfo
+) -> LocalEnv:
+    env = LocalEnv(func=func)
+    env.assigned = _assigned_names(func)
+    env.func_refs.update(_local_defs(project, func))
+
+    for name, annotation in func.param_annotations().items():
+        cls = _annotation_class(project, module, annotation)
+        if cls is not None:
+            env.instance_of[name] = cls
+
+    if func.class_name is not None and func.param_names():
+        first = func.param_names()[0]
+        if first in ("self", "cls"):
+            cls_info = module.classes.get(func.class_name)
+            if cls_info is not None:
+                env.instance_of[first] = cls_info.qualname
+
+    # Locals bound to resolvable callables or class instances, e.g.
+    # ``fn = measure.measure_throughput`` or ``policy = RetryPolicy(...)``.
+    for node in _walk_scope(func):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if isinstance(value, ast.IfExp):
+            value = value.orelse  # take one arm; good enough for gating
+        if isinstance(value, ast.Call):
+            callee = dotted_name(value.func)
+            if callee is None:
+                continue
+            resolved = _resolve_dotted(project, module, env, callee)
+            if resolved is not None and project.class_at(resolved) is not None:
+                env.instance_of[target.id] = project.canonical(resolved)
+        else:
+            ref = dotted_name(value)
+            if ref is None:
+                continue
+            resolved = _resolve_dotted(project, module, env, ref)
+            if resolved is not None and project.function_at(resolved) is not None:
+                env.func_refs[target.id] = project.canonical(resolved)
+    return env
+
+
+# ---------------------------------------------------------------------------
+# Call resolution
+# ---------------------------------------------------------------------------
+
+
+def _resolve_dotted(
+    project: Project,
+    module: ProjectModule,
+    env: LocalEnv | None,
+    dotted: str,
+) -> str | None:
+    """Resolve a dotted reference to a canonical project qualname (or None)."""
+    head, _, tail = dotted.partition(".")
+    if env is not None:
+        if head in env.func_refs and not tail:
+            return env.func_refs[head]
+        if head in env.instance_of:
+            cls = project.class_at(env.instance_of[head])
+            if cls is not None and tail:
+                method, _, rest = tail.partition(".")
+                if method in cls.methods and not rest:
+                    return cls.methods[method]
+            return None
+        if env.shadows(head):
+            return None
+        if env.func.parent is not None:
+            # Closure: look up enclosing function scopes for the name.
+            parent = project.functions.get(env.func.parent)
+            while parent is not None:
+                parent_env = build_local_env(
+                    project, project.modules[parent.module], parent
+                )
+                if head in parent_env.func_refs and not tail:
+                    return parent_env.func_refs[head]
+                if head in parent_env.instance_of:
+                    cls = project.class_at(parent_env.instance_of[head])
+                    if cls is not None and tail:
+                        method, _, rest = tail.partition(".")
+                        if method in cls.methods and not rest:
+                            return cls.methods[method]
+                    return None
+                if parent_env.shadows(head):
+                    return None
+                parent = (
+                    project.functions.get(parent.parent)
+                    if parent.parent is not None
+                    else None
+                )
+    symbol = project.resolve(module, dotted)
+    if symbol is None or symbol.kind != "object":
+        return None
+    canonical = project.canonical(symbol.target)
+    if project.function_at(canonical) is not None:
+        return canonical
+    cls = project.class_at(canonical)
+    if cls is not None:
+        return canonical
+    # ``ClassName.method`` where the class lives in another module.
+    owner, _, leaf = canonical.rpartition(".")
+    cls = project.class_at(owner)
+    if cls is not None and leaf in cls.methods:
+        return cls.methods[leaf]
+    return None
+
+
+def resolve_call(
+    project: Project,
+    module: ProjectModule,
+    env: LocalEnv,
+    call: ast.Call,
+) -> tuple[str | None, Symbol | None]:
+    """(project callee qualname or None, raw symbol incl. externals)."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None, None
+    resolved = _resolve_dotted(project, module, env, dotted)
+    symbol: Symbol | None
+    if resolved is not None:
+        cls = project.class_at(resolved)
+        if cls is not None:
+            init = cls.methods.get("__init__")
+            return (init if init is not None else resolved), Symbol(
+                "object", resolved
+            )
+        return resolved, Symbol("object", resolved)
+    head = dotted.partition(".")[0]
+    if env.shadows(head) or head in env.instance_of:
+        return None, None
+    symbol = project.resolve(module, dotted)
+    if symbol is None:
+        # Builtins and bare names: keep the dotted text as an external
+        # symbol so passes can still match ``hash`` / ``print`` etc.
+        symbol = Symbol("external", dotted)
+    return None, symbol
+
+
+def resolve_callable_arg(
+    project: Project,
+    module: ProjectModule,
+    env: LocalEnv,
+    expr: ast.expr,
+) -> str | None:
+    """Resolve a callable expression *passed as an argument* to a qualname.
+
+    Handles direct references, lambdas (registered as functions during
+    loading), and ``functools.partial(f, ...)``.
+    """
+    if isinstance(expr, ast.Lambda):
+        return project.by_node.get(id(expr))
+    if isinstance(expr, ast.Call):
+        callee = dotted_name(expr.func)
+        if callee is not None and (
+            callee in _PARTIAL_NAMES or callee.endswith(".partial")
+        ):
+            if expr.args:
+                return resolve_callable_arg(project, module, env, expr.args[0])
+        return None
+    dotted = dotted_name(expr)
+    if dotted is None:
+        return None
+    return _resolve_dotted(project, module, env, dotted)
+
+
+# ---------------------------------------------------------------------------
+# Graph construction
+# ---------------------------------------------------------------------------
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    graph = CallGraph(project=project)
+    for qualname, func in project.functions.items():
+        module = project.modules[func.module]
+        env = build_local_env(project, module, func)
+        for node in _walk_scope(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Defining a nested function is not a call, but the nested
+                # scope is part of the enclosing behaviour once invoked
+                # locally; invocation edges come from resolved call sites.
+                continue
+            if isinstance(node, ast.Lambda):
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            callee, symbol = resolve_call(project, module, env, node)
+            graph.add(
+                CallSite(
+                    caller=qualname,
+                    module=func.module,
+                    node=node,
+                    callee=callee,
+                    callee_symbol=symbol,
+                )
+            )
+        # Calls at module top level are attributed to a pseudo-scope named
+        # after the module so dispatch points used at import time still
+        # register (rare, but cheap to support).
+    for name, module in project.modules.items():
+        env = LocalEnv(func=_module_pseudo_function(module))
+        for node in _iter_module_level(module.tree):
+            if isinstance(node, ast.Call):
+                callee, symbol = resolve_call(project, module, env, node)
+                graph.add(
+                    CallSite(
+                        caller=f"{name}.<module>",
+                        module=name,
+                        node=node,
+                        callee=callee,
+                        callee_symbol=symbol,
+                    )
+                )
+    return graph
+
+
+def _module_pseudo_function(module: ProjectModule) -> FunctionInfo:
+    node = ast.parse("def __module__(): pass").body[0]
+    return FunctionInfo(
+        qualname=f"{module.name}.<module>", module=module.name, node=node
+    )
+
+
+def _iter_module_level(tree: ast.Module) -> Iterator[ast.AST]:
+    """Module-level nodes, not descending into function/class bodies."""
+    stack: list[ast.AST] = list(tree.body)[::-1]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.ClassDef):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

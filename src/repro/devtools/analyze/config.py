@@ -1,0 +1,179 @@
+"""Analyzer configuration, loaded from ``[tool.repro.analyze]``.
+
+Recognised keys (dashes and underscores interchangeable)::
+
+    [tool.repro.analyze]
+    roots = ["src/repro"]                # default analysis roots
+    baseline = "analyze-baseline.json"   # committed suppression file
+    select = ["ANB101"]                  # run only these rule families
+    ignore = ["ANB103"]                  # drop these rule families
+    exclude = ["*_pb2.py"]               # extra path-part excludes
+    dispatch-points = ["pkg.mod.fan_out"]     # extra parallel dispatchers
+    artifact-sinks = ["persist"]              # extra artifact method names
+    seed-params = ["entropy"]                 # extra seed parameter names
+    hash-derivers = ["fingerprint"]           # extra hash-derivation markers
+    gate-functions = ["telemetry_enabled"]    # extra telemetry gates
+
+The list-valued keys *extend* the built-in defaults rather than replacing
+them — the defaults encode this repository's invariants (the
+``core/parallel`` dispatch points, ``write_artifact``, ``repro.obs``) and
+turning them off silently would defeat the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.devtools.lint.config import (
+    ConfigError,
+    find_pyproject,
+    read_pyproject_section,
+)
+
+__all__ = [
+    "AnalyzeConfig",
+    "ConfigError",
+    "find_pyproject",
+    "load_analyze_config",
+]
+
+_DEFAULT_EXCLUDES = (
+    "__pycache__",
+    "*.egg-info",
+    ".git",
+    ".pytest_cache",
+    ".hypothesis",
+    "build",
+    "dist",
+)
+
+# The thread-pool fan-out entry points of core/parallel.py plus the
+# journaled collection runner: the callable handed to any of these runs
+# concurrently on worker threads.
+_DEFAULT_DISPATCH_POINTS = (
+    "repro.core.parallel.deterministic_map",
+    "repro.core.parallel.chunked_map",
+    "repro.core.parallel.chunked_array_map",
+    "repro.core.reliability.run_tasks",
+)
+
+# Functions/methods whose call marks the enclosing function as
+# artifact-producing.  Dotted entries resolve through the call graph;
+# bare entries match by attribute name (``bench.save(...)``).
+_DEFAULT_ARTIFACT_SINKS = (
+    "repro.core.reliability.write_artifact",
+    "repro.core.reliability.atomic_write",
+    "save",
+    "to_json",
+    "export_jsonl",
+)
+
+# Parameter-name globs accepted as explicit seeds for ANB102.
+_DEFAULT_SEED_PARAMS = ("seed", "*_seed", "seed_*", "rng", "*_rng")
+
+# Substrings marking a call as a hash-seeded derivation (stable_hash,
+# blake2b digest, int.from_bytes over a digest, ...).
+_DEFAULT_HASH_DERIVERS = ("hash", "digest", "from_bytes", "crc32", "adler32")
+
+# Call names whose truthy result gates telemetry work (ANB103).
+_DEFAULT_GATE_FUNCTIONS = ("telemetry_active",)
+
+# repro.obs API that is *exempt* from hot-path gating: null-object spans,
+# the always-on wall-clock timer, and the gate test itself.
+_DEFAULT_OBS_EXEMPT = (
+    "span",
+    "timer",
+    "telemetry_active",
+    "monotonic",
+    "set_clock",
+    "reset_clock",
+)
+
+
+@dataclass(frozen=True)
+class AnalyzeConfig:
+    """Effective analyzer configuration after merging file + CLI settings."""
+
+    roots: tuple[str, ...] = ("src/repro",)
+    baseline: str | None = "analyze-baseline.json"
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = _DEFAULT_EXCLUDES
+    dispatch_points: tuple[str, ...] = _DEFAULT_DISPATCH_POINTS
+    artifact_sinks: tuple[str, ...] = _DEFAULT_ARTIFACT_SINKS
+    seed_params: tuple[str, ...] = _DEFAULT_SEED_PARAMS
+    hash_derivers: tuple[str, ...] = _DEFAULT_HASH_DERIVERS
+    gate_functions: tuple[str, ...] = _DEFAULT_GATE_FUNCTIONS
+    obs_exempt: tuple[str, ...] = _DEFAULT_OBS_EXEMPT
+    obs_modules: tuple[str, ...] = ("repro.obs",)
+
+    def with_overrides(
+        self,
+        select: tuple[str, ...] | None = None,
+        ignore: tuple[str, ...] | None = None,
+        baseline: str | None | type[...] = ...,
+    ) -> "AnalyzeConfig":
+        updated = self
+        if select:
+            updated = replace(updated, select=tuple(select))
+        if ignore:
+            updated = replace(updated, ignore=tuple(ignore))
+        if baseline is not ...:
+            updated = replace(updated, baseline=baseline)
+        return updated
+
+
+def _as_str_tuple(key: str, value: object) -> tuple[str, ...]:
+    if isinstance(value, str):
+        return (value,)
+    if isinstance(value, (list, tuple)) and all(
+        isinstance(item, str) for item in value
+    ):
+        return tuple(value)
+    raise ConfigError(
+        f"[tool.repro.analyze] {key}: expected string or list of strings"
+    )
+
+
+# Keys whose configured values extend the defaults instead of replacing
+# them (see module docstring).
+_EXTENDING = {
+    "exclude",
+    "dispatch_points",
+    "artifact_sinks",
+    "seed_params",
+    "hash_derivers",
+    "gate_functions",
+    "obs_exempt",
+    "obs_modules",
+}
+_REPLACING = {"roots", "select", "ignore"}
+_SCALAR = {"baseline"}
+
+
+def load_analyze_config(pyproject: Path | None) -> AnalyzeConfig:
+    """Build an :class:`AnalyzeConfig` from a pyproject file (or defaults)."""
+    config = AnalyzeConfig()
+    if pyproject is None or not pyproject.is_file():
+        return config
+    section = read_pyproject_section(pyproject, "tool.repro.analyze")
+    updates: dict[str, object] = {}
+    for raw_key, value in section.items():
+        key = raw_key.replace("-", "_")
+        if key in _SCALAR:
+            if not isinstance(value, str):
+                raise ConfigError(
+                    f"[tool.repro.analyze] {raw_key}: expected a string"
+                )
+            updates[key] = value
+            continue
+        if key not in _EXTENDING | _REPLACING:
+            raise ConfigError(f"[tool.repro.analyze] unknown key {raw_key!r}")
+        values = _as_str_tuple(raw_key, value)
+        if key in ("select", "ignore"):
+            values = tuple(v.upper() for v in values)
+        if key in _EXTENDING:
+            values = getattr(config, key) + values
+        updates[key] = values
+    return replace(config, **updates) if updates else config

@@ -1,0 +1,376 @@
+"""Analyzer core: findings, pass registry, and the shared analysis context.
+
+:class:`AnalysisContext` owns the whole-program facts every pass consumes:
+the loaded project, the call graph, the *worker set* (functions reachable
+from callables handed to the ``core/parallel`` dispatch points), the
+*artifact-reaching set* (functions from which an artifact write is
+reachable), and the telemetry-gating fixpoint.  Passes are small classes
+that turn those facts into findings; they register like lint rules so
+select/ignore and the reporters treat both tool families uniformly.
+
+Findings carry a ``symbol`` (the enclosing function's qualified name) in
+addition to the source location — the baseline file matches on
+``(rule, path, symbol, message)`` so suppressions survive unrelated line
+drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from functools import cached_property
+from pathlib import Path
+from typing import ClassVar, Iterator
+
+from repro.devtools.analyze.callgraph import (
+    CallGraph,
+    CallSite,
+    build_call_graph,
+    build_local_env,
+    resolve_callable_arg,
+)
+from repro.devtools.analyze.config import AnalyzeConfig, ConfigError
+from repro.devtools.analyze.project import (
+    FunctionInfo,
+    Project,
+    dotted_name,
+)
+from repro.devtools.lint.core import parse_suppressions
+
+SEVERITIES = ("error", "warning")
+
+_RULE_ID_RE = re.compile(r"^ANB1\d{2}$")
+
+
+@dataclass(frozen=True, order=True)
+class AnalysisFinding:
+    """One analyzer hit: a location, a symbol, and the broken invariant."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    symbol: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+class AnalysisRule:
+    """Base class for whole-program analysis passes (ANB1xx families)."""
+
+    id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    severity: ClassVar[str] = "error"
+
+    def run(self, ctx: "AnalysisContext") -> Iterator[AnalysisFinding]:
+        raise NotImplementedError
+
+    @classmethod
+    def doc(cls) -> str:
+        return (cls.__doc__ or "").strip().splitlines()[0]
+
+
+ANALYSIS_REGISTRY: dict[str, type[AnalysisRule]] = {}
+
+
+def register_analysis(cls: type[AnalysisRule]) -> type[AnalysisRule]:
+    if not _RULE_ID_RE.match(cls.id):
+        raise ValueError(f"analysis id {cls.id!r} does not match ANB1##")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"analysis {cls.id}: unknown severity {cls.severity!r}")
+    if cls.id in ANALYSIS_REGISTRY:
+        raise ValueError(f"duplicate analysis id {cls.id}")
+    if not cls.name:
+        raise ValueError(f"analysis {cls.id} needs a name slug")
+    ANALYSIS_REGISTRY[cls.id] = cls
+    return cls
+
+
+def active_analyses(config: AnalyzeConfig) -> list[AnalysisRule]:
+    """Instantiate the registry filtered through select/ignore config."""
+    unknown = [
+        rule_id
+        for rule_id in (*config.select, *config.ignore)
+        if rule_id not in ANALYSIS_REGISTRY
+    ]
+    if unknown:
+        raise ConfigError(
+            f"unknown analysis id(s): {', '.join(sorted(set(unknown)))}; "
+            f"known: {', '.join(sorted(ANALYSIS_REGISTRY))}"
+        )
+    chosen: list[AnalysisRule] = []
+    for rule_id in sorted(ANALYSIS_REGISTRY):
+        if config.select and rule_id not in config.select:
+            continue
+        if rule_id in config.ignore:
+            continue
+        chosen.append(ANALYSIS_REGISTRY[rule_id]())
+    return chosen
+
+
+# ---------------------------------------------------------------------------
+# Shared whole-program facts
+# ---------------------------------------------------------------------------
+
+
+def _matches_any(name: str, globs: tuple[str, ...]) -> bool:
+    return any(fnmatch(name, pattern) for pattern in globs)
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a pass needs, computed once per run."""
+
+    project: Project
+    graph: CallGraph
+    config: AnalyzeConfig
+    display_root: Path | None = None
+    _suppressions: dict[str, dict[int, frozenset[str] | None]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def build(
+        cls,
+        paths,
+        config: AnalyzeConfig,
+        display_root: Path | None = None,
+    ) -> "AnalysisContext":
+        project = Project.load(paths, exclude=config.exclude)
+        graph = build_call_graph(project)
+        return cls(
+            project=project,
+            graph=graph,
+            config=config,
+            display_root=display_root,
+        )
+
+    # ------------------------------------------------------------ locations
+
+    def display_path(self, module_name: str) -> str:
+        path = self.project.modules[module_name].path
+        root = self.display_root or Path.cwd()
+        try:
+            return str(path.relative_to(root))
+        except ValueError:
+            return str(path)
+
+    def finding(
+        self,
+        rule: AnalysisRule,
+        func: FunctionInfo,
+        node: ast.AST,
+        message: str,
+    ) -> AnalysisFinding:
+        return AnalysisFinding(
+            path=self.display_path(func.module),
+            line=getattr(node, "lineno", func.lineno),
+            col=getattr(node, "col_offset", 0),
+            rule=rule.id,
+            severity=rule.severity,
+            symbol=func.qualname,
+            message=message,
+        )
+
+    def is_suppressed(self, finding: AnalysisFinding, module_name: str) -> bool:
+        """Inline ``# anb: noqa[ANB1xx]`` suppression, same syntax as lint."""
+        table = self._suppressions.get(module_name)
+        if table is None:
+            source = self.project.modules[module_name].source
+            table = parse_suppressions(source)
+            self._suppressions[module_name] = table
+        entry = table.get(finding.line, ...)
+        if entry is ...:
+            return False
+        return entry is None or finding.rule in entry
+
+    # ------------------------------------------------------- dispatch facts
+
+    def _site_target(self, site: CallSite) -> str | None:
+        """Best-known dotted name for a call site's callee."""
+        if site.callee is not None:
+            return site.callee
+        if site.callee_symbol is not None:
+            return self.project.canonical(site.callee_symbol.target)
+        return None
+
+    @cached_property
+    def dispatch_sites(self) -> list[CallSite]:
+        """Call sites targeting a configured parallel dispatch point."""
+        points = set(self.config.dispatch_points)
+        found = []
+        for site in self.graph.iter_sites():
+            target = self._site_target(site)
+            if target is not None and target in points:
+                found.append(site)
+        return found
+
+    @cached_property
+    def worker_roots(self) -> dict[str, CallSite]:
+        """Worker callables handed to dispatch points: qualname -> site.
+
+        Every argument of a dispatch call that statically resolves to a
+        project function (direct reference, local binding, lambda,
+        ``functools.partial``) is treated as worker code — the position-
+        independent over-approximation keeps ``prepare=`` hooks and
+        keyword forms covered without a per-dispatcher signature table.
+        """
+        roots: dict[str, CallSite] = {}
+        for site in self.dispatch_sites:
+            module = self.project.modules[site.module]
+            func = self.project.functions.get(site.caller)
+            if func is None:
+                continue
+            env = build_local_env(self.project, module, func)
+            arg_exprs = [*site.node.args, *(kw.value for kw in site.node.keywords)]
+            for expr in arg_exprs:
+                resolved = resolve_callable_arg(self.project, module, env, expr)
+                if resolved is not None and resolved in self.project.functions:
+                    roots.setdefault(resolved, site)
+                    # A scope that redefines the worker under ``if
+                    # telemetry_active():`` registers two same-named
+                    # functions; either may run, so both are roots.
+                    info = self.project.functions[resolved]
+                    for qual, other in self.project.functions.items():
+                        if (
+                            other.parent == info.parent
+                            and other.parent is not None
+                            and other.name == info.name
+                            and other.module == info.module
+                        ):
+                            roots.setdefault(qual, site)
+        return roots
+
+    @cached_property
+    def worker_set(self) -> set[str]:
+        """Functions that may execute on pool worker threads."""
+        return self.graph.reachable(self.worker_roots)
+
+    # ------------------------------------------------------- artifact facts
+
+    def _artifact_sink_call(self, site: CallSite) -> bool:
+        dotted_sinks = {s for s in self.config.artifact_sinks if "." in s}
+        bare_sinks = {s for s in self.config.artifact_sinks if "." not in s}
+        target = self._site_target(site)
+        if target is not None:
+            if target in dotted_sinks:
+                return True
+            if target.rpartition(".")[2] in bare_sinks and site.callee is None:
+                return True
+        func_expr = site.node.func
+        if isinstance(func_expr, ast.Attribute) and func_expr.attr in bare_sinks:
+            return True
+        if site.callee is not None:
+            leaf = site.callee.rpartition(".")[2]
+            if leaf in bare_sinks:
+                return True
+        return False
+
+    @cached_property
+    def artifact_writers(self) -> set[str]:
+        """Functions that directly perform an artifact-producing call."""
+        writers: set[str] = set()
+        for site in self.graph.iter_sites():
+            if self._artifact_sink_call(site):
+                writers.add(site.caller)
+        return writers
+
+    @cached_property
+    def reaches_artifacts(self) -> set[str]:
+        """Functions from which an artifact-producing call is reachable."""
+        return self.graph.reaches((), set(self.artifact_writers))
+
+    def artifact_sites_in(self, qualname: str) -> list[CallSite]:
+        return [
+            site
+            for site in self.graph.sites_in(qualname)
+            if self._artifact_sink_call(site)
+        ]
+
+    # ----------------------------------------------------------- obs facts
+
+    def obs_call_target(self, site_or_call, module_name: str) -> str | None:
+        """Canonical ``repro.obs`` target of a call, or None.
+
+        Accepts a :class:`CallSite`; matching is by resolved symbol so both
+        ``obs.metrics()`` and ``from repro.obs import metrics`` count.
+        """
+        target = self._site_target(site_or_call)
+        if target is None:
+            return None
+        for obs_module in self.config.obs_modules:
+            if target == obs_module or target.startswith(obs_module + "."):
+                return target
+        return None
+
+    def obs_exempt(self, target: str) -> bool:
+        return target.rpartition(".")[2] in self.config.obs_exempt
+
+    def is_gate_call_name(self, dotted: str | None) -> bool:
+        if dotted is None:
+            return False
+        return dotted.rpartition(".")[2] in self.config.gate_functions
+
+    # ------------------------------------------------------ seed-name facts
+
+    def is_seed_name(self, name: str) -> bool:
+        return _matches_any(name, self.config.seed_params)
+
+    def is_hash_deriver(self, dotted: str) -> bool:
+        leaf_chain = dotted.lower()
+        return any(marker in leaf_chain for marker in self.config.hash_derivers)
+
+
+def iter_function_body(func: FunctionInfo) -> Iterator[ast.AST]:
+    """Walk one function's own scope (shared helper re-exported for passes)."""
+    from repro.devtools.analyze.callgraph import _walk_scope
+
+    yield from _walk_scope(func)
+
+
+def call_dotted(call: ast.Call) -> str | None:
+    return dotted_name(call.func)
+
+
+def sub_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    """Nested statement blocks of a compound statement."""
+    blocks = []
+    for field_name in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field_name, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            blocks.append(value)
+    for handler in getattr(stmt, "handlers", []):
+        blocks.append(handler.body)
+    return blocks
+
+
+def calls_in_expr(expr: ast.expr) -> Iterator[ast.Call]:
+    """Call expressions within one expression, skipping lambda bodies
+    (those are separate scopes) but descending into comprehensions."""
+    stack: list[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def own_statement_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Calls in a statement's own expressions — not in nested blocks (use
+    :func:`sub_blocks` for those) and not in nested function scopes."""
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        values = value if isinstance(value, list) else [value]
+        for item in values:
+            if isinstance(item, ast.expr):
+                yield from calls_in_expr(item)
+            elif isinstance(item, ast.withitem):
+                yield from calls_in_expr(item.context_expr)

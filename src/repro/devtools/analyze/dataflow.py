@@ -1,0 +1,339 @@
+"""Intraprocedural data-flow: reaching definitions and a taint lattice.
+
+The three analysis passes (ANB101-ANB103) share this small framework:
+
+- The lattice is the powerset of string *labels*; join is set union and
+  the bottom element is the empty set.  A label names where a value came
+  from (``param:seed``, ``obs``, ``gate``, ``hashseed``) and passes decide
+  which combinations are acceptable at which expressions.
+- :class:`TaintEngine` walks a function body **in statement order**,
+  maintaining an environment mapping local names to label sets.  Branches
+  (``if``/``try``/``match``) are analysed with a copy of the environment
+  and joined afterwards; loop bodies run twice so a definition flowing
+  around the back edge reaches its uses (two passes suffice because the
+  lattice is monotone and assignments only union labels between passes).
+- Every visited expression's labels are recorded in
+  :attr:`TaintResult.expr_labels` keyed by node identity, so passes can
+  ask "what flows into this call argument" after the walk.
+
+Sources are injected through :class:`TaintPolicy` hooks: labels for
+parameters, for call results, and for attribute loads.  Calls propagate
+the union of their argument labels by default (a value derived from a
+tainted value is tainted) — the policy can override per call, e.g. to
+declare ``telemetry_active()`` a gate source regardless of arguments.
+
+This is deliberately *flow-structured* rather than CFG-based: the
+codebase's functions are structured (no gotos in Python), and a
+statement-order walk with branch joins and a double-pass over loops
+computes the same may-reach facts the classic worklist formulation would
+for these programs, at a fraction of the complexity.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.devtools.analyze.project import FunctionInfo, dotted_name
+
+Labels = frozenset[str]
+
+EMPTY: Labels = frozenset()
+
+
+def join(*label_sets: Labels) -> Labels:
+    out: set[str] = set()
+    for labels in label_sets:
+        out |= labels
+    return frozenset(out)
+
+
+@dataclass
+class TaintPolicy:
+    """Source/transfer hooks a pass plugs into the engine.
+
+    Attributes:
+        param_labels: Labels seeded on each parameter name at entry.
+        call_labels: ``(call_node, arg_labels) -> labels`` source hook; the
+            returned labels are *added* to the propagated argument labels.
+        attribute_labels: Labels for an attribute load (``self.seed``);
+            receives the full dotted chain and the labels of its base.
+        name_labels: Extra labels for a bare name load (module constants).
+        stop_propagation: Call-name predicate; when true, argument labels
+            do NOT flow through the call result (e.g. ``len(...)`` could be
+            declared label-stripping).  Default: propagate everything.
+    """
+
+    param_labels: dict[str, Labels] = field(default_factory=dict)
+    call_labels: Callable[[ast.Call, Labels], Labels] = (
+        lambda call, args: EMPTY
+    )
+    attribute_labels: Callable[[str, Labels], Labels] = (
+        lambda chain, base: base
+    )
+    name_labels: Callable[[str], Labels] = lambda name: EMPTY
+    stop_propagation: Callable[[ast.Call], bool] = lambda call: False
+
+
+@dataclass
+class TaintResult:
+    """Outcome of one engine run over one function."""
+
+    expr_labels: dict[int, Labels] = field(default_factory=dict)
+    return_labels: Labels = EMPTY
+    exit_env: dict[str, Labels] = field(default_factory=dict)
+
+    def labels_of(self, node: ast.AST) -> Labels:
+        return self.expr_labels.get(id(node), EMPTY)
+
+
+class TaintEngine:
+    """Run a :class:`TaintPolicy` over one function body."""
+
+    def __init__(self, func: FunctionInfo, policy: TaintPolicy) -> None:
+        self.func = func
+        self.policy = policy
+        self.result = TaintResult()
+
+    def run(self) -> TaintResult:
+        env: dict[str, Labels] = {}
+        for name in self.func.param_names():
+            env[name] = self.policy.param_labels.get(name, EMPTY)
+        env = self._exec_block(self.func.body_stmts(), env)
+        self.result.exit_env = env
+        return self.result
+
+    # -------------------------------------------------------------- blocks
+
+    def _exec_block(
+        self, stmts: list[ast.stmt], env: dict[str, Labels]
+    ) -> dict[str, Labels]:
+        for stmt in stmts:
+            env = self._exec_stmt(stmt, env)
+        return env
+
+    @staticmethod
+    def _join_env(
+        a: dict[str, Labels], b: dict[str, Labels]
+    ) -> dict[str, Labels]:
+        out = dict(a)
+        for name, labels in b.items():
+            out[name] = join(out.get(name, EMPTY), labels)
+        return out
+
+    def _exec_stmt(
+        self, stmt: ast.stmt, env: dict[str, Labels]
+    ) -> dict[str, Labels]:
+        if isinstance(stmt, ast.Assign):
+            labels = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                env = self._bind(target, labels, env)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                labels = self._eval(stmt.value, env)
+                env = self._bind(stmt.target, labels, env)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            labels = join(
+                self._eval(stmt.value, env),
+                self._eval(stmt.target, env),
+            )
+            return self._bind(stmt.target, labels, env)
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                labels = self._eval(stmt.value, env)
+                self.result.return_labels = join(
+                    self.result.return_labels, labels
+                )
+            return env
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+            return env
+        if isinstance(stmt, ast.If):
+            self._eval(stmt.test, env)
+            then_env = self._exec_block(stmt.body, dict(env))
+            else_env = self._exec_block(stmt.orelse, dict(env))
+            return self._join_env(then_env, else_env)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_labels = self._eval(stmt.iter, env)
+            body_env = self._bind(stmt.target, iter_labels, dict(env))
+            # Two passes over the body: definitions flowing around the back
+            # edge reach their uses on the second pass.
+            body_env = self._exec_block(stmt.body, body_env)
+            body_env = self._bind(stmt.target, iter_labels, body_env)
+            body_env = self._exec_block(stmt.body, body_env)
+            merged = self._join_env(env, body_env)
+            return self._exec_block(stmt.orelse, merged)
+        if isinstance(stmt, ast.While):
+            self._eval(stmt.test, env)
+            body_env = self._exec_block(stmt.body, dict(env))
+            self._eval(stmt.test, body_env)
+            body_env = self._exec_block(stmt.body, body_env)
+            merged = self._join_env(env, body_env)
+            return self._exec_block(stmt.orelse, merged)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                labels = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    env = self._bind(item.optional_vars, labels, env)
+            return self._exec_block(stmt.body, env)
+        if isinstance(stmt, ast.Try):
+            body_env = self._exec_block(stmt.body, dict(env))
+            merged = self._join_env(env, body_env)
+            for handler in stmt.handlers:
+                handler_env = dict(merged)
+                if handler.name:
+                    handler_env[handler.name] = EMPTY
+                merged = self._join_env(
+                    merged, self._exec_block(handler.body, handler_env)
+                )
+            merged = self._exec_block(stmt.orelse, merged)
+            return self._exec_block(stmt.finalbody, merged)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested scopes are analysed as their own functions; defining
+            # one binds its name (unlabelled callable value).
+            env = dict(env)
+            env[stmt.name] = EMPTY
+            return env
+        if isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env)
+            return env
+        if isinstance(stmt, ast.Delete):
+            env = dict(env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+            return env
+        # Global/Nonlocal/Pass/Break/Continue/Import...: no flow effect here.
+        return env
+
+    def _bind(
+        self, target: ast.expr, labels: Labels, env: dict[str, Labels]
+    ) -> dict[str, Labels]:
+        env = dict(env)
+        if isinstance(target, ast.Name):
+            env[target.id] = labels
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                env = self._bind(element, labels, env)
+        elif isinstance(target, ast.Starred):
+            env = self._bind(target.value, labels, env)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # Writing through an attribute/subscript taints the base name:
+            # ``payload["rng"] = tainted`` makes ``payload`` carry it.
+            self._eval(target, env)
+            base = target.value
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                base = base.value
+            if isinstance(base, ast.Name):
+                env[base.id] = join(env.get(base.id, EMPTY), labels)
+        return env
+
+    # --------------------------------------------------------- expressions
+
+    def _eval(self, node: ast.expr, env: dict[str, Labels]) -> Labels:
+        labels = self._eval_inner(node, env)
+        self.result.expr_labels[id(node)] = join(
+            self.result.expr_labels.get(id(node), EMPTY), labels
+        )
+        return labels
+
+    def _eval_inner(self, node: ast.expr, env: dict[str, Labels]) -> Labels:
+        if isinstance(node, ast.Name):
+            return join(
+                env.get(node.id, EMPTY), self.policy.name_labels(node.id)
+            )
+        if isinstance(node, ast.Constant):
+            return EMPTY
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value, env)
+            chain = dotted_name(node) or node.attr
+            return self.policy.attribute_labels(chain, base)
+        if isinstance(node, ast.Call):
+            arg_labels = [self._eval(arg, env) for arg in node.args]
+            arg_labels += [
+                self._eval(kw.value, env) for kw in node.keywords
+            ]
+            func_labels = (
+                self._eval(node.func, env)
+                if not isinstance(node.func, ast.Name)
+                else env.get(node.func.id, EMPTY)
+            )
+            if isinstance(node.func, ast.Name):
+                self.result.expr_labels[id(node.func)] = func_labels
+            propagated = (
+                EMPTY
+                if self.policy.stop_propagation(node)
+                else join(*arg_labels, func_labels)
+            )
+            return join(propagated, self.policy.call_labels(node, propagated))
+        if isinstance(node, ast.Lambda):
+            return EMPTY
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            comp_env = dict(env)
+            for gen in node.generators:
+                iter_labels = self._eval(gen.iter, comp_env)
+                comp_env = self._bind(gen.target, iter_labels, comp_env)
+                for cond in gen.ifs:
+                    self._eval(cond, comp_env)
+            return self._eval(node.elt, comp_env)
+        if isinstance(node, ast.DictComp):
+            comp_env = dict(env)
+            for gen in node.generators:
+                iter_labels = self._eval(gen.iter, comp_env)
+                comp_env = self._bind(gen.target, iter_labels, comp_env)
+                for cond in gen.ifs:
+                    self._eval(cond, comp_env)
+            return join(
+                self._eval(node.key, comp_env),
+                self._eval(node.value, comp_env),
+            )
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return join(
+                self._eval(node.body, env), self._eval(node.orelse, env)
+            )
+        if isinstance(node, ast.BoolOp):
+            return join(*(self._eval(v, env) for v in node.values))
+        if isinstance(node, ast.NamedExpr):
+            labels = self._eval(node.value, env)
+            env[node.target.id] = labels
+            return labels
+        # Generic fallback: union of child expression labels.
+        parts = [
+            self._eval(child, env)
+            for child in ast.iter_child_nodes(node)
+            if isinstance(child, ast.expr)
+        ]
+        return join(*parts) if parts else EMPTY
+
+
+def run_taint(func: FunctionInfo, policy: TaintPolicy) -> TaintResult:
+    """Convenience wrapper: run the engine once and return its result."""
+    return TaintEngine(func, policy).run()
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions (over the same engine)
+# ---------------------------------------------------------------------------
+
+
+def reaching_parameters(func: FunctionInfo) -> TaintResult:
+    """Label every expression with the parameters whose values may reach it.
+
+    Each parameter ``p`` is seeded with label ``param:p``; the result's
+    :meth:`~TaintResult.labels_of` then answers "which parameters flow into
+    this expression" — the reaching-definitions question the seed-flow pass
+    asks of RNG seed arguments.
+    """
+    policy = TaintPolicy(
+        param_labels={
+            name: frozenset({f"param:{name}"})
+            for name in func.param_names()
+        }
+    )
+    return run_taint(func, policy)

@@ -1,0 +1,490 @@
+"""Whole-program project loader: modules, resolved imports, symbol table.
+
+The per-file linter (:mod:`repro.devtools.lint`) sees one module at a time;
+the analyses in this package (race detection, seed-flow taint, telemetry
+purity) need to follow a value or a call across module boundaries.  This
+module builds that shared substrate:
+
+- :class:`Project` parses every ``.py`` file under the analysis roots into
+  a :class:`ProjectModule` and records, per module, what each top-level
+  name *means* (:class:`Symbol`): a project module, a project object, or
+  an external dotted name.
+- :meth:`Project.resolve` turns a dotted expression (``par.chunked_map``,
+  ``ArchSpec.from_string``) as written in one module into a canonical
+  fully-qualified name, following ``__init__`` re-export chains — so the
+  call graph and the rule passes agree on one name per function no matter
+  which alias a caller used.
+- Every function, method, nested function and lambda becomes a
+  :class:`FunctionInfo` with a stable qualified name (``pkg.mod.f``,
+  ``pkg.mod.Cls.m``, ``pkg.mod.f.<locals>.g``); those names are the nodes
+  of the call graph.
+
+Resolution is deliberately *under-approximating*: a name the loader cannot
+resolve statically (an opaque instance attribute, a dynamically-built
+callable) resolves to ``None`` and downstream passes skip it.  For a
+gating tool this is the right failure mode — no finding is better than a
+storm of unfounded ones — and the per-rule fixtures pin exactly what is
+and is not caught.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+LAMBDA_MARK = "<lambda"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """What a top-level name in one module refers to.
+
+    ``kind`` is ``"module"`` (a project or external module), ``"object"``
+    (a def/class/assignment or an imported object), or ``"external"``
+    (anything living outside the analysis roots, kept as a dotted string
+    so passes can still pattern-match ``numpy.random.default_rng``).
+    """
+
+    kind: str
+    target: str
+
+
+@dataclass
+class FunctionInfo:
+    """One function-like scope: plain def, method, nested def, or lambda."""
+
+    qualname: str
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    class_name: str | None = None
+    parent: str | None = None  # enclosing function qualname, for closures
+
+    @property
+    def is_lambda(self) -> bool:
+        return isinstance(self.node, ast.Lambda)
+
+    @property
+    def name(self) -> str:
+        return (
+            LAMBDA_MARK if self.is_lambda else self.node.name
+        )
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    def body_stmts(self) -> list[ast.stmt]:
+        """Statement body (a lambda's expression is wrapped for uniformity)."""
+        if isinstance(self.node, ast.Lambda):
+            return [ast.Expr(value=self.node.body)]
+        return self.node.body
+
+    def param_names(self) -> list[str]:
+        args = self.node.args
+        names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def param_annotations(self) -> dict[str, ast.expr]:
+        """Parameter name -> annotation expression (where present)."""
+        args = self.node.args
+        out: dict[str, ast.expr] = {}
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if a.annotation is not None:
+                out[a.arg] = a.annotation
+        return out
+
+
+@dataclass
+class ClassInfo:
+    """A top-level class definition and its directly-defined methods."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    methods: dict[str, str] = field(default_factory=dict)  # name -> qualname
+
+
+@dataclass
+class ProjectModule:
+    """One parsed source file plus its name environment."""
+
+    name: str
+    path: Path
+    source: str
+    tree: ast.Module
+    bindings: dict[str, Symbol] = field(default_factory=dict)
+    constants: set[str] = field(default_factory=set)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.path.name == "__init__.py"
+
+
+class ProjectError(ValueError):
+    """Raised when the analysis roots cannot be loaded into a project."""
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, walking up while ``__init__.py`` files continue."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    directory = path.parent
+    while (directory / "__init__.py").is_file():
+        parts.append(directory.name)
+        directory = directory.parent
+    return ".".join(reversed(parts))
+
+
+_DEFAULT_EXCLUDES = ("__pycache__", ".git", "build", "dist")
+
+
+def _iter_py_files(paths: Iterable[Path], exclude: tuple[str, ...]) -> list[Path]:
+    from fnmatch import fnmatch
+
+    seen: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise ProjectError(f"no such file or directory: {path}")
+        candidates = path.rglob("*.py") if path.is_dir() else (path,)
+        for candidate in candidates:
+            if not any(
+                fnmatch(part, pattern)
+                for part in candidate.parts
+                for pattern in exclude
+            ):
+                seen.add(candidate.resolve())
+    return sorted(seen)
+
+
+class Project:
+    """All modules of one analysis run, with cross-module name resolution."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ProjectModule] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.by_node: dict[int, str] = {}  # id(ast node) -> qualname
+        self.parse_errors: list[tuple[Path, SyntaxError]] = []
+        self._canonical_cache: dict[str, str] = {}
+
+    # ------------------------------------------------------------- loading
+
+    @classmethod
+    def load(
+        cls,
+        paths: Iterable[str | Path],
+        exclude: tuple[str, ...] = _DEFAULT_EXCLUDES,
+    ) -> "Project":
+        project = cls()
+        for path in _iter_py_files([Path(p) for p in paths], exclude):
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                project.parse_errors.append((path, exc))
+                continue
+            name = module_name_for(path)
+            if not name:
+                # A stray script outside any package: use the stem so the
+                # module still participates (fixture dirs rely on this).
+                name = path.stem
+            project.modules[name] = ProjectModule(
+                name=name, path=path, source=source, tree=tree
+            )
+        for module in project.modules.values():
+            _bind_module(project, module)
+        for module in project.modules.values():
+            _collect_functions(project, module)
+        return project
+
+    # ---------------------------------------------------------- resolution
+
+    def module_prefix_of(self, dotted: str) -> tuple[str, str] | None:
+        """Split ``dotted`` into (longest project-module prefix, remainder)."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                return prefix, ".".join(parts[cut:])
+        return None
+
+    def canonical(self, qualified: str) -> str:
+        """Follow re-export chains to the defining module's name.
+
+        ``repro.core.deterministic_map`` (a package re-export) canonicalises
+        to ``repro.core.parallel.deterministic_map``.  Unknown names are
+        returned unchanged; import cycles terminate at the repeated name.
+        """
+        cached = self._canonical_cache.get(qualified)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        current = qualified
+        while current not in seen:
+            seen.add(current)
+            nxt = self._canonical_step(current)
+            if nxt is None or nxt == current:
+                break
+            current = nxt
+        self._canonical_cache[qualified] = current
+        return current
+
+    def _canonical_step(self, current: str) -> str | None:
+        """One re-export hop.  Prefers a package-``__init__`` binding over a
+        same-named submodule (Python executes the ``__init__`` assignment
+        last, so ``repro.obs.metrics`` means the re-exported function, not
+        the ``metrics`` module)."""
+        parts = current.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            module = self.modules.get(prefix)
+            if module is None:
+                continue
+            head = parts[cut]
+            tail = ".".join(parts[cut + 1 :])
+            symbol = module.bindings.get(head)
+            if symbol is None or symbol.kind == "external":
+                # No binding rewrites this segment; if it names a submodule
+                # keep descending, otherwise the name is as canonical as it
+                # gets.
+                return None
+            if symbol.target == f"{prefix}.{head}" and symbol.kind == "object":
+                # The module's own definition: canonical already.
+                return None
+            return symbol.target + (f".{tail}" if tail else "")
+        return None
+
+    def resolve(self, module: ProjectModule, dotted: str) -> Symbol | None:
+        """Resolve a dotted expression written inside ``module``.
+
+        Returns a canonicalised :class:`Symbol` or ``None`` when the head
+        name is not bound at module level (a local, a builtin, ...).
+        """
+        head, _, tail = dotted.partition(".")
+        symbol = module.bindings.get(head)
+        if symbol is None:
+            return None
+        target = symbol.target + (f".{tail}" if tail else "")
+        if symbol.kind == "external":
+            return Symbol("external", target)
+        canonical = self.canonical(target)
+        if canonical in self.modules:
+            return Symbol("module", canonical)
+        if self.module_prefix_of(canonical) is not None:
+            return Symbol("object", canonical)
+        return Symbol("external", canonical)
+
+    def function_at(self, qualified: str) -> FunctionInfo | None:
+        return self.functions.get(self.canonical(qualified))
+
+    def class_at(self, qualified: str) -> ClassInfo | None:
+        return self.classes.get(self.canonical(qualified))
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+
+
+# ---------------------------------------------------------------------------
+# Module binding construction
+# ---------------------------------------------------------------------------
+
+
+def _resolve_import_from(module: ProjectModule, stmt: ast.ImportFrom) -> str | None:
+    """Absolute dotted module a ``from ... import`` statement targets."""
+    if stmt.level == 0:
+        return stmt.module
+    base_parts = module.name.split(".")
+    if not module.is_package_init:
+        base_parts = base_parts[:-1]
+    hops = stmt.level - 1
+    if hops > len(base_parts):
+        return None
+    base = base_parts[: len(base_parts) - hops] if hops else base_parts
+    if stmt.module:
+        base = [*base, stmt.module]
+    return ".".join(base) if base else None
+
+
+def _is_constant_expr(node: ast.expr) -> bool:
+    """Literal constant expressions (including unary +/- and f-string-free
+    containers of constants) — used to whitelist module-level seeds."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        return _is_constant_expr(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_constant_expr(node.left) and _is_constant_expr(node.right)
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return all(_is_constant_expr(e) for e in node.elts)
+    if isinstance(node, ast.Dict):
+        return all(
+            (k is None or _is_constant_expr(k)) and _is_constant_expr(v)
+            for k, v in zip(node.keys, node.values)
+        )
+    return False
+
+
+def _bind_module(project: Project, module: ProjectModule) -> None:
+    """Populate ``module.bindings`` / ``module.constants`` from top level.
+
+    Walks module-level statements including ``if``/``try`` bodies (they run
+    at import time) but not function or class bodies.
+    """
+
+    def bind_target(target: ast.expr, value: ast.expr | None) -> None:
+        if isinstance(target, ast.Name):
+            module.bindings[target.id] = Symbol(
+                "object", f"{module.name}.{target.id}"
+            )
+            if value is not None and _is_constant_expr(value):
+                module.constants.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind_target(element, None)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value, None)
+
+    def visit(statements: Iterable[ast.stmt]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                module.bindings[stmt.name] = Symbol(
+                    "object", f"{module.name}.{stmt.name}"
+                )
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    target = alias.name if alias.asname else local
+                    kind = "module" if target in project.modules else (
+                        "module"
+                        if project.module_prefix_of(target) is not None
+                        else "external"
+                    )
+                    module.bindings[local] = Symbol(kind, target)
+            elif isinstance(stmt, ast.ImportFrom):
+                source = _resolve_import_from(module, stmt)
+                if source is None:
+                    continue
+                in_project = project.module_prefix_of(source) is not None
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    target = f"{source}.{alias.name}"
+                    if target in project.modules:
+                        module.bindings[local] = Symbol("module", target)
+                    elif in_project:
+                        module.bindings[local] = Symbol("object", target)
+                    else:
+                        module.bindings[local] = Symbol("external", target)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    bind_target(target, stmt.value)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                bind_target(stmt.target, getattr(stmt, "value", None))
+            elif isinstance(stmt, (ast.If, ast.While)):
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                bind_target(stmt.target, None)
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        bind_target(item.optional_vars, None)
+                visit(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body)
+                for handler in stmt.handlers:
+                    visit(handler.body)
+                visit(stmt.orelse)
+                visit(stmt.finalbody)
+
+    visit(module.tree.body)
+
+
+# ---------------------------------------------------------------------------
+# Function and class discovery
+# ---------------------------------------------------------------------------
+
+
+def _collect_functions(project: Project, module: ProjectModule) -> None:
+    """Register every function-like scope in ``module`` under a qualname."""
+
+    def register(info: FunctionInfo) -> str:
+        # Same-named redefinitions in one scope (the ``if telemetry_active():``
+        # wrap-the-plain-function pattern) must each keep their own entry —
+        # the plain variant still runs when telemetry is off.
+        if info.qualname in project.functions:
+            info.qualname = f"{info.qualname}@{info.node.lineno}"
+        module.functions[info.qualname] = info
+        project.functions[info.qualname] = info
+        project.by_node[id(info.node)] = info.qualname
+        return info.qualname
+
+    def walk_scope(
+        node: ast.AST,
+        scope: str,
+        class_name: str | None,
+        parent: str | None,
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{scope}.{child.name}"
+                info = FunctionInfo(
+                    qualname=qual,
+                    module=module.name,
+                    node=child,
+                    class_name=class_name,
+                    parent=parent,
+                )
+                qual = register(info)
+                walk_scope(child, f"{qual}.<locals>", None, qual)
+            elif isinstance(child, ast.Lambda):
+                qual = f"{scope}.{LAMBDA_MARK}:{child.lineno}:{child.col_offset}>"
+                info = FunctionInfo(
+                    qualname=qual,
+                    module=module.name,
+                    node=child,
+                    class_name=class_name,
+                    parent=parent,
+                )
+                qual = register(info)
+                walk_scope(child, f"{qual}.<locals>", None, qual)
+            elif isinstance(child, ast.ClassDef):
+                class_qual = f"{scope}.{child.name}"
+                if parent is None:
+                    cls_info = ClassInfo(
+                        qualname=class_qual, module=module.name, node=child
+                    )
+                    for stmt in child.body:
+                        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            cls_info.methods[stmt.name] = (
+                                f"{class_qual}.{stmt.name}"
+                            )
+                    module.classes[child.name] = cls_info
+                    project.classes[class_qual] = cls_info
+                walk_scope(child, class_qual, child.name, parent)
+            else:
+                walk_scope(child, scope, class_name, parent)
+
+    walk_scope(module.tree, module.name, None, None)
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render an attribute/name chain (``np.random.default_rng``) or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))

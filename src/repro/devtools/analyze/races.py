@@ -1,0 +1,343 @@
+"""ANB101 — race detector over the parallel dispatch call graph.
+
+The ``core/parallel`` helpers promise bit-identical results for any worker
+count, which holds only if worker tasks never write shared mutable state.
+This pass computes the *worker set* — every function reachable (via the
+call graph) from a callable handed to ``deterministic_map`` /
+``chunked_map`` / ``chunked_array_map`` / ``run_tasks`` — and flags, inside
+that set:
+
+- assignments to ``global``-declared names,
+- assignments to ``nonlocal``-declared names (closure state shared with
+  the dispatching scope),
+- in-place mutation of module-global bindings (``CACHE[k] = v``,
+  ``RESULTS.append(...)``), and
+- in-place mutation of names captured from an enclosing function scope.
+
+A mutation lexically inside ``with <lock>:`` — where the context
+expression names a ``threading.Lock``/``RLock`` binding or any name
+containing ``lock``/``mutex`` — is considered guarded, as is any code in a
+function whose name ends with ``_locked`` (the repository's convention for
+must-hold-lock helpers), and any method call that resolves to a project
+method whose whole body runs under a lock (``Journal.append``-style
+callee-side synchronisation).
+
+Two sharing refinements keep the pass honest: closure state owned by a
+frame that is *itself* in the worker set (per-task build state like a
+tree grower's node lists) is thread-local, not shared; and
+instance-attribute state (``self._cache``) is out of scope entirely —
+per-instance sharing cannot be decided statically, and the repo's shared
+instances serialise through their own locks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.analyze.callgraph import _assigned_names, _walk_scope
+from repro.devtools.analyze.core import (
+    AnalysisContext,
+    AnalysisFinding,
+    AnalysisRule,
+    own_statement_calls,
+    register_analysis,
+    sub_blocks,
+)
+from repro.devtools.analyze.project import FunctionInfo, dotted_name
+
+# Method names that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "__setitem__",
+        "__delitem__",
+        "appendleft",
+        "extendleft",
+        "popleft",
+        "sort",
+        "reverse",
+        "write",
+        "writelines",
+    }
+)
+
+_LOCK_NAME_MARKERS = ("lock", "mutex", "sem")
+_LOCK_CONSTRUCTORS = ("Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition")
+
+
+def _base_name(expr: ast.expr) -> str | None:
+    """Leftmost Name of an attribute/subscript chain."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+def _is_lock_expr(ctx: AnalysisContext, module_name: str, expr: ast.expr) -> bool:
+    dotted = dotted_name(expr)
+    if dotted is None and isinstance(expr, ast.Call):
+        dotted = dotted_name(expr.func)
+    if dotted is None:
+        return False
+    lowered = dotted.lower()
+    if any(marker in lowered for marker in _LOCK_NAME_MARKERS):
+        return True
+    module = ctx.project.modules.get(module_name)
+    if module is None:
+        return False
+    head = dotted.partition(".")[0]
+    symbol = module.bindings.get(head)
+    if symbol is None:
+        return False
+    # A module-level ``GUARD = threading.Lock()`` binding guards too, even
+    # if unimaginatively named.
+    for stmt in module.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == head for t in stmt.targets
+            )
+            and isinstance(stmt.value, ast.Call)
+        ):
+            ctor = dotted_name(stmt.value.func) or ""
+            if ctor.rpartition(".")[2] in _LOCK_CONSTRUCTORS:
+                return True
+    return False
+
+
+class _ScopeInfo:
+    """Name classification for one worker function."""
+
+    def __init__(self, ctx: AnalysisContext, func: FunctionInfo) -> None:
+        self.ctx = ctx
+        self.func = func
+        self.module = ctx.project.modules[func.module]
+        self.local_names = _assigned_names(func)
+        self.globals_declared: set[str] = set()
+        self.nonlocals_declared: set[str] = set()
+        # Own-scope declarations only: a ``nonlocal`` inside a *nested*
+        # function belongs to that function, not to this one.
+        for node in _walk_scope(func):
+            if isinstance(node, ast.Global):
+                self.globals_declared.update(node.names)
+            elif isinstance(node, ast.Nonlocal):
+                self.nonlocals_declared.update(node.names)
+
+    def _owner_scope(self, name: str) -> str | None:
+        """Qualname of the nearest enclosing function that binds ``name``."""
+        parent_qual = self.func.parent
+        while parent_qual is not None:
+            parent = self.ctx.project.functions.get(parent_qual)
+            if parent is None:
+                return None
+            if name in _assigned_names(parent):
+                return parent_qual
+            parent_qual = parent.parent
+        return None
+
+    def classify(self, name: str) -> str | None:
+        """``"global"`` / ``"captured"`` / None for names mutated in place.
+
+        Captured state is only *shared* when the frame that owns it lives
+        outside the worker set: a closure over a variable of a function
+        that itself runs per worker task (e.g. per-tree build state) is
+        thread-local and therefore fine.
+        """
+        if name in self.globals_declared:
+            return "global"
+        if name in self.nonlocals_declared:
+            owner = self._owner_scope(name)
+            if owner is not None and owner in self.ctx.worker_set:
+                return None  # per-task frame, not shared across workers
+            return "captured"
+        if name in self.local_names:
+            return None
+        owner = self._owner_scope(name)
+        if owner is not None:
+            if owner in self.ctx.worker_set:
+                return None
+            return "captured"
+        symbol = self.module.bindings.get(name)
+        if symbol is not None and symbol.kind == "object":
+            # Project-level state only; mutating an external library's
+            # attribute is not this repository's reproducibility contract.
+            return "global"
+        return None
+
+
+@register_analysis
+class RaceDetectorRule(AnalysisRule):
+    """Shared mutable state must not be written from pool worker code.
+
+    Functions reachable from a ``deterministic_map``/``chunked_map``/
+    ``chunked_array_map``/``run_tasks`` worker callable run concurrently;
+    a write to a module global or a closure-captured object from there is
+    a data race unless serialised through a ``threading.Lock``.  Races
+    break the byte-identical-artifacts contract silently — results vary
+    with thread timing, not with ``(arch, scheme, seed)``.
+    """
+
+    id = "ANB101"
+    name = "parallel-shared-state"
+    severity = "error"
+
+    def run(self, ctx: AnalysisContext) -> Iterator[AnalysisFinding]:
+        for qualname in sorted(ctx.worker_set):
+            func = ctx.project.functions[qualname]
+            if func.name.endswith("_locked"):
+                continue
+            yield from self._check_function(ctx, func)
+
+    # ------------------------------------------------------------ one scope
+
+    def _check_function(
+        self, ctx: AnalysisContext, func: FunctionInfo
+    ) -> Iterator[AnalysisFinding]:
+        scope = _ScopeInfo(ctx, func)
+        sitemap = {
+            id(site.node): site for site in ctx.graph.sites_in(func.qualname)
+        }
+
+        def visit(stmts: list[ast.stmt], guarded: bool) -> Iterator[AnalysisFinding]:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested scopes are their own worker-set entries
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    stmt_guarded = guarded or any(
+                        _is_lock_expr(ctx, func.module, item.context_expr)
+                        for item in stmt.items
+                    )
+                    yield from visit(stmt.body, stmt_guarded)
+                    continue
+                if not guarded:
+                    yield from self._check_stmt(ctx, func, scope, sitemap, stmt)
+                for body in sub_blocks(stmt):
+                    yield from visit(body, guarded)
+
+        yield from visit(func.body_stmts(), False)
+
+    def _check_stmt(
+        self,
+        ctx: AnalysisContext,
+        func: FunctionInfo,
+        scope: _ScopeInfo,
+        sitemap: dict,
+        stmt: ast.stmt,
+    ) -> Iterator[AnalysisFinding]:
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                yield from self._check_target(ctx, func, scope, stmt, target)
+        for call in own_statement_calls(stmt):
+            if not isinstance(call.func, ast.Attribute):
+                continue
+            if call.func.attr not in MUTATING_METHODS:
+                continue
+            base = _base_name(call.func.value)
+            if base is None:
+                continue
+            kind = scope.classify(base)
+            if kind is None:
+                continue
+            if self._callee_internally_locked(ctx, sitemap.get(id(call))):
+                continue
+            yield ctx.finding(
+                self,
+                func,
+                call,
+                f"{kind} state {base!r} mutated via .{call.func.attr}() in "
+                "pool worker code without a lock guard; workers must not "
+                "share mutable state (or must serialise through a "
+                "threading.Lock)",
+            )
+
+    @staticmethod
+    def _callee_internally_locked(ctx: AnalysisContext, site) -> bool:
+        """A resolved method whose whole body runs under ``with <lock>:``
+        (``Journal.append``-style) is synchronised on the callee side."""
+        if site is None or site.callee is None:
+            return False
+        callee = ctx.project.functions.get(site.callee)
+        if callee is None:
+            return False
+        stmts = callee.body_stmts()
+        if (
+            stmts
+            and isinstance(stmts[0], ast.Expr)
+            and isinstance(stmts[0].value, ast.Constant)
+            and isinstance(stmts[0].value.value, str)
+        ):
+            stmts = stmts[1:]  # docstring
+        if not stmts:
+            return False
+        return all(
+            isinstance(stmt, (ast.With, ast.AsyncWith))
+            and any(
+                _is_lock_expr(ctx, callee.module, item.context_expr)
+                for item in stmt.items
+            )
+            for stmt in stmts
+        )
+
+    def _check_target(
+        self,
+        ctx: AnalysisContext,
+        func: FunctionInfo,
+        scope: _ScopeInfo,
+        stmt: ast.stmt,
+        target: ast.expr,
+    ) -> Iterator[AnalysisFinding]:
+        if isinstance(target, ast.Name):
+            if target.id in scope.globals_declared:
+                yield ctx.finding(
+                    self,
+                    func,
+                    stmt,
+                    f"global {target.id!r} assigned in pool worker code; "
+                    "worker tasks must be order-independent and share no "
+                    "mutable state",
+                )
+            elif (
+                target.id in scope.nonlocals_declared
+                and scope.classify(target.id) == "captured"
+            ):
+                yield ctx.finding(
+                    self,
+                    func,
+                    stmt,
+                    f"nonlocal {target.id!r} assigned in pool worker code; "
+                    "closure state shared with the dispatcher is a data race",
+                )
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            base = _base_name(target)
+            if base is None:
+                return
+            kind = scope.classify(base)
+            if kind is not None:
+                access = (
+                    "subscript" if isinstance(target, ast.Subscript) else "attribute"
+                )
+                yield ctx.finding(
+                    self,
+                    func,
+                    stmt,
+                    f"{kind} state {base!r} written via {access} assignment "
+                    "in pool worker code without a lock guard",
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_target(ctx, func, scope, stmt, element)
+
+

@@ -1,0 +1,122 @@
+"""Finding renderers for the analyzer: text, JSON, and SARIF 2.1.0.
+
+Same shape as the linter's reporters so CLI glue can treat both tools
+uniformly; SARIF is the extra format CI uploads so code-scanning UIs can
+annotate the diff.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.analyze.core import (
+    ANALYSIS_REGISTRY,
+    AnalysisFinding,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(findings: list[AnalysisFinding], stats: dict) -> str:
+    lines = []
+    for finding in findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule} [{finding.severity}] "
+            f"{finding.symbol}: {finding.message}"
+        )
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"{len(findings)} {noun} "
+        f"({stats.get('modules', 0)} modules, "
+        f"{stats.get('functions', 0)} functions, "
+        f"{stats.get('dispatch_sites', 0)} dispatch sites, "
+        f"{stats.get('workers', 0)} worker-reachable)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: list[AnalysisFinding], stats: dict) -> str:
+    payload = {
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "severity": f.severity,
+                "symbol": f.symbol,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "stats": stats,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def render_sarif(findings: list[AnalysisFinding], stats: dict) -> str:
+    rule_ids = sorted({f.rule for f in findings} | set(ANALYSIS_REGISTRY))
+    rules = []
+    for rule_id in rule_ids:
+        cls = ANALYSIS_REGISTRY.get(rule_id)
+        rules.append(
+            {
+                "id": rule_id,
+                "name": cls.name if cls else rule_id,
+                "shortDescription": {"text": cls.doc() if cls else rule_id},
+            }
+        )
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": _SARIF_LEVELS.get(f.severity, "warning"),
+            "message": {"text": f"{f.symbol}: {f.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    },
+                    "logicalLocations": [
+                        {"fullyQualifiedName": f.symbol, "kind": "function"}
+                    ],
+                }
+            ],
+        }
+        for f in findings
+    ]
+    sarif = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "properties": {"stats": stats},
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True)
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

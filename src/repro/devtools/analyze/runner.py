@@ -1,0 +1,363 @@
+"""Analyze driver: context construction, pass execution, baseline, CLI.
+
+Exit codes follow the linter convention:
+
+* ``0`` — clean (no non-baselined findings),
+* ``1`` — findings reported (or baseline problems: stale/expired entries),
+* ``2`` — usage or environment error (missing path, broken config,
+  unparseable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.analyze.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.analyze.config import (
+    AnalyzeConfig,
+    ConfigError,
+    find_pyproject,
+    load_analyze_config,
+)
+from repro.devtools.analyze.core import (
+    AnalysisContext,
+    AnalysisFinding,
+    active_analyses,
+)
+from repro.devtools.analyze.project import ProjectError
+from repro.devtools.analyze.reporters import RENDERERS
+
+# The pass modules register themselves on import.
+from repro.devtools.analyze import races as _races  # noqa: F401
+from repro.devtools.analyze import seedflow as _seedflow  # noqa: F401
+from repro.devtools.analyze import telemetry as _telemetry  # noqa: F401
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+@dataclass
+class AnalyzeResult:
+    """Outcome of one whole-program analysis run."""
+
+    findings: list[AnalysisFinding] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    context: AnalysisContext | None = None
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    config: AnalyzeConfig | None = None,
+    display_root: Path | None = None,
+) -> AnalyzeResult:
+    """Run every active analysis pass over ``paths``.
+
+    Returns all findings that survive inline ``# anb: noqa[...]``
+    suppression, sorted by location; baseline handling is the CLI's job so
+    library callers always see the full picture.
+    """
+    if config is None:
+        anchor = Path(paths[0]).resolve() if paths else Path.cwd()
+        config = load_analyze_config(find_pyproject(anchor))
+    ctx = AnalysisContext.build(
+        [Path(p) for p in paths], config, display_root=display_root
+    )
+    path_to_module = {
+        ctx.display_path(name): name for name in ctx.project.modules
+    }
+    findings: list[AnalysisFinding] = []
+    for rule in active_analyses(config):
+        for finding in rule.run(ctx):
+            module_name = path_to_module.get(finding.path)
+            if module_name is not None and ctx.is_suppressed(
+                finding, module_name
+            ):
+                continue
+            findings.append(finding)
+    findings.sort()
+    stats = {
+        "modules": len(ctx.project.modules),
+        "functions": len(ctx.project.functions),
+        "dispatch_sites": len(ctx.dispatch_sites),
+        "workers": len(ctx.worker_set),
+        "artifact_writers": len(ctx.artifact_writers),
+        "parse_errors": len(ctx.project.parse_errors),
+    }
+    for path, exc in ctx.project.parse_errors:
+        findings.insert(
+            0,
+            AnalysisFinding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="ANB100",
+                severity="error",
+                symbol="<parse>",
+                message=f"syntax error: {exc.msg}",
+            ),
+        )
+    return AnalyzeResult(findings=findings, stats=stats, context=ctx)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.devtools.analyze",
+        description=(
+            "Whole-program static analysis for the Accel-NASBench "
+            "reproduction: cross-module call graph, race detection "
+            "(ANB101), seed-flow taint (ANB102), telemetry purity (ANB103)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to analyze (default: configured roots)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(RENDERERS),
+        default="text",
+        dest="fmt",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only these analysis ids (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="skip these analysis ids (repeatable)",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml to read [tool.repro.analyze] from",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline suppression file (default: from config)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover current findings and exit",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in end-to-end fixture check and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point shared by ``repro.cli analyze`` and ``python -m``."""
+    args = build_parser().parse_args(argv)
+    if args.self_test:
+        return self_test()
+    try:
+        if args.config is not None:
+            config = load_analyze_config(Path(args.config))
+        else:
+            anchor = (
+                Path(args.paths[0]).resolve() if args.paths else Path.cwd()
+            )
+            config = load_analyze_config(find_pyproject(anchor))
+        config = config.with_overrides(
+            select=tuple(r.upper() for r in args.select),
+            ignore=tuple(r.upper() for r in args.ignore),
+        )
+        if args.no_baseline:
+            config = config.with_overrides(baseline=None)
+        elif args.baseline is not None:
+            config = config.with_overrides(baseline=args.baseline)
+        paths = args.paths or list(config.roots)
+        result = analyze_paths(paths, config)
+    except (ConfigError, ProjectError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    baseline_path = (
+        Path(config.baseline) if config.baseline is not None else None
+    )
+    if args.update_baseline:
+        if baseline_path is None:
+            print("error: no baseline file configured", file=sys.stderr)
+            return EXIT_ERROR
+        try:
+            previous = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        entries = write_baseline(baseline_path, result.findings, previous)
+        print(f"wrote {baseline_path} ({len(entries)} entries)")
+        return EXIT_CLEAN
+
+    findings = result.findings
+    extra_lines: list[str] = []
+    if baseline_path is not None:
+        try:
+            entries = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        audited = apply_baseline(findings, entries)
+        findings = list(audited.findings)
+        result.stats["baselined"] = len(audited.suppressed)
+        for entry in audited.expired:
+            extra_lines.append(
+                f"baseline entry expired {entry.expires}: {entry.rule} "
+                f"{entry.path} {entry.symbol} — fix it or re-triage"
+            )
+        for entry in audited.stale:
+            extra_lines.append(
+                f"stale baseline entry (no matching finding): {entry.rule} "
+                f"{entry.path} {entry.symbol} — remove it via "
+                "--update-baseline"
+            )
+    print(RENDERERS[args.fmt](findings, result.stats))
+    for line in extra_lines:
+        print(line, file=sys.stderr)
+    if findings or extra_lines:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+# ---------------------------------------------------------------------------
+# Self-test: end-to-end fixture sweep for CI smoke checks
+# ---------------------------------------------------------------------------
+
+_SELF_TEST_FILES = {
+    "repro/__init__.py": "",
+    "repro/core/__init__.py": "",
+    "repro/core/parallel.py": (
+        "def deterministic_map(fn, items, n_jobs=None):\n"
+        "    return [fn(item) for item in items]\n"
+    ),
+    "repro/core/reliability.py": (
+        "def write_artifact(path, payload):\n"
+        "    return path\n"
+    ),
+    "repro/obs/__init__.py": (
+        "def telemetry_active():\n"
+        "    return False\n"
+        "\n"
+        "def metrics():\n"
+        "    return None\n"
+        "\n"
+        "def span(name):\n"
+        "    return None\n"
+    ),
+    "repro/pipeline.py": (
+        "import random\n"
+        "from repro import obs\n"
+        "from repro.core.parallel import deterministic_map\n"
+        "from repro.core.reliability import write_artifact\n"
+        "\n"
+        "RESULTS = {}\n"
+        "\n"
+        "def bad_worker(item):\n"
+        "    RESULTS[item] = item * 2\n"
+        "    obs.metrics()\n"
+        "    return item\n"
+        "\n"
+        "def bad_run(seed):\n"
+        "    rows = deterministic_map(bad_worker, [1, 2, 3])\n"
+        "    rng = random.Random()\n"
+        "    write_artifact('out.json', {'rows': rows, 'r': rng.random()})\n"
+        "\n"
+        "def good_worker(item):\n"
+        "    local = {}\n"
+        "    local[item] = item\n"
+        "    if obs.telemetry_active():\n"
+        "        obs.metrics()\n"
+        "    return item\n"
+        "\n"
+        "def good_run(seed):\n"
+        "    rows = deterministic_map(good_worker, [1, 2, 3])\n"
+        "    rng = random.Random(seed)\n"
+        "    write_artifact('out.json', {'rows': rows, 'r': rng.random()})\n"
+    ),
+}
+
+_SELF_TEST_EXPECTED = {
+    ("ANB101", "repro.pipeline.bad_worker"),
+    ("ANB102", "repro.pipeline.bad_run"),
+    ("ANB103", "repro.pipeline.bad_worker"),
+}
+
+
+def self_test() -> int:
+    """Analyze a known-bad/known-good fixture and verify the verdicts.
+
+    Exercises the whole stack — loader, call graph, worker-set discovery,
+    all three passes — without touching the real source tree, so CI can
+    smoke-check the analyzer itself in isolation.
+    """
+    import shutil
+    import tempfile
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-analyze-selftest-"))
+    try:
+        for rel, content in _SELF_TEST_FILES.items():
+            target = tmp / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content, encoding="utf-8")
+        config = AnalyzeConfig(baseline=None)
+        result = analyze_paths([tmp / "repro"], config, display_root=tmp)
+        got = {(f.rule, f.symbol) for f in result.findings}
+        missing = _SELF_TEST_EXPECTED - got
+        unexpected = {
+            pair for pair in got - _SELF_TEST_EXPECTED
+            if "good_" in pair[1]
+        }
+        if missing or unexpected:
+            for rule, symbol in sorted(missing):
+                print(f"self-test: MISSING {rule} in {symbol}", file=sys.stderr)
+            for rule, symbol in sorted(unexpected):
+                print(
+                    f"self-test: FALSE POSITIVE {rule} in {symbol}",
+                    file=sys.stderr,
+                )
+            return EXIT_FINDINGS
+        print(
+            f"self-test ok: {len(_SELF_TEST_EXPECTED)} expected findings "
+            "detected, no false positives on clean twins"
+        )
+        return EXIT_CLEAN
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)

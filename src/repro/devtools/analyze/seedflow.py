@@ -1,0 +1,187 @@
+"""ANB102 — seed-flow taint: RNGs on artifact paths must be seed-derived.
+
+Every artifact this project writes is keyed by ``(arch, scheme, seed)``;
+the bytes are only reproducible if every random stream feeding them is
+derived from an explicit seed.  This pass finds RNG constructions —
+``random.Random``, ``np.random.default_rng``, ``RandomState``, bit
+generators — inside functions from which an artifact-producing call is
+reachable (per the call graph), and checks that the seed argument is
+*derived from seed material*:
+
+- a literal constant (``default_rng(0)``),
+- a parameter whose name matches the configured seed globs
+  (``seed``, ``*_seed``, ``rng`` ...), traced through assignments, calls
+  and arithmetic by the taint engine,
+- a seed-ish attribute load (``self.seed``, ``spec.base_seed``),
+- a module-level constant, or
+- a hash derivation (``stable_hash``, ``blake2b(...).digest``,
+  ``int.from_bytes``, ``crc32`` — the configured hash markers).
+
+An RNG constructed with no seed at all, or seeded from something that
+never touches seed material (wall-clock time, an unrelated local), is a
+finding: its stream varies run to run and so do the artifact bytes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.analyze.core import (
+    AnalysisContext,
+    AnalysisFinding,
+    AnalysisRule,
+    register_analysis,
+)
+from repro.devtools.analyze.dataflow import TaintPolicy, run_taint
+from repro.devtools.analyze.project import (
+    FunctionInfo,
+    _is_constant_expr,
+    dotted_name,
+)
+
+# Leaf names that construct an RNG.  ``default_rng`` is unambiguous; the
+# rest must sit on a dotted path mentioning ``random`` (so a project class
+# that happens to be called ``Random`` is not confused for stdlib's).
+_RNG_LEAVES_QUALIFIED = frozenset(
+    {"Random", "RandomState", "SeedSequence", "PCG64", "MT19937", "Philox", "SFC64"}
+)
+_RNG_LEAVES_ANY = frozenset({"default_rng"})
+
+_ACCEPT_LABELS = frozenset({"hashseed", "seedattr", "const"})
+
+
+def _rng_target(ctx: AnalysisContext, site) -> str | None:
+    """Dotted RNG-constructor name for a call site, or None."""
+    candidates = []
+    target = ctx._site_target(site)
+    if target is not None:
+        candidates.append(target)
+    dotted = dotted_name(site.node.func)
+    if dotted is not None:
+        candidates.append(dotted)
+    for name in candidates:
+        head, _, leaf = name.rpartition(".")
+        if leaf in _RNG_LEAVES_ANY:
+            return name
+        # The qualifying ``random`` must be in the *path*, not the leaf —
+        # otherwise any project class named ``Random`` would match itself.
+        if leaf in _RNG_LEAVES_QUALIFIED and "random" in head.lower():
+            return name
+    return None
+
+
+def _seed_argument(call: ast.Call) -> ast.expr | None:
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "seed":
+            return kw.value
+    return None
+
+
+def _build_policy(ctx: AnalysisContext, func: FunctionInfo) -> TaintPolicy:
+    module = ctx.project.modules[func.module]
+
+    def call_labels(call: ast.Call, args):
+        dotted = dotted_name(call.func)
+        if dotted is not None and ctx.is_hash_deriver(dotted):
+            return frozenset({"hashseed"})
+        return frozenset()
+
+    def attribute_labels(chain: str, base):
+        leaf = chain.rpartition(".")[2]
+        if ctx.is_seed_name(leaf) or leaf == "seed":
+            return base | {"seedattr"}
+        return base
+
+    def name_labels(name: str):
+        if name in module.constants:
+            return frozenset({"const"})
+        symbol = module.bindings.get(name)
+        if symbol is not None and symbol.kind == "object":
+            # Constants imported from another project module count too.
+            canonical = ctx.project.canonical(symbol.target)
+            owner, _, leaf = canonical.rpartition(".")
+            owner_module = ctx.project.modules.get(owner)
+            if owner_module is not None and leaf in owner_module.constants:
+                return frozenset({"const"})
+        return frozenset()
+
+    return TaintPolicy(
+        param_labels={
+            name: frozenset({f"param:{name}"}) for name in func.param_names()
+        },
+        call_labels=call_labels,
+        attribute_labels=attribute_labels,
+        name_labels=name_labels,
+    )
+
+
+def _is_seed_derived(ctx: AnalysisContext, labels) -> bool:
+    if labels & _ACCEPT_LABELS:
+        return True
+    for label in labels:
+        if label.startswith("param:") and ctx.is_seed_name(label[6:]):
+            return True
+    return False
+
+
+@register_analysis
+class SeedFlowRule(AnalysisRule):
+    """RNGs on artifact-producing paths must derive from explicit seeds.
+
+    A ``Random``/``default_rng`` construction inside a function that can
+    reach ``write_artifact``/``save`` must take its seed from a seed
+    parameter, a seed attribute, a module constant, or a hash derivation —
+    otherwise the produced artifact bytes depend on interpreter state
+    instead of ``(arch, scheme, seed)``.
+    """
+
+    id = "ANB102"
+    name = "seed-flow"
+    severity = "error"
+
+    def run(self, ctx: AnalysisContext) -> Iterator[AnalysisFinding]:
+        for qualname in sorted(ctx.reaches_artifacts):
+            func = ctx.project.functions.get(qualname)
+            if func is None:  # module-level pseudo scopes
+                continue
+            yield from self._check_function(ctx, func)
+
+    def _check_function(
+        self, ctx: AnalysisContext, func: FunctionInfo
+    ) -> Iterator[AnalysisFinding]:
+        rng_sites = [
+            (site, _rng_target(ctx, site))
+            for site in ctx.graph.sites_in(func.qualname)
+        ]
+        rng_sites = [(s, t) for s, t in rng_sites if t is not None]
+        if not rng_sites:
+            return
+        taint = run_taint(func, _build_policy(ctx, func))
+        for site, target in rng_sites:
+            seed = _seed_argument(site.node)
+            if seed is None:
+                yield ctx.finding(
+                    self,
+                    func,
+                    site.node,
+                    f"unseeded RNG {target}() constructed on an "
+                    "artifact-producing path; pass an explicit seed derived "
+                    "from the (arch, scheme, seed) key",
+                )
+                continue
+            if _is_constant_expr(seed):
+                continue
+            if _is_seed_derived(ctx, taint.labels_of(seed)):
+                continue
+            yield ctx.finding(
+                self,
+                func,
+                site.node,
+                f"RNG {target}() on an artifact-producing path is seeded "
+                "from a value not derived from a seed parameter, seed "
+                "attribute, constant, or hash derivation; artifact bytes "
+                "will not be reproducible from (arch, scheme, seed)",
+            )

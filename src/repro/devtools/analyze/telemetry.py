@@ -1,0 +1,276 @@
+"""ANB103 — telemetry purity: observability must not shape results.
+
+Two sub-checks, both whole-program:
+
+**Flow purity** (everywhere): no value returned by a non-exempt
+``repro.obs`` call may flow into an artifact-producing call's arguments
+or into the return value of a ``query*`` method.  Telemetry is a side
+channel; if a metrics snapshot or logger object reaches artifact bytes,
+toggling telemetry changes results.
+
+**Hot-path gating** (worker set + the dispatch points themselves): every
+non-exempt ``repro.obs`` call on a hot path must be guarded by a
+``telemetry_active()`` check.  A guard is recognised when any of:
+
+- the call sits lexically under ``if <expr-with-gate-taint>:`` — which
+  covers both ``if obs.telemetry_active():`` and the
+  ``active = obs.telemetry_active()`` / ``if active:`` rebinding style;
+- an early-exit ``if not telemetry_active(): return`` precedes it;
+- the enclosing function was *defined* inside a gated block (the
+  wrap-the-plain-worker pattern in ``run_tasks``); or
+- every resolved call site of the enclosing function is itself gated,
+  computed as a fixpoint so gated helpers calling helpers stay clean.
+
+Exempt obs API (``span``, ``timer``, ``telemetry_active``, ``monotonic``,
+clock setters) follows the null-object/always-on design: calling it when
+telemetry is off is free and returns inert values, so gating it would be
+noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.devtools.analyze.core import (
+    AnalysisContext,
+    AnalysisFinding,
+    AnalysisRule,
+    own_statement_calls,
+    register_analysis,
+    sub_blocks,
+)
+from repro.devtools.analyze.dataflow import TaintPolicy, TaintResult, run_taint
+from repro.devtools.analyze.project import FunctionInfo, dotted_name
+
+_EXIT_STMTS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+@dataclass
+class _FunctionFacts:
+    """Per-function results of the shared taint + gating walk."""
+
+    func: FunctionInfo
+    taint: TaintResult
+    # Ungated non-exempt obs calls found in this function's scope.
+    ungated_obs: list[tuple[ast.Call, str]] = field(default_factory=list)
+
+
+def _gate_policy(ctx: AnalysisContext, func: FunctionInfo, sitemap) -> TaintPolicy:
+    def call_labels(call: ast.Call, args):
+        labels: set[str] = set()
+        site = sitemap.get(id(call))
+        target = None
+        if site is not None:
+            target = ctx._site_target(site)
+        dotted = dotted_name(call.func)
+        leaf_source = target or dotted
+        if ctx.is_gate_call_name(leaf_source):
+            labels.add("gate")
+        obs_target = None
+        if site is not None:
+            obs_target = ctx.obs_call_target(site, func.module)
+        if obs_target is not None and not ctx.obs_exempt(obs_target):
+            labels.add("obs")
+        return frozenset(labels)
+
+    return TaintPolicy(call_labels=call_labels)
+
+
+@register_analysis
+class TelemetryPurityRule(AnalysisRule):
+    """Telemetry values must not reach artifacts; hot-path obs must be gated.
+
+    Observability is a pure side channel: its outputs never feed artifact
+    bytes or query results, and on pool-worker hot paths every non-exempt
+    ``repro.obs`` call hides behind ``telemetry_active()`` so the off
+    configuration does zero extra work.
+    """
+
+    id = "ANB103"
+    name = "telemetry-purity"
+    severity = "error"
+
+    def run(self, ctx: AnalysisContext) -> Iterator[AnalysisFinding]:
+        facts: dict[str, _FunctionFacts] = {}
+        site_gated: dict[int, bool] = {}
+        gate_defined: set[str] = set()
+
+        for qualname, func in ctx.project.functions.items():
+            sitemap = {
+                id(site.node): site for site in ctx.graph.sites_in(qualname)
+            }
+            taint = run_taint(func, _gate_policy(ctx, func, sitemap))
+            fact = _FunctionFacts(func=func, taint=taint)
+            self._gating_walk(
+                ctx, fact, sitemap, site_gated, gate_defined
+            )
+            facts[qualname] = fact
+
+        cleared = self._gate_fixpoint(ctx, site_gated, gate_defined)
+        hot = self._hot_set(ctx)
+
+        findings: list[AnalysisFinding] = []
+        for qualname in sorted(facts):
+            fact = facts[qualname]
+            in_obs_impl = any(
+                fact.func.module == mod or fact.func.module.startswith(mod + ".")
+                for mod in ctx.config.obs_modules
+            )
+            if qualname in hot and qualname not in cleared and not in_obs_impl:
+                for call, target in fact.ungated_obs:
+                    findings.append(
+                        ctx.finding(
+                            self,
+                            fact.func,
+                            call,
+                            f"hot-path telemetry call {target} is not "
+                            "guarded by telemetry_active(); pool worker "
+                            "code must skip observability work when "
+                            "telemetry is off",
+                        )
+                    )
+            findings.extend(self._flow_findings(ctx, fact))
+        yield from findings
+
+    # ----------------------------------------------------------- hot paths
+
+    def _hot_set(self, ctx: AnalysisContext) -> set[str]:
+        hot = set(ctx.worker_set)
+        for point in ctx.config.dispatch_points:
+            canonical = ctx.project.canonical(point)
+            if canonical in ctx.project.functions:
+                hot.add(canonical)
+        return hot
+
+    def _gating_walk(
+        self,
+        ctx: AnalysisContext,
+        fact: _FunctionFacts,
+        sitemap,
+        site_gated: dict[int, bool],
+        gate_defined: set[str],
+    ) -> None:
+        """Record per-call gating flags and gated nested definitions."""
+        taint = fact.taint
+        func = fact.func
+
+        def record(call: ast.Call, gated: bool) -> None:
+            site_gated[id(call)] = gated
+            if gated:
+                return
+            site = sitemap.get(id(call))
+            if site is None:
+                return
+            target = ctx.obs_call_target(site, func.module)
+            if target is not None and not ctx.obs_exempt(target):
+                fact.ungated_obs.append((call, target))
+
+        def note_defs(expr: ast.expr, gated: bool) -> None:
+            if not gated:
+                return
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Lambda):
+                    qual = ctx.project.by_node.get(id(node))
+                    if qual is not None:
+                        gate_defined.add(qual)
+
+        def walk(stmts: list[ast.stmt], gated: bool) -> None:
+            block_gated = gated
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if block_gated:
+                        qual = ctx.project.by_node.get(id(stmt))
+                        if qual is not None:
+                            gate_defined.add(qual)
+                    continue
+                for call in own_statement_calls(stmt):
+                    record(call, block_gated)
+                for field_name, value in ast.iter_fields(stmt):
+                    if isinstance(value, ast.expr):
+                        note_defs(value, block_gated)
+                if isinstance(stmt, ast.If):
+                    test_gated = "gate" in taint.labels_of(stmt.test)
+                    walk(stmt.body, block_gated or test_gated)
+                    walk(stmt.orelse, block_gated)
+                    # ``if not telemetry_active(): return`` gates the rest
+                    # of the enclosing block.
+                    if (
+                        test_gated
+                        and stmt.body
+                        and isinstance(stmt.body[-1], _EXIT_STMTS)
+                        and not stmt.orelse
+                    ):
+                        block_gated = True
+                    continue
+                for body in sub_blocks(stmt):
+                    walk(body, block_gated)
+
+        walk(func.body_stmts(), False)
+
+    def _gate_fixpoint(
+        self,
+        ctx: AnalysisContext,
+        site_gated: dict[int, bool],
+        gate_defined: set[str],
+    ) -> set[str]:
+        """Functions whose every execution is telemetry-gated."""
+        incoming: dict[str, list[tuple[str, ast.Call]]] = {}
+        for site in ctx.graph.iter_sites():
+            if site.callee is not None:
+                incoming.setdefault(site.callee, []).append(
+                    (site.caller, site.node)
+                )
+        cleared = set(gate_defined)
+        changed = True
+        while changed:
+            changed = False
+            for qualname in ctx.project.functions:
+                if qualname in cleared:
+                    continue
+                sites = incoming.get(qualname)
+                if not sites:
+                    continue
+                if all(
+                    site_gated.get(id(node), False) or caller in cleared
+                    for caller, node in sites
+                ):
+                    cleared.add(qualname)
+                    changed = True
+        return cleared
+
+    # --------------------------------------------------------- flow purity
+
+    def _flow_findings(
+        self, ctx: AnalysisContext, fact: _FunctionFacts
+    ) -> Iterator[AnalysisFinding]:
+        taint = fact.taint
+        func = fact.func
+        for site in ctx.artifact_sites_in(func.qualname):
+            args = [*site.node.args, *(kw.value for kw in site.node.keywords)]
+            for arg in args:
+                if "obs" in taint.labels_of(arg):
+                    yield ctx.finding(
+                        self,
+                        func,
+                        arg,
+                        "telemetry value flows into an artifact-producing "
+                        "call; observability outputs must never reach "
+                        "artifact bytes",
+                    )
+                    break
+        if func.name.startswith("query"):
+            for node in ast.walk(func.node):
+                if (
+                    isinstance(node, ast.Return)
+                    and node.value is not None
+                    and "obs" in taint.labels_of(node.value)
+                ):
+                    yield ctx.finding(
+                        self,
+                        func,
+                        node,
+                        "telemetry value flows into a query result; "
+                        "queries must answer from benchmark data only",
+                    )

@@ -50,6 +50,7 @@ _DEFAULT_TOLERANCE_HELPERS = (
 # diagnostics through repro.obs structured logging instead.
 _DEFAULT_PRINT_ALLOWED = (
     "repro.cli",
+    "repro.devtools.analyze.runner",
     "repro.devtools.lint.runner",
     "repro.obs.validate",
 )
@@ -79,11 +80,11 @@ class LintConfig:
 
 
 class ConfigError(ValueError):
-    """Raised when the [tool.repro.lint] table cannot be interpreted."""
+    """Raised when a [tool.repro.*] table cannot be interpreted."""
 
 
-def _fallback_parse(text: str) -> dict:
-    """Parse just the ``[tool.repro.lint]`` table: strings and string lists."""
+def _fallback_parse(text: str, section: str) -> dict:
+    """Parse one flat ``[section]`` table: strings and string lists only."""
     table: dict = {}
     in_section = False
     for raw in text.splitlines():
@@ -91,7 +92,7 @@ def _fallback_parse(text: str) -> dict:
         if not line or line.startswith("#"):
             continue
         if line.startswith("["):
-            in_section = line == "[tool.repro.lint]"
+            in_section = line == f"[{section}]"
             continue
         if not in_section or "=" not in line:
             continue
@@ -105,7 +106,33 @@ def _fallback_parse(text: str) -> dict:
         else:
             # Keep the raw token so unknown keys still surface as errors.
             table[key] = value
-    return {"tool": {"repro": {"lint": table}}}
+    return table
+
+
+def read_pyproject_section(pyproject: Path, section: str) -> dict:
+    """Read one dotted ``[section]`` table from a pyproject file.
+
+    Shared by the linter and the whole-program analyzer so both tools parse
+    configuration identically with and without stdlib :mod:`tomllib`.
+    Returns ``{}`` when the file or section is absent.
+    """
+    if pyproject is None or not pyproject.is_file():
+        return {}
+    text = pyproject.read_text(encoding="utf-8")
+    if tomllib is not None:
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"{pyproject}: invalid TOML: {exc}") from exc
+        table: object = data
+        for part in section.split("."):
+            if not isinstance(table, dict):
+                break
+            table = table.get(part, {})
+        if not isinstance(table, dict):
+            raise ConfigError(f"[{section}] must be a table")
+        return table
+    return _fallback_parse(text, section)
 
 
 def _as_str_tuple(key: str, value: object) -> tuple[str, ...]:
@@ -132,17 +159,7 @@ def load_config(pyproject: Path | None) -> LintConfig:
     """Build a :class:`LintConfig` from a pyproject file (or defaults)."""
     if pyproject is None or not pyproject.is_file():
         return LintConfig()
-    text = pyproject.read_text(encoding="utf-8")
-    if tomllib is not None:
-        try:
-            data = tomllib.loads(text)
-        except tomllib.TOMLDecodeError as exc:
-            raise ConfigError(f"{pyproject}: invalid TOML: {exc}") from exc
-    else:
-        data = _fallback_parse(text)
-    section = data.get("tool", {}).get("repro", {}).get("lint", {})
-    if not isinstance(section, dict):
-        raise ConfigError("[tool.repro.lint] must be a table")
+    section = read_pyproject_section(pyproject, "tool.repro.lint")
 
     config = LintConfig()
     known = {

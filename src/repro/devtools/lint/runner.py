@@ -1,5 +1,19 @@
 """Lint driver: file discovery, module parsing, rule execution, CLI.
 
+Rule execution fans out over ``core/parallel.deterministic_map`` when
+``--jobs`` asks for it — module contexts are built serially (they share
+the cross-module :class:`ProjectContext`), then each module's rules run
+as one independent task and the merged findings are sorted by path, so
+the output is byte-identical for every worker count.
+
+A content cache (``--cache``, on by default) keyed by mtime+size with a
+sha256 fallback skips rule execution for unchanged files on warm runs.
+Only non-``__init__.py`` modules are cached: package inits host the
+cross-module re-export checks (ANB005), whose findings can change when
+*other* files change, so they always re-run.  The cache key also folds in
+the lint package's own sources and the effective config — editing a rule
+or pyproject invalidates everything.
+
 Exit codes follow the usual linter convention:
 
 * ``0`` — clean (no findings),
@@ -12,6 +26,8 @@ from __future__ import annotations
 import argparse
 import ast
 import fnmatch
+import hashlib
+import json
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -32,6 +48,8 @@ from repro.devtools.lint.core import (
 )
 from repro.devtools.lint.reporters import RENDERERS
 
+from repro.core.parallel import deterministic_map
+
 # Files that fail to parse get this pseudo-rule id (always an error, not
 # suppressible: a file the linter cannot read is a file it cannot vouch for).
 PARSE_ERROR_RULE = "ANB000"
@@ -47,10 +65,129 @@ class LintResult:
 
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
+    files_cached: int = 0
 
     @property
     def exit_code(self) -> int:
         return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+
+
+# ---------------------------------------------------------------------------
+# Content cache
+# ---------------------------------------------------------------------------
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+
+def _tool_fingerprint(config: LintConfig) -> str:
+    """Hash of the lint package sources + effective config.
+
+    Any change to a rule, the runner, or the configuration invalidates the
+    whole cache — stale verdicts from an older linter must never survive.
+    """
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).parent
+    for source in sorted(package_dir.glob("*.py")):
+        digest.update(source.name.encode())
+        digest.update(source.read_bytes())
+    digest.update(repr(config).encode())
+    return digest.hexdigest()
+
+
+class LintCache:
+    """mtime+size fast path with a sha256 content fallback, JSON on disk."""
+
+    def __init__(self, path: Path, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.entries: dict[str, dict] = {}
+        self._dirty = False
+        if path.is_file():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError):
+                return
+            if (
+                isinstance(data, dict)
+                and data.get("version") == CACHE_VERSION
+                and data.get("fingerprint") == fingerprint
+                and isinstance(data.get("entries"), dict)
+            ):
+                self.entries = data["entries"]
+
+    @staticmethod
+    def _stat_key(path: Path) -> tuple[int, int] | None:
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def lookup(self, path: Path, source: str) -> list[dict] | None:
+        """Cached finding dicts for an unchanged file, else None."""
+        entry = self.entries.get(str(path))
+        if entry is None:
+            return None
+        stat_key = self._stat_key(path)
+        if stat_key is not None and list(stat_key) == entry.get("stat"):
+            return entry.get("findings")
+        sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        if sha == entry.get("sha"):
+            # Content unchanged but mtime drifted (checkout, touch):
+            # refresh the fast-path key.
+            entry["stat"] = list(stat_key) if stat_key else None
+            self._dirty = True
+            return entry.get("findings")
+        return None
+
+    def store(self, path: Path, source: str, findings: list[dict]) -> None:
+        stat_key = self._stat_key(path)
+        self.entries[str(path)] = {
+            "stat": list(stat_key) if stat_key else None,
+            "sha": hashlib.sha256(source.encode("utf-8")).hexdigest(),
+            "findings": findings,
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "entries": self.entries,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:  # anb: noqa[ANB006]
+            pass  # a read-only tree just runs uncached
+
+
+def _finding_to_dict(finding: Finding) -> dict:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "severity": finding.severity,
+        "message": finding.message,
+    }
+
+
+def _finding_from_dict(raw: dict, display_path: str) -> Finding:
+    # The display path is recomputed per run: it is cwd-relative, while the
+    # cache is keyed by absolute path and may be reused from elsewhere.
+    return Finding(
+        path=display_path,
+        line=raw["line"],
+        col=raw["col"],
+        rule=raw["rule"],
+        severity=raw["severity"],
+        message=raw["message"],
+    )
 
 
 def _excluded(path: Path, patterns: Sequence[str]) -> bool:
@@ -97,16 +234,30 @@ def _display_path(path: Path) -> str:
 def lint_paths(
     paths: Sequence[str | Path],
     config: LintConfig | None = None,
+    n_jobs: int | None = 1,
+    cache_path: str | Path | None = None,
 ) -> LintResult:
     """Lint files/directories and return all unsuppressed findings.
 
     When ``config`` is None, the nearest ``pyproject.toml`` above the first
     path supplies the ``[tool.repro.lint]`` configuration.
+
+    Args:
+        paths: Files or directories to lint.
+        n_jobs: Worker count for rule execution, forwarded to
+            ``deterministic_map`` (``None``/``-1`` = all CPUs; 1 = serial).
+            Findings are path-sorted, so output is identical for any value.
+        cache_path: Where to persist the content cache; ``None`` disables
+            caching entirely.
     """
     resolved = [Path(p) for p in paths]
     if config is None:
         anchor = resolved[0] if resolved else Path.cwd()
         config = load_config(find_pyproject(anchor.resolve()))
+
+    cache: LintCache | None = None
+    if cache_path is not None:
+        cache = LintCache(Path(cache_path), _tool_fingerprint(config))
 
     result = LintResult()
     project = ProjectContext()
@@ -143,12 +294,43 @@ def lint_paths(
         if context.module_name:
             project.modules[context.module_name] = context
 
-    rules = active_rules(config)
+    # Cache pass: only non-__init__ modules — package inits host the
+    # cross-module checks whose results depend on *other* files.
+    to_run: list[ModuleContext] = []
     for context in modules:
-        for rule in rules:
-            for finding in rule.check(context):
-                if not context.is_suppressed(finding.line, finding.rule):
-                    result.findings.append(finding)
+        cached = None
+        if cache is not None and context.path.name != "__init__.py":
+            cached = cache.lookup(context.path, context.source)
+        if cached is not None:
+            result.files_cached += 1
+            result.findings.extend(
+                _finding_from_dict(raw, context.display_path) for raw in cached
+            )
+        else:
+            to_run.append(context)
+
+    rules = active_rules(config)
+
+    def run_module(context: ModuleContext) -> list[Finding]:
+        found = [
+            finding
+            for rule in rules
+            for finding in rule.check(context)
+            if not context.is_suppressed(finding.line, finding.rule)
+        ]
+        return found
+
+    per_module = deterministic_map(run_module, to_run, n_jobs=n_jobs)
+    for context, found in zip(to_run, per_module):
+        result.findings.extend(found)
+        if cache is not None and context.path.name != "__init__.py":
+            cache.store(
+                context.path,
+                context.source,
+                [_finding_to_dict(f) for f in found],
+            )
+    if cache is not None:
+        cache.save()
     result.findings.sort()
     return result
 
@@ -194,6 +376,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PYPROJECT",
         help="explicit pyproject.toml to read [tool.repro.lint] from",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker threads for rule execution (-1 = all CPUs; default 1); "
+            "output is path-sorted and identical for any value"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        default=DEFAULT_CACHE_NAME,
+        metavar="PATH",
+        help=(
+            "content-cache file for warm re-runs "
+            f"(default: {DEFAULT_CACHE_NAME})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content cache for this run",
+    )
     return parser
 
 
@@ -210,7 +416,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             select=tuple(r.upper() for r in args.select),
             ignore=tuple(r.upper() for r in args.ignore),
         )
-        result = lint_paths(args.paths, config)
+        cache_path = None if args.no_cache else args.cache
+        result = lint_paths(
+            args.paths, config, n_jobs=args.jobs, cache_path=cache_path
+        )
     except (ConfigError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR

@@ -6,6 +6,7 @@ supported by all six devices and latency only by the FPGAs (section 3.3.2).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.hwsim.device import AcceleratorModel
@@ -33,6 +34,9 @@ DEVICE_METRICS: dict[str, tuple[str, ...]] = {
 }
 
 _INSTANCES: dict[str, AcceleratorModel] = {}
+# get_device is called from pool workers (measurement paths resolve their
+# device model per task); the memo write must not race a concurrent lookup.
+_INSTANCES_LOCK = threading.Lock()
 
 
 def list_devices() -> tuple[str, ...]:
@@ -48,9 +52,10 @@ def get_device(name: str) -> AcceleratorModel:
     """
     if name not in DEVICE_FACTORIES:
         raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICE_FACTORIES)}")
-    if name not in _INSTANCES:
-        _INSTANCES[name] = DEVICE_FACTORIES[name]()
-    return _INSTANCES[name]
+    with _INSTANCES_LOCK:
+        if name not in _INSTANCES:
+            _INSTANCES[name] = DEVICE_FACTORIES[name]()
+        return _INSTANCES[name]
 
 
 def supports_metric(device: str, metric: str) -> bool:

@@ -1,0 +1,80 @@
+"""Shared fixture scaffolding for the whole-program analyzer tests.
+
+The analyzer's default configuration names this repository's own
+invariant carriers (``repro.core.parallel.deterministic_map``,
+``repro.core.reliability.write_artifact``, ``repro.obs``), so every
+fixture tree recreates a miniature ``repro`` package whose module names
+match those defaults verbatim — ``module_name_for`` derives names from
+the ``__init__.py`` chain, not from the filesystem root.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools.analyze import AnalyzeConfig, analyze_paths
+
+# Minimal stand-ins for the dispatch, artifact, and telemetry surfaces.
+SCAFFOLD = {
+    "repro/__init__.py": "",
+    "repro/core/__init__.py": "",
+    "repro/core/parallel.py": """\
+        def deterministic_map(fn, items, n_jobs=None):
+            return [fn(item) for item in items]
+
+
+        def chunked_map(fn, items, n_jobs=None):
+            return [fn(item) for item in items]
+        """,
+    "repro/core/reliability.py": """\
+        def write_artifact(path, payload):
+            return path
+
+
+        def run_tasks(fn, tasks):
+            return [fn(task) for task in tasks]
+        """,
+    "repro/obs/__init__.py": """\
+        def telemetry_active():
+            return False
+
+
+        def metrics():
+            return {}
+
+
+        def get_logger(name):
+            return None
+
+
+        def span(name, **fields):
+            return None
+        """,
+}
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, content in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(content), encoding="utf-8")
+    return root
+
+
+def analyze_fixture(
+    tmp_path: Path,
+    files: dict[str, str],
+    config: AnalyzeConfig | None = None,
+    scaffold: bool = True,
+):
+    """Analyze ``files`` (plus the scaffold) and return the result."""
+    merged = {**SCAFFOLD, **files} if scaffold else dict(files)
+    write_tree(tmp_path, merged)
+    if config is None:
+        config = AnalyzeConfig(baseline=None)
+    return analyze_paths([tmp_path / "repro"], config, display_root=tmp_path)
+
+
+def findings_by_rule(result, rule: str):
+    return [f for f in result.findings if f.rule == rule]

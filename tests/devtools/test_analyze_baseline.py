@@ -1,0 +1,160 @@
+"""Baseline ledger round-trips: suppression, expiry, staleness, rewrite."""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro.devtools.analyze import (
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.analyze.core import AnalysisFinding
+
+TODAY = dt.date(2026, 8, 8)
+
+
+def finding(rule="ANB101", path="repro/a.py", symbol="repro.a.f", line=3):
+    return AnalysisFinding(
+        path=path,
+        line=line,
+        col=0,
+        rule=rule,
+        severity="error",
+        symbol=symbol,
+        message="fixture finding",
+    )
+
+
+class TestLoad:
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_round_trip_preserves_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        written = write_baseline(path, [finding(), finding(rule="ANB103")])
+        assert load_baseline(path) == written
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_entry_missing_keys_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "entries": [{"rule": "ANB101"}]})
+        )
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestApply:
+    def test_matching_entry_suppresses(self):
+        entries = [
+            BaselineEntry(rule="ANB101", path="repro/a.py", symbol="repro.a.f")
+        ]
+        result = apply_baseline([finding()], entries, today=TODAY)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.stale == []
+
+    def test_match_survives_line_drift(self):
+        entries = [
+            BaselineEntry(rule="ANB101", path="repro/a.py", symbol="repro.a.f")
+        ]
+        result = apply_baseline([finding(line=400)], entries, today=TODAY)
+        assert result.findings == []
+
+    def test_unmatched_finding_stays_live(self):
+        entries = [
+            BaselineEntry(rule="ANB101", path="repro/a.py", symbol="repro.a.f")
+        ]
+        result = apply_baseline(
+            [finding(symbol="repro.a.other")], entries, today=TODAY
+        )
+        assert len(result.findings) == 1
+        # The entry matched nothing: stale.
+        assert len(result.stale) == 1
+
+    def test_expired_entry_resurfaces_finding(self):
+        entries = [
+            BaselineEntry(
+                rule="ANB101",
+                path="repro/a.py",
+                symbol="repro.a.f",
+                expires="2026-01-01",
+            )
+        ]
+        result = apply_baseline([finding()], entries, today=TODAY)
+        assert len(result.findings) == 1
+        assert len(result.expired) == 1
+
+    def test_unexpired_entry_still_suppresses(self):
+        entries = [
+            BaselineEntry(
+                rule="ANB101",
+                path="repro/a.py",
+                symbol="repro.a.f",
+                expires="2027-01-01",
+            )
+        ]
+        result = apply_baseline([finding()], entries, today=TODAY)
+        assert result.findings == []
+        assert result.expired == []
+
+    def test_bad_expiry_date_raises(self):
+        entries = [
+            BaselineEntry(
+                rule="ANB101",
+                path="repro/a.py",
+                symbol="repro.a.f",
+                expires="not-a-date",
+            )
+        ]
+        with pytest.raises(BaselineError):
+            apply_baseline([finding()], entries, today=TODAY)
+
+
+class TestWrite:
+    def test_update_keeps_prior_reason_and_expiry(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        prior = [
+            BaselineEntry(
+                rule="ANB101",
+                path="repro/a.py",
+                symbol="repro.a.f",
+                reason="known flaky cache",
+                expires="2027-06-01",
+            )
+        ]
+        entries = write_baseline(path, [finding()], previous=prior)
+        assert entries[0].reason == "known flaky cache"
+        assert entries[0].expires == "2027-06-01"
+
+    def test_update_drops_fixed_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        prior = [
+            BaselineEntry(
+                rule="ANB103", path="repro/gone.py", symbol="repro.gone.f"
+            )
+        ]
+        entries = write_baseline(path, [finding()], previous=prior)
+        assert [e.rule for e in entries] == ["ANB101"]
+
+    def test_duplicate_findings_collapse_to_one_entry(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        entries = write_baseline(path, [finding(line=3), finding(line=9)])
+        assert len(entries) == 1

@@ -1,0 +1,171 @@
+"""CLI coverage for ``python -m repro.devtools.analyze`` and
+``repro.cli analyze``: exit codes, reporters, baseline workflow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.devtools.analyze.runner import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    main as analyze_main,
+)
+
+from tests.devtools.analyze_helpers import SCAFFOLD, write_tree
+
+BAD_PIPELINE = {
+    "repro/pipeline.py": """\
+        from repro import obs
+        from repro.core.parallel import deterministic_map
+
+        RESULTS = {}
+
+        def worker(item):
+            RESULTS[item] = item
+            return item
+
+        def run(items):
+            return deterministic_map(worker, items)
+        """,
+}
+
+CLEAN_PIPELINE = {
+    "repro/pipeline.py": """\
+        from repro.core.parallel import deterministic_map
+
+        def worker(item):
+            return item * 2
+
+        def run(items):
+            return deterministic_map(worker, items)
+        """,
+}
+
+
+@pytest.fixture
+def bad_tree(tmp_path, monkeypatch):
+    write_tree(tmp_path, {**SCAFFOLD, **BAD_PIPELINE})
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+@pytest.fixture
+def clean_tree(tmp_path, monkeypatch):
+    write_tree(tmp_path, {**SCAFFOLD, **CLEAN_PIPELINE})
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestRunnerCli:
+    def test_clean_tree_exits_zero(self, clean_tree, capsys):
+        assert analyze_main(["repro", "--no-baseline"]) == EXIT_CLEAN
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_location(self, bad_tree, capsys):
+        assert analyze_main(["repro", "--no-baseline"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "ANB101" in out
+        assert "repro/pipeline.py" in out
+        assert "repro.pipeline.worker" in out
+
+    def test_json_format_is_parseable(self, bad_tree, capsys):
+        analyze_main(["repro", "--no-baseline", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "ANB101"
+        assert payload["stats"]["modules"] >= 5
+
+    def test_sarif_format_is_valid(self, bad_tree, capsys):
+        analyze_main(["repro", "--no-baseline", "--format", "sarif"])
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["results"], "expected at least one SARIF result"
+        result = run["results"][0]
+        assert result["ruleId"] == "ANB101"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("pipeline.py")
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "ANB101" in rule_ids
+
+    def test_select_filters_families(self, bad_tree):
+        assert (
+            analyze_main(["repro", "--no-baseline", "--select", "anb102"])
+            == EXIT_CLEAN
+        )
+
+    def test_unknown_rule_id_is_usage_error(self, bad_tree, capsys):
+        assert (
+            analyze_main(["repro", "--no-baseline", "--select", "ANB999"])
+            == EXIT_ERROR
+        )
+        assert "unknown analysis id" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, bad_tree, capsys):
+        assert analyze_main(["nope", "--no-baseline"]) == EXIT_ERROR
+
+
+class TestBaselineWorkflow:
+    def test_update_then_clean_then_stale(self, bad_tree, capsys):
+        # 1. Park the known finding in the baseline.
+        assert analyze_main(["repro", "--update-baseline"]) == EXIT_CLEAN
+        baseline = json.loads(
+            (bad_tree / "analyze-baseline.json").read_text(encoding="utf-8")
+        )
+        assert len(baseline["entries"]) == 1
+        capsys.readouterr()
+
+        # 2. With the baseline in place the gate is green.
+        assert analyze_main(["repro"]) == EXIT_CLEAN
+
+        # 3. Fix the race: the entry is now stale and fails the run.
+        write_tree(bad_tree, CLEAN_PIPELINE)
+        assert analyze_main(["repro"]) == EXIT_FINDINGS
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_expired_entry_resurfaces(self, bad_tree, capsys):
+        analyze_main(["repro", "--update-baseline"])
+        path = bad_tree / "analyze-baseline.json"
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+        baseline["entries"][0]["expires"] = "2020-01-01"
+        path.write_text(json.dumps(baseline), encoding="utf-8")
+        capsys.readouterr()
+
+        assert analyze_main(["repro"]) == EXIT_FINDINGS
+        captured = capsys.readouterr()
+        assert "expired" in captured.err
+        assert "ANB101" in captured.out
+
+    def test_malformed_baseline_is_error(self, bad_tree, capsys):
+        (bad_tree / "analyze-baseline.json").write_text(
+            "{broken", encoding="utf-8"
+        )
+        assert analyze_main(["repro"]) == EXIT_ERROR
+
+
+class TestReproCliForwarding:
+    def test_analyze_subcommand_forwards(self, bad_tree, capsys):
+        assert cli_main(["analyze", "repro", "--no-baseline"]) == EXIT_FINDINGS
+        assert "ANB101" in capsys.readouterr().out
+
+    def test_analyze_subcommand_select_and_format(self, bad_tree, capsys):
+        code = cli_main(
+            [
+                "analyze",
+                "repro",
+                "--no-baseline",
+                "--select",
+                "ANB101",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {"ANB101"}
+
+    def test_analyze_over_real_tree_is_clean(self, capsys):
+        assert cli_main(["analyze"]) == EXIT_CLEAN

@@ -1,0 +1,179 @@
+"""Taint-engine coverage: propagation through assignments, calls,
+branches, loops, containers, and the policy hooks."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.analyze import TaintPolicy, reaching_parameters, run_taint
+from repro.devtools.analyze.project import FunctionInfo
+
+
+def make_func(source: str) -> FunctionInfo:
+    tree = ast.parse(source)
+    node = tree.body[0]
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return FunctionInfo(qualname=f"fix.{node.name}", module="fix", node=node)
+
+
+def first_call(func: FunctionInfo, name: str) -> ast.Call:
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Call):
+            target = node.func
+            if isinstance(target, ast.Name) and target.id == name:
+                return node
+            if isinstance(target, ast.Attribute) and target.attr == name:
+                return node
+    raise AssertionError(f"no call to {name}")
+
+
+class TestReachingParameters:
+    def test_direct_and_assigned_use(self):
+        func = make_func(
+            "def f(seed):\n"
+            "    s = seed\n"
+            "    sink(s)\n"
+        )
+        taint = reaching_parameters(func)
+        call = first_call(func, "sink")
+        assert "param:seed" in taint.labels_of(call.args[0])
+
+    def test_flows_through_arithmetic_and_calls(self):
+        func = make_func(
+            "def f(seed):\n"
+            "    derived = transform(seed * 7 + 1)\n"
+            "    sink(derived)\n"
+        )
+        taint = reaching_parameters(func)
+        call = first_call(func, "sink")
+        assert "param:seed" in taint.labels_of(call.args[0])
+
+    def test_rebinding_clears_labels(self):
+        func = make_func(
+            "def f(seed):\n"
+            "    value = seed\n"
+            "    value = 0\n"
+            "    sink(value)\n"
+        )
+        taint = reaching_parameters(func)
+        call = first_call(func, "sink")
+        assert taint.labels_of(call.args[0]) == frozenset()
+
+    def test_branches_join(self):
+        func = make_func(
+            "def f(seed, other, flag):\n"
+            "    if flag:\n"
+            "        value = seed\n"
+            "    else:\n"
+            "        value = other\n"
+            "    sink(value)\n"
+        )
+        taint = reaching_parameters(func)
+        labels = taint.labels_of(first_call(func, "sink").args[0])
+        assert {"param:seed", "param:other"} <= set(labels)
+
+    def test_loop_back_edge_reaches_use(self):
+        # ``carry`` is only tainted at the *end* of the body; the second
+        # pass makes that definition reach the top-of-body use.
+        func = make_func(
+            "def f(seed, items):\n"
+            "    carry = 0\n"
+            "    for item in items:\n"
+            "        sink(carry)\n"
+            "        carry = seed\n"
+            "    return carry\n"
+        )
+        taint = reaching_parameters(func)
+        labels = taint.labels_of(first_call(func, "sink").args[0])
+        assert "param:seed" in labels
+
+    def test_container_write_taints_base(self):
+        func = make_func(
+            "def f(seed):\n"
+            "    payload = {}\n"
+            "    payload['s'] = seed\n"
+            "    sink(payload)\n"
+        )
+        taint = reaching_parameters(func)
+        labels = taint.labels_of(first_call(func, "sink").args[0])
+        assert "param:seed" in labels
+
+    def test_return_labels_accumulate(self):
+        func = make_func(
+            "def f(seed, flag):\n"
+            "    if flag:\n"
+            "        return seed\n"
+            "    return 0\n"
+        )
+        taint = reaching_parameters(func)
+        assert "param:seed" in taint.return_labels
+
+    def test_comprehension_propagates_iter_labels(self):
+        func = make_func(
+            "def f(seed):\n"
+            "    values = [x + 1 for x in derive(seed)]\n"
+            "    sink(values)\n"
+        )
+        taint = reaching_parameters(func)
+        labels = taint.labels_of(first_call(func, "sink").args[0])
+        assert "param:seed" in labels
+
+
+class TestPolicyHooks:
+    def test_call_labels_inject_source(self):
+        func = make_func(
+            "def f():\n"
+            "    value = source()\n"
+            "    sink(value)\n"
+        )
+
+        def call_labels(call, args):
+            target = call.func
+            if isinstance(target, ast.Name) and target.id == "source":
+                return frozenset({"tainted"})
+            return frozenset()
+
+        taint = run_taint(func, TaintPolicy(call_labels=call_labels))
+        assert "tainted" in taint.labels_of(first_call(func, "sink").args[0])
+
+    def test_name_labels_mark_module_constants(self):
+        func = make_func(
+            "def f():\n"
+            "    sink(GLOBAL_SEED)\n"
+        )
+        policy = TaintPolicy(
+            name_labels=lambda name: (
+                frozenset({"const"}) if name == "GLOBAL_SEED" else frozenset()
+            )
+        )
+        taint = run_taint(func, policy)
+        assert "const" in taint.labels_of(first_call(func, "sink").args[0])
+
+    def test_attribute_labels_see_chain(self):
+        func = make_func(
+            "def f(spec):\n"
+            "    sink(spec.base_seed)\n"
+        )
+
+        def attribute_labels(chain, base):
+            if chain.endswith("base_seed"):
+                return base | {"seedattr"}
+            return base
+
+        taint = run_taint(func, TaintPolicy(attribute_labels=attribute_labels))
+        assert "seedattr" in taint.labels_of(first_call(func, "sink").args[0])
+
+    def test_stop_propagation_strips_labels(self):
+        func = make_func(
+            "def f(seed):\n"
+            "    n = length(seed)\n"
+            "    sink(n)\n"
+        )
+        policy = TaintPolicy(
+            param_labels={"seed": frozenset({"param:seed"})},
+            stop_propagation=lambda call: (
+                isinstance(call.func, ast.Name) and call.func.id == "length"
+            ),
+        )
+        taint = run_taint(func, policy)
+        assert taint.labels_of(first_call(func, "sink").args[0]) == frozenset()

@@ -1,0 +1,273 @@
+"""Project loader and call-graph coverage: symbol tables, re-export
+canonicalisation, import cycles, ``__all__``, and worker-set discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.analyze import AnalyzeConfig, Project, build_call_graph
+from repro.devtools.analyze.core import AnalysisContext
+
+from tests.devtools.analyze_helpers import SCAFFOLD, write_tree
+
+
+def load_project(tmp_path, files):
+    write_tree(tmp_path, files)
+    return Project.load([tmp_path / "repro"])
+
+
+class TestModuleGraph:
+    def test_loads_every_module_with_dotted_names(self, tmp_path):
+        project = load_project(tmp_path, SCAFFOLD)
+        assert set(project.modules) == {
+            "repro",
+            "repro.core",
+            "repro.core.parallel",
+            "repro.core.reliability",
+            "repro.obs",
+        }
+
+    def test_syntax_error_is_recorded_not_fatal(self, tmp_path):
+        files = {**SCAFFOLD, "repro/broken.py": "def broken(:\n"}
+        project = load_project(tmp_path, files)
+        assert len(project.parse_errors) == 1
+        assert "repro.broken" not in project.modules
+        # The rest of the tree still loaded.
+        assert "repro.core.parallel" in project.modules
+
+    def test_function_qualnames_cover_methods_and_nested(self, tmp_path):
+        files = {
+            **SCAFFOLD,
+            "repro/shapes.py": """\
+                class Box:
+                    def volume(self):
+                        def cube(x):
+                            return x ** 3
+                        return cube(2)
+                """,
+        }
+        project = load_project(tmp_path, files)
+        assert "repro.shapes.Box.volume" in project.functions
+        assert (
+            "repro.shapes.Box.volume.<locals>.cube" in project.functions
+        )
+
+    def test_same_named_redefinition_gets_lineno_suffix(self, tmp_path):
+        files = {
+            **SCAFFOLD,
+            "repro/dup.py": """\
+                def outer(flag):
+                    def work(x):
+                        return x
+                    if flag:
+                        def work(x):
+                            return x + 1
+                    return work
+                """,
+        }
+        project = load_project(tmp_path, files)
+        variants = [
+            q
+            for q in project.functions
+            if q.startswith("repro.dup.outer.<locals>.work")
+        ]
+        assert len(variants) == 2
+        assert any("@" in q for q in variants)
+
+
+class TestCanonicalisation:
+    def test_init_reexport_resolves_to_defining_module(self, tmp_path):
+        files = {
+            **SCAFFOLD,
+            "repro/api/__init__.py": """\
+                from repro.api.impl import compute
+
+                __all__ = ["compute"]
+                """,
+            "repro/api/impl.py": """\
+                def compute(x):
+                    return x * 2
+                """,
+        }
+        project = load_project(tmp_path, files)
+        assert (
+            project.canonical("repro.api.compute") == "repro.api.impl.compute"
+        )
+
+    def test_package_binding_beats_same_named_submodule(self, tmp_path):
+        files = {
+            **SCAFFOLD,
+            "repro/tools/__init__.py": """\
+                from repro.tools.metrics import metrics
+                """,
+            "repro/tools/metrics.py": """\
+                def metrics():
+                    return {}
+                """,
+        }
+        project = load_project(tmp_path, files)
+        # repro.tools.metrics the *name* means the re-exported function.
+        assert (
+            project.canonical("repro.tools.metrics")
+            == "repro.tools.metrics.metrics"
+        )
+
+    def test_import_cycle_terminates(self, tmp_path):
+        files = {
+            **SCAFFOLD,
+            "repro/a.py": """\
+                from repro.b import beta
+
+                def alpha():
+                    return beta()
+                """,
+            "repro/b.py": """\
+                from repro.a import alpha
+
+                def beta():
+                    return 1
+                """,
+        }
+        project = load_project(tmp_path, files)
+        # Neither canonicalisation loops forever.
+        assert project.canonical("repro.a.beta") == "repro.b.beta"
+        assert project.canonical("repro.b.alpha") == "repro.a.alpha"
+
+    def test_aliased_import_resolves(self, tmp_path):
+        files = {
+            **SCAFFOLD,
+            "repro/user.py": """\
+                from repro.core import parallel as par
+
+                def fan(items):
+                    return par.deterministic_map(len, items)
+                """,
+        }
+        project = load_project(tmp_path, files)
+        module = project.modules["repro.user"]
+        symbol = project.resolve(module, "par.deterministic_map")
+        assert symbol is not None
+        assert symbol.target == "repro.core.parallel.deterministic_map"
+
+
+class TestCallGraph:
+    def test_cross_module_edge(self, tmp_path):
+        files = {
+            **SCAFFOLD,
+            "repro/caller.py": """\
+                from repro.core.reliability import write_artifact
+
+                def persist(path, payload):
+                    return write_artifact(path, payload)
+                """,
+        }
+        project = load_project(tmp_path, files)
+        graph = build_call_graph(project)
+        assert (
+            "repro.core.reliability.write_artifact"
+            in graph.callees("repro.caller.persist")
+        )
+
+    def test_reachability_is_transitive(self, tmp_path):
+        files = {
+            **SCAFFOLD,
+            "repro/chain.py": """\
+                def leaf():
+                    return 1
+
+                def middle():
+                    return leaf()
+
+                def top():
+                    return middle()
+                """,
+        }
+        project = load_project(tmp_path, files)
+        graph = build_call_graph(project)
+        reached = graph.reachable(["repro.chain.top"])
+        assert "repro.chain.leaf" in reached
+
+    def test_worker_set_covers_lambda_and_named_args(self, tmp_path):
+        files = {
+            **SCAFFOLD,
+            "repro/pipeline.py": """\
+                from repro.core.parallel import deterministic_map
+
+                def helper(x):
+                    return x + 1
+
+                def run(items):
+                    doubled = deterministic_map(lambda x: helper(x), items)
+                    named = deterministic_map(helper, items)
+                    return doubled, named
+                """,
+        }
+        write_tree(tmp_path, files)
+        ctx = AnalysisContext.build(
+            [tmp_path / "repro"], AnalyzeConfig(baseline=None)
+        )
+        assert "repro.pipeline.helper" in ctx.worker_set
+        assert any("<lambda" in q for q in ctx.worker_set)
+
+    def test_unresolvable_call_under_approximates(self, tmp_path):
+        files = {
+            **SCAFFOLD,
+            "repro/opaque.py": """\
+                def run(factory, items):
+                    worker = factory()
+                    return [worker(item) for item in items]
+                """,
+        }
+        project = load_project(tmp_path, files)
+        graph = build_call_graph(project)
+        callees = graph.callees("repro.opaque.run")
+        # ``worker`` cannot be resolved statically; no edge is invented.
+        assert all("worker" not in callee for callee in callees)
+
+
+class TestArtifactFacts:
+    def test_reaches_artifacts_through_call_chain(self, tmp_path):
+        files = {
+            **SCAFFOLD,
+            "repro/out.py": """\
+                from repro.core.reliability import write_artifact
+
+                def inner(path):
+                    return write_artifact(path, {})
+
+                def outer(path):
+                    return inner(path)
+
+                def unrelated():
+                    return 7
+                """,
+        }
+        write_tree(tmp_path, files)
+        ctx = AnalysisContext.build(
+            [tmp_path / "repro"], AnalyzeConfig(baseline=None)
+        )
+        assert "repro.out.inner" in ctx.reaches_artifacts
+        assert "repro.out.outer" in ctx.reaches_artifacts
+        assert "repro.out.unrelated" not in ctx.reaches_artifacts
+
+    def test_bare_sink_matches_method_calls(self, tmp_path):
+        files = {
+            **SCAFFOLD,
+            "repro/saver.py": """\
+                def persist(bench, path):
+                    bench.save(path)
+                """,
+        }
+        write_tree(tmp_path, files)
+        ctx = AnalysisContext.build(
+            [tmp_path / "repro"], AnalyzeConfig(baseline=None)
+        )
+        assert "repro.saver.persist" in ctx.artifact_writers
+
+
+@pytest.mark.parametrize("missing", ["nonexistent-dir"])
+def test_missing_root_raises_project_error(tmp_path, missing):
+    from repro.devtools.analyze import ProjectError
+
+    with pytest.raises(ProjectError):
+        Project.load([tmp_path / missing])

@@ -1,0 +1,581 @@
+"""Positive and negative fixtures for each analysis family.
+
+Every bad fixture has a clean twin exercising the same shape with the
+invariant honoured, pinning both the detection and the precision side of
+each rule.
+"""
+
+from __future__ import annotations
+
+from tests.devtools.analyze_helpers import analyze_fixture, findings_by_rule
+
+
+class TestRaceDetector:
+    def test_global_subscript_write_in_worker_flagged(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    from repro.core.parallel import deterministic_map
+
+                    RESULTS = {}
+
+                    def worker(item):
+                        RESULTS[item] = item * 2
+                        return item
+
+                    def run(items):
+                        return deterministic_map(worker, items)
+                    """,
+            },
+        )
+        hits = findings_by_rule(result, "ANB101")
+        assert len(hits) == 1
+        assert hits[0].symbol == "repro.pipeline.worker"
+        assert "RESULTS" in hits[0].message
+
+    def test_mutating_method_on_global_flagged(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    from repro.core.parallel import chunked_map
+
+                    LOG = []
+
+                    def worker(item):
+                        LOG.append(item)
+                        return item
+
+                    def run(items):
+                        return chunked_map(worker, items)
+                    """,
+            },
+        )
+        assert len(findings_by_rule(result, "ANB101")) == 1
+
+    def test_nonlocal_shared_with_dispatcher_flagged(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    from repro.core.parallel import deterministic_map
+
+                    def run(items):
+                        total = 0
+
+                        def worker(item):
+                            nonlocal total
+                            total += item
+                            return item
+
+                        return deterministic_map(worker, items), total
+                    """,
+            },
+        )
+        hits = findings_by_rule(result, "ANB101")
+        assert len(hits) == 1
+        assert "total" in hits[0].message
+
+    def test_lock_guarded_write_clean(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    import threading
+                    from repro.core.parallel import deterministic_map
+
+                    CACHE = {}
+                    CACHE_LOCK = threading.Lock()
+
+                    def worker(item):
+                        with CACHE_LOCK:
+                            CACHE[item] = item
+                        return item
+
+                    def run(items):
+                        return deterministic_map(worker, items)
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB101") == []
+
+    def test_unimaginatively_named_lock_binding_clean(self, tmp_path):
+        # The guard is recognised by its threading.Lock() construction,
+        # not only by a name containing "lock".
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    import threading
+                    from repro.core.parallel import deterministic_map
+
+                    CACHE = {}
+                    GUARD = threading.Lock()
+
+                    def worker(item):
+                        with GUARD:
+                            CACHE[item] = item
+                        return item
+
+                    def run(items):
+                        return deterministic_map(worker, items)
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB101") == []
+
+    def test_local_state_clean(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    from repro.core.parallel import deterministic_map
+
+                    def worker(item):
+                        acc = {}
+                        acc[item] = item
+                        acc_list = []
+                        acc_list.append(item)
+                        return acc
+
+                    def run(items):
+                        return deterministic_map(worker, items)
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB101") == []
+
+    def test_per_task_closure_state_clean(self, tmp_path):
+        # The frame owning ``nodes`` is itself a worker task, so its
+        # closure state is thread-local (the tree-grower pattern).
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    from repro.core.parallel import deterministic_map
+
+                    def build_one(spec):
+                        nodes = []
+
+                        def push(node):
+                            nodes.append(node)
+
+                        push(spec)
+                        return nodes
+
+                    def run(specs):
+                        return deterministic_map(build_one, specs)
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB101") == []
+
+    def test_functions_outside_worker_set_not_checked(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/setup.py": """\
+                    REGISTRY = {}
+
+                    def register(name, value):
+                        REGISTRY[name] = value
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB101") == []
+
+
+class TestSeedFlow:
+    def test_unseeded_rng_on_artifact_path_flagged(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/build.py": """\
+                    import random
+                    from repro.core.reliability import write_artifact
+
+                    def build(path):
+                        rng = random.Random()
+                        write_artifact(path, {"x": rng.random()})
+                    """,
+            },
+        )
+        hits = findings_by_rule(result, "ANB102")
+        assert len(hits) == 1
+        assert "unseeded" in hits[0].message
+
+    def test_non_seed_derived_value_flagged(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/build.py": """\
+                    import random
+                    import time
+                    from repro.core.reliability import write_artifact
+
+                    def build(path):
+                        rng = random.Random(time.time())
+                        write_artifact(path, {"x": rng.random()})
+                    """,
+            },
+        )
+        hits = findings_by_rule(result, "ANB102")
+        assert len(hits) == 1
+        assert "not derived" in hits[0].message
+
+    def test_seed_parameter_clean(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/build.py": """\
+                    import random
+                    from repro.core.reliability import write_artifact
+
+                    def build(path, seed):
+                        rng = random.Random(seed * 31 + 7)
+                        write_artifact(path, {"x": rng.random()})
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB102") == []
+
+    def test_hash_derivation_clean(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/build.py": """\
+                    import random
+                    from repro.core.reliability import write_artifact
+
+                    def stable_hash(key):
+                        return sum(ord(c) for c in key)
+
+                    def build(path, key):
+                        rng = random.Random(stable_hash(key))
+                        write_artifact(path, {"x": rng.random()})
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB102") == []
+
+    def test_module_constant_seed_clean(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/build.py": """\
+                    import random
+                    from repro.core.reliability import write_artifact
+
+                    BASE_SEED = 20240623
+
+                    def build(path):
+                        rng = random.Random(BASE_SEED)
+                        write_artifact(path, {"x": rng.random()})
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB102") == []
+
+    def test_seed_attribute_clean(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/build.py": """\
+                    import random
+                    from repro.core.reliability import write_artifact
+
+                    def build(path, spec):
+                        rng = random.Random(spec.base_seed)
+                        write_artifact(path, {"x": rng.random()})
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB102") == []
+
+    def test_rng_off_artifact_path_ignored(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/demo.py": """\
+                    import random
+
+                    def shuffle_demo(items):
+                        rng = random.Random()
+                        rng.shuffle(items)
+                        return items
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB102") == []
+
+    def test_default_rng_without_random_prefix_detected(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/build.py": """\
+                    from numpy.random import default_rng
+                    from repro.core.reliability import write_artifact
+
+                    def build(path):
+                        rng = default_rng()
+                        write_artifact(path, {"x": float(rng.random())})
+                    """,
+            },
+        )
+        assert len(findings_by_rule(result, "ANB102")) == 1
+
+    def test_project_class_named_random_not_confused(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/build.py": """\
+                    from repro.core.reliability import write_artifact
+
+                    class Random:
+                        def value(self):
+                            return 4
+
+                    def build(path):
+                        gen = Random()
+                        write_artifact(path, {"x": gen.value()})
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB102") == []
+
+
+class TestTelemetryPurity:
+    def test_ungated_obs_call_in_worker_flagged(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    from repro import obs
+                    from repro.core.parallel import deterministic_map
+
+                    def worker(item):
+                        obs.metrics()
+                        return item
+
+                    def run(items):
+                        return deterministic_map(worker, items)
+                    """,
+            },
+        )
+        hits = findings_by_rule(result, "ANB103")
+        assert len(hits) == 1
+        assert "not guarded" in hits[0].message
+
+    def test_lexically_gated_obs_call_clean(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    from repro import obs
+                    from repro.core.parallel import deterministic_map
+
+                    def worker(item):
+                        if obs.telemetry_active():
+                            obs.metrics()
+                        return item
+
+                    def run(items):
+                        return deterministic_map(worker, items)
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB103") == []
+
+    def test_rebound_gate_variable_clean(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    from repro import obs
+                    from repro.core.parallel import deterministic_map
+
+                    def worker(item):
+                        active = obs.telemetry_active()
+                        if active:
+                            obs.metrics()
+                        return item
+
+                    def run(items):
+                        return deterministic_map(worker, items)
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB103") == []
+
+    def test_early_exit_gate_clean(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    from repro import obs
+                    from repro.core.parallel import deterministic_map
+
+                    def record(item):
+                        if not obs.telemetry_active():
+                            return
+                        obs.metrics()
+
+                    def worker(item):
+                        if obs.telemetry_active():
+                            record(item)
+                        return item
+
+                    def run(items):
+                        return deterministic_map(worker, items)
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB103") == []
+
+    def test_exempt_obs_api_clean(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    from repro import obs
+                    from repro.core.parallel import deterministic_map
+
+                    def worker(item):
+                        with obs.span("worker", item=item):
+                            return item
+
+                    def run(items):
+                        return deterministic_map(worker, items)
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB103") == []
+
+    def test_caller_gated_helper_clean(self, tmp_path):
+        # ``emit`` itself has no gate, but its only call site is gated —
+        # the fixpoint clears it.
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    from repro import obs
+                    from repro.core.parallel import deterministic_map
+
+                    def emit(item):
+                        obs.metrics()
+
+                    def worker(item):
+                        if obs.telemetry_active():
+                            emit(item)
+                        return item
+
+                    def run(items):
+                        return deterministic_map(worker, items)
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB103") == []
+
+    def test_obs_value_into_artifact_flagged(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/build.py": """\
+                    from repro import obs
+                    from repro.core.reliability import write_artifact
+
+                    def build(path):
+                        snapshot = obs.metrics()
+                        write_artifact(path, {"telemetry": snapshot})
+                    """,
+            },
+        )
+        hits = findings_by_rule(result, "ANB103")
+        assert len(hits) == 1
+        assert "artifact" in hits[0].message
+
+    def test_obs_value_into_query_result_flagged(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/bench.py": """\
+                    from repro import obs
+
+                    def query_stats():
+                        return obs.metrics()
+                    """,
+            },
+        )
+        hits = findings_by_rule(result, "ANB103")
+        assert len(hits) == 1
+        assert "query" in hits[0].message
+
+    def test_clean_artifact_payload_clean(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/build.py": """\
+                    from repro import obs
+                    from repro.core.reliability import write_artifact
+
+                    def build(path, rows):
+                        if obs.telemetry_active():
+                            obs.metrics()
+                        write_artifact(path, {"rows": rows})
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB103") == []
+
+
+class TestSuppression:
+    def test_inline_noqa_suppresses_analysis_finding(self, tmp_path):
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    from repro.core.parallel import deterministic_map
+
+                    RESULTS = {}
+
+                    def worker(item):
+                        RESULTS[item] = item  # anb: noqa[ANB101]
+                        return item
+
+                    def run(items):
+                        return deterministic_map(worker, items)
+                    """,
+            },
+        )
+        assert findings_by_rule(result, "ANB101") == []
+
+    def test_select_restricts_rule_families(self, tmp_path):
+        from repro.devtools.analyze import AnalyzeConfig
+
+        result = analyze_fixture(
+            tmp_path,
+            {
+                "repro/pipeline.py": """\
+                    import random
+                    from repro import obs
+                    from repro.core.parallel import deterministic_map
+                    from repro.core.reliability import write_artifact
+
+                    RESULTS = {}
+
+                    def worker(item):
+                        RESULTS[item] = item
+                        obs.metrics()
+                        return item
+
+                    def run(items, path):
+                        rows = deterministic_map(worker, items)
+                        rng = random.Random()
+                        write_artifact(path, {"rows": rows, "x": rng.random()})
+                    """,
+            },
+            config=AnalyzeConfig(baseline=None, select=("ANB102",)),
+        )
+        rules = {f.rule for f in result.findings}
+        assert rules == {"ANB102"}

@@ -1,0 +1,122 @@
+"""Self-gate: the repository's own source must satisfy its own analyzer.
+
+The whole-program counterpart of ``test_lint_self``: if anyone
+reintroduces an unlocked shared-state write on a pool path (ANB101), an
+unseeded RNG on an artifact path (ANB102), or ungated hot-path telemetry
+(ANB103) under ``src/repro``, tier-1 fails.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.devtools.analyze import AnalyzeConfig, analyze_paths, self_test
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_package_tree_is_analysis_clean():
+    result = analyze_paths([SRC_ROOT], AnalyzeConfig(baseline=None))
+    formatted = "\n".join(
+        f"{f.location()}: {f.rule} [{f.symbol}] {f.message}"
+        for f in result.findings
+    )
+    assert result.findings == [], (
+        f"analysis violations in src/repro:\n{formatted}"
+    )
+    # Sanity: the run saw the real program, not an empty directory.
+    assert result.stats["modules"] >= 80
+    assert result.stats["dispatch_sites"] >= 4
+    assert result.stats["workers"] >= 50
+    assert result.stats["parse_errors"] == 0
+
+
+def test_committed_baseline_is_empty():
+    """The tree is clean, so the committed ledger must hold zero debt —
+    a non-empty baseline would mean a finding was parked, not fixed."""
+    import json
+
+    baseline = SRC_ROOT.parent.parent / "analyze-baseline.json"
+    assert baseline.is_file(), "committed analyze-baseline.json is missing"
+    data = json.loads(baseline.read_text(encoding="utf-8"))
+    assert data["entries"] == []
+
+
+def _shadow(tmp_path: Path, source: str) -> Path:
+    shadow = tmp_path / "shadow"
+    shadow.mkdir()
+    (shadow / "regression.py").write_text(
+        textwrap.dedent(source), encoding="utf-8"
+    )
+    return shadow
+
+
+def test_gate_catches_reintroduced_shared_state_race(tmp_path):
+    shadow = _shadow(
+        tmp_path,
+        """
+        from repro.core.parallel import deterministic_map
+
+        SHARED = {}
+
+        def racy_worker(item):
+            SHARED[item] = item
+            return item
+
+        def run(items):
+            return deterministic_map(racy_worker, items)
+        """,
+    )
+    result = analyze_paths([SRC_ROOT, shadow], AnalyzeConfig(baseline=None))
+    assert any(
+        f.rule == "ANB101" and f.path.endswith("regression.py")
+        for f in result.findings
+    )
+
+
+def test_gate_catches_reintroduced_unseeded_rng(tmp_path):
+    shadow = _shadow(
+        tmp_path,
+        """
+        import random
+
+        from repro.core.reliability import write_artifact
+
+        def leak(path):
+            rng = random.Random()
+            write_artifact(path, {"x": rng.random()})
+        """,
+    )
+    result = analyze_paths([SRC_ROOT, shadow], AnalyzeConfig(baseline=None))
+    assert any(
+        f.rule == "ANB102" and f.path.endswith("regression.py")
+        for f in result.findings
+    )
+
+
+def test_gate_catches_reintroduced_ungated_telemetry(tmp_path):
+    shadow = _shadow(
+        tmp_path,
+        """
+        import repro.obs as obs
+        from repro.core.parallel import deterministic_map
+
+        def chatty_worker(item):
+            obs.metrics().inc("chatty")
+            return item
+
+        def run(items):
+            return deterministic_map(chatty_worker, items)
+        """,
+    )
+    result = analyze_paths([SRC_ROOT, shadow], AnalyzeConfig(baseline=None))
+    assert any(
+        f.rule == "ANB103" and f.path.endswith("regression.py")
+        for f in result.findings
+    )
+
+
+def test_builtin_self_test_passes():
+    assert self_test() == 0

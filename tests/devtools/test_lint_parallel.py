@@ -1,0 +1,152 @@
+"""Parallel lint execution and the content cache: byte-identical output
+for any worker count, warm-run reuse, and sound invalidation."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.devtools.lint import lint_paths
+from repro.devtools.lint.config import LintConfig
+from repro.devtools.lint.runner import main as lint_main
+
+VIOLATION = """\
+    import numpy as np
+
+    _TABLE = np.random.default_rng(7).uniform(size=4)
+    """
+
+CLEAN = """\
+    def double(x):
+        return x * 2
+    """
+
+
+def make_tree(tmp_path, n_clean=6):
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").write_text("", encoding="utf-8")
+    (root / "bad.py").write_text(textwrap.dedent(VIOLATION), encoding="utf-8")
+    for i in range(n_clean):
+        (root / f"mod{i}.py").write_text(
+            textwrap.dedent(CLEAN), encoding="utf-8"
+        )
+    return root
+
+
+class TestParallelDeterminism:
+    def test_output_identical_across_worker_counts(self, tmp_path):
+        root = make_tree(tmp_path)
+        config = LintConfig()
+        serial = lint_paths([root], config, n_jobs=1)
+        fanned = lint_paths([root], config, n_jobs=4)
+        maxed = lint_paths([root], config, n_jobs=-1)
+        assert serial.findings == fanned.findings == maxed.findings
+        assert serial.findings, "fixture should produce findings"
+
+    def test_findings_are_path_sorted(self, tmp_path):
+        root = make_tree(tmp_path)
+        (root / "also_bad.py").write_text(
+            textwrap.dedent(VIOLATION), encoding="utf-8"
+        )
+        result = lint_paths([root], LintConfig(), n_jobs=4)
+        paths = [f.path for f in result.findings]
+        assert paths == sorted(paths)
+
+
+class TestContentCache:
+    def test_warm_run_reuses_cache(self, tmp_path):
+        root = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        config = LintConfig()
+        cold = lint_paths([root], config, cache_path=cache)
+        assert cold.files_cached == 0
+        warm = lint_paths([root], config, cache_path=cache)
+        # Everything except __init__.py is served from cache.
+        assert warm.files_cached == warm.files_checked - 1
+        assert warm.findings == cold.findings
+
+    def test_edited_file_is_relinted(self, tmp_path):
+        root = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        config = LintConfig()
+        lint_paths([root], config, cache_path=cache)
+        # The edit introduces a violation; a stale cache would hide it.
+        (root / "mod0.py").write_text(
+            textwrap.dedent(VIOLATION), encoding="utf-8"
+        )
+        warm = lint_paths([root], config, cache_path=cache)
+        assert any(f.path.endswith("mod0.py") for f in warm.findings)
+
+    def test_touched_but_unchanged_file_hits_sha_fallback(self, tmp_path):
+        import os
+
+        root = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        config = LintConfig()
+        lint_paths([root], config, cache_path=cache)
+        target = root / "mod0.py"
+        os.utime(target, ns=(1, 1))  # mtime drifts, content identical
+        warm = lint_paths([root], config, cache_path=cache)
+        assert warm.files_cached == warm.files_checked - 1
+
+    def test_config_change_invalidates_cache(self, tmp_path):
+        root = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_paths([root], LintConfig(), cache_path=cache)
+        narrowed = lint_paths(
+            [root], LintConfig(select=("ANB004",)), cache_path=cache
+        )
+        assert narrowed.files_cached == 0
+
+    def test_package_init_never_cached(self, tmp_path):
+        root = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_paths([root], LintConfig(), cache_path=cache)
+        entries = json.loads(cache.read_text(encoding="utf-8"))["entries"]
+        assert not any(key.endswith("__init__.py") for key in entries)
+
+    def test_no_cache_path_disables_caching(self, tmp_path):
+        root = make_tree(tmp_path)
+        result = lint_paths([root], LintConfig(), cache_path=None)
+        assert result.files_cached == 0
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        root = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{definitely not json", encoding="utf-8")
+        result = lint_paths([root], LintConfig(), cache_path=cache)
+        assert result.files_cached == 0
+        assert result.findings  # run proceeded normally
+
+
+class TestCliFlags:
+    def test_jobs_and_cache_flags(self, tmp_path, capsys):
+        root = make_tree(tmp_path)
+        cache = tmp_path / "cli-cache.json"
+        code = lint_main(
+            [str(root), "--jobs", "2", "--cache", str(cache)]
+        )
+        assert code == 1  # the fixture violation
+        assert cache.is_file()
+        out_cold = capsys.readouterr().out
+        code = lint_main(
+            [str(root), "--jobs", "4", "--cache", str(cache)]
+        )
+        assert code == 1
+        assert capsys.readouterr().out == out_cold
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        root = make_tree(tmp_path)
+        code = lint_main([str(root), "--no-cache", "--jobs", "2"])
+        assert code == 1
+        assert not (tmp_path / ".repro-lint-cache.json").exists()
+
+    def test_repro_cli_forwards_jobs(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main as cli_main
+
+        monkeypatch.chdir(tmp_path)
+        root = make_tree(tmp_path)
+        code = cli_main(["lint", str(root), "--jobs", "2", "--no-cache"])
+        assert code == 1
+        assert "ANB001" in capsys.readouterr().out

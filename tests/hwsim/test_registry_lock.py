@@ -1,0 +1,76 @@
+"""Regression pin for the ``get_device`` memoisation race (ANB101).
+
+``get_device`` is called from pool workers; before the lock was added,
+two threads could interleave the ``name not in _INSTANCES`` check and
+both construct a model — last write wins, and callers end up holding
+*different* instances of the "same" device.  The analyzer flagged the
+write; this test pins the fixed behaviour under real contention.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.hwsim import registry
+
+N_THREADS = 16
+
+
+@pytest.fixture
+def fresh_instances(monkeypatch):
+    monkeypatch.setattr(registry, "_INSTANCES", {})
+
+
+def test_concurrent_get_device_constructs_exactly_once(
+    fresh_instances, monkeypatch
+):
+    construction_count = []
+    real_factory = registry.DEVICE_FACTORIES["a100"]
+    release = threading.Event()
+
+    def slow_factory():
+        # Widen the race window: every thread is already waiting at the
+        # lock by the time the first construction finishes.
+        release.wait(timeout=5)
+        construction_count.append(1)
+        return real_factory()
+
+    monkeypatch.setitem(registry.DEVICE_FACTORIES, "a100", slow_factory)
+
+    barrier = threading.Barrier(N_THREADS + 1)
+    results = [None] * N_THREADS
+
+    def task(slot):
+        barrier.wait()
+        results[slot] = registry.get_device("a100")
+
+    threads = [
+        threading.Thread(target=task, args=(i,)) for i in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()  # all threads racing toward get_device now
+    release.set()
+    for thread in threads:
+        thread.join(timeout=10)
+
+    assert len(construction_count) == 1, "factory ran more than once"
+    assert all(model is results[0] for model in results), (
+        "threads observed different instances of the same device"
+    )
+
+
+def test_get_device_results_unchanged_by_lock(fresh_instances):
+    """The lock serialises construction only; the returned model and its
+    measurements are byte-identical to the pre-lock serial behaviour."""
+    model = registry.get_device("zcu102")
+    again = registry.get_device("zcu102")
+    assert again is model
+    assert registry.supports_metric("zcu102", "latency")
+
+
+def test_unknown_device_still_raises_outside_lock(fresh_instances):
+    with pytest.raises(KeyError, match="unknown device"):
+        registry.get_device("tpu9000")
