@@ -11,7 +11,17 @@ Subcommands::
     python -m repro.cli proxy-search --t-spec 3.0
     python -m repro.cli experiment table1 --num-archs 1000
     python -m repro.cli devices
+    python -m repro.cli pack anb.json anb.store
+    python -m repro.cli verify anb.store
     python -m repro.cli lint src/repro --format json
+
+``pack`` converts a JSON envelope artifact (benchmark or dataset,
+autodetected from its schema) into the sharded columnar store format
+(:mod:`repro.core.store`) — memmapped zero-copy on load, lazy per-surrogate
+cold start.  ``verify`` fully re-checks any artifact: JSON envelopes get
+their payload checksum recomputed; columnar stores get their manifest
+envelope validated and every shard re-hashed, exiting non-zero with the
+offending path and reason on the first mismatch.
 
 ``lint`` runs the AST determinism & correctness linter
 (:mod:`repro.devtools.lint`, rules ANB001-ANB007) and exits non-zero on
@@ -356,6 +366,53 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pack(args: argparse.Namespace) -> int:
+    """Convert a JSON envelope artifact into a columnar store directory."""
+    from repro.core.benchmark import BENCHMARK_SCHEMA
+    from repro.core.dataset import DATASET_SCHEMA, BenchmarkDataset
+    from repro.core.store import artifact_schema, verify_store
+
+    try:
+        schema = artifact_schema(args.src)
+        if schema == BENCHMARK_SCHEMA:
+            bench = AccelNASBench.load(args.src, format="json")
+            bench.save(args.out, format="columnar")
+        elif schema == DATASET_SCHEMA:
+            dataset = BenchmarkDataset.from_json(args.src)
+            dataset.to_columnar(args.out, shard_rows=args.shard_rows)
+        else:
+            print(f"cannot pack {args.src}: unsupported schema {schema!r}")
+            return 1
+        summary = verify_store(args.out)
+    except ArtifactIntegrityError as exc:
+        print(f"pack failed: {exc}")
+        return 1
+    print(
+        f"packed {summary['kind']} -> {args.out} "
+        f"({summary['shards']} shards, {summary['bytes']} payload bytes)"
+    )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Fully verify artifacts (JSON envelopes or columnar stores)."""
+    from repro.core.store import verify_artifact
+
+    failed = 0
+    for path in args.paths:
+        try:
+            summary = verify_artifact(path)
+        except ArtifactIntegrityError as exc:
+            print(f"FAIL {exc}")
+            failed += 1
+            continue
+        detail = f"schema={summary['schema']}"
+        if "shards" in summary:
+            detail += f" shards={summary['shards']} bytes={summary['bytes']}"
+        print(f"OK   {path} ({detail})")
+    return 1 if failed else 0
+
+
 def _cmd_devices(args: argparse.Namespace) -> int:
     for device, metrics in DEVICE_METRICS.items():
         print(f"{device:10s} {', '.join(metrics)}")
@@ -457,6 +514,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save", action="store_true")
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser(
+        "pack",
+        help="convert a JSON artifact to the sharded columnar store format",
+    )
+    p.add_argument("src", help="JSON benchmark or dataset artifact")
+    p.add_argument("out", help="output store directory")
+    p.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        help="rows per dataset shard (datasets only)",
+    )
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_pack)
+
+    p = sub.add_parser(
+        "verify",
+        help="fully verify artifact integrity (JSON or columnar store)",
+    )
+    p.add_argument("paths", nargs="+", help="artifact files or store dirs")
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("devices", help="list supported devices and metrics")
     _add_obs_flags(p)

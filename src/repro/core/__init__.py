@@ -35,11 +35,18 @@ from repro.core.reliability import (
 )
 from repro.core.surrogate_fit import FitReport, SurrogateFitter
 from repro.core.benchmark import AccelNASBench
+from repro.core.store import (
+    BenchmarkStore,
+    pack_benchmark,
+    pack_dataset,
+    verify_artifact,
+)
 
 __all__ = [
     "AccelNASBench",
     "ArtifactIntegrityError",
     "BenchmarkDataset",
+    "BenchmarkStore",
     "CollectionError",
     "CollectionOutcome",
     "FailureRecord",
@@ -67,10 +74,13 @@ __all__ = [
     "hypervolume_2d",
     "kendall_tau",
     "mae",
+    "pack_benchmark",
+    "pack_dataset",
     "pareto_front",
     "pareto_front_indices",
     "r2_score",
     "rmse",
     "spearman_rho",
     "train_val_test_split",
+    "verify_artifact",
 ]

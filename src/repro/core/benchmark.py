@@ -393,16 +393,32 @@ class AccelNASBench:
 
     # ------------------------------------------------------------ persistence
 
-    def save(self, path: str | Path) -> None:
-        """Serialise the whole benchmark (all surrogates) to JSON.
+    def save(self, path: str | Path, format: str = "json") -> None:
+        """Serialise the whole benchmark (all surrogates) to disk.
 
-        Keys are sorted so identically-built benchmarks serialise to
-        byte-identical artefacts across runs and platforms.  The write is
-        atomic (temp file + fsync + rename) and the payload carries a
-        sha256 checksum and schema version validated by :meth:`load`, so a
-        crash mid-save can never leave a torn artifact and corruption is
-        detected instead of silently mis-deserialised.
+        With ``format="json"`` (default) the benchmark becomes one JSON
+        envelope file: keys are sorted so identically-built benchmarks
+        serialise to byte-identical artefacts across runs and platforms,
+        the write is atomic (temp file + fsync + rename) and the payload
+        carries a sha256 checksum and schema version validated by
+        :meth:`load`, so a crash mid-save can never leave a torn artifact
+        and corruption is detected instead of silently mis-deserialised.
+
+        With ``format="columnar"``, ``path`` becomes a sharded columnar
+        store directory (see :mod:`repro.core.store`): each surrogate's
+        arrays are contiguous binary shards memmapped lazily on load —
+        the fast-cold-start serving format.
         """
+        if format == "columnar":
+            from repro.core.store import pack_benchmark
+
+            pack_benchmark(self, path)
+            return
+        if format != "json":
+            raise ValueError(
+                f"unknown benchmark format {format!r}; "
+                "expected 'json' or 'columnar'"
+            )
         payload = {
             "meta": self.meta,
             "encoding": self._encoder.encoding,
@@ -415,14 +431,43 @@ class AccelNASBench:
         write_artifact(path, payload, BENCHMARK_SCHEMA, BENCHMARK_SCHEMA_VERSION)
 
     @classmethod
-    def load(cls, path: str | Path) -> "AccelNASBench":
-        """Load a benchmark saved with :meth:`save`.
+    def load(
+        cls,
+        path: str | Path,
+        format: str | None = None,
+        lazy: bool = True,
+    ) -> "AccelNASBench":
+        """Load a benchmark saved with :meth:`save` (either format).
+
+        ``format=None`` autodetects: a directory (or a path whose
+        ``manifest.json`` exists) loads as a columnar store, anything else
+        as a JSON envelope file.  Columnar loads are zero-copy — shards are
+        memmapped read-only so concurrent processes share one page cache —
+        and with ``lazy=True`` (default) each surrogate is only
+        constructed on its first query.  ``lazy`` is ignored for JSON.
 
         Raises:
-            ArtifactIntegrityError: The file is corrupt, truncated, fails
-                its sha256 checksum, or has a mismatched schema name or
-                version — the error names the path and the exact reason.
+            ArtifactIntegrityError: The artifact is corrupt, truncated,
+                fails its sha256 checksum, or has a mismatched schema name
+                or version — the error names the path and the exact reason.
         """
+        if format is None:
+            from repro.core.store import is_columnar_store
+
+            format = (
+                "columnar"
+                if Path(path).is_dir() or is_columnar_store(path)
+                else "json"
+            )
+        if format == "columnar":
+            from repro.core.store import load_benchmark
+
+            return load_benchmark(path, lazy=lazy)
+        if format != "json":
+            raise ValueError(
+                f"unknown benchmark format {format!r}; "
+                "expected 'json', 'columnar' or None (autodetect)"
+            )
         payload = read_artifact(path, BENCHMARK_SCHEMA, BENCHMARK_SCHEMA_VERSION)
         try:
             perf_models = {}

@@ -128,6 +128,36 @@ class BenchmarkDataset:
                 path, f"malformed dataset payload: {exc!r}"
             ) from exc
 
+    def to_columnar(
+        self, path: str | Path, shard_rows: int | None = None
+    ) -> Path:
+        """Persist as a sharded columnar store directory.
+
+        Values become float64 binary shards (memmapped zero-copy on load)
+        and arch keys become per-shard byte columns, each covering
+        ``shard_rows`` consecutive rows; the manifest records every shard's
+        dtype/shape/sha256 (see :mod:`repro.core.store`).
+        """
+        from repro.core.store import DEFAULT_SHARD_ROWS, pack_dataset
+
+        return pack_dataset(
+            self,
+            path,
+            shard_rows=shard_rows if shard_rows is not None else DEFAULT_SHARD_ROWS,
+        )
+
+    @classmethod
+    def from_columnar(cls, path: str | Path) -> "BenchmarkDataset":
+        """Load a dataset persisted by :meth:`to_columnar`.
+
+        Raises:
+            ArtifactIntegrityError: Manifest or shard validation failed —
+                the error names the path and the exact reason.
+        """
+        from repro.core.store import load_dataset
+
+        return load_dataset(path)
+
 
 def sample_dataset_archs(
     n: int, seed: int = 0, space: MnasNetSearchSpace | None = None

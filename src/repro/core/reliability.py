@@ -794,6 +794,29 @@ def atomic_write(path: str | Path, text: str, encoding: str = "utf-8") -> None:
             os.unlink(tmp_name)
 
 
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Binary twin of :func:`atomic_write`: temp file + fsync + rename.
+
+    Used by the columnar artifact store (:mod:`repro.core.store`) for its
+    raw array shards; the same torn-write guarantee applies.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent if str(path.parent) else ".",
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    finally:
+        with suppress(FileNotFoundError):
+            os.unlink(tmp_name)
+
+
 def payload_checksum(payload: dict) -> str:
     """Canonical sha256 of a JSON payload (sorted keys, default separators)."""
     body = json.dumps(payload, sort_keys=True)

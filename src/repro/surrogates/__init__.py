@@ -24,7 +24,12 @@ from repro.surrogates.gbdt import XGBRegressor
 from repro.surrogates.lgb import LGBRegressor
 from repro.surrogates.svr import EpsilonSVR, NuSVR
 from repro.surrogates.gp import GPRegressor
-from repro.surrogates.serialize import regressor_from_dict, regressor_to_dict
+from repro.surrogates.serialize import (
+    regressor_from_arrays,
+    regressor_from_dict,
+    regressor_to_arrays,
+    regressor_to_dict,
+)
 
 SURROGATE_FAMILIES = ("xgb", "lgb", "rf", "esvr", "nusvr", "gp")
 
@@ -63,6 +68,8 @@ __all__ = [
     "XGBRegressor",
     "clone_regressor",
     "make_surrogate",
+    "regressor_from_arrays",
     "regressor_from_dict",
+    "regressor_to_arrays",
     "regressor_to_dict",
 ]

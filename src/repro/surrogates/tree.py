@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -100,13 +101,23 @@ class FittedTree:
 
     @property
     def max_depth(self) -> int:
-        """Depth of the deepest leaf (root = depth 0)."""
-        depth = np.zeros(self.num_nodes, dtype=int)
-        for i in range(self.num_nodes):
-            if self.feature[i] != _NO_FEATURE:
-                depth[self.left[i]] = depth[i] + 1
-                depth[self.right[i]] = depth[i] + 1
-        return int(depth.max(initial=0))
+        """Depth of the deepest leaf (root = depth 0).
+
+        Level-synchronous frontier walk: O(max_depth) vectorised steps
+        instead of a Python loop over every node.
+        """
+        if self.num_nodes == 0:
+            return 0
+        depth = 0
+        frontier = np.zeros(1, dtype=np.int64)
+        while True:
+            internal = frontier[self.feature[frontier] != _NO_FEATURE]
+            if internal.size == 0:
+                return depth
+            frontier = np.concatenate(
+                (self.left[internal], self.right[internal])
+            )
+            depth += 1
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Route every row of ``X`` to its leaf value."""
@@ -179,6 +190,54 @@ class TreeEnsemblePredictor:
         self._value = np.concatenate(values)
         self.num_trees = len(trees)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        roots: np.ndarray,
+        feature: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        value: np.ndarray,
+    ) -> "TreeEnsemblePredictor":
+        """Construct directly from predictor-layout flat arrays (zero-copy).
+
+        The arrays are exactly what :meth:`as_arrays` returns — children
+        already shifted to global node offsets, leaves at ``-1`` — so no
+        per-tree reconstruction or concatenation happens.  When the inputs
+        are read-only memmaps of a columnar artifact store, the predictor
+        operates on the mapped pages directly and N processes share one
+        page cache.
+        """
+        self = cls.__new__(cls)
+        self._roots = np.asarray(roots, dtype=np.int64)
+        self._feature = np.asarray(feature, dtype=np.int32)
+        self._threshold = np.asarray(threshold, dtype=np.float64)
+        self._left = np.asarray(left, dtype=np.int64)
+        self._right = np.asarray(right, dtype=np.int64)
+        self._value = np.asarray(value, dtype=np.float64)
+        self.num_trees = len(self._roots)
+        if self.num_trees == 0:
+            raise ValueError("need at least one tree")
+        return self
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """The concatenated flat arrays in predictor layout.
+
+        Keys: ``roots`` (int64, per-tree node offsets), ``feature`` (int32),
+        ``threshold``/``value`` (float64) and ``left``/``right`` (int64,
+        global child indices, ``-1`` at leaves).  This is the columnar
+        artifact store's on-disk layout for tree ensembles.
+        """
+        return {
+            "roots": self._roots,
+            "feature": self._feature,
+            "threshold": self._threshold,
+            "left": self._left,
+            "right": self._right,
+            "value": self._value,
+        }
+
     def predict_one_sum(self, x: np.ndarray) -> float:
         """Sum of all tree predictions for a single feature vector.
 
@@ -244,6 +303,79 @@ class TreeEnsemblePredictor:
         return np.ascontiguousarray(self._value[idx].T)
 
 
+class FlatTreeSequence(Sequence):
+    """Lazy per-tree view of an ensemble stored as predictor-layout arrays.
+
+    Ensembles loaded from the columnar artifact store keep only the flat
+    concatenated arrays (typically read-only memmaps).  This sequence makes
+    them quack like the ``list[FittedTree]`` the models carry after a fit:
+    ``len`` is free, and member :class:`FittedTree` s are materialised on
+    first access as slices of the flat arrays — the only copies are the
+    small per-tree localised child-index arrays.  Round-tripping through
+    :meth:`FittedTree.to_dict` therefore needs no eager reconstruction.
+    """
+
+    def __init__(
+        self,
+        roots: np.ndarray,
+        feature: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        value: np.ndarray,
+    ) -> None:
+        self._roots = np.asarray(roots, dtype=np.int64)
+        self._feature = feature
+        self._threshold = threshold
+        self._left = left
+        self._right = right
+        self._value = value
+        self._cache: dict[int, FittedTree] = {}
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+    def __getitem__(self, i: int) -> FittedTree:
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(len(self)))]
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(i)
+        if i not in self._cache:
+            start = int(self._roots[i])
+            stop = (
+                int(self._roots[i + 1])
+                if i + 1 < len(self)
+                else len(self._feature)
+            )
+            feature = np.asarray(self._feature[start:stop], dtype=np.int32)
+            internal = feature != _NO_FEATURE
+            self._cache[i] = FittedTree(
+                feature=feature,
+                threshold=np.asarray(
+                    self._threshold[start:stop], dtype=np.float64
+                ),
+                left=np.where(
+                    internal, self._left[start:stop] - start, -1
+                ).astype(np.int32),
+                right=np.where(
+                    internal, self._right[start:stop] - start, -1
+                ).astype(np.int32),
+                value=np.asarray(self._value[start:stop], dtype=np.float64),
+            )
+        return self._cache[i]
+
+
+# Node-size crossover for ``hist_mode="auto"``: below this many rows the
+# flat offset-code kernel wins (few big ``bincount`` calls, tiny
+# temporaries); at or above it, one ``bincount`` per transposed-contiguous
+# feature column wins on memory traffic, widening with node size.  Both
+# kernels sum per-bin addends in the same row order, so the switch never
+# changes a grown tree.
+_BINCOUNT_MIN_ROWS = 768
+
+
 class GradientTreeBuilder:
     """Grow one tree on binned features and (grad, hess) statistics.
 
@@ -270,6 +402,18 @@ class GradientTreeBuilder:
             self-gates on ``colsample_bynode == 1.0`` (feature subsampling
             consumes the rng per node, which precomputed tables must not
             perturb); trees are bit-identical with the engine on or off.
+        hist_mode: Histogram accumulation strategy.  ``"bincount"``
+            accumulates one weighted ``bincount`` per contiguous
+            feature-major column, with no ``(m, k)`` flattened-code or
+            ``np.repeat`` weight temporaries — a clear win on big nodes,
+            but per-call overhead bound on small ones.  ``"repeat"`` keeps
+            the legacy flatten-and-repeat accumulation, which wins on small
+            nodes where its temporaries are negligible.  ``"auto"`` (the
+            default) picks per node: ``bincount`` at or above
+            ``_BINCOUNT_MIN_ROWS`` rows, ``repeat`` below.  Per-bin addends
+            arrive in the same increasing row order in every mode, so all
+            three grow bit-identical trees; the forced modes exist for
+            equivalence tests and speedup benchmarks.
     """
 
     def __init__(
@@ -285,11 +429,14 @@ class GradientTreeBuilder:
         colsample_bynode: float = 1.0,
         rng: np.random.Generator | None = None,
         hist_subtraction: bool = True,
+        hist_mode: str = "auto",
     ) -> None:
         if growth not in ("depthwise", "leafwise"):
             raise ValueError(f"unknown growth policy {growth!r}")
         if not 0.0 < colsample_bynode <= 1.0:
             raise ValueError("colsample_bynode must be in (0, 1]")
+        if hist_mode not in ("auto", "bincount", "repeat"):
+            raise ValueError(f"unknown hist_mode {hist_mode!r}")
         self.binner = binner
         self.max_depth = max_depth
         self.num_leaves = num_leaves
@@ -300,6 +447,7 @@ class GradientTreeBuilder:
         self.gamma = gamma
         self.colsample_bynode = colsample_bynode
         self.hist_subtraction = hist_subtraction
+        self.hist_mode = hist_mode
         # Seeded fallback: feature subsampling must replay identically when
         # no generator is injected (all in-repo callers pass one).
         self.rng = rng if rng is not None else np.random.default_rng(0)
@@ -319,11 +467,93 @@ class GradientTreeBuilder:
         k = max(1, int(round(self.colsample_bynode * num_features)))
         return self.rng.choice(num_features, size=k, replace=False)
 
+    def _resolve_hist_mode(self, m: int) -> str:
+        """The accumulation kernel to use for a node of ``m`` rows."""
+        if self.hist_mode != "auto":
+            return self.hist_mode
+        return "bincount" if m >= _BINCOUNT_MIN_ROWS else "repeat"
+
     def _count_hist(self, idx: np.ndarray) -> np.ndarray:
-        """Integer count histogram of ``idx`` over the offset-code table."""
-        return np.bincount(
-            self._flat[idx].ravel(), minlength=self._total_bins
-        ).reshape(self._flat.shape[1], self._bmax)
+        """Integer count histogram of ``idx``.
+
+        Counts are exact in int64 under any summation order, so the kernel
+        is picked purely by node size regardless of ``hist_mode``.
+        """
+        node_codes = self._codes[idx]
+        m, k = node_codes.shape
+        if m < _BINCOUNT_MIN_ROWS:
+            flat = (
+                node_codes.astype(np.int64)
+                + np.arange(k, dtype=np.int64)[None, :] * self._bmax
+            ).ravel()
+            return np.bincount(flat, minlength=k * self._bmax).reshape(
+                k, self._bmax
+            )
+        cols = np.ascontiguousarray(node_codes.T)
+        out = np.empty((k, self._bmax), dtype=np.int64)
+        for j in range(k):
+            out[j] = np.bincount(cols[j], minlength=self._bmax)
+        return out
+
+    def _node_hists(
+        self,
+        node_codes: np.ndarray,
+        bmax: int,
+        g_node: np.ndarray,
+        h_node: np.ndarray | None,
+        n_hist: np.ndarray | None,
+        mode: str,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Count/gradient/hessian histograms of one node, shape ``(k, bmax)``.
+
+        ``mode`` is the *resolved* kernel (never ``"auto"``).
+        ``"bincount"`` transposes the ``(m, k)`` node codes once into
+        contiguous feature columns and accumulates one weighted
+        ``bincount`` per (already sub-selected) feature — no flattened
+        offset-code array and no ``(m, k)`` ``np.repeat`` weight
+        temporaries.  ``"repeat"`` runs the legacy flatten-and-repeat
+        pass.  For any fixed (feature, bin) pair the addends arrive in the
+        same increasing row order in both kernels, so every float sum —
+        and hence every grown tree — is bit-identical between modes.
+
+        ``n_hist`` may carry this node's count histogram derived from its
+        parent (parent − sibling, see :meth:`_child_hists`), in which case
+        the count pass is skipped.  ``h_node=None`` signals unit hessians
+        (the caller derives ``h_hist`` from counts) and skips the hessian
+        pass entirely.
+        """
+        m, k = node_codes.shape
+        if mode == "repeat":  # legacy accumulation (small nodes, benchmarks)
+            flat = (
+                node_codes.astype(np.int64)
+                + np.arange(k, dtype=np.int64)[None, :] * bmax
+            ).ravel()
+            total_bins = k * bmax
+            if n_hist is None:
+                n_hist = np.bincount(flat, minlength=total_bins).reshape(k, bmax)
+            g_hist = np.bincount(
+                flat, weights=np.repeat(g_node, k), minlength=total_bins
+            ).reshape(k, bmax)
+            h_hist = None
+            if h_node is not None:
+                h_hist = np.bincount(
+                    flat, weights=np.repeat(h_node, k), minlength=total_bins
+                ).reshape(k, bmax)
+            return n_hist, g_hist, h_hist
+        cols = np.ascontiguousarray(node_codes.T)
+        count_needed = n_hist is None
+        if count_needed:
+            n_hist = np.empty((k, bmax), dtype=np.int64)
+        g_hist = np.empty((k, bmax), dtype=np.float64)
+        h_hist = None if h_node is None else np.empty((k, bmax), dtype=np.float64)
+        for j in range(k):
+            col = cols[j]
+            if count_needed:
+                n_hist[j] = np.bincount(col, minlength=bmax)
+            g_hist[j] = np.bincount(col, weights=g_node, minlength=bmax)
+            if h_hist is not None:
+                h_hist[j] = np.bincount(col, weights=h_node, minlength=bmax)
+        return n_hist, g_hist, h_hist
 
     def _eligible(self, idx: np.ndarray, depth: int) -> bool:
         """Whether a node at ``depth`` with samples ``idx`` can be split."""
@@ -341,13 +571,13 @@ class GradientTreeBuilder:
     ) -> tuple[_Split | None, np.ndarray | None]:
         """Best histogram split of the samples in ``idx``.
 
-        All (sub-sampled) features are histogrammed in a single ``bincount``
-        by offsetting each feature's codes into its own bin range, then gains
-        for every (feature, bin) pair are computed in one vectorised pass.
-        With the subtraction engine active, ``n_hist`` may carry this node's
-        count histogram derived from its parent (parent − sibling), skipping
-        the count ``bincount``; the histogram actually used is returned so
-        the growers can derive the children's.
+        Count/gradient/hessian statistics are accumulated per (sub-sampled)
+        feature by :meth:`_node_hists`, then gains for every (feature, bin)
+        pair are computed in one vectorised pass.  With the subtraction
+        engine active, ``n_hist`` may carry this node's count histogram
+        derived from its parent (parent − sibling), skipping the count
+        pass; the histogram actually used is returned so the growers can
+        derive the children's.
 
         Returns:
             ``(split_or_none, count_hist_or_none)``; the histogram is only
@@ -355,50 +585,46 @@ class GradientTreeBuilder:
         """
         assert self.binner.thresholds_ is not None
         m = len(idx)
+        mode = self._resolve_hist_mode(m)
         if self._subtract:
-            # Engine path: all features, shared precomputed offset codes.
+            # Engine path: all features, no per-node rng consumption.
             feats = np.arange(codes.shape[1])
             bmax = self._bmax
             if bmax < 2:
                 return None, None
-            k = len(feats)
-            flat = self._flat[idx].ravel()
-            total_bins = self._total_bins
-            if n_hist is None:
-                n_hist = np.bincount(flat, minlength=total_bins).reshape(k, bmax)
+            node_codes = codes[idx]
         else:
             feats = self._feature_subset(codes.shape[1])
             bmax = int(self._num_bins[feats].max())
             if bmax < 2:
                 return None, None
-            k = len(feats)
-            sub = codes[np.ix_(idx, feats)].astype(np.int64)
-            flat = (sub + np.arange(k, dtype=np.int64)[None, :] * bmax).ravel()
-            total_bins = k * bmax
-            n_hist = np.bincount(flat, minlength=total_bins).reshape(k, bmax)
+            node_codes = codes[np.ix_(idx, feats)]
+            n_hist = None  # never carried over on the subsampled path
         g_node = g[idx]
-        g_hist = np.bincount(
-            flat, weights=np.repeat(g_node, k), minlength=total_bins
-        ).reshape(k, bmax)
-        if self._unit_hessian:
-            h_hist = n_hist.astype(np.float64)
-            h_total = float(m)
-        else:
-            h_node = h[idx]
-            h_hist = np.bincount(
-                flat, weights=np.repeat(h_node, k), minlength=total_bins
-            ).reshape(k, bmax)
-            h_total = float(h_node.sum())
+        h_node = None if self._unit_hessian else h[idx]
+        n_hist, g_hist, h_hist = self._node_hists(
+            node_codes, bmax, g_node, h_node, n_hist, mode
+        )
+        h_total = float(m) if self._unit_hessian else float(h_node.sum())
         g_total = float(g_node.sum())
         parent_score = self._score(g_total, h_total)
 
         nl = np.cumsum(n_hist, axis=1)[:, :-1]
         gl = np.cumsum(g_hist, axis=1)[:, :-1]
-        hl = np.cumsum(h_hist, axis=1)[:, :-1]
+        if self._unit_hessian:
+            # Counts double as hessians; their prefix sums are integers, so
+            # the int64 cumsum cast to float64 is bit-equal to cumsumming
+            # the cast histogram (both exact below 2**53).
+            hl = nl.astype(np.float64)
+        else:
+            hl = np.cumsum(h_hist, axis=1)[:, :-1]
         nr, gr, hr = m - nl, g_total - gl, h_total - hl
         # Split point b on feature j is only meaningful for b < num_bins(j)-1.
-        nbins = self._num_bins[feats]
-        in_range = np.arange(bmax - 1)[None, :] < (nbins - 1)[:, None]
+        if self._subtract:
+            in_range = self._in_range  # constant per build on this path
+        else:
+            nbins = self._num_bins[feats]
+            in_range = np.arange(bmax - 1)[None, :] < (nbins - 1)[:, None]
         valid = (
             in_range
             & (nl >= self.min_child_samples)
@@ -455,13 +681,15 @@ class GradientTreeBuilder:
             dtype=np.int64,
         )
         if self._subtract:
-            d = codes.shape[1]
             self._bmax = int(self._num_bins.max())
-            self._total_bins = d * self._bmax
-            # Offset-code table shared by every node's bincount: feature j's
-            # codes live in bin range [j*bmax, (j+1)*bmax).
-            self._flat = codes.astype(np.int64) + (
-                np.arange(d, dtype=np.int64)[None, :] * self._bmax
+            # Shared by _count_hist (child-histogram derivation): the codes
+            # matrix is gathered per node, never flattened or offset.
+            self._codes = codes
+            # The engine path always searches all features, so the
+            # bin-in-range mask is the same for every node of the build.
+            self._in_range = (
+                np.arange(self._bmax - 1)[None, :]
+                < (self._num_bins - 1)[:, None]
             )
         features: list[int] = []
         thresholds: list[float] = []

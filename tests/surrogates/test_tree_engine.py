@@ -7,6 +7,7 @@ import pytest
 from repro.surrogates.forest import RandomForestRegressor
 from repro.surrogates.gbdt import XGBRegressor
 from repro.surrogates.tree import (
+    _BINCOUNT_MIN_ROWS,
     GradientTreeBuilder,
     HistogramBinner,
     TreeEnsemblePredictor,
@@ -142,3 +143,142 @@ class TestPerTreePrediction:
         model, X = forest
         per_tree = TreeEnsemblePredictor(model.trees_).predict_per_tree(X)
         assert np.allclose(model.predict(X), per_tree.mean(axis=0))
+
+
+class TestBincountHistograms:
+    """Satellite pins: every histogram kernel — adaptive ``auto``, forced
+    per-feature ``bincount``, legacy flatten+``np.repeat`` — must grow
+    bit-identical trees."""
+
+    def test_resolve_hist_mode(self, binned):
+        binner, _, _ = binned
+        auto = GradientTreeBuilder(binner, hist_mode="auto")
+        assert auto._resolve_hist_mode(_BINCOUNT_MIN_ROWS) == "bincount"
+        assert auto._resolve_hist_mode(_BINCOUNT_MIN_ROWS - 1) == "repeat"
+        for forced in ("bincount", "repeat"):
+            builder = GradientTreeBuilder(binner, hist_mode=forced)
+            assert builder._resolve_hist_mode(10**9) == forced
+            assert builder._resolve_hist_mode(1) == forced
+
+    def test_auto_mode_crosses_threshold_identical(self):
+        """With rows well above ``_BINCOUNT_MIN_ROWS`` the auto kernel runs
+        bincount on the tree's upper levels and the flat kernel on small
+        deep nodes — and must still match both forced modes bit for bit."""
+        rng = np.random.default_rng(11)
+        n = 2 * _BINCOUNT_MIN_ROWS + 512
+        X = rng.standard_normal((n, 12))
+        y = X[:, 0] - 2.0 * X[:, 1] + 0.1 * rng.standard_normal(n)
+        binner = HistogramBinner(max_bins=32).fit(X)
+        data = (binner, binner.transform(X), y)
+        trees = {
+            mode: _build(data, True, hist_mode=mode, max_depth=9)
+            for mode in ("auto", "bincount", "repeat")
+        }
+        assert trees["auto"].to_dict() == trees["repeat"].to_dict()
+        assert trees["auto"].to_dict() == trees["bincount"].to_dict()
+
+    @pytest.mark.parametrize(
+        "config", GROWTH_CONFIGS, ids=[str(c) for c in GROWTH_CONFIGS]
+    )
+    def test_trees_identical_bincount_vs_repeat(self, binned, config):
+        fast = _build(binned, True, hist_mode="bincount", **config)
+        legacy = _build(binned, True, hist_mode="repeat", **config)
+        assert fast.to_dict() == legacy.to_dict()
+
+    def test_non_unit_hessians_identical(self, binned):
+        _, codes, y = binned
+        h = np.linspace(0.5, 2.0, len(y))
+        fast = _build(binned, True, h=h, hist_mode="bincount", max_depth=8)
+        legacy = _build(binned, True, h=h, hist_mode="repeat", max_depth=8)
+        assert fast.to_dict() == legacy.to_dict()
+
+    def test_feature_subsampling_identical(self, binned):
+        fast = _build(
+            binned, True, hist_mode="bincount", colsample_bynode=0.5, max_depth=8
+        )
+        legacy = _build(
+            binned, True, hist_mode="repeat", colsample_bynode=0.5, max_depth=8
+        )
+        assert fast.to_dict() == legacy.to_dict()
+
+    def test_unknown_hist_mode_rejected(self, binned):
+        with pytest.raises(ValueError, match="hist_mode"):
+            _build(binned, True, hist_mode="turbo")
+
+    def test_ensemble_fits_identical_bincount_vs_repeat(
+        self, xy_small, monkeypatch
+    ):
+        X, y = xy_small
+
+        class _RepeatBuilder(GradientTreeBuilder):
+            def __init__(self, *args, **kwargs):
+                kwargs["hist_mode"] = "repeat"
+                super().__init__(*args, **kwargs)
+
+        fast = XGBRegressor(n_estimators=15, max_depth=6, seed=7).fit(X, y)
+        monkeypatch.setattr(
+            "repro.surrogates.gbdt.GradientTreeBuilder", _RepeatBuilder
+        )
+        legacy = XGBRegressor(n_estimators=15, max_depth=6, seed=7).fit(X, y)
+        for ta, tb in zip(fast._trees, legacy._trees):
+            assert ta.to_dict() == tb.to_dict()
+        assert np.array_equal(fast.predict(X), legacy.predict(X))
+
+
+def _depth_by_python_walk(tree) -> int:
+    """Reference max_depth: the per-node Python loop the property replaced."""
+
+    def walk(node: int, depth: int) -> int:
+        if tree.feature[node] < 0:
+            return depth
+        return max(
+            walk(int(tree.left[node]), depth + 1),
+            walk(int(tree.right[node]), depth + 1),
+        )
+
+    return walk(0, 0)
+
+
+class TestVectorisedMaxDepth:
+    def test_matches_python_walk(self, xy_small):
+        X, y = xy_small
+        model = XGBRegressor(n_estimators=8, max_depth=None, seed=11).fit(X, y)
+        for tree in model._trees:
+            assert tree.max_depth == _depth_by_python_walk(tree)
+
+    def test_stump_and_capped_trees(self, xy_small):
+        X, y = xy_small
+        for cap in (1, 3, 6):
+            model = XGBRegressor(n_estimators=4, max_depth=cap, seed=5).fit(X, y)
+            for tree in model._trees:
+                assert tree.max_depth == _depth_by_python_walk(tree)
+                assert tree.max_depth <= cap
+
+
+class TestFlatArraysRoundTrip:
+    @pytest.fixture(scope="class")
+    def forest(self, xy_small):
+        X, y = xy_small
+        return RandomForestRegressor(n_estimators=12, seed=2).fit(X, y), X
+
+    def test_predictor_as_from_arrays_identical(self, forest):
+        model, X = forest
+        predictor = TreeEnsemblePredictor(model.trees_)
+        clone = TreeEnsemblePredictor.from_arrays(**predictor.as_arrays())
+        assert clone.num_trees == predictor.num_trees
+        assert np.array_equal(clone.predict_sum(X), predictor.predict_sum(X))
+
+    def test_flat_tree_sequence_reproduces_trees(self, forest):
+        from repro.surrogates.tree import FlatTreeSequence
+
+        model, X = forest
+        arrays = TreeEnsemblePredictor(model.trees_).as_arrays()
+        seq = FlatTreeSequence(**arrays)
+        assert len(seq) == len(model.trees_)
+        for lazy, original in zip(seq, model.trees_):
+            assert lazy.to_dict() == original.to_dict()
+        # negative indexing and slicing behave like a list
+        assert seq[-1].to_dict() == model.trees_[-1].to_dict()
+        assert [t.num_nodes for t in seq[2:5]] == [
+            t.num_nodes for t in model.trees_[2:5]
+        ]
