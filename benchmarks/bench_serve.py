@@ -1,0 +1,145 @@
+"""Bench: the serving layer under closed-loop load.
+
+``repro.serve`` answers benchmark queries over HTTP with micro-batch
+coalescing: concurrent single-arch queries are grouped into one
+``query_batch`` call instead of N independent surrogate invocations.  This
+bench quantifies that design with a closed-loop load generator (each worker
+holds one keep-alive connection and issues its next request only after the
+previous response lands) at several concurrency levels, with coalescing on
+and off.
+
+For every (concurrency, coalesce) cell it records throughput plus p50/p95/
+p99 latency, asserts the coalescer actually grouped work at high
+concurrency, and appends a dated point to ``results/BENCH_serve.json``.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.core.benchmark import AccelNASBench
+from repro.core.reliability import RetryPolicy
+from repro.serve import BenchServer, ServerConfig
+from repro.serve.http import ClientConnection
+from repro.searchspace.mnasnet import MnasNetSearchSpace
+from repro.trainsim.schemes import P_STAR
+
+from conftest import emit, record_trajectory
+
+CONCURRENCY_LEVELS = (1, 8, 32)
+REQUESTS_PER_WORKER = 40
+DEVICE = "a100"
+METRIC = "throughput"
+
+
+def _build_bench():
+    bench, _ = AccelNASBench.build(
+        P_STAR,
+        num_archs=40,
+        devices={DEVICE: (METRIC,)},
+        sample_seed=3,
+    )
+    space = MnasNetSearchSpace(seed=99)
+    archs = space.sample_batch(64, unique=True)
+    return bench, [arch.to_string() for arch in archs]
+
+
+async def _run_level(bench, archs, workers, coalesce):
+    """Drive one closed-loop load cell; returns (latencies, wall, stats)."""
+    config = ServerConfig(
+        port=0,
+        coalesce=coalesce,
+        max_inflight=64,
+        max_queue=512,
+        max_delay=0.002,
+        breaker_recovery=RetryPolicy(base_delay=0.1, jitter=0.0),
+    )
+    server = BenchServer(bench, config)
+    await server.start()
+    latencies = []
+
+    async def worker(wid):
+        conn = ClientConnection(config.host, server.port)
+        try:
+            for i in range(REQUESTS_PER_WORKER):
+                arch = archs[(wid * REQUESTS_PER_WORKER + i) % len(archs)]
+                payload = {"arch": arch, "device": DEVICE, "metric": METRIC}
+                t0 = time.perf_counter()
+                status, _, body = await conn.request("POST", "/query", payload)
+                latencies.append(time.perf_counter() - t0)
+                assert status == 200, body
+        finally:
+            await conn.close()
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(worker(w) for w in range(workers)))
+    wall = time.perf_counter() - t0
+    stats = server.coalescer.stats()
+    await server.stop()
+    return latencies, wall, stats
+
+
+def _summarise(latencies, wall):
+    lat_ms = np.asarray(latencies) * 1e3
+    return {
+        "requests": len(latencies),
+        "throughput_rps": round(len(latencies) / wall, 1),
+        "p50_ms": round(float(np.percentile(lat_ms, 50)), 3),
+        "p95_ms": round(float(np.percentile(lat_ms, 95)), 3),
+        "p99_ms": round(float(np.percentile(lat_ms, 99)), 3),
+    }
+
+
+def test_serve_closed_loop_load():
+    bench, archs = _build_bench()
+    # Warm the surrogates so the first cell does not pay fit-cache costs.
+    asyncio.run(_run_level(bench, archs, workers=2, coalesce=True))
+
+    cells = {}
+    batch_stats = {}
+    for workers in CONCURRENCY_LEVELS:
+        for coalesce in (False, True):
+            latencies, wall, stats = asyncio.run(
+                _run_level(bench, archs, workers, coalesce)
+            )
+            key = (workers, coalesce)
+            cells[key] = _summarise(latencies, wall)
+            batch_stats[key] = stats
+
+    top = max(CONCURRENCY_LEVELS)
+    on, off = cells[(top, True)], cells[(top, False)]
+    gain = on["throughput_rps"] / off["throughput_rps"]
+    grouped = batch_stats[(top, True)]
+    mean_batch = grouped["items_total"] / max(1, grouped["flush_total"])
+    # The coalescer must actually group concurrent queries at high
+    # concurrency — the throughput gain itself is reported, not asserted,
+    # to keep the bench robust on loaded CI machines.
+    assert mean_batch > 1.5, grouped
+
+    lines = [
+        "Serving layer: closed-loop load, coalescing off vs on",
+        f"  {'workers':>7}  {'coalesce':>8}  {'rps':>8}  "
+        f"{'p50 ms':>8}  {'p95 ms':>8}  {'p99 ms':>8}",
+    ]
+    for workers in CONCURRENCY_LEVELS:
+        for coalesce in (False, True):
+            cell = cells[(workers, coalesce)]
+            lines.append(
+                f"  {workers:>7}  {'on' if coalesce else 'off':>8}  "
+                f"{cell['throughput_rps']:>8.1f}  {cell['p50_ms']:>8.3f}  "
+                f"{cell['p95_ms']:>8.3f}  {cell['p99_ms']:>8.3f}"
+            )
+    lines.append(
+        f"  coalescing at {top} workers: mean batch {mean_batch:.2f}, "
+        f"throughput gain {gain:.2f}x"
+    )
+    emit("bench_serve", "\n".join(lines))
+
+    point = {"coalesce_gain": round(gain, 3), "mean_batch": round(mean_batch, 2)}
+    for (workers, coalesce), cell in cells.items():
+        tag = f"c{workers}_{'on' if coalesce else 'off'}"
+        point[f"{tag}_rps"] = cell["throughput_rps"]
+        point[f"{tag}_p50_ms"] = cell["p50_ms"]
+        point[f"{tag}_p99_ms"] = cell["p99_ms"]
+    record_trajectory("serve", point)

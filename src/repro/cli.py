@@ -395,13 +395,23 @@ def _cmd_pack(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    """Fully verify artifacts (JSON envelopes or columnar stores)."""
-    from repro.core.store import verify_artifact
+    """Fully verify artifacts (JSON envelopes or columnar stores).
+
+    Store verification sweeps every shard and reports *all* corrupt ones
+    in one pass — one FAIL line per shard — instead of stopping at the
+    first mismatch.
+    """
+    from repro.core.store import ArtifactVerificationError, verify_artifact
 
     failed = 0
     for path in args.paths:
         try:
             summary = verify_artifact(path)
+        except ArtifactVerificationError as exc:
+            for shard_error in exc.errors:
+                print(f"FAIL {shard_error}")
+            failed += 1
+            continue
         except ArtifactIntegrityError as exc:
             print(f"FAIL {exc}")
             failed += 1
@@ -411,6 +421,55 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             detail += f" shards={summary['shards']} bytes={summary['bytes']}"
         print(f"OK   {path} ({detail})")
     return 1 if failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a saved benchmark over HTTP with the full robustness stack.
+
+    SIGINT/SIGTERM trigger a graceful drain: the listener closes, every
+    in-flight request finishes against the benchmark it was admitted with,
+    and only then does the process exit.
+    """
+    import asyncio
+    import signal
+
+    from repro.serve import BenchServer, DrillPlan, ServerConfig
+    from repro.serve.lifecycle import BenchmarkHandle
+
+    handle = BenchmarkHandle.open(args.bench)
+    drills = (
+        DrillPlan.from_string(
+            args.drills, seed=args.drill_seed, slow_seconds=args.drill_slow
+        )
+        if args.drills
+        else DrillPlan()
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        default_timeout=args.default_timeout_ms / 1000.0,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        retry_after=args.retry_after,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+        coalesce=not args.no_coalesce,
+        failure_threshold=args.failure_threshold,
+        drills=drills,
+    )
+    server = BenchServer(handle, config)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving {args.bench} on http://{config.host}:{server.port}")
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, server.request_stop)
+        await server.run()
+        print("drained in-flight requests; server stopped")
+
+    asyncio.run(_serve())
+    return 0
 
 
 def _cmd_devices(args: argparse.Namespace) -> int:
@@ -537,6 +596,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="+", help="artifact files or store dirs")
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a benchmark over HTTP (coalescing, deadlines, breakers)",
+    )
+    p.add_argument("--bench", required=True, help="benchmark artifact to load")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080, help="0 = pick a free port")
+    p.add_argument(
+        "--default-timeout-ms",
+        type=float,
+        default=5000.0,
+        help="deadline budget for requests that send no timeout_ms",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=8, help="concurrent request slots"
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="requests allowed to wait for a slot before 429 shedding",
+    )
+    p.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.5,
+        help="Retry-After hint (seconds) on shed responses",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=16, help="coalescer flush size"
+    )
+    p.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=5.0,
+        help="longest a query waits for coalescing batch-mates",
+    )
+    p.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable micro-batch coalescing on /query",
+    )
+    p.add_argument(
+        "--failure-threshold",
+        type=int,
+        default=5,
+        help="consecutive failures that trip an endpoint circuit breaker",
+    )
+    p.add_argument(
+        "--drills",
+        default=None,
+        metavar="SPEC",
+        help='seeded fault drills, e.g. "error:1.0@6,slow:0.2"',
+    )
+    p.add_argument("--drill-seed", type=int, default=0)
+    p.add_argument(
+        "--drill-slow",
+        type=float,
+        default=0.05,
+        help="stall injected by a firing slow drill (seconds)",
+    )
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("devices", help="list supported devices and metrics")
     _add_obs_flags(p)

@@ -19,6 +19,10 @@ This module is the reliability layer that lets a collection run survive it:
 - :func:`run_tasks` — the collection runner combining all of the above with
   a quarantine list of structured :class:`FailureRecord` s and a
   minimum-success-fraction gate for graceful degradation.
+- :class:`Deadline` / :class:`CircuitBreaker` — wall-clock budgets and a
+  closed→open→half-open breaker with seeded-deterministic probe
+  scheduling; the primitives behind the serving layer (:mod:`repro.serve`)
+  and reusable by the future async search executor.
 - :func:`atomic_write` / :func:`write_artifact` / :func:`read_artifact` —
   torn-write-proof persistence (temp file + fsync + rename) with a sha256
   checksum and schema version validated on load, surfacing corruption as a
@@ -35,7 +39,7 @@ import tempfile
 import threading
 import time
 from contextlib import suppress
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -98,6 +102,41 @@ class NonFiniteResult(ReliabilityError):
         super().__init__(f"non-finite result {value!r} for {key!r}")
         self.key = key
         self.value = value
+
+
+class DeadlineExceeded(ReliabilityError):
+    """A request's wall-clock budget ran out before its work completed.
+
+    Serving maps this to HTTP 504; the async search executor will reuse it
+    for per-proposal budgets.
+
+    Attributes:
+        key: What the deadline covered (endpoint, task key...).
+        overrun: Seconds past the deadline when it was detected (>= 0).
+    """
+
+    def __init__(self, key: str, overrun: float = 0.0) -> None:
+        super().__init__(
+            f"deadline exceeded for {key!r} ({overrun * 1e3:.1f} ms past budget)"
+        )
+        self.key = key
+        self.overrun = overrun
+
+
+class CircuitOpen(ReliabilityError):
+    """A circuit breaker is open: the call was rejected without being tried.
+
+    Attributes:
+        name: Breaker name (e.g. the endpoint).
+        retry_after: Seconds until the breaker schedules its next probe.
+    """
+
+    def __init__(self, name: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit {name!r} is open; retry after {retry_after:.3f}s"
+        )
+        self.name = name
+        self.retry_after = retry_after
 
 
 class ArtifactIntegrityError(ReliabilityError):
@@ -283,6 +322,53 @@ class FaultPlan:
 
 
 # ---------------------------------------------------------------------------
+# Deadlines
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A wall-clock budget on an injectable monotonic clock.
+
+    Deadlines propagate *remaining budget*, not fixed timeouts: a request
+    admitted with 100 ms left hands ~100 ms to the coalescer, which hands
+    whatever is left to the worker, which bounds any retries by it
+    (:meth:`RetryPolicy.within`).  The clock is injectable so every
+    deadline behaviour is testable without sleeping.
+
+    Attributes:
+        expires_at: Absolute expiry on ``clock``'s timeline.
+        clock: Zero-argument monotonic time source.
+    """
+
+    expires_at: float
+    clock: Callable[[], float] = time.monotonic
+
+    @classmethod
+    def after(
+        cls, budget: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """A deadline ``budget`` seconds from now on ``clock``."""
+        if budget < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {budget}")
+        return cls(expires_at=clock() + budget, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self.expires_at - self.clock()
+
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self.remaining() <= 0.0
+
+    def check(self, key: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget has run out."""
+        remaining = self.remaining()
+        if remaining <= 0.0:
+            raise DeadlineExceeded(key, overrun=-remaining)
+
+
+# ---------------------------------------------------------------------------
 # Retry + quarantine
 # ---------------------------------------------------------------------------
 
@@ -313,6 +399,13 @@ class RetryPolicy:
             actually sleeps.
         retryable: Exception types worth retrying.  :class:`InjectedCrash`
             is deliberately excluded — a dead process cannot retry itself.
+        max_elapsed: Optional wall-clock budget in seconds across *all*
+            attempts and backoffs.  Once spending the next backoff would
+            leave the total elapsed time over this budget, retrying stops
+            and the last error is raised — this is what keeps serve-side
+            retries inside a request's remaining deadline.
+        clock: Monotonic time source for the ``max_elapsed`` accounting
+            (injectable, like ``sleep``).
     """
 
     max_attempts: int = 3
@@ -323,32 +416,56 @@ class RetryPolicy:
     seed: int = 0
     sleep: Callable[[float], None] = time.sleep
     retryable: tuple[type[BaseException], ...] = RETRYABLE_ERRORS
+    max_elapsed: float | None = None
+    clock: Callable[[], float] = time.monotonic
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
             raise ValueError("delays and jitter must be >= 0")
+        if self.max_elapsed is not None and self.max_elapsed < 0:
+            raise ValueError("max_elapsed must be >= 0 (or None for no cap)")
 
     def delay(self, key: str, attempt: int) -> float:
         """Backoff before retrying ``key`` after failed attempt ``attempt``."""
         base = min(self.base_delay * self.backoff**attempt, self.max_delay)
         return base * (1.0 + self.jitter * _unit_uniform(self.seed, key, attempt))
 
+    def within(self, deadline: "Deadline") -> "RetryPolicy":
+        """A copy of this policy whose wall budget is the deadline's remains.
+
+        The returned policy shares the deadline's clock, so a request with
+        40 ms left gets a retry loop that can never outlive those 40 ms.
+        """
+        remaining = deadline.remaining()
+        return replace(
+            self, max_elapsed=max(remaining, 0.0), clock=deadline.clock
+        )
+
     def run(self, fn: Callable[[int], float], key: str) -> float:
         """Call ``fn(attempt)`` until success or attempts are exhausted.
 
-        Raises the last retryable error once attempts run out; non-retryable
-        errors (notably :class:`InjectedCrash`) propagate immediately.
+        Raises the last retryable error once attempts run out — or once the
+        ``max_elapsed`` wall budget cannot afford the next backoff;
+        non-retryable errors (notably :class:`InjectedCrash`) propagate
+        immediately.
         """
         last: BaseException | None = None
+        start = self.clock() if self.max_elapsed is not None else 0.0
         for attempt in range(self.max_attempts):
             try:
                 return fn(attempt)
             except self.retryable as exc:
                 last = exc
-                if attempt + 1 < self.max_attempts:
-                    self.sleep(self.delay(key, attempt))
+                if attempt + 1 >= self.max_attempts:
+                    break
+                pause = self.delay(key, attempt)
+                if self.max_elapsed is not None:
+                    elapsed = self.clock() - start
+                    if elapsed + pause > self.max_elapsed:
+                        break  # budget exhausted mid-backoff: give up now
+                self.sleep(pause)
         assert last is not None
         raise last
 
@@ -387,6 +504,162 @@ class FailureRecord:
             message=payload["message"],
             attempts=payload["attempts"],
         )
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """A closed → open → half-open circuit breaker with seeded cooldowns.
+
+    Protects a downstream dependency (a surrogate, a store) from being
+    hammered while it is failing: after ``failure_threshold`` consecutive
+    failures the breaker *opens* and :meth:`allow` rejects calls instantly
+    with :class:`CircuitOpen` (serving maps this to HTTP 503 +
+    ``Retry-After``).  Once the cooldown elapses, the breaker goes
+    *half-open* and admits exactly one probe call; a successful probe
+    closes the circuit, a failed one re-opens it with a longer cooldown.
+
+    Cooldowns are the :class:`RetryPolicy` backoff schedule evaluated at
+    the trip count — ``recovery.delay(name, trips - 1)`` — so probe
+    scheduling is hash-seeded and deterministic: identical failure
+    histories produce identical probe times on any thread schedule, which
+    is what makes every breaker drill reproducible.
+
+    Thread-safe; the clock is injectable so tests never sleep.
+
+    Args:
+        name: Breaker identity (e.g. the endpoint); seeds the cooldown
+            jitter and names :class:`CircuitOpen` errors.
+        failure_threshold: Consecutive failures that trip a closed breaker.
+        recovery: Backoff schedule for cooldowns; defaults to 0.5 s doubling
+            up to 30 s.
+        clock: Monotonic time source.
+    """
+
+    def __init__(
+        self,
+        name: str = "default",
+        failure_threshold: int = 5,
+        recovery: RetryPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery = (
+            recovery
+            if recovery is not None
+            else RetryPolicy(base_delay=0.5, backoff=2.0, max_delay=30.0)
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._trips = 0
+        self._opened_at = 0.0
+        self._cooldown = 0.0
+        self._probe_inflight = False
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open if the cooldown passed."""
+        with self._lock:
+            self._advance_locked()
+            return self._state
+
+    @property
+    def trips(self) -> int:
+        """How many times the breaker has opened over its lifetime."""
+        with self._lock:
+            return self._trips
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe is admitted (0 when not open)."""
+        with self._lock:
+            if self._state != BREAKER_OPEN:
+                return 0.0
+            return max(self._opened_at + self._cooldown - self._clock(), 0.0)
+
+    # -------------------------------------------------------------- protocol
+
+    def allow(self) -> None:
+        """Admit one call or raise :class:`CircuitOpen`.
+
+        Every admitted call must be concluded with :meth:`record_success`
+        or :meth:`record_failure`; in the half-open state only a single
+        probe is admitted until it concludes.
+        """
+        with self._lock:
+            self._advance_locked()
+            if self._state == BREAKER_CLOSED:
+                return
+            if self._state == BREAKER_HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return
+            retry_after = max(
+                self._opened_at + self._cooldown - self._clock(), 0.0
+            )
+            raise CircuitOpen(self.name, retry_after)
+
+    def record_success(self) -> None:
+        """Conclude an admitted call successfully (closes a half-open probe)."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == BREAKER_HALF_OPEN:
+                self._state = BREAKER_CLOSED
+                self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """Conclude an admitted call as failed; may trip or re-open."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == BREAKER_HALF_OPEN:
+                self._trip_locked()
+            elif (
+                self._state == BREAKER_CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip_locked()
+
+    def record_abandon(self) -> None:
+        """Conclude an admitted call without a verdict (e.g. deadline expiry).
+
+        Frees a half-open probe slot so the next caller can probe, without
+        counting as either success or failure — a request that ran out of
+        budget says nothing about the dependency's health.
+        """
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                self._probe_inflight = False
+
+    # ------------------------------------------------------------- internals
+
+    def _trip_locked(self) -> None:
+        self._trips += 1
+        self._state = BREAKER_OPEN
+        self._probe_inflight = False
+        self._opened_at = self._clock()
+        # Deterministic, hash-seeded probe schedule: the cooldown after the
+        # k-th trip is the recovery policy's backoff for attempt k-1.
+        self._cooldown = self.recovery.delay(self.name, self._trips - 1)
+
+    def _advance_locked(self) -> None:
+        if (
+            self._state == BREAKER_OPEN
+            and self._clock() >= self._opened_at + self._cooldown
+        ):
+            self._state = BREAKER_HALF_OPEN
+            self._probe_inflight = False
 
 
 # ---------------------------------------------------------------------------
@@ -510,7 +783,23 @@ class Journal:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
                 if lineno == len(lines):
-                    break  # torn final line: the mid-write kill signature
+                    # Torn final line: the mid-write kill signature.  The
+                    # record is dropped (it will be recomputed), but the
+                    # data loss is surfaced to operators instead of being
+                    # swallowed silently.
+                    if obs.telemetry_active():
+                        offset = sum(
+                            len(prev.encode("utf-8")) + 1
+                            for prev in lines[: lineno - 1]
+                        )
+                        obs.get_logger("repro.core.reliability").warning(
+                            "journal.torn_tail",
+                            path=str(self.path),
+                            line=lineno,
+                            byte_offset=offset,
+                            torn_bytes=len(line.encode("utf-8")),
+                        )
+                    break
                 raise ArtifactIntegrityError(
                     self.path, f"corrupt journal record at line {lineno}: {exc}"
                 ) from exc

@@ -75,6 +75,29 @@ def is_columnar_store(path: str | Path) -> bool:
     return (Path(path) / MANIFEST_NAME).is_file()
 
 
+class ArtifactVerificationError(ArtifactIntegrityError):
+    """A full verification pass found one or more corrupt shards.
+
+    Unlike the fail-fast load-path checks, verification sweeps *every*
+    shard and reports the complete damage in one pass — the hot-reload
+    validation path needs the full picture, and an operator repairing a
+    store should not have to re-run ``verify`` once per corrupt shard.
+
+    Attributes:
+        errors: One :class:`ArtifactIntegrityError` per failed shard, in
+            sorted shard order.
+    """
+
+    def __init__(
+        self, path: str | Path, errors: list[ArtifactIntegrityError]
+    ) -> None:
+        reason = f"{len(errors)} shard(s) failed verification: " + "; ".join(
+            f"{err.path}: {err.reason}" for err in errors
+        )
+        super().__init__(path, reason)
+        self.errors = list(errors)
+
+
 # ---------------------------------------------------------------------------
 # Shard I/O
 # ---------------------------------------------------------------------------
@@ -163,6 +186,18 @@ def _verify_shard(root: Path, rel: str, entry: dict) -> None:
             f"sha256 mismatch: stored {entry.get('sha256')}, recomputed "
             f"{digest} — the shard was modified or corrupted",
         )
+
+
+def _verify_all_shards(root: Path, shards: dict) -> None:
+    """Verify every shard, collecting all failures into one error."""
+    errors: list[ArtifactIntegrityError] = []
+    for rel in sorted(shards):
+        try:
+            _verify_shard(root, rel, shards[rel])
+        except ArtifactIntegrityError as exc:
+            errors.append(exc)
+    if errors:
+        raise ArtifactVerificationError(root, errors)
 
 
 def _read_manifest(path: str | Path, schema: str) -> dict:
@@ -296,13 +331,15 @@ class BenchmarkStore:
     def verify(self) -> int:
         """Fully re-hash every shard against the manifest; return the count.
 
+        The sweep never stops at the first bad shard: every failure is
+        collected and raised together, so one pass reports the full damage.
+
         Raises:
-            ArtifactIntegrityError: The first shard whose size or sha256
-                does not match its manifest entry, naming path and reason.
+            ArtifactVerificationError: Naming every shard whose size or
+                sha256 does not match its manifest entry.
         """
         shards = self.manifest["shards"]
-        for rel in sorted(shards):
-            _verify_shard(self.root, rel, shards[rel])
+        _verify_all_shards(self.root, shards)
         return len(shards)
 
 
@@ -553,11 +590,14 @@ def verify_store(path: str | Path) -> dict:
     """Fully verify a columnar store (benchmark or dataset) at ``path``.
 
     Revalidates the manifest envelope, then re-hashes every shard against
-    its manifest entry.  Returns a summary dict with the store kind, schema,
+    its manifest entry — sweeping all shards and reporting every failure
+    in one pass.  Returns a summary dict with the store kind, schema,
     shard count and total payload bytes.
 
     Raises:
-        ArtifactIntegrityError: On the first mismatch, naming path+reason.
+        ArtifactVerificationError: Naming every corrupt shard (path and
+            reason each) after the full sweep.
+        ArtifactIntegrityError: The manifest itself is missing or corrupt.
     """
     root = Path(path)
     manifest_path = root / MANIFEST_NAME
@@ -572,8 +612,7 @@ def verify_store(path: str | Path) -> dict:
         raise ArtifactIntegrityError(
             manifest_path, "malformed manifest: missing 'shards' table"
         )
-    for rel in sorted(shards):
-        _verify_shard(root, rel, shards[rel])
+    _verify_all_shards(root, shards)
     return {
         "kind": manifest.get("kind", "unknown"),
         "schema": schema,
@@ -638,6 +677,7 @@ def verify_artifact(path: str | Path) -> dict:
 
 
 __all__ = [
+    "ArtifactVerificationError",
     "BENCHMARK_STORE_SCHEMA",
     "BenchmarkStore",
     "DATASET_STORE_SCHEMA",

@@ -1,0 +1,153 @@
+"""Bounded admission with explicit load shedding.
+
+The service never queues unboundedly: at most ``max_inflight`` requests
+hold an execution slot and at most ``max_queue`` more wait for one.  A
+request arriving beyond both watermarks is *shed immediately* —
+:class:`Overloaded` maps to HTTP 429 with a ``Retry-After`` hint — so an
+overload burst costs the client a fast retry signal instead of costing the
+server memory and every other client latency.
+
+Queued requests remain deadline-aware: when a request's budget expires
+while it waits for a slot it is removed from the queue and answered 504,
+never executed as a zombie.
+
+Single-threaded by design (asyncio); no locks needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from repro.core.reliability import Deadline, DeadlineExceeded
+
+
+class Overloaded(Exception):
+    """The admission queue is full: the request was shed, not queued.
+
+    Attributes:
+        retry_after: Suggested client backoff in seconds.
+        depth: Queue depth at shed time.
+    """
+
+    def __init__(self, retry_after: float, depth: int) -> None:
+        super().__init__(
+            f"admission queue full ({depth} waiting); retry after "
+            f"{retry_after:.3f}s"
+        )
+        self.retry_after = retry_after
+        self.depth = depth
+
+
+class AdmissionGate:
+    """A bounded slot pool with a bounded FIFO wait queue.
+
+    Args:
+        max_inflight: Requests allowed to execute concurrently.
+        max_queue: Requests allowed to wait for a slot; beyond this the
+            gate sheds with :class:`Overloaded`.
+        retry_after: The shed hint handed to clients.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 64,
+        retry_after: float = 0.5,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.retry_after = retry_after
+        self._active = 0
+        self._waiters: deque[asyncio.Future] = deque()
+        self.shed_total = 0
+        self.expired_total = 0
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def active(self) -> int:
+        """Requests currently holding an execution slot."""
+        return self._active
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued for a slot."""
+        return len(self._waiters)
+
+    def stats(self) -> dict:
+        """Deterministic snapshot for ``/statz``."""
+        return {
+            "active": self._active,
+            "depth": len(self._waiters),
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "shed_total": self.shed_total,
+            "expired_total": self.expired_total,
+        }
+
+    # -------------------------------------------------------------- protocol
+
+    async def acquire(self, deadline: Deadline | None = None) -> None:
+        """Take a slot, queueing if necessary.
+
+        Raises:
+            Overloaded: The wait queue is at its watermark (shed fast).
+            DeadlineExceeded: The request's budget expired while queued.
+        """
+        if self._active < self.max_inflight and not self._waiters:
+            self._active += 1
+            return
+        if len(self._waiters) >= self.max_queue:
+            self.shed_total += 1
+            raise Overloaded(self.retry_after, len(self._waiters))
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(fut)
+        timeout = None
+        if deadline is not None:
+            timeout = max(deadline.remaining(), 0.0)
+        try:
+            await asyncio.wait_for(fut, timeout)
+        except asyncio.TimeoutError:
+            # wait_for cancelled the future; it can no longer be handed a
+            # slot, so just drop it from the queue.
+            self._discard(fut)
+            self.expired_total += 1
+            raise DeadlineExceeded("admission") from None
+        except asyncio.CancelledError:
+            if fut.done() and not fut.cancelled():
+                # The slot was handed over in the same tick the caller was
+                # cancelled: pass it on so it is not leaked.
+                self._handoff()
+            else:
+                self._discard(fut)
+            raise
+        # The releasing request handed its slot directly to this future;
+        # _active was never decremented, so nothing to increment here.
+
+    def release(self) -> None:
+        """Give the slot back (or hand it to the first live waiter)."""
+        if self._active < 1:
+            raise RuntimeError("release() without a matching acquire()")
+        self._active -= 1
+        self._handoff()
+
+    # ------------------------------------------------------------- internals
+
+    def _handoff(self) -> None:
+        while self._waiters and self._active < self.max_inflight:
+            fut = self._waiters.popleft()
+            if fut.done():  # cancelled or timed out while queued
+                continue
+            self._active += 1
+            fut.set_result(None)
+
+    def _discard(self, fut: asyncio.Future) -> None:
+        try:
+            self._waiters.remove(fut)
+        except ValueError:
+            self._handoff()  # already popped by a handoff: rebalance

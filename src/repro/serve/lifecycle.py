@@ -1,0 +1,112 @@
+"""Benchmark lifecycle: the swappable handle behind a running server.
+
+A :class:`BenchmarkHandle` owns the loaded
+:class:`~repro.core.benchmark.AccelNASBench` and supports **hot reload**
+with the safety order a live service needs:
+
+1. ``/readyz`` flips to *not ready* (load balancers stop sending traffic;
+   requests already in flight keep the old benchmark reference they
+   captured at admission and finish normally).
+2. The candidate artifact gets a **full verification sweep**
+   (:func:`~repro.core.store.verify_artifact` — every shard is checked and
+   *all* corruption is reported in one pass, not just the first shard).
+3. The new benchmark is loaded.  Verification and loading both run in an
+   executor thread so the event loop keeps serving while they grind.
+4. The handle's benchmark reference is swapped **atomically** (one
+   attribute store under the GIL) and the generation counter bumps.
+5. Any failure anywhere rolls back: the old benchmark stays installed,
+   ``/readyz`` flips back, and the error surfaces as :class:`ReloadError`.
+
+Only one reload runs at a time; a concurrent attempt fails fast
+(HTTP 409 at the endpoint).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+from repro.core.benchmark import AccelNASBench
+from repro.core.store import verify_artifact
+
+
+class ReloadError(Exception):
+    """A hot reload was refused or failed (the old benchmark stays live).
+
+    Attributes:
+        conflict: True when the refusal was a concurrent reload (409);
+            False for verification/load failures (500 with rollback).
+    """
+
+    def __init__(self, reason: str, conflict: bool = False) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.conflict = conflict
+
+
+class BenchmarkHandle:
+    """The atomically-swappable benchmark reference a server serves from."""
+
+    def __init__(
+        self, bench: AccelNASBench, path: str | Path | None = None
+    ) -> None:
+        self.bench = bench
+        self.path = Path(path) if path is not None else None
+        self.generation = 0
+        self._reload_lock = asyncio.Lock()
+
+    @property
+    def reloading(self) -> bool:
+        """Whether a reload is in progress (drives ``/readyz``)."""
+        return self._reload_lock.locked()
+
+    @classmethod
+    def open(cls, path: str | Path) -> "BenchmarkHandle":
+        """Load a benchmark artifact (columnar store or JSON) into a handle."""
+        return cls(AccelNASBench.load(path), path=path)
+
+    async def reload(self, path: str | Path | None = None) -> dict:
+        """Verify, load and atomically swap in a new benchmark artifact.
+
+        Args:
+            path: Artifact to load; defaults to the handle's current path
+                (re-reading an updated store in place).
+
+        Returns:
+            A summary dict: ``generation``, ``path`` and the verification
+            summary of the new artifact.
+
+        Raises:
+            ReloadError: Concurrent reload (``conflict=True``), no path to
+                load, or verification/load failure — in every case the
+                previously loaded benchmark remains installed and serving.
+        """
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ReloadError("no artifact path to reload from")
+        if self._reload_lock.locked():
+            raise ReloadError("a reload is already in progress", conflict=True)
+        async with self._reload_lock:
+            loop = asyncio.get_running_loop()
+            try:
+                summary = await loop.run_in_executor(
+                    None, verify_artifact, target
+                )
+                fresh = await loop.run_in_executor(
+                    None, AccelNASBench.load, target
+                )
+            except Exception as exc:
+                raise ReloadError(
+                    f"reload of {target} failed ({exc}); previous benchmark "
+                    "kept"
+                ) from exc
+            # Single attribute store: atomic under the GIL.  In-flight
+            # requests captured the old reference and finish against it.
+            self.bench = fresh
+            self.path = target
+            self.generation += 1
+            return {
+                "generation": self.generation,
+                "path": str(target),
+                "verified": summary,
+            }

@@ -1,0 +1,589 @@
+"""The resilient asyncio benchmark server.
+
+:class:`BenchServer` wires every robustness primitive in this package (and
+in :mod:`repro.core.reliability`) around a swappable
+:class:`~repro.serve.lifecycle.BenchmarkHandle`:
+
+============  ======  ====================================================
+endpoint      method  behaviour
+============  ======  ====================================================
+/query        POST    one architecture; coalesced into micro-batches
+/batch-query  POST    many architectures; one vectorised surrogate call
+/pareto       POST    Pareto front over (accuracy, performance)
+/reload       POST    verify → load → atomic swap → rollback on failure
+/healthz      GET     liveness (always 200 while the loop runs)
+/readyz       GET     readiness (503 while reloading or draining)
+/statz        GET     deterministic server-state snapshot
+============  ======  ====================================================
+
+Request lifecycle for the query endpoints: parse (400 on bad input) →
+deadline from ``timeout_ms`` → circuit breaker admit (503 + Retry-After
+when open) → bounded admission (429 + Retry-After when shedding, 504 when
+the budget expires queued) → drills → surrogate work off-loop in an
+executor → breaker verdict.  Surrogate and integrity errors count as
+breaker failures; deadline expiry concludes the admitted call as an
+*abandon* (no health verdict).
+
+Telemetry is strictly out of band: every ``repro.obs`` touch is gated on
+:func:`repro.obs.telemetry_active` and responses are byte-identical with
+telemetry on or off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Sequence
+
+import repro.obs as obs
+from repro.core.benchmark import AccelNASBench
+from repro.core.reliability import (
+    ArtifactIntegrityError,
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+from repro.searchspace import ArchSpec
+from repro.serve.admission import AdmissionGate, Overloaded
+from repro.serve.coalescer import Coalescer
+from repro.serve.faults import DrillPlan
+from repro.serve.http import (
+    ProtocolError,
+    Request,
+    Response,
+    json_response,
+    read_request,
+)
+from repro.serve.lifecycle import BenchmarkHandle, ReloadError
+
+QUERY_ENDPOINTS = ("query", "batch-query", "pareto")
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`BenchServer`.
+
+    Attributes:
+        host / port: Bind address; port 0 picks a free port (tests).
+        default_timeout: Deadline budget in seconds for requests that send
+            no ``timeout_ms``.
+        max_timeout: Upper clamp on any client-requested budget.
+        max_inflight / max_queue / retry_after: Admission-gate watermarks
+            and the 429 ``Retry-After`` hint.
+        max_batch / max_delay: Coalescer flush policy.
+        coalesce: Whether ``/query`` goes through the coalescer at all
+            (the load generator benchmarks both paths).
+        failure_threshold: Consecutive failures that trip an endpoint's
+            circuit breaker.
+        breaker_recovery: Cooldown schedule for tripped breakers; defaults
+            to 0.1 s doubling up to 5 s (seeded-deterministic probes).
+        drills: Optional seeded fault-drill plan.
+        clock: Injectable monotonic clock for deadlines and breakers.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    default_timeout: float = 5.0
+    max_timeout: float = 60.0
+    max_inflight: int = 8
+    max_queue: int = 64
+    retry_after: float = 0.5
+    max_batch: int = 16
+    max_delay: float = 0.005
+    coalesce: bool = True
+    failure_threshold: int = 5
+    breaker_recovery: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            base_delay=0.1, backoff=2.0, max_delay=5.0
+        )
+    )
+    drills: DrillPlan = field(default_factory=DrillPlan)
+    clock: Callable[[], float] = time.monotonic
+
+
+class BenchServer:
+    """One asyncio HTTP server over a swappable benchmark handle."""
+
+    def __init__(
+        self,
+        bench: AccelNASBench | BenchmarkHandle,
+        config: ServerConfig | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.handle = (
+            bench
+            if isinstance(bench, BenchmarkHandle)
+            else BenchmarkHandle(bench)
+        )
+        self.gate = AdmissionGate(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+            retry_after=self.config.retry_after,
+        )
+        self.coalescer = Coalescer(
+            self._coalesced_runner,
+            max_batch=self.config.max_batch,
+            max_delay=self.config.max_delay,
+            on_flush=self._note_flush,
+        )
+        self.breakers: dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                name=name,
+                failure_threshold=self.config.failure_threshold,
+                recovery=self.config.breaker_recovery,
+                clock=self.config.clock,
+            )
+            for name in QUERY_ENDPOINTS
+        }
+        self._request_index: dict[str, int] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._stopping = asyncio.Event()
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._inflight = 0
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self.port: int | None = None
+        self._log = obs.get_logger("repro.serve")
+
+    # ----------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (sets ``self.port``)."""
+        self._server = await asyncio.start_server(
+            self._on_client, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if obs.telemetry_active():
+            self._log.info(
+                "serve.started", host=self.config.host, port=self.port
+            )
+
+    async def run(self) -> None:
+        """Start (if needed) and serve until :meth:`request_stop`."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+        await self.stop()
+
+    def request_stop(self) -> None:
+        """Ask the server to drain and exit (safe from signal handlers)."""
+        self._stopping.set()
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, then close."""
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.coalescer.close()
+        await self._drained.wait()
+        for writer in list(self._connections):
+            writer.close()
+        if obs.telemetry_active():
+            self._log.info("serve.stopped", port=self.port)
+
+    @property
+    def ready(self) -> bool:
+        return not self._stopping.is_set() and not self.handle.reloading
+
+    # ---------------------------------------------------------- connection
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    response = json_response(exc.status, {"error": exc.reason})
+                    writer.write(response.render(keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                self._track_enter()
+                try:
+                    response = await self._dispatch(request)
+                    keep_alive = (
+                        request.keep_alive and not self._stopping.is_set()
+                    )
+                    writer.write(response.render(keep_alive=keep_alive))
+                    await writer.drain()
+                finally:
+                    self._track_exit()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return  # client went away mid-exchange; nothing left to answer
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    def _track_enter(self) -> None:
+        self._inflight += 1
+        self._drained.clear()
+
+    def _track_exit(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._drained.set()
+
+    # ------------------------------------------------------------- routing
+
+    async def _dispatch(self, request: Request) -> Response:
+        started = self.config.clock()
+        route = (request.method, request.path)
+        handler = {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/readyz"): self._handle_readyz,
+            ("GET", "/statz"): self._handle_statz,
+            ("POST", "/query"): self._handle_query,
+            ("POST", "/batch-query"): self._handle_batch_query,
+            ("POST", "/pareto"): self._handle_pareto,
+            ("POST", "/reload"): self._handle_reload,
+        }.get(route)
+        if handler is None:
+            known = {
+                "/healthz",
+                "/readyz",
+                "/statz",
+                "/query",
+                "/batch-query",
+                "/pareto",
+                "/reload",
+            }
+            if request.path in known:
+                response = json_response(
+                    405, {"error": f"method {request.method} not allowed"}
+                )
+            else:
+                response = json_response(
+                    404, {"error": f"no such endpoint: {request.path}"}
+                )
+        else:
+            try:
+                response = await handler(request)
+            except ProtocolError as exc:
+                response = json_response(exc.status, {"error": exc.reason})
+        if obs.telemetry_active():
+            endpoint = request.path.strip("/") or "root"
+            registry = obs.metrics()
+            registry.inc(f"serve.requests.{endpoint}")
+            registry.inc(f"serve.status.{response.status}")
+            registry.observe(
+                f"serve.latency.{endpoint}", self.config.clock() - started
+            )
+            registry.set_gauge("serve.queue_depth", self.gate.depth)
+        return response
+
+    # ------------------------------------------------------------ handlers
+
+    async def _handle_healthz(self, request: Request) -> Response:
+        return json_response(
+            200, {"status": "ok", "generation": self.handle.generation}
+        )
+
+    async def _handle_readyz(self, request: Request) -> Response:
+        payload = {"ready": self.ready, "generation": self.handle.generation}
+        return json_response(200 if self.ready else 503, payload)
+
+    async def _handle_statz(self, request: Request) -> Response:
+        return json_response(
+            200,
+            {
+                "admission": self.gate.stats(),
+                "coalescer": self.coalescer.stats(),
+                "breakers": {
+                    name: {"state": breaker.state, "trips": breaker.trips}
+                    for name, breaker in self.breakers.items()
+                },
+                "generation": self.handle.generation,
+                "inflight": self._inflight,
+            },
+        )
+
+    async def _handle_query(self, request: Request) -> Response:
+        payload = request.json()
+        arch, device, metric = self._parse_target(payload, single=True)
+        deadline = self._deadline(payload)
+
+        async def work() -> dict:
+            bench = self.handle.bench
+            if self.config.coalesce:
+                return await self.coalescer.query(
+                    arch, device or "", metric, deadline
+                )
+            loop = asyncio.get_running_loop()
+            spec = ArchSpec.from_string(arch)
+            result = await loop.run_in_executor(
+                None, lambda: bench.query(spec, device, metric)
+            )
+            return _result_payload(result)
+
+        return await self._guarded(request, "query", deadline, work)
+
+    async def _handle_batch_query(self, request: Request) -> Response:
+        payload = request.json()
+        archs, device, metric = self._parse_target(payload, single=False)
+        deadline = self._deadline(payload)
+
+        async def work() -> dict:
+            bench = self.handle.bench
+            specs = [ArchSpec.from_string(a) for a in archs]
+            loop = asyncio.get_running_loop()
+            results = await loop.run_in_executor(
+                None, lambda: bench.query_batch(specs, device, metric)
+            )
+            return {
+                "count": len(results),
+                "results": [_result_payload(r) for r in results],
+            }
+
+        return await self._guarded(request, "batch-query", deadline, work)
+
+    async def _handle_pareto(self, request: Request) -> Response:
+        payload = request.json()
+        archs, device, metric = self._parse_target(payload, single=False)
+        if device is None:
+            raise ProtocolError(400, "pareto requires a 'device'")
+        deadline = self._deadline(payload)
+
+        async def work() -> dict:
+            bench = self.handle.bench
+            specs = [ArchSpec.from_string(a) for a in archs]
+            loop = asyncio.get_running_loop()
+
+            def compute() -> dict:
+                import numpy as np
+
+                from repro.core.pareto import pareto_front_indices
+
+                accuracy = bench.query_accuracy_batch(specs)
+                perf = bench.query_performance_batch(specs, device, metric)
+                points = np.column_stack([accuracy, perf])
+                # Accuracy is always maximised; latency-like metrics are
+                # minimised, throughput-like maximised.
+                maximize = (True, metric != "latency")
+                idx = pareto_front_indices(points, maximize=maximize)
+                return {
+                    "count": len(idx),
+                    "front": [
+                        {
+                            "index": int(i),
+                            "arch": archs[int(i)],
+                            "accuracy": float(accuracy[int(i)]),
+                            "performance": float(perf[int(i)]),
+                        }
+                        for i in idx
+                    ],
+                    "device": device,
+                    "metric": metric,
+                }
+
+            return await loop.run_in_executor(None, compute)
+
+        return await self._guarded(request, "pareto", deadline, work)
+
+    async def _handle_reload(self, request: Request) -> Response:
+        payload = request.json()
+        path = payload.get("path")
+        try:
+            summary = await self.handle.reload(path)
+        except ReloadError as exc:
+            status = 409 if exc.conflict else 500
+            if obs.telemetry_active():
+                self._log.warning(
+                    "serve.reload_failed", reason=exc.reason, status=status
+                )
+                obs.metrics().inc("serve.reload.failed")
+            return json_response(status, {"error": exc.reason})
+        if obs.telemetry_active():
+            self._log.info(
+                "serve.reloaded",
+                path=summary["path"],
+                generation=summary["generation"],
+            )
+            obs.metrics().inc("serve.reload.ok")
+        return json_response(200, summary)
+
+    # ------------------------------------------------------------ guarding
+
+    async def _guarded(
+        self,
+        request: Request,
+        endpoint: str,
+        deadline: Deadline,
+        work: Callable[[], Awaitable[dict]],
+    ) -> Response:
+        """Run ``work`` behind breaker + admission + deadline + drills."""
+        index = self._request_index.get(endpoint, 0)
+        self._request_index[endpoint] = index + 1
+        breaker = self.breakers[endpoint]
+        try:
+            breaker.allow()
+        except CircuitOpen as exc:
+            if obs.telemetry_active():
+                obs.metrics().inc(f"serve.breaker.rejected.{endpoint}")
+            return json_response(
+                503,
+                {"error": "circuit open"},
+                headers={"Retry-After": _retry_after(exc.retry_after)},
+            )
+        admitted = False
+        try:
+            await self.gate.acquire(deadline)
+            admitted = True
+            delay = self.config.drills.delay_for(endpoint, index)
+            if delay > 0.0:
+                await asyncio.sleep(min(delay, max(deadline.remaining(), 0.0)))
+            deadline.check(endpoint)
+            self.config.drills.check(endpoint, index)
+            result = await work()
+            deadline.check(endpoint)
+        except Overloaded as exc:
+            breaker.record_abandon()
+            if obs.telemetry_active():
+                obs.metrics().inc("serve.shed")
+            return json_response(
+                429,
+                {"error": "overloaded"},
+                headers={"Retry-After": _retry_after(exc.retry_after)},
+            )
+        except DeadlineExceeded:
+            breaker.record_abandon()
+            if obs.telemetry_active():
+                obs.metrics().inc("serve.deadline_expired")
+            return json_response(504, {"error": "deadline exceeded"})
+        except (KeyError, ValueError) as exc:
+            # Bad input (unknown target, malformed arch): the client's
+            # fault, not the surrogate's — no breaker verdict.
+            breaker.record_abandon()
+            return json_response(400, {"error": str(exc)})
+        except ArtifactIntegrityError as exc:
+            trips_before = breaker.trips
+            breaker.record_failure()
+            self._note_failure(endpoint, breaker, trips_before)
+            return json_response(500, {"error": f"artifact integrity: {exc}"})
+        except Exception as exc:
+            trips_before = breaker.trips
+            breaker.record_failure()
+            self._note_failure(endpoint, breaker, trips_before)
+            return json_response(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        else:
+            breaker.record_success()
+            return json_response(200, result)
+        finally:
+            if admitted:
+                self.gate.release()
+
+    # ------------------------------------------------------------- parsing
+
+    def _parse_target(self, payload: dict, single: bool):
+        if single:
+            arch = payload.get("arch")
+            if not isinstance(arch, str) or not arch:
+                raise ProtocolError(400, "'arch' must be a non-empty string")
+            archs: str | list[str] = arch
+        else:
+            raw = payload.get("archs")
+            if (
+                not isinstance(raw, list)
+                or not raw
+                or not all(isinstance(a, str) and a for a in raw)
+            ):
+                raise ProtocolError(
+                    400, "'archs' must be a non-empty list of strings"
+                )
+            archs = list(raw)
+        device = payload.get("device")
+        if device is not None and not isinstance(device, str):
+            raise ProtocolError(400, "'device' must be a string")
+        metric = payload.get("metric", "throughput")
+        if not isinstance(metric, str):
+            raise ProtocolError(400, "'metric' must be a string")
+        if device is not None:
+            targets = self.handle.bench.targets
+            if (device, metric) not in targets:
+                raise ProtocolError(
+                    400,
+                    f"no surrogate for ({device!r}, {metric!r}); "
+                    f"available: {targets}",
+                )
+        sample = archs if single else archs[0]
+        try:
+            ArchSpec.from_string(sample)
+        except (ValueError, TypeError) as exc:
+            raise ProtocolError(400, f"bad arch spec: {exc}") from exc
+        return archs, device, metric
+
+    def _deadline(self, payload: dict) -> Deadline:
+        raw = payload.get("timeout_ms")
+        if raw is None:
+            budget = self.config.default_timeout
+        else:
+            if not isinstance(raw, (int, float)) or isinstance(raw, bool):
+                raise ProtocolError(400, "'timeout_ms' must be a number")
+            if raw <= 0:
+                raise ProtocolError(400, "'timeout_ms' must be > 0")
+            budget = min(raw / 1000.0, self.config.max_timeout)
+        return Deadline.after(budget, clock=self.config.clock)
+
+    # ------------------------------------------------------------ plumbing
+
+    async def _coalesced_runner(
+        self, device: str, metric: str, archs: Sequence[str]
+    ) -> list[dict]:
+        bench = self.handle.bench
+        specs = [ArchSpec.from_string(a) for a in archs]
+        loop = asyncio.get_running_loop()
+        results = await loop.run_in_executor(
+            None, lambda: bench.query_batch(specs, device or None, metric)
+        )
+        return [_result_payload(r) for r in results]
+
+    def _note_flush(self, batch_size: int) -> None:
+        if obs.telemetry_active():
+            registry = obs.metrics()
+            registry.set_gauge("serve.coalesce.last_batch", batch_size)
+            registry.observe(
+                "serve.coalesce.batch_size",
+                float(batch_size),
+                buckets=(1, 2, 4, 8, 16, 32, 64),
+            )
+
+    def _note_failure(
+        self, endpoint: str, breaker: CircuitBreaker, trips_before: int
+    ) -> None:
+        if not obs.telemetry_active():
+            return
+        obs.metrics().inc(f"serve.failures.{endpoint}")
+        if breaker.trips > trips_before:
+            obs.metrics().inc(f"serve.breaker.trips.{endpoint}")
+            self._log.warning(
+                "serve.breaker_tripped", endpoint=endpoint, trips=breaker.trips
+            )
+
+
+def _result_payload(result) -> dict:
+    """JSON-ready dict for one QueryResult (deterministic key order)."""
+    return {
+        "arch": result.arch.to_string(),
+        "accuracy": result.accuracy,
+        "performance": result.performance,
+        "device": result.device,
+        "metric": result.metric,
+    }
+
+
+def _retry_after(seconds: float) -> str:
+    """Integer Retry-After header value (at least 1 second)."""
+    return str(max(1, math.ceil(seconds)))

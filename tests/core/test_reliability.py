@@ -8,7 +8,11 @@ import pytest
 
 from repro.core.reliability import (
     ArtifactIntegrityError,
+    CircuitBreaker,
+    CircuitOpen,
     CollectionError,
+    Deadline,
+    DeadlineExceeded,
     FailureRecord,
     FaultPlan,
     FaultSpec,
@@ -23,6 +27,19 @@ from repro.core.reliability import (
     run_tasks,
     write_artifact,
 )
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deterministic timing tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
 
 
 class TestFaultSpec:
@@ -409,3 +426,266 @@ class TestArtifactEnvelope:
         assert payload_checksum({"a": 1, "b": 2}) == payload_checksum(
             {"b": 2, "a": 1}
         )
+
+
+class TestDeadline:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            Deadline.after(-1.0)
+
+    def test_remaining_counts_down_on_the_injected_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == 2.0
+        assert not deadline.expired()
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.advance(1.0)
+        assert deadline.expired()
+        assert deadline.remaining() == pytest.approx(-0.5)
+
+    def test_check_raises_with_key_and_overrun(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        deadline.check("query")  # within budget: no-op
+        clock.advance(1.25)
+        with pytest.raises(DeadlineExceeded) as err:
+            deadline.check("query")
+        assert err.value.key == "query"
+        assert err.value.overrun == pytest.approx(0.25)
+
+    def test_zero_budget_expires_immediately(self):
+        deadline = Deadline.after(0.0, clock=FakeClock())
+        assert deadline.expired()
+
+
+class TestRetryPolicyMaxElapsed:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_elapsed"):
+            RetryPolicy(max_elapsed=-1.0)
+
+    def test_budget_exhausted_mid_backoff_gives_up_without_sleeping(self):
+        """The next backoff would blow the wall budget: raise now instead of
+        sleeping into a deadline we already know we will miss."""
+        clock = FakeClock()
+        sleeps = []
+
+        def sleeper(seconds):
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        policy = RetryPolicy(
+            max_attempts=5,
+            base_delay=10.0,
+            max_delay=10.0,
+            jitter=0.0,
+            max_elapsed=5.0,
+            clock=clock,
+            sleep=sleeper,
+        )
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            raise MeasurementTimeout("task", attempt)
+
+        with pytest.raises(MeasurementTimeout):
+            policy.run(fn, "task")
+        assert calls == [0]  # first attempt ran; no doomed retries
+        assert sleeps == []  # and the exhausted budget was never slept into
+
+    def test_budget_allows_early_retries_then_stops(self):
+        clock = FakeClock()
+        sleeps = []
+
+        def sleeper(seconds):
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay=1.0,
+            backoff=2.0,
+            jitter=0.0,
+            max_elapsed=2.5,
+            clock=clock,
+            sleep=sleeper,
+        )
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            raise MeasurementTimeout("task", attempt)
+
+        with pytest.raises(MeasurementTimeout):
+            policy.run(fn, "task")
+        # attempt 0 fails, backoff 1.0 fits (1.0 <= 2.5); attempt 1 fails,
+        # backoff 2.0 would reach 3.0 > 2.5: stop.
+        assert calls == [0, 1]
+        assert sleeps == [1.0]
+
+    def test_success_is_unaffected_by_budget(self):
+        policy = RetryPolicy(max_elapsed=0.0, clock=FakeClock())
+        assert policy.run(lambda attempt: 42.0, "task") == 42.0
+
+    def test_within_adopts_deadline_budget_and_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.7, clock=clock)
+        clock.advance(0.2)
+        policy = RetryPolicy(seed=3).within(deadline)
+        assert policy.max_elapsed == pytest.approx(0.5)
+        assert policy.clock is clock
+        assert policy.seed == 3  # everything else carried over
+
+    def test_within_an_expired_deadline_clamps_to_zero(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.1, clock=clock)
+        clock.advance(1.0)
+        assert RetryPolicy().within(deadline).max_elapsed == 0.0
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=2):
+        return CircuitBreaker(
+            name="query",
+            failure_threshold=threshold,
+            recovery=RetryPolicy(base_delay=0.5, backoff=2.0, jitter=0.0),
+            clock=clock,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_starts_closed_and_admits(self):
+        breaker = self._breaker(FakeClock())
+        assert breaker.state == "closed"
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.trips == 0
+
+    def test_trips_after_consecutive_failures(self):
+        breaker = self._breaker(FakeClock())
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        with pytest.raises(CircuitOpen) as err:
+            breaker.allow()
+        assert err.value.name == "query"
+        assert err.value.retry_after == pytest.approx(0.5)
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = self._breaker(FakeClock(), threshold=2)
+        breaker.allow()
+        breaker.record_failure()
+        breaker.allow()
+        breaker.record_success()
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never two in a row
+
+    def test_cooldown_schedule_is_deterministic(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        recovery = RetryPolicy(base_delay=0.5, backoff=2.0, jitter=0.0)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.retry_after() == pytest.approx(recovery.delay("query", 0))
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        clock.advance(0.6)  # past the 0.5 cooldown
+        assert breaker.state == "half_open"
+        breaker.allow()  # the probe
+        with pytest.raises(CircuitOpen):
+            breaker.allow()  # probe still in flight
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.allow()  # closed again: freely admitting
+
+    def test_failed_probe_reopens_with_longer_cooldown(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        first_cooldown = breaker.retry_after()
+        clock.advance(0.6)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert breaker.retry_after() > first_cooldown  # backoff doubled
+
+    def test_abandoned_probe_frees_the_slot_without_a_verdict(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        clock.advance(0.6)
+        breaker.allow()  # probe admitted...
+        breaker.record_abandon()  # ...but its deadline expired
+        assert breaker.state == "half_open"  # no verdict either way
+        breaker.allow()  # the next caller can probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_abandon_outside_half_open_is_a_no_op(self):
+        breaker = self._breaker(FakeClock())
+        breaker.allow()
+        breaker.record_abandon()
+        assert breaker.state == "closed"
+        assert breaker.trips == 0
+
+
+class TestJournalTornTailTelemetry:
+    def _torn_journal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path, dataset="ANB-Acc") as journal:
+            journal.append("a", 0.5)
+            journal.append("b", 0.625)
+        text = path.read_text()
+        truncated = text[: len(text) - 8]
+        path.write_text(truncated)
+        torn_line = truncated.splitlines()[-1]
+        offset = len(truncated.encode()) - len(torn_line.encode())
+        return path, torn_line, offset
+
+    def test_torn_tail_is_logged_with_byte_offset(self, tmp_path):
+        import io
+
+        import repro.obs as obs
+
+        path, torn_line, offset = self._torn_journal(tmp_path)
+        stream = io.StringIO()
+        obs.configure(level="warning", json=True, stream=stream)
+        try:
+            replayed = Journal(path, dataset="ANB-Acc").replay()
+        finally:
+            obs.reset()
+        assert replayed == {"a": 0.5}  # recovery behaviour unchanged
+        records = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        torn = [r for r in records if r["event"] == "journal.torn_tail"]
+        assert len(torn) == 1
+        assert torn[0]["level"] == "warning"
+        assert torn[0]["path"] == str(path)
+        assert torn[0]["byte_offset"] == offset
+        assert torn[0]["torn_bytes"] == len(torn_line.encode())
+
+    def test_torn_tail_is_silent_without_telemetry(self, tmp_path):
+        import repro.obs as obs
+
+        path, _, _ = self._torn_journal(tmp_path)
+        obs.reset()
+        assert not obs.telemetry_active()
+        assert Journal(path, dataset="ANB-Acc").replay() == {"a": 0.5}

@@ -187,6 +187,47 @@ class TestLazyLoading:
         with pytest.raises(KeyError):
             col_bench.query_performance(some_archs[0], "tpuv3", "throughput")
 
+    def test_concurrent_first_queries_construct_each_model_once(
+        self, saved, some_archs
+    ):
+        """Serving workers racing to the same cold surrogate must end up
+        sharing one construction — no duplicate memmaps, identical answers."""
+        import threading
+
+        col_bench = AccelNASBench.load(saved[1])
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        results: list = [None] * n_threads
+        errors: list = []
+
+        def worker(i):
+            try:
+                barrier.wait()
+                results[i] = col_bench.query_performance(
+                    some_archs[0], "a100", "throughput"
+                )
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(set(results)) == 1  # every thread saw the same model
+        inner = col_bench.store
+        # One miss (the single construction); everyone else hit the cache.
+        assert inner._misses == 1
+        assert inner._hits == n_threads - 1
+        # No duplicate memmaps: the mapped footprint equals one load, and a
+        # repeat query does not grow it.
+        mapped = inner.mapped_bytes
+        col_bench.query_performance(some_archs[1], "a100", "throughput")
+        assert inner.mapped_bytes == mapped
+
 
 class TestIntegrity:
     @pytest.fixture
@@ -214,6 +255,41 @@ class TestIntegrity:
             store.verify_store(broken_store)
         assert rel in str(err.value)
         assert "sha256 mismatch" in err.value.reason
+
+    def test_two_corrupt_shards_both_reported_in_one_pass(self, broken_store):
+        """The verify sweep collects every bad shard instead of stopping at
+        the first — one pass reports the full damage."""
+        manifest = store.BenchmarkStore.open(broken_store).manifest
+        rels = sorted(manifest["shards"])[:2]
+        for rel in rels:
+            shard = broken_store / rel
+            raw = bytearray(shard.read_bytes())
+            raw[3] ^= 0xFF
+            shard.write_bytes(bytes(raw))
+        with pytest.raises(store.ArtifactVerificationError) as err:
+            store.verify_store(broken_store)
+        assert len(err.value.errors) == 2
+        assert "2 shard(s) failed verification" in err.value.reason
+        for rel, sub in zip(rels, err.value.errors):
+            assert rel in str(sub.path)
+            assert "sha256 mismatch" in sub.reason
+            assert rel in str(err.value)  # aggregate names every shard
+        # Same collect-all behaviour through the other verify entry points.
+        with pytest.raises(store.ArtifactVerificationError) as err:
+            store.BenchmarkStore.open(broken_store).verify()
+        assert len(err.value.errors) == 2
+        with pytest.raises(store.ArtifactVerificationError) as err:
+            store.verify_artifact(broken_store)
+        assert len(err.value.errors) == 2
+
+    def test_aggregate_error_is_an_integrity_error(self, broken_store):
+        """Callers catching ArtifactIntegrityError keep working unchanged."""
+        rel, shard = self._some_shard(broken_store)
+        raw = bytearray(shard.read_bytes())
+        raw[1] ^= 0xFF
+        shard.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactIntegrityError):
+            store.verify_store(broken_store)
 
     def test_truncated_shard_fails_load(self, broken_store):
         rel, shard = self._some_shard(broken_store)

@@ -1,0 +1,33 @@
+"""Serving-layer fixtures: one small fitted benchmark shared by the suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import AccelNASBench
+from repro.trainsim.schemes import P_STAR
+
+
+@pytest.fixture(scope="session")
+def serve_bench():
+    bench, _ = AccelNASBench.build(
+        P_STAR,
+        num_archs=40,
+        devices={"a100": ("throughput",)},
+        sample_seed=3,
+    )
+    return bench
+
+
+@pytest.fixture(scope="session")
+def serve_store(serve_bench, tmp_path_factory):
+    """The benchmark packed as a columnar store (lazy, memmapped)."""
+    path = tmp_path_factory.mktemp("serve_store") / "bench.store"
+    serve_bench.save(path, format="columnar")
+    return path
+
+
+@pytest.fixture(scope="session")
+def arch_strings(space):
+    """Twelve distinct canonical architecture strings."""
+    batch = space.sample_batch(12, rng=np.random.default_rng(99), unique=True)
+    return [arch.to_string() for arch in batch]

@@ -1,0 +1,114 @@
+"""Bounded admission: slots, FIFO queueing, shedding, deadline expiry."""
+
+import asyncio
+
+import pytest
+
+from repro.core.reliability import Deadline, DeadlineExceeded
+from repro.serve import AdmissionGate, Overloaded
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestValidation:
+    def test_bad_watermarks_rejected(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            AdmissionGate(max_inflight=0)
+        with pytest.raises(ValueError, match="max_queue"):
+            AdmissionGate(max_queue=-1)
+
+    def test_release_without_acquire(self):
+        with pytest.raises(RuntimeError, match="without a matching"):
+            AdmissionGate().release()
+
+
+class TestAdmission:
+    def test_immediate_admission_up_to_capacity(self):
+        async def main():
+            gate = AdmissionGate(max_inflight=2, max_queue=0)
+            await gate.acquire()
+            await gate.acquire()
+            assert gate.active == 2
+            with pytest.raises(Overloaded):
+                await gate.acquire()
+            gate.release()
+            await gate.acquire()
+            assert gate.active == 2
+
+        run(main())
+
+    def test_shed_carries_retry_after_and_counts(self):
+        async def main():
+            gate = AdmissionGate(max_inflight=1, max_queue=0, retry_after=2.5)
+            await gate.acquire()
+            with pytest.raises(Overloaded) as err:
+                await gate.acquire()
+            assert err.value.retry_after == 2.5
+            assert gate.shed_total == 1
+            assert gate.stats()["shed_total"] == 1
+
+        run(main())
+
+    def test_queued_waiters_admitted_fifo(self):
+        async def main():
+            gate = AdmissionGate(max_inflight=1, max_queue=4)
+            await gate.acquire()
+            order = []
+
+            async def waiter(i):
+                await gate.acquire()
+                order.append(i)
+                gate.release()
+
+            tasks = [asyncio.create_task(waiter(i)) for i in range(3)]
+            await asyncio.sleep(0)
+            assert gate.depth == 3
+            gate.release()
+            await asyncio.gather(*tasks)
+            assert order == [0, 1, 2]
+            assert gate.active == 0
+
+        run(main())
+
+    def test_deadline_expiry_while_queued_is_504_path(self):
+        async def main():
+            gate = AdmissionGate(max_inflight=1, max_queue=4)
+            await gate.acquire()
+            with pytest.raises(DeadlineExceeded):
+                await gate.acquire(Deadline.after(0.01))
+            assert gate.expired_total == 1
+            assert gate.depth == 0
+            # The slot pool stays consistent: release + re-acquire works.
+            gate.release()
+            await gate.acquire()
+            assert gate.active == 1
+
+        run(main())
+
+    def test_cancelled_waiter_does_not_leak_a_slot(self):
+        async def main():
+            gate = AdmissionGate(max_inflight=1, max_queue=4)
+            await gate.acquire()
+            task = asyncio.create_task(gate.acquire())
+            await asyncio.sleep(0)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            gate.release()
+            assert gate.active == 0
+            await gate.acquire()
+            assert gate.active == 1
+
+        run(main())
+
+    def test_expired_deadline_sheds_instantly_when_queue_full(self):
+        async def main():
+            gate = AdmissionGate(max_inflight=1, max_queue=0)
+            await gate.acquire()
+            # Queue watermark beats the deadline: Overloaded, not 504.
+            with pytest.raises(Overloaded):
+                await gate.acquire(Deadline.after(10.0))
+
+        run(main())

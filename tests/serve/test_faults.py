@@ -1,0 +1,94 @@
+"""Serving fault drills: parsing, determinism, windows, store truncation."""
+
+import shutil
+
+import pytest
+
+from repro.core.store import verify_store
+from repro.core.reliability import ArtifactIntegrityError
+from repro.serve import DrillPlan, DrillSpec, InjectedServeFault, truncate_shard
+
+
+class TestDrillSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown drill kind"):
+            DrillSpec("meltdown")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            DrillSpec("slow", rate=1.5)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            DrillSpec("error", first_n=0)
+
+    def test_window_eligibility(self):
+        spec = DrillSpec("error", first_n=3)
+        assert spec.eligible(0)
+        assert spec.eligible(2)
+        assert not spec.eligible(3)
+
+
+class TestDrillPlan:
+    def test_from_string_round_trip(self):
+        plan = DrillPlan.from_string("error:1.0@6,slow:0.25", seed=7)
+        assert len(plan.specs) == 2
+        assert plan.specs[0] == DrillSpec("error", rate=1.0, first_n=6)
+        assert plan.specs[1] == DrillSpec("slow", rate=0.25)
+        assert plan.seed == 7
+        assert bool(plan)
+        assert not DrillPlan()
+
+    def test_bad_spec_text_rejected(self):
+        with pytest.raises(ValueError, match="bad drill spec"):
+            DrillPlan.from_string("error:often")
+
+    def test_error_window_trips_then_heals(self):
+        plan = DrillPlan.from_string("error:1.0@6")
+        for index in range(6):
+            with pytest.raises(InjectedServeFault):
+                plan.check("query", index)
+        for index in range(6, 20):
+            plan.check("query", index)  # healed
+
+    def test_slow_drill_yields_configured_stall(self):
+        plan = DrillPlan.from_string("slow:1.0@2", slow_seconds=0.25)
+        assert plan.delay_for("query", 0) == 0.25
+        assert plan.delay_for("query", 1) == 0.25
+        assert plan.delay_for("query", 2) == 0.0
+
+    def test_decisions_are_seed_deterministic(self):
+        a = DrillPlan.from_string("slow:0.5", seed=3)
+        b = DrillPlan.from_string("slow:0.5", seed=3)
+        decisions_a = [a.delay_for("query", i) > 0 for i in range(64)]
+        decisions_b = [b.delay_for("query", i) > 0 for i in range(64)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_different_seeds_diverge(self):
+        a = DrillPlan.from_string("slow:0.5", seed=1)
+        b = DrillPlan.from_string("slow:0.5", seed=2)
+        assert [a.delay_for("q", i) for i in range(64)] != [
+            b.delay_for("q", i) for i in range(64)
+        ]
+
+    def test_zero_rate_never_fires(self):
+        plan = DrillPlan.from_string("error:0.0")
+        for index in range(32):
+            plan.check("query", index)
+
+
+class TestTruncateShard:
+    def test_truncation_breaks_verification(self, serve_store, tmp_path):
+        damaged = tmp_path / "damaged.store"
+        shutil.copytree(serve_store, damaged)
+        rel = truncate_shard(damaged)
+        assert (damaged / rel).exists()
+        with pytest.raises(ArtifactIntegrityError):
+            verify_store(damaged)
+        # The original store is untouched.
+        verify_store(serve_store)
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            truncate_shard(tmp_path)
