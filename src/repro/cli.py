@@ -454,6 +454,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0,
         coalesce=not args.no_coalesce,
+        cache_size=args.cache_size,
         failure_threshold=args.failure_threshold,
         drills=drills,
     )
@@ -638,6 +639,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-coalesce",
         action="store_true",
         help="disable micro-batch coalescing on /query",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="LRU entries for the /query response cache (0 = disabled)",
     )
     p.add_argument(
         "--failure-threshold",

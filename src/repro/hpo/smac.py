@@ -47,6 +47,10 @@ class SmacOptimizer:
         n_init: Random configurations evaluated before modelling starts.
         candidate_pool: Random candidates scored by EI per iteration.
         forest_params: Overrides for the internal random forest.
+        n_jobs: Worker threads for every per-iteration forest refit (the
+            optimiser's hot path).  Any value produces byte-identical
+            surrogates — forest trees fit from independent derived seed
+            streams — so this is purely a wall-clock knob.
     """
 
     def __init__(
@@ -56,6 +60,7 @@ class SmacOptimizer:
         n_init: int = 8,
         candidate_pool: int = 512,
         forest_params: dict | None = None,
+        n_jobs: int | None = 1,
     ) -> None:
         if n_init < 2:
             raise ValueError("n_init must be >= 2")
@@ -69,6 +74,7 @@ class SmacOptimizer:
             "min_samples_leaf": 1,
             "max_features": 0.8,
             "seed": seed,
+            "n_jobs": n_jobs,
         }
         if forest_params:
             self.forest_params.update(forest_params)

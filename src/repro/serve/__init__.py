@@ -21,6 +21,12 @@ with robustness as the headline:
   and :class:`~repro.core.reliability.ArtifactIntegrityError` trip a
   closed→open→half-open breaker with seeded-deterministic probe
   scheduling; open circuits answer HTTP 503 + ``Retry-After``.
+- **generation-keyed response caching**
+  (:class:`~repro.serve.cache.ResponseCache`) — an LRU over canonical
+  ``(generation, arch, device, metric)`` keys answers repeat ``/query``
+  hits without touching the surrogates; a hot reload's generation bump
+  invalidates every prior entry, and responses are byte-identical with
+  the cache on, off, hit or miss.
 - **graceful drain + hot reload**
   (:class:`~repro.serve.lifecycle.BenchmarkHandle`) — shutdown drains
   in-flight requests; ``/reload`` verifies the new artifact (full
@@ -45,6 +51,7 @@ or embed it::
 """
 
 from repro.serve.admission import AdmissionGate, Overloaded
+from repro.serve.cache import ResponseCache
 from repro.serve.coalescer import Coalescer
 from repro.serve.faults import DrillPlan, DrillSpec, InjectedServeFault, truncate_shard
 from repro.serve.http import (
@@ -72,6 +79,7 @@ __all__ = [
     "ReloadError",
     "Request",
     "Response",
+    "ResponseCache",
     "ServerConfig",
     "json_response",
     "request",

@@ -1,0 +1,78 @@
+"""LRU response cache for the single-architecture ``/query`` endpoint.
+
+The benchmark is a pure function of ``(artifact generation, arch, device,
+metric)``: surrogates are frozen at load time and only a hot reload — which
+bumps :attr:`~repro.serve.lifecycle.BenchmarkHandle.generation` — can change
+an answer.  That makes query responses perfectly cacheable, with the
+generation folded into the key so a reload invalidates every prior entry
+without any explicit coordination (the server additionally clears the cache
+on a successful swap to release the memory eagerly).
+
+Keys use the *canonical* architecture string (``ArchSpec.to_string()`` of
+the parsed spec), so syntactic variants of the same architecture share one
+entry.  Values are the exact payload dicts the worker produced; a hit
+replays the same dict through the same JSON encoder, so responses are
+byte-identical with the cache on, off, hit or miss.
+
+The cache is synchronous and unlocked on purpose: the server touches it
+only from the event-loop thread.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+Key = tuple[int, str, str, str]
+
+
+class ResponseCache:
+    """Bounded LRU mapping of query keys to response payload dicts.
+
+    Args:
+        max_entries: Capacity; the least-recently-used entry is evicted on
+            overflow.  Must be >= 1 (a size of 0 means "no cache" and is
+            handled by the server by not constructing one).
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Key, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Key) -> dict | None:
+        """Return the cached payload for ``key`` (marking it fresh) or None."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def put(self, key: Key, payload: dict) -> None:
+        """Insert ``payload`` under ``key``, evicting the LRU tail if full."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = payload
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are cumulative and survive)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Deterministic snapshot for ``/statz`` and tests."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -58,6 +58,7 @@ from repro.serve.http import (
     json_response,
     read_request,
 )
+from repro.serve.cache import ResponseCache
 from repro.serve.lifecycle import BenchmarkHandle, ReloadError
 
 QUERY_ENDPOINTS = ("query", "batch-query", "pareto")
@@ -77,6 +78,10 @@ class ServerConfig:
         max_batch / max_delay: Coalescer flush policy.
         coalesce: Whether ``/query`` goes through the coalescer at all
             (the load generator benchmarks both paths).
+        cache_size: LRU entries for the ``/query`` response cache (0
+            disables it).  Keys fold in the artifact generation, so a hot
+            reload invalidates the cache; responses are byte-identical
+            with the cache on or off.
         failure_threshold: Consecutive failures that trip an endpoint's
             circuit breaker.
         breaker_recovery: Cooldown schedule for tripped breakers; defaults
@@ -95,6 +100,7 @@ class ServerConfig:
     max_batch: int = 16
     max_delay: float = 0.005
     coalesce: bool = True
+    cache_size: int = 256
     failure_threshold: int = 5
     breaker_recovery: RetryPolicy = field(
         default_factory=lambda: RetryPolicy(
@@ -139,6 +145,11 @@ class BenchServer:
             )
             for name in QUERY_ENDPOINTS
         }
+        self.cache = (
+            ResponseCache(self.config.cache_size)
+            if self.config.cache_size > 0
+            else None
+        )
         self._request_index: dict[str, int] = {}
         self._server: asyncio.AbstractServer | None = None
         self._stopping = asyncio.Event()
@@ -304,6 +315,7 @@ class BenchServer:
                     name: {"state": breaker.state, "trips": breaker.trips}
                     for name, breaker in self.breakers.items()
                 },
+                "cache": None if self.cache is None else self.cache.stats(),
                 "generation": self.handle.generation,
                 "inflight": self._inflight,
             },
@@ -316,16 +328,41 @@ class BenchServer:
 
         async def work() -> dict:
             bench = self.handle.bench
+            spec = ArchSpec.from_string(arch)
+            cache = self.cache
+            key = None
+            if cache is not None:
+                # The generation in the key makes entries from a replaced
+                # artifact unreachable the instant a reload swaps it in.
+                key = (
+                    self.handle.generation,
+                    spec.to_string(),
+                    device or "",
+                    metric,
+                )
+                payload = cache.get(key)
+                if obs.telemetry_active():
+                    registry = obs.metrics()
+                    registry.inc(
+                        "serve.cache.hit" if payload is not None
+                        else "serve.cache.miss"
+                    )
+                    registry.set_gauge("serve.cache.entries", len(cache))
+                if payload is not None:
+                    return payload
             if self.config.coalesce:
-                return await self.coalescer.query(
+                payload = await self.coalescer.query(
                     arch, device or "", metric, deadline
                 )
-            loop = asyncio.get_running_loop()
-            spec = ArchSpec.from_string(arch)
-            result = await loop.run_in_executor(
-                None, lambda: bench.query(spec, device, metric)
-            )
-            return _result_payload(result)
+            else:
+                loop = asyncio.get_running_loop()
+                result = await loop.run_in_executor(
+                    None, lambda: bench.query(spec, device, metric)
+                )
+                payload = _result_payload(result)
+            if cache is not None:
+                cache.put(key, payload)
+            return payload
 
         return await self._guarded(request, "query", deadline, work)
 
@@ -404,6 +441,10 @@ class BenchServer:
                 )
                 obs.metrics().inc("serve.reload.failed")
             return json_response(status, {"error": exc.reason})
+        if self.cache is not None:
+            # Entries are already unreachable (generation-keyed); drop them
+            # to release the old artifact's payloads eagerly.
+            self.cache.clear()
         if obs.telemetry_active():
             self._log.info(
                 "serve.reloaded",

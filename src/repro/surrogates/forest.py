@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.parallel import deterministic_map
 from repro.surrogates.base import Regressor
 from repro.surrogates.tree import (
     FittedTree,
@@ -16,6 +17,13 @@ from repro.surrogates.tree import (
 class RandomForestRegressor(Regressor):
     """Bagged ensemble of variance-reduction CART trees.
 
+    Each tree draws its bootstrap rows and per-node feature subsets from its
+    own rng stream, derived from the master ``seed`` via
+    ``np.random.SeedSequence(seed).spawn(n_estimators)``.  Trees are therefore
+    independent of fitting order and worker count: ``fit`` fans them out over
+    :func:`repro.core.parallel.deterministic_map` and any ``n_jobs`` produces
+    byte-identical ensembles to serial.
+
     Args:
         n_estimators: Number of trees.
         max_depth: Per-tree depth cap.
@@ -24,6 +32,14 @@ class RandomForestRegressor(Regressor):
         bootstrap: Sample rows with replacement per tree.
         max_bins: Histogram resolution.
         seed: Master seed for bootstrap and feature subsampling.
+        n_jobs: Tree-fitting worker threads (1 = serial; ``None``/``-1`` =
+            all CPUs).  Not part of the saved parameter surface — artifacts
+            are byte-identical for every value.
+        engine: Tree-growth engine (``"partition"`` or ``"legacy"``), passed
+            through to :class:`GradientTreeBuilder`; bit-identical trees
+            either way.  Not part of the saved parameter surface.
+        hist_mode: Histogram kernel selection, passed through to the builder.
+            Not part of the saved parameter surface.
     """
 
     _PARAM_NAMES = (
@@ -45,6 +61,9 @@ class RandomForestRegressor(Regressor):
         bootstrap: bool = True,
         max_bins: int = 64,
         seed: int = 0,
+        n_jobs: int | None = 1,
+        engine: str = "partition",
+        hist_mode: str = "auto",
     ) -> None:
         self.n_estimators = n_estimators
         self.max_depth = max_depth
@@ -53,6 +72,9 @@ class RandomForestRegressor(Regressor):
         self.bootstrap = bootstrap
         self.max_bins = max_bins
         self.seed = seed
+        self.n_jobs = n_jobs
+        self.engine = engine
+        self.hist_mode = hist_mode
         self._trees: list[FittedTree] = []
         self._predictor: TreeEnsemblePredictor | None = None
 
@@ -60,13 +82,15 @@ class RandomForestRegressor(Regressor):
         X, y = self._validate_xy(X, y)
         if self.n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
-        rng = np.random.default_rng(self.seed)
         binner = HistogramBinner(self.max_bins).fit(X)
         codes = binner.transform(X)
         n = X.shape[0]
         self._trees = []
         self._predictor = None
-        for _ in range(self.n_estimators):
+        seeds = np.random.SeedSequence(self.seed).spawn(self.n_estimators)
+
+        def fit_tree(seq: np.random.SeedSequence) -> FittedTree:
+            rng = np.random.default_rng(seq)
             if self.bootstrap:
                 rows = rng.integers(0, n, size=n)
             else:
@@ -80,10 +104,13 @@ class RandomForestRegressor(Regressor):
                 gamma=0.0,
                 colsample_bynode=self.max_features,
                 rng=rng,
+                engine=self.engine,
+                hist_mode=self.hist_mode,
             )
             sub_y = y[rows]
-            tree = builder.build(codes[rows], g=-sub_y, h=np.ones_like(sub_y))
-            self._trees.append(tree)
+            return builder.build(codes[rows], g=-sub_y, h=np.ones_like(sub_y))
+
+        self._trees = deterministic_map(fit_tree, seeds, n_jobs=self.n_jobs)
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:

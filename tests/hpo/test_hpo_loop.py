@@ -63,10 +63,13 @@ class TestSmac:
         assert result.best_loss < 1.0  # optimum is 0 at (1, -2)
 
     def test_beats_or_matches_random_search(self, quadratic_space):
+        # Both optimizers are stochastic and either can blow up on a single
+        # seed, so compare medians over a handful of seeds rather than the
+        # mean of a few — the mean is dominated by rare bad runs.
         budget = 35
         smac_losses = []
         rs_losses = []
-        for seed in range(3):
+        for seed in range(5):
             smac_losses.append(
                 SmacOptimizer(quadratic_space, seed=seed, n_init=6)
                 .optimize(quadratic, budget)
@@ -77,7 +80,7 @@ class TestSmac:
                 .optimize(quadratic, budget)
                 .best_loss
             )
-        assert np.mean(smac_losses) <= np.mean(rs_losses) * 1.2
+        assert np.median(smac_losses) <= np.median(rs_losses) * 1.2
 
     def test_budget_respected(self, quadratic_space):
         result = SmacOptimizer(quadratic_space, seed=0, n_init=4).optimize(

@@ -71,3 +71,39 @@ def test_build_artifact_byte_identical(tmp_path, capsys):
     )
     capsys.readouterr()
     assert off_path.read_bytes() == on_path.read_bytes()
+
+
+def test_fit_kernel_counters_recorded_out_of_band():
+    """The partition engine's histogram-kernel counters (fused vs fallback
+    passes, partition traffic) must be invisible to the fitted model and
+    only ever recorded behind ``telemetry_active()``."""
+    import io
+
+    import numpy as np
+
+    from repro.surrogates.forest import RandomForestRegressor
+
+    rng = np.random.default_rng(7)
+    X = rng.uniform(size=(300, 8))
+    y = X @ rng.normal(size=8)
+
+    def fit():
+        model = RandomForestRegressor(n_estimators=4, max_depth=8, seed=1)
+        return model.fit(X, y).predict(X)
+
+    quiet = fit()
+    assert obs.metrics().counter("surrogate.hist.fused_nodes") == 0
+    assert obs.metrics().counter("surrogate.partition.bytes") == 0
+
+    obs.configure(level="info", json=True, stream=io.StringIO())
+    try:
+        assert obs.telemetry_active()
+        loud = fit()
+        fused = obs.metrics().counter("surrogate.hist.fused_nodes")
+        bincount = obs.metrics().counter("surrogate.hist.bincount_nodes")
+        moved = obs.metrics().counter("surrogate.partition.bytes")
+    finally:
+        obs.reset()
+    assert np.array_equal(quiet, loud)
+    assert fused + bincount > 0
+    assert moved > 0

@@ -1,0 +1,200 @@
+"""The generation-keyed /query response cache: LRU semantics, byte-identical
+responses cache on/off/hit/miss, reload invalidation, and gated telemetry."""
+
+import asyncio
+import io
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.serve import BenchServer, ClientConnection, ResponseCache, ServerConfig
+from repro.serve.http import _read_response, _render_request
+from repro.serve.lifecycle import BenchmarkHandle
+
+
+async def start_server(bench, **overrides):
+    config = ServerConfig(port=0, **overrides)
+    server = BenchServer(bench, config)
+    await server.start()
+    task = asyncio.create_task(server.run())
+    return server, task
+
+
+async def stop_server(server, task):
+    server.request_stop()
+    await asyncio.wait_for(task, timeout=10.0)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def raw_exchange(port, payloads):
+    """Raw (status, headers, body-bytes) tuples for byte-level comparison."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    raw = []
+    for path, payload in payloads:
+        body = json.dumps(payload, sort_keys=True).encode()
+        writer.write(_render_request("POST", path, body, True))
+        await writer.drain()
+        status, headers, data = await _read_response(reader)
+        raw.append((status, tuple(sorted(headers.items())), data))
+    writer.close()
+    return raw
+
+
+class TestResponseCacheUnit:
+    def test_lru_eviction(self):
+        cache = ResponseCache(max_entries=2)
+        cache.put((0, "a", "", "m"), {"v": 1})
+        cache.put((0, "b", "", "m"), {"v": 2})
+        # Touch "a" so "b" becomes the eviction candidate.
+        assert cache.get((0, "a", "", "m")) == {"v": 1}
+        cache.put((0, "c", "", "m"), {"v": 3})
+        assert cache.get((0, "b", "", "m")) is None
+        assert cache.get((0, "a", "", "m")) == {"v": 1}
+        assert cache.get((0, "c", "", "m")) == {"v": 3}
+        assert len(cache) == 2
+
+    def test_hit_miss_counters_and_stats(self):
+        cache = ResponseCache(max_entries=4)
+        assert cache.get((0, "a", "", "m")) is None
+        cache.put((0, "a", "", "m"), {"v": 1})
+        assert cache.get((0, "a", "", "m")) == {"v": 1}
+        assert cache.stats() == {
+            "entries": 1,
+            "max_entries": 4,
+            "hits": 1,
+            "misses": 1,
+        }
+
+    def test_put_existing_key_updates_and_refreshes(self):
+        cache = ResponseCache(max_entries=2)
+        cache.put((0, "a", "", "m"), {"v": 1})
+        cache.put((0, "b", "", "m"), {"v": 2})
+        cache.put((0, "a", "", "m"), {"v": 10})
+        cache.put((0, "c", "", "m"), {"v": 3})  # evicts "b", not "a"
+        assert cache.get((0, "a", "", "m")) == {"v": 10}
+        assert cache.get((0, "b", "", "m")) is None
+
+    def test_clear_keeps_cumulative_counters(self):
+        cache = ResponseCache(max_entries=2)
+        cache.put((0, "a", "", "m"), {"v": 1})
+        cache.get((0, "a", "", "m"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ResponseCache(max_entries=0)
+
+
+class TestServerCache:
+    def test_repeat_query_hits_and_responses_byte_identical(
+        self, serve_bench, arch_strings
+    ):
+        payload = {
+            "arch": arch_strings[0],
+            "device": "a100",
+            "metric": "throughput",
+        }
+
+        async def main():
+            server, task = await start_server(serve_bench)
+            try:
+                raw = await raw_exchange(
+                    server.port, [("/query", payload)] * 3
+                )
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    _, _, stats = await conn.request("GET", "/statz")
+            finally:
+                await stop_server(server, task)
+            return raw, stats
+
+        raw, stats = run(main())
+        assert raw[0][0] == 200
+        assert raw[0] == raw[1] == raw[2]
+        assert stats["cache"]["misses"] == 1
+        assert stats["cache"]["hits"] == 2
+        assert stats["cache"]["entries"] == 1
+
+    def test_cache_off_matches_cache_on_byte_for_byte(
+        self, serve_bench, arch_strings
+    ):
+        payloads = [
+            ("/query", {"arch": arch, "device": "a100"})
+            for arch in arch_strings[:3]
+        ] * 2  # second half are cache hits when caching is on
+
+        async def run_with(cache_size):
+            server, task = await start_server(
+                serve_bench, cache_size=cache_size
+            )
+            try:
+                raw = await raw_exchange(server.port, payloads)
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    _, _, stats = await conn.request("GET", "/statz")
+            finally:
+                await stop_server(server, task)
+            return raw, stats
+
+        cached, cached_stats = run(run_with(256))
+        uncached, uncached_stats = run(run_with(0))
+        assert cached == uncached
+        assert cached_stats["cache"]["hits"] == 3
+        assert uncached_stats["cache"] is None
+
+    def test_reload_bumps_generation_and_clears_entries(
+        self, serve_store, arch_strings
+    ):
+        handle = BenchmarkHandle.open(serve_store)
+        payload = {"arch": arch_strings[0], "device": "a100"}
+
+        async def main():
+            server, task = await start_server(handle)
+            try:
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    first = await conn.request("POST", "/query", payload)
+                    reloaded = await conn.request("POST", "/reload")
+                    _, _, stats = await conn.request("GET", "/statz")
+                    second = await conn.request("POST", "/query", payload)
+                    _, _, stats_after = await conn.request("GET", "/statz")
+            finally:
+                await stop_server(server, task)
+            return first, reloaded, stats, second, stats_after
+
+        first, reloaded, stats, second, stats_after = run(main())
+        assert reloaded[0] == 200
+        assert stats["cache"]["entries"] == 0
+        # Same artifact, new generation: identical answer, but recomputed
+        # (a second miss, not a stale-generation hit).
+        assert second[2] == first[2]
+        assert stats_after["cache"]["misses"] == 2
+        assert stats_after["cache"]["hits"] == 0
+
+    def test_cache_telemetry_recorded_out_of_band(
+        self, serve_bench, arch_strings
+    ):
+        payload = {"arch": arch_strings[0], "device": "a100"}
+
+        async def main():
+            server, task = await start_server(serve_bench)
+            try:
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    await conn.request("POST", "/query", payload)
+                    await conn.request("POST", "/query", payload)
+            finally:
+                await stop_server(server, task)
+
+        obs.reset()
+        obs.configure(level="info", json=True, stream=io.StringIO())
+        try:
+            assert obs.telemetry_active()
+            run(main())
+            registry = obs.metrics()
+            assert registry.counter("serve.cache.miss") == 1
+            assert registry.counter("serve.cache.hit") == 1
+        finally:
+            obs.reset()

@@ -108,6 +108,93 @@ class TestHistogramSubtractionGolden:
         assert np.array_equal(fast.predict(X), legacy.predict(X))
 
 
+class TestPartitionEngineGolden:
+    """Tentpole pins: the histogram-native partition engine must grow
+    bit-identical trees to the legacy per-node engine for every growth
+    policy, sampling configuration and histogram kernel."""
+
+    @pytest.mark.parametrize(
+        "config", GROWTH_CONFIGS, ids=[str(c) for c in GROWTH_CONFIGS]
+    )
+    def test_trees_identical_partition_vs_legacy(self, binned, config):
+        part = _build(binned, True, engine="partition", **config)
+        legacy = _build(binned, True, engine="legacy", **config)
+        assert part.to_dict() == legacy.to_dict()
+
+    @pytest.mark.parametrize("growth", ["depthwise", "leafwise"])
+    def test_feature_subsampling_identical(self, binned, growth):
+        """colsample consumes rng per node; both engines must draw the
+        same candidates in the same order."""
+        config = {"growth": growth, "max_depth": 8}
+        if growth == "leafwise":
+            config["num_leaves"] = 31
+        part = _build(binned, True, engine="partition",
+                      colsample_bynode=0.5, **config)
+        legacy = _build(binned, True, engine="legacy",
+                        colsample_bynode=0.5, **config)
+        assert part.to_dict() == legacy.to_dict()
+
+    @pytest.mark.parametrize("growth", ["depthwise", "leafwise"])
+    def test_non_unit_hessians_identical(self, binned, growth):
+        _, codes, y = binned
+        h = np.linspace(0.5, 2.0, len(y))
+        config = {"growth": growth, "max_depth": 8}
+        if growth == "leafwise":
+            config["num_leaves"] = 31
+        part = _build(binned, True, engine="partition", h=h, **config)
+        legacy = _build(binned, True, engine="legacy", h=h, **config)
+        assert part.to_dict() == legacy.to_dict()
+
+    @pytest.mark.parametrize("mode", ["auto", "fused", "bincount", "repeat"])
+    def test_every_hist_mode_matches_legacy(self, binned, mode):
+        part = _build(binned, True, engine="partition", hist_mode=mode,
+                      max_depth=10)
+        legacy = _build(binned, True, engine="legacy", hist_mode="auto",
+                        max_depth=10)
+        assert part.to_dict() == legacy.to_dict()
+
+    def test_all_binary_features_identical(self):
+        """Pure one-hot matrices take the counts-from-staged-buffer path
+        (no bincount at all); it must not change a single split."""
+        rng = np.random.default_rng(42)
+        X = (rng.uniform(size=(900, 24)) < 0.4).astype(np.float64)
+        y = X @ rng.normal(size=24) + 0.05 * rng.standard_normal(900)
+        binner = HistogramBinner(max_bins=64).fit(X)
+        data = (binner, binner.transform(X), y)
+        for config in GROWTH_CONFIGS:
+            part = _build(data, True, engine="partition", **config)
+            legacy = _build(data, True, engine="legacy", **config)
+            assert part.to_dict() == legacy.to_dict()
+
+    def test_subtraction_off_identical(self, binned):
+        part = _build(binned, False, engine="partition", max_depth=10)
+        legacy = _build(binned, False, engine="legacy", max_depth=10)
+        assert part.to_dict() == legacy.to_dict()
+
+    @pytest.mark.parametrize("family", ["xgb", "lgb", "rf"])
+    def test_ensemble_fits_identical_across_engines(self, xy_small, family):
+        """Whole-ensemble pins through the public engine kwarg."""
+        from repro.surrogates import make_surrogate
+
+        X, y = xy_small
+        params = {
+            "xgb": dict(n_estimators=12, max_depth=5, subsample=0.8,
+                        colsample_bynode=0.7, seed=7),
+            "lgb": dict(n_estimators=12, num_leaves=15, subsample=0.8,
+                        colsample_bynode=0.7, seed=7),
+            "rf": dict(n_estimators=8, max_depth=12, max_features=0.5,
+                       seed=3),
+        }[family]
+        part = make_surrogate(family, engine="partition", **params).fit(X, y)
+        legacy = make_surrogate(family, engine="legacy", **params).fit(X, y)
+        part_trees = part.trees_ if family == "rf" else part._trees
+        legacy_trees = legacy.trees_ if family == "rf" else legacy._trees
+        assert len(part_trees) == len(legacy_trees)
+        for ta, tb in zip(part_trees, legacy_trees):
+            assert ta.to_dict() == tb.to_dict()
+        assert np.array_equal(part.predict(X), legacy.predict(X))
+
+
 class TestPerTreePrediction:
     @pytest.fixture(scope="class")
     def forest(self, xy_small):
@@ -152,13 +239,34 @@ class TestBincountHistograms:
 
     def test_resolve_hist_mode(self, binned):
         binner, _, _ = binned
+        # Partition engine (default): the flat small-pass kernel is the
+        # fused CSR single-pass; "repeat" aliases it as its successor.
         auto = GradientTreeBuilder(binner, hist_mode="auto")
         assert auto._resolve_hist_mode(_BINCOUNT_MIN_ROWS) == "bincount"
-        assert auto._resolve_hist_mode(_BINCOUNT_MIN_ROWS - 1) == "repeat"
-        for forced in ("bincount", "repeat"):
+        assert auto._resolve_hist_mode(_BINCOUNT_MIN_ROWS - 1) == "fused"
+        for forced in ("bincount", "fused"):
             builder = GradientTreeBuilder(binner, hist_mode=forced)
             assert builder._resolve_hist_mode(10**9) == forced
             assert builder._resolve_hist_mode(1) == forced
+        aliased = GradientTreeBuilder(binner, hist_mode="repeat")
+        assert aliased._resolve_hist_mode(1) == "fused"
+        # Legacy engine keeps the historical flatten+repeat flat kernel.
+        auto_legacy = GradientTreeBuilder(
+            binner, hist_mode="auto", engine="legacy"
+        )
+        assert auto_legacy._resolve_hist_mode(_BINCOUNT_MIN_ROWS) == "bincount"
+        assert auto_legacy._resolve_hist_mode(_BINCOUNT_MIN_ROWS - 1) == "repeat"
+        for forced in ("bincount", "repeat"):
+            builder = GradientTreeBuilder(
+                binner, hist_mode=forced, engine="legacy"
+            )
+            assert builder._resolve_hist_mode(10**9) == forced
+            assert builder._resolve_hist_mode(1) == forced
+
+    def test_fused_mode_requires_partition_engine(self, binned):
+        binner, _, _ = binned
+        with pytest.raises(ValueError, match="fused"):
+            GradientTreeBuilder(binner, hist_mode="fused", engine="legacy")
 
     def test_auto_mode_crosses_threshold_identical(self):
         """With rows well above ``_BINCOUNT_MIN_ROWS`` the auto kernel runs
