@@ -139,3 +139,82 @@ def test_disabled_overhead_under_two_percent(ctx):
     assert query_bound < OVERHEAD_LIMIT, (
         f"query overhead bound {query_bound:.4%} >= 2%"
     )
+
+
+LIVE_REPS = 50_000
+
+
+def test_live_plane_micro_costs():
+    """Per-observation cost of the always-on serve plane (v2).
+
+    The windowed quantile/SLO/ring instruments run on every query request
+    regardless of the telemetry switch, so their per-op cost is a direct
+    request-latency tax.  This bench pins each primitive's cost and keeps
+    the whole per-request set comfortably below a 50 µs budget — three
+    orders of magnitude under a ~10 ms surrogate query.
+    """
+    obs.reset()
+
+    window = obs.WindowedQuantiles()
+    sketch = obs.QuantileSketch()
+    slo = obs.SLOTracker()
+    ring = obs.TraceRing(256)
+    ids = obs.IdGenerator(seed=0)
+    ctx = obs.TraceContext(ids.trace_id(), ids.span_id())
+    rng = np.random.default_rng(17)
+    values = rng.exponential(0.01, LIVE_REPS).tolist()
+
+    def timed(fn, args):
+        with obs.timer() as t:
+            for arg in args:
+                fn(arg)
+        return t.seconds / len(args)
+
+    window_s = timed(window.observe, values)
+    sketch_s = timed(sketch.observe, values)
+    slo_s = timed(lambda v: slo.record(200, v), values)
+    ring_s = timed(
+        lambda v: ring.record("bench", ctx, start=0.0, duration=v),
+        values[:10_000],
+    )
+
+    # A scrape renders the whole registry; time it at a realistic size.
+    reg = obs.metrics()
+    reg.clear()
+    for i in range(8):
+        reg.inc(f"serve.requests.ep{i}", 100)
+        reg.observe_window(f"serve.latency.window.ep{i}", 0.01)
+    from repro.obs.expo import render_exposition
+
+    with obs.timer() as t:
+        for _ in range(200):
+            render_exposition(reg.snapshot())
+    render_s = t.seconds / 200
+    reg.clear()
+
+    per_request_s = window_s + slo_s + ring_s
+    lines = [
+        "Live telemetry plane: per-operation costs (always-on on serve)",
+        f"  windowed observe       : {window_s * 1e9:8.1f} ns/op",
+        f"  sketch observe         : {sketch_s * 1e9:8.1f} ns/op",
+        f"  SLO record             : {slo_s * 1e9:8.1f} ns/op",
+        f"  trace ring record      : {ring_s * 1e9:8.1f} ns/op",
+        f"  exposition render      : {render_s * 1e6:8.1f} us/scrape",
+        f"  per-request plane cost : {per_request_s * 1e6:8.2f} us "
+        "(window + SLO + ring)",
+    ]
+    emit("bench_obs_live_plane", "\n".join(lines))
+    record_trajectory(
+        "obs",
+        {
+            "window_observe_ns": window_s * 1e9,
+            "sketch_observe_ns": sketch_s * 1e9,
+            "slo_record_ns": slo_s * 1e9,
+            "ring_record_ns": ring_s * 1e9,
+            "expo_render_us": render_s * 1e6,
+            "live_plane_per_request_us": per_request_s * 1e6,
+        },
+    )
+    assert per_request_s < 50e-6, (
+        f"live plane costs {per_request_s * 1e6:.1f} us/request (budget 50 us)"
+    )

@@ -10,11 +10,16 @@ over HTTP and asserts the full robustness story end to end:
    the endpoint recovers to 200;
 3. a hot reload (``POST /reload``) swaps the benchmark in place without
    dropping the service (generation bumps, queries keep answering);
-4. ``/healthz`` is green at exit and SIGINT drains cleanly (exit code 0).
+4. the live telemetry plane answers: a ``traceparent``-bearing query echoes
+   the header, ``GET /metrics`` serves Prometheus text with windowed
+   latency quantiles, and ``GET /tracez`` returns the span ring (both
+   scrapes are saved for ``python -m repro.obs.validate``);
+5. ``/healthz`` is green at exit and SIGINT drains cleanly (exit code 0).
 
 Run with::
 
-    PYTHONPATH=src python examples/serve_smoke.py <store-path> [metrics.jsonl]
+    PYTHONPATH=src python examples/serve_smoke.py <store-path> \
+        [metrics.jsonl] [scrape.prom] [tracez.json]
 """
 
 import asyncio
@@ -23,9 +28,21 @@ import subprocess
 import sys
 import time
 
-from repro.serve.http import request
+from repro.serve.http import _read_response, _render_request, request
 
 DRILL_WINDOW = 5
+
+
+async def _raw_get(
+    port: int, path: str, headers: dict | None = None
+) -> tuple[int, dict, bytes]:
+    """GET returning raw body bytes (for the non-JSON /metrics scrape)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(_render_request("GET", path, b"", False, headers=headers))
+    await writer.drain()
+    status, resp_headers, body = await _read_response(reader)
+    writer.close()
+    return status, resp_headers, body
 
 
 def _start_server(store: str, metrics_out: str | None) -> subprocess.Popen:
@@ -59,7 +76,13 @@ def _wait_for_port(proc: subprocess.Popen) -> int:
     return int(line.rsplit(":", 1)[1])
 
 
-async def _drive(port: int, store: str, arch: str) -> None:
+async def _drive(
+    port: int,
+    store: str,
+    arch: str,
+    prom_out: str | None = None,
+    tracez_out: str | None = None,
+) -> None:
     payload = {"arch": arch, "device": "a100", "metric": "throughput"}
 
     # 1. The drill window injects faults until the breaker trips.
@@ -95,7 +118,59 @@ async def _drive(port: int, store: str, arch: str) -> None:
     assert status == 200 and body == baseline, (status, body)
     print(f"hot reload ok; generation {1}, answers unchanged")
 
-    # 4. Health is green before shutdown.
+    # 4. The live telemetry plane answers over the same socket.
+    traceparent = f"00-{'ab' * 16}-{'cd' * 8}-01"
+    async def traced_query():
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        import json as _json
+
+        raw = _json.dumps(payload, sort_keys=True).encode()
+        writer.write(
+            _render_request(
+                "POST", "/query", raw, False,
+                headers={"traceparent": traceparent},
+            )
+        )
+        await writer.drain()
+        status, headers, _ = await _read_response(reader)
+        writer.close()
+        return status, headers
+
+    status, headers = await traced_query()
+    assert status == 200, status
+    echoed = headers.get("traceparent", "")
+    assert echoed.startswith(f"00-{'ab' * 16}-"), echoed
+    print(f"traceparent echoed under the caller's trace: {echoed}")
+
+    status, headers, prom = await _raw_get(port, "/metrics")
+    assert status == 200, status
+    assert "version=0.0.4" in headers["content-type"], headers
+    text = prom.decode("utf-8")
+    assert "anb_serve_latency_window_query" in text, text[:400]
+    assert 'quantile="0.99"' in text, text[:400]
+    if prom_out:
+        with open(prom_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    print(f"/metrics scrape ok ({len(text.splitlines())} exposition lines)")
+
+    status, _, tracez = await _raw_get(port, "/tracez")
+    assert status == 200, status
+    import json as _json
+
+    snapshot = _json.loads(tracez)
+    names = {entry["name"] for entry in snapshot["entries"]}
+    assert "serve.query" in names, names
+    assert "serve.query_batch" in names, names
+    if tracez_out:
+        with open(tracez_out, "w", encoding="utf-8") as fh:
+            fh.write(tracez.decode("utf-8"))
+    print(f"/tracez ok ({len(snapshot['entries'])} spans retained)")
+
+    status, _, profile = await _raw_get(port, "/debug/profile?seconds=0.2")
+    assert status == 200, status
+    print(f"/debug/profile ok ({len(profile.splitlines())} hot stacks)")
+
+    # 5. Health is green before shutdown.
     status, _, body = await request("127.0.0.1", port, "GET", "/healthz")
     assert status == 200 and body["status"] == "ok", (status, body)
     print("healthz green")
@@ -104,6 +179,8 @@ async def _drive(port: int, store: str, arch: str) -> None:
 def main() -> int:
     store = sys.argv[1]
     metrics_out = sys.argv[2] if len(sys.argv) > 2 else None
+    prom_out = sys.argv[3] if len(sys.argv) > 3 else None
+    tracez_out = sys.argv[4] if len(sys.argv) > 4 else None
     sys.path.insert(0, "src")
     from repro.core.dataset import sample_dataset_archs
 
@@ -111,7 +188,7 @@ def main() -> int:
     proc = _start_server(store, metrics_out)
     try:
         port = _wait_for_port(proc)
-        asyncio.run(_drive(port, store, arch))
+        asyncio.run(_drive(port, store, arch, prom_out, tracez_out))
     except BaseException:
         proc.kill()
         raise

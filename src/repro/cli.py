@@ -14,6 +14,7 @@ Subcommands::
     python -m repro.cli pack anb.json anb.store
     python -m repro.cli verify anb.store
     python -m repro.cli lint src/repro --format json
+    python -m repro.cli profile --out prof.txt script.py arg1 arg2
 
 ``pack`` converts a JSON envelope artifact (benchmark or dataset,
 autodetected from its schema) into the sharded columnar store format
@@ -35,9 +36,13 @@ faults can be injected for robustness drills (``--faults "nan:0.05,..."``).
 Every subcommand accepts the shared telemetry flags (see
 :mod:`repro.obs` and ``docs/observability.md``): ``--log-level`` /
 ``--log-json`` control structured logging on stderr, ``--trace-out``
-records nested spans to a JSONL trace, and ``--metrics-out`` exports the
-metrics registry as JSONL.  Telemetry is out-of-band: artifacts are
-byte-identical with it on or off.
+records nested spans to a JSONL trace, ``--metrics-out`` exports the
+metrics registry as JSONL, and ``--prom-out`` exports the same registry
+as Prometheus text exposition (batch runs get the identical format the
+serve layer scrapes at ``GET /metrics``).  ``profile`` wraps any python
+script in the stdlib sampling profiler and emits collapsed-stack
+flamegraph text.  Telemetry is out-of-band: artifacts are byte-identical
+with it on or off.
 """
 
 from __future__ import annotations
@@ -170,6 +175,12 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="export the metrics registry as JSONL on exit",
     )
+    p.add_argument(
+        "--prom-out",
+        default=None,
+        metavar="PATH",
+        help="export the metrics registry as Prometheus text on exit",
+    )
 
 
 def _configure_obs(args: argparse.Namespace) -> None:
@@ -185,6 +196,10 @@ def _export_obs(args: argparse.Namespace) -> None:
     """Export metrics/trace JSONL per the shared CLI flags (after the command)."""
     if args.metrics_out is not None:
         obs.metrics().export_jsonl(args.metrics_out)
+    if args.prom_out is not None:
+        from repro.obs.expo import export_prometheus
+
+        export_prometheus(args.prom_out)
     if args.trace_out is not None:
         tracer = obs.current_tracer()
         if tracer is not None:
@@ -457,6 +472,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         failure_threshold=args.failure_threshold,
         drills=drills,
+        trace_ring=args.trace_ring,
+        trace_sample=args.trace_sample,
+        trace_seed=args.trace_seed,
+        slo_availability=args.slo_availability,
+        slo_latency_target=args.slo_latency_target,
+        slo_latency_ms=args.slo_latency_ms,
     )
     server = BenchServer(handle, config)
 
@@ -471,6 +492,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     asyncio.run(_serve())
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run a python script under the sampling profiler.
+
+    The script executes in this process (``runpy``, as ``__main__``) while
+    a background thread samples every thread's stack; on exit — normal or
+    not — the collapsed-stack tallies are written out, ready for
+    ``flamegraph.pl`` or speedscope.
+    """
+    import runpy
+
+    from repro.obs.prof import SamplingProfiler
+
+    profiler = SamplingProfiler(interval=args.interval)
+    saved_argv = sys.argv
+    sys.argv = [args.script] + list(args.args)
+    profiler.start()
+    exit_code = 0
+    try:
+        runpy.run_path(args.script, run_name="__main__")
+    except SystemExit as exc:
+        if isinstance(exc.code, int):
+            exit_code = exc.code
+        elif exc.code is not None:
+            print(exc.code, file=sys.stderr)
+            exit_code = 1
+    finally:
+        profiler.stop()
+        sys.argv = saved_argv
+    text = profiler.collapsed()
+    if args.out is not None:
+        Path(args.out).write_text(text)
+        print(
+            f"profiled {args.script}: {profiler.samples} samples, "
+            f"{len(text.splitlines())} stacks -> {args.out}"
+        )
+    else:
+        print(text, end="")
+    return exit_code
 
 
 def _cmd_devices(args: argparse.Namespace) -> int:
@@ -665,8 +726,68 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="stall injected by a firing slow drill (seconds)",
     )
+    p.add_argument(
+        "--trace-ring",
+        type=int,
+        default=256,
+        help="entries retained for GET /tracez (0 disables tracing)",
+    )
+    p.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="head-sampling rate for recorded traces, in [0, 1]",
+    )
+    p.add_argument(
+        "--trace-seed",
+        type=int,
+        default=0,
+        help="seed for trace/span id generation and sampling",
+    )
+    p.add_argument(
+        "--slo-availability",
+        type=float,
+        default=0.999,
+        help="availability SLO target (fraction of requests not 5xx)",
+    )
+    p.add_argument(
+        "--slo-latency-target",
+        type=float,
+        default=0.99,
+        help="latency SLO target (fraction answered within the threshold)",
+    )
+    p.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=250.0,
+        help="latency SLO threshold in milliseconds",
+    )
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a python script under the sampling profiler "
+        "(collapsed-stack flamegraph text)",
+    )
+    p.add_argument("script", help="python script to execute and profile")
+    p.add_argument(
+        "args", nargs=argparse.REMAINDER, help="arguments passed to the script"
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=0.01,
+        help="seconds between stack samples",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write collapsed stacks here instead of stdout",
+    )
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("devices", help="list supported devices and metrics")
     _add_obs_flags(p)

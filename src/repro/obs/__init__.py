@@ -14,6 +14,21 @@ influences a computed value, artifact byte or iteration order):
 - **run progress** — :class:`ProgressReporter` heartbeats wired into
   ``run_tasks``.
 
+The v2 **live plane** layers on top (see ``docs/observability.md``):
+
+- **quantile sketches** — :class:`QuantileSketch` (P² estimators) and
+  :class:`WindowedQuantiles` (1m/5m sliding-window rings), recorded via
+  :meth:`MetricsRegistry.observe_window`.
+- **exposition** — :mod:`repro.obs.expo` renders the registry as
+  Prometheus text (``GET /metrics`` on serve; ``--prom-out`` on batch runs).
+- **request tracing** — :class:`TraceContext` + W3C ``traceparent``
+  parse/inject, deterministic :class:`IdGenerator`/:class:`HeadSampler`,
+  and a bounded :class:`TraceRing` behind ``GET /tracez``.
+- **profiling** — :class:`SamplingProfiler` collapsed-stack sampler
+  (``GET /debug/profile``, ``repro.cli profile``).
+- **SLOs** — :class:`SLOTracker` availability/latency burn rates feeding
+  ``/statz`` and gauge metrics.
+
 Telemetry is **off by default**.  Instrumented hot paths gate on
 :func:`telemetry_active` once per run, so the disabled path executes zero
 per-task observability work; ``benchmarks/bench_obs_overhead.py`` holds the
@@ -55,14 +70,24 @@ from repro.obs.metrics import (
     registry as metrics,
 )
 from repro.obs.progress import ProgressReporter
+from repro.obs.prof import SamplingProfiler, profile_for
+from repro.obs.sketch import DEFAULT_QUANTILES, P2Quantile, QuantileSketch
+from repro.obs.slo import SLOTracker
 from repro.obs.trace import (
+    HeadSampler,
+    IdGenerator,
+    TraceContext,
+    TraceRing,
     Tracer,
     current_tracer,
+    format_traceparent,
     install_tracer,
+    parse_traceparent,
     span,
     timer,
     uninstall_tracer,
 )
+from repro.obs.window import RingCounter, WindowedQuantiles
 
 from repro.obs import _state
 
@@ -83,12 +108,26 @@ __all__ = [
     "MetricsRegistry",
     "Histogram",
     "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_QUANTILES",
+    "P2Quantile",
+    "QuantileSketch",
+    "WindowedQuantiles",
+    "RingCounter",
     "span",
     "timer",
     "Tracer",
     "install_tracer",
     "uninstall_tracer",
     "current_tracer",
+    "TraceContext",
+    "parse_traceparent",
+    "format_traceparent",
+    "IdGenerator",
+    "HeadSampler",
+    "TraceRing",
+    "SamplingProfiler",
+    "profile_for",
+    "SLOTracker",
     "ProgressReporter",
 ]
 

@@ -25,6 +25,8 @@ import json
 import threading
 from typing import Iterable, Sequence
 
+from repro.obs.window import WindowedQuantiles
+
 METRICS_SCHEMA = "anb-metrics"
 METRICS_SCHEMA_VERSION = 1
 
@@ -85,6 +87,7 @@ class MetricsRegistry:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._windows: dict[str, WindowedQuantiles] = {}
 
     # -- mutators ---------------------------------------------------------
 
@@ -113,11 +116,27 @@ class MetricsRegistry:
                 self._histograms[name] = hist
             hist.observe(value)
 
+    def observe_window(self, name: str, value: float) -> None:
+        """Record ``value`` into the windowed-quantile instrument ``name``.
+
+        The instrument (cumulative P² sketch + 1m/5m sliding-window rings,
+        see :class:`~repro.obs.window.WindowedQuantiles`) is created with
+        default spans/bounds on first use; it reads the injectable obs
+        clock, so windowed values are deterministic under a fake clock.
+        """
+        with self._lock:
+            window = self._windows.get(name)
+            if window is None:
+                window = WindowedQuantiles()
+                self._windows[name] = window
+            window.observe(value)
+
     def clear(self) -> None:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._windows.clear()
 
     # -- readers ----------------------------------------------------------
 
@@ -129,8 +148,12 @@ class MetricsRegistry:
         with self._lock:
             return self._gauges.get(name)
 
+    def window(self, name: str) -> WindowedQuantiles | None:
+        with self._lock:
+            return self._windows.get(name)
+
     def snapshot(self) -> dict:
-        """Point-in-time copy: ``{"counters": .., "gauges": .., "histograms": ..}``."""
+        """Point-in-time copy: counters, gauges, histograms and windows."""
         with self._lock:
             return {
                 "counters": dict(sorted(self._counters.items())),
@@ -138,6 +161,10 @@ class MetricsRegistry:
                 "histograms": {
                     name: hist.as_dict()
                     for name, hist in sorted(self._histograms.items())
+                },
+                "windows": {
+                    name: window.snapshot()
+                    for name, window in sorted(self._windows.items())
                 },
             }
 
@@ -161,6 +188,10 @@ class MetricsRegistry:
         for name, hist in snap["histograms"].items():
             record = {"kind": "histogram", "name": name}
             record.update(hist)
+            yield json.dumps(record, sort_keys=True)
+        for name, window in snap["windows"].items():
+            record = {"kind": "window", "name": name}
+            record.update(window)
             yield json.dumps(record, sort_keys=True)
 
     def export_jsonl(self, path) -> None:

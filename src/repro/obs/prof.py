@@ -1,0 +1,181 @@
+"""Stdlib sampling profiler emitting collapsed-stack flamegraph text.
+
+:class:`SamplingProfiler` runs a background daemon thread that periodically
+snapshots every live thread's Python stack via ``sys._current_frames`` and
+tallies collapsed call stacks (``root;caller;leaf count`` — the format
+``flamegraph.pl`` and speedscope ingest directly).  Sampling is wait-free
+for the profiled threads: no tracing hooks, no interpreter slowdown beyond
+the GIL time the sampler thread itself takes, which is why the serve layer
+can expose it live at ``GET /debug/profile?seconds=N`` without a deploy.
+
+Determinism hooks, mirroring the rest of ``repro.obs``:
+
+- ``frames_fn`` is injectable, so tests feed synthetic frame dicts and get
+  byte-stable collapsed output without real threads;
+- time comes from the injectable obs clock (:mod:`repro.obs._state`);
+- :meth:`SamplingProfiler.sample_once` takes a single sample synchronously,
+  so unit tests never need the background thread at all.
+
+The profiler is observation-only: it never touches artifact or response
+bytes, so it is safe to run during the byte-identity equivalence drills
+(and the serve tests do exactly that).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Callable, Mapping
+
+from repro.obs import _state
+
+DEFAULT_INTERVAL = 0.01
+MAX_STACK_DEPTH = 128
+
+
+def collapse_frame_stack(frame) -> str:
+    """Render one thread's stack as a root-first collapsed-stack string."""
+    parts: list[str] = []
+    depth = 0
+    while frame is not None and depth < MAX_STACK_DEPTH:
+        code = frame.f_code
+        parts.append(f"{os.path.basename(code.co_filename)}:{code.co_name}")
+        frame = frame.f_back
+        depth += 1
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Background wall-clock sampler over ``sys._current_frames``.
+
+    Args:
+        interval: Seconds between samples (wall clock).
+        frames_fn: Override for ``sys._current_frames`` — tests inject a
+            callable returning ``{thread_id: frame}`` mappings.
+        max_samples: Hard cap on total samples retained (ring safety for a
+            profiler left running by mistake).
+    """
+
+    def __init__(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        frames_fn: Callable[[], Mapping[int, object]] | None = None,
+        max_samples: int = 100_000,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if max_samples <= 0:
+            raise ValueError(f"max_samples must be > 0, got {max_samples}")
+        self.interval = float(interval)
+        self.max_samples = int(max_samples)
+        self._frames_fn = frames_fn or sys._current_frames
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.started_at: float | None = None
+        self.stopped_at: float | None = None
+
+    # ---------------------------------------------------------------- control
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the sampler thread (no-op if already running)."""
+        if self.running:
+            return
+        self._stop.clear()
+        self.started_at = _state.monotonic()
+        self.stopped_at = None
+        self._thread = threading.Thread(
+            target=self._loop, name="anb-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling and join the sampler thread."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+        self._thread = None
+        self.stopped_at = _state.monotonic()
+
+    def _loop(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.is_set():
+            self.sample_once(exclude_thread=own_id)
+            if self._samples >= self.max_samples:
+                break
+            self._stop.wait(self.interval)
+
+    # --------------------------------------------------------------- sampling
+
+    def sample_once(self, exclude_thread: int | None = None) -> int:
+        """Take one sample of every live thread; returns stacks recorded."""
+        frames = self._frames_fn()
+        recorded = 0
+        with self._lock:
+            for thread_id, frame in frames.items():
+                if thread_id == exclude_thread:
+                    continue
+                stack = collapse_frame_stack(frame)
+                if not stack:
+                    continue
+                self._counts[stack] = self._counts.get(stack, 0) + 1
+                recorded += 1
+            if recorded:
+                self._samples += 1
+        return recorded
+
+    # ---------------------------------------------------------------- reading
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    def counts(self) -> dict[str, int]:
+        """Copy of the ``{collapsed_stack: count}`` tallies."""
+        with self._lock:
+            return dict(self._counts)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self._samples = 0
+
+    def collapsed(self) -> str:
+        """Collapsed-stack flamegraph text: ``stack count`` per line, sorted.
+
+        Hottest stacks first (count descending, then stack ascending for a
+        deterministic total order); trailing newline when non-empty.
+        """
+        with self._lock:
+            items = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        if not items:
+            return ""
+        return "\n".join(f"{stack} {count}" for stack, count in items) + "\n"
+
+
+def profile_for(seconds: float, interval: float = DEFAULT_INTERVAL) -> str:
+    """Run a profiler for ``seconds`` of wall time; return collapsed text.
+
+    Blocking convenience for CLI use; the serve layer instead starts and
+    stops a :class:`SamplingProfiler` around an async sleep so the event
+    loop keeps serving while the profile runs.
+    """
+    if seconds <= 0:
+        raise ValueError(f"seconds must be > 0, got {seconds}")
+    profiler = SamplingProfiler(interval=interval)
+    profiler.start()
+    done = threading.Event()
+    done.wait(seconds)
+    profiler.stop()
+    return profiler.collapsed()

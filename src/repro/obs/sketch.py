@@ -1,0 +1,191 @@
+"""Deterministic streaming quantile sketches (the P² algorithm).
+
+:class:`P2Quantile` implements Jain & Chlamtac's piecewise-parabolic (P²)
+estimator: five markers track the running quantile of a stream in O(1)
+memory and O(1) time per observation, with no stored samples and no
+randomness — the estimate is a pure function of the observation sequence,
+which is what makes it safe inside this repository's determinism contract
+(same inputs ⇒ same telemetry snapshot bytes).
+
+:class:`QuantileSketch` bundles several P² estimators (p50/p95/p99 by
+default) with count/sum/min/max so one instrument answers the questions a
+latency metric gets asked.  Sketches are **cumulative**; the sliding-window
+view lives in :mod:`repro.obs.window`, which aggregates bucketed histograms
+over a ring and reports windowed quantiles next to these whole-run ones.
+
+Both classes are stdlib-only and unlocked: callers that share a sketch
+across threads must serialise access (the metrics registry wraps them in
+its own lock).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def quantile_key(q: float) -> str:
+    """Canonical snapshot key for quantile ``q`` (0.5 -> "p50", 0.999 -> "p99.9")."""
+    pct = q * 100.0
+    if pct == int(pct):
+        return f"p{int(pct)}"
+    return f"p{format(pct, 'g')}"
+
+
+class P2Quantile:
+    """One streaming quantile via the P² (piecewise-parabolic) algorithm.
+
+    Args:
+        q: Target quantile in (0, 1), e.g. 0.99.
+
+    The first five observations are stored exactly (and the estimate is the
+    exact order statistic while ``count <= 5``); from the sixth on, five
+    markers are adjusted per the P² recurrence — heights move by at most
+    one parabolic (or linear, at the edges) interpolation step per
+    observation.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = float(q)
+        self.count = 0
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._rates = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def observe(self, value: float) -> None:
+        """Fold ``value`` into the estimate."""
+        value = float(value)
+        self.count += 1
+        heights = self._heights
+        if self.count <= 5:
+            heights.append(value)
+            heights.sort()
+            return
+
+        positions = self._positions
+        # Locate the marker cell the new value falls into and bump the
+        # extreme markers when the value extends the observed range.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 3
+            for i in range(1, 4):
+                if value < heights[i]:
+                    cell = i - 1
+                    break
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        for i in range(5):
+            desired[i] += self._rates[i]
+
+        # Adjust the three interior markers toward their desired positions.
+        for i in range(1, 4):
+            delta = desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float | None:
+        """Current estimate (exact order statistic while ``count <= 5``)."""
+        if self.count == 0:
+            return None
+        heights = self._heights
+        if self.count <= 5:
+            # Exact: nearest-rank interpolation over the sorted sample.
+            rank = self.q * (self.count - 1)
+            lo = int(rank)
+            hi = min(lo + 1, self.count - 1)
+            frac = rank - lo
+            return heights[lo] + (heights[hi] - heights[lo]) * frac
+        return heights[2]
+
+    def as_dict(self) -> dict:
+        """Snapshot: ``{"q": 0.99, "count": n, "value": estimate}``."""
+        return {"q": self.q, "count": self.count, "value": self.value()}
+
+
+class QuantileSketch:
+    """A bundle of P² estimators plus count/sum/min/max for one stream.
+
+    Args:
+        quantiles: Target quantiles, default ``(0.5, 0.95, 0.99)``.
+    """
+
+    __slots__ = ("quantiles", "count", "total", "min", "max", "_estimators")
+
+    def __init__(self, quantiles: Sequence[float] = DEFAULT_QUANTILES) -> None:
+        quantiles = tuple(float(q) for q in quantiles)
+        if not quantiles:
+            raise ValueError("sketch needs at least one quantile")
+        if list(quantiles) != sorted(set(quantiles)):
+            raise ValueError("quantiles must be strictly ascending")
+        self.quantiles = quantiles
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._estimators = [P2Quantile(q) for q in quantiles]
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for estimator in self._estimators:
+            estimator.observe(value)
+
+    def quantile(self, q: float) -> float | None:
+        """The estimate for ``q`` (must be one of the configured quantiles)."""
+        for estimator in self._estimators:
+            if estimator.q == q:
+                return estimator.value()
+        raise KeyError(f"quantile {q} not tracked; have {self.quantiles}")
+
+    def snapshot(self) -> dict:
+        """Deterministic snapshot in the documented sketch-record shape."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "quantiles": {
+                quantile_key(est.q): est.value() for est in self._estimators
+            },
+        }

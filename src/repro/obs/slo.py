@@ -1,0 +1,188 @@
+"""SLO tracking: availability and latency objectives with burn rates.
+
+An operator keeping a benchmark service inside an error budget needs three
+numbers per objective: the target, the measured ratio, and the **burn
+rate** — how fast the error budget is being consumed, where 1.0 means
+"exactly on budget" and 14.4 is the classic page-now threshold for a
+28-day 99.9% objective.  :class:`SLOTracker` computes all three over the
+same 1m/5m sliding windows the quantile plane uses, plus cumulatively:
+
+- **availability** — fraction of requests that did not fail server-side
+  (HTTP 5xx burns budget; 4xx is the caller's fault and does not);
+- **latency** — fraction of successful requests answered within the
+  threshold.
+
+Ring counters (:class:`repro.obs.window.RingCounter`) back both SLIs, so
+the tracker is O(1) per request and all windowed values read the
+injectable obs clock — deterministic under a fake clock.  The serve layer
+owns one tracker per process, feeds every finished request into it, and
+surfaces :meth:`SLOTracker.snapshot` in ``/statz`` and
+:meth:`SLOTracker.gauges` through ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs import _state
+from repro.obs.window import (
+    DEFAULT_BUCKET_SECONDS,
+    DEFAULT_WINDOWS,
+    RingCounter,
+    window_label,
+)
+
+DEFAULT_AVAILABILITY_TARGET = 0.999
+DEFAULT_LATENCY_TARGET = 0.99
+DEFAULT_LATENCY_THRESHOLD = 0.25
+
+
+def burn_rate(ratio: float | None, target: float) -> float | None:
+    """Error-budget burn rate: observed error fraction over budgeted fraction.
+
+    ``None`` when there is no data; ``0.0`` when nothing failed.  A target
+    of 1.0 has no budget, so any failure is infinite burn — reported as
+    ``None`` rather than a non-JSON infinity.
+    """
+    if ratio is None:
+        return None
+    budget = 1.0 - target
+    if budget <= 0.0:
+        return 0.0 if ratio >= 1.0 else None
+    return (1.0 - ratio) / budget
+
+
+class _Objective:
+    """One good/total counter pair plus ratio/burn readers."""
+
+    __slots__ = ("target", "good", "total")
+
+    def __init__(
+        self,
+        target: float,
+        windows: Sequence[float],
+        bucket_seconds: float,
+    ) -> None:
+        if not 0.0 < target <= 1.0:
+            raise ValueError(f"SLO target must be in (0, 1], got {target}")
+        self.target = float(target)
+        self.good = RingCounter(windows, bucket_seconds)
+        self.total = RingCounter(windows, bucket_seconds)
+
+    def record(self, good: bool, now: float) -> None:
+        self.total.add(1.0, now=now)
+        if good:
+            self.good.add(1.0, now=now)
+
+    @staticmethod
+    def _ratio(good: float, total: float) -> float | None:
+        if total <= 0:
+            return None
+        return good / total
+
+    def snapshot(self, now: float) -> dict:
+        ratio = self._ratio(self.good.total, self.total.total)
+        snap = {
+            "target": self.target,
+            "total": self.total.total,
+            "good": self.good.total,
+            "ratio": ratio,
+            "burn_rate": burn_rate(ratio, self.target),
+            "windows": {},
+        }
+        for window in self.total.windows:
+            total = self.total.window_total(window, now=now)
+            good = self.good.window_total(window, now=now)
+            wratio = self._ratio(good, total)
+            snap["windows"][window_label(window)] = {
+                "total": total,
+                "good": good,
+                "ratio": wratio,
+                "burn_rate": burn_rate(wratio, self.target),
+            }
+        return snap
+
+
+class SLOTracker:
+    """Availability + latency objectives over sliding windows.
+
+    Args:
+        availability_target: Fraction of requests that must not 5xx.
+        latency_target: Fraction of successful requests that must finish
+            within ``latency_threshold``.
+        latency_threshold: Seconds; the latency SLI's cutoff.
+        windows: Sliding window spans (seconds), ascending.
+        bucket_seconds: Ring bucket granularity.
+    """
+
+    __slots__ = ("latency_threshold", "availability", "latency")
+
+    def __init__(
+        self,
+        availability_target: float = DEFAULT_AVAILABILITY_TARGET,
+        latency_target: float = DEFAULT_LATENCY_TARGET,
+        latency_threshold: float = DEFAULT_LATENCY_THRESHOLD,
+        windows: Sequence[float] = DEFAULT_WINDOWS,
+        bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+    ) -> None:
+        if latency_threshold <= 0:
+            raise ValueError(
+                f"latency threshold must be > 0, got {latency_threshold}"
+            )
+        self.latency_threshold = float(latency_threshold)
+        self.availability = _Objective(
+            availability_target, windows, bucket_seconds
+        )
+        self.latency = _Objective(latency_target, windows, bucket_seconds)
+
+    def record(
+        self, status: int, latency_seconds: float, now: float | None = None
+    ) -> None:
+        """Fold one finished request into both objectives.
+
+        5xx statuses burn availability budget; 4xx does not (the request
+        was served correctly, the caller got what their input deserved).
+        The latency SLI only counts non-5xx requests — a fast 500 must not
+        launder a latency win out of an availability loss.
+        """
+        if now is None:
+            now = _state.monotonic()
+        ok = int(status) < 500
+        self.availability.record(ok, now)
+        if ok:
+            self.latency.record(
+                float(latency_seconds) <= self.latency_threshold, now
+            )
+
+    def snapshot(self, now: float | None = None) -> dict:
+        """The ``/statz`` SLO block: both objectives, all windows."""
+        if now is None:
+            now = _state.monotonic()
+        latency = self.latency.snapshot(now)
+        latency["threshold_s"] = self.latency_threshold
+        return {
+            "availability": self.availability.snapshot(now),
+            "latency": latency,
+        }
+
+    def gauges(self, prefix: str = "serve.slo", now: float | None = None) -> dict:
+        """Flat ``{dotted_name: value}`` gauges for Prometheus exposition.
+
+        ``None`` ratios/burns (no traffic yet) are omitted — a missing
+        series reads better on a dashboard than a fake zero.
+        """
+        snap = self.snapshot(now=now)
+        gauges: dict[str, float] = {}
+        for objective in ("availability", "latency"):
+            block = snap[objective]
+            gauges[f"{prefix}.{objective}.target"] = block["target"]
+            for key in ("ratio", "burn_rate"):
+                if block[key] is not None:
+                    gauges[f"{prefix}.{objective}.{key}"] = block[key]
+            for label, window in block["windows"].items():
+                for key in ("ratio", "burn_rate"):
+                    if window[key] is not None:
+                        gauges[
+                            f"{prefix}.{objective}.{key}.{label}"
+                        ] = window[key]
+        return gauges

@@ -29,14 +29,20 @@ the telemetry switch) and exposes ``.seconds``.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import re
 import threading
+from collections import deque
 from typing import Iterable
 
 from repro.obs import _state
 
 TRACE_SCHEMA = "anb-trace"
 TRACE_SCHEMA_VERSION = 1
+
+TRACEZ_SCHEMA = "anb-tracez"
+TRACEZ_SCHEMA_VERSION = 1
 
 
 class _NullSpan:
@@ -203,3 +209,215 @@ class timer:
     def seconds(self) -> float:
         end = self._end if self._end is not None else _state.monotonic()
         return end - self._start
+
+
+# --------------------------------------------------------------------------
+# v2: distributed trace context, deterministic ids, sampling, trace ring.
+#
+# The serve layer threads a :class:`TraceContext` through admission →
+# coalescer → cache → surrogate, records finished request/batch spans into
+# a bounded :class:`TraceRing` (served at ``GET /tracez``), and echoes the
+# W3C ``traceparent`` header back to callers.  Everything here is
+# deterministic by construction — ids come from a seeded hash counter and
+# head sampling hashes the trace id — because the repository's lint gates
+# (ANB001/ANB002) forbid unseeded randomness and the telemetry plane must
+# never perturb response bytes.
+# --------------------------------------------------------------------------
+
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+
+class TraceContext:
+    """An immutable W3C-style trace context: trace id, span id, sampled flag."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool = True) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = bool(sampled)
+
+    def child(self, span_id: str) -> "TraceContext":
+        """A child context: same trace id and flag, new span id."""
+        return TraceContext(self.trace_id, span_id, self.sampled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceContext(trace_id={self.trace_id!r}, "
+            f"span_id={self.span_id!r}, sampled={self.sampled})"
+        )
+
+
+def parse_traceparent(header: str) -> TraceContext | None:
+    """Parse a W3C ``traceparent`` header; ``None`` when malformed.
+
+    Accepts the 00 version layout ``{version}-{trace_id}-{span_id}-{flags}``
+    and rejects the invalid all-zero ids and the reserved ``ff`` version,
+    per the spec.  Unknown (future) versions are accepted as long as the
+    00-version prefix parses, as the spec requires.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    version, trace_id, span_id, flags = match.groups()
+    if version == "ff":
+        return None
+    if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+        return None
+    return TraceContext(trace_id, span_id, bool(int(flags, 16) & 1))
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    """Render ``ctx`` as a version-00 ``traceparent`` header value."""
+    flags = "01" if ctx.sampled else "00"
+    return f"00-{ctx.trace_id}-{ctx.span_id}-{flags}"
+
+
+class IdGenerator:
+    """Deterministic trace/span id source: seeded blake2b over a counter.
+
+    Ids are a pure function of ``(seed, call index)``, so a server replaying
+    the same request sequence mints the same ids — which is what lets the
+    byte-identity tests pin ``traceparent`` echo headers across telemetry
+    on/off runs.  Thread-safe; the counter is shared across id kinds so the
+    call *sequence* alone determines every id.
+    """
+
+    __slots__ = ("_seed", "_counter", "_lock")
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def _hexdigest(self, nbytes: int) -> str:
+        with self._lock:
+            counter = self._counter
+            self._counter += 1
+        digest = hashlib.blake2b(
+            f"anb-trace:{self._seed}:{counter}".encode(), digest_size=nbytes
+        ).hexdigest()
+        if set(digest) == {"0"}:  # all-zero ids are invalid per W3C
+            digest = "1" + digest[1:]
+        return digest
+
+    def trace_id(self) -> str:
+        """A 32-hex-char trace id."""
+        return self._hexdigest(16)
+
+    def span_id(self) -> str:
+        """A 16-hex-char span id."""
+        return self._hexdigest(8)
+
+
+class HeadSampler:
+    """Deterministic head sampling: hash the trace id against a seed.
+
+    ``rate=1.0`` keeps everything, ``rate=0.0`` drops everything; in
+    between, a trace is kept when the hashed fraction of its id falls
+    below ``rate``.  The decision depends only on ``(seed, trace_id)`` —
+    no RNG state — so the same trace is sampled identically on every
+    replica and every rerun.
+    """
+
+    __slots__ = ("rate", "seed")
+
+    def __init__(self, rate: float = 1.0, seed: int = 0) -> None:
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.seed = int(seed)
+
+    def sampled(self, trace_id: str) -> bool:
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        digest = hashlib.blake2b(
+            f"anb-sample:{self.seed}:{trace_id}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") / 2.0**64 < self.rate
+
+
+class TraceRing:
+    """Bounded in-memory ring of finished span entries (``GET /tracez``).
+
+    Entries are plain dicts in the ``anb-tracez`` record shape::
+
+        {"name": "serve.query", "trace_id": "...", "span_id": "...",
+         "parent_id": null, "start": 12.5, "duration": 0.004,
+         "status": "ok", "attrs": {...}, "links": ["...", ...]}
+
+    ``links`` carries span ids of *other* spans causally tied to this one —
+    the coalescer's batch span links back to every request span it merged.
+    The ring keeps the most recent ``capacity`` entries; older ones are
+    dropped (counted, so operators can see truncation).
+    """
+
+    __slots__ = ("capacity", "_lock", "_entries", "_total")
+
+    def __init__(self, capacity: int = 256) -> None:
+        capacity = int(capacity)
+        if capacity <= 0:
+            raise ValueError(f"trace ring capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._total = 0
+
+    def record(
+        self,
+        name: str,
+        ctx: TraceContext,
+        start: float,
+        duration: float,
+        parent_id: str | None = None,
+        status: str = "ok",
+        attrs: dict | None = None,
+        links: list[str] | None = None,
+    ) -> dict:
+        """Append one finished span entry; returns the stored dict."""
+        entry = {
+            "name": name,
+            "trace_id": ctx.trace_id,
+            "span_id": ctx.span_id,
+            "parent_id": parent_id,
+            "start": start,
+            "duration": duration,
+            "status": status,
+            "attrs": dict(attrs or {}),
+            "links": list(links or []),
+        }
+        with self._lock:
+            self._entries.append(entry)
+            self._total += 1
+        return entry
+
+    def entries(self) -> list[dict]:
+        """Oldest-first copies of the retained entries."""
+        with self._lock:
+            return [dict(entry) for entry in self._entries]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._total = 0
+
+    def snapshot(self) -> dict:
+        """The ``/tracez`` payload: schema header plus retained entries."""
+        with self._lock:
+            entries = [dict(entry) for entry in self._entries]
+            total = self._total
+        return {
+            "schema": TRACEZ_SCHEMA,
+            "schema_version": TRACEZ_SCHEMA_VERSION,
+            "capacity": self.capacity,
+            "total": total,
+            "dropped": max(0, total - len(entries)),
+            "entries": entries,
+        }

@@ -1,24 +1,44 @@
-"""Schema validation for exported metrics/trace JSONL files.
+"""Schema validation for exported telemetry files.
 
-CI's telemetry smoke job runs ``python -m repro.obs.validate metrics.jsonl
-trace.jsonl`` against the files a fault-injected collect exported and fails
-the build if any record deviates from the documented schema
-(``docs/observability.md``).  The checks are structural — header record
-first with the right ``schema``/``schema_version``, then per-record
-required keys with the right types — and dependency-free, like the rest of
-the package.
+CI's telemetry smoke job runs ``python -m repro.obs.validate FILE ...``
+against everything a drill exported or scraped and fails the build if any
+record deviates from the documented schema (``docs/observability.md``).
+Four flavours are recognised, sniffed from the file's first line:
+
+- ``anb-metrics`` JSONL — counters/gauges/histograms plus the v2
+  ``kind="window"`` records carrying sketch snapshots (count/sum/min/max/
+  quantiles and per-window sub-snapshots);
+- ``anb-trace`` JSONL — finished spans from an installed tracer;
+- ``anb-tracez`` JSON — a saved ``GET /tracez`` response: one object with
+  ring metadata and span entries (hex trace/span ids, links);
+- Prometheus text exposition — a saved ``GET /metrics`` scrape or
+  ``--prom-out`` export, checked line-by-line against the 0.0.4 grammar.
+
+Checks are structural and **strict**: required keys with the right types,
+and unknown fields are rejected, so a drifting producer fails CI instead
+of silently shipping unvalidated telemetry.  Dependency-free, like the
+rest of the package.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import sys
 from pathlib import Path
 
 from repro.obs.metrics import METRICS_SCHEMA, METRICS_SCHEMA_VERSION
-from repro.obs.trace import TRACE_SCHEMA, TRACE_SCHEMA_VERSION
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    TRACEZ_SCHEMA,
+    TRACEZ_SCHEMA_VERSION,
+)
 
 _NUMBER = (int, float)
+
+_HEX_TRACE_ID = re.compile(r"^[0-9a-f]{32}$")
+_HEX_SPAN_ID = re.compile(r"^[0-9a-f]{16}$")
 
 
 class SchemaError(ValueError):
@@ -66,6 +86,53 @@ def _require(path: Path, idx: int, record: dict, key: str, types) -> None:
         )
 
 
+def _reject_unknown(
+    path: Path, idx: int, record: dict, allowed: tuple[str, ...]
+) -> None:
+    unknown = sorted(set(record) - set(allowed))
+    if unknown:
+        raise SchemaError(
+            f"{path}: record {idx} has unknown fields {unknown}: {record}"
+        )
+
+
+def _check_sketch_snapshot(
+    path: Path, idx: int, snap: dict, windowed: bool
+) -> None:
+    """One sketch snapshot: count/sum/min/max/quantiles (+windows at top)."""
+    allowed = ("count", "sum", "min", "max", "quantiles")
+    if windowed:
+        allowed = allowed + ("windows",)
+    _reject_unknown(path, idx, snap, allowed)
+    _require(path, idx, snap, "count", int)
+    _require(path, idx, snap, "sum", _NUMBER)
+    _require(path, idx, snap, "quantiles", dict)
+    for key in ("min", "max"):
+        _require(path, idx, snap, key, (*_NUMBER, type(None)))
+    for q_key, q_value in snap["quantiles"].items():
+        if not isinstance(q_key, str) or not q_key.startswith("p"):
+            raise SchemaError(
+                f"{path}: record {idx} bad quantile key {q_key!r}"
+            )
+        if q_value is not None and not isinstance(q_value, _NUMBER):
+            raise SchemaError(
+                f"{path}: record {idx} quantile {q_key!r} must be a number"
+                f" or null: {q_value!r}"
+            )
+    if windowed:
+        _require(path, idx, snap, "windows", dict)
+        for label, sub in snap["windows"].items():
+            if not isinstance(label, str) or not label:
+                raise SchemaError(
+                    f"{path}: record {idx} bad window label {label!r}"
+                )
+            if not isinstance(sub, dict):
+                raise SchemaError(
+                    f"{path}: record {idx} window {label!r} is not an object"
+                )
+            _check_sketch_snapshot(path, idx, sub, windowed=False)
+
+
 def validate_metrics_file(path) -> int:
     """Validate an ``anb-metrics`` JSONL export; return record count."""
     path = Path(path)
@@ -76,8 +143,15 @@ def validate_metrics_file(path) -> int:
         _require(path, idx, record, "name", str)
         kind = record["kind"]
         if kind in ("counter", "gauge"):
+            _reject_unknown(path, idx, record, ("kind", "name", "value"))
             _require(path, idx, record, "value", _NUMBER)
         elif kind == "histogram":
+            _reject_unknown(
+                path,
+                idx,
+                record,
+                ("kind", "name", "bounds", "bucket_counts", "count", "sum"),
+            )
             _require(path, idx, record, "bounds", list)
             _require(path, idx, record, "bucket_counts", list)
             _require(path, idx, record, "count", int)
@@ -87,6 +161,9 @@ def validate_metrics_file(path) -> int:
                     f"{path}: record {idx} histogram bucket_counts must have"
                     f" len(bounds)+1 entries: {record}"
                 )
+        elif kind == "window":
+            snap = {k: v for k, v in record.items() if k not in ("kind", "name")}
+            _check_sketch_snapshot(path, idx, snap, windowed=True)
         else:
             raise SchemaError(f"{path}: record {idx} unknown kind {kind!r}")
     return len(records) - 1
@@ -126,15 +203,174 @@ def validate_trace_file(path) -> int:
     return len(records) - 1
 
 
-def validate_file(path) -> tuple[str, int]:
-    """Validate ``path`` by sniffing its header; return (schema, count)."""
+_TRACEZ_TOP_KEYS = (
+    "schema",
+    "schema_version",
+    "capacity",
+    "total",
+    "dropped",
+    "entries",
+)
+_TRACEZ_ENTRY_KEYS = (
+    "name",
+    "trace_id",
+    "span_id",
+    "parent_id",
+    "start",
+    "duration",
+    "status",
+    "attrs",
+    "links",
+)
+
+
+def validate_tracez_file(path) -> int:
+    """Validate a saved ``GET /tracez`` response; return entry count."""
     path = Path(path)
-    records = _load_records(path)
-    schema = records[0].get("schema")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SchemaError(f"{path}: tracez payload is not an object")
+    _check_header(path, payload, TRACEZ_SCHEMA, TRACEZ_SCHEMA_VERSION)
+    _reject_unknown(path, 0, payload, _TRACEZ_TOP_KEYS)
+    _require(path, 0, payload, "capacity", int)
+    _require(path, 0, payload, "total", int)
+    _require(path, 0, payload, "dropped", int)
+    _require(path, 0, payload, "entries", list)
+    if len(payload["entries"]) > payload["capacity"]:
+        raise SchemaError(f"{path}: more entries than the ring capacity")
+    for idx, entry in enumerate(payload["entries"], start=1):
+        if not isinstance(entry, dict):
+            raise SchemaError(f"{path}: entry {idx} is not an object")
+        _reject_unknown(path, idx, entry, _TRACEZ_ENTRY_KEYS)
+        _require(path, idx, entry, "name", str)
+        _require(path, idx, entry, "trace_id", str)
+        _require(path, idx, entry, "span_id", str)
+        _require(path, idx, entry, "start", _NUMBER)
+        _require(path, idx, entry, "duration", _NUMBER)
+        _require(path, idx, entry, "status", str)
+        _require(path, idx, entry, "attrs", dict)
+        _require(path, idx, entry, "links", list)
+        if not _HEX_TRACE_ID.match(entry["trace_id"]):
+            raise SchemaError(
+                f"{path}: entry {idx} trace_id is not 32 hex chars:"
+                f" {entry['trace_id']!r}"
+            )
+        if not _HEX_SPAN_ID.match(entry["span_id"]):
+            raise SchemaError(
+                f"{path}: entry {idx} span_id is not 16 hex chars:"
+                f" {entry['span_id']!r}"
+            )
+        parent = entry.get("parent_id")
+        if parent is not None and (
+            not isinstance(parent, str) or not _HEX_SPAN_ID.match(parent)
+        ):
+            raise SchemaError(
+                f"{path}: entry {idx} parent_id must be 16 hex chars or"
+                f" null: {parent!r}"
+            )
+        if entry["status"] not in ("ok", "error"):
+            raise SchemaError(
+                f"{path}: entry {idx} status must be ok/error:"
+                f" {entry['status']!r}"
+            )
+        for link in entry["links"]:
+            if not isinstance(link, str) or not _HEX_SPAN_ID.match(link):
+                raise SchemaError(
+                    f"{path}: entry {idx} link is not 16 hex chars: {link!r}"
+                )
+        if entry["duration"] < 0:
+            raise SchemaError(f"{path}: entry {idx} negative duration")
+    return len(payload["entries"])
+
+
+_EXPO_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_EXPO_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
+_EXPO_SAMPLE = re.compile(
+    rf"^({_EXPO_NAME})(?:\{{{_EXPO_LABEL}(?:,{_EXPO_LABEL})*\}})?"
+    r" (-?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)|[+-]Inf|NaN)$"
+)
+_EXPO_HELP = re.compile(rf"^# HELP ({_EXPO_NAME}) .+$")
+_EXPO_TYPE = re.compile(
+    rf"^# TYPE ({_EXPO_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+_EXPO_SUFFIXES = ("_bucket", "_sum", "_count", "_total")
+
+
+def validate_prometheus_file(path) -> int:
+    """Validate Prometheus text exposition; return sample-line count."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if text and not text.endswith("\n"):
+        raise SchemaError(f"{path}: exposition must end with a newline")
+    declared: set[str] = set()
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if _EXPO_HELP.match(line):
+                continue
+            type_match = _EXPO_TYPE.match(line)
+            if type_match:
+                declared.add(type_match.group(1))
+                continue
+            raise SchemaError(
+                f"{path}:{lineno}: malformed comment line: {line!r}"
+            )
+        sample = _EXPO_SAMPLE.match(line)
+        if sample is None:
+            raise SchemaError(
+                f"{path}:{lineno}: malformed sample line: {line!r}"
+            )
+        name = sample.group(1)
+        base_names = {name}
+        for suffix in _EXPO_SUFFIXES:
+            if name.endswith(suffix):
+                base_names.add(name[: -len(suffix)])
+        if not base_names & declared:
+            raise SchemaError(
+                f"{path}:{lineno}: sample {name!r} has no preceding"
+                f" # TYPE declaration"
+            )
+        samples += 1
+    return samples
+
+
+def validate_file(path) -> tuple[str, int]:
+    """Validate ``path`` by sniffing its first line; return (kind, count).
+
+    JSON files dispatch on their ``schema`` header (``anb-metrics``,
+    ``anb-trace``, ``anb-tracez``); anything else is checked as Prometheus
+    text exposition.
+    """
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        first = ""
+        for line in fh:
+            if line.strip():
+                first = line.strip()
+                break
+    if not first.startswith("{"):
+        return "prometheus", validate_prometheus_file(path)
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError:
+        # Pretty-printed single-object files spread the header over many
+        # lines; fall back to parsing the whole document.
+        try:
+            header = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{path}: invalid JSON header: {exc}") from exc
+    schema = header.get("schema") if isinstance(header, dict) else None
     if schema == METRICS_SCHEMA:
         return schema, validate_metrics_file(path)
     if schema == TRACE_SCHEMA:
         return schema, validate_trace_file(path)
+    if schema == TRACEZ_SCHEMA:
+        return schema, validate_tracez_file(path)
     raise SchemaError(f"{path}: unknown schema {schema!r}")
 
 

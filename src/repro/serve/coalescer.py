@@ -26,6 +26,7 @@ Single-threaded by design (asyncio); no locks needed.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Awaitable, Callable, Sequence
 
 from repro.core.reliability import Deadline, DeadlineExceeded
@@ -33,16 +34,24 @@ from repro.core.reliability import Deadline, DeadlineExceeded
 # async (device, metric, archs) -> per-arch results, in order
 BatchRunner = Callable[[str, str, Sequence[str]], Awaitable[Sequence[float]]]
 
+# (trace contexts of merged items, batch start, duration, "ok"|"error")
+BatchObserver = Callable[[list, float, float, str], None]
+
 
 class _Pending:
-    __slots__ = ("arch", "future", "deadline")
+    __slots__ = ("arch", "future", "deadline", "ctx")
 
     def __init__(
-        self, arch: str, future: asyncio.Future, deadline: Deadline | None
+        self,
+        arch: str,
+        future: asyncio.Future,
+        deadline: Deadline | None,
+        ctx=None,
     ) -> None:
         self.arch = arch
         self.future = future
         self.deadline = deadline
+        self.ctx = ctx
 
 
 class _Group:
@@ -64,6 +73,15 @@ class Coalescer:
         max_delay: Longest any item waits for batch-mates, in seconds.
         on_flush: Optional observer called with each flushed batch size —
             the server wires this to telemetry, gated out of band.
+        on_batch: Optional observer called after each batched runner call
+            with ``(contexts, start, duration, status)`` — the trace
+            contexts the merged items carried (in batch order, ``None``
+            for untraced items), the batch's start time on ``clock``, its
+            duration, and ``"ok"``/``"error"``.  The server uses this to
+            record one ``query_batch`` span linked to every merged
+            request span.
+        clock: Monotonic clock used solely to time batches for
+            ``on_batch`` (injectable so trace timings are deterministic).
     """
 
     def __init__(
@@ -72,6 +90,8 @@ class Coalescer:
         max_batch: int = 16,
         max_delay: float = 0.005,
         on_flush: Callable[[int], None] | None = None,
+        on_batch: BatchObserver | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -81,6 +101,8 @@ class Coalescer:
         self.max_batch = max_batch
         self.max_delay = max_delay
         self.on_flush = on_flush
+        self.on_batch = on_batch
+        self.clock = clock
         self._groups: dict[tuple[str, str], _Group] = {}
         self.flush_total = 0
         self.items_total = 0
@@ -109,8 +131,14 @@ class Coalescer:
         device: str,
         metric: str,
         deadline: Deadline | None = None,
+        ctx=None,
     ) -> float:
-        """Queue one query and await its (possibly batched) result."""
+        """Queue one query and await its (possibly batched) result.
+
+        ``ctx`` is an opaque trace context carried through to the
+        ``on_batch`` observer when this item's batch flushes; it never
+        influences batching or results.
+        """
         if deadline is not None:
             deadline.check("coalescer")
         key = (device, metric)
@@ -119,7 +147,7 @@ class Coalescer:
             group = _Group(key)
             self._groups[key] = group
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        group.items.append(_Pending(arch, future, deadline))
+        group.items.append(_Pending(arch, future, deadline, ctx))
         if len(group.items) >= self.max_batch:
             self._start_flush(group)
         else:
@@ -180,15 +208,30 @@ class Coalescer:
         self.last_batch_size = len(live)
         if self.on_flush is not None:
             self.on_flush(len(live))
+        started = self.clock() if self.on_batch is not None else 0.0
         try:
             results = await self.runner(
                 device, metric, [item.arch for item in live]
             )
         except Exception as exc:  # fan the failure out to every waiter
+            if self.on_batch is not None:
+                self.on_batch(
+                    [item.ctx for item in live],
+                    started,
+                    self.clock() - started,
+                    "error",
+                )
             for item in live:
                 if not item.future.cancelled():
                     item.future.set_exception(exc)
             return
+        if self.on_batch is not None:
+            self.on_batch(
+                [item.ctx for item in live],
+                started,
+                self.clock() - started,
+                "ok",
+            )
         for item, value in zip(live, results):
             if not item.future.cancelled():
                 item.future.set_result(value)

@@ -59,6 +59,7 @@ class Request:
     path: str
     headers: dict[str, str]
     body: bytes = b""
+    query: dict[str, str] = field(default_factory=dict)
 
     @property
     def keep_alive(self) -> bool:
@@ -170,9 +171,17 @@ async def read_request(
             except asyncio.IncompleteReadError as exc:
                 raise ProtocolError(400, "connection closed inside body") from exc
 
-    # Strip any query string: the service routes on the bare path.
-    path = target.partition("?")[0]
-    return Request(method=method, path=path, headers=headers, body=body)
+    # Routing uses the bare path; the query string is parsed into a dict
+    # (last value wins) for parameterised endpoints like /debug/profile.
+    path, _, query_string = target.partition("?")
+    query: dict[str, str] = {}
+    if query_string:
+        from urllib.parse import parse_qsl
+
+        query = dict(parse_qsl(query_string, keep_blank_values=True))
+    return Request(
+        method=method, path=path, headers=headers, body=body, query=query
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -181,7 +190,11 @@ async def read_request(
 
 
 def _render_request(
-    method: str, path: str, body: bytes, keep_alive: bool
+    method: str,
+    path: str,
+    body: bytes,
+    keep_alive: bool,
+    headers: dict[str, str] | None = None,
 ) -> bytes:
     lines = [
         f"{method} {path} HTTP/1.1",
@@ -189,6 +202,7 @@ def _render_request(
         f"Content-Length: {len(body)}",
         "Content-Type: application/json",
     ]
+    lines.extend(f"{key}: {value}" for key, value in (headers or {}).items())
     if not keep_alive:
         lines.append("Connection: close")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
@@ -238,6 +252,7 @@ class ClientConnection:
         method: str,
         path: str,
         payload: dict | None = None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], dict]:
         """Send one request; returns (status, headers, decoded JSON body)."""
         await self._ensure_open()
@@ -246,7 +261,9 @@ class ClientConnection:
             if payload is not None
             else b""
         )
-        self._writer.write(_render_request(method, path, body, keep_alive=True))
+        self._writer.write(
+            _render_request(method, path, body, keep_alive=True, headers=headers)
+        )
         await self._writer.drain()
         status, headers, raw = await _read_response(self._reader)
         data = json.loads(raw) if raw else {}

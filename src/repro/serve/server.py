@@ -4,17 +4,20 @@
 in :mod:`repro.core.reliability`) around a swappable
 :class:`~repro.serve.lifecycle.BenchmarkHandle`:
 
-============  ======  ====================================================
-endpoint      method  behaviour
-============  ======  ====================================================
-/query        POST    one architecture; coalesced into micro-batches
-/batch-query  POST    many architectures; one vectorised surrogate call
-/pareto       POST    Pareto front over (accuracy, performance)
-/reload       POST    verify → load → atomic swap → rollback on failure
-/healthz      GET     liveness (always 200 while the loop runs)
-/readyz       GET     readiness (503 while reloading or draining)
-/statz        GET     deterministic server-state snapshot
-============  ======  ====================================================
+==============  ======  ==================================================
+endpoint        method  behaviour
+==============  ======  ==================================================
+/query          POST    one architecture; coalesced into micro-batches
+/batch-query    POST    many architectures; one vectorised surrogate call
+/pareto         POST    Pareto front over (accuracy, performance)
+/reload         POST    verify → load → atomic swap → rollback on failure
+/healthz        GET     liveness (always 200 while the loop runs)
+/readyz         GET     readiness (503 while reloading or draining)
+/statz          GET     server-state snapshot + info block + SLO burn rates
+/metrics        GET     Prometheus text exposition (windowed p50/p95/p99)
+/tracez         GET     bounded in-memory ring of recent request spans
+/debug/profile  GET     sampling profiler; collapsed-stack flamegraph text
+==============  ======  ==================================================
 
 Request lifecycle for the query endpoints: parse (400 on bad input) →
 deadline from ``timeout_ms`` → circuit breaker admit (503 + Retry-After
@@ -24,20 +27,30 @@ executor → breaker verdict.  Surrogate and integrity errors count as
 breaker failures; deadline expiry concludes the admitted call as an
 *abandon* (no health verdict).
 
-Telemetry is strictly out of band: every ``repro.obs`` touch is gated on
-:func:`repro.obs.telemetry_active` and responses are byte-identical with
-telemetry on or off.
+Telemetry is strictly out of band: every ``repro.obs`` registry/log touch
+is gated on :func:`repro.obs.telemetry_active` and responses are
+byte-identical with telemetry on or off.  The **live plane** (windowed
+latency quantiles, SLO burn rates, the trace ring) is server-owned state —
+always maintained, like the admission/coalescer counters, so ``/metrics``
+and ``/tracez`` answer even when logging is off — and is observation-only:
+it never touches response bytes.  Requests carrying a W3C ``traceparent``
+header get one echoed back with this server's span id; span ids come from
+a seeded counter generator, so the echo is a pure function of the request
+sequence and identical across telemetry states.
 """
 
 from __future__ import annotations
 
 import asyncio
 import math
+import platform
 import time
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Sequence
 
+import repro
 import repro.obs as obs
+from repro.obs.expo import EXPOSITION_CONTENT_TYPE, render_exposition
 from repro.core.benchmark import AccelNASBench
 from repro.core.reliability import (
     ArtifactIntegrityError,
@@ -88,6 +101,18 @@ class ServerConfig:
             to 0.1 s doubling up to 5 s (seeded-deterministic probes).
         drills: Optional seeded fault-drill plan.
         clock: Injectable monotonic clock for deadlines and breakers.
+        trace_ring: Capacity of the in-memory span ring behind ``/tracez``
+            (0 disables request tracing entirely).
+        trace_sample: Head-sampling rate in [0, 1] — the fraction of
+            traces recorded into the ring, decided deterministically per
+            trace id.
+        trace_seed: Seed for trace/span id generation and sampling.
+        slo_availability: Availability SLO target (fraction of requests
+            that must not 5xx).
+        slo_latency_target: Latency SLO target (fraction of good requests
+            that must finish within ``slo_latency_ms``).
+        slo_latency_ms: Latency SLO threshold, milliseconds.
+        profile_max_seconds: Upper clamp on ``/debug/profile?seconds=N``.
     """
 
     host: str = "127.0.0.1"
@@ -109,6 +134,13 @@ class ServerConfig:
     )
     drills: DrillPlan = field(default_factory=DrillPlan)
     clock: Callable[[], float] = time.monotonic
+    trace_ring: int = 256
+    trace_sample: float = 1.0
+    trace_seed: int = 0
+    slo_availability: float = 0.999
+    slo_latency_target: float = 0.99
+    slo_latency_ms: float = 250.0
+    profile_max_seconds: float = 30.0
 
 
 class BenchServer:
@@ -135,6 +167,8 @@ class BenchServer:
             max_batch=self.config.max_batch,
             max_delay=self.config.max_delay,
             on_flush=self._note_flush,
+            on_batch=self._note_batch,
+            clock=obs.monotonic,
         )
         self.breakers: dict[str, CircuitBreaker] = {
             name: CircuitBreaker(
@@ -159,6 +193,30 @@ class BenchServer:
         self._drained.set()
         self.port: int | None = None
         self._log = obs.get_logger("repro.serve")
+        # Live telemetry plane (server-owned, always on; observation-only).
+        self.trace_ring = (
+            obs.TraceRing(self.config.trace_ring)
+            if self.config.trace_ring > 0
+            else None
+        )
+        self.sampler = obs.HeadSampler(
+            rate=self.config.trace_sample, seed=self.config.trace_seed
+        )
+        # Two independent id streams: echoes must be a pure function of
+        # the traceparent-bearing request sequence (byte-identity across
+        # telemetry states), so ring-local id minting must never advance
+        # the echo counter.
+        self._echo_ids = obs.IdGenerator(seed=self.config.trace_seed)
+        self._ring_ids = obs.IdGenerator(seed=self.config.trace_seed + 1)
+        self.slo = obs.SLOTracker(
+            availability_target=self.config.slo_availability,
+            latency_target=self.config.slo_latency_target,
+            latency_threshold=self.config.slo_latency_ms / 1000.0,
+        )
+        self._latency: dict[str, obs.WindowedQuantiles] = {}
+        self._batch_info: dict[str, tuple[str, int]] = {}
+        self._started_clock = self.config.clock()
+        self._profile_lock = asyncio.Lock()
 
     # ----------------------------------------------------------- lifecycle
 
@@ -250,11 +308,18 @@ class BenchServer:
 
     async def _dispatch(self, request: Request) -> Response:
         started = self.config.clock()
+        trace_started = obs.monotonic()
+        endpoint = request.path.strip("/") or "root"
+        ctx, parent_id, echo = self._trace_context(request, endpoint)
+        request.trace_ctx = ctx
         route = (request.method, request.path)
         handler = {
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/readyz"): self._handle_readyz,
             ("GET", "/statz"): self._handle_statz,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/tracez"): self._handle_tracez,
+            ("GET", "/debug/profile"): self._handle_profile,
             ("POST", "/query"): self._handle_query,
             ("POST", "/batch-query"): self._handle_batch_query,
             ("POST", "/pareto"): self._handle_pareto,
@@ -265,6 +330,9 @@ class BenchServer:
                 "/healthz",
                 "/readyz",
                 "/statz",
+                "/metrics",
+                "/tracez",
+                "/debug/profile",
                 "/query",
                 "/batch-query",
                 "/pareto",
@@ -283,16 +351,88 @@ class BenchServer:
                 response = await handler(request)
             except ProtocolError as exc:
                 response = json_response(exc.status, {"error": exc.reason})
+        if echo:
+            # Pure protocol plumbing, independent of telemetry state: the
+            # caller sent a traceparent, so hand back our span under the
+            # same trace (byte-identity tests pin this across obs on/off).
+            response.headers["traceparent"] = obs.format_traceparent(ctx)
+        latency = self.config.clock() - started
+        batch_info = (
+            self._batch_info.pop(ctx.span_id, None) if ctx is not None else None
+        )
+        if endpoint in QUERY_ENDPOINTS:
+            # Always-on live plane: windowed quantiles + SLO accounting are
+            # server-owned state, maintained regardless of the telemetry
+            # switch so /metrics and /statz answer under --log-level off.
+            self._observe_latency(endpoint, latency)
+            self.slo.record(response.status, latency)
+            if self.trace_ring is not None and ctx is not None and ctx.sampled:
+                self.trace_ring.record(
+                    f"serve.{endpoint}",
+                    ctx,
+                    start=trace_started,
+                    duration=obs.monotonic() - trace_started,
+                    parent_id=parent_id,
+                    status="ok" if response.status < 500 else "error",
+                    attrs={
+                        "http.method": request.method,
+                        "http.status": response.status,
+                    },
+                    links=[batch_info[0]] if batch_info is not None else [],
+                )
         if obs.telemetry_active():
-            endpoint = request.path.strip("/") or "root"
             registry = obs.metrics()
             registry.inc(f"serve.requests.{endpoint}")
             registry.inc(f"serve.status.{response.status}")
-            registry.observe(
-                f"serve.latency.{endpoint}", self.config.clock() - started
-            )
+            registry.observe(f"serve.latency.{endpoint}", latency)
             registry.set_gauge("serve.queue_depth", self.gate.depth)
+            self._log.info(
+                "serve.access",
+                method=request.method,
+                path=request.path,
+                status=response.status,
+                latency_ms=round(latency * 1000.0, 3),
+                batch=batch_info[1] if batch_info is not None else 0,
+                cache=getattr(request, "cache_state", "-"),
+                trace_id=ctx.trace_id if ctx is not None else "-",
+            )
         return response
+
+    def _trace_context(
+        self, request: Request, endpoint: str
+    ) -> tuple["obs.TraceContext | None", str | None, bool]:
+        """Derive this request's trace context: (ctx, parent span id, echo).
+
+        A valid incoming ``traceparent`` always yields a context (and an
+        echo) so the header handshake is telemetry-independent; otherwise
+        a ring-local root context is minted for query endpoints when
+        tracing is enabled.  The two id streams are separate, so ring
+        minting never shifts the echo sequence.
+        """
+        incoming = obs.parse_traceparent(request.headers.get("traceparent", ""))
+        if incoming is not None:
+            ctx = obs.TraceContext(
+                incoming.trace_id,
+                self._echo_ids.span_id(),
+                self.sampler.sampled(incoming.trace_id),
+            )
+            return ctx, incoming.span_id, True
+        if self.trace_ring is not None and endpoint in QUERY_ENDPOINTS:
+            trace_id = self._ring_ids.trace_id()
+            ctx = obs.TraceContext(
+                trace_id,
+                self._ring_ids.span_id(),
+                self.sampler.sampled(trace_id),
+            )
+            return ctx, None, False
+        return None, None, False
+
+    def _observe_latency(self, endpoint: str, seconds: float) -> None:
+        window = self._latency.get(endpoint)
+        if window is None:
+            window = obs.WindowedQuantiles()
+            self._latency[endpoint] = window
+        window.observe(seconds)
 
     # ------------------------------------------------------------ handlers
 
@@ -318,8 +458,84 @@ class BenchServer:
                 "cache": None if self.cache is None else self.cache.stats(),
                 "generation": self.handle.generation,
                 "inflight": self._inflight,
+                "info": {
+                    "generation": self.handle.generation,
+                    "python": platform.python_version(),
+                    "repro": repro.__version__,
+                    "store_path": (
+                        str(self.handle.path)
+                        if self.handle.path is not None
+                        else None
+                    ),
+                    "trace_ring": self.config.trace_ring,
+                    "trace_sample": self.config.trace_sample,
+                    "uptime_s": round(
+                        self.config.clock() - self._started_clock, 3
+                    ),
+                },
+                "slo": self.slo.snapshot(),
             },
         )
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        """Prometheus text exposition: obs registry + the always-on plane."""
+        snapshot = obs.metrics().snapshot()
+        for endpoint, window in sorted(self._latency.items()):
+            # Distinct name from the gated serve.latency.* histograms so
+            # the exposition never carries one name with two TYPEs.
+            snapshot["windows"][
+                f"serve.latency.window.{endpoint}"
+            ] = window.snapshot()
+        extra = {
+            "serve.generation": float(self.handle.generation),
+            "serve.inflight": float(self._inflight),
+            "serve.queue_depth": float(self.gate.depth),
+            "serve.uptime_seconds": round(
+                self.config.clock() - self._started_clock, 6
+            ),
+        }
+        if self.cache is not None:
+            stats = self.cache.stats()
+            extra["serve.cache.entries"] = float(stats["entries"])
+            extra["serve.cache.hits"] = float(stats["hits"])
+            extra["serve.cache.misses"] = float(stats["misses"])
+        if self.trace_ring is not None:
+            ring = self.trace_ring.snapshot()
+            extra["serve.trace.total"] = float(ring["total"])
+            extra["serve.trace.retained"] = float(len(ring["entries"]))
+        extra.update(self.slo.gauges())
+        text = render_exposition(snapshot, extra_gauges=extra)
+        return Response(
+            200, text.encode("utf-8"), content_type=EXPOSITION_CONTENT_TYPE
+        )
+
+    async def _handle_tracez(self, request: Request) -> Response:
+        if self.trace_ring is None:
+            return json_response(404, {"error": "tracing disabled"})
+        return json_response(200, self.trace_ring.snapshot())
+
+    async def _handle_profile(self, request: Request) -> Response:
+        raw = request.query.get("seconds", "1")
+        try:
+            seconds = float(raw)
+        except ValueError as exc:
+            raise ProtocolError(400, "'seconds' must be a number") from exc
+        if not seconds > 0:
+            raise ProtocolError(400, "'seconds' must be > 0")
+        seconds = min(seconds, self.config.profile_max_seconds)
+        if self._profile_lock.locked():
+            return json_response(409, {"error": "a profile is already running"})
+        async with self._profile_lock:
+            profiler = obs.SamplingProfiler()
+            profiler.start()
+            try:
+                # The event loop keeps serving while the sampler thread
+                # walks sys._current_frames in the background.
+                await asyncio.sleep(seconds)
+            finally:
+                profiler.stop()
+        body = profiler.collapsed().encode("utf-8")
+        return Response(200, body, content_type="text/plain; charset=utf-8")
 
     async def _handle_query(self, request: Request) -> Response:
         payload = request.json()
@@ -341,6 +557,7 @@ class BenchServer:
                     metric,
                 )
                 payload = cache.get(key)
+                request.cache_state = "hit" if payload is not None else "miss"
                 if obs.telemetry_active():
                     registry = obs.metrics()
                     registry.inc(
@@ -352,7 +569,11 @@ class BenchServer:
                     return payload
             if self.config.coalesce:
                 payload = await self.coalescer.query(
-                    arch, device or "", metric, deadline
+                    arch,
+                    device or "",
+                    metric,
+                    deadline,
+                    ctx=getattr(request, "trace_ctx", None),
                 )
             else:
                 loop = asyncio.get_running_loop()
@@ -599,6 +820,42 @@ class BenchServer:
                 "serve.coalesce.batch_size",
                 float(batch_size),
                 buckets=(1, 2, 4, 8, 16, 32, 64),
+            )
+
+    def _note_batch(
+        self, ctxs: list, started: float, duration: float, status: str
+    ) -> None:
+        """Record one coalesced batch span linked to its merged requests.
+
+        Every traced item gets a ``{span_id: (batch_span_id, batch_size)}``
+        entry so request finalisation can link request → batch and the
+        access log can report the coalesced batch size; the batch span
+        itself is recorded when at least one merged trace is sampled.
+        """
+        if self.trace_ring is None:
+            return
+        linked = [ctx for ctx in ctxs if ctx is not None]
+        if not linked:
+            return
+        if len(self._batch_info) > 4096:
+            # Entries are popped at request finalisation; a runaway map
+            # means requests died before finalising — drop, don't grow.
+            self._batch_info.clear()
+        sampled = [ctx for ctx in linked if ctx.sampled]
+        batch_ctx = obs.TraceContext(
+            linked[0].trace_id, self._ring_ids.span_id(), bool(sampled)
+        )
+        for ctx in linked:
+            self._batch_info[ctx.span_id] = (batch_ctx.span_id, len(ctxs))
+        if sampled:
+            self.trace_ring.record(
+                "serve.query_batch",
+                batch_ctx,
+                start=started,
+                duration=duration,
+                status=status,
+                attrs={"batch_size": len(ctxs)},
+                links=[ctx.span_id for ctx in linked],
             )
 
     def _note_failure(

@@ -1,0 +1,138 @@
+"""Prometheus exposition rendering: names, values, blocks, grammar."""
+
+import math
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.expo import (
+    EXPOSITION_CONTENT_TYPE,
+    escape_label_value,
+    export_prometheus,
+    format_value,
+    metric_name,
+    render_exposition,
+    render_registry,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.validate import validate_prometheus_file
+
+
+def test_content_type_pins_exposition_version():
+    assert EXPOSITION_CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_metric_name_sanitisation():
+    assert metric_name("serve.latency.query") == "anb_serve_latency_query"
+    assert metric_name("a-b c") == "anb_a_b_c"
+    assert metric_name("9lives") == "anb__9lives"
+    with pytest.raises(ValueError, match="sanitises to nothing"):
+        metric_name("...")
+
+
+def test_escape_label_value():
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+def test_format_value_spellings():
+    assert format_value(3.0) == "3"
+    assert format_value(0.25) == "0.25"
+    assert format_value(math.inf) == "+Inf"
+    assert format_value(-math.inf) == "-Inf"
+    assert format_value(math.nan) == "NaN"
+
+
+def test_counter_block_gets_total_suffix():
+    snap = {"counters": {"collect.retries": 3.0}}
+    text = render_exposition(snap)
+    assert "# TYPE anb_collect_retries_total counter" in text
+    assert "anb_collect_retries_total 3\n" in text
+    # Original dotted name survives as HELP text.
+    assert "# HELP anb_collect_retries_total collect.retries" in text
+
+
+def test_histogram_block_is_cumulative_with_inf_bucket():
+    snap = {
+        "histograms": {
+            "h": {
+                "bounds": [0.1, 1.0],
+                "bucket_counts": [1, 2, 1],
+                "count": 4,
+                "sum": 2.5,
+            }
+        }
+    }
+    lines = render_exposition(snap).splitlines()
+    assert 'anb_h_bucket{le="0.1"} 1' in lines
+    assert 'anb_h_bucket{le="1"} 3' in lines  # cumulative
+    assert 'anb_h_bucket{le="+Inf"} 4' in lines
+    assert "anb_h_sum 2.5" in lines
+    assert "anb_h_count 4" in lines
+
+
+def test_window_block_renders_summary_with_window_labels():
+    snap = {
+        "windows": {
+            "serve.latency.window.query": {
+                "count": 4,
+                "sum": 0.4,
+                "min": 0.05,
+                "max": 0.2,
+                "quantiles": {"p50": 0.1, "p99": None},
+                "windows": {
+                    "1m": {
+                        "count": 2,
+                        "sum": 0.2,
+                        "min": 0.05,
+                        "max": 0.15,
+                        "quantiles": {"p50": 0.1, "p99": 0.15},
+                    }
+                },
+            }
+        }
+    }
+    lines = render_exposition(snap).splitlines()
+    flat = "anb_serve_latency_window_query"
+    assert f"# TYPE {flat} summary" in lines
+    assert f'{flat}{{quantile="0.5"}} 0.1' in lines
+    # None quantiles are omitted, not rendered as NaN.
+    assert not any('quantile="0.99"} ' in l and "window" not in l for l in lines)
+    assert f'{flat}{{window="1m",quantile="0.99"}} 0.15' in lines
+    assert f'{flat}_count{{window="1m"}} 2' in lines
+    assert f"{flat}_count 4" in lines
+
+
+def test_extra_gauges_merge_and_override():
+    snap = {"gauges": {"serve.generation": 0.0}}
+    text = render_exposition(snap, extra_gauges={"serve.generation": 2.0, "x": 1})
+    assert "anb_serve_generation 2\n" in text
+    assert "anb_x 1\n" in text
+    assert "anb_serve_generation 0" not in text
+
+
+def test_output_is_deterministic_and_sorted():
+    snap = {"gauges": {"b": 1.0, "a": 2.0}}
+    text = render_exposition(snap)
+    assert text == render_exposition(snap)
+    assert text.index("anb_a") < text.index("anb_b")
+
+
+def test_render_registry_and_export_validate(tmp_path):
+    reg = MetricsRegistry()
+    reg.inc("collect.tasks", 5)
+    reg.set_gauge("fit.r2", 0.93)
+    reg.observe("fit.seconds", 1.5)
+    reg.observe_window("serve.latency.window.query", 0.02)
+    text = render_registry(reg)
+    assert text.endswith("\n")
+    path = tmp_path / "metrics.prom"
+    export_prometheus(path, reg)
+    assert path.read_text() == text
+    assert validate_prometheus_file(path) > 0
+
+
+def test_default_registry_render_smoke(tmp_path):
+    obs.metrics().inc("x")
+    path = tmp_path / "default.prom"
+    export_prometheus(path)
+    assert "anb_x_total 1" in path.read_text()

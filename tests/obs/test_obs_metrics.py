@@ -74,9 +74,15 @@ def test_clear():
     reg.inc("a")
     reg.set_gauge("g", 1)
     reg.observe("h", 0.1)
+    reg.observe_window("w", 0.1)
     reg.clear()
     snap = reg.snapshot()
-    assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert snap == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "windows": {},
+    }
 
 
 def test_threaded_increments_do_not_lose_updates():

@@ -1,0 +1,127 @@
+"""Sampling profiler: collapsed stacks, injection, thread lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.prof import (
+    SamplingProfiler,
+    collapse_frame_stack,
+    profile_for,
+)
+
+
+class FakeCode:
+    def __init__(self, filename, name):
+        self.co_filename = filename
+        self.co_name = name
+
+
+class FakeFrame:
+    def __init__(self, stack):
+        """stack: outermost-first list of (filename, name)."""
+        frame = None
+        for filename, name in stack:
+            new = FakeFrame.__new__(FakeFrame)
+            new.f_code = FakeCode(filename, name)
+            new.f_back = frame
+            frame = new
+        self.f_code = frame.f_code
+        self.f_back = frame.f_back
+
+
+def make_frame(*names):
+    return FakeFrame([("/x/app.py", name) for name in names])
+
+
+def test_collapse_frame_stack_is_root_first():
+    frame = FakeFrame([("/a/main.py", "main"), ("/a/lib.py", "work")])
+    assert collapse_frame_stack(frame) == "main.py:main;lib.py:work"
+
+
+def test_collapse_depth_is_bounded():
+    frame = FakeFrame([("/x/m.py", f"f{i}") for i in range(500)])
+    collapsed = collapse_frame_stack(frame)
+    assert collapsed.count(";") == 127  # MAX_STACK_DEPTH frames
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="interval"):
+        SamplingProfiler(interval=0)
+    with pytest.raises(ValueError, match="max_samples"):
+        SamplingProfiler(max_samples=0)
+
+
+def test_sample_once_with_injected_frames():
+    profiler = SamplingProfiler(
+        frames_fn=lambda: {1: make_frame("main", "work"), 2: make_frame("idle")}
+    )
+    assert profiler.sample_once() == 2
+    counts = profiler.counts()
+    assert counts["app.py:main;app.py:work"] == 1
+    assert counts["app.py:idle"] == 1
+    assert profiler.samples == 1
+
+
+def test_sample_once_excludes_own_thread():
+    profiler = SamplingProfiler(frames_fn=lambda: {7: make_frame("only")})
+    assert profiler.sample_once(exclude_thread=7) == 0
+    assert profiler.samples == 0
+
+
+def test_collapsed_output_sorted_hottest_first():
+    profiler = SamplingProfiler(frames_fn=lambda: {1: make_frame("hot")})
+    for _ in range(3):
+        profiler.sample_once()
+    profiler._frames_fn = lambda: {1: make_frame("cold")}
+    profiler.sample_once()
+    text = profiler.collapsed()
+    assert text == "app.py:hot 3\napp.py:cold 1\n"
+    assert profiler.collapsed() == text  # deterministic
+
+
+def test_empty_profiler_collapses_to_empty_string():
+    assert SamplingProfiler().collapsed() == ""
+
+
+def test_clear_resets_counts():
+    profiler = SamplingProfiler(frames_fn=lambda: {1: make_frame("a")})
+    profiler.sample_once()
+    profiler.clear()
+    assert profiler.samples == 0
+    assert profiler.counts() == {}
+
+
+def test_background_thread_samples_real_stacks():
+    profiler = SamplingProfiler(interval=0.002)
+    stop = threading.Event()
+
+    def busy_wait_loop():
+        while not stop.is_set():
+            time.sleep(0.001)
+
+    worker = threading.Thread(target=busy_wait_loop, name="prof-target")
+    worker.start()
+    profiler.start()
+    assert profiler.running
+    profiler.start()  # idempotent
+    time.sleep(0.08)
+    profiler.stop()
+    stop.set()
+    worker.join()
+    assert not profiler.running
+    assert profiler.samples > 0
+    assert any("busy_wait_loop" in stack for stack in profiler.counts())
+
+
+def test_stop_without_start_is_noop():
+    SamplingProfiler().stop()
+
+
+def test_profile_for_returns_collapsed_text():
+    with pytest.raises(ValueError, match="seconds"):
+        profile_for(0)
+    text = profile_for(0.05, interval=0.005)
+    # This thread blocks in done.wait, so its own stack shows up.
+    assert isinstance(text, str)

@@ -1,0 +1,124 @@
+"""P² streaming quantile sketches: exactness, accuracy, determinism."""
+
+import random
+
+import pytest
+
+from repro.obs.sketch import (
+    DEFAULT_QUANTILES,
+    P2Quantile,
+    QuantileSketch,
+    quantile_key,
+)
+
+
+def exact_quantile(values, q):
+    values = sorted(values)
+    rank = q * (len(values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(values) - 1)
+    frac = rank - lo
+    return values[lo] + (values[hi] - values[lo]) * frac
+
+
+def test_quantile_key_spellings():
+    assert quantile_key(0.5) == "p50"
+    assert quantile_key(0.95) == "p95"
+    assert quantile_key(0.99) == "p99"
+    assert quantile_key(0.999) == "p99.9"
+
+
+def test_p2_rejects_out_of_range_quantile():
+    for bad in (0.0, 1.0, -0.1, 2.0):
+        with pytest.raises(ValueError, match=r"\(0, 1\)"):
+            P2Quantile(bad)
+
+
+def test_empty_estimator_returns_none():
+    assert P2Quantile(0.5).value() is None
+
+
+def test_exact_while_five_or_fewer_observations():
+    est = P2Quantile(0.5)
+    seen = []
+    for value in (9.0, 1.0, 5.0, 3.0, 7.0):
+        est.observe(value)
+        seen.append(value)
+        assert est.value() == pytest.approx(exact_quantile(seen, 0.5))
+
+
+def test_median_converges_on_uniform_stream():
+    rng = random.Random(7)
+    values = [rng.random() for _ in range(5000)]
+    est = P2Quantile(0.5)
+    for v in values:
+        est.observe(v)
+    assert est.value() == pytest.approx(exact_quantile(values, 0.5), abs=0.02)
+
+
+def test_p99_converges_on_skewed_stream():
+    rng = random.Random(11)
+    values = [rng.expovariate(10.0) for _ in range(8000)]
+    est = P2Quantile(0.99)
+    for v in values:
+        est.observe(v)
+    exact = exact_quantile(values, 0.99)
+    assert est.value() == pytest.approx(exact, rel=0.15)
+
+
+def test_estimate_is_deterministic_function_of_sequence():
+    rng = random.Random(3)
+    values = [rng.random() for _ in range(500)]
+
+    def run():
+        est = P2Quantile(0.95)
+        for v in values:
+            est.observe(v)
+        return est.value()
+
+    assert run() == run()
+
+
+def test_as_dict_shape():
+    est = P2Quantile(0.95)
+    est.observe(2.0)
+    assert est.as_dict() == {"q": 0.95, "count": 1, "value": 2.0}
+
+
+def test_sketch_defaults_and_snapshot():
+    sketch = QuantileSketch()
+    assert sketch.quantiles == DEFAULT_QUANTILES
+    for v in (0.2, 0.4, 0.6):
+        sketch.observe(v)
+    snap = sketch.snapshot()
+    assert snap["count"] == 3
+    assert snap["sum"] == pytest.approx(1.2)
+    assert snap["min"] == 0.2
+    assert snap["max"] == 0.6
+    assert set(snap["quantiles"]) == {"p50", "p95", "p99"}
+    assert snap["quantiles"]["p50"] == pytest.approx(0.4)
+
+
+def test_sketch_empty_snapshot_uses_nulls():
+    snap = QuantileSketch().snapshot()
+    assert snap["count"] == 0
+    assert snap["min"] is None
+    assert snap["max"] is None
+    assert all(v is None for v in snap["quantiles"].values())
+
+
+def test_sketch_quantile_lookup():
+    sketch = QuantileSketch((0.5, 0.9))
+    sketch.observe(1.0)
+    assert sketch.quantile(0.5) == 1.0
+    with pytest.raises(KeyError, match="not tracked"):
+        sketch.quantile(0.99)
+
+
+def test_sketch_rejects_bad_quantile_lists():
+    with pytest.raises(ValueError, match="at least one"):
+        QuantileSketch(())
+    with pytest.raises(ValueError, match="ascending"):
+        QuantileSketch((0.9, 0.5))
+    with pytest.raises(ValueError, match="ascending"):
+        QuantileSketch((0.5, 0.5))

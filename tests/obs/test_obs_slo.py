@@ -1,0 +1,110 @@
+"""SLO tracker: availability/latency objectives, burn rates, gauges."""
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.slo import SLOTracker, burn_rate
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    clock = FakeClock()
+    obs.set_clock(clock)
+    return clock
+
+
+def test_burn_rate_semantics():
+    assert burn_rate(None, 0.999) is None
+    assert burn_rate(1.0, 0.999) == 0.0
+    # 0.2% errors against a 0.1% budget: burning 2x.
+    assert burn_rate(0.998, 0.999) == pytest.approx(2.0)
+    # target 1.0 has no budget: perfect is 0, anything else unreportable.
+    assert burn_rate(1.0, 1.0) == 0.0
+    assert burn_rate(0.9, 1.0) is None
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="target"):
+        SLOTracker(availability_target=0.0)
+    with pytest.raises(ValueError, match="target"):
+        SLOTracker(latency_target=1.5)
+    with pytest.raises(ValueError, match="threshold"):
+        SLOTracker(latency_threshold=0.0)
+
+
+def test_5xx_burns_availability_but_4xx_does_not(clock):
+    tracker = SLOTracker(availability_target=0.9)
+    tracker.record(200, 0.01)
+    tracker.record(400, 0.01)  # caller's fault: still "good"
+    tracker.record(500, 0.01)
+    snap = tracker.snapshot()
+    assert snap["availability"]["total"] == 3.0
+    assert snap["availability"]["good"] == 2.0
+    assert snap["availability"]["ratio"] == pytest.approx(2 / 3)
+
+
+def test_latency_sli_only_counts_non_5xx(clock):
+    tracker = SLOTracker(latency_threshold=0.1)
+    tracker.record(200, 0.05)  # fast, good
+    tracker.record(200, 0.50)  # slow, bad
+    tracker.record(500, 0.001)  # fast 500 must not count as a latency win
+    snap = tracker.snapshot()
+    assert snap["latency"]["total"] == 2.0
+    assert snap["latency"]["good"] == 1.0
+    assert snap["latency"]["threshold_s"] == 0.1
+
+
+def test_windowed_values_age_out(clock):
+    tracker = SLOTracker(windows=(60.0, 300.0), bucket_seconds=5.0)
+    tracker.record(500, 0.01)
+    clock.now = 120.0
+    tracker.record(200, 0.01)
+    snap = tracker.snapshot()
+    avail = snap["availability"]
+    assert avail["windows"]["1m"]["total"] == 1.0
+    assert avail["windows"]["1m"]["ratio"] == 1.0  # the 500 aged out
+    assert avail["windows"]["5m"]["total"] == 2.0
+    assert avail["windows"]["5m"]["ratio"] == 0.5
+
+
+def test_empty_tracker_reports_nulls(clock):
+    snap = SLOTracker().snapshot()
+    for objective in ("availability", "latency"):
+        assert snap[objective]["ratio"] is None
+        assert snap[objective]["burn_rate"] is None
+        for window in snap[objective]["windows"].values():
+            assert window["ratio"] is None
+
+
+def test_gauges_flatten_and_omit_nulls(clock):
+    tracker = SLOTracker(availability_target=0.9, latency_target=0.9)
+    gauges = tracker.gauges()
+    # No traffic: targets only, no ratios.
+    assert gauges == {
+        "serve.slo.availability.target": 0.9,
+        "serve.slo.latency.target": 0.9,
+    }
+    tracker.record(200, 0.001)
+    gauges = tracker.gauges()
+    assert gauges["serve.slo.availability.ratio"] == 1.0
+    assert gauges["serve.slo.availability.ratio.1m"] == 1.0
+    assert gauges["serve.slo.latency.burn_rate"] == 0.0
+    assert all(value is not None for value in gauges.values())
+
+
+def test_snapshot_is_deterministic_under_fake_clock(clock):
+    def run():
+        tracker = SLOTracker()
+        for status in (200, 200, 503, 404):
+            tracker.record(status, 0.02)
+        return tracker.snapshot()
+
+    assert run() == run()

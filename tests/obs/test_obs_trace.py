@@ -106,3 +106,133 @@ def test_timer_is_always_on_and_deterministic():
 def test_set_clock_rejects_non_callable():
     with pytest.raises(TypeError):
         obs.set_clock(42)
+
+
+class TestTraceContextPropagation:
+    def test_traceparent_round_trip(self):
+        ctx = obs.TraceContext("ab" * 16, "cd" * 8, sampled=True)
+        header = obs.format_traceparent(ctx)
+        assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+        parsed = obs.parse_traceparent(header)
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+        assert parsed.sampled is True
+
+    def test_unsampled_flag_round_trips(self):
+        ctx = obs.TraceContext("ab" * 16, "cd" * 8, sampled=False)
+        assert obs.format_traceparent(ctx).endswith("-00")
+        assert obs.parse_traceparent(obs.format_traceparent(ctx)).sampled is False
+
+    def test_malformed_traceparent_rejected(self):
+        bad = [
+            "",
+            "garbage",
+            "00-short-abcd-01",
+            f"00-{'g' * 32}-{'cd' * 8}-01",  # non-hex
+            f"ff-{'ab' * 16}-{'cd' * 8}-01",  # reserved version
+            f"00-{'0' * 32}-{'cd' * 8}-01",  # all-zero trace id
+            f"00-{'ab' * 16}-{'0' * 16}-01",  # all-zero span id
+        ]
+        for header in bad:
+            assert obs.parse_traceparent(header) is None, header
+
+    def test_parse_is_case_insensitive_and_strips(self):
+        header = f"  00-{'AB' * 16}-{'CD' * 8}-01  "
+        parsed = obs.parse_traceparent(header)
+        assert parsed is not None
+        assert parsed.trace_id == "ab" * 16
+
+    def test_child_keeps_trace_id_and_flag(self):
+        ctx = obs.TraceContext("ab" * 16, "cd" * 8, sampled=False)
+        child = ctx.child("ef" * 8)
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id == "ef" * 8
+        assert child.sampled is False
+
+
+class TestIdGenerator:
+    def test_ids_are_deterministic_per_seed_and_sequence(self):
+        a, b = obs.IdGenerator(seed=5), obs.IdGenerator(seed=5)
+        assert [a.trace_id(), a.span_id()] == [b.trace_id(), b.span_id()]
+        other = obs.IdGenerator(seed=6)
+        assert other.trace_id() != obs.IdGenerator(seed=5).trace_id()
+
+    def test_id_shapes(self):
+        gen = obs.IdGenerator()
+        trace_id, span_id = gen.trace_id(), gen.span_id()
+        assert len(trace_id) == 32 and int(trace_id, 16) >= 0
+        assert len(span_id) == 16 and int(span_id, 16) >= 0
+        assert trace_id != gen.trace_id()  # counter advances
+
+
+class TestHeadSampler:
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            obs.HeadSampler(rate=1.5)
+        assert obs.HeadSampler(rate=1.0).sampled("ab" * 16) is True
+        assert obs.HeadSampler(rate=0.0).sampled("ab" * 16) is False
+
+    def test_partial_rate_is_deterministic_and_plausible(self):
+        gen = obs.IdGenerator(seed=1)
+        ids = [gen.trace_id() for _ in range(200)]
+        sampler = obs.HeadSampler(rate=0.5, seed=0)
+        kept = [tid for tid in ids if sampler.sampled(tid)]
+        assert kept == [tid for tid in ids if sampler.sampled(tid)]
+        assert 60 < len(kept) < 140  # roughly half
+
+    def test_decision_varies_with_seed(self):
+        gen = obs.IdGenerator(seed=2)
+        ids = [gen.trace_id() for _ in range(64)]
+        a = {tid for tid in ids if obs.HeadSampler(0.5, seed=0).sampled(tid)}
+        b = {tid for tid in ids if obs.HeadSampler(0.5, seed=9).sampled(tid)}
+        assert a != b
+
+
+class TestTraceRing:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            obs.TraceRing(0)
+
+    def test_record_and_snapshot_shape(self):
+        ring = obs.TraceRing(4)
+        ctx = obs.TraceContext("ab" * 16, "cd" * 8)
+        entry = ring.record(
+            "serve.query",
+            ctx,
+            start=1.0,
+            duration=0.25,
+            parent_id="ef" * 8,
+            attrs={"http.status": 200},
+            links=["12" * 8],
+        )
+        assert entry["trace_id"] == ctx.trace_id
+        snap = ring.snapshot()
+        assert snap["schema"] == "anb-tracez"
+        assert snap["schema_version"] == 1
+        assert snap["capacity"] == 4
+        assert snap["total"] == 1
+        assert snap["dropped"] == 0
+        assert snap["entries"][0]["links"] == ["12" * 8]
+
+    def test_ring_drops_oldest_and_counts(self):
+        ring = obs.TraceRing(2)
+        ctx = obs.TraceContext("ab" * 16, "cd" * 8)
+        for i in range(5):
+            ring.record(f"span-{i}", ctx, start=float(i), duration=0.1)
+        snap = ring.snapshot()
+        assert snap["total"] == 5
+        assert snap["dropped"] == 3
+        assert [e["name"] for e in snap["entries"]] == ["span-3", "span-4"]
+
+    def test_entries_are_detached_copies(self):
+        ring = obs.TraceRing(2)
+        ring.record("a", obs.TraceContext("ab" * 16, "cd" * 8), 0.0, 0.1)
+        ring.entries()[0]["name"] = "mutated"
+        assert ring.entries()[0]["name"] == "a"
+
+    def test_clear(self):
+        ring = obs.TraceRing(2)
+        ring.record("a", obs.TraceContext("ab" * 16, "cd" * 8), 0.0, 0.1)
+        ring.clear()
+        snap = ring.snapshot()
+        assert snap["total"] == 0 and snap["entries"] == []

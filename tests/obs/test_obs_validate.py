@@ -1,5 +1,7 @@
 """JSONL schema validation: headers, record shapes, CLI exit codes."""
 
+import json
+
 import pytest
 
 from repro.obs.validate import (
@@ -7,7 +9,9 @@ from repro.obs.validate import (
     main,
     validate_file,
     validate_metrics_file,
+    validate_prometheus_file,
     validate_trace_file,
+    validate_tracez_file,
 )
 
 METRICS_HEADER = '{"schema": "anb-metrics", "schema_version": 1}\n'
@@ -81,6 +85,237 @@ def test_invalid_json_line_rejected(tmp_path):
     path.write_text(METRICS_HEADER + "{not json\n")
     with pytest.raises(SchemaError, match="invalid JSON"):
         validate_metrics_file(path)
+
+
+WINDOW_RECORD = {
+    "kind": "window",
+    "name": "serve.latency.window.query",
+    "count": 2,
+    "sum": 0.3,
+    "min": 0.1,
+    "max": 0.2,
+    "quantiles": {"p50": 0.15, "p99": None},
+    "windows": {
+        "1m": {
+            "count": 2,
+            "sum": 0.3,
+            "min": 0.1,
+            "max": 0.2,
+            "quantiles": {"p50": 0.15},
+        }
+    },
+}
+
+
+def write_window(tmp_path, mutate=None):
+    record = json.loads(json.dumps(WINDOW_RECORD))
+    if mutate is not None:
+        mutate(record)
+    path = tmp_path / "m.jsonl"
+    path.write_text(METRICS_HEADER + json.dumps(record) + "\n")
+    return path
+
+
+class TestWindowRecords:
+    def test_valid_window_record_passes(self, tmp_path):
+        assert validate_metrics_file(write_window(tmp_path)) == 1
+
+    def test_unknown_field_rejected(self, tmp_path):
+        path = write_window(tmp_path, lambda r: r.update(surprise=1))
+        with pytest.raises(SchemaError, match="unknown fields"):
+            validate_metrics_file(path)
+
+    def test_unknown_field_in_sub_window_rejected(self, tmp_path):
+        path = write_window(
+            tmp_path, lambda r: r["windows"]["1m"].update(windows={})
+        )
+        with pytest.raises(SchemaError, match="unknown fields"):
+            validate_metrics_file(path)
+
+    def test_bad_quantile_key_rejected(self, tmp_path):
+        path = write_window(
+            tmp_path, lambda r: r["quantiles"].update({"q50": 0.1})
+        )
+        with pytest.raises(SchemaError, match="quantile key"):
+            validate_metrics_file(path)
+
+    def test_non_numeric_quantile_rejected(self, tmp_path):
+        path = write_window(
+            tmp_path, lambda r: r["quantiles"].update({"p50": "fast"})
+        )
+        with pytest.raises(SchemaError, match="number"):
+            validate_metrics_file(path)
+
+    def test_counter_with_extra_field_rejected(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            METRICS_HEADER
+            + '{"kind": "counter", "name": "x", "value": 1, "unit": "s"}\n'
+        )
+        with pytest.raises(SchemaError, match="unknown fields"):
+            validate_metrics_file(path)
+
+
+TRACEZ_PAYLOAD = {
+    "schema": "anb-tracez",
+    "schema_version": 1,
+    "capacity": 4,
+    "total": 1,
+    "dropped": 0,
+    "entries": [
+        {
+            "name": "serve.query",
+            "trace_id": "ab" * 16,
+            "span_id": "cd" * 8,
+            "parent_id": None,
+            "start": 1.0,
+            "duration": 0.5,
+            "status": "ok",
+            "attrs": {"http.status": 200},
+            "links": ["ef" * 8],
+        }
+    ],
+}
+
+
+def write_tracez(tmp_path, mutate=None, indent=None):
+    payload = json.loads(json.dumps(TRACEZ_PAYLOAD))
+    if mutate is not None:
+        mutate(payload)
+    path = tmp_path / "tracez.json"
+    path.write_text(json.dumps(payload, indent=indent))
+    return path
+
+
+class TestTracezValidation:
+    def test_valid_payload_passes(self, tmp_path):
+        path = write_tracez(tmp_path)
+        assert validate_tracez_file(path) == 1
+        assert validate_file(path) == ("anb-tracez", 1)
+
+    def test_pretty_printed_payload_sniffs_correctly(self, tmp_path):
+        path = write_tracez(tmp_path, indent=2)
+        assert validate_file(path) == ("anb-tracez", 1)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "tracez.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(SchemaError, match="not an object"):
+            validate_tracez_file(path)
+
+    def test_unknown_top_level_field_rejected(self, tmp_path):
+        path = write_tracez(tmp_path, lambda p: p.update(extra=1))
+        with pytest.raises(SchemaError, match="unknown fields"):
+            validate_tracez_file(path)
+
+    def test_unknown_entry_field_rejected(self, tmp_path):
+        path = write_tracez(tmp_path, lambda p: p["entries"][0].update(zz=1))
+        with pytest.raises(SchemaError, match="unknown fields"):
+            validate_tracez_file(path)
+
+    def test_bad_trace_id_rejected(self, tmp_path):
+        path = write_tracez(
+            tmp_path, lambda p: p["entries"][0].update(trace_id="xyz")
+        )
+        with pytest.raises(SchemaError, match="32 hex"):
+            validate_tracez_file(path)
+
+    def test_bad_span_and_parent_ids_rejected(self, tmp_path):
+        path = write_tracez(
+            tmp_path, lambda p: p["entries"][0].update(span_id="nope")
+        )
+        with pytest.raises(SchemaError, match="16 hex"):
+            validate_tracez_file(path)
+        path = write_tracez(
+            tmp_path, lambda p: p["entries"][0].update(parent_id=12)
+        )
+        with pytest.raises(SchemaError, match="parent_id"):
+            validate_tracez_file(path)
+
+    def test_bad_link_rejected(self, tmp_path):
+        path = write_tracez(
+            tmp_path, lambda p: p["entries"][0].update(links=["tooshort"])
+        )
+        with pytest.raises(SchemaError, match="link"):
+            validate_tracez_file(path)
+
+    def test_bad_status_rejected(self, tmp_path):
+        path = write_tracez(
+            tmp_path, lambda p: p["entries"][0].update(status="meh")
+        )
+        with pytest.raises(SchemaError, match="ok/error"):
+            validate_tracez_file(path)
+
+    def test_negative_duration_rejected(self, tmp_path):
+        path = write_tracez(
+            tmp_path, lambda p: p["entries"][0].update(duration=-1.0)
+        )
+        with pytest.raises(SchemaError, match="negative duration"):
+            validate_tracez_file(path)
+
+    def test_more_entries_than_capacity_rejected(self, tmp_path):
+        path = write_tracez(tmp_path, lambda p: p.update(capacity=0))
+        with pytest.raises(SchemaError, match="capacity"):
+            validate_tracez_file(path)
+
+
+PROM_OK = (
+    "# HELP anb_x_total x\n"
+    "# TYPE anb_x_total counter\n"
+    "anb_x_total 3\n"
+    "# TYPE anb_lat summary\n"
+    'anb_lat{window="1m",quantile="0.99"} 0.25\n'
+    "anb_lat_sum 1.5\n"
+    "anb_lat_count 10\n"
+)
+
+
+class TestPrometheusValidation:
+    def write(self, tmp_path, text):
+        path = tmp_path / "metrics.prom"
+        path.write_text(text)
+        return path
+
+    def test_valid_exposition_passes(self, tmp_path):
+        path = self.write(tmp_path, PROM_OK)
+        assert validate_prometheus_file(path) == 4
+        assert validate_file(path) == ("prometheus", 4)
+
+    def test_missing_trailing_newline_rejected(self, tmp_path):
+        path = self.write(tmp_path, "# TYPE anb_x gauge\nanb_x 1")
+        with pytest.raises(SchemaError, match="newline"):
+            validate_prometheus_file(path)
+
+    def test_sample_without_type_rejected(self, tmp_path):
+        path = self.write(tmp_path, "anb_x 1\n")
+        with pytest.raises(SchemaError, match="TYPE"):
+            validate_prometheus_file(path)
+
+    def test_malformed_comment_rejected(self, tmp_path):
+        path = self.write(tmp_path, "# NOPE anb_x gauge\n")
+        with pytest.raises(SchemaError, match="comment"):
+            validate_prometheus_file(path)
+
+    def test_bad_label_name_rejected(self, tmp_path):
+        path = self.write(
+            tmp_path, '# TYPE anb_x gauge\nanb_x{bad-name="1"} 2\n'
+        )
+        with pytest.raises(SchemaError, match="sample line"):
+            validate_prometheus_file(path)
+
+    def test_bad_value_rejected(self, tmp_path):
+        path = self.write(tmp_path, "# TYPE anb_x gauge\nanb_x one\n")
+        with pytest.raises(SchemaError, match="sample line"):
+            validate_prometheus_file(path)
+
+    def test_special_values_accepted(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "# TYPE anb_x gauge\nanb_x +Inf\n"
+            "# TYPE anb_h histogram\n"
+            'anb_h_bucket{le="+Inf"} 4\nanb_h_sum 2.5e-3\nanb_h_count 4\n',
+        )
+        assert validate_prometheus_file(path) == 4
 
 
 def test_main_exit_codes(tmp_path, capsys):

@@ -1,0 +1,527 @@
+"""The live telemetry plane on the serve layer: /metrics exposition,
+request tracing through the coalescer, the sampling profiler endpoint,
+access logs, and byte-identity across every telemetry configuration."""
+
+import asyncio
+import io
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.expo import EXPOSITION_CONTENT_TYPE
+from repro.obs.validate import validate_prometheus_file, validate_tracez_file
+from repro.serve import BenchServer, ClientConnection, ServerConfig
+from repro.serve.http import _read_response, _render_request
+
+
+async def start_server(bench, **overrides):
+    config = ServerConfig(port=0, **overrides)
+    server = BenchServer(bench, config)
+    await server.start()
+    task = asyncio.create_task(server.run())
+    return server, task
+
+
+async def stop_server(server, task):
+    server.request_stop()
+    await asyncio.wait_for(task, timeout=10.0)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def raw_get(port, path, headers=None):
+    """GET returning the raw body bytes (for non-JSON endpoints)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(_render_request("GET", path, b"", False, headers=headers))
+    await writer.drain()
+    status, resp_headers, body = await _read_response(reader)
+    writer.close()
+    return status, resp_headers, body
+
+
+class TestMetricsEndpoint:
+    def test_metrics_exposes_windowed_latency_quantiles(
+        self, serve_bench, arch_strings, tmp_path
+    ):
+        async def main():
+            server, task = await start_server(serve_bench)
+            try:
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    for arch in arch_strings[:3]:
+                        await conn.request(
+                            "POST", "/query", {"arch": arch, "device": "a100"}
+                        )
+                return await raw_get(server.port, "/metrics")
+            finally:
+                await stop_server(server, task)
+
+        status, headers, body = run(main())
+        assert status == 200
+        assert headers["content-type"] == EXPOSITION_CONTENT_TYPE
+        text = body.decode("utf-8")
+        # Windowed latency summary for /query with cumulative + 1m/5m views.
+        assert "# TYPE anb_serve_latency_window_query summary" in text
+        for quantile in ("0.5", "0.95", "0.99"):
+            assert f'anb_serve_latency_window_query{{quantile="{quantile}"}}' in text
+            assert (
+                "anb_serve_latency_window_query"
+                f'{{window="1m",quantile="{quantile}"}}'
+            ) in text
+        assert 'anb_serve_latency_window_query_count{window="5m"} 3' in text
+        # Always-on gauges ride along.
+        assert "anb_serve_generation 0" in text
+        assert "anb_serve_uptime_seconds" in text
+        assert "anb_serve_slo_availability_ratio 1" in text
+        # 3 request spans + 3 single-item batch spans.
+        assert "anb_serve_trace_total 6" in text
+        assert "anb_serve_trace_retained 6" in text
+        # The whole scrape passes the exposition grammar check.
+        saved = tmp_path / "scrape.prom"
+        saved.write_text(text)
+        assert validate_prometheus_file(saved) > 0
+
+    def test_metrics_works_with_telemetry_off(self, serve_bench, arch_strings):
+        """The live plane is server-owned: it answers under --log-level off."""
+        obs.reset()
+        assert not obs.telemetry_active()
+
+        async def main():
+            server, task = await start_server(serve_bench)
+            try:
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    await conn.request(
+                        "POST", "/query", {"arch": arch_strings[0]}
+                    )
+                return await raw_get(server.port, "/metrics")
+            finally:
+                await stop_server(server, task)
+
+        status, _, body = run(main())
+        assert status == 200
+        assert "anb_serve_latency_window_query" in body.decode()
+
+
+class TestTracing:
+    def test_query_spans_land_in_the_ring(self, serve_bench, arch_strings, tmp_path):
+        async def main():
+            server, task = await start_server(serve_bench)
+            try:
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    await conn.request(
+                        "POST", "/query", {"arch": arch_strings[0], "device": "a100"}
+                    )
+                    _, _, snap = await conn.request("GET", "/tracez")
+                return snap
+            finally:
+                await stop_server(server, task)
+
+        snap = run(main())
+        names = [entry["name"] for entry in snap["entries"]]
+        assert "serve.query" in names
+        assert "serve.query_batch" in names
+        saved = tmp_path / "tracez.json"
+        saved.write_text(json.dumps(snap))
+        assert validate_tracez_file(saved) == len(snap["entries"])
+
+    def test_coalesced_batch_span_links_requests(self, serve_bench, arch_strings):
+        """N merged queries: one batch span linked to all N request spans,
+        and each request span links back to the batch span."""
+
+        async def main():
+            server, task = await start_server(
+                serve_bench, max_batch=16, max_delay=0.05
+            )
+            try:
+                conns = [
+                    ClientConnection("127.0.0.1", server.port) for _ in range(6)
+                ]
+                await asyncio.gather(
+                    *(
+                        conn.request(
+                            "POST", "/query", {"arch": arch, "device": "a100"}
+                        )
+                        for conn, arch in zip(conns, arch_strings)
+                    )
+                )
+                stats = server.coalescer.stats()
+                _, _, snap = await raw_get(server.port, "/tracez")
+                for conn in conns:
+                    await conn.close()
+            finally:
+                await stop_server(server, task)
+            return stats, json.loads(snap)
+
+        stats, snap = run(main())
+        assert stats["flush_total"] < 6  # coalescing actually happened
+        batches = [e for e in snap["entries"] if e["name"] == "serve.query_batch"]
+        requests = [e for e in snap["entries"] if e["name"] == "serve.query"]
+        assert len(requests) == 6
+        assert len(batches) == stats["flush_total"]
+        # Every request is linked from exactly one batch span, and links
+        # back to that batch span.
+        linked_from_batches = [s for b in batches for s in b["links"]]
+        assert sorted(linked_from_batches) == sorted(
+            r["span_id"] for r in requests
+        )
+        batch_ids = {b["span_id"] for b in batches}
+        for request in requests:
+            assert len(request["links"]) == 1
+            assert request["links"][0] in batch_ids
+        # Batch sizes in attrs agree with the link counts.
+        for batch in batches:
+            assert batch["attrs"]["batch_size"] == len(batch["links"])
+
+    def test_tracez_404_when_disabled(self, serve_bench):
+        async def main():
+            server, task = await start_server(serve_bench, trace_ring=0)
+            try:
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    return await conn.request("GET", "/tracez")
+            finally:
+                await stop_server(server, task)
+
+        status, _, body = run(main())
+        assert status == 404
+        assert body == {"error": "tracing disabled"}
+
+    def test_sampled_out_requests_stay_out_of_the_ring(
+        self, serve_bench, arch_strings
+    ):
+        async def main():
+            server, task = await start_server(serve_bench, trace_sample=0.0)
+            try:
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    status, _, _ = await conn.request(
+                        "POST", "/query", {"arch": arch_strings[0]}
+                    )
+                    _, _, snap = await conn.request("GET", "/tracez")
+                return status, snap
+            finally:
+                await stop_server(server, task)
+
+        status, snap = run(main())
+        assert status == 200
+        assert snap["entries"] == []
+
+    def test_ring_is_bounded_and_counts_drops(self, serve_bench, arch_strings):
+        async def main():
+            server, task = await start_server(serve_bench, trace_ring=2)
+            try:
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    for _ in range(4):
+                        await conn.request(
+                            "POST", "/query", {"arch": arch_strings[0]}
+                        )
+                    _, _, snap = await conn.request("GET", "/tracez")
+                return snap
+            finally:
+                await stop_server(server, task)
+
+        snap = run(main())
+        assert snap["capacity"] == 2
+        assert len(snap["entries"]) == 2
+        assert snap["dropped"] == snap["total"] - 2 > 0
+
+
+class TestTraceparentEcho:
+    TRACEPARENT = f"00-{'ab' * 16}-{'cd' * 8}-01"
+
+    def test_incoming_traceparent_is_echoed_under_same_trace(
+        self, serve_bench, arch_strings
+    ):
+        async def main():
+            server, task = await start_server(serve_bench)
+            try:
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    _, headers, _ = await conn.request(
+                        "POST",
+                        "/query",
+                        {"arch": arch_strings[0]},
+                        headers={"traceparent": self.TRACEPARENT},
+                    )
+                    _, _, snap = await conn.request("GET", "/tracez")
+                return headers, snap
+            finally:
+                await stop_server(server, task)
+
+        headers, snap = run(main())
+        echoed = obs.parse_traceparent(headers["traceparent"])
+        assert echoed is not None
+        assert echoed.trace_id == "ab" * 16  # same trace
+        assert echoed.span_id != "cd" * 8  # our span, not the caller's
+        # The ring entry's parent is the caller's span.
+        (entry,) = [e for e in snap["entries"] if e["name"] == "serve.query"]
+        assert entry["trace_id"] == "ab" * 16
+        assert entry["parent_id"] == "cd" * 8
+
+    def test_malformed_traceparent_is_ignored(self, serve_bench, arch_strings):
+        async def main():
+            server, task = await start_server(serve_bench)
+            try:
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    return await conn.request(
+                        "POST",
+                        "/query",
+                        {"arch": arch_strings[0]},
+                        headers={"traceparent": "garbage"},
+                    )
+            finally:
+                await stop_server(server, task)
+
+        status, headers, _ = run(main())
+        assert status == 200
+        assert "traceparent" not in headers
+
+    def test_echo_is_identical_across_telemetry_and_sampling(
+        self, serve_bench, arch_strings
+    ):
+        """The header handshake is a pure function of the request sequence:
+        telemetry on/off and sampled/unsampled runs mint the same ids."""
+
+        async def run_once(**overrides):
+            server, task = await start_server(serve_bench, **overrides)
+            try:
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    out = []
+                    for arch in arch_strings[:2]:
+                        _, headers, _ = await conn.request(
+                            "POST",
+                            "/query",
+                            {"arch": arch},
+                            headers={"traceparent": self.TRACEPARENT},
+                        )
+                        out.append(headers["traceparent"])
+                    return out
+            finally:
+                await stop_server(server, task)
+
+        obs.reset()
+        baseline = run(run_once())
+        obs.configure(level="debug", json=True, stream=io.StringIO())
+        try:
+            with_obs = run(run_once())
+        finally:
+            obs.reset()
+        sampled_out = run(run_once(trace_sample=0.0))
+        no_ring = run(run_once(trace_ring=0))
+        assert with_obs == baseline
+        assert no_ring == baseline
+        # Sampling flips only the flag byte, never the minted span ids.
+        assert [h[:-3] for h in sampled_out] == [h[:-3] for h in baseline]
+
+
+class TestProfileEndpoint:
+    def test_profile_returns_collapsed_stacks(self, serve_bench):
+        async def main():
+            server, task = await start_server(serve_bench)
+            try:
+                return await raw_get(
+                    server.port, "/debug/profile?seconds=0.05"
+                )
+            finally:
+                await stop_server(server, task)
+
+        status, headers, body = run(main())
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        # The event loop blocks in select/epoll during the profile window,
+        # so the sampler sees at least this process's main thread.
+        for line in body.decode().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+
+    def test_profile_rejects_bad_seconds(self, serve_bench):
+        async def main():
+            server, task = await start_server(serve_bench)
+            try:
+                bad = await raw_get(server.port, "/debug/profile?seconds=oops")
+                zero = await raw_get(server.port, "/debug/profile?seconds=0")
+            finally:
+                await stop_server(server, task)
+            return bad[0], zero[0]
+
+        assert run(main()) == (400, 400)
+
+    def test_profile_duration_is_clamped(self, serve_bench):
+        async def main():
+            server, task = await start_server(
+                serve_bench, profile_max_seconds=0.05
+            )
+            try:
+                loop = asyncio.get_running_loop()
+                started = loop.time()
+                status, _, _ = await raw_get(
+                    server.port, "/debug/profile?seconds=3600"
+                )
+                elapsed = loop.time() - started
+            finally:
+                await stop_server(server, task)
+            return status, elapsed
+
+        status, elapsed = run(main())
+        assert status == 200
+        assert elapsed < 5.0  # clamped to 0.05s, not an hour
+
+    def test_concurrent_profiles_conflict(self, serve_bench):
+        async def main():
+            server, task = await start_server(serve_bench)
+            try:
+                first = asyncio.create_task(
+                    raw_get(server.port, "/debug/profile?seconds=0.3")
+                )
+                await asyncio.sleep(0.1)
+                conflict = await raw_get(
+                    server.port, "/debug/profile?seconds=0.05"
+                )
+                ok = await first
+            finally:
+                await stop_server(server, task)
+            return ok[0], conflict[0]
+
+        assert run(main()) == (200, 409)
+
+
+class TestAccessLog:
+    def payloads(self, arch_strings):
+        return [
+            ("/query", {"arch": arch_strings[0], "device": "a100"}),
+            ("/query", {"arch": "garbage"}),
+        ]
+
+    async def drive(self, serve_bench, arch_strings):
+        server, task = await start_server(serve_bench)
+        try:
+            async with ClientConnection("127.0.0.1", server.port) as conn:
+                for path, payload in self.payloads(arch_strings):
+                    await conn.request("POST", path, payload)
+        finally:
+            await stop_server(server, task)
+
+    def test_access_events_carry_request_fields(self, serve_bench, arch_strings):
+        stream = io.StringIO()
+        obs.configure(level="info", json=True, stream=stream)
+        try:
+            run(self.drive(serve_bench, arch_strings))
+        finally:
+            obs.reset()
+        events = [
+            json.loads(line)
+            for line in stream.getvalue().splitlines()
+            if '"serve.access"' in line
+        ]
+        assert len(events) == 2
+        ok, bad = events
+        assert ok["method"] == "POST" and ok["path"] == "/query"
+        assert ok["status"] == 200 and bad["status"] == 400
+        assert ok["latency_ms"] >= 0
+        assert ok["batch"] >= 1  # coalesced batch of one
+        assert ok["cache"] in ("hit", "miss")
+        assert len(ok["trace_id"]) == 32
+        assert bad["cache"] == "-"  # rejected before the cache
+
+    def test_silent_when_telemetry_off(self, serve_bench, arch_strings, capsys):
+        obs.reset()
+        run(self.drive(serve_bench, arch_strings))
+        captured = capsys.readouterr()
+        assert "serve.access" not in captured.out
+        assert "serve.access" not in captured.err
+
+
+class TestStatzInfo:
+    def test_info_block_fields(self, serve_bench):
+        async def main():
+            server, task = await start_server(serve_bench)
+            try:
+                async with ClientConnection("127.0.0.1", server.port) as conn:
+                    _, _, stats = await conn.request("GET", "/statz")
+                return stats
+            finally:
+                await stop_server(server, task)
+
+        info = run(main())["info"]
+        import platform
+
+        import repro
+
+        assert info["generation"] == 0
+        assert info["python"] == platform.python_version()
+        assert info["repro"] == repro.__version__
+        assert info["store_path"] is None  # in-memory bench, no artifact
+        assert info["trace_ring"] == 256
+        assert info["trace_sample"] == 1.0
+        assert info["uptime_s"] >= 0
+
+
+class TestByteIdentity:
+    """Responses must be byte-identical no matter how the live plane is
+    configured: tracing on, off, sampled out, or a profiler mid-flight."""
+
+    def payloads(self, arch_strings):
+        return [
+            ("/query", {"arch": arch_strings[0], "device": "a100"}),
+            ("/batch-query", {"archs": arch_strings[:3], "device": "a100"}),
+            ("/pareto", {"archs": arch_strings[:6], "device": "a100"}),
+            ("/query", {"arch": "bad"}),
+        ]
+
+    async def exchange(self, port, payloads, profile_inflight=False):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        profile = None
+        if profile_inflight:
+            profile = asyncio.create_task(
+                raw_get(port, "/debug/profile?seconds=0.5")
+            )
+            await asyncio.sleep(0.05)  # profiler is running
+        raw = []
+        for path, payload in payloads:
+            body = json.dumps(payload, sort_keys=True).encode()
+            writer.write(_render_request("POST", path, body, True))
+            await writer.drain()
+            status, headers, data = await _read_response(reader)
+            raw.append((status, tuple(sorted(headers.items())), data))
+        writer.close()
+        if profile is not None:
+            status, _, _ = await profile
+            assert status == 200
+        return raw
+
+    def run_once(self, serve_bench, arch_strings, profile=False, **overrides):
+        async def main():
+            server, task = await start_server(serve_bench, **overrides)
+            try:
+                return await self.exchange(
+                    server.port,
+                    self.payloads(arch_strings),
+                    profile_inflight=profile,
+                )
+            finally:
+                await stop_server(server, task)
+
+        return run(main())
+
+    def test_identical_across_all_plane_configurations(
+        self, serve_bench, arch_strings
+    ):
+        obs.reset()
+        baseline = self.run_once(serve_bench, arch_strings)
+        variants = {
+            "sampled_out": self.run_once(
+                serve_bench, arch_strings, trace_sample=0.0
+            ),
+            "ring_disabled": self.run_once(
+                serve_bench, arch_strings, trace_ring=0
+            ),
+            "profiler_running": self.run_once(
+                serve_bench, arch_strings, profile=True
+            ),
+        }
+        obs.configure(level="debug", json=True, stream=io.StringIO())
+        try:
+            variants["telemetry_on"] = self.run_once(serve_bench, arch_strings)
+        finally:
+            obs.reset()
+        for name, got in variants.items():
+            assert got == baseline, f"response bytes drifted under {name}"
